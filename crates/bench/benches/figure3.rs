@@ -1,0 +1,33 @@
+//! Criterion statistics for the Figure 3 experiment, on a scaled-down
+//! configuration (Criterion runs each point many times; the paper-scale
+//! sweep lives in the `figure3` binary). The *shape* statements — all four
+//! setups linear in the workload, Spawn & Merge offset by a constant —
+//! hold at this scale too.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sm_netsim::{run_setup, Routing, Setup, SimConfig};
+
+fn scaled_config(workload: usize) -> SimConfig {
+    SimConfig { hosts: 8, initial_messages: 24, ttl: 10, workload, routing: Routing::HashDerived, ..SimConfig::default() }
+}
+
+fn bench_figure3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure3");
+    group.sample_size(10);
+    for workload in [0usize, 250, 500, 1000] {
+        for setup in Setup::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(setup.label().replace(' ', "_"), workload),
+                &workload,
+                |b, &w| {
+                    let cfg = scaled_config(w);
+                    b.iter(|| run_setup(setup, &cfg));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_figure3);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Ablation: **fork (Spawn copy) cost** — the paper's constant ~400 ms
+//! overhead came from eagerly copying 20 queues for 20 tasks; its future
+//! work proposes copy-on-write. This bench quantifies the difference:
+//! `CopyMode::Deep` (the paper's prototype) vs `CopyMode::CopyOnWrite`
+//! (this implementation's default), plus the deferred price of the first
+//! post-fork write.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use sm_mergeable::{CopyMode, MList, Mergeable};
+
+fn list_of(n: usize, mode: CopyMode) -> MList<u64> {
+    MList::from_vec_with_mode((0..n as u64).collect(), mode)
+}
+
+fn bench_fork(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fork_cost");
+    for n in [1_000usize, 10_000, 100_000] {
+        let deep = list_of(n, CopyMode::Deep);
+        group.bench_with_input(BenchmarkId::new("deep", n), &n, |b, _| {
+            b.iter(|| black_box(deep.fork()));
+        });
+        let cow = list_of(n, CopyMode::CopyOnWrite);
+        group.bench_with_input(BenchmarkId::new("cow", n), &n, |b, _| {
+            b.iter(|| black_box(cow.fork()));
+        });
+        // The honest COW accounting: fork + first write (forces the copy).
+        group.bench_with_input(BenchmarkId::new("cow_plus_first_write", n), &n, |b, _| {
+            b.iter(|| {
+                let mut f = cow.fork();
+                f.set(0, 42);
+                black_box(f)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_spawn_copy_paper_shape(c: &mut Criterion) {
+    // The paper's overhead unit: forking "20 tasks with 20 queues each".
+    use sm_mergeable::MQueue;
+    let mut group = c.benchmark_group("spawn_copy_20x20");
+    group.sample_size(20);
+    for (label, mode) in [("deep", CopyMode::Deep), ("cow", CopyMode::CopyOnWrite)] {
+        let queues: Vec<MQueue<u64>> = (0..20)
+            .map(|_| {
+                let mut q = MQueue::with_mode(mode);
+                for i in 0..500u64 {
+                    q.push_back(i);
+                }
+                q
+            })
+            .collect();
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                // 20 spawned tasks each receive a fork of all 20 queues.
+                let forks: Vec<Vec<MQueue<u64>>> = (0..20).map(|_| queues.fork()).collect();
+                black_box(forks)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fork, bench_spawn_copy_paper_shape);
+criterion_main!(benches);

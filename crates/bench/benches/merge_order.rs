@@ -1,0 +1,47 @@
+//! Ablation: cost of the merge-ordering discipline — deterministic
+//! `merge_all` (waits for children in creation order) vs non-deterministic
+//! `merge_any` (first-completed-first-merged) for the same fan-out.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sm_core::{run_with_pool, Pool};
+use sm_mergeable::MCounter;
+
+fn bench_merge_disciplines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("merge_order");
+    group.sample_size(20);
+    let pool = Pool::new();
+    for children in [4usize, 16, 64] {
+        group.bench_with_input(BenchmarkId::new("merge_all", children), &children, |b, &n| {
+            b.iter(|| {
+                let (counter, ()) = run_with_pool(MCounter::new(0), pool.clone(), |ctx| {
+                    for _ in 0..n {
+                        ctx.spawn(|c| {
+                            c.data_mut().inc();
+                            Ok(())
+                        });
+                    }
+                    ctx.merge_all();
+                });
+                assert_eq!(counter.get(), n as i64);
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("merge_any", children), &children, |b, &n| {
+            b.iter(|| {
+                let (counter, ()) = run_with_pool(MCounter::new(0), pool.clone(), |ctx| {
+                    for _ in 0..n {
+                        ctx.spawn(|c| {
+                            c.data_mut().inc();
+                            Ok(())
+                        });
+                    }
+                    while ctx.merge_any().is_some() {}
+                });
+                assert_eq!(counter.get(), n as i64);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_merge_disciplines);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Ablation: raw operational-transformation throughput — single pair
+//! transforms and the O(N·M) sequence grid, for the scalar (list) and
+//! splitting (text) algebras.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sm_ot::list::ListOp;
+use sm_ot::seq::transform_seqs;
+use sm_ot::text::TextOp;
+use sm_ot::{Operation, Side};
+
+fn list_ops(n: usize, offset: usize) -> Vec<ListOp<u64>> {
+    (0..n)
+        .map(|i| match i % 3 {
+            0 => ListOp::Insert((i + offset) % (i + 1), i as u64),
+            1 => ListOp::Set(i % (i + 1), i as u64),
+            _ => ListOp::Insert(0, i as u64),
+        })
+        .collect()
+}
+
+fn text_ops(n: usize, salt: usize) -> Vec<TextOp> {
+    (0..n)
+        .map(|i| {
+            if (i + salt) % 2 == 0 {
+                TextOp::insert((i * 7 + salt) % (i + 1), "ab")
+            } else {
+                TextOp::delete((i * 3) % (i + 1), 1)
+            }
+        })
+        .collect()
+}
+
+fn bench_pair_transform(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ot_pair_transform");
+    let a = ListOp::Insert(5, 1u64);
+    let b = ListOp::Delete(3);
+    group.bench_function("list_insert_vs_delete", |bch| {
+        bch.iter(|| black_box(&a).transform(black_box(&b), Side::Left))
+    });
+    let ta = TextOp::insert(5, "hello");
+    let tb = TextOp::delete(3, 8);
+    group.bench_function("text_insert_vs_delete", |bch| {
+        bch.iter(|| black_box(&ta).transform(black_box(&tb), Side::Left))
+    });
+    group.finish();
+}
+
+fn bench_seq_transform(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ot_seq_transform");
+    for n in [10usize, 50, 200] {
+        group.throughput(Throughput::Elements((n * n) as u64));
+        let left = list_ops(n, 1);
+        let right = list_ops(n, 5);
+        group.bench_with_input(BenchmarkId::new("list_scalar_grid", n), &n, |b, _| {
+            b.iter(|| transform_seqs(black_box(&left), black_box(&right)))
+        });
+        let tleft = text_ops(n, 0);
+        let tright = text_ops(n, 1);
+        group.bench_with_input(BenchmarkId::new("text_splitting_grid", n), &n, |b, _| {
+            b.iter(|| transform_seqs(black_box(&tleft), black_box(&tright)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pair_transform, bench_seq_transform);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! §IV-A cost check: the Spawn & Merge **semaphore emulation** (two syncs
+//! per acquire, one per release, all funnelled through the parent) vs a
+//! native mutex doing the same critical-section count. The paper concedes
+//! the construction is "inefficient and cumbersome" — this measures by how
+//! much.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sm_core::semaphore::run_with_semaphore;
+
+fn bench_semaphore(c: &mut Criterion) {
+    let mut group = c.benchmark_group("semaphore");
+    group.sample_size(10);
+    for workers in [2usize, 4] {
+        let rounds = 10usize;
+        group.bench_with_input(
+            BenchmarkId::new("spawn_merge_emulated", workers),
+            &workers,
+            |b, &w| {
+                b.iter(|| {
+                    let outcome = run_with_semaphore(1, w, move |_idx, sem| {
+                        for _ in 0..rounds {
+                            sem.acquire()?;
+                            sem.release()?;
+                        }
+                        Ok(())
+                    });
+                    assert_eq!(outcome.grants, (w * rounds) as u64);
+                });
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("native_mutex", workers), &workers, |b, &w| {
+            b.iter(|| {
+                let lock = Arc::new(parking_lot::Mutex::new(0u64));
+                let threads: Vec<_> = (0..w)
+                    .map(|_| {
+                        let lock = Arc::clone(&lock);
+                        std::thread::spawn(move || {
+                            for _ in 0..rounds {
+                                *lock.lock() += 1;
+                            }
+                        })
+                    })
+                    .collect();
+                for t in threads {
+                    t.join().unwrap();
+                }
+                assert_eq!(*lock.lock(), (w * rounds) as u64);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_semaphore);
+criterion_main!(benches);

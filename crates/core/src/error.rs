@@ -1,0 +1,134 @@
+//! Error and outcome types of the Spawn & Merge runtime.
+
+use std::fmt;
+
+/// Why a task did not complete normally.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AbortReason {
+    /// The task function returned an error ([`TaskAbort`]).
+    Error(String),
+    /// The task function panicked; the payload is the panic message.
+    /// Exceptions within a task are caught and reported to the parent
+    /// (§II-F of the paper).
+    Panic(String),
+    /// The parent marked the task as externally aborted; its changes were
+    /// discarded at merge time.
+    External,
+}
+
+impl fmt::Display for AbortReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AbortReason::Error(e) => write!(f, "task aborted: {e}"),
+            AbortReason::Panic(p) => write!(f, "task panicked: {p}"),
+            AbortReason::External => write!(f, "task externally aborted"),
+        }
+    }
+}
+
+/// A deliberate task abort: returning `Err(TaskAbort)` from a task function
+/// completes the task *without* merging its data (the copies it worked on
+/// are dismissed, §II-F).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskAbort {
+    /// Human-readable reason, reported to the parent.
+    pub reason: String,
+}
+
+impl TaskAbort {
+    /// Abort with the given reason.
+    pub fn new(reason: impl Into<String>) -> Self {
+        TaskAbort { reason: reason.into() }
+    }
+}
+
+impl fmt::Display for TaskAbort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.reason)
+    }
+}
+
+impl std::error::Error for TaskAbort {}
+
+impl From<sm_mergeable::MergeError> for TaskAbort {
+    fn from(e: sm_mergeable::MergeError) -> Self {
+        TaskAbort::new(format!("merge error: {e}"))
+    }
+}
+
+/// The value returned by task functions.
+pub type TaskResult = Result<(), TaskAbort>;
+
+/// Why a [`crate::TaskCtx::sync`] call failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SyncError {
+    /// `sync` was called on the root task, which has no parent to merge
+    /// with.
+    RootTask,
+    /// The parent rejected the merge (a merge condition failed). The
+    /// child's local data is untouched; it may retry, continue, or abort —
+    /// this is the runtime-managed rollback of §II-D.
+    MergeRejected,
+    /// The parent has externally aborted this task; its changes were
+    /// discarded. The task should wind down.
+    Aborted,
+    /// The task still has live (unmerged) children. A task must merge all
+    /// of its children before syncing, because a sync replaces its data
+    /// wholesale and would orphan the children's fork points.
+    HasLiveChildren,
+    /// The parent task is gone (it panicked); no further synchronization is
+    /// possible and this task's data has been lost.
+    ParentGone,
+}
+
+impl fmt::Display for SyncError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SyncError::RootTask => write!(f, "the root task has no parent to sync with"),
+            SyncError::MergeRejected => {
+                write!(f, "the parent rejected the merge (condition failed); changes rolled back")
+            }
+            SyncError::Aborted => write!(f, "this task was externally aborted by its parent"),
+            SyncError::HasLiveChildren => {
+                write!(f, "cannot sync with live children; merge them first")
+            }
+            SyncError::ParentGone => write!(f, "the parent task is gone"),
+        }
+    }
+}
+
+impl std::error::Error for SyncError {}
+
+impl From<SyncError> for TaskAbort {
+    fn from(e: SyncError) -> Self {
+        TaskAbort::new(format!("sync failed: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert!(AbortReason::Error("x".into()).to_string().contains('x'));
+        assert!(AbortReason::Panic("p".into()).to_string().contains('p'));
+        assert!(AbortReason::External.to_string().contains("external"));
+        assert_eq!(TaskAbort::new("boom").to_string(), "boom");
+        for e in [
+            SyncError::RootTask,
+            SyncError::MergeRejected,
+            SyncError::Aborted,
+            SyncError::HasLiveChildren,
+            SyncError::ParentGone,
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn sync_error_converts_to_abort() {
+        let a: TaskAbort = SyncError::MergeRejected.into();
+        assert!(a.reason.contains("rejected"));
+    }
+}

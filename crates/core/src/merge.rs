@@ -1,0 +1,341 @@
+//! The **Merge** family (§II-D of the paper).
+//!
+//! | Function | Waits for | Order | Deterministic? |
+//! |---|---|---|---|
+//! | [`TaskCtx::merge_all`] | the next event of *every* live child | creation order | **yes** |
+//! | [`TaskCtx::merge_all_from_set`] | every child in the set | argument order | **yes** |
+//! | [`TaskCtx::merge_any`] | the first event of any child | arrival order | no (explicit) |
+//! | [`TaskCtx::merge_any_from_set`] | the first event of any child in the set | arrival order | no (explicit) |
+//!
+//! Every function comes in a `_with` variant taking a **condition
+//! function** evaluated on the child's computed data before merging; if it
+//! returns `false` the merge is not performed and the child's changes are
+//! omitted — the runtime-managed rollback of §II-D. Unlike transactional
+//! memory there is no rollback on *conflict*: conflicting writes are always
+//! resolved by operational transformation; only an explicit condition (or
+//! an abort) discards work.
+//!
+//! A child event is either a **sync request** (the child continues after
+//! the merge on a fresh fork) or a **completion** (the child retires).
+//! `merge_all` processes exactly one event per live child per call — which
+//! is what makes a `for { MergeAll() }` loop over syncing children proceed
+//! in deterministic rounds (the simulation pattern of listing 4).
+
+use std::collections::BTreeSet;
+
+use sm_mergeable::{Mergeable, MergeStats};
+
+use crate::error::AbortReason;
+use crate::task::{Event, EventBody, SyncReply, TaskCtx, TaskHandle, TaskId};
+
+/// What happened to one child during a merge call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Disposition {
+    /// The child's changes were merged.
+    Merged(MergeStats),
+    /// A merge condition rejected the child's changes (rolled back).
+    Rejected,
+    /// The child aborted itself (error or panic); changes dismissed.
+    AbortedByChild(AbortReason),
+    /// The parent had externally aborted the child; changes dismissed.
+    AbortedExternally,
+}
+
+impl Disposition {
+    /// True if the child's changes were actually merged.
+    pub fn is_merged(&self) -> bool {
+        matches!(self, Disposition::Merged(_))
+    }
+}
+
+/// Per-child record of a merge call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MergedChild {
+    /// Which child.
+    pub task: TaskId,
+    /// True if the child completed (retired); false if it synced and keeps
+    /// running.
+    pub completed: bool,
+    /// What happened to its changes.
+    pub disposition: Disposition,
+}
+
+/// Result of a `merge_all` / `merge_all_from_set` call.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MergeReport {
+    /// One entry per processed child, in merge order.
+    pub children: Vec<MergedChild>,
+}
+
+impl MergeReport {
+    /// Children whose changes were merged.
+    pub fn merged_count(&self) -> usize {
+        self.children.iter().filter(|c| c.disposition.is_merged()).count()
+    }
+
+    /// True if every processed child merged successfully.
+    pub fn all_merged(&self) -> bool {
+        self.children.iter().all(|c| c.disposition.is_merged())
+    }
+
+    /// Children that completed (retired) during this call.
+    pub fn completed_count(&self) -> usize {
+        self.children.iter().filter(|c| c.completed).count()
+    }
+}
+
+/// A merge condition: inspects the child's computed data; returning `false`
+/// rejects the merge.
+pub type Condition<'a, D> = &'a dyn Fn(&D) -> bool;
+
+impl<D: Mergeable> TaskCtx<D> {
+    /// **MergeAll**: wait for the next event of every live child and merge
+    /// them *in creation order* — fully deterministic (§II-D).
+    ///
+    /// Completed children are merged once and retired; syncing children are
+    /// merged, handed a fresh fork, and stay live. One event per child per
+    /// call.
+    pub fn merge_all(&mut self) -> MergeReport {
+        self.merge_all_inner(None, &|_| true)
+    }
+
+    /// [`merge_all`](Self::merge_all) with a merge condition.
+    pub fn merge_all_with(&mut self, condition: Condition<'_, D>) -> MergeReport {
+        self.merge_all_inner(None, condition)
+    }
+
+    /// **MergeAllFromSet**: wait for and merge exactly the children in
+    /// `set`, in **argument order** — deterministic. Handles of already
+    /// retired children are skipped.
+    pub fn merge_all_from_set(&mut self, set: &[&TaskHandle]) -> MergeReport {
+        let ids: Vec<TaskId> = set.iter().map(|h| h.id()).collect();
+        self.merge_all_inner(Some(ids), &|_| true)
+    }
+
+    /// [`merge_all_from_set`](Self::merge_all_from_set) with a merge
+    /// condition.
+    pub fn merge_all_from_set_with(
+        &mut self,
+        set: &[&TaskHandle],
+        condition: Condition<'_, D>,
+    ) -> MergeReport {
+        let ids: Vec<TaskId> = set.iter().map(|h| h.id()).collect();
+        self.merge_all_inner(Some(ids), condition)
+    }
+
+    /// **MergeAny**: wait for the first event from *any* live child and
+    /// merge it — first-completed-first-merged, which deliberately
+    /// introduces non-determinism (§II-D). Returns `None` immediately if
+    /// there are no live children.
+    pub fn merge_any(&mut self) -> Option<MergedChild> {
+        self.merge_any_inner(None, &|_| true)
+    }
+
+    /// [`merge_any`](Self::merge_any) with a merge condition.
+    pub fn merge_any_with(&mut self, condition: Condition<'_, D>) -> Option<MergedChild> {
+        self.merge_any_inner(None, condition)
+    }
+
+    /// **MergeAnyFromSet**: wait for the first event from any child in
+    /// `set` and merge it. Returns `None` immediately if no child in the
+    /// set is live — "it will never block, because there is nothing it
+    /// could wait for" (§IV-B); this is how a deadlocked semaphore system
+    /// degrades to a livelock instead of a deadlock.
+    pub fn merge_any_from_set(&mut self, set: &[&TaskHandle]) -> Option<MergedChild> {
+        let ids: BTreeSet<TaskId> = set.iter().map(|h| h.id()).collect();
+        self.merge_any_inner(Some(ids), &|_| true)
+    }
+
+    /// [`merge_any_from_set`](Self::merge_any_from_set) with a merge
+    /// condition.
+    pub fn merge_any_from_set_with(
+        &mut self,
+        set: &[&TaskHandle],
+        condition: Condition<'_, D>,
+    ) -> Option<MergedChild> {
+        let ids: BTreeSet<TaskId> = set.iter().map(|h| h.id()).collect();
+        self.merge_any_inner(Some(ids), condition)
+    }
+
+    fn merge_all_inner(&mut self, subset: Option<Vec<TaskId>>, cond: Condition<'_, D>) -> MergeReport {
+        self.adopt_children();
+        let ids: Vec<TaskId> = match subset {
+            // All live children, creation order.
+            None => self.children.iter().map(|c| c.id).collect(),
+            // The given set, argument order, restricted to live children.
+            Some(requested) => requested
+                .into_iter()
+                .filter(|id| self.children.iter().any(|c| c.id == *id))
+                .collect(),
+        };
+        let mut report = MergeReport::default();
+        for id in ids {
+            let ev = self.next_event_for(id);
+            report.children.push(self.handle_event(ev, cond));
+        }
+        report
+    }
+
+    fn merge_any_inner(
+        &mut self,
+        subset: Option<BTreeSet<TaskId>>,
+        cond: Condition<'_, D>,
+    ) -> Option<MergedChild> {
+        // The target set is re-evaluated while waiting: children may Clone
+        // new siblings at any time, and an open-ended merge_any must be
+        // willing to merge those too (the server pattern of listing 3).
+        loop {
+            self.adopt_children();
+            let live: BTreeSet<TaskId> = self.children.iter().map(|c| c.id).collect();
+            let targets: BTreeSet<TaskId> = match &subset {
+                None => live,
+                Some(s) => s.intersection(&live).copied().collect(),
+            };
+            if targets.is_empty() {
+                return None;
+            }
+            if let Some(pos) = self.pending.iter().position(|e| targets.contains(&e.child)) {
+                let ev = self.pending.remove(pos).expect("position is valid");
+                return Some(self.handle_event(ev, cond));
+            }
+            let ev = self
+                .events_rx
+                .recv()
+                .expect("event channel cannot disconnect while the context holds its family");
+            if targets.contains(&ev.child) {
+                return Some(self.handle_event(ev, cond));
+            }
+            // Not (yet) a target: either outside the caller's set, or a
+            // just-cloned sibling we have not adopted. Stash and re-adopt.
+            self.pending.push_back(ev);
+        }
+    }
+
+    /// Merge the next event of exactly one child, addressed by id.
+    /// Returns `None` if that child is not live. Deterministic given the
+    /// id — the primitive behind trace replay.
+    pub(crate) fn merge_one(&mut self, id: TaskId) -> Option<MergedChild> {
+        self.adopt_children();
+        if !self.children.iter().any(|c| c.id == id) {
+            return None;
+        }
+        let ev = self.next_event_for(id);
+        Some(self.handle_event(ev, &|_| true))
+    }
+
+    /// Implicit MergeAll at task completion: "a task is not completed
+    /// unless all its children have completed and have been merged" (§II).
+    pub(crate) fn drain_children(&mut self) {
+        loop {
+            self.adopt_children();
+            if self.children.is_empty() {
+                return;
+            }
+            self.merge_all();
+        }
+    }
+
+    /// Teardown for an aborting task: raise every child's abort flag, then
+    /// drain. Children see the flag through failed syncs (or by polling)
+    /// and wind down; their changes are discarded.
+    pub(crate) fn abort_children_and_drain(&mut self) {
+        loop {
+            self.adopt_children();
+            if self.children.is_empty() {
+                return;
+            }
+            for c in &self.children {
+                c.abort.store(true, std::sync::atomic::Ordering::SeqCst);
+            }
+            self.merge_all();
+        }
+    }
+
+    /// Block until the next event *from child `id`*, buffering events from
+    /// other children in arrival order.
+    fn next_event_for(&mut self, id: TaskId) -> Event<D> {
+        if let Some(pos) = self.pending.iter().position(|e| e.child == id) {
+            return self.pending.remove(pos).expect("position is valid");
+        }
+        loop {
+            let ev = self
+                .events_rx
+                .recv()
+                .expect("event channel cannot disconnect while the context holds its family");
+            if ev.child == id {
+                return ev;
+            }
+            self.pending.push_back(ev);
+        }
+    }
+
+    /// Merge (or reject) one child event.
+    fn handle_event(&mut self, ev: Event<D>, cond: Condition<'_, D>) -> MergedChild {
+        let pos = self
+            .children
+            .iter()
+            .position(|c| c.id == ev.child)
+            .expect("event from unknown child");
+        let externally_aborted =
+            self.children[pos].abort.load(std::sync::atomic::Ordering::SeqCst);
+
+        match ev.body {
+            EventBody::Done { data, outcome } => {
+                self.children.remove(pos);
+                let disposition = match outcome {
+                    crate::task::TaskOutcome::Completed => {
+                        if externally_aborted {
+                            Disposition::AbortedExternally
+                        } else if let Some(child_data) = data {
+                            if cond(&child_data) {
+                                let stats = self
+                                    .data_mut()
+                                    .merge(&child_data)
+                                    .expect("merging a spawned child cannot fail");
+                                Disposition::Merged(stats)
+                            } else {
+                                Disposition::Rejected
+                            }
+                        } else {
+                            Disposition::AbortedByChild(AbortReason::Error(
+                                "task completed without data".into(),
+                            ))
+                        }
+                    }
+                    crate::task::TaskOutcome::Aborted(reason) => Disposition::AbortedByChild(reason),
+                };
+                MergedChild { task: ev.child, completed: true, disposition }
+            }
+            EventBody::Sync { data, reply } => {
+                if externally_aborted {
+                    let _ = reply.send(SyncReply::Rejected(data));
+                    return MergedChild {
+                        task: ev.child,
+                        completed: false,
+                        disposition: Disposition::AbortedExternally,
+                    };
+                }
+                if cond(&data) {
+                    let stats = self
+                        .data_mut()
+                        .merge(&data)
+                        .expect("merging a synced child cannot fail");
+                    let fresh = self.data().fork();
+                    let _ = reply.send(SyncReply::Accepted(fresh));
+                    MergedChild {
+                        task: ev.child,
+                        completed: false,
+                        disposition: Disposition::Merged(stats),
+                    }
+                } else {
+                    let _ = reply.send(SyncReply::Rejected(data));
+                    MergedChild {
+                        task: ev.child,
+                        completed: false,
+                        disposition: Disposition::Rejected,
+                    }
+                }
+            }
+        }
+    }
+}

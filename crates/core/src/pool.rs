@@ -1,0 +1,245 @@
+//! A cached, grow-on-demand worker pool.
+//!
+//! Spawn & Merge tasks are "much more lightweight [than processes] and
+//! therefore cheap to create and to delete" (§II), and the paper notes
+//! tasks "may also be scheduled to be executed on a pool of threads".
+//! Tasks can block for long stretches (in `Sync`, or accepting
+//! connections), so a *fixed-size* pool would deadlock — instead this pool
+//! grows whenever no worker is idle and retires workers that stay idle past
+//! a keep-alive. Task spawning therefore amortizes thread creation without
+//! ever limiting parallelism.
+//!
+//! Determinism never depends on this pool: it only decides *where* a task
+//! runs, never how merges are ordered.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{bounded, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Pool statistics (diagnostics; used by the fork/spawn cost benches).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// OS threads created over the pool's lifetime.
+    pub threads_created: u64,
+    /// Jobs executed (including currently running).
+    pub jobs_executed: u64,
+}
+
+struct Inner {
+    /// Idle workers parked waiting for a job, each addressed by a
+    /// rendezvous sender and a claim token.
+    idle: Mutex<Vec<(u64, Sender<Job>)>>,
+    next_token: AtomicU64,
+    keep_alive: Duration,
+    threads_created: AtomicU64,
+    jobs_executed: AtomicU64,
+    live_workers: AtomicUsize,
+}
+
+/// The cached worker pool. Cloning shares the pool.
+#[derive(Clone)]
+pub struct Pool {
+    inner: Arc<Inner>,
+}
+
+impl Default for Pool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Pool {
+    /// A pool with the default keep-alive (500 ms).
+    pub fn new() -> Self {
+        Self::with_keep_alive(Duration::from_millis(500))
+    }
+
+    /// A pool whose idle workers retire after `keep_alive`.
+    pub fn with_keep_alive(keep_alive: Duration) -> Self {
+        Pool {
+            inner: Arc::new(Inner {
+                idle: Mutex::new(Vec::new()),
+                next_token: AtomicU64::new(0),
+                keep_alive,
+                threads_created: AtomicU64::new(0),
+                jobs_executed: AtomicU64::new(0),
+                live_workers: AtomicUsize::new(0),
+            }),
+        }
+    }
+
+    /// Run `job` on an idle worker, or on a freshly spawned one if none is
+    /// idle. Never blocks and never queues behind a busy worker, so a job
+    /// that blocks forever cannot starve later jobs.
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        self.inner.jobs_executed.fetch_add(1, Ordering::Relaxed);
+        let job: Job = Box::new(job);
+        // Claim an idle worker if one exists. Popping under the lock makes
+        // the claim exclusive; the worker either receives in its
+        // `recv_timeout`, or — if it timed out concurrently — notices its
+        // token is gone and does a blocking `recv` for this very job.
+        let claimed = self.inner.idle.lock().pop();
+        match claimed {
+            Some((_token, tx)) => {
+                tx.send(job).expect("claimed worker must be receiving");
+            }
+            None => self.spawn_worker(job),
+        }
+    }
+
+    fn spawn_worker(&self, first_job: Job) {
+        let inner = Arc::clone(&self.inner);
+        inner.threads_created.fetch_add(1, Ordering::Relaxed);
+        inner.live_workers.fetch_add(1, Ordering::Relaxed);
+        std::thread::Builder::new()
+            .name("sm-task-worker".into())
+            .spawn(move || {
+                worker_loop(&inner, first_job);
+                inner.live_workers.fetch_sub(1, Ordering::Relaxed);
+            })
+            .expect("failed to spawn worker thread");
+    }
+
+    /// Pool statistics snapshot.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            threads_created: self.inner.threads_created.load(Ordering::Relaxed),
+            jobs_executed: self.inner.jobs_executed.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of currently idle workers (diagnostics).
+    pub fn idle_workers(&self) -> usize {
+        self.inner.idle.lock().len()
+    }
+
+    /// Number of live worker threads (diagnostics).
+    pub fn live_workers(&self) -> usize {
+        self.inner.live_workers.load(Ordering::Relaxed)
+    }
+}
+
+fn worker_loop(inner: &Inner, first_job: Job) {
+    first_job();
+    loop {
+        let (tx, rx) = bounded::<Job>(1);
+        let token = inner.next_token.fetch_add(1, Ordering::Relaxed);
+        inner.idle.lock().push((token, tx));
+        match rx.recv_timeout(inner.keep_alive) {
+            Ok(job) => job(),
+            Err(RecvTimeoutError::Timeout) => {
+                // Retire — unless someone claimed us in the window between
+                // the timeout and this lock, in which case a job is already
+                // in flight on `rx` and we must take it.
+                let mut idle = inner.idle.lock();
+                if let Some(pos) = idle.iter().position(|(t, _)| *t == token) {
+                    idle.remove(pos);
+                    return;
+                }
+                drop(idle);
+                match rx.recv() {
+                    Ok(job) => job(),
+                    Err(_) => return,
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+    use std::sync::mpsc;
+
+    #[test]
+    fn runs_jobs() {
+        let pool = Pool::new();
+        let (tx, rx) = mpsc::channel();
+        for i in 0..10 {
+            let tx = tx.clone();
+            pool.execute(move || tx.send(i).unwrap());
+        }
+        let mut got: Vec<u32> = (0..10).map(|_| rx.recv().unwrap()).collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+        assert_eq!(pool.stats().jobs_executed, 10);
+    }
+
+    #[test]
+    fn reuses_idle_workers() {
+        let pool = Pool::with_keep_alive(Duration::from_secs(5));
+        let (tx, rx) = mpsc::channel();
+        // Sequential jobs, waiting for the worker to park between
+        // submissions: one worker must serve them all.
+        for _ in 0..20 {
+            let tx = tx.clone();
+            pool.execute(move || tx.send(()).unwrap());
+            rx.recv().unwrap();
+            let deadline = std::time::Instant::now() + Duration::from_secs(2);
+            while pool.idle_workers() == 0 {
+                assert!(std::time::Instant::now() < deadline, "worker failed to park");
+                std::thread::yield_now();
+            }
+        }
+        assert_eq!(pool.stats().threads_created, 1, "sequential jobs must share one worker");
+    }
+
+    #[test]
+    fn grows_when_jobs_block() {
+        let pool = Pool::new();
+        let gate = Arc::new(AtomicU32::new(0));
+        let (tx, rx) = mpsc::channel();
+        // 8 jobs that all block until everyone arrived: requires 8 workers.
+        for _ in 0..8 {
+            let gate = Arc::clone(&gate);
+            let tx = tx.clone();
+            pool.execute(move || {
+                gate.fetch_add(1, Ordering::SeqCst);
+                while gate.load(Ordering::SeqCst) < 8 {
+                    std::thread::yield_now();
+                }
+                tx.send(()).unwrap();
+            });
+        }
+        for _ in 0..8 {
+            rx.recv().unwrap();
+        }
+        assert!(pool.stats().threads_created >= 8);
+    }
+
+    #[test]
+    fn workers_retire_after_keep_alive() {
+        let pool = Pool::with_keep_alive(Duration::from_millis(30));
+        pool.execute(|| {});
+        std::thread::sleep(Duration::from_millis(300));
+        assert_eq!(pool.idle_workers(), 0, "idle worker must retire");
+        assert_eq!(pool.live_workers(), 0);
+    }
+
+    #[test]
+    fn claim_race_does_not_lose_jobs() {
+        // Hammer the timeout/claim window: tiny keep-alive plus job
+        // submission bursts around it.
+        let pool = Pool::with_keep_alive(Duration::from_millis(1));
+        let done = Arc::new(AtomicU32::new(0));
+        for _ in 0..200 {
+            let done = Arc::clone(&done);
+            pool.execute(move || {
+                done.fetch_add(1, Ordering::SeqCst);
+            });
+            std::thread::sleep(Duration::from_micros(900));
+        }
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while done.load(Ordering::SeqCst) < 200 {
+            assert!(std::time::Instant::now() < deadline, "jobs lost in claim race");
+            std::thread::yield_now();
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Program entry point: [`run`] executes a root task over mergeable data.
+
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+
+use sm_mergeable::Mergeable;
+
+use crate::pool::Pool;
+use crate::task::TaskCtx;
+
+/// Execute `root` as the root task of a Spawn & Merge program over `data`,
+/// on a fresh worker pool. Returns the final merged data and the root
+/// function's return value.
+///
+/// The root function runs on the calling thread. When it returns, any
+/// still-live children are drained with implicit `MergeAll` rounds ("a task
+/// is not completed unless all its children have completed and have been
+/// merged").
+///
+/// # Determinism
+///
+/// If the program only uses the deterministic merge functions
+/// (`merge_all`, `merge_all_from_set`) and no `clone_task`, the returned
+/// data is a pure function of `data` and the program text — identical on
+/// every run, for any number of cores.
+///
+/// ```
+/// use sm_core::run;
+/// use sm_mergeable::MList;
+///
+/// // Listing 1 of the paper.
+/// let (list, ()) = run(MList::from_iter([1, 2, 3]), |ctx| {
+///     let t = ctx.spawn(|child| {
+///         child.data_mut().push(5);
+///         Ok(())
+///     });
+///     ctx.data_mut().push(4);
+///     ctx.merge_all_from_set(&[&t]);
+/// });
+/// assert_eq!(list.to_vec(), vec![1, 2, 3, 4, 5]);
+/// ```
+pub fn run<D, R>(data: D, root: impl FnOnce(&mut TaskCtx<D>) -> R) -> (D, R)
+where
+    D: Mergeable,
+{
+    run_with_pool(data, Pool::new(), root)
+}
+
+/// [`run`] on a caller-provided pool (lets several programs share workers,
+/// and lets benchmarks exclude pool warm-up from measurements).
+pub fn run_with_pool<D, R>(data: D, pool: Pool, root: impl FnOnce(&mut TaskCtx<D>) -> R) -> (D, R)
+where
+    D: Mergeable,
+{
+    let mut ctx = TaskCtx::new(data, 0, None, Arc::new(AtomicBool::new(false)), pool);
+    let result = root(&mut ctx);
+    ctx.drain_children();
+    (ctx.into_data(), result)
+}

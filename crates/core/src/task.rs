@@ -1,0 +1,406 @@
+//! Tasks: the unit of concurrency in Spawn & Merge.
+//!
+//! An executing program is a tree of tasks (§II): each task owns an
+//! isolated fork of its parent's mergeable data and communicates with its
+//! parent exclusively through merge events. This module defines
+//! [`TaskCtx`] (the handle a task function receives), [`spawn`]
+//! ([`TaskCtx::spawn`]), [`TaskCtx::sync`], [`TaskCtx::clone_task`] and
+//! external aborts; the `Merge*` family lives in [`crate::merge`].
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use sm_mergeable::Mergeable;
+
+use crate::error::{AbortReason, SyncError, TaskAbort, TaskResult};
+use crate::pool::Pool;
+
+/// Identifier of a task, unique within its parent and monotonically
+/// increasing in creation order (`MergeAll` merges in this order).
+pub type TaskId = u64;
+
+/// How a task finished.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TaskOutcome {
+    /// The task function returned `Ok`.
+    Completed,
+    /// The task aborted (error, panic, or externally).
+    Aborted(AbortReason),
+}
+
+/// Child → parent event payloads.
+pub(crate) enum EventBody<D> {
+    /// The child reached a `Sync()` point: merge me and send back a fresh
+    /// fork (or reject me and hand my data back).
+    Sync {
+        /// The child's data (with its recorded operations).
+        data: D,
+        /// Where the parent's verdict goes.
+        reply: Sender<SyncReply<D>>,
+    },
+    /// The child finished.
+    Done {
+        /// The child's final data; `None` if it aborted.
+        data: Option<D>,
+        /// How it finished.
+        outcome: TaskOutcome,
+    },
+}
+
+pub(crate) struct Event<D> {
+    pub child: TaskId,
+    pub body: EventBody<D>,
+}
+
+/// Parent's verdict on a sync request.
+pub(crate) enum SyncReply<D> {
+    /// Changes merged; here is a fresh fork of the parent's data.
+    Accepted(D),
+    /// Merge rejected (condition failed or externally aborted); the
+    /// child's data is returned untouched.
+    Rejected(D),
+}
+
+/// State shared between a parent task and all of its children.
+pub(crate) struct Family<D> {
+    /// Events from children to the parent.
+    pub events_tx: Sender<Event<D>>,
+    /// Children created via `Clone` by existing children; the parent
+    /// adopts them at its next merge call.
+    pub adopted: Mutex<Vec<ChildRecord>>,
+    /// Child-id allocator for this parent.
+    pub next_id: AtomicU64,
+    /// The runtime's worker pool.
+    pub pool: Pool,
+}
+
+/// Parent-side bookkeeping for one child.
+pub(crate) struct ChildRecord {
+    pub id: TaskId,
+    pub abort: Arc<AtomicBool>,
+}
+
+/// A handle to a spawned task, used to address it in `MergeAllFromSet` /
+/// `MergeAnyFromSet` and to abort it externally.
+#[derive(Clone)]
+pub struct TaskHandle {
+    id: TaskId,
+    abort: Arc<AtomicBool>,
+}
+
+impl TaskHandle {
+    /// The task's id (creation-ordered within its parent).
+    pub fn id(&self) -> TaskId {
+        self.id
+    }
+
+    /// Mark the task as externally aborted (§II-F). This does not stop the
+    /// task forcefully; it raises a flag the task can poll via
+    /// [`TaskCtx::is_aborted`], and guarantees that the parent discards the
+    /// task's changes when it eventually merges with it.
+    pub fn abort(&self) {
+        self.abort.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether the abort flag is raised.
+    pub fn is_aborted(&self) -> bool {
+        self.abort.load(Ordering::SeqCst)
+    }
+}
+
+impl std::fmt::Debug for TaskHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TaskHandle")
+            .field("id", &self.id)
+            .field("aborted", &self.is_aborted())
+            .finish()
+    }
+}
+
+/// The context handed to every task function.
+///
+/// `D` is the program's mergeable data type (a structure from
+/// `sm_mergeable`, a tuple, a `Vec`, or a [`sm_mergeable::mergeable_struct!`]
+/// composite). The context exposes:
+///
+/// * [`data`](TaskCtx::data) / [`data_mut`](TaskCtx::data_mut) — the task's
+///   isolated copy,
+/// * [`spawn`](TaskCtx::spawn) — create a child task on a fork of the data,
+/// * the `Merge*` family (see [`crate::merge`]) — fold children back in,
+/// * [`sync`](TaskCtx::sync) — child-side: merge with the parent and
+///   continue on fresh data,
+/// * [`clone_task`](TaskCtx::clone_task) — create a sibling task,
+/// * [`is_aborted`](TaskCtx::is_aborted) — poll the external abort flag.
+pub struct TaskCtx<D: Mergeable> {
+    /// The task's data; `None` transiently during `sync` and permanently
+    /// if the parent vanished mid-sync.
+    pub(crate) data: Option<D>,
+    /// A pristine fork of the data as received at spawn / last sync; this
+    /// is what `Clone`d siblings start from ("it inherits the same initial
+    /// value of data from its sibling", §II-E).
+    pub(crate) pristine: D,
+    pub(crate) id: TaskId,
+    /// Link to the parent's family; `None` for the root task.
+    pub(crate) parent: Option<Arc<Family<D>>>,
+    pub(crate) abort_flag: Arc<AtomicBool>,
+    /// This task's own family (shared with its children).
+    pub(crate) family: Arc<Family<D>>,
+    pub(crate) events_rx: Receiver<Event<D>>,
+    /// Live children, ordered by id (= creation order).
+    pub(crate) children: Vec<ChildRecord>,
+    /// Events received while waiting for a specific child, in arrival
+    /// order.
+    pub(crate) pending: VecDeque<Event<D>>,
+}
+
+impl<D: Mergeable> TaskCtx<D> {
+    pub(crate) fn new(
+        data: D,
+        id: TaskId,
+        parent: Option<Arc<Family<D>>>,
+        abort_flag: Arc<AtomicBool>,
+        pool: Pool,
+    ) -> Self {
+        let (events_tx, events_rx) = unbounded();
+        let pristine = data.clone();
+        TaskCtx {
+            data: Some(data),
+            pristine,
+            id,
+            parent,
+            abort_flag,
+            family: Arc::new(Family {
+                events_tx,
+                adopted: Mutex::new(Vec::new()),
+                next_id: AtomicU64::new(1),
+                pool,
+            }),
+            events_rx,
+            children: Vec::new(),
+            pending: VecDeque::new(),
+        }
+    }
+
+    /// This task's id (0 for the root).
+    pub fn id(&self) -> TaskId {
+        self.id
+    }
+
+    /// True if this is the root task.
+    pub fn is_root(&self) -> bool {
+        self.parent.is_none()
+    }
+
+    /// Read access to the task's data copy.
+    ///
+    /// # Panics
+    /// Panics if the data was lost because the parent task disappeared
+    /// during a `sync`.
+    pub fn data(&self) -> &D {
+        self.data.as_ref().expect("task data unavailable (parent task is gone)")
+    }
+
+    /// Mutable access to the task's data copy. All mutations are recorded
+    /// as operations and serialized at the next merge.
+    pub fn data_mut(&mut self) -> &mut D {
+        self.data.as_mut().expect("task data unavailable (parent task is gone)")
+    }
+
+    /// Number of live (unmerged) children.
+    pub fn live_children(&self) -> usize {
+        self.children.len() + self.family.adopted.lock().len()
+    }
+
+    /// Whether the parent has externally aborted this task. Long-running
+    /// tasks should poll this and wind down when it is raised; the parent
+    /// discards this task's changes either way.
+    pub fn is_aborted(&self) -> bool {
+        self.abort_flag.load(Ordering::SeqCst)
+    }
+
+    /// Return `Err(TaskAbort)` if this task has been externally aborted —
+    /// convenient with the `?` operator in task functions.
+    pub fn check_abort(&self) -> Result<(), TaskAbort> {
+        if self.is_aborted() {
+            Err(TaskAbort::new("externally aborted"))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// **Spawn**: create a child task executing `f` on a fork of this
+    /// task's data. Returns immediately with a handle (§II-C).
+    ///
+    /// The child runs concurrently with no shared state; its changes become
+    /// visible here only through one of the `Merge*` functions. A child
+    /// whose function returns `Err` or panics is *aborted*: its changes are
+    /// dismissed at merge time.
+    pub fn spawn<F>(&mut self, f: F) -> TaskHandle
+    where
+        F: FnOnce(&mut TaskCtx<D>) -> TaskResult + Send + 'static,
+    {
+        let id = self.family.next_id.fetch_add(1, Ordering::Relaxed);
+        let data = self.data().fork();
+        let handle = spawn_task(&self.family, id, data, f);
+        // Parent-spawned children are recorded directly, in creation order
+        // (ids are monotone, so plain push keeps `children` sorted).
+        self.children.push(ChildRecord { id, abort: Arc::clone(&handle.abort) });
+        handle
+    }
+
+    /// **Clone**: create a *sibling* task executing `f` on this task's
+    /// pristine data copy (the value received at spawn or at the last
+    /// `sync`, before local modifications — §II-E). The parent adopts the
+    /// sibling at its next merge call and merges with it like any other
+    /// child.
+    ///
+    /// Returns an error on the root task (it has no parent to adopt the
+    /// sibling).
+    pub fn clone_task<F>(&mut self, f: F) -> Result<TaskHandle, SyncError>
+    where
+        F: FnOnce(&mut TaskCtx<D>) -> TaskResult + Send + 'static,
+    {
+        let parent = self.parent.as_ref().ok_or(SyncError::RootTask)?;
+        let id = parent.next_id.fetch_add(1, Ordering::Relaxed);
+        let data = self.pristine.clone();
+        // Register the sibling BEFORE it can run: the parent must be able
+        // to resolve the child id of any event it receives.
+        let abort = Arc::new(AtomicBool::new(false));
+        parent.adopted.lock().push(ChildRecord { id, abort: Arc::clone(&abort) });
+        let handle = spawn_task_with_abort(parent, id, data, f, abort);
+        Ok(handle)
+    }
+
+    /// **Sync**: block until the parent merges with this task, then
+    /// continue on a fresh fork of the parent's data (§II-E). Equivalent to
+    /// completing the task and spawning a new one right after the merge —
+    /// but readable.
+    ///
+    /// On success the local data is replaced by the fresh fork. On
+    /// [`SyncError::MergeRejected`] / [`SyncError::Aborted`] the local data
+    /// is kept untouched (rollback semantics): the task may retry later,
+    /// continue, or abort.
+    pub fn sync(&mut self) -> Result<(), SyncError> {
+        let Some(parent) = self.parent.as_ref() else {
+            return Err(SyncError::RootTask);
+        };
+        if self.live_children() > 0 {
+            return Err(SyncError::HasLiveChildren);
+        }
+        let (reply_tx, reply_rx) = bounded(1);
+        let data = self.data.take().expect("task data unavailable");
+        if parent
+            .events_tx
+            .send(Event { child: self.id, body: EventBody::Sync { data, reply: reply_tx } })
+            .is_err()
+        {
+            return Err(SyncError::ParentGone);
+        }
+        match reply_rx.recv() {
+            Ok(SyncReply::Accepted(fresh)) => {
+                self.pristine = fresh.clone();
+                self.data = Some(fresh);
+                Ok(())
+            }
+            Ok(SyncReply::Rejected(original)) => {
+                self.data = Some(original);
+                if self.is_aborted() {
+                    Err(SyncError::Aborted)
+                } else {
+                    Err(SyncError::MergeRejected)
+                }
+            }
+            Err(_) => Err(SyncError::ParentGone),
+        }
+    }
+
+    /// Consume the context, yielding the final data (root task teardown).
+    pub(crate) fn into_data(self) -> D {
+        self.data.expect("task data unavailable")
+    }
+
+    /// Move adopted (cloned) children into the ordered children list.
+    pub(crate) fn adopt_children(&mut self) {
+        let mut adopted = self.family.adopted.lock();
+        if adopted.is_empty() {
+            return;
+        }
+        self.children.append(&mut adopted);
+        drop(adopted);
+        // Ids are allocated monotonically but adoption may interleave with
+        // direct spawns, so restore creation order explicitly.
+        self.children.sort_by_key(|c| c.id);
+    }
+}
+
+/// Launch a task on the pool: build its context, run its function, report
+/// the outcome to the parent.
+fn spawn_task<D, F>(parent: &Arc<Family<D>>, id: TaskId, data: D, f: F) -> TaskHandle
+where
+    D: Mergeable,
+    F: FnOnce(&mut TaskCtx<D>) -> TaskResult + Send + 'static,
+{
+    spawn_task_with_abort(parent, id, data, f, Arc::new(AtomicBool::new(false)))
+}
+
+/// [`spawn_task`] with a caller-provided abort flag (used by `clone_task`,
+/// which must register the flag with the parent before the task can run).
+fn spawn_task_with_abort<D, F>(
+    parent: &Arc<Family<D>>,
+    id: TaskId,
+    data: D,
+    f: F,
+    abort: Arc<AtomicBool>,
+) -> TaskHandle
+where
+    D: Mergeable,
+    F: FnOnce(&mut TaskCtx<D>) -> TaskResult + Send + 'static,
+{
+    let handle = TaskHandle { id, abort: Arc::clone(&abort) };
+    let parent_family = Arc::clone(parent);
+    let pool = parent.pool.clone();
+    let pool_for_child = pool.clone();
+
+    pool.execute(move || {
+        let mut ctx =
+            TaskCtx::new(data, id, Some(Arc::clone(&parent_family)), abort, pool_for_child);
+        let result = catch_unwind(AssertUnwindSafe(|| f(&mut ctx)));
+
+        let (data, outcome) = match result {
+            Ok(Ok(())) => {
+                // A task is not completed unless all its children have been
+                // merged (§II): implicit MergeAll until the tree below us is
+                // drained.
+                ctx.drain_children();
+                (Some(ctx.into_data()), TaskOutcome::Completed)
+            }
+            Ok(Err(abort_err)) => {
+                ctx.abort_children_and_drain();
+                (None, TaskOutcome::Aborted(AbortReason::Error(abort_err.reason)))
+            }
+            Err(panic) => {
+                ctx.abort_children_and_drain();
+                let msg = panic_message(&panic);
+                (None, TaskOutcome::Aborted(AbortReason::Panic(msg)))
+            }
+        };
+        // If the parent is gone the send fails; nothing more to do.
+        let _ = parent_family.events_tx.send(Event { child: id, body: EventBody::Done { data, outcome } });
+    });
+
+    handle
+}
+
+pub(crate) fn panic_message(panic: &Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}

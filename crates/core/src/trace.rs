@@ -1,0 +1,232 @@
+//! Record & replay of **non-deterministic merge decisions**.
+//!
+//! The paper's introduction argues determinism "has the potential to
+//! significantly simplify debugging: a bug will not appear only in some
+//! executions of a program". Programs that opt into non-determinism with
+//! `merge_any*` give part of that up — unless the schedule itself is
+//! captured. This module closes the loop:
+//!
+//! * [`TaskCtx::merge_any_recording`] behaves exactly like
+//!   [`TaskCtx::merge_any`] but appends the chosen child to a
+//!   [`MergeTrace`];
+//! * [`TaskCtx::merge_any_replaying`] re-executes a previous run's
+//!   decisions: it merges exactly the recorded child at each step,
+//!   regardless of which child happens to finish first this time.
+//!
+//! A program whose only non-determinism is `merge_any*` therefore becomes
+//! fully reproducible from `(inputs, trace)` — the classic
+//! record/replay-debugging contract.
+
+use crate::merge::MergedChild;
+use crate::task::{TaskCtx, TaskId};
+use sm_mergeable::Mergeable;
+
+/// A recorded schedule of `merge_any` decisions (child task ids, in merge
+/// order).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MergeTrace {
+    decisions: Vec<TaskId>,
+}
+
+impl MergeTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The recorded decisions, in merge order.
+    pub fn decisions(&self) -> &[TaskId] {
+        &self.decisions
+    }
+
+    /// Number of recorded decisions.
+    pub fn len(&self) -> usize {
+        self.decisions.len()
+    }
+
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.decisions.is_empty()
+    }
+
+    /// Rebuild a trace from raw decisions (e.g. loaded from disk).
+    pub fn from_decisions(decisions: Vec<TaskId>) -> Self {
+        MergeTrace { decisions }
+    }
+
+    /// A cursor for replaying this trace from the beginning.
+    pub fn cursor(&self) -> TraceCursor<'_> {
+        TraceCursor { trace: self, next: 0 }
+    }
+
+    pub(crate) fn record(&mut self, task: TaskId) {
+        self.decisions.push(task);
+    }
+}
+
+/// Replay position inside a [`MergeTrace`].
+#[derive(Debug, Clone)]
+pub struct TraceCursor<'t> {
+    trace: &'t MergeTrace,
+    next: usize,
+}
+
+impl TraceCursor<'_> {
+    /// Decisions not yet replayed.
+    pub fn remaining(&self) -> usize {
+        self.trace.decisions.len() - self.next
+    }
+
+    /// True when every decision has been replayed.
+    pub fn exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self) -> Option<TaskId> {
+        let id = self.trace.decisions.get(self.next).copied()?;
+        self.next += 1;
+        Some(id)
+    }
+}
+
+/// Replay failures: the program diverged from the recorded run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplayError {
+    /// The recorded child is not live in this run (different program or
+    /// different inputs).
+    TaskNotLive(TaskId),
+}
+
+impl std::fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplayError::TaskNotLive(id) => {
+                write!(f, "recorded merge decision references task {id}, which is not live — the replayed program diverged from the recording")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+impl<D: Mergeable> TaskCtx<D> {
+    /// [`merge_any`](TaskCtx::merge_any), with the decision appended to
+    /// `trace` so the run can be replayed later.
+    pub fn merge_any_recording(&mut self, trace: &mut MergeTrace) -> Option<MergedChild> {
+        let merged = self.merge_any()?;
+        trace.record(merged.task);
+        Some(merged)
+    }
+
+    /// Replay one recorded `merge_any` decision: wait for and merge
+    /// exactly the child the recorded run merged at this point.
+    ///
+    /// Returns `Ok(None)` when the trace is exhausted (mirroring
+    /// `merge_any`'s `None` when there is nothing to merge).
+    pub fn merge_any_replaying(
+        &mut self,
+        cursor: &mut TraceCursor<'_>,
+    ) -> Result<Option<MergedChild>, ReplayError> {
+        let Some(id) = cursor.take() else {
+            return Ok(None);
+        };
+        // Deterministically merge that specific child's next event; the
+        // from-set machinery skips unknown ids, which we surface as
+        // divergence.
+        let report = self.merge_one(id);
+        match report {
+            Some(mc) => Ok(Some(mc)),
+            None => Err(ReplayError::TaskNotLive(id)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run;
+    use sm_mergeable::MList;
+
+    /// A program whose result genuinely depends on merge_any order:
+    /// children append their id; jitter scrambles completion order.
+    fn scrambled_program(
+        jitter: u64,
+        mode: impl FnOnce(&mut TaskCtx<MList<u64>>),
+    ) -> Vec<u64> {
+        let (list, ()) = run(MList::new(), |ctx| {
+            for i in 0..6u64 {
+                ctx.spawn(move |c| {
+                    std::thread::sleep(std::time::Duration::from_micros(
+                        (i * jitter * 131) % 700,
+                    ));
+                    c.data_mut().push(i);
+                    Ok(())
+                });
+            }
+            mode(ctx);
+        });
+        list.to_vec()
+    }
+
+    #[test]
+    fn record_then_replay_reproduces_the_run() {
+        for jitter in 1..6u64 {
+            // Recorded run: arbitrary completion order.
+            let mut trace = MergeTrace::new();
+            let recorded = scrambled_program(jitter, |ctx| {
+                while ctx.merge_any_recording(&mut trace).is_some() {}
+            });
+            assert_eq!(trace.len(), 6);
+
+            // Replayed runs with *different* jitter must reproduce it.
+            for replay_jitter in [1u64, 7, 13] {
+                let mut cursor = trace.cursor();
+                let replayed = scrambled_program(replay_jitter, |ctx| {
+                    while let Ok(Some(_)) = ctx.merge_any_replaying(&mut cursor) {}
+                });
+                assert_eq!(replayed, recorded, "replay diverged (jitter {replay_jitter})");
+            }
+        }
+    }
+
+    #[test]
+    fn replay_detects_divergence() {
+        let trace = MergeTrace::from_decisions(vec![99]);
+        let (_, err) = run(MList::<u64>::new(), |ctx| {
+            ctx.spawn(|c| {
+                c.data_mut().push(1);
+                Ok(())
+            });
+            let mut cursor = trace.cursor();
+            ctx.merge_any_replaying(&mut cursor)
+        });
+        assert_eq!(err, Err(ReplayError::TaskNotLive(99)));
+    }
+
+    #[test]
+    fn exhausted_cursor_returns_none() {
+        let trace = MergeTrace::new();
+        let (_, res) = run(MList::<u64>::new(), |ctx| {
+            let mut cursor = trace.cursor();
+            assert!(cursor.exhausted());
+            ctx.merge_any_replaying(&mut cursor)
+        });
+        assert_eq!(res, Ok(None));
+    }
+
+    #[test]
+    fn trace_accessors() {
+        let mut t = MergeTrace::new();
+        assert!(t.is_empty());
+        t.record(3);
+        t.record(1);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.decisions(), &[3, 1]);
+        let mut c = t.cursor();
+        assert_eq!(c.remaining(), 2);
+        assert_eq!(c.take(), Some(3));
+        assert_eq!(c.take(), Some(1));
+        assert_eq!(c.take(), None);
+        assert_eq!(MergeTrace::from_decisions(vec![3, 1]), t);
+    }
+}

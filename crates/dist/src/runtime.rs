@@ -1,0 +1,222 @@
+//! The coordinator-side distributed runtime: `spawn` / `merge_all` /
+//! `merge_any` over a cluster, with exactly the shared-memory semantics.
+//!
+//! Every distributed spawn takes a local **shadow fork** of the
+//! coordinator's data and ships its state snapshot to the chosen node.
+//! When the node reports back, the returned operation log is replayed onto
+//! the shadow, and the shadow merges into the coordinator data through the
+//! ordinary OT rebase — in *spawn order* for [`DistRuntime::merge_all`]
+//! (deterministic, whatever the completion order across the cluster) or
+//! *completion order* for [`DistRuntime::merge_any`] (explicit
+//! non-determinism, as in the paper).
+
+use std::collections::VecDeque;
+
+use bytes::{Bytes, BytesMut};
+use crossbeam::channel::{unbounded, Receiver};
+use sm_codec::Decode;
+
+use crate::cluster::{Cluster, JobRegistry, NodeId, WireMsg};
+use crate::wire::Wire;
+use crate::DistError;
+
+/// Identifier of a distributed task, unique per runtime, in spawn order.
+pub type DistTaskId = u64;
+
+/// Outcome of merging one distributed task.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DistOutcome {
+    /// Which task.
+    pub task: DistTaskId,
+    /// The node it ran on.
+    pub node: NodeId,
+    /// `Ok(ops_applied)` if the task's operations merged; `Err(message)`
+    /// if the job failed (its changes were dismissed, like an abort).
+    pub result: Result<usize, String>,
+}
+
+impl DistOutcome {
+    /// True if the task's changes were merged.
+    pub fn merged(&self) -> bool {
+        self.result.is_ok()
+    }
+}
+
+struct Outstanding<D> {
+    task: DistTaskId,
+    node: NodeId,
+    shadow: D,
+}
+
+/// The coordinator of a distributed Spawn & Merge program.
+pub struct DistRuntime<D: Wire> {
+    data: D,
+    cluster: Cluster,
+    inbox: Receiver<WireMsg>,
+    forwarders: Vec<std::thread::JoinHandle<()>>,
+    outstanding: Vec<Outstanding<D>>,
+    buffered: VecDeque<WireMsg>,
+    next_task: u64,
+}
+
+impl<D: Wire> DistRuntime<D> {
+    /// Launch `workers` nodes (each with `registry`) and wrap `data` as the
+    /// coordinator state.
+    pub fn launch(workers: usize, data: D, registry: &JobRegistry<D>) -> Result<Self, DistError> {
+        let (cluster, recv_halves) = Cluster::launch(workers, registry)?;
+        // One forwarder thread per link funnels Done messages into a
+        // single inbox so the coordinator can wait on any node.
+        let (tx, rx) = unbounded();
+        let mut forwarders = Vec::with_capacity(cluster.size());
+        for rx_link in recv_halves {
+            let tx = tx.clone();
+            forwarders.push(std::thread::spawn(move || {
+                while let Ok(raw) = rx_link.recv() {
+                    match WireMsg::from_bytes(&raw) {
+                        Ok(msg) => {
+                            if tx.send(msg).is_err() {
+                                return;
+                            }
+                        }
+                        Err(_) => return,
+                    }
+                }
+            }));
+        }
+        Ok(DistRuntime {
+            data,
+            cluster,
+            inbox: rx,
+            forwarders,
+            outstanding: Vec::new(),
+            buffered: VecDeque::new(),
+            next_task: 1,
+        })
+    }
+
+    /// Read access to the coordinator's data.
+    pub fn data(&self) -> &D {
+        &self.data
+    }
+
+    /// Mutable access — coordinator-local edits participate in the OT
+    /// rebase exactly like a parent task's edits do.
+    pub fn data_mut(&mut self) -> &mut D {
+        &mut self.data
+    }
+
+    /// Number of spawned-but-unmerged tasks.
+    pub fn outstanding(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    /// Distributed **Spawn**: run `job` (with `arg`) on `node` over a copy
+    /// of the current data.
+    pub fn spawn(&mut self, node: NodeId, job: &str, arg: &[u8]) -> Result<DistTaskId, DistError> {
+        if node == 0 || node > self.cluster.size() {
+            return Err(DistError::NoSuchNode(node));
+        }
+        let task = self.next_task;
+        self.next_task += 1;
+        let shadow = self.data.fork();
+        let mut state = BytesMut::new();
+        shadow.encode_state(&mut state);
+        self.cluster.send(
+            node,
+            &WireMsg::Spawn { task, job: job.to_string(), state: state.to_vec(), arg: arg.to_vec() },
+        )?;
+        self.outstanding.push(Outstanding { task, node, shadow });
+        Ok(task)
+    }
+
+    /// Distributed **MergeAll**: wait for every outstanding task and merge
+    /// them in **spawn order** — deterministic, independent of which node
+    /// finishes first.
+    pub fn merge_all(&mut self) -> Result<Vec<DistOutcome>, DistError> {
+        let mut outcomes = Vec::with_capacity(self.outstanding.len());
+        while !self.outstanding.is_empty() {
+            let task = self.outstanding[0].task;
+            let msg = self.wait_for(Some(task))?;
+            outcomes.push(self.complete(msg)?);
+        }
+        Ok(outcomes)
+    }
+
+    /// Distributed **MergeAny**: wait for the first completion (arrival
+    /// order — non-deterministic) and merge it. `Ok(None)` when nothing is
+    /// outstanding.
+    pub fn merge_any(&mut self) -> Result<Option<DistOutcome>, DistError> {
+        if self.outstanding.is_empty() {
+            return Ok(None);
+        }
+        let msg = self.wait_for(None)?;
+        Ok(Some(self.complete(msg)?))
+    }
+
+    /// Wait for the Done of `task` (or any outstanding task when `None`),
+    /// buffering everything else.
+    fn wait_for(&mut self, task: Option<DistTaskId>) -> Result<WireMsg, DistError> {
+        let matches = |m: &WireMsg| match (m, task) {
+            (WireMsg::Done { task: t, .. }, Some(want)) => *t == want,
+            (WireMsg::Done { .. }, None) => true,
+            _ => false,
+        };
+        if let Some(pos) = self.buffered.iter().position(&matches) {
+            return Ok(self.buffered.remove(pos).expect("position valid"));
+        }
+        loop {
+            let msg = self
+                .inbox
+                .recv()
+                .map_err(|_| DistError::Link("all node links closed".into()))?;
+            if matches(&msg) {
+                return Ok(msg);
+            }
+            self.buffered.push_back(msg);
+        }
+    }
+
+    fn complete(&mut self, msg: WireMsg) -> Result<DistOutcome, DistError> {
+        let WireMsg::Done { task, ok, payload } = msg else {
+            return Err(DistError::Protocol("expected Done".into()));
+        };
+        let pos = self
+            .outstanding
+            .iter()
+            .position(|o| o.task == task)
+            .ok_or_else(|| DistError::Protocol(format!("Done for unknown task {task}")))?;
+        let Outstanding { node, mut shadow, .. } = self.outstanding.remove(pos);
+        if !ok {
+            // Remote job failed: dismiss the shadow (abort semantics).
+            return Ok(DistOutcome {
+                task,
+                node,
+                result: Err(String::from_utf8_lossy(&payload).into_owned()),
+            });
+        }
+        let mut bytes = Bytes::copy_from_slice(&payload);
+        let applied = shadow.apply_log(&mut bytes)?;
+        self.data
+            .merge(&shadow)
+            .map_err(|e| DistError::Apply(e.to_string()))?;
+        Ok(DistOutcome { task, node, result: Ok(applied) })
+    }
+
+    /// Shut the cluster down and return the final coordinator data.
+    ///
+    /// Outstanding tasks are merged first (implicit MergeAll), mirroring
+    /// "a task is not completed unless all its children have been merged".
+    pub fn shutdown(mut self) -> Result<D, DistError> {
+        self.merge_all()?;
+        self.cluster.shutdown();
+        for f in self.forwarders {
+            let _ = f.join();
+        }
+        Ok(self.data)
+    }
+
+    /// Round-robin node assignment helper: the node for the `i`-th task.
+    pub fn node_for(&self, i: usize) -> NodeId {
+        (i % self.cluster.size()) + 1
+    }
+}

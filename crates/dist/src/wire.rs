@@ -1,0 +1,394 @@
+//! [`Wire`]: mergeable structures that can cross node boundaries.
+//!
+//! A distributed Spawn ships a **state snapshot** to the executing node; a
+//! distributed Merge ships the **operation log** back. Rebasing stays on
+//! the coordinator: the returned operations are replayed onto the local
+//! *shadow fork* taken at spawn time, and the shadow merges through the
+//! ordinary [`Mergeable`] machinery — so the distributed semantics are
+//! byte-identical to the shared-memory ones.
+
+use bytes::{Bytes, BytesMut};
+use sm_codec::{Decode, DecodeError, Encode};
+use sm_mergeable::{
+    MCounter, MCounterMap, MList, MMap, MQueue, MRegister, MSet, MText, MTree, Mergeable,
+};
+use sm_ot::tree::Node;
+
+use crate::DistError;
+
+/// A mergeable structure whose state and operation log can be serialized.
+pub trait Wire: Mergeable {
+    /// Encode a snapshot of the current state (no log, no fork metadata).
+    fn encode_state(&self, buf: &mut BytesMut);
+
+    /// Decode a snapshot into a fresh instance with an empty log.
+    fn decode_state(buf: &mut Bytes) -> Result<Self, DecodeError>;
+
+    /// Encode the locally recorded operation log.
+    fn encode_log(&self, buf: &mut BytesMut);
+
+    /// Decode an operation log and apply + record it here. Returns the
+    /// number of operations applied.
+    fn apply_log(&mut self, buf: &mut Bytes) -> Result<usize, DistError>;
+}
+
+macro_rules! apply_ops {
+    ($self:ident, $buf:ident, $op_ty:ty) => {{
+        let ops: Vec<$op_ty> = Vec::decode($buf)?;
+        let n = ops.len();
+        for op in ops {
+            $self.apply_op(op).map_err(|e| DistError::Apply(e.to_string()))?;
+        }
+        Ok(n)
+    }};
+}
+
+impl<T> Wire for MList<T>
+where
+    T: sm_ot::list::Element + Encode + Decode,
+{
+    fn encode_state(&self, buf: &mut BytesMut) {
+        self.to_vec().encode(buf);
+    }
+
+    fn decode_state(buf: &mut Bytes) -> Result<Self, DecodeError> {
+        Ok(MList::from_vec(Vec::decode(buf)?))
+    }
+
+    fn encode_log(&self, buf: &mut BytesMut) {
+        self.log().to_vec().encode(buf);
+    }
+
+    fn apply_log(&mut self, buf: &mut Bytes) -> Result<usize, DistError> {
+        apply_ops!(self, buf, sm_ot::list::ListOp<T>)
+    }
+}
+
+impl<T> Wire for MQueue<T>
+where
+    T: sm_ot::list::Element + Encode + Decode,
+{
+    fn encode_state(&self, buf: &mut BytesMut) {
+        self.to_vec().encode(buf);
+    }
+
+    fn decode_state(buf: &mut Bytes) -> Result<Self, DecodeError> {
+        Ok(MQueue::from_vec(Vec::decode(buf)?))
+    }
+
+    fn encode_log(&self, buf: &mut BytesMut) {
+        self.log().to_vec().encode(buf);
+    }
+
+    fn apply_log(&mut self, buf: &mut Bytes) -> Result<usize, DistError> {
+        apply_ops!(self, buf, sm_ot::list::ListOp<T>)
+    }
+}
+
+impl Wire for MText {
+    fn encode_state(&self, buf: &mut BytesMut) {
+        self.as_str().to_string().encode(buf);
+    }
+
+    fn decode_state(buf: &mut Bytes) -> Result<Self, DecodeError> {
+        Ok(MText::from(String::decode(buf)?))
+    }
+
+    fn encode_log(&self, buf: &mut BytesMut) {
+        self.log().to_vec().encode(buf);
+    }
+
+    fn apply_log(&mut self, buf: &mut Bytes) -> Result<usize, DistError> {
+        apply_ops!(self, buf, sm_ot::text::TextOp)
+    }
+}
+
+impl<K, V> Wire for MMap<K, V>
+where
+    K: sm_ot::map::Key + Encode + Decode,
+    V: sm_ot::map::Value + Encode + Decode,
+{
+    fn encode_state(&self, buf: &mut BytesMut) {
+        let entries: Vec<(K, V)> = self.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        entries.encode(buf);
+    }
+
+    fn decode_state(buf: &mut Bytes) -> Result<Self, DecodeError> {
+        Ok(MMap::from_entries(Vec::<(K, V)>::decode(buf)?))
+    }
+
+    fn encode_log(&self, buf: &mut BytesMut) {
+        self.log().to_vec().encode(buf);
+    }
+
+    fn apply_log(&mut self, buf: &mut Bytes) -> Result<usize, DistError> {
+        apply_ops!(self, buf, sm_ot::map::MapOp<K, V>)
+    }
+}
+
+impl<T> Wire for MSet<T>
+where
+    T: sm_ot::set::Element + Encode + Decode,
+{
+    fn encode_state(&self, buf: &mut BytesMut) {
+        let items: Vec<T> = self.iter().cloned().collect();
+        items.encode(buf);
+    }
+
+    fn decode_state(buf: &mut Bytes) -> Result<Self, DecodeError> {
+        Ok(MSet::from_items(Vec::<T>::decode(buf)?))
+    }
+
+    fn encode_log(&self, buf: &mut BytesMut) {
+        self.log().to_vec().encode(buf);
+    }
+
+    fn apply_log(&mut self, buf: &mut Bytes) -> Result<usize, DistError> {
+        apply_ops!(self, buf, sm_ot::set::SetOp<T>)
+    }
+}
+
+impl Wire for MCounter {
+    fn encode_state(&self, buf: &mut BytesMut) {
+        self.get().encode(buf);
+    }
+
+    fn decode_state(buf: &mut Bytes) -> Result<Self, DecodeError> {
+        Ok(MCounter::new(i64::decode(buf)?))
+    }
+
+    fn encode_log(&self, buf: &mut BytesMut) {
+        self.log().to_vec().encode(buf);
+    }
+
+    fn apply_log(&mut self, buf: &mut Bytes) -> Result<usize, DistError> {
+        apply_ops!(self, buf, sm_ot::counter::CounterOp)
+    }
+}
+
+impl<T> Wire for MRegister<T>
+where
+    T: sm_ot::register::Value + Encode + Decode,
+{
+    fn encode_state(&self, buf: &mut BytesMut) {
+        self.get().encode(buf);
+    }
+
+    fn decode_state(buf: &mut Bytes) -> Result<Self, DecodeError> {
+        Ok(MRegister::new(T::decode(buf)?))
+    }
+
+    fn encode_log(&self, buf: &mut BytesMut) {
+        self.log().to_vec().encode(buf);
+    }
+
+    fn apply_log(&mut self, buf: &mut Bytes) -> Result<usize, DistError> {
+        apply_ops!(self, buf, sm_ot::register::RegisterOp<T>)
+    }
+}
+
+impl<K> Wire for MCounterMap<K>
+where
+    K: sm_ot::cmap::Key + Encode + Decode,
+{
+    fn encode_state(&self, buf: &mut BytesMut) {
+        let entries: Vec<(K, i64)> = self.iter().map(|(k, v)| (k.clone(), *v)).collect();
+        entries.encode(buf);
+    }
+
+    fn decode_state(buf: &mut Bytes) -> Result<Self, DecodeError> {
+        Ok(MCounterMap::from_entries(Vec::<(K, i64)>::decode(buf)?))
+    }
+
+    fn encode_log(&self, buf: &mut BytesMut) {
+        self.log().to_vec().encode(buf);
+    }
+
+    fn apply_log(&mut self, buf: &mut Bytes) -> Result<usize, DistError> {
+        apply_ops!(self, buf, sm_ot::cmap::CounterMapOp<K>)
+    }
+}
+
+impl<V> Wire for MTree<V>
+where
+    V: sm_ot::tree::Value + Encode + Decode,
+{
+    fn encode_state(&self, buf: &mut BytesMut) {
+        self.root().encode(buf);
+    }
+
+    fn decode_state(buf: &mut Bytes) -> Result<Self, DecodeError> {
+        Ok(MTree::from_root(Node::decode(buf)?))
+    }
+
+    fn encode_log(&self, buf: &mut BytesMut) {
+        self.log().to_vec().encode(buf);
+    }
+
+    fn apply_log(&mut self, buf: &mut Bytes) -> Result<usize, DistError> {
+        apply_ops!(self, buf, sm_ot::tree::TreeOp<V>)
+    }
+}
+
+impl<M: Wire> Wire for Vec<M> {
+    fn encode_state(&self, buf: &mut BytesMut) {
+        sm_codec::put_varint(buf, self.len() as u64);
+        for m in self {
+            m.encode_state(buf);
+        }
+    }
+
+    fn decode_state(buf: &mut Bytes) -> Result<Self, DecodeError> {
+        let len = sm_codec::get_varint(buf)?;
+        if len > 1_000_000 {
+            return Err(DecodeError::BadLength(len));
+        }
+        let mut v = Vec::with_capacity(len as usize);
+        for _ in 0..len {
+            v.push(M::decode_state(buf)?);
+        }
+        Ok(v)
+    }
+
+    fn encode_log(&self, buf: &mut BytesMut) {
+        sm_codec::put_varint(buf, self.len() as u64);
+        for m in self {
+            m.encode_log(buf);
+        }
+    }
+
+    fn apply_log(&mut self, buf: &mut Bytes) -> Result<usize, DistError> {
+        let len = sm_codec::get_varint(buf)?;
+        if len as usize != self.len() {
+            return Err(DistError::Protocol(format!(
+                "log vector length {len} does not match state length {}",
+                self.len()
+            )));
+        }
+        let mut total = 0;
+        for m in self.iter_mut() {
+            total += m.apply_log(buf)?;
+        }
+        Ok(total)
+    }
+}
+
+macro_rules! impl_wire_tuple {
+    ( $( $name:ident : $idx:tt ),+ ) => {
+        impl<$( $name: Wire ),+> Wire for ( $( $name, )+ ) {
+            fn encode_state(&self, buf: &mut BytesMut) {
+                $( self.$idx.encode_state(buf); )+
+            }
+
+            fn decode_state(buf: &mut Bytes) -> Result<Self, DecodeError> {
+                Ok(( $( $name::decode_state(buf)?, )+ ))
+            }
+
+            fn encode_log(&self, buf: &mut BytesMut) {
+                $( self.$idx.encode_log(buf); )+
+            }
+
+            fn apply_log(&mut self, buf: &mut Bytes) -> Result<usize, DistError> {
+                let mut total = 0;
+                $( total += self.$idx.apply_log(buf)?; )+
+                Ok(total)
+            }
+        }
+    };
+}
+impl_wire_tuple!(A: 0);
+impl_wire_tuple!(A: 0, B: 1);
+impl_wire_tuple!(A: 0, B: 1, C: 2);
+impl_wire_tuple!(A: 0, B: 1, C: 2, D: 3);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_state<W: Wire + PartialEq + std::fmt::Debug>(w: &W) {
+        let mut buf = BytesMut::new();
+        w.encode_state(&mut buf);
+        let mut bytes = buf.freeze();
+        let back = W::decode_state(&mut bytes).expect("decode");
+        assert!(bytes.is_empty(), "state decode must consume everything");
+        assert_eq!(&back, w);
+    }
+
+    #[test]
+    fn state_roundtrips() {
+        roundtrip_state(&MList::from_iter([1u32, 2, 3]));
+        roundtrip_state(&MQueue::from_iter(["a".to_string(), "b".to_string()]));
+        roundtrip_state(&MText::from("héllo"));
+        roundtrip_state(&MMap::from_entries([("k".to_string(), 7i64)]));
+        roundtrip_state(&MSet::from_items([1u64, 5]));
+        roundtrip_state(&MCounter::new(-3));
+        roundtrip_state(&MRegister::new(true));
+        roundtrip_state(&MCounterMap::from_entries([("w".to_string(), 2i64)]));
+        roundtrip_state(&(MCounter::new(1), MText::from("x")));
+        roundtrip_state(&vec![MCounter::new(1), MCounter::new(2)]);
+    }
+
+    #[test]
+    fn tree_state_roundtrips() {
+        let mut t = MTree::new(1u32);
+        t.push_child(&[], Node::branch(2, vec![Node::leaf(3)]));
+        roundtrip_state(&t);
+    }
+
+    #[test]
+    fn log_ships_and_replays() {
+        // Simulate the full remote round trip by hand: fork, ship state,
+        // mutate remotely, ship log back, replay onto the shadow, merge.
+        let mut coordinator = MList::from_iter([1u32, 2]);
+        let shadow = coordinator.fork();
+
+        // Ship the snapshot to the "remote node".
+        let mut buf = BytesMut::new();
+        shadow.encode_state(&mut buf);
+        let mut remote = MList::<u32>::decode_state(&mut buf.freeze()).unwrap();
+
+        // Remote work.
+        remote.push(9);
+        remote.remove(0);
+
+        // Ship the log back and replay onto the shadow.
+        let mut buf = BytesMut::new();
+        remote.encode_log(&mut buf);
+        let mut shadow = shadow;
+        let n = shadow.apply_log(&mut buf.freeze()).unwrap();
+        assert_eq!(n, 2);
+
+        // Coordinator meanwhile worked too; merge resolves via OT.
+        coordinator.push(5);
+        coordinator.merge(&shadow).unwrap();
+        assert_eq!(coordinator.to_vec(), vec![2, 5, 9]);
+    }
+
+    #[test]
+    fn composite_log_roundtrip() {
+        let base = (MCounterMap::<String>::new(), MText::new());
+        let mut remote = base.clone();
+        remote.0.add("w".to_string(), 3);
+        remote.1.push_str("hi");
+        let mut buf = BytesMut::new();
+        remote.encode_log(&mut buf);
+
+        let mut shadow = base.fork();
+        let n = shadow.apply_log(&mut buf.freeze()).unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(shadow.0.get(&"w".to_string()), 3);
+        assert_eq!(shadow.1.as_str(), "hi");
+    }
+
+    #[test]
+    fn vec_log_shape_mismatch_detected() {
+        let remote = vec![MCounter::new(0), MCounter::new(0)];
+        let mut buf = BytesMut::new();
+        remote.encode_log(&mut buf);
+        let mut wrong_shape = vec![MCounter::new(0)];
+        assert!(matches!(
+            wrong_shape.apply_log(&mut buf.freeze()),
+            Err(DistError::Protocol(_))
+        ));
+    }
+}

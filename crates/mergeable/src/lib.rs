@@ -1,0 +1,319 @@
+//! Mergeable data structures for **Spawn & Merge**.
+//!
+//! The paper promises *"a set of commonly used mergeable data structures as
+//! a library, e.g. mergeable strings, lists and trees"*, plus *"an interface
+//! to implement new mergeable data structures"* (§II-C). This crate is that
+//! library:
+//!
+//! | Structure | OT algebra | Conflict semantics |
+//! |---|---|---|
+//! | [`MList`] | list insert/delete/set | index shifting; duplicate deletes collapse |
+//! | [`MText`] | text insert/range-delete | range splitting; intention preserving |
+//! | [`MQueue`] | list ops on a FIFO | concurrent pushes both survive; an element pops once |
+//! | [`MMap`] | key put/remove | per-key last-merged-wins |
+//! | [`MSet`] | element add/remove | per-element last-merged-wins |
+//! | [`MCounter`] | signed add | fully commutative, nothing ever lost |
+//! | [`MCounterMap`] | per-key signed add | commutative per key; aggregation-safe |
+//! | [`MRegister`] | overwrite | last-merged-wins |
+//! | [`MTree`] | ordered-tree insert/delete/set | sibling shifting; deleted subtrees absorb ops |
+//!
+//! The *interface* is the [`Mergeable`] trait. Every structure implements
+//! it; composite program states are built with [`mergeable_struct!`], with
+//! tuples, or with `Vec<M>` — all of which fork and merge field-wise /
+//! element-wise.
+//!
+//! # Fork/merge contract
+//!
+//! `child = parent.fork()` gives the child an isolated copy (lazily via
+//! copy-on-write). Both sides mutate freely — every mutation is recorded as
+//! an operation. `parent.merge(&child)` rebases the child's operations over
+//! whatever the parent committed since the fork (its own edits and
+//! previously merged siblings) using operational transformation, so a merge
+//! **never aborts**. The merge order chosen by the caller fully determines
+//! the result — that is what makes Spawn & Merge deterministic.
+//!
+//! ```
+//! use sm_mergeable::{MList, Mergeable};
+//!
+//! // Listing 1 of the paper.
+//! let mut list = MList::from_iter([1, 2, 3]);
+//! let mut child = list.fork();
+//! child.push(5);             // child task: l.Append(5)
+//! list.push(4);              // parent task: list.Append(4)
+//! list.merge(&child).unwrap();
+//! assert_eq!(list.to_vec(), vec![1, 2, 3, 4, 5]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cmap;
+mod counter;
+mod list;
+mod map;
+mod queue;
+mod register;
+mod set;
+mod text;
+mod tree;
+mod versioned;
+
+pub use cmap::MCounterMap;
+pub use counter::MCounter;
+pub use list::MList;
+pub use map::MMap;
+pub use queue::MQueue;
+pub use register::MRegister;
+pub use set::MSet;
+pub use text::MText;
+pub use tree::MTree;
+pub use versioned::{CopyMode, MergeError, MergeStats, Versioned};
+
+/// A data structure that can be forked for a child task and merged back.
+///
+/// This is the paper's "interface to implement new mergeable data
+/// structures". Implementations must uphold:
+///
+/// 1. **Isolation** — after `fork`, mutations on either copy are invisible
+///    to the other until a merge.
+/// 2. **No aborts** — `merge` succeeds for any child actually forked from
+///    `self` (errors signal structural misuse, not conflicts).
+/// 3. **Determinism** — the result of a series of merges depends only on
+///    the contents of the copies and the merge order, never on timing.
+pub trait Mergeable: Clone + Send + 'static {
+    /// Create a child copy: identical observable state, empty local
+    /// operation record, fork point remembered.
+    #[must_use]
+    fn fork(&self) -> Self;
+
+    /// Merge a forked child's changes back into `self` via operational
+    /// transformation.
+    fn merge(&mut self, child: &Self) -> Result<MergeStats, MergeError>;
+
+    /// Operations recorded locally since creation or fork (diagnostics).
+    fn pending_ops(&self) -> usize;
+}
+
+/// Unit state: trivially mergeable (tasks that share no data).
+impl Mergeable for () {
+    fn fork(&self) -> Self {}
+
+    fn merge(&mut self, _child: &Self) -> Result<MergeStats, MergeError> {
+        Ok(MergeStats::default())
+    }
+
+    fn pending_ops(&self) -> usize {
+        0
+    }
+}
+
+/// Element-wise merge for homogeneous collections of mergeables.
+///
+/// The vector's *shape* is fixed at fork time (children cannot add or
+/// remove elements — use [`MList`] for a mergeable sequence); a length
+/// mismatch on merge is reported as [`MergeError::ShapeMismatch`].
+impl<M: Mergeable> Mergeable for Vec<M> {
+    fn fork(&self) -> Self {
+        self.iter().map(Mergeable::fork).collect()
+    }
+
+    fn merge(&mut self, child: &Self) -> Result<MergeStats, MergeError> {
+        if self.len() != child.len() {
+            return Err(MergeError::ShapeMismatch {
+                detail: format!("Vec length {} vs child {}", self.len(), child.len()),
+            });
+        }
+        let mut stats = MergeStats::default();
+        for (p, c) in self.iter_mut().zip(child) {
+            stats += p.merge(c)?;
+        }
+        Ok(stats)
+    }
+
+    fn pending_ops(&self) -> usize {
+        self.iter().map(Mergeable::pending_ops).sum()
+    }
+}
+
+macro_rules! impl_mergeable_tuple {
+    ( $( $name:ident : $idx:tt ),+ ) => {
+        impl<$( $name: Mergeable ),+> Mergeable for ( $( $name, )+ ) {
+            fn fork(&self) -> Self {
+                ( $( self.$idx.fork(), )+ )
+            }
+
+            fn merge(&mut self, child: &Self) -> Result<MergeStats, MergeError> {
+                let mut stats = MergeStats::default();
+                $( stats += self.$idx.merge(&child.$idx)?; )+
+                Ok(stats)
+            }
+
+            fn pending_ops(&self) -> usize {
+                0 $( + self.$idx.pending_ops() )+
+            }
+        }
+    };
+}
+
+impl_mergeable_tuple!(A: 0);
+impl_mergeable_tuple!(A: 0, B: 1);
+impl_mergeable_tuple!(A: 0, B: 1, C: 2);
+impl_mergeable_tuple!(A: 0, B: 1, C: 2, D: 3);
+impl_mergeable_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4);
+impl_mergeable_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+impl_mergeable_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6);
+impl_mergeable_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7);
+
+/// Define a named composite of mergeable fields and derive [`Mergeable`]
+/// for it (field-wise fork and merge).
+///
+/// ```
+/// use sm_mergeable::{mergeable_struct, MCounter, MList, Mergeable};
+///
+/// mergeable_struct! {
+///     /// Shared state of an example application.
+///     #[derive(Debug, Clone)]
+///     pub struct AppData {
+///         pub items: MList<u64>,
+///         pub total: MCounter,
+///     }
+/// }
+///
+/// let mut data = AppData { items: MList::new(), total: MCounter::new(0) };
+/// let mut child = data.fork();
+/// child.items.push(7);
+/// child.total.add(1);
+/// data.merge(&child).unwrap();
+/// assert_eq!(data.items.to_vec(), vec![7]);
+/// assert_eq!(data.total.get(), 1);
+/// ```
+#[macro_export]
+macro_rules! mergeable_struct {
+    (
+        $(#[$meta:meta])*
+        $vis:vis struct $name:ident {
+            $( $(#[$fmeta:meta])* $fvis:vis $field:ident : $fty:ty ),+ $(,)?
+        }
+    ) => {
+        $(#[$meta])*
+        $vis struct $name {
+            $( $(#[$fmeta])* $fvis $field : $fty, )+
+        }
+
+        impl $crate::Mergeable for $name {
+            fn fork(&self) -> Self {
+                Self { $( $field: $crate::Mergeable::fork(&self.$field), )+ }
+            }
+
+            fn merge(&mut self, child: &Self) -> Result<$crate::MergeStats, $crate::MergeError> {
+                let mut stats = $crate::MergeStats::default();
+                $( stats += $crate::Mergeable::merge(&mut self.$field, &child.$field)?; )+
+                Ok(stats)
+            }
+
+            fn pending_ops(&self) -> usize {
+                0 $( + $crate::Mergeable::pending_ops(&self.$field) )+
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_is_mergeable() {
+        let mut u = ();
+        let c = u.fork();
+        assert_eq!(u.merge(&c).unwrap(), MergeStats::default());
+        assert_eq!(u.pending_ops(), 0);
+    }
+
+    #[test]
+    fn tuple_merges_fieldwise() {
+        let mut data = (MList::from_iter([1u32]), MCounter::new(0));
+        let mut child = data.fork();
+        child.0.push(2);
+        child.1.add(5);
+        data.0.push(3);
+        let stats = data.merge(&child).unwrap();
+        assert_eq!(data.0.to_vec(), vec![1, 3, 2]);
+        assert_eq!(data.1.get(), 5);
+        assert_eq!(stats.child_ops, 2);
+    }
+
+    #[test]
+    fn vec_of_mergeables_merges_elementwise() {
+        let mut data: Vec<MCounter> = vec![MCounter::new(0), MCounter::new(10)];
+        let mut c1 = data.fork();
+        let mut c2 = data.fork();
+        c1[0].add(1);
+        c2[0].add(2);
+        c2[1].add(-5);
+        data.merge(&c1).unwrap();
+        data.merge(&c2).unwrap();
+        assert_eq!(data[0].get(), 3);
+        assert_eq!(data[1].get(), 5);
+    }
+
+    #[test]
+    fn vec_shape_mismatch_is_error() {
+        let mut data: Vec<MCounter> = vec![MCounter::new(0)];
+        let mut child = data.fork();
+        child.push(MCounter::new(0));
+        assert!(matches!(data.merge(&child), Err(MergeError::ShapeMismatch { .. })));
+    }
+
+    mergeable_struct! {
+        #[derive(Debug, Clone)]
+        struct Composite {
+            list: MList<u8>,
+            text: MText,
+            count: MCounter,
+        }
+    }
+
+    #[test]
+    fn mergeable_struct_macro_works() {
+        let mut data = Composite {
+            list: MList::new(),
+            text: MText::from("doc: "),
+            count: MCounter::new(0),
+        };
+        let mut child = data.fork();
+        child.list.push(1);
+        child.text.push_str("child");
+        child.count.add(1);
+        data.text.push_str("parent ");
+        data.count.add(10);
+
+        let stats = data.merge(&child).unwrap();
+        assert_eq!(data.list.to_vec(), vec![1]);
+        assert_eq!(data.text.as_str(), "doc: parent child");
+        assert_eq!(data.count.get(), 11);
+        assert_eq!(stats.child_ops, 3);
+        assert_eq!(data.pending_ops() >= 2, true);
+    }
+
+    #[test]
+    fn nested_composites_merge() {
+        mergeable_struct! {
+            #[derive(Debug, Clone)]
+            struct Outer {
+                inner: Composite,
+                reg: MRegister<u8>,
+            }
+        }
+        let mut outer = Outer {
+            inner: Composite { list: MList::new(), text: MText::new(), count: MCounter::new(0) },
+            reg: MRegister::new(0),
+        };
+        let mut child = outer.fork();
+        child.inner.count.add(2);
+        child.reg.set(9);
+        outer.merge(&child).unwrap();
+        assert_eq!(outer.inner.count.get(), 2);
+        assert_eq!(outer.reg.get(), &9);
+    }
+}

@@ -1,0 +1,261 @@
+//! [`MList`] — a mergeable list, the paper's flagship structure
+//! (`ins(0,obj)` / `del(1)`, listing 1, Figures 1–2).
+
+use sm_ot::list::{Element, ListOp};
+
+use crate::versioned::{CopyMode, MergeError, MergeStats, Versioned};
+use crate::Mergeable;
+
+/// A mergeable list of `T`.
+///
+/// Mutations are recorded as operations; concurrent mutations from forked
+/// copies are serialized at merge time with operational transformation.
+/// Index-based accessors mirror `Vec` and panic on out-of-range indices
+/// (the operations are local, so the caller can always check first).
+#[derive(Debug, Clone)]
+pub struct MList<T: Element> {
+    inner: Versioned<ListOp<T>>,
+}
+
+impl<T: Element> MList<T> {
+    /// An empty list.
+    pub fn new() -> Self {
+        MList { inner: Versioned::new(Vec::new()) }
+    }
+
+    /// An empty list with an explicit fork [`CopyMode`].
+    pub fn with_mode(mode: CopyMode) -> Self {
+        MList { inner: Versioned::with_mode(Vec::new(), mode) }
+    }
+
+    /// A list seeded with `items` (no operations recorded: this is the base
+    /// state).
+    pub fn from_vec(items: Vec<T>) -> Self {
+        MList { inner: Versioned::new(items) }
+    }
+
+    /// A list seeded with `items` and an explicit fork [`CopyMode`].
+    pub fn from_vec_with_mode(items: Vec<T>, mode: CopyMode) -> Self {
+        MList { inner: Versioned::with_mode(items, mode) }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.inner.state().len()
+    }
+
+    /// True if the list holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.inner.state().is_empty()
+    }
+
+    /// Borrow the element at `index`.
+    pub fn get(&self, index: usize) -> Option<&T> {
+        self.inner.state().get(index)
+    }
+
+    /// Borrow the whole list as a slice.
+    pub fn as_slice(&self) -> &[T] {
+        self.inner.state()
+    }
+
+    /// Copy the list out as a plain `Vec`.
+    pub fn to_vec(&self) -> Vec<T> {
+        self.inner.state().clone()
+    }
+
+    /// Iterate over the elements.
+    pub fn iter(&self) -> std::slice::Iter<'_, T> {
+        self.inner.state().iter()
+    }
+
+    /// Append an element (the paper's `Append`).
+    pub fn push(&mut self, value: T) {
+        let at = self.len();
+        self.inner.record_validated(ListOp::Insert(at, value));
+    }
+
+    /// Insert an element at `index`.
+    ///
+    /// # Panics
+    /// Panics if `index > len`.
+    pub fn insert(&mut self, index: usize, value: T) {
+        assert!(index <= self.len(), "insert index {index} out of range (len {})", self.len());
+        self.inner.record_validated(ListOp::Insert(index, value));
+    }
+
+    /// Remove and return the element at `index`.
+    ///
+    /// # Panics
+    /// Panics if `index >= len`.
+    pub fn remove(&mut self, index: usize) -> T {
+        assert!(index < self.len(), "remove index {index} out of range (len {})", self.len());
+        let value = self.inner.state()[index].clone();
+        self.inner.record_validated(ListOp::Delete(index));
+        value
+    }
+
+    /// Overwrite the element at `index`.
+    ///
+    /// # Panics
+    /// Panics if `index >= len`.
+    pub fn set(&mut self, index: usize, value: T) {
+        assert!(index < self.len(), "set index {index} out of range (len {})", self.len());
+        self.inner.record_validated(ListOp::Set(index, value));
+    }
+
+    /// The recorded local operations (diagnostics / tests).
+    pub fn log(&self) -> &[ListOp<T>] {
+        self.inner.log()
+    }
+
+    /// Apply and record an operation produced elsewhere (replication /
+    /// distributed runtimes).
+    pub fn apply_op(&mut self, op: ListOp<T>) -> Result<(), sm_ot::ApplyError> {
+        self.inner.record(op)
+    }
+
+    /// Whether the backing storage is currently shared with a fork.
+    pub fn storage_is_shared(&self) -> bool {
+        self.inner.state_is_shared()
+    }
+}
+
+impl<T: Element> Default for MList<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Element> FromIterator<T> for MList<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        Self::from_vec(iter.into_iter().collect())
+    }
+}
+
+impl<T: Element> PartialEq for MList<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Element> Mergeable for MList<T> {
+    fn fork(&self) -> Self {
+        MList { inner: self.inner.fork() }
+    }
+
+    fn merge(&mut self, child: &Self) -> Result<MergeStats, MergeError> {
+        self.inner.merge(&child.inner)
+    }
+
+    fn pending_ops(&self) -> usize {
+        self.inner.pending_ops()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_accessors() {
+        let mut l = MList::from_iter([1, 2, 3]);
+        assert_eq!(l.len(), 3);
+        assert!(!l.is_empty());
+        assert_eq!(l.get(1), Some(&2));
+        assert_eq!(l.get(5), None);
+        assert_eq!(l.as_slice(), &[1, 2, 3]);
+        assert_eq!(l.iter().copied().sum::<i32>(), 6);
+        l.set(0, 9);
+        assert_eq!(l.remove(0), 9);
+        assert_eq!(l.to_vec(), vec![2, 3]);
+    }
+
+    #[test]
+    fn paper_listing1() {
+        // list := NewList(1,2,3); t := Spawn(f, list) where f appends 5;
+        // list.Append(4); MergeAllFromSet(t) → [1,2,3,4,5].
+        let mut list = MList::from_iter([1, 2, 3]);
+        let mut t = list.fork();
+        t.push(5);
+        list.push(4);
+        list.merge(&t).unwrap();
+        assert_eq!(list.to_vec(), vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "insert index")]
+    fn insert_out_of_range_panics() {
+        MList::<u8>::new().insert(1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "remove index")]
+    fn remove_out_of_range_panics() {
+        MList::<u8>::new().remove(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "set index")]
+    fn set_out_of_range_panics() {
+        MList::<u8>::new().set(0, 1);
+    }
+
+    #[test]
+    fn three_sibling_merge_order() {
+        let mut l = MList::<u32>::new();
+        let mut a = l.fork();
+        let mut b = l.fork();
+        let mut c = l.fork();
+        a.push(1);
+        b.push(2);
+        c.push(3);
+        // Merge in creation order → deterministic [1, 2, 3].
+        l.merge(&a).unwrap();
+        l.merge(&b).unwrap();
+        l.merge(&c).unwrap();
+        assert_eq!(l.to_vec(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn concurrent_removes_of_same_element() {
+        let mut l = MList::from_iter(['a', 'b', 'c']);
+        let mut x = l.fork();
+        let mut y = l.fork();
+        assert_eq!(x.remove(1), 'b');
+        assert_eq!(y.remove(1), 'b');
+        l.merge(&x).unwrap();
+        l.merge(&y).unwrap();
+        assert_eq!(l.to_vec(), vec!['a', 'c'], "b removed exactly once");
+    }
+
+    #[test]
+    fn fork_isolation() {
+        let mut parent = MList::from_iter([1]);
+        let mut child = parent.fork();
+        child.push(2);
+        assert_eq!(parent.to_vec(), vec![1], "parent unaffected before merge");
+        parent.push(3);
+        assert_eq!(child.to_vec(), vec![1, 2], "child unaffected by parent");
+    }
+
+    #[test]
+    fn pending_ops_counts() {
+        let mut l = MList::<u8>::new();
+        assert_eq!(l.pending_ops(), 0);
+        l.push(1);
+        l.push(2);
+        l.set(0, 3);
+        assert_eq!(l.pending_ops(), 3);
+        let c = l.fork();
+        assert_eq!(c.pending_ops(), 0);
+    }
+
+    #[test]
+    fn equality_is_by_content() {
+        let a = MList::from_iter([1, 2]);
+        let mut b = MList::from_iter([1]);
+        b.push(2);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,326 @@
+//! Operation **composition** (log compaction).
+//!
+//! The paper's future-work section calls for "more efficient merge
+//! functions". Because the rebase in [`crate::seq`] costs
+//! O(|committed|·|incoming|) pair transforms, shrinking either log shrinks
+//! the merge superlinearly. This module provides a peephole compactor: an
+//! adjacent pair of operations is fused into one when that is
+//! behaviour-preserving on *every* state (e.g. two counter increments, two
+//! writes to the same register, two adjacent text inserts).
+//!
+//! Compaction is only safe on a **self-contained** log — one no other log's
+//! `fork_base` points into. The Spawn & Merge runtime therefore compacts
+//! only the *child's* log right before a merge (a child's log is private to
+//! it); parent histories are never compacted in place.
+
+use crate::counter::CounterOp;
+use crate::list::{Element, ListOp};
+use crate::map::{Key, MapOp, Value as MapValue};
+use crate::register::{RegisterOp, Value as RegValue};
+use crate::set::{Element as SetElement, SetOp};
+use crate::text::TextOp;
+use crate::tree::TreeOp;
+
+/// Algebras whose adjacent operations can sometimes be fused.
+pub trait Compose: Sized {
+    /// Try to fuse `first; second` (applied in that order) into a single
+    /// equivalent operation. `None` means the pair must stay as-is.
+    /// Implementations must be *state-independent*: the fusion has to be
+    /// valid on every state both originals would apply to.
+    fn compose(first: &Self, second: &Self) -> Option<Self>;
+}
+
+/// Compact a log by repeatedly fusing adjacent pairs. O(n) amortized per
+/// pass; runs passes until a fixpoint. The result applies to the same base
+/// state and produces the same final state as the input.
+pub fn compact<O: Compose + Clone>(ops: &[O]) -> Vec<O> {
+    let mut cur: Vec<O> = ops.to_vec();
+    loop {
+        let mut out: Vec<O> = Vec::with_capacity(cur.len());
+        let mut fused = false;
+        for op in cur.drain(..) {
+            if let Some(last) = out.last() {
+                if let Some(f) = Compose::compose(last, &op) {
+                    *out.last_mut().expect("non-empty") = f;
+                    fused = true;
+                    continue;
+                }
+            }
+            out.push(op);
+        }
+        if !fused {
+            return out;
+        }
+        cur = out;
+    }
+}
+
+impl Compose for CounterOp {
+    fn compose(first: &Self, second: &Self) -> Option<Self> {
+        Some(CounterOp::add(first.delta.wrapping_add(second.delta)))
+    }
+}
+
+impl<T: RegValue> Compose for RegisterOp<T> {
+    fn compose(_first: &Self, second: &Self) -> Option<Self> {
+        // The second write fully shadows the first.
+        Some(second.clone())
+    }
+}
+
+impl<K: Key, V: MapValue> Compose for MapOp<K, V> {
+    fn compose(first: &Self, second: &Self) -> Option<Self> {
+        if first.key() == second.key() {
+            // Put/Remove under the same key: the second shadows the first.
+            Some(second.clone())
+        } else {
+            None
+        }
+    }
+}
+
+impl<T: SetElement> Compose for SetOp<T> {
+    fn compose(first: &Self, second: &Self) -> Option<Self> {
+        if first.element() == second.element() {
+            Some(second.clone())
+        } else {
+            None
+        }
+    }
+}
+
+impl<T: Element> Compose for ListOp<T> {
+    fn compose(first: &Self, second: &Self) -> Option<Self> {
+        use ListOp::*;
+        match (first, second) {
+            // Two writes to the same slot: the second wins.
+            (Set(i, _), Set(j, v)) if i == j => Some(Set(*i, v.clone())),
+            // Insert then overwrite of the inserted slot: insert the final
+            // value directly.
+            (Insert(i, _), Set(j, v)) if i == j => Some(Insert(*i, v.clone())),
+            // Insert then delete of the same slot cancels out entirely —
+            // represented by fusing into a Set of... nothing; there is no
+            // identity op in the algebra, so we cannot fuse (returning None
+            // keeps the pair). Handled by `compact_list` below instead.
+            _ => None,
+        }
+    }
+}
+
+impl Compose for TextOp {
+    fn compose(first: &Self, second: &Self) -> Option<Self> {
+        use TextOp::*;
+        match (first, second) {
+            // "ab" inserted at p, then "cd" inserted right at its end (or
+            // anywhere inside it): one bigger insert.
+            (Insert { pos: p1, text: t1 }, Insert { pos: p2, text: t2 }) => {
+                let l1 = t1.chars().count();
+                if *p2 >= *p1 && *p2 <= p1 + l1 {
+                    let mut s = String::with_capacity(t1.len() + t2.len());
+                    let split_at_char = p2 - p1;
+                    let mut consumed = 0;
+                    for (count, (byte, _)) in t1.char_indices().enumerate() {
+                        if count == split_at_char {
+                            consumed = byte;
+                            break;
+                        }
+                        consumed = t1.len();
+                    }
+                    if split_at_char == 0 {
+                        consumed = 0;
+                    }
+                    s.push_str(&t1[..consumed]);
+                    s.push_str(t2);
+                    s.push_str(&t1[consumed..]);
+                    Some(Insert { pos: *p1, text: s })
+                } else {
+                    None
+                }
+            }
+            // Delete at p, then another delete starting at the same spot:
+            // one bigger delete (text slid left under the cursor).
+            (Delete { pos: p1, len: l1 }, Delete { pos: p2, len: l2 }) => {
+                if *p2 == *p1 {
+                    Some(Delete { pos: *p1, len: l1 + l2 })
+                } else if p2 + l2 == *p1 {
+                    // Backwards deletion (backspace style).
+                    Some(Delete { pos: *p2, len: l1 + l2 })
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+}
+
+impl<V: crate::tree::Value> Compose for TreeOp<V> {
+    fn compose(first: &Self, second: &Self) -> Option<Self> {
+        use TreeOp::*;
+        match (first, second) {
+            (SetValue { path: p1, .. }, SetValue { path: p2, value }) if p1 == p2 => {
+                Some(SetValue { path: p1.clone(), value: value.clone() })
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Extra list-specific pass: cancel `Insert(i, _)` immediately followed by
+/// `Delete(i)` (an element created and destroyed with nothing in between).
+pub fn compact_list<T: Element>(ops: &[ListOp<T>]) -> Vec<ListOp<T>> {
+    let mut out: Vec<ListOp<T>> = Vec::with_capacity(ops.len());
+    for op in ops {
+        if let (Some(ListOp::Insert(i, _)), ListOp::Delete(j)) = (out.last(), op) {
+            if i == j {
+                out.pop();
+                continue;
+            }
+        }
+        if let Some(last) = out.last() {
+            if let Some(f) = Compose::compose(last, op) {
+                *out.last_mut().expect("non-empty") = f;
+                continue;
+            }
+        }
+        out.push(op.clone());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apply_all;
+
+    #[test]
+    fn counter_adds_fuse_to_one() {
+        let ops: Vec<CounterOp> = (1..=10).map(CounterOp::add).collect();
+        let c = compact(&ops);
+        assert_eq!(c, vec![CounterOp::add(55)]);
+    }
+
+    #[test]
+    fn register_writes_fuse_to_last() {
+        let ops = vec![RegisterOp::set(1), RegisterOp::set(2), RegisterOp::set(3)];
+        assert_eq!(compact(&ops), vec![RegisterOp::set(3)]);
+    }
+
+    #[test]
+    fn map_same_key_shadows() {
+        let ops = vec![
+            MapOp::Put("a", 1),
+            MapOp::Put("a", 2),
+            MapOp::Put("b", 9),
+            MapOp::Remove("b"),
+        ];
+        let c = compact(&ops);
+        assert_eq!(c, vec![MapOp::Put("a", 2), MapOp::Remove("b")]);
+    }
+
+    #[test]
+    fn compaction_preserves_semantics_map() {
+        let ops = vec![
+            MapOp::Put("x", 1),
+            MapOp::Put("x", 2),
+            MapOp::Remove("y"),
+            MapOp::Put("y", 3),
+            MapOp::Put("z", 4),
+        ];
+        let c = compact(&ops);
+        let mut a = std::collections::BTreeMap::from([("y", 0)]);
+        let mut b = a.clone();
+        apply_all(&mut a, &ops).unwrap();
+        apply_all(&mut b, &c).unwrap();
+        assert_eq!(a, b);
+        assert!(c.len() < ops.len());
+    }
+
+    #[test]
+    fn text_adjacent_inserts_fuse() {
+        let ops = vec![TextOp::insert(0, "he"), TextOp::insert(2, "llo")];
+        assert_eq!(compact(&ops), vec![TextOp::insert(0, "hello")]);
+    }
+
+    #[test]
+    fn text_insert_inside_previous_insert_fuses() {
+        let ops = vec![TextOp::insert(3, "ac"), TextOp::insert(4, "b")];
+        assert_eq!(compact(&ops), vec![TextOp::insert(3, "abc")]);
+    }
+
+    #[test]
+    fn text_forward_deletes_fuse() {
+        let ops = vec![TextOp::delete(2, 1), TextOp::delete(2, 3)];
+        assert_eq!(compact(&ops), vec![TextOp::delete(2, 4)]);
+    }
+
+    #[test]
+    fn text_backspace_deletes_fuse() {
+        let ops = vec![TextOp::delete(5, 1), TextOp::delete(4, 1), TextOp::delete(3, 1)];
+        assert_eq!(compact(&ops), vec![TextOp::delete(3, 3)]);
+    }
+
+    #[test]
+    fn text_compaction_preserves_semantics() {
+        let base = "abcdefgh".to_string();
+        let ops = vec![
+            TextOp::insert(2, "XY"),
+            TextOp::insert(4, "Z"),
+            TextOp::delete(0, 1),
+            TextOp::delete(0, 2),
+        ];
+        let c = compact(&ops);
+        let mut a = base.clone();
+        let mut b = base;
+        apply_all(&mut a, &ops).unwrap();
+        apply_all(&mut b, &c).unwrap();
+        assert_eq!(a, b);
+        assert!(c.len() <= ops.len());
+    }
+
+    #[test]
+    fn list_set_set_fuses() {
+        let ops = vec![ListOp::Set(1, 'a'), ListOp::Set(1, 'b')];
+        assert_eq!(compact(&ops), vec![ListOp::Set(1, 'b')]);
+    }
+
+    #[test]
+    fn list_insert_then_set_fuses() {
+        let ops = vec![ListOp::Insert(1, 'a'), ListOp::Set(1, 'b')];
+        assert_eq!(compact(&ops), vec![ListOp::Insert(1, 'b')]);
+    }
+
+    #[test]
+    fn list_insert_then_delete_cancels() {
+        let ops = vec![ListOp::Insert(1, 'a'), ListOp::Delete(1), ListOp::Set(0, 'z')];
+        let c = compact_list(&ops);
+        assert_eq!(c, vec![ListOp::Set(0, 'z')]);
+
+        let mut a = vec!['p', 'q'];
+        let mut b = a.clone();
+        apply_all(&mut a, &ops).unwrap();
+        apply_all(&mut b, &c).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn tree_setvalue_fuses() {
+        let ops = vec![
+            TreeOp::SetValue { path: vec![0], value: "a" },
+            TreeOp::SetValue { path: vec![0], value: "b" },
+        ];
+        assert_eq!(compact(&ops), vec![TreeOp::SetValue { path: vec![0], value: "b" }]);
+    }
+
+    #[test]
+    fn unfusable_pairs_are_kept() {
+        let ops = vec![TextOp::insert(0, "a"), TextOp::delete(5, 1)];
+        assert_eq!(compact(&ops), ops);
+    }
+
+    #[test]
+    fn empty_log_compacts_to_empty() {
+        let c: Vec<CounterOp> = compact(&[]);
+        assert!(c.is_empty());
+    }
+}

@@ -1,0 +1,237 @@
+//! Inverse operations (undo).
+//!
+//! Operational transformation systems classically support undo by
+//! generating, for each operation, the operation that reverses it. The
+//! inverse generally depends on the **state the operation was applied
+//! to** (deleting index 2 can only be undone if we know what was there),
+//! so [`Invertible::invert`] takes the pre-state.
+//!
+//! [`inverse_sequence`] builds the undo script for a whole history: given
+//! the base state and the operations applied to it, it returns the
+//! sequence that maps the final state back to the base. This gives the
+//! framework a second rollback mechanism besides discarding copies — and a
+//! strong testing oracle (`apply(ops); apply(inverse(ops)) == identity`).
+
+use crate::cmap::CounterMapOp;
+use crate::counter::CounterOp;
+use crate::list::{Element, ListOp};
+use crate::map::{Key, MapOp, Value as MapValue};
+use crate::register::{RegisterOp, Value as RegValue};
+use crate::set::{Element as SetElement, SetOp};
+use crate::text::TextOp;
+use crate::tree::TreeOp;
+use crate::{ApplyError, Operation};
+
+/// Operations that can be reversed.
+pub trait Invertible: Operation {
+    /// The operation that undoes `self`. `state_before` is the state
+    /// `self` was (or would be) applied to; it must be valid for `self`.
+    fn invert(&self, state_before: &Self::State) -> Self;
+}
+
+/// Build the undo script for `ops` applied to `base`: the returned
+/// sequence, applied to the final state, restores `base`.
+///
+/// # Errors
+/// Fails if `ops` does not apply cleanly to `base`.
+pub fn inverse_sequence<O: Invertible>(
+    base: &O::State,
+    ops: &[O],
+) -> Result<Vec<O>, ApplyError> {
+    let mut state = base.clone();
+    let mut inverses = Vec::with_capacity(ops.len());
+    for op in ops {
+        // Validate applicability first: `invert` may index into the
+        // pre-state and is only defined for valid operations.
+        let mut next = state.clone();
+        op.apply(&mut next)?;
+        inverses.push(op.invert(&state));
+        state = next;
+    }
+    inverses.reverse();
+    Ok(inverses)
+}
+
+impl<T: Element> Invertible for ListOp<T> {
+    fn invert(&self, state_before: &Vec<T>) -> Self {
+        match self {
+            ListOp::Insert(i, _) => ListOp::Delete(*i),
+            ListOp::Delete(i) => ListOp::Insert(*i, state_before[*i].clone()),
+            ListOp::Set(i, _) => ListOp::Set(*i, state_before[*i].clone()),
+        }
+    }
+}
+
+impl Invertible for TextOp {
+    fn invert(&self, state_before: &String) -> Self {
+        match self {
+            TextOp::Insert { pos, text } => TextOp::delete(*pos, text.chars().count()),
+            TextOp::Delete { pos, len } => {
+                let deleted: String =
+                    state_before.chars().skip(*pos).take(*len).collect();
+                TextOp::insert(*pos, deleted)
+            }
+        }
+    }
+}
+
+impl Invertible for CounterOp {
+    fn invert(&self, _state_before: &i64) -> Self {
+        CounterOp::add(self.delta.wrapping_neg())
+    }
+}
+
+impl<K: Key> Invertible for CounterMapOp<K> {
+    fn invert(&self, _state_before: &std::collections::BTreeMap<K, i64>) -> Self {
+        CounterMapOp::add(self.key.clone(), self.delta.wrapping_neg())
+    }
+}
+
+impl<T: RegValue> Invertible for RegisterOp<T> {
+    fn invert(&self, state_before: &T) -> Self {
+        RegisterOp::set(state_before.clone())
+    }
+}
+
+impl<K: Key, V: MapValue> Invertible for MapOp<K, V> {
+    fn invert(&self, state_before: &std::collections::BTreeMap<K, V>) -> Self {
+        let key = self.key().clone();
+        match state_before.get(&key) {
+            Some(old) => MapOp::Put(key, old.clone()),
+            None => MapOp::Remove(key),
+        }
+    }
+}
+
+impl<T: SetElement> Invertible for SetOp<T> {
+    fn invert(&self, state_before: &std::collections::BTreeSet<T>) -> Self {
+        let e = self.element().clone();
+        if state_before.contains(&e) {
+            SetOp::Add(e)
+        } else {
+            SetOp::Remove(e)
+        }
+    }
+}
+
+impl<V: crate::tree::Value> Invertible for TreeOp<V> {
+    fn invert(&self, state_before: &crate::tree::Node<V>) -> Self {
+        match self {
+            TreeOp::Insert { path, .. } => TreeOp::Delete { path: path.clone() },
+            TreeOp::Delete { path } => TreeOp::Insert {
+                path: path.clone(),
+                node: state_before
+                    .node_at(path)
+                    .expect("delete target must exist in the pre-state")
+                    .clone(),
+            },
+            TreeOp::SetValue { path, .. } => TreeOp::SetValue {
+                path: path.clone(),
+                value: state_before
+                    .node_at(path)
+                    .expect("set target must exist in the pre-state")
+                    .value
+                    .clone(),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apply_all;
+    use crate::tree::Node;
+
+    fn undo_roundtrip<O>(base: O::State, ops: Vec<O>)
+    where
+        O: Invertible,
+        O::State: PartialEq + std::fmt::Debug,
+    {
+        let inv = inverse_sequence(&base, &ops).expect("ops valid on base");
+        let mut state = base.clone();
+        apply_all(&mut state, &ops).unwrap();
+        apply_all(&mut state, &inv).unwrap();
+        assert_eq!(state, base, "undo must restore the base state");
+    }
+
+    #[test]
+    fn list_undo() {
+        undo_roundtrip(
+            vec![1u8, 2, 3],
+            vec![ListOp::Insert(0, 9), ListOp::Delete(2), ListOp::Set(0, 7), ListOp::Delete(0)],
+        );
+    }
+
+    #[test]
+    fn text_undo() {
+        undo_roundtrip(
+            "hello world".to_string(),
+            vec![TextOp::delete(0, 6), TextOp::insert(5, "!!"), TextOp::delete(2, 3)],
+        );
+    }
+
+    #[test]
+    fn text_undo_unicode() {
+        undo_roundtrip("héllo ✨".to_string(), vec![TextOp::delete(1, 5)]);
+    }
+
+    #[test]
+    fn counter_undo() {
+        undo_roundtrip(5i64, vec![CounterOp::add(10), CounterOp::add(-3)]);
+    }
+
+    #[test]
+    fn cmap_undo() {
+        let base: std::collections::BTreeMap<&str, i64> = [("a", 2)].into();
+        undo_roundtrip(base, vec![CounterMapOp::add("a", 5), CounterMapOp::add("b", 1)]);
+    }
+
+    #[test]
+    fn register_undo() {
+        undo_roundtrip(1u32, vec![RegisterOp::set(2), RegisterOp::set(3)]);
+    }
+
+    #[test]
+    fn map_undo() {
+        let base: std::collections::BTreeMap<&str, i32> = [("a", 1)].into();
+        undo_roundtrip(
+            base,
+            vec![MapOp::Put("a", 9), MapOp::Remove("a"), MapOp::Put("b", 2), MapOp::Put("b", 3)],
+        );
+    }
+
+    #[test]
+    fn set_undo() {
+        let base: std::collections::BTreeSet<u8> = [1u8, 2].into();
+        undo_roundtrip(base, vec![SetOp::Remove(1), SetOp::Add(5), SetOp::Add(1)]);
+    }
+
+    #[test]
+    fn tree_undo() {
+        let base = Node::branch(0u8, vec![Node::branch(1, vec![Node::leaf(2)]), Node::leaf(3)]);
+        undo_roundtrip(
+            base,
+            vec![
+                TreeOp::Delete { path: vec![0] },
+                TreeOp::Insert { path: vec![1], node: Node::leaf(9) },
+                TreeOp::SetValue { path: vec![0], value: 7 },
+            ],
+        );
+    }
+
+    #[test]
+    fn inverse_of_invalid_ops_errors() {
+        let base = vec![1u8];
+        let ops = vec![ListOp::Delete(0), ListOp::Delete(0)];
+        // Second delete is invalid after the first — `inverse_sequence`
+        // fails while simulating, rather than producing a wrong script.
+        assert!(inverse_sequence(&base, &ops).is_err());
+    }
+
+    #[test]
+    fn empty_history_inverts_to_empty() {
+        let inv = inverse_sequence::<CounterOp>(&0, &[]).unwrap();
+        assert!(inv.is_empty());
+    }
+}

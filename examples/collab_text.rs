@@ -1,0 +1,59 @@
+//! Collaborative text editing on mergeable strings — the CSCW heritage of
+//! operational transformation (§II-B), driven through Spawn & Merge: three
+//! "editors" work on forks of one document; the parent merges them in a
+//! deterministic order and all intentions are preserved without locks.
+//!
+//! ```text
+//! cargo run --example collab_text
+//! ```
+
+use spawn_merge::{run, MText};
+
+fn main() {
+    let document = MText::from("The fox jumps over the dog.");
+    println!("base document : {:?}", document.as_str());
+
+    let (merged, ()) = run(document, |ctx| {
+        // Editor 1: qualify the fox.
+        let e1 = ctx.spawn(|c| {
+            let pos = c.data().as_str().find("fox").unwrap();
+            c.data_mut().insert_str(pos, "quick brown ");
+            Ok(())
+        });
+        // Editor 2: qualify the dog.
+        let e2 = ctx.spawn(|c| {
+            let pos = c.data().as_str().find("dog").unwrap();
+            c.data_mut().insert_str(pos, "lazy ");
+            Ok(())
+        });
+        // Editor 3: delete " over the dog" and end with an exclamation.
+        let e3 = ctx.spawn(|c| {
+            let (start, len) = {
+                let text = c.data().as_str();
+                let start = text.find(" over").unwrap();
+                (start, text.len() - start - 1) // keep the final '.'
+            };
+            c.data_mut().delete_range(start, len);
+            let end = c.data().char_len();
+            c.data_mut().delete_range(end - 1, 1);
+            c.data_mut().push_str("!");
+            Ok(())
+        });
+        // Deterministic merge order: e1, e2, e3 — always the same result.
+        ctx.merge_all_from_set(&[&e1, &e2, &e3]);
+    });
+
+    println!("merged result : {:?}", merged.as_str());
+
+    // Editor 2's "lazy " was inserted inside the range editor 3 deleted:
+    // the range delete was split around it (intention preservation), so
+    // the insert survives. Editor 1's and editor 3's edits land verbatim.
+    assert!(merged.as_str().contains("quick brown fox"));
+    assert!(merged.as_str().contains("lazy"));
+    assert!(merged.as_str().ends_with('!'));
+
+    // And it is reproducible: rerunning with adversarial timing changes
+    // nothing (try it: the merge order is fixed by the FromSet argument
+    // list, not by which editor finishes first).
+    println!("\nevery run of this example prints exactly the same merged text.");
+}

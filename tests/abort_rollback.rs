@@ -1,0 +1,192 @@
+//! §II-D / §II-F: merge conditions (runtime-managed rollback) and the
+//! three abort paths — child error, child panic, external abort — across
+//! both completion merges and sync merges.
+
+use spawn_merge::{
+    run, AbortReason, Disposition, MCounter, MList, MRegister, SyncError, TaskAbort,
+};
+
+#[test]
+fn condition_rollback_on_completion_merge() {
+    let (list, ()) = run(MList::<i32>::new(), |ctx| {
+        for i in 0..6 {
+            ctx.spawn(move |c| {
+                c.data_mut().push(i);
+                Ok(())
+            });
+        }
+        // Accept only children whose result sums to an even value.
+        let report = ctx.merge_all_with(&|d: &MList<i32>| d.iter().sum::<i32>() % 2 == 0);
+        let merged: Vec<bool> = report.children.iter().map(|c| c.disposition.is_merged()).collect();
+        assert_eq!(merged, vec![true, false, true, false, true, false]);
+    });
+    assert_eq!(list.to_vec(), vec![0, 2, 4], "odd pushes rolled back");
+}
+
+#[test]
+fn condition_sees_cumulative_state_through_syncs() {
+    // A budgeted accumulator: children add 30 each; the condition caps the
+    // child-visible total at 100, so merges start failing once the child's
+    // fork already carries the earlier merges.
+    let (counter, rejected) = run(MCounter::new(0), |ctx| {
+        for _ in 0..5 {
+            ctx.spawn(|c| {
+                c.data_mut().add(30);
+                match c.sync() {
+                    Ok(()) | Err(SyncError::MergeRejected) => Ok(()),
+                    Err(e) => Err(e.into()),
+                }
+            });
+        }
+        let cond = |d: &MCounter| d.get() <= 100;
+        let mut rejected = 0;
+        // Round 1: syncs. Round 2: completions.
+        for _ in 0..2 {
+            let report = ctx.merge_all_with(&cond);
+            rejected += report.children.len() - report.merged_count();
+        }
+        rejected
+    });
+    // Round 1: every child's data shows 0+30 = 30 → all five merges pass
+    // (the condition sees the child's data, which was forked before any
+    // sibling merged). Total: 150.
+    assert_eq!(counter.get(), 150);
+    // Round 2 (completions): each child's data is now the *fresh fork* it
+    // received after its sync, which includes earlier siblings' merges —
+    // the 4th and 5th forks read 120 and 150, so their (no-op) completion
+    // merges are rejected by the cap. Nothing is lost (they carried no
+    // operations), but the report records the rejections: conditions
+    // evaluate the child's entire data, inherited state included.
+    assert_eq!(rejected, 2);
+}
+
+#[test]
+fn rejected_sync_rolls_back_and_child_can_abort() {
+    let (list, ()) = run(MList::<i32>::from_iter([1]), |ctx| {
+        ctx.spawn(|c| {
+            c.data_mut().push(999);
+            match c.sync() {
+                Err(SyncError::MergeRejected) => Err(TaskAbort::new("giving up")),
+                other => panic!("expected rejection, got {other:?}"),
+            }
+        });
+        ctx.merge_all_with(&|d: &MList<i32>| !d.iter().any(|v| *v > 100));
+        let report = ctx.merge_all();
+        assert!(matches!(
+            report.children[0].disposition,
+            Disposition::AbortedByChild(AbortReason::Error(_))
+        ));
+    });
+    assert_eq!(list.to_vec(), vec![1]);
+}
+
+#[test]
+fn panic_mid_sync_protocol_is_contained() {
+    let (counter, ()) = run(MCounter::new(0), |ctx| {
+        ctx.spawn(|c| {
+            c.data_mut().inc();
+            c.sync()?;
+            c.data_mut().add(100);
+            panic!("after first sync");
+        });
+        ctx.merge_all(); // merges the sync (+1)
+        let report = ctx.merge_all(); // the panic completion
+        assert!(matches!(
+            report.children[0].disposition,
+            Disposition::AbortedByChild(AbortReason::Panic(_))
+        ));
+    });
+    assert_eq!(counter.get(), 1, "synced work survives; post-sync work dies with the panic");
+}
+
+#[test]
+fn external_abort_discards_sync_changes_too() {
+    let (counter, ()) = run(MCounter::new(0), |ctx| {
+        let t = ctx.spawn(|c| {
+            loop {
+                c.data_mut().inc();
+                if c.sync().is_err() {
+                    return Ok(());
+                }
+            }
+        });
+        ctx.merge_all(); // +1
+        t.abort();
+        while ctx.live_children() > 0 {
+            ctx.merge_all(); // rejected syncs, then the completion
+        }
+    });
+    assert_eq!(counter.get(), 1);
+}
+
+#[test]
+fn abort_flag_is_visible_to_the_child() {
+    let (flag_seen, ()) = run(MRegister::new(false), |ctx| {
+        let t = ctx.spawn(|c| {
+            while !c.is_aborted() {
+                std::thread::yield_now();
+            }
+            // Record that we saw it (will be discarded at merge — assert
+            // via check_abort instead).
+            assert!(c.check_abort().is_err());
+            Ok(())
+        });
+        t.abort();
+        ctx.merge_all();
+    });
+    assert!(!*flag_seen.get());
+}
+
+#[test]
+fn aborted_parent_aborts_descendants() {
+    // A child that aborts while its own children are still syncing must
+    // tear the whole subtree down and report the abort upward.
+    let (counter, ()) = run(MCounter::new(0), |ctx| {
+        ctx.spawn(|child| {
+            for _ in 0..3 {
+                child.spawn(|gc| {
+                    loop {
+                        gc.data_mut().inc();
+                        if gc.sync().is_err() {
+                            return Ok(());
+                        }
+                    }
+                });
+            }
+            // Give the grandchildren one merged round, then bail out.
+            child.merge_all();
+            Err(TaskAbort::new("subtree abandoned"))
+        });
+        let report = ctx.merge_all();
+        assert!(matches!(
+            report.children[0].disposition,
+            Disposition::AbortedByChild(AbortReason::Error(_))
+        ));
+    });
+    // Everything the subtree did was discarded at the root.
+    assert_eq!(counter.get(), 0);
+}
+
+#[test]
+fn merge_any_with_condition() {
+    let (counter, ()) = run(MCounter::new(0), |ctx| {
+        for i in [5i64, 500] {
+            ctx.spawn(move |c| {
+                c.data_mut().add(i);
+                Ok(())
+            });
+        }
+        let cond = |d: &MCounter| d.get() < 100;
+        let mut merged = 0;
+        let mut rejected = 0;
+        while let Some(mc) = ctx.merge_any_with(&cond) {
+            if mc.disposition.is_merged() {
+                merged += 1;
+            } else {
+                rejected += 1;
+            }
+        }
+        assert_eq!((merged, rejected), (1, 1));
+    });
+    assert_eq!(counter.get(), 5);
+}

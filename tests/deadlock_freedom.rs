@@ -1,0 +1,194 @@
+//! §IV-B: "Using only Spawn and Merge it is impossible to create a
+//! deadlock." These tests exercise every wait pattern the runtime allows —
+//! parent-waits-child, child-waits-parent, both at once, deep chains and
+//! wide trees — and assert they all resolve. Each test carries a watchdog:
+//! if the runtime deadlocked, the watchdog aborts the process instead of
+//! hanging CI forever.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use spawn_merge::{run, MCounter, MList};
+
+/// Run `f` under a watchdog; panics (and kills the process) if it takes
+/// longer than `secs` — which would mean a deadlock.
+fn with_watchdog<F: FnOnce() + Send + 'static>(secs: u64, f: F) {
+    let done = Arc::new(AtomicBool::new(false));
+    let done2 = Arc::clone(&done);
+    let watchdog = std::thread::spawn(move || {
+        let deadline = std::time::Instant::now() + Duration::from_secs(secs);
+        while !done2.load(Ordering::SeqCst) {
+            if std::time::Instant::now() > deadline {
+                eprintln!("WATCHDOG: test exceeded {secs}s — deadlock in the runtime");
+                std::process::exit(101);
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    });
+    f();
+    done.store(true, Ordering::SeqCst);
+    watchdog.join().unwrap();
+}
+
+/// The only possible cyclic wait: child blocks in Sync (waiting for the
+/// parent), parent blocks in MergeAll (waiting for the child). The merge
+/// unblocks both (§IV-B).
+#[test]
+fn parent_child_mutual_wait_resolves() {
+    with_watchdog(30, || {
+        let (c, ()) = run(MCounter::new(0), |ctx| {
+            ctx.spawn(|child| {
+                child.data_mut().inc();
+                child.sync()?; // child waits for parent
+                child.data_mut().inc();
+                Ok(())
+            });
+            ctx.merge_all(); // parent waits for child → both proceed
+            ctx.merge_all();
+        });
+        assert_eq!(c.get(), 2);
+    });
+}
+
+/// A deep chain of tasks, each syncing with its parent while the parent is
+/// itself mid-sync-protocol with *its* parent: no cycle can form because
+/// waits only ever point along tree edges.
+#[test]
+fn deep_sync_chain_resolves() {
+    with_watchdog(60, || {
+        fn level(depth: u32, ctx: &mut spawn_merge::TaskCtx<MCounter>) -> spawn_merge::TaskResult {
+            if depth > 0 {
+                ctx.spawn(move |c| level(depth - 1, c));
+                // Wait for the whole subtree (one round per event: the
+                // child syncs once, then completes).
+                while ctx.live_children() > 0 {
+                    ctx.merge_all();
+                }
+            }
+            ctx.data_mut().inc();
+            if !ctx.is_root() {
+                ctx.sync()?;
+            }
+            Ok(())
+        }
+        let (c, ()) = run(MCounter::new(0), |ctx| {
+            level(12, ctx).unwrap();
+        });
+        assert_eq!(c.get(), 13);
+    });
+}
+
+/// Wide fan-out where every child syncs multiple times and the parent
+/// interleaves merge_all with its own writes.
+#[test]
+fn wide_sync_storm_resolves() {
+    with_watchdog(60, || {
+        let (c, ()) = run(MCounter::new(0), |ctx| {
+            for _ in 0..32 {
+                ctx.spawn(|child| {
+                    for _ in 0..5 {
+                        child.data_mut().inc();
+                        child.sync()?;
+                    }
+                    Ok(())
+                });
+            }
+            for _ in 0..6 {
+                ctx.data_mut().inc();
+                ctx.merge_all();
+            }
+        });
+        assert_eq!(c.get(), 32 * 5 + 6);
+    });
+}
+
+/// merge_any_from_set over an empty / fully-retired set returns instead of
+/// blocking — the paper's "nothing it could wait for" property, the reason
+/// a deadlocked emulated semaphore degrades to a livelock, not a deadlock.
+#[test]
+fn merge_any_from_empty_set_never_blocks() {
+    with_watchdog(30, || {
+        let (_, ()) = run(MCounter::new(0), |ctx| {
+            assert!(ctx.merge_any_from_set(&[]).is_none());
+            let t = ctx.spawn(|_| Ok(()));
+            // Merge it away, then ask again with its handle: must return
+            // None immediately rather than waiting for a dead task.
+            ctx.merge_all();
+            assert!(ctx.merge_any_from_set(&[&t]).is_none());
+        });
+    });
+}
+
+/// The runtime's implicit drain at task exit must terminate even when a
+/// task returns early with children in flight.
+#[test]
+fn implicit_drain_on_early_return_resolves() {
+    with_watchdog(30, || {
+        let (list, ()) = run(MList::<u32>::new(), |ctx| {
+            ctx.spawn(|child| {
+                for i in 0..4 {
+                    child.spawn(move |gc| {
+                        gc.data_mut().push(i);
+                        Ok(())
+                    });
+                }
+                // Return with 4 live grandchildren: implicit MergeAll.
+                Ok(())
+            });
+            // Root also returns with a live child: implicit drain again.
+        });
+        assert_eq!(list.to_vec(), vec![0, 1, 2, 3]);
+    });
+}
+
+/// Aborting tasks blocked in Sync unblocks them (rejection), so abort-time
+/// teardown cannot deadlock either.
+#[test]
+fn abort_of_syncing_children_resolves() {
+    with_watchdog(30, || {
+        let (c, ()) = run(MCounter::new(0), |ctx| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    ctx.spawn(|child| {
+                        loop {
+                            child.data_mut().inc();
+                            match child.sync() {
+                                Ok(()) => continue,
+                                Err(_) => return Ok(()), // aborted: wind down
+                            }
+                        }
+                    })
+                })
+                .collect();
+            // Let them run a couple of rounds, then abort everyone.
+            ctx.merge_all();
+            ctx.merge_all();
+            for h in &handles {
+                h.abort();
+            }
+            // Drain: rejected syncs make the children exit.
+            while ctx.live_children() > 0 {
+                ctx.merge_all();
+            }
+        });
+        // Two merged rounds of 4 increments each; post-abort changes were
+        // discarded.
+        assert_eq!(c.get(), 8);
+    });
+}
+
+/// The paper's semaphore-deadlock scenario, straight from §IV-B: all
+/// children blocked, S empty — the system must detect it and unwind
+/// rather than hang.
+#[test]
+fn emulated_semaphore_deadlock_is_detected_not_deadlocked() {
+    with_watchdog(60, || {
+        let outcome = spawn_merge::core::semaphore::run_with_semaphore(0, 4, |_i, sem| {
+            sem.acquire()?;
+            Ok(())
+        });
+        assert!(outcome.deadlocked);
+        assert_eq!(outcome.stranded_workers, 4);
+    });
+}

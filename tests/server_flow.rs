@@ -1,0 +1,192 @@
+//! Integration test of the paper's server pattern (listing 3, §II-G):
+//! Spawn an acceptor, Clone a sibling per connection, Sync per request,
+//! MergeAny at the root — over the in-memory network substrate.
+
+use std::time::Duration;
+
+use spawn_merge::net::{NetError, Network, Stream};
+use spawn_merge::{run, MMap, TaskAbort, TaskCtx, TaskResult};
+
+type Db = MMap<String, i64>;
+
+fn conn(socket: Stream, ctx: &mut TaskCtx<Db>) -> TaskResult {
+    ctx.sync()?; // refresh the inherited (stale) data first
+    loop {
+        let Ok(req) = socket.recv_str() else { return Ok(()) };
+        let mut parts = req.split(' ');
+        let reply = match (parts.next(), parts.next(), parts.next()) {
+            (Some("INC"), Some(k), None) => {
+                let key = k.to_string();
+                let cur = ctx.data().get(&key).copied().unwrap_or(0);
+                ctx.data_mut().insert(key, cur + 1);
+                "OK".to_string()
+            }
+            (Some("GET"), Some(k), None) => {
+                ctx.data().get(&k.to_string()).copied().unwrap_or(-1).to_string()
+            }
+            _ => "ERR".to_string(),
+        };
+        ctx.sync()?;
+        socket.send_str(&reply).map_err(|e| TaskAbort::new(e.to_string()))?;
+    }
+}
+
+fn accept_task(net: Network, port: u16, ctx: &mut TaskCtx<Db>) -> TaskResult {
+    let listener = net.listen(port).map_err(|e| TaskAbort::new(e.to_string()))?;
+    loop {
+        if ctx.is_aborted() {
+            return Ok(());
+        }
+        match listener.accept_timeout(Duration::from_millis(5)) {
+            Ok(socket) => {
+                ctx.clone_task(move |c| conn(socket, c))?;
+            }
+            Err(NetError::Timeout) => continue,
+            Err(_) => return Ok(()),
+        }
+    }
+}
+
+fn connect_retry(net: &Network, port: u16) -> Stream {
+    loop {
+        if let Ok(s) = net.connect(port) {
+            return s;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+#[test]
+fn server_serves_concurrent_clients() {
+    const CLIENTS: usize = 8;
+    const REQS: usize = 5;
+    let net = Network::new();
+
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|i| {
+            let net = net.clone();
+            std::thread::spawn(move || {
+                let sock = connect_retry(&net, 9000);
+                for _ in 0..REQS {
+                    sock.send_str(&format!("INC c{i}")).unwrap();
+                    assert_eq!(sock.recv_str().unwrap(), "OK");
+                }
+                sock.send_str(&format!("GET c{i}")).unwrap();
+                sock.recv_str().unwrap().parse::<i64>().unwrap()
+            })
+        })
+        .collect();
+
+    let (db, ()) = run(Db::new(), |ctx| {
+        let accept_net = net.clone();
+        let acceptor = ctx.spawn(move |c| accept_task(accept_net, 9000, c));
+        let mut completed = 0;
+        while completed < CLIENTS {
+            if let Some(m) = ctx.merge_any() {
+                if m.completed && m.task != acceptor.id() {
+                    completed += 1;
+                }
+            }
+        }
+        acceptor.abort();
+        while ctx.merge_any().is_some() {}
+    });
+
+    for (i, j) in clients.into_iter().enumerate() {
+        let observed = j.join().unwrap();
+        // The client's own GET reflects at least its own REQS increments
+        // (each INC was synced before the OK went out). Exactly REQS since
+        // keys are per-client.
+        assert_eq!(observed, REQS as i64, "client {i}");
+    }
+    assert_eq!(db.len(), CLIENTS);
+    for i in 0..CLIENTS {
+        assert_eq!(db.get(&format!("c{i}")), Some(&(REQS as i64)));
+    }
+}
+
+/// Structure choice matters: incrementing a shared value through
+/// read-modify-write `Put`s on an LWW map can lose concurrent updates
+/// (that is the documented last-merged-wins semantics, not a bug), whereas
+/// a mergeable counter is commutative and never loses one. A server that
+/// wants exact counts must model them as counters — the same lesson the
+/// paper's framework teaches.
+#[test]
+fn commutative_counter_vs_lww_map_under_concurrent_connections() {
+    use spawn_merge::MCounter;
+    type Data = (Db, MCounter);
+
+    const CLIENTS: usize = 6;
+    let net = Network::new();
+
+    fn conn2(socket: Stream, ctx: &mut TaskCtx<Data>) -> TaskResult {
+        ctx.sync()?;
+        loop {
+            let Ok(req) = socket.recv_str() else { return Ok(()) };
+            match req.as_str() {
+                "BUMP" => {
+                    // The losing pattern: read-modify-write on an LWW map.
+                    let cur = ctx.data().0.get(&"rmw".to_string()).copied().unwrap_or(0);
+                    ctx.data_mut().0.insert("rmw".to_string(), cur + 1);
+                    // The winning pattern: a commutative counter op.
+                    ctx.data_mut().1.inc();
+                }
+                _ => {}
+            }
+            ctx.sync()?;
+            socket.send_str("OK").map_err(|e| TaskAbort::new(e.to_string()))?;
+        }
+    }
+
+    fn accept2(net: Network, ctx: &mut TaskCtx<Data>) -> TaskResult {
+        let listener = net.listen(9001).map_err(|e| TaskAbort::new(e.to_string()))?;
+        loop {
+            if ctx.is_aborted() {
+                return Ok(());
+            }
+            match listener.accept_timeout(Duration::from_millis(5)) {
+                Ok(socket) => {
+                    ctx.clone_task(move |c| conn2(socket, c))?;
+                }
+                Err(NetError::Timeout) => continue,
+                Err(_) => return Ok(()),
+            }
+        }
+    }
+
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|_| {
+            let net = net.clone();
+            std::thread::spawn(move || {
+                let sock = connect_retry(&net, 9001);
+                sock.send_str("BUMP").unwrap();
+                assert_eq!(sock.recv_str().unwrap(), "OK");
+            })
+        })
+        .collect();
+
+    let ((db, counter), ()) = run((Db::new(), MCounter::new(0)), |ctx| {
+        let accept_net = net.clone();
+        let acceptor = ctx.spawn(move |c| accept2(accept_net, c));
+        let mut completed = 0;
+        while completed < CLIENTS {
+            if let Some(m) = ctx.merge_any() {
+                if m.completed && m.task != acceptor.id() {
+                    completed += 1;
+                }
+            }
+        }
+        acceptor.abort();
+        while ctx.merge_any().is_some() {}
+    });
+    for j in clients {
+        j.join().unwrap();
+    }
+
+    // The counter is exact, always.
+    assert_eq!(counter.get(), CLIENTS as i64);
+    // The LWW read-modify-write value is at least 1 and at most CLIENTS;
+    // concurrent stale reads may have collapsed some updates.
+    let rmw = *db.get(&"rmw".to_string()).expect("key written");
+    assert!((1..=CLIENTS as i64).contains(&rmw), "rmw = {rmw}");
+}

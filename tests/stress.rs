@@ -1,0 +1,188 @@
+//! Randomized stress tests: generate random task-tree programs over a
+//! composite data structure and assert the central theorem — a Spawn &
+//! Merge program using only deterministic merges computes a pure function
+//! of its inputs, for *any* schedule.
+//!
+//! The generator is seeded (no `proptest` shrinking needed here; failures
+//! print the seed), and every generated program is executed several times
+//! with different thread-timing perturbations.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use spawn_merge::{
+    mergeable_struct, run, MCounter, MCounterMap, MList, MText, TaskCtx, TaskResult,
+};
+
+mergeable_struct! {
+    /// The stress-test composite: one of everything that matters.
+    #[derive(Debug, Clone)]
+    struct World {
+        list: MList<u32>,
+        text: MText,
+        count: MCounter,
+        hist: MCounterMap<u8>,
+    }
+}
+
+impl World {
+    fn new() -> Self {
+        World {
+            list: MList::new(),
+            text: MText::new(),
+            count: MCounter::new(0),
+            hist: MCounterMap::new(),
+        }
+    }
+
+    /// A stable digest of the observable state.
+    fn digest(&self) -> String {
+        format!(
+            "{:?}|{}|{}|{:?}",
+            self.list.to_vec(),
+            self.text.as_str(),
+            self.count.get(),
+            self.hist.iter().collect::<Vec<_>>()
+        )
+    }
+}
+
+/// One random mutation on the world, valid against any state.
+fn mutate(rng: &mut StdRng, w: &mut World) {
+    match rng.gen_range(0..6) {
+        0 => w.list.push(rng.gen_range(0..100)),
+        1 if !w.list.is_empty() => {
+            let i = rng.gen_range(0..w.list.len());
+            w.list.remove(i);
+        }
+        2 => {
+            let at = rng.gen_range(0..=w.text.char_len());
+            w.text.insert_str(at, format!("{}", rng.gen_range(0..10)));
+        }
+        3 => w.count.add(rng.gen_range(-5..=5)),
+        4 => w.hist.add(rng.gen_range(0..8), 1),
+        _ => {
+            if w.text.char_len() > 0 {
+                let pos = rng.gen_range(0..w.text.char_len());
+                w.text.delete_range(pos, 1);
+            }
+        }
+    }
+}
+
+/// Recursively run a random subtree of tasks. Everything is derived from
+/// the seed, so two executions of the same seed describe the same program.
+fn random_task(seed: u64, depth: u32, jitter: u64, ctx: &mut TaskCtx<World>) -> TaskResult {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Local mutations before spawning.
+    for _ in 0..rng.gen_range(1..5) {
+        mutate(&mut rng, ctx.data_mut());
+    }
+    std::thread::sleep(std::time::Duration::from_micros((seed.wrapping_mul(jitter)) % 300));
+    if depth > 0 {
+        let children = rng.gen_range(0..4);
+        for c in 0..children {
+            let child_seed = seed.wrapping_mul(31).wrapping_add(c);
+            ctx.spawn(move |cc| random_task(child_seed, depth - 1, jitter, cc));
+        }
+        ctx.merge_all();
+    }
+    // Mutations after merging the subtree.
+    for _ in 0..rng.gen_range(0..3) {
+        mutate(&mut rng, ctx.data_mut());
+    }
+    Ok(())
+}
+
+fn run_program(seed: u64, jitter: u64) -> String {
+    let (world, ()) = run(World::new(), |ctx| {
+        random_task(seed, 2, jitter, ctx).unwrap();
+    });
+    world.digest()
+}
+
+#[test]
+fn random_programs_are_schedule_independent() {
+    for seed in [1u64, 7, 42, 1234, 99999, 0xDEAD] {
+        let baseline = run_program(seed, 1);
+        for jitter in [3u64, 17, 101] {
+            assert_eq!(
+                run_program(seed, jitter),
+                baseline,
+                "seed {seed} diverged under jitter {jitter}"
+            );
+        }
+    }
+}
+
+#[test]
+fn wide_flat_fanout_stress() {
+    // 48 children, all hammering the same structures.
+    let run_once = |jitter: u64| {
+        let (world, ()) = run(World::new(), |ctx| {
+            for i in 0..48u64 {
+                ctx.spawn(move |c| {
+                    std::thread::sleep(std::time::Duration::from_micros((i * jitter) % 200));
+                    let mut rng = StdRng::seed_from_u64(i);
+                    for _ in 0..6 {
+                        mutate(&mut rng, c.data_mut());
+                    }
+                    Ok(())
+                });
+            }
+            ctx.merge_all();
+        });
+        world.digest()
+    };
+    let baseline = run_once(1);
+    for jitter in [5u64, 23, 77] {
+        assert_eq!(run_once(jitter), baseline);
+    }
+}
+
+#[test]
+fn repeated_sync_rounds_stress() {
+    let run_once = |jitter: u64| {
+        let (world, ()) = run(World::new(), |ctx| {
+            for i in 0..8u64 {
+                ctx.spawn(move |c| {
+                    let mut rng = StdRng::seed_from_u64(i * 1000);
+                    for round in 0..5u64 {
+                        std::thread::sleep(std::time::Duration::from_micros(
+                            (i * round * jitter) % 150,
+                        ));
+                        mutate(&mut rng, c.data_mut());
+                        c.sync()?;
+                    }
+                    Ok(())
+                });
+            }
+            for _ in 0..6 {
+                ctx.merge_all();
+            }
+        });
+        world.digest()
+    };
+    let baseline = run_once(1);
+    for jitter in [9u64, 31] {
+        assert_eq!(run_once(jitter), baseline);
+    }
+}
+
+#[test]
+fn counters_are_exact_under_stress() {
+    // Whatever the interleaving, commutative counters must be exact.
+    let (world, ()) = run(World::new(), |ctx| {
+        for _ in 0..32 {
+            ctx.spawn(|c| {
+                for _ in 0..25 {
+                    c.data_mut().count.inc();
+                    c.data_mut().hist.add(3, 2);
+                }
+                Ok(())
+            });
+        }
+        ctx.merge_all();
+    });
+    assert_eq!(world.count.get(), 32 * 25);
+    assert_eq!(world.hist.get(&3), 32 * 25 * 2);
+}
