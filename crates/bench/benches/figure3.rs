@@ -8,7 +8,14 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sm_netsim::{run_setup, Routing, Setup, SimConfig};
 
 fn scaled_config(workload: usize) -> SimConfig {
-    SimConfig { hosts: 8, initial_messages: 24, ttl: 10, workload, routing: Routing::HashDerived, ..SimConfig::default() }
+    SimConfig {
+        hosts: 8,
+        initial_messages: 24,
+        ttl: 10,
+        workload,
+        routing: Routing::HashDerived,
+        ..SimConfig::default()
+    }
 }
 
 fn bench_figure3(c: &mut Criterion) {

@@ -24,7 +24,14 @@ fn setup(parent_ops: usize, child_ops: usize) -> (MList<u64>, MList<u64>) {
 
 fn bench_merge_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("merge_cost");
-    for (p, ch) in [(10usize, 10usize), (100, 10), (10, 100), (100, 100), (1000, 100), (100, 1000)] {
+    for (p, ch) in [
+        (10usize, 10usize),
+        (100, 10),
+        (10, 100),
+        (100, 100),
+        (1000, 100),
+        (100, 1000),
+    ] {
         group.bench_with_input(
             BenchmarkId::new("rebase_grid", format!("p{p}_c{ch}")),
             &(p, ch),

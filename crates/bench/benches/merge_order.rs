@@ -11,34 +11,42 @@ fn bench_merge_disciplines(c: &mut Criterion) {
     group.sample_size(20);
     let pool = Pool::new();
     for children in [4usize, 16, 64] {
-        group.bench_with_input(BenchmarkId::new("merge_all", children), &children, |b, &n| {
-            b.iter(|| {
-                let (counter, ()) = run_with_pool(MCounter::new(0), pool.clone(), |ctx| {
-                    for _ in 0..n {
-                        ctx.spawn(|c| {
-                            c.data_mut().inc();
-                            Ok(())
-                        });
-                    }
-                    ctx.merge_all();
+        group.bench_with_input(
+            BenchmarkId::new("merge_all", children),
+            &children,
+            |b, &n| {
+                b.iter(|| {
+                    let (counter, ()) = run_with_pool(MCounter::new(0), pool.clone(), |ctx| {
+                        for _ in 0..n {
+                            ctx.spawn(|c| {
+                                c.data_mut().inc();
+                                Ok(())
+                            });
+                        }
+                        ctx.merge_all();
+                    });
+                    assert_eq!(counter.get(), n as i64);
                 });
-                assert_eq!(counter.get(), n as i64);
-            });
-        });
-        group.bench_with_input(BenchmarkId::new("merge_any", children), &children, |b, &n| {
-            b.iter(|| {
-                let (counter, ()) = run_with_pool(MCounter::new(0), pool.clone(), |ctx| {
-                    for _ in 0..n {
-                        ctx.spawn(|c| {
-                            c.data_mut().inc();
-                            Ok(())
-                        });
-                    }
-                    while ctx.merge_any().is_some() {}
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("merge_any", children),
+            &children,
+            |b, &n| {
+                b.iter(|| {
+                    let (counter, ()) = run_with_pool(MCounter::new(0), pool.clone(), |ctx| {
+                        for _ in 0..n {
+                            ctx.spawn(|c| {
+                                c.data_mut().inc();
+                                Ok(())
+                            });
+                        }
+                        while ctx.merge_any().is_some() {}
+                    });
+                    assert_eq!(counter.get(), n as i64);
                 });
-                assert_eq!(counter.get(), n as i64);
-            });
-        });
+            },
+        );
     }
     group.finish();
 }

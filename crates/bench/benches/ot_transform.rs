@@ -21,7 +21,7 @@ fn list_ops(n: usize, offset: usize) -> Vec<ListOp<u64>> {
 fn text_ops(n: usize, salt: usize) -> Vec<TextOp> {
     (0..n)
         .map(|i| {
-            if (i + salt) % 2 == 0 {
+            if (i + salt).is_multiple_of(2) {
                 TextOp::insert((i * 7 + salt) % (i + 1), "ab")
             } else {
                 TextOp::delete((i * 3) % (i + 1), 1)

@@ -30,25 +30,29 @@ fn bench_semaphore(c: &mut Criterion) {
                 });
             },
         );
-        group.bench_with_input(BenchmarkId::new("native_mutex", workers), &workers, |b, &w| {
-            b.iter(|| {
-                let lock = Arc::new(parking_lot::Mutex::new(0u64));
-                let threads: Vec<_> = (0..w)
-                    .map(|_| {
-                        let lock = Arc::clone(&lock);
-                        std::thread::spawn(move || {
-                            for _ in 0..rounds {
-                                *lock.lock() += 1;
-                            }
+        group.bench_with_input(
+            BenchmarkId::new("native_mutex", workers),
+            &workers,
+            |b, &w| {
+                b.iter(|| {
+                    let lock = Arc::new(parking_lot::Mutex::new(0u64));
+                    let threads: Vec<_> = (0..w)
+                        .map(|_| {
+                            let lock = Arc::clone(&lock);
+                            std::thread::spawn(move || {
+                                for _ in 0..rounds {
+                                    *lock.lock() += 1;
+                                }
+                            })
                         })
-                    })
-                    .collect();
-                for t in threads {
-                    t.join().unwrap();
-                }
-                assert_eq!(*lock.lock(), (w * rounds) as u64);
-            });
-        });
+                        .collect();
+                    for t in threads {
+                        t.join().unwrap();
+                    }
+                    assert_eq!(*lock.lock(), (w * rounds) as u64);
+                });
+            },
+        );
     }
     group.finish();
 }

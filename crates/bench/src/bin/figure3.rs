@@ -12,12 +12,23 @@
 //! smoke-testing; the default reproduces the paper's sweep: 20 hosts, 100
 //! messages, TTL 100, l ∈ {0, 1000, …, 10000}.
 
-use sm_bench::{overhead_percent, render_table, sweep, sweep_labeled, Series};
+use sm_bench::{
+    install_metrics, overhead_percent, render_table, sweep, sweep_labeled, write_metrics_sidecar,
+    Series,
+};
 use sm_mergeable::CopyMode;
 use sm_netsim::{Routing, Setup, SimConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    // Machine-readable sidecar: aggregate runtime telemetry (merge
+    // latencies, ops transformed, pool churn) for the whole run.
+    let metrics = install_metrics();
+    run(&args);
+    write_metrics_sidecar(&metrics, "figure3", &args);
+}
+
+fn run(args: &[String]) {
     let quick = args.iter().any(|a| a == "--quick");
 
     // Diagnostic mode: raw platform hash throughput, single- vs
@@ -68,7 +79,10 @@ fn main() {
             other => panic!("unknown setup {other:?}"),
         };
         let workload: usize = args.get(i + 2).and_then(|v| v.parse().ok()).unwrap_or(1000);
-        let cfg = SimConfig { workload, ..SimConfig::paper(0, Routing::HashDerived) };
+        let cfg = SimConfig {
+            workload,
+            ..SimConfig::paper(0, Routing::HashDerived)
+        };
         let r = sm_netsim::run_setup(setup, &cfg);
         println!(
             "{} l={workload}: {:.1} ms ({} hops, {} rounds)",
@@ -89,13 +103,23 @@ fn main() {
     let medium = args.iter().any(|a| a == "--medium");
     let (cfg, workloads): (SimConfig, Vec<usize>) = if quick {
         (
-            SimConfig { hosts: 8, initial_messages: 24, ttl: 20, workload: 0, routing: Routing::HashDerived, ..SimConfig::default() },
+            SimConfig {
+                hosts: 8,
+                initial_messages: 24,
+                ttl: 20,
+                workload: 0,
+                routing: Routing::HashDerived,
+                ..SimConfig::default()
+            },
             vec![0, 200, 400, 600, 800, 1000],
         )
     } else if medium {
         // Paper-scale configuration, reduced workload grid: fits slower
         // boxes while still exposing intercept, slope and overhead trend.
-        (SimConfig::paper(0, Routing::HashDerived), vec![0, 500, 1000, 2000, 4000])
+        (
+            SimConfig::paper(0, Routing::HashDerived),
+            vec![0, 500, 1000, 2000, 4000],
+        )
     } else {
         (
             SimConfig::paper(0, Routing::HashDerived),
@@ -121,7 +145,10 @@ fn main() {
     // eagerly at every fork; CopyMode::Deep reproduces that, so its
     // intercept is the analogue of the paper's ~400 ms constant overhead.
     eprintln!("sweeping Spawn Merge (deep copy) ...");
-    let deep_cfg = SimConfig { copy_mode: CopyMode::Deep, ..cfg };
+    let deep_cfg = SimConfig {
+        copy_mode: CopyMode::Deep,
+        ..cfg
+    };
     series.push(sweep_labeled(
         Setup::SpawnMergeNonDet,
         &deep_cfg,
@@ -138,9 +165,7 @@ fn main() {
         let (intercept, slope) = s.linear_fit();
         println!(
             "{:<28} intercept {:>9.1} ms   slope {:>9.5} ms/iter",
-            s.label,
-            intercept,
-            slope
+            s.label, intercept, slope
         );
     }
 

@@ -11,10 +11,13 @@
 //! cargo run --release -p sm-bench --bin scalability [-- --workload N]
 //! ```
 
+use sm_bench::{install_metrics, write_metrics_sidecar};
 use sm_netsim::{run_setup, Routing, Setup, SimConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    // Machine-readable sidecar: aggregate runtime telemetry for the run.
+    let metrics = install_metrics();
     let workload = args
         .iter()
         .position(|a| a == "--workload")
@@ -55,4 +58,6 @@ fn main() {
     }
 
     println!("\nNote: per-round Spawn & Merge overhead grows with host count (one\nmerge per host per round), while the conventional setup's lock\ncontention grows with concurrent senders — the crossover is the\ninteresting part.");
+
+    write_metrics_sidecar(&metrics, "scalability", &args);
 }

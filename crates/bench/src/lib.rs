@@ -9,9 +9,39 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::sync::Arc;
 use std::time::Duration;
 
 use sm_netsim::{run_setup, Setup, SimConfig};
+use sm_obs::Metrics;
+
+/// Install an `sm_obs` metrics aggregator for the duration of a bench
+/// binary run. Every runtime event from this point on (task spawns,
+/// merges with their OT stats, pool churn) is aggregated into the
+/// returned handle.
+pub fn install_metrics() -> Arc<Metrics> {
+    let metrics = Arc::new(Metrics::new());
+    sm_obs::install(metrics.clone());
+    metrics
+}
+
+/// Write the metrics JSON sidecar for a bench binary.
+///
+/// The output path is `--metrics-out PATH` when present in `args`, else
+/// `target/<name>-metrics.json`. Prints where the sidecar went (or why it
+/// could not be written) on stderr; a failed write never fails the bench.
+pub fn write_metrics_sidecar(metrics: &Metrics, name: &str, args: &[String]) {
+    let path = args
+        .iter()
+        .position(|a| a == "--metrics-out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| format!("target/{name}-metrics.json"));
+    match std::fs::write(&path, metrics.json_string()) {
+        Ok(()) => eprintln!("{name}: metrics sidecar written to {path}"),
+        Err(e) => eprintln!("{name}: could not write metrics sidecar {path}: {e}"),
+    }
+}
 
 /// One measured point of the Figure 3 sweep.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -42,14 +72,21 @@ impl Series {
     /// cost per workload unit.
     pub fn linear_fit(&self) -> (f64, f64) {
         linear_fit(
-            &self.points.iter().map(|p| p.workload as f64).collect::<Vec<_>>(),
+            &self
+                .points
+                .iter()
+                .map(|p| p.workload as f64)
+                .collect::<Vec<_>>(),
             &self.points.iter().map(|p| p.millis).collect::<Vec<_>>(),
         )
     }
 
     /// The measured time at a workload, if that point was swept.
     pub fn at(&self, workload: usize) -> Option<f64> {
-        self.points.iter().find(|p| p.workload == workload).map(|p| p.millis)
+        self.points
+            .iter()
+            .find(|p| p.workload == workload)
+            .map(|p| p.millis)
     }
 }
 
@@ -89,14 +126,24 @@ pub fn sweep_labeled(
     assert!(reps >= 1);
     let mut points = Vec::with_capacity(workloads.len());
     for &w in workloads {
-        let cfg = SimConfig { workload: w, ..*cfg };
+        let cfg = SimConfig {
+            workload: w,
+            ..*cfg
+        };
         let mut total = Duration::ZERO;
         for _ in 0..reps {
             total += run_setup(setup, &cfg).elapsed;
         }
-        points.push(Point { workload: w, millis: total.as_secs_f64() * 1000.0 / reps as f64 });
+        points.push(Point {
+            workload: w,
+            millis: total.as_secs_f64() * 1000.0 / reps as f64,
+        });
     }
-    Series { setup, label: label.into(), points }
+    Series {
+        setup,
+        label: label.into(),
+        points,
+    }
 }
 
 /// Relative overhead of `ours` vs `baseline` at one workload, in percent.

@@ -357,7 +357,10 @@ mod tests {
         let mut b = BytesMut::new();
         7u32.encode(&mut b);
         b.put_u8(99);
-        assert!(matches!(u32::from_bytes(&b.freeze()), Err(DecodeError::BadLength(_))));
+        assert!(matches!(
+            u32::from_bytes(&b.freeze()),
+            Err(DecodeError::BadLength(_))
+        ));
     }
 
     #[test]
@@ -383,7 +386,10 @@ mod tests {
     #[test]
     fn bad_bool_and_option_tags() {
         assert_eq!(bool::from_bytes(&[7]), Err(DecodeError::BadTag(7)));
-        assert!(matches!(Option::<u8>::from_bytes(&[9, 0]), Err(DecodeError::BadTag(9))));
+        assert!(matches!(
+            Option::<u8>::from_bytes(&[9, 0]),
+            Err(DecodeError::BadTag(9))
+        ));
     }
 
     proptest! {

@@ -72,8 +72,14 @@ impl Encode for TextOp {
 impl Decode for TextOp {
     fn decode(buf: &mut Bytes) -> Result<Self, DecodeError> {
         match get_tag(buf)? {
-            0 => Ok(TextOp::Insert { pos: usize::decode(buf)?, text: String::decode(buf)? }),
-            1 => Ok(TextOp::Delete { pos: usize::decode(buf)?, len: usize::decode(buf)? }),
+            0 => Ok(TextOp::Insert {
+                pos: usize::decode(buf)?,
+                text: String::decode(buf)?,
+            }),
+            1 => Ok(TextOp::Delete {
+                pos: usize::decode(buf)?,
+                len: usize::decode(buf)?,
+            }),
             t => Err(DecodeError::BadTag(t)),
         }
     }
@@ -151,7 +157,10 @@ impl<K: Encode> Encode for CounterMapOp<K> {
 
 impl<K: Decode> Decode for CounterMapOp<K> {
     fn decode(buf: &mut Bytes) -> Result<Self, DecodeError> {
-        Ok(CounterMapOp { key: K::decode(buf)?, delta: i64::decode(buf)? })
+        Ok(CounterMapOp {
+            key: K::decode(buf)?,
+            delta: i64::decode(buf)?,
+        })
     }
 }
 
@@ -163,7 +172,9 @@ impl<T: Encode> Encode for RegisterOp<T> {
 
 impl<T: Decode> Decode for RegisterOp<T> {
     fn decode(buf: &mut Bytes) -> Result<Self, DecodeError> {
-        Ok(RegisterOp { value: T::decode(buf)? })
+        Ok(RegisterOp {
+            value: T::decode(buf)?,
+        })
     }
 }
 
@@ -176,7 +187,10 @@ impl<V: Encode> Encode for Node<V> {
 
 impl<V: Decode> Decode for Node<V> {
     fn decode(buf: &mut Bytes) -> Result<Self, DecodeError> {
-        Ok(Node { value: V::decode(buf)?, children: Vec::decode(buf)? })
+        Ok(Node {
+            value: V::decode(buf)?,
+            children: Vec::decode(buf)?,
+        })
     }
 }
 
@@ -204,9 +218,17 @@ impl<V: Encode> Encode for TreeOp<V> {
 impl<V: Decode> Decode for TreeOp<V> {
     fn decode(buf: &mut Bytes) -> Result<Self, DecodeError> {
         match get_tag(buf)? {
-            0 => Ok(TreeOp::Insert { path: Vec::decode(buf)?, node: Node::decode(buf)? }),
-            1 => Ok(TreeOp::Delete { path: Vec::decode(buf)? }),
-            2 => Ok(TreeOp::SetValue { path: Vec::decode(buf)?, value: V::decode(buf)? }),
+            0 => Ok(TreeOp::Insert {
+                path: Vec::decode(buf)?,
+                node: Node::decode(buf)?,
+            }),
+            1 => Ok(TreeOp::Delete {
+                path: Vec::decode(buf)?,
+            }),
+            2 => Ok(TreeOp::SetValue {
+                path: Vec::decode(buf)?,
+                value: V::decode(buf)?,
+            }),
             t => Err(DecodeError::BadTag(t)),
         }
     }
@@ -253,18 +275,36 @@ mod tests {
 
     #[test]
     fn tree_ops_roundtrip() {
-        let node = Node::branch(1u32, vec![Node::leaf(2), Node::branch(3, vec![Node::leaf(4)])]);
+        let node = Node::branch(
+            1u32,
+            vec![Node::leaf(2), Node::branch(3, vec![Node::leaf(4)])],
+        );
         roundtrip(&node);
-        roundtrip(&TreeOp::Insert { path: vec![0, 2], node });
+        roundtrip(&TreeOp::Insert {
+            path: vec![0, 2],
+            node,
+        });
         roundtrip(&TreeOp::<u32>::Delete { path: vec![1] });
-        roundtrip(&TreeOp::SetValue { path: vec![], value: 9u32 });
+        roundtrip(&TreeOp::SetValue {
+            path: vec![],
+            value: 9u32,
+        });
     }
 
     #[test]
     fn bad_tags_fail() {
-        assert!(matches!(ListOp::<u8>::from_bytes(&[9, 0, 0]), Err(DecodeError::BadTag(9))));
-        assert!(matches!(TextOp::from_bytes(&[7]), Err(DecodeError::BadTag(7))));
-        assert!(matches!(TreeOp::<u8>::from_bytes(&[5]), Err(DecodeError::BadTag(5))));
+        assert!(matches!(
+            ListOp::<u8>::from_bytes(&[9, 0, 0]),
+            Err(DecodeError::BadTag(9))
+        ));
+        assert!(matches!(
+            TextOp::from_bytes(&[7]),
+            Err(DecodeError::BadTag(7))
+        ));
+        assert!(matches!(
+            TreeOp::<u8>::from_bytes(&[5]),
+            Err(DecodeError::BadTag(5))
+        ));
     }
 
     proptest! {

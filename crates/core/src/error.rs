@@ -38,7 +38,9 @@ pub struct TaskAbort {
 impl TaskAbort {
     /// Abort with the given reason.
     pub fn new(reason: impl Into<String>) -> Self {
-        TaskAbort { reason: reason.into() }
+        TaskAbort {
+            reason: reason.into(),
+        }
     }
 }
 
@@ -86,7 +88,10 @@ impl fmt::Display for SyncError {
         match self {
             SyncError::RootTask => write!(f, "the root task has no parent to sync with"),
             SyncError::MergeRejected => {
-                write!(f, "the parent rejected the merge (condition failed); changes rolled back")
+                write!(
+                    f,
+                    "the parent rejected the merge (condition failed); changes rolled back"
+                )
             }
             SyncError::Aborted => write!(f, "this task was externally aborted by its parent"),
             SyncError::HasLiveChildren => {

@@ -187,7 +187,10 @@ mod tests {
             });
             t.abort();
             let report = ctx.merge_all_from_set(&[&t]);
-            assert_eq!(report.children[0].disposition, Disposition::AbortedExternally);
+            assert_eq!(
+                report.children[0].disposition,
+                Disposition::AbortedExternally
+            );
         });
         assert_eq!(list.to_vec(), vec![1]);
     }
@@ -204,8 +207,7 @@ mod tests {
                 Ok(())
             });
             // Post-condition: only accept children whose result stays small.
-            let report =
-                ctx.merge_all_from_set_with(&[&good, &bad], &|d: &MCounter| d.get() < 100);
+            let report = ctx.merge_all_from_set_with(&[&good, &bad], &|d: &MCounter| d.get() < 100);
             assert!(report.children[0].disposition.is_merged());
             assert_eq!(report.children[1].disposition, Disposition::Rejected);
         });
@@ -218,15 +220,22 @@ mod tests {
             ctx.spawn(|child| {
                 child.data_mut().0.inc();
                 child.sync()?; // pushes the increment to the parent
-                // After sync we see the parent's updated state.
-                assert!(*child.data().1.get(), "child must observe parent's flag after sync");
+                               // After sync we see the parent's updated state.
+                assert!(
+                    *child.data().1.get(),
+                    "child must observe parent's flag after sync"
+                );
                 child.data_mut().0.inc();
                 Ok(())
             });
             // One merge_all round processes the child's sync.
             ctx.data_mut().1.set(true);
             ctx.merge_all();
-            assert_eq!(ctx.data().0.get(), 1, "intermediate result visible after sync merge");
+            assert_eq!(
+                ctx.data().0.get(),
+                1,
+                "intermediate result visible after sync merge"
+            );
             ctx.merge_all(); // completion
         });
         assert_eq!(counter.get(), 2);

@@ -22,8 +22,10 @@
 //! in deterministic rounds (the simulation pattern of listing 4).
 
 use std::collections::BTreeSet;
+use std::time::Instant;
 
-use sm_mergeable::{Mergeable, MergeStats};
+use sm_mergeable::{MergeStats, Mergeable};
+use sm_obs::{emit, EventKind, MergeOpStats};
 
 use crate::error::AbortReason;
 use crate::task::{Event, EventBody, SyncReply, TaskCtx, TaskHandle, TaskId};
@@ -70,7 +72,10 @@ pub struct MergeReport {
 impl MergeReport {
     /// Children whose changes were merged.
     pub fn merged_count(&self) -> usize {
-        self.children.iter().filter(|c| c.disposition.is_merged()).count()
+        self.children
+            .iter()
+            .filter(|c| c.disposition.is_merged())
+            .count()
     }
 
     /// True if every processed child merged successfully.
@@ -157,7 +162,11 @@ impl<D: Mergeable> TaskCtx<D> {
         self.merge_any_inner(Some(ids), condition)
     }
 
-    fn merge_all_inner(&mut self, subset: Option<Vec<TaskId>>, cond: Condition<'_, D>) -> MergeReport {
+    fn merge_all_inner(
+        &mut self,
+        subset: Option<Vec<TaskId>>,
+        cond: Condition<'_, D>,
+    ) -> MergeReport {
         self.adopt_children();
         let ids: Vec<TaskId> = match subset {
             // All live children, creation order.
@@ -276,8 +285,10 @@ impl<D: Mergeable> TaskCtx<D> {
             .iter()
             .position(|c| c.id == ev.child)
             .expect("event from unknown child");
-        let externally_aborted =
-            self.children[pos].abort.load(std::sync::atomic::Ordering::SeqCst);
+        let externally_aborted = self.children[pos]
+            .abort
+            .load(std::sync::atomic::Ordering::SeqCst);
+        let child_path = self.path.child(ev.child);
 
         match ev.body {
             EventBody::Done { data, outcome } => {
@@ -288,10 +299,7 @@ impl<D: Mergeable> TaskCtx<D> {
                             Disposition::AbortedExternally
                         } else if let Some(child_data) = data {
                             if cond(&child_data) {
-                                let stats = self
-                                    .data_mut()
-                                    .merge(&child_data)
-                                    .expect("merging a spawned child cannot fail");
+                                let stats = self.merge_child(&child_data, &child_path, false);
                                 Disposition::Merged(stats)
                             } else {
                                 Disposition::Rejected
@@ -302,13 +310,27 @@ impl<D: Mergeable> TaskCtx<D> {
                             ))
                         }
                     }
-                    crate::task::TaskOutcome::Aborted(reason) => Disposition::AbortedByChild(reason),
+                    crate::task::TaskOutcome::Aborted(reason) => {
+                        Disposition::AbortedByChild(reason)
+                    }
                 };
-                MergedChild { task: ev.child, completed: true, disposition }
+                if !disposition.is_merged() {
+                    emit(&self.path, || EventKind::MergeRejected {
+                        child: child_path,
+                    });
+                }
+                MergedChild {
+                    task: ev.child,
+                    completed: true,
+                    disposition,
+                }
             }
             EventBody::Sync { data, reply } => {
                 if externally_aborted {
                     let _ = reply.send(SyncReply::Rejected(data));
+                    emit(&self.path, || EventKind::MergeRejected {
+                        child: child_path,
+                    });
                     return MergedChild {
                         task: ev.child,
                         completed: false,
@@ -316,10 +338,7 @@ impl<D: Mergeable> TaskCtx<D> {
                     };
                 }
                 if cond(&data) {
-                    let stats = self
-                        .data_mut()
-                        .merge(&data)
-                        .expect("merging a synced child cannot fail");
+                    let stats = self.merge_child(&data, &child_path, true);
                     let fresh = self.data().fork();
                     let _ = reply.send(SyncReply::Accepted(fresh));
                     MergedChild {
@@ -329,6 +348,9 @@ impl<D: Mergeable> TaskCtx<D> {
                     }
                 } else {
                     let _ = reply.send(SyncReply::Rejected(data));
+                    emit(&self.path, || EventKind::MergeRejected {
+                        child: child_path,
+                    });
                     MergedChild {
                         task: ev.child,
                         completed: false,
@@ -337,5 +359,39 @@ impl<D: Mergeable> TaskCtx<D> {
                 }
             }
         }
+    }
+
+    /// Perform the actual OT merge of one child's data, emitting the
+    /// `MergeStarted` / `MergeFinished` observability pair around it.
+    fn merge_child(
+        &mut self,
+        child_data: &D,
+        child_path: &sm_obs::TaskPath,
+        child_continues: bool,
+    ) -> MergeStats {
+        emit(&self.path, || EventKind::MergeStarted {
+            child: child_path.clone(),
+        });
+        let merge_t0 = sm_obs::is_enabled().then(Instant::now);
+        let stats = self
+            .data_mut()
+            .merge(child_data)
+            .expect("merging a forked child cannot fail");
+        if let Some(t0) = merge_t0 {
+            let merge_nanos = t0.elapsed().as_nanos() as u64;
+            let oplog_len = self.data().pending_ops();
+            emit(&self.path, || EventKind::MergeFinished {
+                child: child_path.clone(),
+                child_continues,
+                ops: MergeOpStats {
+                    child_ops: stats.child_ops,
+                    applied_ops: stats.applied_ops,
+                    committed_ops: stats.committed_ops,
+                },
+                oplog_len,
+                merge_nanos,
+            });
+        }
+        stats
     }
 }

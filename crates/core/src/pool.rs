@@ -14,10 +14,11 @@
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
+use sm_obs::{emit, EventKind, TaskPath};
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
@@ -28,6 +29,12 @@ pub struct PoolStats {
     pub threads_created: u64,
     /// Jobs executed (including currently running).
     pub jobs_executed: u64,
+    /// Worker threads currently alive (busy or idle).
+    pub live_workers: u64,
+    /// High-water mark of simultaneously live worker threads.
+    pub peak_workers: u64,
+    /// Total time jobs spent between submission and starting to run.
+    pub queue_wait_nanos: u64,
 }
 
 struct Inner {
@@ -39,6 +46,8 @@ struct Inner {
     threads_created: AtomicU64,
     jobs_executed: AtomicU64,
     live_workers: AtomicUsize,
+    peak_workers: AtomicUsize,
+    queue_wait_nanos: AtomicU64,
 }
 
 /// The cached worker pool. Cloning shares the pool.
@@ -69,6 +78,8 @@ impl Pool {
                 threads_created: AtomicU64::new(0),
                 jobs_executed: AtomicU64::new(0),
                 live_workers: AtomicUsize::new(0),
+                peak_workers: AtomicUsize::new(0),
+                queue_wait_nanos: AtomicU64::new(0),
             }),
         }
     }
@@ -78,7 +89,14 @@ impl Pool {
     /// that blocks forever cannot starve later jobs.
     pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
         self.inner.jobs_executed.fetch_add(1, Ordering::Relaxed);
-        let job: Job = Box::new(job);
+        let submitted = Instant::now();
+        let wait_sink = Arc::clone(&self.inner);
+        let job: Job = Box::new(move || {
+            wait_sink
+                .queue_wait_nanos
+                .fetch_add(submitted.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            job()
+        });
         // Claim an idle worker if one exists. Popping under the lock makes
         // the claim exclusive; the worker either receives in its
         // `recv_timeout`, or — if it timed out concurrently — notices its
@@ -94,13 +112,16 @@ impl Pool {
 
     fn spawn_worker(&self, first_job: Job) {
         let inner = Arc::clone(&self.inner);
-        inner.threads_created.fetch_add(1, Ordering::Relaxed);
-        inner.live_workers.fetch_add(1, Ordering::Relaxed);
+        let worker = inner.threads_created.fetch_add(1, Ordering::Relaxed);
+        let live = inner.live_workers.fetch_add(1, Ordering::Relaxed) + 1;
+        inner.peak_workers.fetch_max(live, Ordering::Relaxed);
         std::thread::Builder::new()
             .name("sm-task-worker".into())
             .spawn(move || {
+                emit(&TaskPath::root(), || EventKind::WorkerStarted { worker });
                 worker_loop(&inner, first_job);
                 inner.live_workers.fetch_sub(1, Ordering::Relaxed);
+                emit(&TaskPath::root(), || EventKind::WorkerRetired { worker });
             })
             .expect("failed to spawn worker thread");
     }
@@ -110,6 +131,9 @@ impl Pool {
         PoolStats {
             threads_created: self.inner.threads_created.load(Ordering::Relaxed),
             jobs_executed: self.inner.jobs_executed.load(Ordering::Relaxed),
+            live_workers: self.inner.live_workers.load(Ordering::Relaxed) as u64,
+            peak_workers: self.inner.peak_workers.load(Ordering::Relaxed) as u64,
+            queue_wait_nanos: self.inner.queue_wait_nanos.load(Ordering::Relaxed),
         }
     }
 
@@ -184,11 +208,18 @@ mod tests {
             rx.recv().unwrap();
             let deadline = std::time::Instant::now() + Duration::from_secs(2);
             while pool.idle_workers() == 0 {
-                assert!(std::time::Instant::now() < deadline, "worker failed to park");
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "worker failed to park"
+                );
                 std::thread::yield_now();
             }
         }
-        assert_eq!(pool.stats().threads_created, 1, "sequential jobs must share one worker");
+        assert_eq!(
+            pool.stats().threads_created,
+            1,
+            "sequential jobs must share one worker"
+        );
     }
 
     #[test]
@@ -224,6 +255,57 @@ mod tests {
     }
 
     #[test]
+    fn stats_track_live_and_peak_workers() {
+        let pool = Pool::with_keep_alive(Duration::from_millis(30));
+        let gate = Arc::new(AtomicU32::new(0));
+        let (tx, rx) = mpsc::channel();
+        // 4 concurrently blocking jobs force 4 simultaneous workers.
+        for _ in 0..4 {
+            let gate = Arc::clone(&gate);
+            let tx = tx.clone();
+            pool.execute(move || {
+                gate.fetch_add(1, Ordering::SeqCst);
+                while gate.load(Ordering::SeqCst) < 4 {
+                    std::thread::yield_now();
+                }
+                tx.send(()).unwrap();
+            });
+        }
+        for _ in 0..4 {
+            rx.recv().unwrap();
+        }
+        let stats = pool.stats();
+        assert!(
+            stats.peak_workers >= 4,
+            "peak must cover the concurrent burst"
+        );
+        assert!(stats.live_workers <= stats.peak_workers);
+
+        // After the keep-alive has expired everyone retires, but the peak
+        // high-water mark stays.
+        std::thread::sleep(Duration::from_millis(300));
+        let stats = pool.stats();
+        assert_eq!(stats.live_workers, 0);
+        assert!(stats.peak_workers >= 4);
+    }
+
+    #[test]
+    fn stats_accumulate_queue_wait() {
+        let pool = Pool::new();
+        let (tx, rx) = mpsc::channel();
+        for _ in 0..5 {
+            let tx = tx.clone();
+            pool.execute(move || tx.send(()).unwrap());
+        }
+        for _ in 0..5 {
+            rx.recv().unwrap();
+        }
+        // Dispatch is never literally instantaneous: every job records a
+        // nonzero submission-to-start wait.
+        assert!(pool.stats().queue_wait_nanos > 0);
+    }
+
+    #[test]
     fn claim_race_does_not_lose_jobs() {
         // Hammer the timeout/claim window: tiny keep-alive plus job
         // submission bursts around it.
@@ -238,7 +320,10 @@ mod tests {
         }
         let deadline = std::time::Instant::now() + Duration::from_secs(5);
         while done.load(Ordering::SeqCst) < 200 {
-            assert!(std::time::Instant::now() < deadline, "jobs lost in claim race");
+            assert!(
+                std::time::Instant::now() < deadline,
+                "jobs lost in claim race"
+            );
             std::thread::yield_now();
         }
     }

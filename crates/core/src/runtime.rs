@@ -4,6 +4,7 @@ use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 
 use sm_mergeable::Mergeable;
+use sm_obs::{emit, EventKind, TaskPath};
 
 use crate::pool::Pool;
 use crate::task::TaskCtx;
@@ -52,8 +53,11 @@ pub fn run_with_pool<D, R>(data: D, pool: Pool, root: impl FnOnce(&mut TaskCtx<D
 where
     D: Mergeable,
 {
+    let root_path = TaskPath::root();
+    emit(&root_path, || EventKind::TaskSpawned { spawn_nanos: 0 });
     let mut ctx = TaskCtx::new(data, 0, None, Arc::new(AtomicBool::new(false)), pool);
     let result = root(&mut ctx);
     ctx.drain_children();
+    emit(&root_path, || EventKind::TaskCompleted);
     (ctx.into_data(), result)
 }

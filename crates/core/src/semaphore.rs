@@ -104,7 +104,9 @@ where
 {
     let body = Arc::new(body);
     let (final_data, (grants, deadlocked, stranded)) =
-        run(MList::from_vec(vec![initial_permits]), move |ctx| manager(ctx, workers, body));
+        run(MList::from_vec(vec![initial_permits]), move |ctx| {
+            manager(ctx, workers, body)
+        });
     SemaphoreOutcome {
         final_value: final_data.get(0).copied().unwrap_or(0),
         grants,
@@ -159,6 +161,7 @@ where
         // Process L: releases first, then FIFO grants.
         let (granted, waiting) = process_semaphore_list(ctx.data_mut(), &mut grants);
         for id in granted {
+            ctx.mark(format!("semaphore grant -> task {id}"));
             if live.contains(&id) {
                 in_s.insert(id);
             }
@@ -206,8 +209,9 @@ fn process_semaphore_list(l: &mut SemData, grants: &mut u64) -> (Vec<TaskId>, Ve
         granted.push(id as TaskId);
     }
 
-    let waiting: Vec<TaskId> =
-        (1..l.len()).map(|i| *l.get(i).expect("index in range") as TaskId).collect();
+    let waiting: Vec<TaskId> = (1..l.len())
+        .map(|i| *l.get(i).expect("index in range") as TaskId)
+        .collect();
     l.set(0, value);
     (granted, waiting)
 }
@@ -232,7 +236,11 @@ mod tests {
         let mut l = MList::from_vec(vec![0, 5, -3, 6]);
         let mut grants = 0;
         let (granted, waiting) = process_semaphore_list(&mut l, &mut grants);
-        assert_eq!(granted, vec![5], "the release frees one permit for the first waiter");
+        assert_eq!(
+            granted,
+            vec![5],
+            "the release frees one permit for the first waiter"
+        );
         assert_eq!(waiting, vec![6]);
         assert_eq!(l.to_vec(), vec![0, 6]);
     }

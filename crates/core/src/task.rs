@@ -11,10 +11,12 @@ use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use sm_mergeable::Mergeable;
+use sm_obs::{emit, AbortCause, EventKind, TaskPath};
 
 use crate::error::{AbortReason, SyncError, TaskAbort, TaskResult};
 use crate::pool::Pool;
@@ -67,6 +69,9 @@ pub(crate) enum SyncReply<D> {
 
 /// State shared between a parent task and all of its children.
 pub(crate) struct Family<D> {
+    /// The owning (parent) task's observability path; children derive
+    /// theirs as `path.child(id)`.
+    pub path: TaskPath,
     /// Events from children to the parent.
     pub events_tx: Sender<Event<D>>,
     /// Children created via `Clone` by existing children; the parent
@@ -144,6 +149,8 @@ pub struct TaskCtx<D: Mergeable> {
     /// value of data from its sibling", §II-E).
     pub(crate) pristine: D,
     pub(crate) id: TaskId,
+    /// Globally unique, deterministic identity for observability.
+    pub(crate) path: TaskPath,
     /// Link to the parent's family; `None` for the root task.
     pub(crate) parent: Option<Arc<Family<D>>>,
     pub(crate) abort_flag: Arc<AtomicBool>,
@@ -167,13 +174,19 @@ impl<D: Mergeable> TaskCtx<D> {
     ) -> Self {
         let (events_tx, events_rx) = unbounded();
         let pristine = data.clone();
+        let path = match &parent {
+            Some(family) => family.path.child(id),
+            None => TaskPath::root(),
+        };
         TaskCtx {
             data: Some(data),
             pristine,
             id,
+            path: path.clone(),
             parent,
             abort_flag,
             family: Arc::new(Family {
+                path,
                 events_tx,
                 adopted: Mutex::new(Vec::new()),
                 next_id: AtomicU64::new(1),
@@ -195,19 +208,39 @@ impl<D: Mergeable> TaskCtx<D> {
         self.parent.is_none()
     }
 
+    /// This task's globally unique observability path (`sm_obs`): the
+    /// chain of task ids from the root, fixed deterministically by spawn
+    /// order.
+    pub fn path(&self) -> &TaskPath {
+        &self.path
+    }
+
+    /// Emit a freeform [`sm_obs`] mark annotation attributed to this task
+    /// (a no-op unless a recorder is installed).
+    pub fn mark(&self, label: impl Into<String>) {
+        if sm_obs::is_enabled() {
+            let label = label.into();
+            emit(&self.path, || EventKind::Mark { label });
+        }
+    }
+
     /// Read access to the task's data copy.
     ///
     /// # Panics
     /// Panics if the data was lost because the parent task disappeared
     /// during a `sync`.
     pub fn data(&self) -> &D {
-        self.data.as_ref().expect("task data unavailable (parent task is gone)")
+        self.data
+            .as_ref()
+            .expect("task data unavailable (parent task is gone)")
     }
 
     /// Mutable access to the task's data copy. All mutations are recorded
     /// as operations and serialized at the next merge.
     pub fn data_mut(&mut self) -> &mut D {
-        self.data.as_mut().expect("task data unavailable (parent task is gone)")
+        self.data
+            .as_mut()
+            .expect("task data unavailable (parent task is gone)")
     }
 
     /// Number of live (unmerged) children.
@@ -243,12 +276,27 @@ impl<D: Mergeable> TaskCtx<D> {
     where
         F: FnOnce(&mut TaskCtx<D>) -> TaskResult + Send + 'static,
     {
+        let spawn_t0 = sm_obs::is_enabled().then(Instant::now);
         let id = self.family.next_id.fetch_add(1, Ordering::Relaxed);
         let data = self.data().fork();
+        // Emit BEFORE dispatching: the spawned task may start emitting its
+        // own events immediately, and `TaskSpawned` must be the first event
+        // of its per-task sequence (the determinism auditor hashes chains
+        // in program order). `spawn_nanos` therefore covers the fork, not
+        // the pool dispatch.
+        if let Some(t0) = spawn_t0 {
+            let spawn_nanos = t0.elapsed().as_nanos() as u64;
+            emit(&self.path.child(id), || EventKind::TaskSpawned {
+                spawn_nanos,
+            });
+        }
         let handle = spawn_task(&self.family, id, data, f);
         // Parent-spawned children are recorded directly, in creation order
         // (ids are monotone, so plain push keeps `children` sorted).
-        self.children.push(ChildRecord { id, abort: Arc::clone(&handle.abort) });
+        self.children.push(ChildRecord {
+            id,
+            abort: Arc::clone(&handle.abort),
+        });
         handle
     }
 
@@ -265,12 +313,26 @@ impl<D: Mergeable> TaskCtx<D> {
         F: FnOnce(&mut TaskCtx<D>) -> TaskResult + Send + 'static,
     {
         let parent = self.parent.as_ref().ok_or(SyncError::RootTask)?;
+        let spawn_t0 = sm_obs::is_enabled().then(Instant::now);
         let id = parent.next_id.fetch_add(1, Ordering::Relaxed);
         let data = self.pristine.clone();
         // Register the sibling BEFORE it can run: the parent must be able
         // to resolve the child id of any event it receives.
         let abort = Arc::new(AtomicBool::new(false));
-        parent.adopted.lock().push(ChildRecord { id, abort: Arc::clone(&abort) });
+        parent.adopted.lock().push(ChildRecord {
+            id,
+            abort: Arc::clone(&abort),
+        });
+        // Emit BEFORE dispatching, for the same reason as in `spawn`: the
+        // sibling's `TaskSpawned` must open its per-task event sequence.
+        if let Some(t0) = spawn_t0 {
+            let clone = parent.path.child(id);
+            let spawn_nanos = t0.elapsed().as_nanos() as u64;
+            emit(&self.path, || EventKind::CloneCreated {
+                clone: clone.clone(),
+            });
+            emit(&clone, || EventKind::TaskSpawned { spawn_nanos });
+        }
         let handle = spawn_task_with_abort(parent, id, data, f, abort);
         Ok(handle)
     }
@@ -293,14 +355,25 @@ impl<D: Mergeable> TaskCtx<D> {
         }
         let (reply_tx, reply_rx) = bounded(1);
         let data = self.data.take().expect("task data unavailable");
+        emit(&self.path, || EventKind::SyncBlocked);
+        let blocked_t0 = Instant::now();
         if parent
             .events_tx
-            .send(Event { child: self.id, body: EventBody::Sync { data, reply: reply_tx } })
+            .send(Event {
+                child: self.id,
+                body: EventBody::Sync {
+                    data,
+                    reply: reply_tx,
+                },
+            })
             .is_err()
         {
+            self.emit_sync_resumed(blocked_t0, false);
             return Err(SyncError::ParentGone);
         }
-        match reply_rx.recv() {
+        let reply = reply_rx.recv();
+        self.emit_sync_resumed(blocked_t0, matches!(reply, Ok(SyncReply::Accepted(_))));
+        match reply {
             Ok(SyncReply::Accepted(fresh)) => {
                 self.pristine = fresh.clone();
                 self.data = Some(fresh);
@@ -316,6 +389,13 @@ impl<D: Mergeable> TaskCtx<D> {
             }
             Err(_) => Err(SyncError::ParentGone),
         }
+    }
+
+    fn emit_sync_resumed(&self, blocked_t0: Instant, accepted: bool) {
+        emit(&self.path, || EventKind::SyncResumed {
+            blocked_nanos: blocked_t0.elapsed().as_nanos() as u64,
+            accepted,
+        });
     }
 
     /// Consume the context, yielding the final data (root task teardown).
@@ -360,14 +440,24 @@ where
     D: Mergeable,
     F: FnOnce(&mut TaskCtx<D>) -> TaskResult + Send + 'static,
 {
-    let handle = TaskHandle { id, abort: Arc::clone(&abort) };
+    let handle = TaskHandle {
+        id,
+        abort: Arc::clone(&abort),
+    };
     let parent_family = Arc::clone(parent);
     let pool = parent.pool.clone();
     let pool_for_child = pool.clone();
 
     pool.execute(move || {
-        let mut ctx =
-            TaskCtx::new(data, id, Some(Arc::clone(&parent_family)), abort, pool_for_child);
+        let externally_aborted = Arc::clone(&abort);
+        let mut ctx = TaskCtx::new(
+            data,
+            id,
+            Some(Arc::clone(&parent_family)),
+            abort,
+            pool_for_child,
+        );
+        let path = ctx.path.clone();
         let result = catch_unwind(AssertUnwindSafe(|| f(&mut ctx)));
 
         let (data, outcome) = match result {
@@ -380,7 +470,10 @@ where
             }
             Ok(Err(abort_err)) => {
                 ctx.abort_children_and_drain();
-                (None, TaskOutcome::Aborted(AbortReason::Error(abort_err.reason)))
+                (
+                    None,
+                    TaskOutcome::Aborted(AbortReason::Error(abort_err.reason)),
+                )
             }
             Err(panic) => {
                 ctx.abort_children_and_drain();
@@ -388,8 +481,26 @@ where
                 (None, TaskOutcome::Aborted(AbortReason::Panic(msg)))
             }
         };
+        match &outcome {
+            TaskOutcome::Completed => emit(&path, || EventKind::TaskCompleted),
+            TaskOutcome::Aborted(reason) => {
+                let cause = if externally_aborted.load(Ordering::SeqCst) {
+                    AbortCause::External
+                } else {
+                    match reason {
+                        AbortReason::Error(_) => AbortCause::Failed,
+                        AbortReason::Panic(_) => AbortCause::Panicked,
+                        AbortReason::External => AbortCause::External,
+                    }
+                };
+                emit(&path, || EventKind::TaskAborted { cause });
+            }
+        }
         // If the parent is gone the send fails; nothing more to do.
-        let _ = parent_family.events_tx.send(Event { child: id, body: EventBody::Done { data, outcome } });
+        let _ = parent_family.events_tx.send(Event {
+            child: id,
+            body: EventBody::Done { data, outcome },
+        });
     });
 
     handle

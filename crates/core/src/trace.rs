@@ -56,7 +56,10 @@ impl MergeTrace {
 
     /// A cursor for replaying this trace from the beginning.
     pub fn cursor(&self) -> TraceCursor<'_> {
-        TraceCursor { trace: self, next: 0 }
+        TraceCursor {
+            trace: self,
+            next: 0,
+        }
     }
 
     pub(crate) fn record(&mut self, task: TaskId) {
@@ -149,16 +152,11 @@ mod tests {
 
     /// A program whose result genuinely depends on merge_any order:
     /// children append their id; jitter scrambles completion order.
-    fn scrambled_program(
-        jitter: u64,
-        mode: impl FnOnce(&mut TaskCtx<MList<u64>>),
-    ) -> Vec<u64> {
+    fn scrambled_program(jitter: u64, mode: impl FnOnce(&mut TaskCtx<MList<u64>>)) -> Vec<u64> {
         let (list, ()) = run(MList::new(), |ctx| {
             for i in 0..6u64 {
                 ctx.spawn(move |c| {
-                    std::thread::sleep(std::time::Duration::from_micros(
-                        (i * jitter * 131) % 700,
-                    ));
+                    std::thread::sleep(std::time::Duration::from_micros((i * jitter * 131) % 700));
                     c.data_mut().push(i);
                     Ok(())
                 });
@@ -184,7 +182,10 @@ mod tests {
                 let replayed = scrambled_program(replay_jitter, |ctx| {
                     while let Ok(Some(_)) = ctx.merge_any_replaying(&mut cursor) {}
                 });
-                assert_eq!(replayed, recorded, "replay diverged (jitter {replay_jitter})");
+                assert_eq!(
+                    replayed, recorded,
+                    "replay diverged (jitter {replay_jitter})"
+                );
             }
         }
     }

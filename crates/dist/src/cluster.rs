@@ -40,14 +40,18 @@ impl<D> Default for JobRegistry<D> {
 
 impl<D> Clone for JobRegistry<D> {
     fn clone(&self) -> Self {
-        JobRegistry { jobs: self.jobs.clone() }
+        JobRegistry {
+            jobs: self.jobs.clone(),
+        }
     }
 }
 
 impl<D> JobRegistry<D> {
     /// An empty registry.
     pub fn new() -> Self {
-        JobRegistry { jobs: HashMap::new() }
+        JobRegistry {
+            jobs: HashMap::new(),
+        }
     }
 
     /// Register `job` under `name` (replacing any previous binding).
@@ -85,7 +89,11 @@ pub(crate) enum WireMsg {
     },
     /// Task finished: the payload is the encoded op log (ok) or an error
     /// string (not ok).
-    Done { task: u64, ok: bool, payload: Vec<u8> },
+    Done {
+        task: u64,
+        ok: bool,
+        payload: Vec<u8>,
+    },
     /// Worker should exit.
     Shutdown,
 }
@@ -93,7 +101,12 @@ pub(crate) enum WireMsg {
 impl Encode for WireMsg {
     fn encode(&self, buf: &mut BytesMut) {
         match self {
-            WireMsg::Spawn { task, job, state, arg } => {
+            WireMsg::Spawn {
+                task,
+                job,
+                state,
+                arg,
+            } => {
                 buf.put_u8(0);
                 task.encode(buf);
                 job.encode(buf);
@@ -167,12 +180,20 @@ impl Cluster {
         let mut links = Vec::with_capacity(workers);
         let mut recv_halves = Vec::with_capacity(workers);
         for rank in 1..=workers {
-            let stream = net.connect(rank as u16).map_err(|e| DistError::Link(e.to_string()))?;
+            let stream = net
+                .connect(rank as u16)
+                .map_err(|e| DistError::Link(e.to_string()))?;
             let (send, recv) = stream.split();
             links.push(send);
             recv_halves.push(recv);
         }
-        Ok((Cluster { links, workers: handles }, recv_halves))
+        Ok((
+            Cluster {
+                links,
+                workers: handles,
+            },
+            recv_halves,
+        ))
     }
 
     /// Number of worker nodes.
@@ -185,13 +206,25 @@ impl Cluster {
             .links
             .get(node.checked_sub(1).ok_or(DistError::NoSuchNode(node))?)
             .ok_or(DistError::NoSuchNode(node))?;
-        link.send(&msg.to_bytes()).map_err(|e| DistError::Link(e.to_string()))
+        let raw = msg.to_bytes();
+        let bytes = raw.len();
+        sm_obs::emit(&sm_obs::TaskPath::root(), || sm_obs::EventKind::WireSent {
+            node,
+            bytes,
+        });
+        link.send(&raw).map_err(|e| DistError::Link(e.to_string()))
     }
 
     /// Shut every node down and join its thread.
     pub(crate) fn shutdown(self) {
-        for link in &self.links {
-            let _ = link.send(&WireMsg::Shutdown.to_bytes());
+        for (i, link) in self.links.iter().enumerate() {
+            let raw = WireMsg::Shutdown.to_bytes();
+            let bytes = raw.len();
+            sm_obs::emit(&sm_obs::TaskPath::root(), || sm_obs::EventKind::WireSent {
+                node: i + 1,
+                bytes,
+            });
+            let _ = link.send(&raw);
         }
         drop(self.links);
         for w in self.workers {
@@ -217,11 +250,24 @@ fn worker_main<D: Wire>(listener: sm_net::Listener, registry: JobRegistry<D>) {
         match msg {
             WireMsg::Shutdown => return,
             WireMsg::Done { .. } => return, // protocol violation
-            WireMsg::Spawn { task, job, state, arg } => {
+            WireMsg::Spawn {
+                task,
+                job,
+                state,
+                arg,
+            } => {
                 let reply = execute_task(&registry, &job, &state, &arg);
                 let msg = match reply {
-                    Ok(payload) => WireMsg::Done { task, ok: true, payload },
-                    Err(err) => WireMsg::Done { task, ok: false, payload: err.into_bytes() },
+                    Ok(payload) => WireMsg::Done {
+                        task,
+                        ok: true,
+                        payload,
+                    },
+                    Err(err) => WireMsg::Done {
+                        task,
+                        ok: false,
+                        payload: err.into_bytes(),
+                    },
                 };
                 if link.send(&msg.to_bytes()).is_err() {
                     return;
@@ -237,7 +283,9 @@ fn execute_task<D: Wire>(
     state: &[u8],
     arg: &[u8],
 ) -> Result<Vec<u8>, String> {
-    let job_fn = registry.get(job).ok_or_else(|| format!("unknown job '{job}'"))?;
+    let job_fn = registry
+        .get(job)
+        .ok_or_else(|| format!("unknown job '{job}'"))?;
     let mut bytes = Bytes::copy_from_slice(state);
     let mut data = D::decode_state(&mut bytes).map_err(|e| format!("bad state snapshot: {e}"))?;
     // Contain panics: a crashing job must not take the node down (and
@@ -287,9 +335,22 @@ mod tests {
     #[test]
     fn wire_msg_roundtrip() {
         let msgs = [
-            WireMsg::Spawn { task: 7, job: "j".into(), state: vec![1, 2], arg: vec![] },
-            WireMsg::Done { task: 7, ok: true, payload: vec![9] },
-            WireMsg::Done { task: 8, ok: false, payload: b"err".to_vec() },
+            WireMsg::Spawn {
+                task: 7,
+                job: "j".into(),
+                state: vec![1, 2],
+                arg: vec![],
+            },
+            WireMsg::Done {
+                task: 7,
+                ok: true,
+                payload: vec![9],
+            },
+            WireMsg::Done {
+                task: 8,
+                ok: false,
+                payload: b"err".to_vec(),
+            },
             WireMsg::Shutdown,
         ];
         for m in &msgs {
@@ -299,7 +360,10 @@ mod tests {
 
     #[test]
     fn wire_msg_bad_tag() {
-        assert!(matches!(WireMsg::from_bytes(&[9]), Err(DecodeError::BadTag(9))));
+        assert!(matches!(
+            WireMsg::from_bytes(&[9]),
+            Err(DecodeError::BadTag(9))
+        ));
     }
 
     #[test]

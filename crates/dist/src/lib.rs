@@ -201,9 +201,17 @@ mod tests {
         // The node must survive the panic and still serve further tasks.
         rt.spawn(1, "ok", &[]).unwrap();
         let outcomes = rt.merge_all().unwrap();
-        assert!(outcomes[0].result.as_ref().unwrap_err().contains("panicked"));
+        assert!(outcomes[0]
+            .result
+            .as_ref()
+            .unwrap_err()
+            .contains("panicked"));
         assert!(outcomes[1].merged());
-        assert_eq!(rt.shutdown().unwrap().get(), 1, "panicked job's changes dismissed");
+        assert_eq!(
+            rt.shutdown().unwrap().get(),
+            1,
+            "panicked job's changes dismissed"
+        );
     }
 
     #[test]
@@ -212,7 +220,11 @@ mod tests {
         let mut rt = DistRuntime::launch(1, MCounter::new(0), &jobs).unwrap();
         rt.spawn(1, "nope", &[]).unwrap();
         let outcomes = rt.merge_all().unwrap();
-        assert!(outcomes[0].result.as_ref().unwrap_err().contains("unknown job"));
+        assert!(outcomes[0]
+            .result
+            .as_ref()
+            .unwrap_err()
+            .contains("unknown job"));
         rt.shutdown().unwrap();
     }
 

@@ -68,10 +68,15 @@ impl<D: Wire> DistRuntime<D> {
         // single inbox so the coordinator can wait on any node.
         let (tx, rx) = unbounded();
         let mut forwarders = Vec::with_capacity(cluster.size());
-        for rx_link in recv_halves {
+        for (i, rx_link) in recv_halves.into_iter().enumerate() {
             let tx = tx.clone();
+            let node = i + 1;
             forwarders.push(std::thread::spawn(move || {
                 while let Ok(raw) = rx_link.recv() {
+                    let bytes = raw.len();
+                    sm_obs::emit(&sm_obs::TaskPath::root(), || {
+                        sm_obs::EventKind::WireReceived { node, bytes }
+                    });
                     match WireMsg::from_bytes(&raw) {
                         Ok(msg) => {
                             if tx.send(msg).is_err() {
@@ -123,7 +128,12 @@ impl<D: Wire> DistRuntime<D> {
         shadow.encode_state(&mut state);
         self.cluster.send(
             node,
-            &WireMsg::Spawn { task, job: job.to_string(), state: state.to_vec(), arg: arg.to_vec() },
+            &WireMsg::Spawn {
+                task,
+                job: job.to_string(),
+                state: state.to_vec(),
+                arg: arg.to_vec(),
+            },
         )?;
         self.outstanding.push(Outstanding { task, node, shadow });
         Ok(task)
@@ -185,7 +195,9 @@ impl<D: Wire> DistRuntime<D> {
             .iter()
             .position(|o| o.task == task)
             .ok_or_else(|| DistError::Protocol(format!("Done for unknown task {task}")))?;
-        let Outstanding { node, mut shadow, .. } = self.outstanding.remove(pos);
+        let Outstanding {
+            node, mut shadow, ..
+        } = self.outstanding.remove(pos);
         if !ok {
             // Remote job failed: dismiss the shadow (abort semantics).
             return Ok(DistOutcome {
@@ -199,7 +211,11 @@ impl<D: Wire> DistRuntime<D> {
         self.data
             .merge(&shadow)
             .map_err(|e| DistError::Apply(e.to_string()))?;
-        Ok(DistOutcome { task, node, result: Ok(applied) })
+        Ok(DistOutcome {
+            task,
+            node,
+            result: Ok(applied),
+        })
     }
 
     /// Shut the cluster down and return the final coordinator data.

@@ -37,7 +37,9 @@ macro_rules! apply_ops {
         let ops: Vec<$op_ty> = Vec::decode($buf)?;
         let n = ops.len();
         for op in ops {
-            $self.apply_op(op).map_err(|e| DistError::Apply(e.to_string()))?;
+            $self
+                .apply_op(op)
+                .map_err(|e| DistError::Apply(e.to_string()))?;
         }
         Ok(n)
     }};

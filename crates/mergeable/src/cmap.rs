@@ -23,20 +23,25 @@ pub struct MCounterMap<K: Key> {
 impl<K: Key> MCounterMap<K> {
     /// An empty counter map.
     pub fn new() -> Self {
-        MCounterMap { inner: Versioned::new(BTreeMap::new()) }
+        MCounterMap {
+            inner: Versioned::new(BTreeMap::new()),
+        }
     }
 
     /// An empty counter map with an explicit fork [`CopyMode`].
     pub fn with_mode(mode: CopyMode) -> Self {
-        MCounterMap { inner: Versioned::with_mode(BTreeMap::new(), mode) }
+        MCounterMap {
+            inner: Versioned::with_mode(BTreeMap::new(), mode),
+        }
     }
 
     /// Seed from `(key, value)` entries (base state, no ops). Zero values
     /// are dropped to keep the state canonical.
     pub fn from_entries(entries: impl IntoIterator<Item = (K, i64)>) -> Self {
-        let state: BTreeMap<K, i64> =
-            entries.into_iter().filter(|(_, v)| *v != 0).collect();
-        MCounterMap { inner: Versioned::new(state) }
+        let state: BTreeMap<K, i64> = entries.into_iter().filter(|(_, v)| *v != 0).collect();
+        MCounterMap {
+            inner: Versioned::new(state),
+        }
     }
 
     /// Number of (non-zero) counters.
@@ -103,7 +108,9 @@ impl<K: Key> PartialEq for MCounterMap<K> {
 
 impl<K: Key> Mergeable for MCounterMap<K> {
     fn fork(&self) -> Self {
-        MCounterMap { inner: self.inner.fork() }
+        MCounterMap {
+            inner: self.inner.fork(),
+        }
     }
 
     fn merge(&mut self, child: &Self) -> Result<MergeStats, MergeError> {

@@ -16,12 +16,16 @@ pub struct MCounter {
 impl MCounter {
     /// A counter starting at `initial`.
     pub fn new(initial: i64) -> Self {
-        MCounter { inner: Versioned::new(initial) }
+        MCounter {
+            inner: Versioned::new(initial),
+        }
     }
 
     /// A counter with an explicit fork [`CopyMode`].
     pub fn with_mode(initial: i64, mode: CopyMode) -> Self {
-        MCounter { inner: Versioned::with_mode(initial, mode) }
+        MCounter {
+            inner: Versioned::with_mode(initial, mode),
+        }
     }
 
     /// Current value.
@@ -70,7 +74,9 @@ impl PartialEq for MCounter {
 
 impl Mergeable for MCounter {
     fn fork(&self) -> Self {
-        MCounter { inner: self.inner.fork() }
+        MCounter {
+            inner: self.inner.fork(),
+        }
     }
 
     fn merge(&mut self, child: &Self) -> Result<MergeStats, MergeError> {

@@ -225,8 +225,8 @@ mod tests {
     #[test]
     fn unit_is_mergeable() {
         let mut u = ();
-        let c = u.fork();
-        assert_eq!(u.merge(&c).unwrap(), MergeStats::default());
+        let _fork: () = u.fork();
+        assert_eq!(u.merge(&()).unwrap(), MergeStats::default());
         assert_eq!(u.pending_ops(), 0);
     }
 
@@ -262,7 +262,10 @@ mod tests {
         let mut data: Vec<MCounter> = vec![MCounter::new(0)];
         let mut child = data.fork();
         child.push(MCounter::new(0));
-        assert!(matches!(data.merge(&child), Err(MergeError::ShapeMismatch { .. })));
+        assert!(matches!(
+            data.merge(&child),
+            Err(MergeError::ShapeMismatch { .. })
+        ));
     }
 
     mergeable_struct! {
@@ -293,7 +296,7 @@ mod tests {
         assert_eq!(data.text.as_str(), "doc: parent child");
         assert_eq!(data.count.get(), 11);
         assert_eq!(stats.child_ops, 3);
-        assert_eq!(data.pending_ops() >= 2, true);
+        assert!(data.pending_ops() >= 2);
     }
 
     #[test]
@@ -306,7 +309,11 @@ mod tests {
             }
         }
         let mut outer = Outer {
-            inner: Composite { list: MList::new(), text: MText::new(), count: MCounter::new(0) },
+            inner: Composite {
+                list: MList::new(),
+                text: MText::new(),
+                count: MCounter::new(0),
+            },
             reg: MRegister::new(0),
         };
         let mut child = outer.fork();

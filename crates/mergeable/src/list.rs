@@ -20,23 +20,31 @@ pub struct MList<T: Element> {
 impl<T: Element> MList<T> {
     /// An empty list.
     pub fn new() -> Self {
-        MList { inner: Versioned::new(Vec::new()) }
+        MList {
+            inner: Versioned::new(Vec::new()),
+        }
     }
 
     /// An empty list with an explicit fork [`CopyMode`].
     pub fn with_mode(mode: CopyMode) -> Self {
-        MList { inner: Versioned::with_mode(Vec::new(), mode) }
+        MList {
+            inner: Versioned::with_mode(Vec::new(), mode),
+        }
     }
 
     /// A list seeded with `items` (no operations recorded: this is the base
     /// state).
     pub fn from_vec(items: Vec<T>) -> Self {
-        MList { inner: Versioned::new(items) }
+        MList {
+            inner: Versioned::new(items),
+        }
     }
 
     /// A list seeded with `items` and an explicit fork [`CopyMode`].
     pub fn from_vec_with_mode(items: Vec<T>, mode: CopyMode) -> Self {
-        MList { inner: Versioned::with_mode(items, mode) }
+        MList {
+            inner: Versioned::with_mode(items, mode),
+        }
     }
 
     /// Number of elements.
@@ -80,7 +88,11 @@ impl<T: Element> MList<T> {
     /// # Panics
     /// Panics if `index > len`.
     pub fn insert(&mut self, index: usize, value: T) {
-        assert!(index <= self.len(), "insert index {index} out of range (len {})", self.len());
+        assert!(
+            index <= self.len(),
+            "insert index {index} out of range (len {})",
+            self.len()
+        );
         self.inner.record_validated(ListOp::Insert(index, value));
     }
 
@@ -89,7 +101,11 @@ impl<T: Element> MList<T> {
     /// # Panics
     /// Panics if `index >= len`.
     pub fn remove(&mut self, index: usize) -> T {
-        assert!(index < self.len(), "remove index {index} out of range (len {})", self.len());
+        assert!(
+            index < self.len(),
+            "remove index {index} out of range (len {})",
+            self.len()
+        );
         let value = self.inner.state()[index].clone();
         self.inner.record_validated(ListOp::Delete(index));
         value
@@ -100,7 +116,11 @@ impl<T: Element> MList<T> {
     /// # Panics
     /// Panics if `index >= len`.
     pub fn set(&mut self, index: usize, value: T) {
-        assert!(index < self.len(), "set index {index} out of range (len {})", self.len());
+        assert!(
+            index < self.len(),
+            "set index {index} out of range (len {})",
+            self.len()
+        );
         self.inner.record_validated(ListOp::Set(index, value));
     }
 
@@ -141,7 +161,9 @@ impl<T: Element> PartialEq for MList<T> {
 
 impl<T: Element> Mergeable for MList<T> {
     fn fork(&self) -> Self {
-        MList { inner: self.inner.fork() }
+        MList {
+            inner: self.inner.fork(),
+        }
     }
 
     fn merge(&mut self, child: &Self) -> Result<MergeStats, MergeError> {

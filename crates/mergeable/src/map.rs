@@ -22,17 +22,23 @@ pub struct MMap<K: Key, V: Value> {
 impl<K: Key, V: Value> MMap<K, V> {
     /// An empty map.
     pub fn new() -> Self {
-        MMap { inner: Versioned::new(BTreeMap::new()) }
+        MMap {
+            inner: Versioned::new(BTreeMap::new()),
+        }
     }
 
     /// An empty map with an explicit fork [`CopyMode`].
     pub fn with_mode(mode: CopyMode) -> Self {
-        MMap { inner: Versioned::with_mode(BTreeMap::new(), mode) }
+        MMap {
+            inner: Versioned::with_mode(BTreeMap::new(), mode),
+        }
     }
 
     /// A map seeded from `entries` (base state, no operations recorded).
     pub fn from_entries(entries: impl IntoIterator<Item = (K, V)>) -> Self {
-        MMap { inner: Versioned::new(entries.into_iter().collect()) }
+        MMap {
+            inner: Versioned::new(entries.into_iter().collect()),
+        }
     }
 
     /// Number of entries.
@@ -112,7 +118,9 @@ impl<K: Key, V: Value> PartialEq for MMap<K, V> {
 
 impl<K: Key, V: Value> Mergeable for MMap<K, V> {
     fn fork(&self) -> Self {
-        MMap { inner: self.inner.fork() }
+        MMap {
+            inner: self.inner.fork(),
+        }
     }
 
     fn merge(&mut self, child: &Self) -> Result<MergeStats, MergeError> {
@@ -181,7 +189,10 @@ mod tests {
         child.remove(&"k");
         m.insert("k", 9);
         m.merge(&child).unwrap();
-        assert!(!m.contains_key(&"k"), "incoming remove serializes after the parent put");
+        assert!(
+            !m.contains_key(&"k"),
+            "incoming remove serializes after the parent put"
+        );
     }
 
     #[test]

@@ -26,22 +26,30 @@ pub struct MQueue<T: Element> {
 impl<T: Element> MQueue<T> {
     /// An empty queue.
     pub fn new() -> Self {
-        MQueue { inner: Versioned::new(Vec::new()) }
+        MQueue {
+            inner: Versioned::new(Vec::new()),
+        }
     }
 
     /// An empty queue with an explicit fork [`CopyMode`].
     pub fn with_mode(mode: CopyMode) -> Self {
-        MQueue { inner: Versioned::with_mode(Vec::new(), mode) }
+        MQueue {
+            inner: Versioned::with_mode(Vec::new(), mode),
+        }
     }
 
     /// A queue seeded with `items` front-to-back (base state, no ops).
     pub fn from_vec(items: Vec<T>) -> Self {
-        MQueue { inner: Versioned::new(items) }
+        MQueue {
+            inner: Versioned::new(items),
+        }
     }
 
     /// A seeded queue with an explicit fork [`CopyMode`].
     pub fn from_vec_with_mode(items: Vec<T>, mode: CopyMode) -> Self {
-        MQueue { inner: Versioned::with_mode(items, mode) }
+        MQueue {
+            inner: Versioned::with_mode(items, mode),
+        }
     }
 
     /// Number of queued elements.
@@ -117,7 +125,9 @@ impl<T: Element> PartialEq for MQueue<T> {
 
 impl<T: Element> Mergeable for MQueue<T> {
     fn fork(&self) -> Self {
-        MQueue { inner: self.inner.fork() }
+        MQueue {
+            inner: self.inner.fork(),
+        }
     }
 
     fn merge(&mut self, child: &Self) -> Result<MergeStats, MergeError> {

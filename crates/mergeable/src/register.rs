@@ -16,12 +16,16 @@ pub struct MRegister<T: Value> {
 impl<T: Value> MRegister<T> {
     /// A register holding `initial`.
     pub fn new(initial: T) -> Self {
-        MRegister { inner: Versioned::new(initial) }
+        MRegister {
+            inner: Versioned::new(initial),
+        }
     }
 
     /// A register with an explicit fork [`CopyMode`].
     pub fn with_mode(initial: T, mode: CopyMode) -> Self {
-        MRegister { inner: Versioned::with_mode(initial, mode) }
+        MRegister {
+            inner: Versioned::with_mode(initial, mode),
+        }
     }
 
     /// Borrow the current value.
@@ -62,7 +66,9 @@ impl<T: Value> PartialEq for MRegister<T> {
 
 impl<T: Value> Mergeable for MRegister<T> {
     fn fork(&self) -> Self {
-        MRegister { inner: self.inner.fork() }
+        MRegister {
+            inner: self.inner.fork(),
+        }
     }
 
     fn merge(&mut self, child: &Self) -> Result<MergeStats, MergeError> {

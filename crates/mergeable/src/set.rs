@@ -17,17 +17,23 @@ pub struct MSet<T: Element> {
 impl<T: Element> MSet<T> {
     /// An empty set.
     pub fn new() -> Self {
-        MSet { inner: Versioned::new(BTreeSet::new()) }
+        MSet {
+            inner: Versioned::new(BTreeSet::new()),
+        }
     }
 
     /// An empty set with an explicit fork [`CopyMode`].
     pub fn with_mode(mode: CopyMode) -> Self {
-        MSet { inner: Versioned::with_mode(BTreeSet::new(), mode) }
+        MSet {
+            inner: Versioned::with_mode(BTreeSet::new(), mode),
+        }
     }
 
     /// A set seeded from `items` (base state, no operations recorded).
     pub fn from_items(items: impl IntoIterator<Item = T>) -> Self {
-        MSet { inner: Versioned::new(items.into_iter().collect()) }
+        MSet {
+            inner: Versioned::new(items.into_iter().collect()),
+        }
     }
 
     /// Number of elements.
@@ -102,7 +108,9 @@ impl<T: Element> PartialEq for MSet<T> {
 
 impl<T: Element> Mergeable for MSet<T> {
     fn fork(&self) -> Self {
-        MSet { inner: self.inner.fork() }
+        MSet {
+            inner: self.inner.fork(),
+        }
     }
 
     fn merge(&mut self, child: &Self) -> Result<MergeStats, MergeError> {

@@ -17,12 +17,16 @@ pub struct MText {
 impl MText {
     /// An empty document.
     pub fn new() -> Self {
-        MText { inner: Versioned::new(String::new()) }
+        MText {
+            inner: Versioned::new(String::new()),
+        }
     }
 
     /// An empty document with an explicit fork [`CopyMode`].
     pub fn with_mode(mode: CopyMode) -> Self {
-        MText { inner: Versioned::with_mode(String::new(), mode) }
+        MText {
+            inner: Versioned::with_mode(String::new(), mode),
+        }
     }
 
     /// Borrow the document contents.
@@ -67,7 +71,10 @@ impl MText {
         if len == 0 {
             return;
         }
-        assert!(pos + len <= self.char_len(), "delete range {pos}+{len} out of range");
+        assert!(
+            pos + len <= self.char_len(),
+            "delete range {pos}+{len} out of range"
+        );
         self.inner.record_validated(TextOp::delete(pos, len));
     }
 
@@ -91,13 +98,17 @@ impl Default for MText {
 
 impl From<&str> for MText {
     fn from(s: &str) -> Self {
-        MText { inner: Versioned::new(s.to_string()) }
+        MText {
+            inner: Versioned::new(s.to_string()),
+        }
     }
 }
 
 impl From<String> for MText {
     fn from(s: String) -> Self {
-        MText { inner: Versioned::new(s) }
+        MText {
+            inner: Versioned::new(s),
+        }
     }
 }
 
@@ -109,7 +120,9 @@ impl PartialEq for MText {
 
 impl Mergeable for MText {
     fn fork(&self) -> Self {
-        MText { inner: self.inner.fork() }
+        MText {
+            inner: self.inner.fork(),
+        }
     }
 
     fn merge(&mut self, child: &Self) -> Result<MergeStats, MergeError> {
@@ -177,7 +190,11 @@ mod tests {
         inserter.insert_str(3, "XY"); // insert inside the doomed range
         doc.merge(&inserter).unwrap();
         doc.merge(&deleter).unwrap();
-        assert_eq!(doc.as_str(), "aXYf", "concurrent insert must survive the range delete");
+        assert_eq!(
+            doc.as_str(),
+            "aXYf",
+            "concurrent insert must survive the range delete"
+        );
     }
 
     #[test]

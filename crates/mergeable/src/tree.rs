@@ -20,17 +20,23 @@ pub struct MTree<V: Value> {
 impl<V: Value> MTree<V> {
     /// A tree consisting of a root with `root_value` and no children.
     pub fn new(root_value: V) -> Self {
-        MTree { inner: Versioned::new(Node::leaf(root_value)) }
+        MTree {
+            inner: Versioned::new(Node::leaf(root_value)),
+        }
     }
 
     /// Wrap an existing tree as the base state.
     pub fn from_root(root: Node<V>) -> Self {
-        MTree { inner: Versioned::new(root) }
+        MTree {
+            inner: Versioned::new(root),
+        }
     }
 
     /// A tree with an explicit fork [`CopyMode`].
     pub fn with_mode(root_value: V, mode: CopyMode) -> Self {
-        MTree { inner: Versioned::with_mode(Node::leaf(root_value), mode) }
+        MTree {
+            inner: Versioned::with_mode(Node::leaf(root_value), mode),
+        }
     }
 
     /// Borrow the root node.
@@ -57,7 +63,10 @@ impl<V: Value> MTree<V> {
         let (slot, parent_path) = path.split_last().expect("cannot insert at the root path");
         let parent = self.node_at(parent_path).expect("parent path must exist");
         assert!(*slot <= parent.children.len(), "insert slot out of range");
-        self.inner.record_validated(TreeOp::Insert { path: path.clone(), node });
+        self.inner.record_validated(TreeOp::Insert {
+            path: path.clone(),
+            node,
+        });
     }
 
     /// Append `node` as the last child of the node at `parent_path`.
@@ -85,7 +94,8 @@ impl<V: Value> MTree<V> {
     /// Panics if the path does not exist.
     pub fn set_value(&mut self, path: Path, value: V) {
         assert!(self.node_at(&path).is_some(), "path must exist");
-        self.inner.record_validated(TreeOp::SetValue { path, value });
+        self.inner
+            .record_validated(TreeOp::SetValue { path, value });
     }
 
     /// The recorded local operations (diagnostics / tests).
@@ -108,7 +118,9 @@ impl<V: Value> PartialEq for MTree<V> {
 
 impl<V: Value> Mergeable for MTree<V> {
     fn fork(&self) -> Self {
-        MTree { inner: self.inner.fork() }
+        MTree {
+            inner: self.inner.fork(),
+        }
     }
 
     fn merge(&mut self, child: &Self) -> Result<MergeStats, MergeError> {

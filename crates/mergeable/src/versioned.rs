@@ -81,7 +81,10 @@ pub enum MergeError {
 impl fmt::Display for MergeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            MergeError::InvalidForkPoint { fork_base, parent_log_len } => write!(
+            MergeError::InvalidForkPoint {
+                fork_base,
+                parent_log_len,
+            } => write!(
                 f,
                 "child fork point {fork_base} exceeds parent history length {parent_log_len}; \
                  the child was not forked from this structure"
@@ -116,12 +119,22 @@ impl<O: Operation> Versioned<O> {
     /// Wrap an initial state. The log starts empty; this instance is a root
     /// (its `fork_base` is 0 and meaningless until it is itself a fork).
     pub fn new(state: O::State) -> Self {
-        Versioned { state: Arc::new(state), log: Vec::new(), fork_base: 0, mode: CopyMode::default() }
+        Versioned {
+            state: Arc::new(state),
+            log: Vec::new(),
+            fork_base: 0,
+            mode: CopyMode::default(),
+        }
     }
 
     /// Wrap an initial state with an explicit [`CopyMode`].
     pub fn with_mode(state: O::State, mode: CopyMode) -> Self {
-        Versioned { state: Arc::new(state), log: Vec::new(), fork_base: 0, mode }
+        Versioned {
+            state: Arc::new(state),
+            log: Vec::new(),
+            fork_base: 0,
+            mode,
+        }
     }
 
     /// Borrow the current state.
@@ -166,7 +179,8 @@ impl<O: Operation> Versioned<O> {
     /// Panics if the operation fails to apply — callers use this after
     /// checking preconditions against the current state.
     pub fn record_validated(&mut self, op: O) {
-        self.record(op).expect("operation was validated against the current state");
+        self.record(op)
+            .expect("operation was validated against the current state");
     }
 
     /// Fork a child copy: same state, empty log, fork point at the current
@@ -177,7 +191,12 @@ impl<O: Operation> Versioned<O> {
             CopyMode::CopyOnWrite => Arc::clone(&self.state),
             CopyMode::Deep => Arc::new((*self.state).clone()),
         };
-        Versioned { state, log: Vec::new(), fork_base: self.log.len(), mode: self.mode }
+        Versioned {
+            state,
+            log: Vec::new(),
+            fork_base: self.log.len(),
+            mode: self.mode,
+        }
     }
 
     /// Merge a forked child back: rebase its log over everything committed
@@ -317,7 +336,13 @@ mod tests {
         other.record(ListOp::Insert(0, 1)).unwrap();
         let child = other.fork(); // fork_base = 1
         let err = parent.merge(&child).unwrap_err();
-        assert!(matches!(err, MergeError::InvalidForkPoint { fork_base: 1, parent_log_len: 0 }));
+        assert!(matches!(
+            err,
+            MergeError::InvalidForkPoint {
+                fork_base: 1,
+                parent_log_len: 0
+            }
+        ));
     }
 
     #[test]
@@ -347,9 +372,16 @@ mod tests {
         child.record(ListOp::Delete(0)).unwrap();
         parent.record(ListOp::Delete(0)).unwrap();
         let stats = parent.merge(&child).unwrap();
-        assert_eq!(parent.state(), &vec![2, 3], "element 1 deleted once, not twice");
+        assert_eq!(
+            parent.state(),
+            &vec![2, 3],
+            "element 1 deleted once, not twice"
+        );
         assert_eq!(stats.child_ops, 1);
-        assert_eq!(stats.applied_ops, 0, "duplicate delete collapses to nothing");
+        assert_eq!(
+            stats.applied_ops, 0,
+            "duplicate delete collapses to nothing"
+        );
     }
 
     #[test]

@@ -90,10 +90,11 @@ pub struct Network {
 
 impl fmt::Debug for Network {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Network").field("latency", &self.inner.latency).finish_non_exhaustive()
+        f.debug_struct("Network")
+            .field("latency", &self.inner.latency)
+            .finish_non_exhaustive()
     }
 }
-
 
 impl Default for Network {
     fn default() -> Self {
@@ -111,7 +112,12 @@ impl Network {
     /// receivable — enough to make timing-dependent bugs in conventional
     /// code reproducible.
     pub fn with_latency(latency: Duration) -> Self {
-        Network { inner: Arc::new(NetInner { listeners: Mutex::new(HashMap::new()), latency }) }
+        Network {
+            inner: Arc::new(NetInner {
+                listeners: Mutex::new(HashMap::new()),
+                latency,
+            }),
+        }
     }
 
     /// Start listening on `port`.
@@ -122,17 +128,26 @@ impl Network {
         }
         let (tx, rx) = unbounded();
         listeners.insert(port, tx);
-        Ok(Listener { port, backlog: rx, network: self.clone() })
+        Ok(Listener {
+            port,
+            backlog: rx,
+            network: self.clone(),
+        })
     }
 
     /// Open a connection to `port`. Fails if nobody listens there.
     pub fn connect(&self, port: u16) -> Result<Stream, NetError> {
         let backlog = {
             let listeners = self.inner.listeners.lock();
-            listeners.get(&port).cloned().ok_or(NetError::ConnectionRefused(port))?
+            listeners
+                .get(&port)
+                .cloned()
+                .ok_or(NetError::ConnectionRefused(port))?
         };
         let (client, server) = stream_pair(self.inner.latency);
-        backlog.send(server).map_err(|_| NetError::ConnectionRefused(port))?;
+        backlog
+            .send(server)
+            .map_err(|_| NetError::ConnectionRefused(port))?;
         Ok(client)
     }
 
@@ -196,13 +211,27 @@ pub struct Stream {
 fn stream_pair(latency: Duration) -> (Stream, Stream) {
     let (a_tx, a_rx) = unbounded();
     let (b_tx, b_rx) = unbounded();
-    (Stream { tx: a_tx, rx: b_rx, latency }, Stream { tx: b_tx, rx: a_rx, latency })
+    (
+        Stream {
+            tx: a_tx,
+            rx: b_rx,
+            latency,
+        },
+        Stream {
+            tx: b_tx,
+            rx: a_rx,
+            latency,
+        },
+    )
 }
 
 impl Stream {
     /// Send one message to the peer.
     pub fn send(&self, data: &[u8]) -> Result<(), NetError> {
-        let packet = Packet { deliver_at: Instant::now() + self.latency, data: data.to_vec() };
+        let packet = Packet {
+            deliver_at: Instant::now() + self.latency,
+            data: data.to_vec(),
+        };
         self.tx.send(packet).map_err(|_| NetError::Closed)
     }
 
@@ -240,7 +269,13 @@ impl Stream {
     /// Split the stream into independently owned send and receive halves,
     /// so different threads can write and read concurrently.
     pub fn split(self) -> (SendHalf, RecvHalf) {
-        (SendHalf { tx: self.tx, latency: self.latency }, RecvHalf { rx: self.rx })
+        (
+            SendHalf {
+                tx: self.tx,
+                latency: self.latency,
+            },
+            RecvHalf { rx: self.rx },
+        )
     }
 }
 
@@ -254,7 +289,10 @@ pub struct SendHalf {
 impl SendHalf {
     /// Send one message to the peer.
     pub fn send(&self, data: &[u8]) -> Result<(), NetError> {
-        let packet = Packet { deliver_at: Instant::now() + self.latency, data: data.to_vec() };
+        let packet = Packet {
+            deliver_at: Instant::now() + self.latency,
+            data: data.to_vec(),
+        };
         self.tx.send(packet).map_err(|_| NetError::Closed)
     }
 
@@ -363,7 +401,9 @@ mod tests {
         let net = Network::new();
         let listener = net.listen(3).unwrap();
         assert_eq!(
-            listener.accept_timeout(Duration::from_millis(20)).unwrap_err(),
+            listener
+                .accept_timeout(Duration::from_millis(20))
+                .unwrap_err(),
             NetError::Timeout
         );
         assert!(listener.try_accept().is_none());
@@ -378,7 +418,10 @@ mod tests {
         let start = Instant::now();
         client.send(b"x").unwrap();
         server.recv().unwrap();
-        assert!(start.elapsed() >= Duration::from_millis(35), "latency must be honoured");
+        assert!(
+            start.elapsed() >= Duration::from_millis(35),
+            "latency must be honoured"
+        );
     }
 
     #[test]

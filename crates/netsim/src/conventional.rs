@@ -30,7 +30,10 @@ struct Inbox {
 
 impl Inbox {
     fn new() -> Self {
-        Inbox { queue: Mutex::new(std::collections::VecDeque::new()), available: Condvar::new() }
+        Inbox {
+            queue: Mutex::new(std::collections::VecDeque::new()),
+            available: Condvar::new(),
+        }
     }
 
     fn push(&self, msg: Message) {
@@ -75,7 +78,10 @@ pub fn run_conventional(cfg: &SimConfig) -> SimResult {
         })
         .collect();
 
-    let stats: Vec<HostStats> = threads.into_iter().map(|t| t.join().expect("host thread")).collect();
+    let stats: Vec<HostStats> = threads
+        .into_iter()
+        .map(|t| t.join().expect("host thread"))
+        .collect();
     let elapsed = start.elapsed();
 
     SimResult {
@@ -87,12 +93,7 @@ pub fn run_conventional(cfg: &SimConfig) -> SimResult {
     }
 }
 
-fn host_thread(
-    h: usize,
-    cfg: &SimConfig,
-    inboxes: &[Inbox],
-    remaining: &AtomicU64,
-) -> HostStats {
+fn host_thread(h: usize, cfg: &SimConfig, inboxes: &[Inbox], remaining: &AtomicU64) -> HostStats {
     let mut stats = HostStats::default();
     while let Some(msg) = inboxes[h].pop(remaining) {
         let (digest, forwarded) = process_message(&msg, h, cfg);
@@ -127,7 +128,10 @@ mod tests {
         let cfg = SimConfig::small(1, Routing::NextHost);
         let a = run_conventional(&cfg);
         let b = run_conventional(&cfg);
-        assert_eq!(a.fingerprint, b.fingerprint, "ring routing must be deterministic");
+        assert_eq!(
+            a.fingerprint, b.fingerprint,
+            "ring routing must be deterministic"
+        );
         assert_eq!(a.total_processed, cfg.expected_hops());
     }
 

@@ -102,7 +102,10 @@ impl Setup {
 /// Run one setup at host workload `l` on the paper's base parameters
 /// scaled by `cfg` (pass [`SimConfig::paper`] for the real thing).
 pub fn run_setup(setup: Setup, cfg: &SimConfig) -> SimResult {
-    let cfg = SimConfig { routing: setup.routing(), ..*cfg };
+    let cfg = SimConfig {
+        routing: setup.routing(),
+        ..*cfg
+    };
     if setup.is_spawn_merge() {
         run_spawn_merge(&cfg)
     } else {
@@ -146,7 +149,12 @@ mod tests {
         for setup in [Setup::SpawnMergeNonDet, Setup::SpawnMergeDet] {
             let a = run_setup(setup, &cfg);
             let b = run_setup(setup, &cfg);
-            assert_eq!(a.fingerprint, b.fingerprint, "{} must be deterministic", setup.label());
+            assert_eq!(
+                a.fingerprint,
+                b.fingerprint,
+                "{} must be deterministic",
+                setup.label()
+            );
         }
     }
 

@@ -22,7 +22,11 @@ pub struct Message {
 impl Message {
     /// The `i`-th initial message with the given time-to-live.
     pub fn initial(i: u32, ttl: u32) -> Self {
-        Message { id: i, payload: sha1(&i.to_be_bytes()), ttl }
+        Message {
+            id: i,
+            payload: sha1(&i.to_be_bytes()),
+            ttl,
+        }
     }
 }
 
@@ -132,7 +136,14 @@ mod tests {
 
     #[test]
     fn initial_distribution_is_round_robin() {
-        let cfg = SimConfig { hosts: 3, initial_messages: 7, ttl: 5, workload: 0, routing: Routing::NextHost, ..SimConfig::default() };
+        let cfg = SimConfig {
+            hosts: 3,
+            initial_messages: 7,
+            ttl: 5,
+            workload: 0,
+            routing: Routing::NextHost,
+            ..SimConfig::default()
+        };
         let queues = cfg.initial_queues();
         assert_eq!(queues[0].len(), 3);
         assert_eq!(queues[1].len(), 2);

@@ -52,8 +52,12 @@ impl SimData {
                 .into_iter()
                 .map(|msgs| MQueue::from_vec_with_mode(msgs, mode))
                 .collect(),
-            processed: (0..cfg.hosts).map(|_| MCounter::with_mode(0, mode)).collect(),
-            digests: (0..cfg.hosts).map(|_| MRegister::with_mode([0u8; 20], mode)).collect(),
+            processed: (0..cfg.hosts)
+                .map(|_| MCounter::with_mode(0, mode))
+                .collect(),
+            digests: (0..cfg.hosts)
+                .map(|_| MRegister::with_mode([0u8; 20], mode))
+                .collect(),
             done: MRegister::with_mode(false, mode),
         }
     }
@@ -79,7 +83,10 @@ fn host_task(h: usize, cfg: SimConfig, ctx: &mut TaskCtx<SimData>) -> TaskResult
 
         let data = ctx.data_mut();
         data.processed[h].inc();
-        let mut stats = HostStats { processed: 0, digest: *data.digests[h].get() };
+        let mut stats = HostStats {
+            processed: 0,
+            digest: *data.digests[h].get(),
+        };
         stats.record(msg.id, &digest);
         data.digests[h].set(stats.digest);
         if let Some((m, dest)) = forwarded {
@@ -104,6 +111,7 @@ pub fn run_spawn_merge_with_pool(cfg: &SimConfig, pool: Pool) -> SimResult {
         loop {
             ctx.merge_all();
             rounds += 1;
+            ctx.mark(format!("netsim round {rounds}"));
             if ctx.live_children() == 0 {
                 break;
             }
@@ -179,7 +187,10 @@ mod tests {
         // The COW optimization must be observationally invisible: deep and
         // copy-on-write forks produce identical fingerprints and rounds.
         let cow = SimConfig::small(2, Routing::HashDerived);
-        let deep = SimConfig { copy_mode: sm_mergeable::CopyMode::Deep, ..cow };
+        let deep = SimConfig {
+            copy_mode: sm_mergeable::CopyMode::Deep,
+            ..cow
+        };
         let a = run_spawn_merge(&cow);
         let b = run_spawn_merge(&deep);
         assert_eq!(a.fingerprint, b.fingerprint);

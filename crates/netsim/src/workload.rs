@@ -26,25 +26,23 @@ pub fn process_message(
         // "sending messages only to the node with the next higher id".
         Routing::NextHost => (host + 1) % cfg.hosts,
     };
-    let forwarded = Message { id: msg.id, payload: digest, ttl: next_ttl };
+    let forwarded = Message {
+        id: msg.id,
+        payload: digest,
+        ttl: next_ttl,
+    };
     (digest, Some((forwarded, dest)))
 }
 
 /// Per-host accumulation of observable results: how many messages the host
 /// processed and a rolling digest over the payloads it produced, in its
 /// local processing order.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct HostStats {
     /// Messages processed by this host.
     pub processed: u64,
     /// Rolling digest: `sha1(previous ‖ msg_id ‖ payload)` per processing.
     pub digest: Digest,
-}
-
-impl Default for HostStats {
-    fn default() -> Self {
-        HostStats { processed: 0, digest: [0u8; 20] }
-    }
 }
 
 impl HostStats {
@@ -87,7 +85,14 @@ mod tests {
     use super::*;
 
     fn cfg(routing: Routing) -> SimConfig {
-        SimConfig { hosts: 4, initial_messages: 4, ttl: 3, workload: 2, routing, ..SimConfig::default() }
+        SimConfig {
+            hosts: 4,
+            initial_messages: 4,
+            ttl: 3,
+            workload: 2,
+            routing,
+            ..SimConfig::default()
+        }
     }
 
     #[test]
@@ -105,7 +110,11 @@ mod tests {
     #[test]
     fn final_hop_does_not_forward() {
         let cfg = cfg(Routing::HashDerived);
-        let m = Message { id: 0, payload: [1; 20], ttl: 1 };
+        let m = Message {
+            id: 0,
+            payload: [1; 20],
+            ttl: 1,
+        };
         let (_digest, fwd) = process_message(&m, 0, &cfg);
         assert!(fwd.is_none());
     }
@@ -126,12 +135,18 @@ mod tests {
         let m = Message::initial(7, 3);
         let (_d1, f1) = process_message(&m, 0, &cfg);
         let (_d2, f2) = process_message(&m, 1, &cfg);
-        assert_eq!(f1, f2, "hash routing ignores the sender; same input, same destination");
+        assert_eq!(
+            f1, f2,
+            "hash routing ignores the sender; same input, same destination"
+        );
     }
 
     #[test]
     fn zero_workload_still_hashes_once() {
-        let cfg = SimConfig { workload: 0, ..cfg(Routing::HashDerived) };
+        let cfg = SimConfig {
+            workload: 0,
+            ..cfg(Routing::HashDerived)
+        };
         let m = Message::initial(0, 2);
         let (digest, _) = process_message(&m, 0, &cfg);
         assert_eq!(digest, sha1(&m.payload));

@@ -1,0 +1,236 @@
+//! The determinism auditor: a content hash over the deterministic part
+//! of the event stream.
+//!
+//! A Spawn&Merge program that only uses deterministic constructs
+//! (`merge_all`, creation-order merging) must produce the *same logical
+//! event sequence on every run*: the same task tree, the same merge
+//! order, the same per-merge operation counts. [`DeterminismAuditor`]
+//! turns that claim into a checkable 64-bit digest.
+//!
+//! ## Why per-task hash chains
+//!
+//! Events from different worker threads arrive at the recorder in a
+//! nondeterministic interleaving even when the program itself is
+//! deterministic — thread scheduling reorders deliveries of causally
+//! unrelated events. What *is* deterministic is each task's own program
+//! order. So the auditor keeps one FNV-1a hash chain per emitting
+//! [`TaskPath`] (delivery per task is in program order because each
+//! task runs on one thread at a time) and combines the finished chains
+//! order-insensitively, by folding them in sorted path order. Wall-clock
+//! fields, pool-worker churn, and wire events are excluded: they vary
+//! run to run without affecting merged results.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::sync::PoisonError;
+
+use crate::event::{EventKind, ObsEvent, TaskPath};
+use crate::recorder::Recorder;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv_step(mut h: u64, bytes: &[u8]) -> u64 {
+    for b in bytes {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+fn fnv_u64(h: u64, v: u64) -> u64 {
+    fnv_step(h, &v.to_le_bytes())
+}
+
+fn fnv_path(mut h: u64, path: &TaskPath) -> u64 {
+    h = fnv_u64(h, path.ids().len() as u64);
+    for id in path.ids() {
+        h = fnv_u64(h, *id);
+    }
+    h
+}
+
+/// A [`Recorder`] hashing the deterministic projection of the stream.
+#[derive(Debug, Default)]
+pub struct DeterminismAuditor {
+    chains: Mutex<BTreeMap<TaskPath, u64>>,
+}
+
+impl DeterminismAuditor {
+    /// An empty auditor.
+    pub fn new() -> Self {
+        DeterminismAuditor::default()
+    }
+
+    /// The combined digest of everything observed so far.
+    ///
+    /// Chains are folded in sorted [`TaskPath`] order, so the digest
+    /// does not depend on cross-thread event arrival order — only on
+    /// each task's own deterministic sequence.
+    pub fn digest(&self) -> u64 {
+        let chains = self.chains.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut h = FNV_OFFSET;
+        for (path, chain) in chains.iter() {
+            h = fnv_path(h, path);
+            h = fnv_u64(h, *chain);
+        }
+        h
+    }
+
+    /// Number of distinct task chains observed.
+    pub fn chain_count(&self) -> usize {
+        self.chains
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+}
+
+/// The deterministic projection of one event: a tag plus the fields that
+/// must match across runs. `None` for excluded events.
+fn projection(event: &ObsEvent) -> Option<u64> {
+    let mut h = FNV_OFFSET;
+    h = fnv_step(h, event.kind.name().as_bytes());
+    match &event.kind {
+        // spawn_nanos is wall-clock: hash only the fact and the identity.
+        EventKind::TaskSpawned { .. } => {}
+        EventKind::TaskCompleted => {}
+        EventKind::TaskAborted { cause } => {
+            h = fnv_u64(h, *cause as u64);
+        }
+        EventKind::MergeStarted { child } | EventKind::MergeRejected { child } => {
+            h = fnv_path(h, child);
+        }
+        EventKind::MergeFinished {
+            child,
+            child_continues,
+            ops,
+            oplog_len,
+            ..
+        } => {
+            h = fnv_path(h, child);
+            h = fnv_u64(h, u64::from(*child_continues));
+            h = fnv_u64(h, ops.child_ops as u64);
+            h = fnv_u64(h, ops.applied_ops as u64);
+            h = fnv_u64(h, ops.committed_ops as u64);
+            h = fnv_u64(h, *oplog_len as u64);
+        }
+        EventKind::SyncBlocked => {}
+        EventKind::SyncResumed { accepted, .. } => {
+            h = fnv_u64(h, u64::from(*accepted));
+        }
+        EventKind::CloneCreated { clone } => {
+            h = fnv_path(h, clone);
+        }
+        EventKind::Mark { label } => {
+            h = fnv_step(h, label.as_bytes());
+        }
+        // Pool churn and wire traffic vary run to run (keep-alive timing,
+        // socket batching) without affecting merged results: excluded.
+        EventKind::WorkerStarted { .. }
+        | EventKind::WorkerRetired { .. }
+        | EventKind::WireSent { .. }
+        | EventKind::WireReceived { .. } => return None,
+    }
+    Some(h)
+}
+
+impl Recorder for DeterminismAuditor {
+    fn record(&self, event: &ObsEvent) {
+        let Some(p) = projection(event) else { return };
+        let mut chains = self.chains.lock().unwrap_or_else(PoisonError::into_inner);
+        let chain = chains.entry(event.task.clone()).or_insert(FNV_OFFSET);
+        *chain = fnv_u64(*chain, p);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::MergeOpStats;
+    use std::time::Instant;
+
+    fn ev(task: TaskPath, kind: EventKind) -> ObsEvent {
+        ObsEvent {
+            at: Instant::now(),
+            task,
+            kind,
+        }
+    }
+
+    fn merge_finished(child: TaskPath, child_ops: usize) -> EventKind {
+        EventKind::MergeFinished {
+            child,
+            child_continues: false,
+            ops: MergeOpStats {
+                child_ops,
+                applied_ops: child_ops,
+                committed_ops: 0,
+            },
+            oplog_len: child_ops,
+            merge_nanos: 1,
+        }
+    }
+
+    #[test]
+    fn digest_ignores_wall_clock_and_cross_task_interleaving() {
+        let root = TaskPath::root();
+        let (c1, c2) = (root.child(1), root.child(2));
+
+        let a = DeterminismAuditor::new();
+        a.record(&ev(c1.clone(), EventKind::TaskSpawned { spawn_nanos: 111 }));
+        a.record(&ev(c2.clone(), EventKind::TaskSpawned { spawn_nanos: 222 }));
+        a.record(&ev(c1.clone(), EventKind::TaskCompleted));
+        a.record(&ev(c2.clone(), EventKind::TaskCompleted));
+        a.record(&ev(root.clone(), merge_finished(c1.clone(), 3)));
+        a.record(&ev(root.clone(), merge_finished(c2.clone(), 5)));
+
+        // Same logical run: different spawn costs, c2's events delivered
+        // before c1's, wire/pool noise sprinkled in.
+        let b = DeterminismAuditor::new();
+        b.record(&ev(root.clone(), EventKind::WorkerStarted { worker: 7 }));
+        b.record(&ev(c2.clone(), EventKind::TaskSpawned { spawn_nanos: 9 }));
+        b.record(&ev(c2.clone(), EventKind::TaskCompleted));
+        b.record(&ev(c1.clone(), EventKind::TaskSpawned { spawn_nanos: 8 }));
+        b.record(&ev(c1.clone(), EventKind::TaskCompleted));
+        b.record(&ev(
+            root.clone(),
+            EventKind::WireSent { node: 0, bytes: 64 },
+        ));
+        b.record(&ev(root.clone(), merge_finished(c1.clone(), 3)));
+        b.record(&ev(root.clone(), merge_finished(c2.clone(), 5)));
+
+        assert_eq!(a.digest(), b.digest());
+        assert_eq!(a.chain_count(), 3);
+    }
+
+    #[test]
+    fn digest_detects_merge_order_and_op_count_changes() {
+        let root = TaskPath::root();
+        let (c1, c2) = (root.child(1), root.child(2));
+
+        let base = DeterminismAuditor::new();
+        base.record(&ev(root.clone(), merge_finished(c1.clone(), 3)));
+        base.record(&ev(root.clone(), merge_finished(c2.clone(), 5)));
+
+        // Merge order swapped: root's own chain differs.
+        let swapped = DeterminismAuditor::new();
+        swapped.record(&ev(root.clone(), merge_finished(c2.clone(), 5)));
+        swapped.record(&ev(root.clone(), merge_finished(c1.clone(), 3)));
+        assert_ne!(base.digest(), swapped.digest());
+
+        // Same order, different op count.
+        let cooked = DeterminismAuditor::new();
+        cooked.record(&ev(root.clone(), merge_finished(c1.clone(), 4)));
+        cooked.record(&ev(root.clone(), merge_finished(c2.clone(), 5)));
+        assert_ne!(base.digest(), cooked.digest());
+    }
+
+    #[test]
+    fn empty_auditors_agree() {
+        assert_eq!(
+            DeterminismAuditor::new().digest(),
+            DeterminismAuditor::new().digest()
+        );
+    }
+}

@@ -1,0 +1,364 @@
+//! Chrome trace-event (Perfetto-compatible) JSON exporter.
+//!
+//! [`ChromeTracer`] buffers the raw event stream and renders it as a
+//! `{"traceEvents": [...]}` document in the [trace-event format] that
+//! both `chrome://tracing` and [ui.perfetto.dev] open directly:
+//!
+//! - every task gets its own track (`tid` = task path), named via `"M"`
+//!   thread-name metadata, so the task tree reads as a timeline;
+//! - task lifetimes, merges, and sync blocks are `"X"` complete spans;
+//! - marks and wire messages are `"i"` instant events;
+//! - `pid` partitions the view: 1 = task tree, 2 = pool, 3 = wire.
+//!
+//! [trace-event format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+//! [ui.perfetto.dev]: https://ui.perfetto.dev
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::sync::PoisonError;
+use std::time::Instant;
+
+use crate::event::{EventKind, ObsEvent, TaskPath};
+use crate::json::Json;
+use crate::recorder::Recorder;
+
+const PID_TASKS: u64 = 1;
+const PID_POOL: u64 = 2;
+const PID_WIRE: u64 = 3;
+
+/// A [`Recorder`] buffering events for later export as Chrome trace JSON.
+pub struct ChromeTracer {
+    inner: Mutex<Vec<ObsEvent>>,
+    t0: Instant,
+}
+
+impl Default for ChromeTracer {
+    fn default() -> Self {
+        ChromeTracer::new()
+    }
+}
+
+impl ChromeTracer {
+    /// An empty tracer; timestamps are relative to this call.
+    pub fn new() -> Self {
+        ChromeTracer {
+            inner: Mutex::new(Vec::new()),
+            t0: Instant::now(),
+        }
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
+    /// Whether no events were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn micros(&self, at: Instant) -> f64 {
+        at.duration_since(self.t0).as_nanos() as f64 / 1000.0
+    }
+
+    /// Render the buffered events as a Chrome trace-event JSON document.
+    pub fn to_chrome_json(&self) -> Json {
+        let events = self
+            .inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone();
+        let mut out: Vec<Json> = Vec::new();
+
+        // Assign a stable small tid to every task path seen, in
+        // deterministic (path) order, and name the tracks.
+        let mut tids: BTreeMap<TaskPath, u64> = BTreeMap::new();
+        for ev in &events {
+            tids.entry(ev.task.clone()).or_default();
+            match &ev.kind {
+                EventKind::MergeStarted { child }
+                | EventKind::MergeFinished { child, .. }
+                | EventKind::MergeRejected { child } => {
+                    tids.entry(child.clone()).or_default();
+                }
+                EventKind::CloneCreated { clone } => {
+                    tids.entry(clone.clone()).or_default();
+                }
+                _ => {}
+            }
+        }
+        for (i, tid) in tids.values_mut().enumerate() {
+            *tid = i as u64 + 1;
+        }
+        for (path, tid) in &tids {
+            out.push(metadata_event(PID_TASKS, *tid, &format!("task {path}")));
+        }
+
+        // Task lifetime spans: spawn → completion/abort on the task's own
+        // track. Open spans (no completion seen) are closed at the last
+        // event's timestamp so partial traces still render.
+        let trace_end = events.last().map(|e| self.micros(e.at)).unwrap_or(0.0);
+        let mut open: BTreeMap<TaskPath, f64> = BTreeMap::new();
+        for ev in &events {
+            let ts = self.micros(ev.at);
+            let tid = tids[&ev.task];
+            match &ev.kind {
+                EventKind::TaskSpawned { .. } => {
+                    open.insert(ev.task.clone(), ts);
+                }
+                EventKind::TaskCompleted => {
+                    let start = open.remove(&ev.task).unwrap_or(ts);
+                    out.push(span(
+                        PID_TASKS,
+                        tid,
+                        &format!("run {}", ev.task),
+                        start,
+                        ts - start,
+                    ));
+                }
+                EventKind::TaskAborted { cause } => {
+                    let start = open.remove(&ev.task).unwrap_or(ts);
+                    out.push(span(
+                        PID_TASKS,
+                        tid,
+                        &format!("aborted {} ({cause:?})", ev.task),
+                        start,
+                        ts - start,
+                    ));
+                }
+                EventKind::MergeFinished {
+                    child,
+                    ops,
+                    merge_nanos,
+                    ..
+                } => {
+                    let dur = *merge_nanos as f64 / 1000.0;
+                    let mut span = span(
+                        PID_TASKS,
+                        tid,
+                        &format!("merge {child}"),
+                        (ts - dur).max(0.0),
+                        dur,
+                    );
+                    span.set(
+                        "args",
+                        Json::obj([
+                            ("child_ops", Json::from(ops.child_ops)),
+                            ("applied_ops", Json::from(ops.applied_ops)),
+                            ("committed_ops", Json::from(ops.committed_ops)),
+                        ]),
+                    );
+                    out.push(span);
+                }
+                EventKind::MergeRejected { child } => {
+                    out.push(instant(
+                        PID_TASKS,
+                        tid,
+                        &format!("merge rejected {child}"),
+                        ts,
+                    ));
+                }
+                EventKind::SyncResumed {
+                    blocked_nanos,
+                    accepted,
+                } => {
+                    let dur = *blocked_nanos as f64 / 1000.0;
+                    let name = if *accepted { "sync" } else { "sync (rejected)" };
+                    out.push(span(PID_TASKS, tid, name, (ts - dur).max(0.0), dur));
+                }
+                EventKind::CloneCreated { clone } => {
+                    out.push(instant(PID_TASKS, tid, &format!("clone -> {clone}"), ts));
+                }
+                EventKind::WorkerStarted { worker } => {
+                    out.push(instant(PID_POOL, *worker + 1, "worker started", ts));
+                }
+                EventKind::WorkerRetired { worker } => {
+                    out.push(instant(PID_POOL, *worker + 1, "worker retired", ts));
+                }
+                EventKind::WireSent { node, bytes } => {
+                    out.push(instant(
+                        PID_WIRE,
+                        *node as u64 + 1,
+                        &format!("send {bytes}B -> node {node}"),
+                        ts,
+                    ));
+                }
+                EventKind::WireReceived { node, bytes } => {
+                    out.push(instant(
+                        PID_WIRE,
+                        *node as u64 + 1,
+                        &format!("recv {bytes}B <- node {node}"),
+                        ts,
+                    ));
+                }
+                EventKind::Mark { label } => {
+                    out.push(instant(PID_TASKS, tid, label, ts));
+                }
+                EventKind::MergeStarted { .. } | EventKind::SyncBlocked => {}
+            }
+        }
+        for (path, start) in open {
+            let tid = tids[&path];
+            out.push(span(
+                PID_TASKS,
+                tid,
+                &format!("run {path} (unfinished)"),
+                start,
+                (trace_end - start).max(0.0),
+            ));
+        }
+
+        Json::obj([
+            ("traceEvents", Json::Arr(out)),
+            ("displayTimeUnit", Json::str("ms")),
+        ])
+    }
+
+    /// [`to_chrome_json`](Self::to_chrome_json) rendered to a string.
+    pub fn json_string(&self) -> String {
+        self.to_chrome_json().to_string()
+    }
+}
+
+impl Recorder for ChromeTracer {
+    fn record(&self, event: &ObsEvent) {
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(event.clone());
+    }
+}
+
+fn base_event(phase: &str, pid: u64, tid: u64, name: &str, ts: f64) -> Json {
+    Json::obj([
+        ("name", Json::str(name)),
+        ("ph", Json::str(phase)),
+        ("pid", Json::from(pid)),
+        ("tid", Json::from(tid)),
+        ("ts", Json::num(ts)),
+    ])
+}
+
+fn span(pid: u64, tid: u64, name: &str, ts: f64, dur: f64) -> Json {
+    let mut e = base_event("X", pid, tid, name, ts);
+    e.set("dur", Json::num(dur));
+    e
+}
+
+fn instant(pid: u64, tid: u64, name: &str, ts: f64) -> Json {
+    let mut e = base_event("i", pid, tid, name, ts);
+    e.set("s", Json::str("t"));
+    e
+}
+
+fn metadata_event(pid: u64, tid: u64, thread_name: &str) -> Json {
+    let mut e = base_event("M", pid, tid, "thread_name", 0.0);
+    e.set("args", Json::obj([("name", Json::str(thread_name))]));
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::MergeOpStats;
+
+    fn ev(task: TaskPath, kind: EventKind) -> ObsEvent {
+        ObsEvent {
+            at: Instant::now(),
+            task,
+            kind,
+        }
+    }
+
+    #[test]
+    fn renders_valid_trace_json() {
+        let tracer = ChromeTracer::new();
+        let root = TaskPath::root();
+        let child = root.child(1);
+        tracer.record(&ev(root.clone(), EventKind::TaskSpawned { spawn_nanos: 0 }));
+        tracer.record(&ev(
+            child.clone(),
+            EventKind::TaskSpawned { spawn_nanos: 800 },
+        ));
+        tracer.record(&ev(child.clone(), EventKind::TaskCompleted));
+        tracer.record(&ev(
+            root.clone(),
+            EventKind::MergeStarted {
+                child: child.clone(),
+            },
+        ));
+        tracer.record(&ev(
+            root.clone(),
+            EventKind::MergeFinished {
+                child: child.clone(),
+                child_continues: false,
+                ops: MergeOpStats {
+                    child_ops: 3,
+                    applied_ops: 3,
+                    committed_ops: 0,
+                },
+                oplog_len: 3,
+                merge_nanos: 2000,
+            },
+        ));
+        tracer.record(&ev(root.clone(), EventKind::TaskCompleted));
+        assert_eq!(tracer.len(), 6);
+
+        let text = tracer.json_string();
+        let doc = crate::json::parse(&text).expect("trace must be valid JSON");
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        // 2 thread_name metadata + 2 run spans + 1 merge span.
+        assert_eq!(events.len(), 5);
+        for e in events {
+            let ph = e.get("ph").unwrap().as_str().unwrap();
+            assert!(matches!(ph, "X" | "i" | "M"), "unexpected phase {ph}");
+            assert!(e.get("pid").is_some() && e.get("tid").is_some());
+            if ph == "X" {
+                assert!(e.get("dur").unwrap().as_num().unwrap() >= 0.0);
+            }
+        }
+        let merge = events
+            .iter()
+            .find(|e| {
+                e.get("name")
+                    .unwrap()
+                    .as_str()
+                    .unwrap()
+                    .starts_with("merge ")
+            })
+            .unwrap();
+        assert_eq!(
+            merge
+                .get("args")
+                .unwrap()
+                .get("child_ops")
+                .unwrap()
+                .as_num(),
+            Some(3.0)
+        );
+    }
+
+    #[test]
+    fn unfinished_tasks_still_render() {
+        let tracer = ChromeTracer::new();
+        let root = TaskPath::root();
+        tracer.record(&ev(root.clone(), EventKind::TaskSpawned { spawn_nanos: 0 }));
+        tracer.record(&ev(
+            root.clone(),
+            EventKind::Mark {
+                label: "midway".into(),
+            },
+        ));
+        let doc = crate::json::parse(&tracer.json_string()).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        assert!(events.iter().any(|e| e
+            .get("name")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("unfinished")));
+    }
+}

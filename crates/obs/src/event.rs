@@ -1,0 +1,235 @@
+//! The typed lifecycle event model.
+//!
+//! Every significant runtime transition — task spawn/completion, merges
+//! with their OT statistics, sync blocking, pool worker churn, wire
+//! traffic — is described by one [`ObsEvent`]. Events are values: the
+//! runtime constructs them (lazily, only when a recorder is installed)
+//! and hands them to whatever [`Recorder`](crate::Recorder) is active.
+//!
+//! ## Task identity
+//!
+//! The runtime's per-family `TaskId`s are only locally unique (each
+//! family numbers its children 1, 2, 3…), so events carry a [`TaskPath`]
+//! — the chain of ids from the root task. Paths are globally unique,
+//! *deterministic* (spawn order fixes them), and cheap to clone
+//! (`Arc`-backed), which is what makes them usable both as trace-track
+//! keys and as the identity the determinism auditor hashes.
+
+use std::fmt;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Deterministic global task identity: ids from the root down.
+///
+/// The root task is `[0]`; its third spawned child is `[0, 3]`; that
+/// child's first child is `[0, 3, 1]`.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskPath(Arc<[u64]>);
+
+impl TaskPath {
+    /// The root task's path, `[0]`.
+    pub fn root() -> Self {
+        TaskPath(Arc::from([0u64].as_slice()))
+    }
+
+    /// The path of this task's child with local id `id`.
+    pub fn child(&self, id: u64) -> Self {
+        let mut v = Vec::with_capacity(self.0.len() + 1);
+        v.extend_from_slice(&self.0);
+        v.push(id);
+        TaskPath(Arc::from(v))
+    }
+
+    /// The id chain, root first.
+    pub fn ids(&self) -> &[u64] {
+        &self.0
+    }
+
+    /// The parent's path, or `None` for the root.
+    pub fn parent(&self) -> Option<TaskPath> {
+        if self.0.len() <= 1 {
+            None
+        } else {
+            Some(TaskPath(Arc::from(&self.0[..self.0.len() - 1])))
+        }
+    }
+
+    /// Nesting depth: the root is 1.
+    pub fn depth(&self) -> usize {
+        self.0.len()
+    }
+
+    /// The task's local id within its family.
+    pub fn local_id(&self) -> u64 {
+        *self.0.last().expect("task path is never empty")
+    }
+}
+
+impl fmt::Display for TaskPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, id) in self.0.iter().enumerate() {
+            if i > 0 {
+                f.write_str("/")?;
+            }
+            write!(f, "{id}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for TaskPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TaskPath({self})")
+    }
+}
+
+/// Why a task ended without completing normally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbortCause {
+    /// The task's closure returned an error.
+    Failed,
+    /// The task's closure panicked.
+    Panicked,
+    /// The parent (or an ancestor) aborted it externally.
+    External,
+}
+
+/// Operation-transformation statistics of one merge, as reported by the
+/// mergeable data's `merge` implementation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MergeOpStats {
+    /// Operations the child brought to the merge.
+    pub child_ops: usize,
+    /// Operations actually applied to the parent after transformation.
+    pub applied_ops: usize,
+    /// Committed-log operations the child ops were transformed against.
+    pub committed_ops: usize,
+}
+
+/// One runtime lifecycle transition.
+#[derive(Debug, Clone)]
+pub struct ObsEvent {
+    /// When the transition happened.
+    pub at: Instant,
+    /// The task whose program order this event belongs to (for merges,
+    /// the *merging* task; for syncs, the *syncing child*).
+    pub task: TaskPath,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// The transition taxonomy.
+#[derive(Debug, Clone)]
+pub enum EventKind {
+    /// `task` was spawned (by `task.parent()`, or is the root).
+    TaskSpawned {
+        /// Cost of the spawn call itself: forking the data copy and
+        /// dispatching to the pool (0 for the root task).
+        spawn_nanos: u64,
+    },
+    /// `task`'s closure returned successfully.
+    TaskCompleted,
+    /// `task` ended without completing.
+    TaskAborted { cause: AbortCause },
+    /// `task` (as parent) began merging `child`'s data — covers both
+    /// final merges and intermediate sync merges.
+    MergeStarted { child: TaskPath },
+    /// The merge of `child` into `task` finished.
+    MergeFinished {
+        child: TaskPath,
+        /// Whether the merge was a sync accepted back into the child
+        /// (`false` for a completion merge that retired the child).
+        child_continues: bool,
+        /// OT statistics (zeroed when the merge was rejected).
+        ops: MergeOpStats,
+        /// Parent op-log length right after this merge.
+        oplog_len: usize,
+        /// Transform+apply latency of the `merge` call itself.
+        merge_nanos: u64,
+    },
+    /// The merge of `child` was rejected or the child was aborted at the
+    /// merge point; no operations were applied.
+    MergeRejected { child: TaskPath },
+    /// `task` called sync and is now blocked waiting for its parent.
+    SyncBlocked,
+    /// `task`'s sync was answered and it resumed.
+    SyncResumed {
+        /// How long the task was blocked.
+        blocked_nanos: u64,
+        /// Whether the sync was accepted (false: task is being aborted).
+        accepted: bool,
+    },
+    /// `clone` was created as a sibling of `task` and adopted by the
+    /// common parent.
+    CloneCreated { clone: TaskPath },
+    /// A pool worker thread started (`task` is the root path; workers
+    /// are identified by `worker`).
+    WorkerStarted { worker: u64 },
+    /// A pool worker retired after its keep-alive expired.
+    WorkerRetired { worker: u64 },
+    /// A distributed-runtime wire message was sent to `node`.
+    WireSent { node: usize, bytes: usize },
+    /// A distributed-runtime wire message arrived from `node`.
+    WireReceived { node: usize, bytes: usize },
+    /// Freeform, program-defined annotation (simulation rounds,
+    /// semaphore grants, …).
+    Mark { label: String },
+}
+
+impl EventKind {
+    /// Short machine-readable name (metric labels, trace names).
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::TaskSpawned { .. } => "task_spawned",
+            EventKind::TaskCompleted => "task_completed",
+            EventKind::TaskAborted { .. } => "task_aborted",
+            EventKind::MergeStarted { .. } => "merge_started",
+            EventKind::MergeFinished { .. } => "merge_finished",
+            EventKind::MergeRejected { .. } => "merge_rejected",
+            EventKind::SyncBlocked => "sync_blocked",
+            EventKind::SyncResumed { .. } => "sync_resumed",
+            EventKind::CloneCreated { .. } => "clone_created",
+            EventKind::WorkerStarted { .. } => "worker_started",
+            EventKind::WorkerRetired { .. } => "worker_retired",
+            EventKind::WireSent { .. } => "wire_sent",
+            EventKind::WireReceived { .. } => "wire_received",
+            EventKind::Mark { .. } => "mark",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paths_are_hierarchical() {
+        let root = TaskPath::root();
+        assert_eq!(root.ids(), &[0]);
+        assert_eq!(root.parent(), None);
+        assert_eq!(root.depth(), 1);
+
+        let c3 = root.child(3);
+        let gc1 = c3.child(1);
+        assert_eq!(gc1.ids(), &[0, 3, 1]);
+        assert_eq!(gc1.parent(), Some(c3.clone()));
+        assert_eq!(gc1.depth(), 3);
+        assert_eq!(gc1.local_id(), 1);
+        assert_eq!(gc1.to_string(), "0/3/1");
+        assert_eq!(c3.to_string(), "0/3");
+    }
+
+    #[test]
+    fn paths_order_deterministically() {
+        let root = TaskPath::root();
+        let mut v = [
+            root.child(2),
+            root.child(1).child(5),
+            root.clone(),
+            root.child(1),
+        ];
+        v.sort();
+        let rendered: Vec<String> = v.iter().map(|p| p.to_string()).collect();
+        assert_eq!(rendered, ["0", "0/1", "0/1/5", "0/2"]);
+    }
+}

@@ -1,0 +1,37 @@
+//! `sm-obs` — runtime-wide observability for the Spawn&Merge stack.
+//!
+//! The runtime crates (`sm-core`, `sm-dist`, `sm-netsim`) emit typed
+//! lifecycle events — task spawns and completions, merges with their
+//! operation-transformation statistics, sync blocking, pool worker
+//! churn, wire traffic — through one process-wide, *pluggable*
+//! [`Recorder`] slot. With no recorder installed, every emission site
+//! costs one relaxed atomic load and the event is never even
+//! constructed; [`install`] a recorder and the full stream flows to it.
+//!
+//! Three consumers ship in this crate:
+//!
+//! - [`Metrics`]: counters + log₂ latency histograms, exported as
+//!   Prometheus text ([`Metrics::prometheus_text`]) or a JSON snapshot
+//!   ([`Metrics::json_string`]) — the bench binaries write the latter as
+//!   a machine-readable sidecar.
+//! - [`ChromeTracer`]: a Chrome trace-event / Perfetto JSON exporter
+//!   rendering the task tree as a timeline (`examples/tracing.rs`).
+//! - [`DeterminismAuditor`]: a 64-bit digest over the deterministic
+//!   projection of the stream — identical across runs of a
+//!   `merge_all`-only program, sensitive to merge order and op counts.
+//!
+//! Several consumers compose via [`MultiRecorder`]. The determinism
+//! contract recorders must uphold is documented on [`recorder`].
+
+pub mod audit;
+pub mod chrome;
+pub mod event;
+pub mod json;
+pub mod metrics;
+pub mod recorder;
+
+pub use audit::DeterminismAuditor;
+pub use chrome::ChromeTracer;
+pub use event::{AbortCause, EventKind, MergeOpStats, ObsEvent, TaskPath};
+pub use metrics::{Histogram, Metrics, MetricsSnapshot};
+pub use recorder::{emit, install, is_enabled, uninstall, MultiRecorder, Recorder};

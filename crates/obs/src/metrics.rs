@@ -1,0 +1,504 @@
+//! In-memory metrics aggregation: counters + log₂ latency histograms,
+//! with Prometheus text exposition and a JSON snapshot.
+//!
+//! [`Metrics`] is a [`Recorder`]: install it (alone or inside a
+//! `MultiRecorder`) and every runtime event updates a small set of
+//! counters and histograms under one mutex. The bench binaries write
+//! [`Metrics::json_string`] as a machine-readable sidecar next to their
+//! human-readable tables; [`Metrics::prometheus_text`] renders the same
+//! state in the Prometheus text exposition format for scraping.
+
+use std::sync::Mutex;
+use std::sync::PoisonError;
+
+use crate::event::{EventKind, ObsEvent};
+use crate::json::Json;
+use crate::recorder::Recorder;
+
+/// Number of log₂ buckets: bucket `i` counts values `v` with
+/// `bucket_index(v) == i`, i.e. `v == 0` → 0 and otherwise
+/// `i == 64 - v.leading_zeros()` (so bucket upper bound is `2^i - 1`).
+const BUCKETS: usize = 65;
+
+/// A log₂ histogram of `u64` observations.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    counts: [u64; BUCKETS],
+    sum: u128,
+    count: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            counts: [0; BUCKETS],
+            sum: 0,
+            count: 0,
+            max: 0,
+        }
+    }
+}
+
+fn bucket_index(v: u64) -> usize {
+    (64 - v.leading_zeros()) as usize
+}
+
+impl Histogram {
+    /// Record one observation.
+    pub fn observe(&mut self, v: u64) {
+        self.counts[bucket_index(v)] += 1;
+        self.sum += u128::from(v);
+        self.count += 1;
+        self.max = self.max.max(v);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Largest observation.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean observation (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate quantile: the upper bound of the bucket containing
+    /// the `q`-quantile observation (`q` in 0..=1).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0;
+        for (i, c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper_bound(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Non-empty buckets as `(upper_bound, cumulative_count)` pairs.
+    pub fn cumulative_buckets(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut cum = 0;
+        for (i, c) in self.counts.iter().enumerate() {
+            cum += c;
+            if *c > 0 {
+                out.push((bucket_upper_bound(i), cum));
+            }
+        }
+        out
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("count", Json::from(self.count)),
+            ("sum", Json::num(self.sum as f64)),
+            ("mean", Json::num(self.mean())),
+            ("p50", Json::from(self.quantile(0.5))),
+            ("p90", Json::from(self.quantile(0.9))),
+            ("p99", Json::from(self.quantile(0.99))),
+            ("max", Json::from(self.max)),
+        ])
+    }
+}
+
+/// Inclusive upper bound of bucket `i` (`0`, `1`, `3`, `7`, …).
+fn bucket_upper_bound(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// The aggregated state. Plain data: cheap to clone out as a snapshot.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    // -- task lifecycle ------------------------------------------------
+    pub tasks_spawned: u64,
+    pub tasks_completed: u64,
+    pub tasks_aborted: u64,
+    pub clones_created: u64,
+    // -- merges --------------------------------------------------------
+    pub merges_started: u64,
+    pub merges_finished: u64,
+    pub merges_rejected: u64,
+    /// Sum of child ops brought to all merges.
+    pub ops_child_total: u64,
+    /// Sum of ops actually applied after transformation.
+    pub ops_applied_total: u64,
+    // -- syncs ---------------------------------------------------------
+    pub syncs: u64,
+    pub syncs_rejected: u64,
+    // -- pool ----------------------------------------------------------
+    pub workers_started: u64,
+    pub workers_retired: u64,
+    pub workers_live: u64,
+    pub workers_peak: u64,
+    // -- wire ----------------------------------------------------------
+    pub wire_sent_msgs: u64,
+    pub wire_sent_bytes: u64,
+    pub wire_recv_msgs: u64,
+    pub wire_recv_bytes: u64,
+    // -- marks ---------------------------------------------------------
+    pub marks: u64,
+    // -- histograms ----------------------------------------------------
+    pub spawn_cost_nanos: Histogram,
+    pub merge_latency_nanos: Histogram,
+    pub merge_child_ops: Histogram,
+    pub oplog_len: Histogram,
+    pub sync_blocked_nanos: Histogram,
+}
+
+impl MetricsSnapshot {
+    fn update(&mut self, event: &ObsEvent) {
+        match &event.kind {
+            EventKind::TaskSpawned { spawn_nanos } => {
+                self.tasks_spawned += 1;
+                self.spawn_cost_nanos.observe(*spawn_nanos);
+            }
+            EventKind::TaskCompleted => self.tasks_completed += 1,
+            EventKind::TaskAborted { .. } => self.tasks_aborted += 1,
+            EventKind::MergeStarted { .. } => self.merges_started += 1,
+            EventKind::MergeFinished {
+                ops,
+                oplog_len,
+                merge_nanos,
+                ..
+            } => {
+                self.merges_finished += 1;
+                self.ops_child_total += ops.child_ops as u64;
+                self.ops_applied_total += ops.applied_ops as u64;
+                self.merge_latency_nanos.observe(*merge_nanos);
+                self.merge_child_ops.observe(ops.child_ops as u64);
+                self.oplog_len.observe(*oplog_len as u64);
+            }
+            EventKind::MergeRejected { .. } => self.merges_rejected += 1,
+            EventKind::SyncBlocked => self.syncs += 1,
+            EventKind::SyncResumed {
+                blocked_nanos,
+                accepted,
+            } => {
+                self.sync_blocked_nanos.observe(*blocked_nanos);
+                if !accepted {
+                    self.syncs_rejected += 1;
+                }
+            }
+            EventKind::CloneCreated { .. } => self.clones_created += 1,
+            EventKind::WorkerStarted { .. } => {
+                self.workers_started += 1;
+                self.workers_live += 1;
+                self.workers_peak = self.workers_peak.max(self.workers_live);
+            }
+            EventKind::WorkerRetired { .. } => {
+                self.workers_retired += 1;
+                self.workers_live = self.workers_live.saturating_sub(1);
+            }
+            EventKind::WireSent { bytes, .. } => {
+                self.wire_sent_msgs += 1;
+                self.wire_sent_bytes += *bytes as u64;
+            }
+            EventKind::WireReceived { bytes, .. } => {
+                self.wire_recv_msgs += 1;
+                self.wire_recv_bytes += *bytes as u64;
+            }
+            EventKind::Mark { .. } => self.marks += 1,
+        }
+    }
+
+    /// Render as a JSON document.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                "tasks",
+                Json::obj([
+                    ("spawned", Json::from(self.tasks_spawned)),
+                    ("completed", Json::from(self.tasks_completed)),
+                    ("aborted", Json::from(self.tasks_aborted)),
+                    ("clones_created", Json::from(self.clones_created)),
+                ]),
+            ),
+            (
+                "merges",
+                Json::obj([
+                    ("started", Json::from(self.merges_started)),
+                    ("finished", Json::from(self.merges_finished)),
+                    ("rejected", Json::from(self.merges_rejected)),
+                    ("ops_child_total", Json::from(self.ops_child_total)),
+                    ("ops_applied_total", Json::from(self.ops_applied_total)),
+                ]),
+            ),
+            (
+                "syncs",
+                Json::obj([
+                    ("total", Json::from(self.syncs)),
+                    ("rejected", Json::from(self.syncs_rejected)),
+                ]),
+            ),
+            (
+                "pool",
+                Json::obj([
+                    ("workers_started", Json::from(self.workers_started)),
+                    ("workers_retired", Json::from(self.workers_retired)),
+                    ("workers_live", Json::from(self.workers_live)),
+                    ("workers_peak", Json::from(self.workers_peak)),
+                ]),
+            ),
+            (
+                "wire",
+                Json::obj([
+                    ("sent_msgs", Json::from(self.wire_sent_msgs)),
+                    ("sent_bytes", Json::from(self.wire_sent_bytes)),
+                    ("recv_msgs", Json::from(self.wire_recv_msgs)),
+                    ("recv_bytes", Json::from(self.wire_recv_bytes)),
+                ]),
+            ),
+            ("marks", Json::from(self.marks)),
+            (
+                "histograms",
+                Json::obj([
+                    ("spawn_cost_nanos", self.spawn_cost_nanos.to_json()),
+                    ("merge_latency_nanos", self.merge_latency_nanos.to_json()),
+                    ("merge_child_ops", self.merge_child_ops.to_json()),
+                    ("oplog_len", self.oplog_len.to_json()),
+                    ("sync_blocked_nanos", self.sync_blocked_nanos.to_json()),
+                ]),
+            ),
+        ])
+    }
+
+    /// Render in the Prometheus text exposition format.
+    pub fn prometheus_text(&self) -> String {
+        let mut out = String::new();
+        let counters: [(&str, u64); 19] = [
+            ("sm_tasks_spawned_total", self.tasks_spawned),
+            ("sm_tasks_completed_total", self.tasks_completed),
+            ("sm_tasks_aborted_total", self.tasks_aborted),
+            ("sm_clones_created_total", self.clones_created),
+            ("sm_merges_started_total", self.merges_started),
+            ("sm_merges_finished_total", self.merges_finished),
+            ("sm_merges_rejected_total", self.merges_rejected),
+            ("sm_merge_ops_child_total", self.ops_child_total),
+            ("sm_merge_ops_applied_total", self.ops_applied_total),
+            ("sm_syncs_total", self.syncs),
+            ("sm_syncs_rejected_total", self.syncs_rejected),
+            ("sm_pool_workers_started_total", self.workers_started),
+            ("sm_pool_workers_retired_total", self.workers_retired),
+            ("sm_wire_sent_msgs_total", self.wire_sent_msgs),
+            ("sm_wire_sent_bytes_total", self.wire_sent_bytes),
+            ("sm_wire_recv_msgs_total", self.wire_recv_msgs),
+            ("sm_wire_recv_bytes_total", self.wire_recv_bytes),
+            ("sm_marks_total", self.marks),
+            ("sm_pool_workers_peak", self.workers_peak),
+        ];
+        for (name, value) in counters {
+            let kind = if name.ends_with("_total") {
+                "counter"
+            } else {
+                "gauge"
+            };
+            out.push_str(&format!("# TYPE {name} {kind}\n{name} {value}\n"));
+        }
+        out.push_str(&format!(
+            "# TYPE sm_pool_workers_live gauge\nsm_pool_workers_live {}\n",
+            self.workers_live
+        ));
+        let histograms: [(&str, &Histogram); 5] = [
+            ("sm_spawn_cost_nanos", &self.spawn_cost_nanos),
+            ("sm_merge_latency_nanos", &self.merge_latency_nanos),
+            ("sm_merge_child_ops", &self.merge_child_ops),
+            ("sm_oplog_len", &self.oplog_len),
+            ("sm_sync_blocked_nanos", &self.sync_blocked_nanos),
+        ];
+        for (name, h) in histograms {
+            out.push_str(&format!("# TYPE {name} histogram\n"));
+            for (le, cum) in h.cumulative_buckets() {
+                out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cum}\n"));
+            }
+            out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count()));
+            out.push_str(&format!("{name}_sum {}\n", h.sum()));
+            out.push_str(&format!("{name}_count {}\n", h.count()));
+        }
+        out
+    }
+}
+
+/// A [`Recorder`] aggregating the event stream into [`MetricsSnapshot`].
+#[derive(Debug, Default)]
+pub struct Metrics {
+    state: Mutex<MetricsSnapshot>,
+}
+
+impl Metrics {
+    /// An empty aggregator.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Copy out the current aggregate state.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    /// Current state in the Prometheus text exposition format.
+    pub fn prometheus_text(&self) -> String {
+        self.snapshot().prometheus_text()
+    }
+
+    /// Current state as a JSON document string.
+    pub fn json_string(&self) -> String {
+        self.snapshot().to_json().to_string()
+    }
+}
+
+impl Recorder for Metrics {
+    fn record(&self, event: &ObsEvent) {
+        self.state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .update(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{MergeOpStats, TaskPath};
+    use std::time::Instant;
+
+    fn ev(kind: EventKind) -> ObsEvent {
+        ObsEvent {
+            at: Instant::now(),
+            task: TaskPath::root(),
+            kind,
+        }
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let mut h = Histogram::default();
+        for v in [0u64, 1, 1, 2, 3, 100, 1000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.sum(), 1107);
+        assert_eq!(h.max(), 1000);
+        assert!(h.quantile(0.5) <= 3);
+        assert_eq!(h.quantile(1.0), 1000);
+        let buckets = h.cumulative_buckets();
+        // Cumulative counts are monotone and end at the total.
+        assert!(buckets.windows(2).all(|w| w[0].1 <= w[1].1));
+        assert_eq!(buckets.last().unwrap().1, 7);
+    }
+
+    #[test]
+    fn aggregates_task_and_merge_events() {
+        let m = Metrics::new();
+        m.record(&ev(EventKind::TaskSpawned { spawn_nanos: 500 }));
+        m.record(&ev(EventKind::TaskSpawned { spawn_nanos: 700 }));
+        m.record(&ev(EventKind::MergeStarted {
+            child: TaskPath::root().child(1),
+        }));
+        m.record(&ev(EventKind::MergeFinished {
+            child: TaskPath::root().child(1),
+            child_continues: false,
+            ops: MergeOpStats {
+                child_ops: 10,
+                applied_ops: 8,
+                committed_ops: 4,
+            },
+            oplog_len: 18,
+            merge_nanos: 1234,
+        }));
+        m.record(&ev(EventKind::TaskCompleted));
+        let s = m.snapshot();
+        assert_eq!(s.tasks_spawned, 2);
+        assert_eq!(s.tasks_completed, 1);
+        assert_eq!(s.merges_started, 1);
+        assert_eq!(s.merges_finished, 1);
+        assert_eq!(s.ops_child_total, 10);
+        assert_eq!(s.ops_applied_total, 8);
+        assert_eq!(s.merge_latency_nanos.count(), 1);
+        assert_eq!(s.oplog_len.max(), 18);
+        assert_eq!(s.spawn_cost_nanos.mean(), 600.0);
+    }
+
+    #[test]
+    fn tracks_pool_worker_gauges() {
+        let m = Metrics::new();
+        for w in 0..3 {
+            m.record(&ev(EventKind::WorkerStarted { worker: w }));
+        }
+        m.record(&ev(EventKind::WorkerRetired { worker: 1 }));
+        let s = m.snapshot();
+        assert_eq!(s.workers_started, 3);
+        assert_eq!(s.workers_live, 2);
+        assert_eq!(s.workers_peak, 3);
+    }
+
+    #[test]
+    fn prometheus_text_is_well_formed() {
+        let m = Metrics::new();
+        m.record(&ev(EventKind::TaskSpawned { spawn_nanos: 64 }));
+        m.record(&ev(EventKind::WireSent {
+            node: 1,
+            bytes: 256,
+        }));
+        let text = m.prometheus_text();
+        assert!(text.contains("# TYPE sm_tasks_spawned_total counter"));
+        assert!(text.contains("sm_tasks_spawned_total 1"));
+        assert!(text.contains("sm_wire_sent_bytes_total 256"));
+        assert!(text.contains("sm_spawn_cost_nanos_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("sm_spawn_cost_nanos_count 1"));
+        // Every line is either a comment or `name{labels} value`.
+        for line in text.lines() {
+            assert!(
+                line.starts_with("# ") || line.split(' ').count() == 2,
+                "malformed exposition line: {line:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn json_snapshot_parses_back() {
+        let m = Metrics::new();
+        m.record(&ev(EventKind::TaskSpawned { spawn_nanos: 10 }));
+        m.record(&ev(EventKind::Mark {
+            label: "round 1".into(),
+        }));
+        let doc = crate::json::parse(&m.json_string()).unwrap();
+        assert_eq!(
+            doc.get("tasks").unwrap().get("spawned").unwrap().as_num(),
+            Some(1.0)
+        );
+        assert_eq!(doc.get("marks").unwrap().as_num(), Some(1.0));
+        assert!(doc
+            .get("histograms")
+            .unwrap()
+            .get("spawn_cost_nanos")
+            .is_some());
+    }
+}

@@ -1,0 +1,166 @@
+//! The pluggable [`Recorder`] sink and the global installation point.
+//!
+//! ## Determinism contract
+//!
+//! Recorders are strictly *passive*: they observe the event stream but
+//! must never influence scheduling or merge order. The runtime upholds
+//! its side by emitting events at points where the deterministic
+//! algorithm has already committed to its decision (after a child is
+//! selected for merging, after a merge's stats are known, …); recorder
+//! implementations uphold theirs by not blocking for unbounded time and
+//! not calling back into the runtime. Installing, removing, or swapping
+//! a recorder mid-run is safe and cannot change merged results — only
+//! which events get observed.
+//!
+//! ## Overhead when uninstalled
+//!
+//! The hot path is one relaxed atomic load ([`is_enabled`]); event
+//! construction is behind a closure ([`emit`]) that is never invoked
+//! while no recorder is installed.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, PoisonError, RwLock};
+use std::time::Instant;
+
+use crate::event::{EventKind, ObsEvent, TaskPath};
+
+/// A sink for runtime lifecycle events.
+///
+/// Implementations must be thread-safe: events arrive concurrently from
+/// every runtime thread, in real-time order per thread but with no
+/// global ordering guarantee across threads.
+pub trait Recorder: Send + Sync {
+    /// Observe one event. Must not call back into the runtime.
+    fn record(&self, event: &ObsEvent);
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static RECORDER: RwLock<Option<Arc<dyn Recorder>>> = RwLock::new(None);
+
+/// Install `recorder` as the process-wide event sink, replacing any
+/// previous one. Events emitted from this point on are delivered to it.
+pub fn install(recorder: Arc<dyn Recorder>) {
+    let mut slot = RECORDER.write().unwrap_or_else(PoisonError::into_inner);
+    *slot = Some(recorder);
+    ENABLED.store(true, Ordering::Release);
+}
+
+/// Remove the installed recorder (if any) and return it. Emission
+/// reverts to the zero-overhead uninstalled fast path.
+pub fn uninstall() -> Option<Arc<dyn Recorder>> {
+    let mut slot = RECORDER.write().unwrap_or_else(PoisonError::into_inner);
+    ENABLED.store(false, Ordering::Release);
+    slot.take()
+}
+
+/// Whether a recorder is currently installed (one relaxed load).
+#[inline]
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Emit a lifecycle event for `task`. The `kind` closure only runs when
+/// a recorder is installed, so instrumentation sites pay nothing —
+/// beyond the [`is_enabled`] load — in the uninstalled case.
+#[inline]
+pub fn emit(task: &TaskPath, kind: impl FnOnce() -> EventKind) {
+    if !is_enabled() {
+        return;
+    }
+    emit_cold(task, kind());
+}
+
+#[cold]
+fn emit_cold(task: &TaskPath, kind: EventKind) {
+    let slot = RECORDER.read().unwrap_or_else(PoisonError::into_inner);
+    if let Some(recorder) = slot.as_ref() {
+        recorder.record(&ObsEvent {
+            at: Instant::now(),
+            task: task.clone(),
+            kind,
+        });
+    }
+}
+
+/// Fan one event stream out to several recorders, in order.
+pub struct MultiRecorder {
+    sinks: Vec<Arc<dyn Recorder>>,
+}
+
+impl MultiRecorder {
+    /// A recorder delivering every event to each of `sinks`.
+    pub fn new(sinks: Vec<Arc<dyn Recorder>>) -> Self {
+        MultiRecorder { sinks }
+    }
+}
+
+impl Recorder for MultiRecorder {
+    fn record(&self, event: &ObsEvent) {
+        for sink in &self.sinks {
+            sink.record(event);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Mutex;
+
+    struct Counting(AtomicU64);
+
+    impl Recorder for Counting {
+        fn record(&self, _event: &ObsEvent) {
+            self.0.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Global-state tests share the one process-wide slot; serialize them.
+    static SERIAL: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn emit_reaches_installed_recorder_only_while_installed() {
+        let _guard = SERIAL.lock().unwrap_or_else(PoisonError::into_inner);
+        let root = TaskPath::root();
+        let counting = Arc::new(Counting(AtomicU64::new(0)));
+
+        emit(&root, || EventKind::TaskSpawned { spawn_nanos: 0 });
+        assert_eq!(counting.0.load(Ordering::Relaxed), 0);
+
+        install(counting.clone());
+        assert!(is_enabled());
+        emit(&root, || EventKind::TaskSpawned { spawn_nanos: 0 });
+        emit(&root, || EventKind::TaskCompleted);
+        assert_eq!(counting.0.load(Ordering::Relaxed), 2);
+
+        uninstall();
+        assert!(!is_enabled());
+        emit(&root, || EventKind::TaskCompleted);
+        assert_eq!(counting.0.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn emit_skips_event_construction_when_uninstalled() {
+        let _guard = SERIAL.lock().unwrap_or_else(PoisonError::into_inner);
+        uninstall();
+        let root = TaskPath::root();
+        emit(&root, || {
+            unreachable!("closure must not run while uninstalled")
+        });
+    }
+
+    #[test]
+    fn multi_recorder_fans_out() {
+        let _guard = SERIAL.lock().unwrap_or_else(PoisonError::into_inner);
+        let a = Arc::new(Counting(AtomicU64::new(0)));
+        let b = Arc::new(Counting(AtomicU64::new(0)));
+        install(Arc::new(MultiRecorder::new(vec![a.clone(), b.clone()])));
+        emit(&TaskPath::root(), || EventKind::TaskSpawned {
+            spawn_nanos: 0,
+        });
+        uninstall();
+        assert_eq!(a.0.load(Ordering::Relaxed), 1);
+        assert_eq!(b.0.load(Ordering::Relaxed), 1);
+    }
+}

@@ -17,7 +17,6 @@ impl<T: Clone + Ord + Send + Sync + std::fmt::Debug + 'static> Key for T {}
 
 /// Add `delta` to the counter under `key` (creating it at 0 first).
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CounterMapOp<K> {
     /// Which counter.
     pub key: K,

@@ -141,10 +141,16 @@ impl Compose for TextOp {
             // one bigger delete (text slid left under the cursor).
             (Delete { pos: p1, len: l1 }, Delete { pos: p2, len: l2 }) => {
                 if *p2 == *p1 {
-                    Some(Delete { pos: *p1, len: l1 + l2 })
+                    Some(Delete {
+                        pos: *p1,
+                        len: l1 + l2,
+                    })
                 } else if p2 + l2 == *p1 {
                     // Backwards deletion (backspace style).
-                    Some(Delete { pos: *p2, len: l1 + l2 })
+                    Some(Delete {
+                        pos: *p2,
+                        len: l1 + l2,
+                    })
                 } else {
                     None
                 }
@@ -159,7 +165,10 @@ impl<V: crate::tree::Value> Compose for TreeOp<V> {
         use TreeOp::*;
         match (first, second) {
             (SetValue { path: p1, .. }, SetValue { path: p2, value }) if p1 == p2 => {
-                Some(SetValue { path: p1.clone(), value: value.clone() })
+                Some(SetValue {
+                    path: p1.clone(),
+                    value: value.clone(),
+                })
             }
             _ => None,
         }
@@ -256,7 +265,11 @@ mod tests {
 
     #[test]
     fn text_backspace_deletes_fuse() {
-        let ops = vec![TextOp::delete(5, 1), TextOp::delete(4, 1), TextOp::delete(3, 1)];
+        let ops = vec![
+            TextOp::delete(5, 1),
+            TextOp::delete(4, 1),
+            TextOp::delete(3, 1),
+        ];
         assert_eq!(compact(&ops), vec![TextOp::delete(3, 3)]);
     }
 
@@ -292,7 +305,11 @@ mod tests {
 
     #[test]
     fn list_insert_then_delete_cancels() {
-        let ops = vec![ListOp::Insert(1, 'a'), ListOp::Delete(1), ListOp::Set(0, 'z')];
+        let ops = vec![
+            ListOp::Insert(1, 'a'),
+            ListOp::Delete(1),
+            ListOp::Set(0, 'z'),
+        ];
         let c = compact_list(&ops);
         assert_eq!(c, vec![ListOp::Set(0, 'z')]);
 
@@ -306,10 +323,22 @@ mod tests {
     #[test]
     fn tree_setvalue_fuses() {
         let ops = vec![
-            TreeOp::SetValue { path: vec![0], value: "a" },
-            TreeOp::SetValue { path: vec![0], value: "b" },
+            TreeOp::SetValue {
+                path: vec![0],
+                value: "a",
+            },
+            TreeOp::SetValue {
+                path: vec![0],
+                value: "b",
+            },
         ];
-        assert_eq!(compact(&ops), vec![TreeOp::SetValue { path: vec![0], value: "b" }]);
+        assert_eq!(
+            compact(&ops),
+            vec![TreeOp::SetValue {
+                path: vec![0],
+                value: "b"
+            }]
+        );
     }
 
     #[test]

@@ -9,7 +9,6 @@ use crate::{ApplyError, Operation, Side, Transformed};
 
 /// An operation on a counter.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CounterOp {
     /// Signed delta added to the counter.
     pub delta: i64,

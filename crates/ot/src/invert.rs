@@ -34,10 +34,7 @@ pub trait Invertible: Operation {
 ///
 /// # Errors
 /// Fails if `ops` does not apply cleanly to `base`.
-pub fn inverse_sequence<O: Invertible>(
-    base: &O::State,
-    ops: &[O],
-) -> Result<Vec<O>, ApplyError> {
+pub fn inverse_sequence<O: Invertible>(base: &O::State, ops: &[O]) -> Result<Vec<O>, ApplyError> {
     let mut state = base.clone();
     let mut inverses = Vec::with_capacity(ops.len());
     for op in ops {
@@ -67,8 +64,7 @@ impl Invertible for TextOp {
         match self {
             TextOp::Insert { pos, text } => TextOp::delete(*pos, text.chars().count()),
             TextOp::Delete { pos, len } => {
-                let deleted: String =
-                    state_before.chars().skip(*pos).take(*len).collect();
+                let deleted: String = state_before.chars().skip(*pos).take(*len).collect();
                 TextOp::insert(*pos, deleted)
             }
         }
@@ -159,7 +155,12 @@ mod tests {
     fn list_undo() {
         undo_roundtrip(
             vec![1u8, 2, 3],
-            vec![ListOp::Insert(0, 9), ListOp::Delete(2), ListOp::Set(0, 7), ListOp::Delete(0)],
+            vec![
+                ListOp::Insert(0, 9),
+                ListOp::Delete(2),
+                ListOp::Set(0, 7),
+                ListOp::Delete(0),
+            ],
         );
     }
 
@@ -167,7 +168,11 @@ mod tests {
     fn text_undo() {
         undo_roundtrip(
             "hello world".to_string(),
-            vec![TextOp::delete(0, 6), TextOp::insert(5, "!!"), TextOp::delete(2, 3)],
+            vec![
+                TextOp::delete(0, 6),
+                TextOp::insert(5, "!!"),
+                TextOp::delete(2, 3),
+            ],
         );
     }
 
@@ -184,7 +189,10 @@ mod tests {
     #[test]
     fn cmap_undo() {
         let base: std::collections::BTreeMap<&str, i64> = [("a", 2)].into();
-        undo_roundtrip(base, vec![CounterMapOp::add("a", 5), CounterMapOp::add("b", 1)]);
+        undo_roundtrip(
+            base,
+            vec![CounterMapOp::add("a", 5), CounterMapOp::add("b", 1)],
+        );
     }
 
     #[test]
@@ -197,7 +205,12 @@ mod tests {
         let base: std::collections::BTreeMap<&str, i32> = [("a", 1)].into();
         undo_roundtrip(
             base,
-            vec![MapOp::Put("a", 9), MapOp::Remove("a"), MapOp::Put("b", 2), MapOp::Put("b", 3)],
+            vec![
+                MapOp::Put("a", 9),
+                MapOp::Remove("a"),
+                MapOp::Put("b", 2),
+                MapOp::Put("b", 3),
+            ],
         );
     }
 
@@ -209,13 +222,22 @@ mod tests {
 
     #[test]
     fn tree_undo() {
-        let base = Node::branch(0u8, vec![Node::branch(1, vec![Node::leaf(2)]), Node::leaf(3)]);
+        let base = Node::branch(
+            0u8,
+            vec![Node::branch(1, vec![Node::leaf(2)]), Node::leaf(3)],
+        );
         undo_roundtrip(
             base,
             vec![
                 TreeOp::Delete { path: vec![0] },
-                TreeOp::Insert { path: vec![1], node: Node::leaf(9) },
-                TreeOp::SetValue { path: vec![0], value: 7 },
+                TreeOp::Insert {
+                    path: vec![1],
+                    node: Node::leaf(9),
+                },
+                TreeOp::SetValue {
+                    path: vec![0],
+                    value: 7,
+                },
             ],
         );
     }

@@ -144,7 +144,9 @@ pub struct ApplyError {
 impl ApplyError {
     /// Construct an error with the given reason.
     pub fn new(reason: impl Into<String>) -> Self {
-        ApplyError { reason: reason.into() }
+        ApplyError {
+            reason: reason.into(),
+        }
     }
 }
 

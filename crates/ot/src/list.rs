@@ -17,7 +17,6 @@ impl<T: Clone + Send + Sync + std::fmt::Debug + PartialEq + 'static> Element for
 
 /// An operation on a list of `T`.
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum ListOp<T> {
     /// Insert `T` so it ends up at the given index (`0 ≤ i ≤ len`).
     Insert(usize, T),
@@ -288,7 +287,10 @@ mod tests {
         let incoming = Op::Set(1, 'C');
         // Parent-side op transformed against incoming with Left priority
         // vanishes; incoming survives.
-        assert_eq!(committed.transform(&incoming, Side::Left), Transformed::None);
+        assert_eq!(
+            committed.transform(&incoming, Side::Left),
+            Transformed::None
+        );
         assert_eq!(
             incoming.transform(&committed, Side::Right),
             Transformed::One(Op::Set(1, 'C'))

@@ -23,7 +23,6 @@ impl<T: Clone + Send + Sync + std::fmt::Debug + PartialEq + 'static> Value for T
 
 /// An operation on a map.
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum MapOp<K, V> {
     /// Insert or overwrite the value under a key.
     Put(K, V),

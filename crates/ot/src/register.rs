@@ -12,7 +12,6 @@ impl<T: Clone + Send + Sync + std::fmt::Debug + PartialEq + 'static> Value for T
 
 /// An operation on a register: overwrite its value.
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RegisterOp<T> {
     /// The new value.
     pub value: T,

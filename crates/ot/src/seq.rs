@@ -123,7 +123,8 @@ fn transform_seqs_general<O: Operation>(left: &[O], right: &[O]) -> (Vec<O>, Vec
         // `l` and `right_cur` share a base; transform `l` (possibly
         // splitting) against the whole of `right_cur`, rewriting
         // `right_cur` to include `l`'s effect as we go.
-        let (l_pieces, right_next) = transform_pieces_single_seq(&[l.clone()], &right_cur);
+        let (l_pieces, right_next) =
+            transform_pieces_single_seq(std::slice::from_ref(l), &right_cur);
         left_out.extend(l_pieces);
         right_cur = right_next;
     }
@@ -296,7 +297,9 @@ mod tests {
     fn rebase_never_aborts_on_heavy_conflict() {
         // Every op targets the same index; rebase must still produce an
         // applicable sequence (the "no aborts" property of OT, §II-B).
-        let committed: Vec<Op> = (0..50).map(|i| Op::Insert(0, char::from(b'a' + (i % 26)))).collect();
+        let committed: Vec<Op> = (0..50)
+            .map(|i| Op::Insert(0, char::from(b'a' + (i % 26))))
+            .collect();
         // The child may only delete what exists in its fork (3 elements).
         let incoming: Vec<Op> = (0..3).map(|_| Op::Delete(0)).collect();
         let rebased = rebase(&incoming, &committed);

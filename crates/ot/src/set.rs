@@ -15,7 +15,6 @@ impl<T: Clone + Ord + Send + Sync + std::fmt::Debug + 'static> Element for T {}
 
 /// An operation on a set.
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum SetOp<T> {
     /// Ensure the element is present (idempotent).
     Add(T),
@@ -100,7 +99,10 @@ mod tests {
         let mut s = base();
         crate::apply_all(&mut s, &committed).unwrap();
         crate::apply_all(&mut s, &rebased).unwrap();
-        assert!(s.contains(&2), "incoming add must win over committed remove");
+        assert!(
+            s.contains(&2),
+            "incoming add must win over committed remove"
+        );
     }
 
     #[test]

@@ -14,7 +14,6 @@ use crate::{ApplyError, Operation, Side, Transformed};
 
 /// An operation on a text document.
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum TextOp {
     /// Insert the string at the character position (`0 ≤ pos ≤ chars`).
     Insert {
@@ -35,7 +34,10 @@ pub enum TextOp {
 impl TextOp {
     /// Convenience constructor for an insert.
     pub fn insert(pos: usize, text: impl Into<String>) -> Self {
-        TextOp::Insert { pos, text: text.into() }
+        TextOp::Insert {
+            pos,
+            text: text.into(),
+        }
     }
 
     /// Convenience constructor for a delete.
@@ -107,7 +109,10 @@ impl Operation for TextOp {
             (Insert { pos: i, text }, Insert { pos: j, .. }) => {
                 let shift = against.ins_len();
                 if *j < *i || (*j == *i && side == Side::Right) {
-                    Transformed::One(Insert { pos: i + shift, text: text.clone() })
+                    Transformed::One(Insert {
+                        pos: i + shift,
+                        text: text.clone(),
+                    })
                 } else {
                     Transformed::One(self.clone())
                 }
@@ -116,11 +121,17 @@ impl Operation for TextOp {
                 if *m == 0 || *i <= *j {
                     Transformed::One(self.clone())
                 } else if *i >= j + m {
-                    Transformed::One(Insert { pos: i - m, text: text.clone() })
+                    Transformed::One(Insert {
+                        pos: i - m,
+                        text: text.clone(),
+                    })
                 } else {
                     // Insertion point fell inside the deleted range: land at
                     // the deletion point (closest surviving position).
-                    Transformed::One(Insert { pos: *j, text: text.clone() })
+                    Transformed::One(Insert {
+                        pos: *j,
+                        text: text.clone(),
+                    })
                 }
             }
             (Delete { pos: i, len: n }, Insert { pos: j, .. }) => {
@@ -129,14 +140,23 @@ impl Operation for TextOp {
                 }
                 let t = against.ins_len();
                 if *j <= *i {
-                    Transformed::One(Delete { pos: i + t, len: *n })
+                    Transformed::One(Delete {
+                        pos: i + t,
+                        len: *n,
+                    })
                 } else if *j >= i + n {
                     Transformed::One(self.clone())
                 } else {
                     // Insert interleaves our range: split around it so the
                     // concurrently inserted text survives.
-                    let first = Delete { pos: *i, len: j - i };
-                    let second = Delete { pos: i + t, len: n - (j - i) };
+                    let first = Delete {
+                        pos: *i,
+                        len: j - i,
+                    };
+                    let second = Delete {
+                        pos: i + t,
+                        len: n - (j - i),
+                    };
                     Transformed::Two(first, second)
                 }
             }
@@ -157,8 +177,15 @@ impl Operation for TextOp {
                 // Shift: characters the other delete removed before our
                 // surviving range. The surviving range starts at `start` if
                 // we begin before the other delete, else right after it.
-                let new_pos = if start <= ostart { start } else { start.saturating_sub(*m).max(ostart) };
-                Transformed::One(Delete { pos: new_pos, len: remaining })
+                let new_pos = if start <= ostart {
+                    start
+                } else {
+                    start.saturating_sub(*m).max(ostart)
+                };
+                Transformed::One(Delete {
+                    pos: new_pos,
+                    len: remaining,
+                })
             }
         }
     }
@@ -257,8 +284,14 @@ mod tests {
         let b = TextOp::insert(3, "BB");
         assert_tp1(&base(), &a, &b);
         // Left keeps its place.
-        assert_eq!(a.transform(&b, Side::Left), Transformed::One(TextOp::insert(3, "AA")));
-        assert_eq!(b.transform(&a, Side::Right), Transformed::One(TextOp::insert(5, "BB")));
+        assert_eq!(
+            a.transform(&b, Side::Left),
+            Transformed::One(TextOp::insert(3, "AA"))
+        );
+        assert_eq!(
+            b.transform(&a, Side::Right),
+            Transformed::One(TextOp::insert(5, "BB"))
+        );
     }
 
     #[test]
@@ -300,8 +333,9 @@ mod tests {
                 for _ in 0..rng.gen_range(0..5) {
                     if rng.gen_bool(0.5) {
                         let pos = rng.gen_range(0..=len);
-                        let t: String =
-                            (0..rng.gen_range(1..4)).map(|_| rng.gen_range('A'..='Z')).collect();
+                        let t: String = (0..rng.gen_range(1..4))
+                            .map(|_| rng.gen_range('A'..='Z'))
+                            .collect();
                         len += t.chars().count();
                         ops.push(TextOp::insert(pos, t));
                     } else if len > 0 {

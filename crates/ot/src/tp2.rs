@@ -37,9 +37,13 @@ where
     O: Operation + PartialEq,
 {
     // Path 1: serialize a first, then b' = T(b, a); transform c across both.
-    let path1 = transform_chain(c, &[a.clone()], &transform_one(b, a, Side::Right));
+    let path1 = transform_chain(
+        c,
+        std::slice::from_ref(a),
+        &transform_one(b, a, Side::Right),
+    );
     // Path 2: serialize b first, then a' = T(a, b).
-    let path2 = transform_chain(c, &[b.clone()], &transform_one(a, b, Side::Left));
+    let path2 = transform_chain(c, std::slice::from_ref(b), &transform_one(a, b, Side::Left));
     path1 == path2
 }
 
@@ -73,12 +77,21 @@ mod tests {
 
     #[test]
     fn commutative_algebras_satisfy_tp2_trivially() {
-        assert!(tp2_holds(&CounterOp::add(1), &CounterOp::add(2), &CounterOp::add(3)));
+        assert!(tp2_holds(
+            &CounterOp::add(1),
+            &CounterOp::add(2),
+            &CounterOp::add(3)
+        ));
     }
 
     #[test]
     fn many_list_triples_satisfy_tp2() {
-        let ops = [Op::Insert(0, 'x'), Op::Insert(2, 'y'), Op::Delete(1), Op::Set(0, 'z')];
+        let ops = [
+            Op::Insert(0, 'x'),
+            Op::Insert(2, 'y'),
+            Op::Delete(1),
+            Op::Set(0, 'z'),
+        ];
         let mut checked = 0;
         for a in &ops {
             for b in &ops {
@@ -132,7 +145,12 @@ mod tests {
     #[test]
     fn centralized_rebase_never_exercises_tp2() {
         let base = vec!['0', '1', '2'];
-        let ops = [Op::Insert(1, 'x'), Op::Delete(1), Op::Insert(2, 'y'), Op::Delete(0)];
+        let ops = [
+            Op::Insert(1, 'x'),
+            Op::Delete(1),
+            Op::Insert(2, 'y'),
+            Op::Delete(0),
+        ];
         for a in &ops {
             for b in &ops {
                 for c in &ops {

@@ -19,7 +19,6 @@ pub type Path = Vec<usize>;
 
 /// A tree node: a value plus ordered children.
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Node<V> {
     /// Payload of this node.
     pub value: V,
@@ -30,7 +29,10 @@ pub struct Node<V> {
 impl<V: Value> Node<V> {
     /// A leaf node carrying `value`.
     pub fn leaf(value: V) -> Self {
-        Node { value, children: Vec::new() }
+        Node {
+            value,
+            children: Vec::new(),
+        }
     }
 
     /// A node with children.
@@ -63,7 +65,6 @@ impl<V: Value> Node<V> {
 
 /// An operation on an ordered tree.
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum TreeOp<V> {
     /// Insert `node` so that it becomes the child at slot `path[last]` of
     /// the node addressed by `path[..last]`. `path` must be non-empty (the
@@ -93,17 +94,23 @@ impl<V: Value> TreeOp<V> {
     /// The path this operation targets.
     pub fn path(&self) -> &Path {
         match self {
-            TreeOp::Insert { path, .. } | TreeOp::Delete { path } | TreeOp::SetValue { path, .. } => {
-                path
-            }
+            TreeOp::Insert { path, .. }
+            | TreeOp::Delete { path }
+            | TreeOp::SetValue { path, .. } => path,
         }
     }
 
     fn with_path(&self, path: Path) -> Self {
         match self {
-            TreeOp::Insert { node, .. } => TreeOp::Insert { path, node: node.clone() },
+            TreeOp::Insert { node, .. } => TreeOp::Insert {
+                path,
+                node: node.clone(),
+            },
             TreeOp::Delete { .. } => TreeOp::Delete { path },
-            TreeOp::SetValue { value, .. } => TreeOp::SetValue { path, value: value.clone() },
+            TreeOp::SetValue { value, .. } => TreeOp::SetValue {
+                path,
+                value: value.clone(),
+            },
         }
     }
 }
@@ -249,28 +256,58 @@ mod tests {
     #[test]
     fn apply_insert_delete_set() {
         let mut t = base();
-        Op::Insert { path: vec![1], node: Node::leaf("x") }.apply(&mut t).unwrap();
+        Op::Insert {
+            path: vec![1],
+            node: Node::leaf("x"),
+        }
+        .apply(&mut t)
+        .unwrap();
         assert_eq!(t.children[1].value, "x");
         assert_eq!(t.children.len(), 4);
 
         Op::Delete { path: vec![0, 1] }.apply(&mut t).unwrap();
         assert_eq!(t.children[0].children.len(), 1);
 
-        Op::SetValue { path: vec![0], value: "A" }.apply(&mut t).unwrap();
+        Op::SetValue {
+            path: vec![0],
+            value: "A",
+        }
+        .apply(&mut t)
+        .unwrap();
         assert_eq!(t.children[0].value, "A");
 
-        Op::SetValue { path: vec![], value: "R" }.apply(&mut t).unwrap();
+        Op::SetValue {
+            path: vec![],
+            value: "R",
+        }
+        .apply(&mut t)
+        .unwrap();
         assert_eq!(t.value, "R");
     }
 
     #[test]
     fn apply_errors() {
         let mut t = base();
-        assert!(Op::Insert { path: vec![], node: Node::leaf("x") }.apply(&mut t).is_err());
+        assert!(Op::Insert {
+            path: vec![],
+            node: Node::leaf("x")
+        }
+        .apply(&mut t)
+        .is_err());
         assert!(Op::Delete { path: vec![] }.apply(&mut t).is_err());
         assert!(Op::Delete { path: vec![9] }.apply(&mut t).is_err());
-        assert!(Op::Insert { path: vec![9, 0], node: Node::leaf("x") }.apply(&mut t).is_err());
-        assert!(Op::SetValue { path: vec![5], value: "x" }.apply(&mut t).is_err());
+        assert!(Op::Insert {
+            path: vec![9, 0],
+            node: Node::leaf("x")
+        }
+        .apply(&mut t)
+        .is_err());
+        assert!(Op::SetValue {
+            path: vec![5],
+            value: "x"
+        }
+        .apply(&mut t)
+        .is_err());
     }
 
     #[test]
@@ -283,7 +320,10 @@ mod tests {
 
     #[test]
     fn sibling_shift_on_insert() {
-        let ins = Op::Insert { path: vec![0], node: Node::leaf("new") };
+        let ins = Op::Insert {
+            path: vec![0],
+            node: Node::leaf("new"),
+        };
         let del = Op::Delete { path: vec![1] };
         // Delete of child 1 must shift to 2 after an insert at 0.
         let t = del.transform(&ins, Side::Right);
@@ -293,21 +333,39 @@ mod tests {
 
     #[test]
     fn descendant_paths_shift_too() {
-        let ins = Op::Insert { path: vec![0], node: Node::leaf("new") };
-        let set = Op::SetValue { path: vec![0, 1], value: "z" };
+        let ins = Op::Insert {
+            path: vec![0],
+            node: Node::leaf("new"),
+        };
+        let set = Op::SetValue {
+            path: vec![0, 1],
+            value: "z",
+        };
         let t = set.transform(&ins, Side::Right);
-        assert_eq!(t, Transformed::One(Op::SetValue { path: vec![1, 1], value: "z" }));
+        assert_eq!(
+            t,
+            Transformed::One(Op::SetValue {
+                path: vec![1, 1],
+                value: "z"
+            })
+        );
         assert_tp1(&base(), &ins, &set);
     }
 
     #[test]
     fn ops_inside_deleted_subtree_vanish() {
         let del = Op::Delete { path: vec![0] };
-        let set = Op::SetValue { path: vec![0, 1], value: "z" };
+        let set = Op::SetValue {
+            path: vec![0, 1],
+            value: "z",
+        };
         assert_eq!(set.transform(&del, Side::Right), Transformed::None);
         assert_tp1(&base(), &del, &set);
 
-        let ins = Op::Insert { path: vec![0, 2], node: Node::leaf("x") };
+        let ins = Op::Insert {
+            path: vec![0, 2],
+            node: Node::leaf("x"),
+        };
         assert_eq!(ins.transform(&del, Side::Right), Transformed::None);
         assert_tp1(&base(), &del, &ins);
     }
@@ -321,8 +379,14 @@ mod tests {
 
     #[test]
     fn insert_insert_slot_tie_break() {
-        let a = Op::Insert { path: vec![1], node: Node::leaf("L") };
-        let b = Op::Insert { path: vec![1], node: Node::leaf("R") };
+        let a = Op::Insert {
+            path: vec![1],
+            node: Node::leaf("L"),
+        };
+        let b = Op::Insert {
+            path: vec![1],
+            node: Node::leaf("R"),
+        };
         assert_tp1(&base(), &a, &b);
         let mut t = base();
         a.apply(&mut t).unwrap();
@@ -336,15 +400,27 @@ mod tests {
     #[test]
     fn insert_at_vacated_slot_keeps_index() {
         let del = Op::Delete { path: vec![1] };
-        let ins = Op::Insert { path: vec![1], node: Node::leaf("n") };
-        assert_eq!(ins.transform(&del, Side::Right), Transformed::One(ins.clone()));
+        let ins = Op::Insert {
+            path: vec![1],
+            node: Node::leaf("n"),
+        };
+        assert_eq!(
+            ins.transform(&del, Side::Right),
+            Transformed::One(ins.clone())
+        );
         assert_tp1(&base(), &del, &ins);
     }
 
     #[test]
     fn same_node_set_conflict_lww() {
-        let a = Op::SetValue { path: vec![2], value: "A" };
-        let b = Op::SetValue { path: vec![2], value: "B" };
+        let a = Op::SetValue {
+            path: vec![2],
+            value: "A",
+        };
+        let b = Op::SetValue {
+            path: vec![2],
+            value: "B",
+        };
         assert_tp1(&base(), &a, &b);
     }
 
@@ -353,14 +429,26 @@ mod tests {
         let mut ops: Vec<Op> = Vec::new();
         for i in 0..3 {
             ops.push(Op::Delete { path: vec![i] });
-            ops.push(Op::SetValue { path: vec![i], value: "v" });
+            ops.push(Op::SetValue {
+                path: vec![i],
+                value: "v",
+            });
         }
         for i in 0..=3 {
-            ops.push(Op::Insert { path: vec![i], node: Node::leaf("n") });
+            ops.push(Op::Insert {
+                path: vec![i],
+                node: Node::leaf("n"),
+            });
         }
         ops.push(Op::Delete { path: vec![0, 0] });
-        ops.push(Op::SetValue { path: vec![0, 1], value: "w" });
-        ops.push(Op::Insert { path: vec![0, 2], node: Node::leaf("m") });
+        ops.push(Op::SetValue {
+            path: vec![0, 1],
+            value: "w",
+        });
+        ops.push(Op::Insert {
+            path: vec![0, 2],
+            node: Node::leaf("m"),
+        });
         for a in &ops {
             for b in &ops {
                 assert_tp1(&base(), a, b);
@@ -371,13 +459,22 @@ mod tests {
     #[test]
     fn sequences_converge() {
         let left = vec![
-            Op::Insert { path: vec![0], node: Node::leaf("l0") },
-            Op::SetValue { path: vec![1, 0], value: "lv" },
+            Op::Insert {
+                path: vec![0],
+                node: Node::leaf("l0"),
+            },
+            Op::SetValue {
+                path: vec![1, 0],
+                value: "lv",
+            },
             Op::Delete { path: vec![3] },
         ];
         let right = vec![
             Op::Delete { path: vec![0, 1] },
-            Op::Insert { path: vec![2], node: Node::branch("r", vec![Node::leaf("rc")]) },
+            Op::Insert {
+                path: vec![2],
+                node: Node::branch("r", vec![Node::leaf("rc")]),
+            },
         ];
         seq::assert_converges(&base(), &left, &right);
     }

@@ -26,69 +26,89 @@ use sm_ot::{apply_all, assert_tp1, Operation};
 
 /// A sequence of list ops valid against a list of length `len0`.
 fn list_ops(len0: usize, max: usize) -> impl Strategy<Value = Vec<ListOp<u8>>> {
-    prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 0..max).prop_map(
-        move |raw| {
-            let mut len = len0;
-            let mut ops = Vec::new();
-            for (kind, pos, val) in raw {
-                match kind % 3 {
-                    0 => {
-                        let i = (pos as usize) % (len + 1);
-                        ops.push(ListOp::Insert(i, val));
-                        len += 1;
-                    }
-                    1 if len > 0 => {
-                        let i = (pos as usize) % len;
-                        ops.push(ListOp::Delete(i));
-                        len -= 1;
-                    }
-                    _ if len > 0 => {
-                        ops.push(ListOp::Set((pos as usize) % len, val));
-                    }
-                    _ => {}
+    prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 0..max).prop_map(move |raw| {
+        let mut len = len0;
+        let mut ops = Vec::new();
+        for (kind, pos, val) in raw {
+            match kind % 3 {
+                0 => {
+                    let i = (pos as usize) % (len + 1);
+                    ops.push(ListOp::Insert(i, val));
+                    len += 1;
                 }
+                1 if len > 0 => {
+                    let i = (pos as usize) % len;
+                    ops.push(ListOp::Delete(i));
+                    len -= 1;
+                }
+                _ if len > 0 => {
+                    ops.push(ListOp::Set((pos as usize) % len, val));
+                }
+                _ => {}
             }
-            ops
-        },
-    )
+        }
+        ops
+    })
 }
 
 /// A sequence of text ops valid against a text of `len0` characters.
 fn text_ops(len0: usize, max: usize) -> impl Strategy<Value = Vec<TextOp>> {
-    prop::collection::vec((any::<bool>(), any::<u8>(), any::<u8>(), "[a-c]{1,3}"), 0..max)
-        .prop_map(move |raw| {
-            let mut len = len0;
-            let mut ops = Vec::new();
-            for (is_ins, pos, dlen, text) in raw {
-                if is_ins {
-                    let p = (pos as usize) % (len + 1);
-                    len += text.chars().count();
-                    ops.push(TextOp::insert(p, text));
-                } else if len > 0 {
-                    let p = (pos as usize) % len;
-                    let l = 1 + (dlen as usize) % (len - p).min(3);
-                    len -= l;
-                    ops.push(TextOp::delete(p, l));
-                }
+    prop::collection::vec(
+        (any::<bool>(), any::<u8>(), any::<u8>(), "[a-c]{1,3}"),
+        0..max,
+    )
+    .prop_map(move |raw| {
+        let mut len = len0;
+        let mut ops = Vec::new();
+        for (is_ins, pos, dlen, text) in raw {
+            if is_ins {
+                let p = (pos as usize) % (len + 1);
+                len += text.chars().count();
+                ops.push(TextOp::insert(p, text));
+            } else if len > 0 {
+                let p = (pos as usize) % len;
+                let l = 1 + (dlen as usize) % (len - p).min(3);
+                len -= l;
+                ops.push(TextOp::delete(p, l));
             }
-            ops
-        })
+        }
+        ops
+    })
 }
 
 fn tree_single_ops() -> impl Strategy<Value = TreeOp<u8>> {
     // Against the fixed 3-children base tree below, depth ≤ 2.
     prop_oneof![
-        (0usize..=3, any::<u8>()).prop_map(|(i, v)| TreeOp::Insert { path: vec![i], node: Node::leaf(v) }),
+        (0usize..=3, any::<u8>()).prop_map(|(i, v)| TreeOp::Insert {
+            path: vec![i],
+            node: Node::leaf(v)
+        }),
         (0usize..3).prop_map(|i| TreeOp::Delete { path: vec![i] }),
-        (0usize..3, any::<u8>()).prop_map(|(i, v)| TreeOp::SetValue { path: vec![i], value: v }),
-        (0usize..=1, any::<u8>()).prop_map(|(i, v)| TreeOp::Insert { path: vec![0, i], node: Node::leaf(v) }),
-        (0usize..1, any::<u8>()).prop_map(|(i, v)| TreeOp::SetValue { path: vec![0, i], value: v }),
+        (0usize..3, any::<u8>()).prop_map(|(i, v)| TreeOp::SetValue {
+            path: vec![i],
+            value: v
+        }),
+        (0usize..=1, any::<u8>()).prop_map(|(i, v)| TreeOp::Insert {
+            path: vec![0, i],
+            node: Node::leaf(v)
+        }),
+        (0usize..1, any::<u8>()).prop_map(|(i, v)| TreeOp::SetValue {
+            path: vec![0, i],
+            value: v
+        }),
         Just(TreeOp::Delete { path: vec![0, 0] }),
     ]
 }
 
 fn tree_base() -> Node<u8> {
-    Node::branch(0, vec![Node::branch(1, vec![Node::leaf(10)]), Node::leaf(2), Node::leaf(3)])
+    Node::branch(
+        0,
+        vec![
+            Node::branch(1, vec![Node::leaf(10)]),
+            Node::leaf(2),
+            Node::leaf(3),
+        ],
+    )
 }
 
 proptest! {

@@ -27,7 +27,13 @@ pub const DIGEST_LEN: usize = 20;
 /// A SHA-1 digest.
 pub type Digest = [u8; DIGEST_LEN];
 
-const H0: [u32; 5] = [0x6745_2301, 0xEFCD_AB89, 0x98BA_DCFE, 0x1032_5476, 0xC3D2_E1F0];
+const H0: [u32; 5] = [
+    0x6745_2301,
+    0xEFCD_AB89,
+    0x98BA_DCFE,
+    0x1032_5476,
+    0xC3D2_E1F0,
+];
 
 /// Incremental SHA-1 hasher.
 ///
@@ -52,7 +58,12 @@ impl Default for Sha1 {
 impl Sha1 {
     /// Create a fresh hasher in the initial state.
     pub fn new() -> Self {
-        Sha1 { h: H0, buf: [0u8; 64], buf_len: 0, len: 0 }
+        Sha1 {
+            h: H0,
+            buf: [0u8; 64],
+            buf_len: 0,
+            len: 0,
+        }
     }
 
     /// Absorb `data` into the hash state.

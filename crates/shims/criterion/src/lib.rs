@@ -1,0 +1,294 @@
+//! Offline shim for the `criterion` crate (see `crates/shims/README.md`).
+//!
+//! A plain wall-clock harness behind criterion's API: each benchmark is
+//! calibrated to a small measurement budget and reports mean ns/iter
+//! (plus throughput when configured) to stdout. No statistics, HTML
+//! reports, or baseline comparison — the workspace's `[[bench]]` targets
+//! compile and run offline, which is what matters here.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Wall-clock measurement budget per benchmark.
+const MEASUREMENT_BUDGET: Duration = Duration::from_millis(40);
+
+/// Top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 100,
+            throughput: None,
+        }
+    }
+}
+
+/// Units processed per iteration, for derived rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Logical elements per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortizes setup; the shim treats all sizes alike
+/// (setup always runs outside the timed section, once per iteration).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// A `function/parameter` benchmark identifier.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Identifier rendered as `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+/// Anything usable as a benchmark name (`&str`, `String`, [`BenchmarkId`]).
+pub trait IntoBenchmarkLabel {
+    fn into_label(self) -> String;
+}
+
+impl IntoBenchmarkLabel for &str {
+    fn into_label(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkLabel for String {
+    fn into_label(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkLabel for &String {
+    fn into_label(self) -> String {
+        self.clone()
+    }
+}
+
+impl IntoBenchmarkLabel for BenchmarkId {
+    fn into_label(self) -> String {
+        self.label
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Criterion-compatible knob; the shim only uses it to scale its
+    /// measurement budget down for expensive benchmarks.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Attach a throughput so results also report a rate.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Measure a closure.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkLabel, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.budget());
+        f(&mut b);
+        self.report(&id.into_label(), &b);
+        self
+    }
+
+    /// Measure a closure parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new(self.budget());
+        f(&mut b, input);
+        self.report(&id.into_label(), &b);
+        self
+    }
+
+    /// End the group (criterion renders reports here; the shim has
+    /// already printed per-benchmark lines).
+    pub fn finish(&mut self) {}
+
+    fn budget(&self) -> Duration {
+        // Small sample sizes signal expensive benchmarks: spend less.
+        if self.sample_size < 100 {
+            MEASUREMENT_BUDGET / 2
+        } else {
+            MEASUREMENT_BUDGET
+        }
+    }
+
+    fn report(&self, label: &str, b: &Bencher) {
+        let per_iter = b.mean_ns();
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if per_iter > 0.0 => {
+                format!("  {:.3e} elem/s", n as f64 / (per_iter * 1e-9))
+            }
+            Some(Throughput::Bytes(n)) if per_iter > 0.0 => {
+                format!("  {:.3e} B/s", n as f64 / (per_iter * 1e-9))
+            }
+            _ => String::new(),
+        };
+        println!(
+            "bench: {}/{label} ... {:.1} ns/iter ({} iters){rate}",
+            self.name, per_iter, b.iters
+        );
+    }
+}
+
+/// Timing accumulator handed to benchmark closures.
+pub struct Bencher {
+    budget: Duration,
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    fn new(budget: Duration) -> Self {
+        Bencher {
+            budget,
+            elapsed: Duration::ZERO,
+            iters: 0,
+        }
+    }
+
+    fn mean_ns(&self) -> f64 {
+        if self.iters == 0 {
+            0.0
+        } else {
+            self.elapsed.as_nanos() as f64 / self.iters as f64
+        }
+    }
+
+    /// Time `routine`, repeating until the measurement budget is spent.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let mut batch: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.elapsed += start.elapsed();
+            self.iters += batch;
+            if self.elapsed >= self.budget {
+                return;
+            }
+            // Grow batches so cheap routines are dominated by the loop,
+            // not the clock reads.
+            batch = batch.saturating_mul(4).min(1 << 16);
+        }
+    }
+
+    /// Time `routine` over fresh inputs from `setup`; setup runs outside
+    /// the timed section.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        while self.elapsed < self.budget && self.iters < (1 << 20) {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.elapsed += start.elapsed();
+            self.iters += 1;
+        }
+    }
+}
+
+/// Declare a function running the listed benchmarks in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declare `main` running the listed [`criterion_group!`]s.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_accumulates_measurements() {
+        let mut b = Bencher::new(Duration::from_millis(1));
+        b.iter(|| 2u64 + 2);
+        assert!(b.iters > 0);
+        assert!(b.elapsed >= Duration::from_millis(1));
+        assert!(b.mean_ns() > 0.0);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_iteration() {
+        let mut b = Bencher::new(Duration::from_micros(100));
+        let mut setups = 0u64;
+        b.iter_batched(
+            || {
+                setups += 1;
+                vec![0u8; 16]
+            },
+            |v| v.len(),
+            BatchSize::SmallInput,
+        );
+        assert_eq!(setups, b.iters);
+    }
+
+    #[test]
+    fn group_api_composes() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim_selftest");
+        group.sample_size(10);
+        group.throughput(Throughput::Elements(4));
+        group.bench_function("add", |b| b.iter(|| black_box(1) + 1));
+        group.bench_with_input(BenchmarkId::new("mul", 3), &3u64, |b, &n| b.iter(|| n * 2));
+        group.finish();
+    }
+}

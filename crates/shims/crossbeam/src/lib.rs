@@ -1,0 +1,399 @@
+//! Offline shim for the `crossbeam` crate (see `crates/shims/README.md`).
+//!
+//! Implements the `channel` module surface this workspace uses: MPMC
+//! `unbounded`/`bounded` channels with crossbeam's disconnect semantics
+//! (a channel counts live `Sender`s and `Receiver`s; `recv` on an empty,
+//! sender-less channel and `send` on a receiver-less channel both fail
+//! with a disconnect error). Built on `std::sync::{Mutex, Condvar}`.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex, PoisonError};
+    use std::time::{Duration, Instant};
+
+    struct Inner<T> {
+        queue: VecDeque<T>,
+        cap: Option<usize>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Shared<T> {
+        inner: Mutex<Inner<T>>,
+        /// Signalled when the queue gains an item or the last sender drops.
+        readable: Condvar,
+        /// Signalled when the queue loses an item or the last receiver drops.
+        writable: Condvar,
+    }
+
+    impl<T> Shared<T> {
+        fn lock(&self) -> std::sync::MutexGuard<'_, Inner<T>> {
+            // A panic while holding the lock only poisons bookkeeping that
+            // is still structurally valid; keep going like crossbeam does.
+            self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+        }
+    }
+
+    /// The sending half of a channel.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half of a channel.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
+    }
+
+    /// `send` failed because all receivers are gone; returns the value.
+    pub struct SendError<T>(pub T);
+
+    /// `recv` failed because the channel is empty and all senders are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Outcome of a failed `recv_timeout`.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The wait elapsed with the channel still empty.
+        Timeout,
+        /// Channel empty and every sender dropped.
+        Disconnected,
+    }
+
+    /// Outcome of a failed `try_recv`.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// Channel currently empty.
+        Empty,
+        /// Channel empty and every sender dropped.
+        Disconnected,
+    }
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    impl<T> std::error::Error for SendError<T> {}
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("receiving on an empty and disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    impl fmt::Display for RecvTimeoutError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                RecvTimeoutError::Timeout => f.write_str("timed out waiting on receive"),
+                RecvTimeoutError::Disconnected => {
+                    f.write_str("receiving on an empty and disconnected channel")
+                }
+            }
+        }
+    }
+
+    impl std::error::Error for RecvTimeoutError {}
+
+    fn channel<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            inner: Mutex::new(Inner {
+                queue: VecDeque::new(),
+                cap,
+                senders: 1,
+                receivers: 1,
+            }),
+            readable: Condvar::new(),
+            writable: Condvar::new(),
+        });
+        (
+            Sender {
+                shared: shared.clone(),
+            },
+            Receiver { shared },
+        )
+    }
+
+    /// A channel with unlimited buffering: `send` never blocks.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        channel(None)
+    }
+
+    /// A channel buffering at most `cap` messages: `send` blocks when full.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        channel(Some(cap))
+    }
+
+    impl<T> Sender<T> {
+        /// Deliver `value`, blocking while a bounded channel is full.
+        /// Fails (returning the value) once every receiver is dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut inner = self.shared.lock();
+            loop {
+                if inner.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                match inner.cap {
+                    Some(cap) if inner.queue.len() >= cap => {
+                        inner = self
+                            .shared
+                            .writable
+                            .wait(inner)
+                            .unwrap_or_else(PoisonError::into_inner);
+                    }
+                    _ => break,
+                }
+            }
+            inner.queue.push_back(value);
+            drop(inner);
+            self.shared.readable.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.lock().senders += 1;
+            Sender {
+                shared: self.shared.clone(),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut inner = self.shared.lock();
+            inner.senders -= 1;
+            if inner.senders == 0 {
+                drop(inner);
+                self.shared.readable.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Take the next message, blocking while the channel is empty.
+        /// Fails once the channel is empty with every sender dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut inner = self.shared.lock();
+            loop {
+                if let Some(v) = inner.queue.pop_front() {
+                    drop(inner);
+                    self.shared.writable.notify_one();
+                    return Ok(v);
+                }
+                if inner.senders == 0 {
+                    return Err(RecvError);
+                }
+                inner = self
+                    .shared
+                    .readable
+                    .wait(inner)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+
+        /// Like [`recv`](Self::recv) but gives up after `timeout`.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut inner = self.shared.lock();
+            loop {
+                if let Some(v) = inner.queue.pop_front() {
+                    drop(inner);
+                    self.shared.writable.notify_one();
+                    return Ok(v);
+                }
+                if inner.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _) = self
+                    .shared
+                    .readable
+                    .wait_timeout(inner, deadline - now)
+                    .unwrap_or_else(PoisonError::into_inner);
+                inner = guard;
+            }
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut inner = self.shared.lock();
+            if let Some(v) = inner.queue.pop_front() {
+                drop(inner);
+                self.shared.writable.notify_one();
+                return Ok(v);
+            }
+            if inner.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        /// Number of messages currently buffered.
+        pub fn len(&self) -> usize {
+            self.shared.lock().queue.len()
+        }
+
+        /// Whether the buffer is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.shared.lock().queue.is_empty()
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared.lock().receivers += 1;
+            Receiver {
+                shared: self.shared.clone(),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut inner = self.shared.lock();
+            inner.receivers -= 1;
+            if inner.receivers == 0 {
+                drop(inner);
+                self.shared.writable.notify_all();
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::thread;
+
+        #[test]
+        fn unbounded_roundtrip() {
+            let (tx, rx) = unbounded();
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Ok(2));
+        }
+
+        #[test]
+        fn recv_fails_after_last_sender_drops() {
+            let (tx, rx) = unbounded::<u8>();
+            let tx2 = tx.clone();
+            tx.send(7).unwrap();
+            drop(tx);
+            drop(tx2);
+            assert_eq!(rx.recv(), Ok(7));
+            assert_eq!(rx.recv(), Err(RecvError));
+        }
+
+        #[test]
+        fn send_fails_after_receiver_drops() {
+            let (tx, rx) = unbounded();
+            drop(rx);
+            assert!(tx.send(1).is_err());
+        }
+
+        #[test]
+        fn bounded_blocks_until_drained() {
+            let (tx, rx) = bounded(1);
+            tx.send(1).unwrap();
+            let t = thread::spawn(move || tx.send(2).unwrap());
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Ok(2));
+            t.join().unwrap();
+        }
+
+        #[test]
+        fn recv_timeout_times_out_then_delivers() {
+            let (tx, rx) = unbounded();
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(10)),
+                Err(RecvTimeoutError::Timeout)
+            );
+            tx.send(5).unwrap();
+            assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(5));
+            drop(tx);
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(10)),
+                Err(RecvTimeoutError::Disconnected)
+            );
+        }
+
+        #[test]
+        fn try_recv_reports_empty_and_disconnected() {
+            let (tx, rx) = unbounded::<u8>();
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+            tx.send(3).unwrap();
+            assert_eq!(rx.try_recv(), Ok(3));
+            drop(tx);
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+        }
+
+        #[test]
+        fn mpmc_under_contention_delivers_everything() {
+            let (tx, rx) = bounded::<u32>(4);
+            let producers: Vec<_> = (0..4)
+                .map(|p| {
+                    let tx = tx.clone();
+                    thread::spawn(move || {
+                        for i in 0..100 {
+                            tx.send(p * 100 + i).unwrap();
+                        }
+                    })
+                })
+                .collect();
+            drop(tx);
+            let consumers: Vec<_> = (0..2)
+                .map(|_| {
+                    let rx = rx.clone();
+                    thread::spawn(move || {
+                        let mut got = Vec::new();
+                        while let Ok(v) = rx.recv() {
+                            got.push(v);
+                        }
+                        got
+                    })
+                })
+                .collect();
+            drop(rx);
+            for p in producers {
+                p.join().unwrap();
+            }
+            let mut all: Vec<u32> = consumers
+                .into_iter()
+                .flat_map(|c| c.join().unwrap())
+                .collect();
+            all.sort_unstable();
+            let want: Vec<u32> = (0..4)
+                .flat_map(|p| (0..100).map(move |i| p * 100 + i))
+                .collect();
+            assert_eq!(all, want);
+        }
+    }
+}

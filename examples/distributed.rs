@@ -43,13 +43,20 @@ fn main() {
 
     for (i, chapter) in CHAPTERS.iter().enumerate() {
         let node = rt.node_for(i);
-        let task = rt.spawn(node, "wordcount", chapter.as_bytes()).expect("spawn");
+        let task = rt
+            .spawn(node, "wordcount", chapter.as_bytes())
+            .expect("spawn");
         println!("task {task} -> node {node}: {chapter:?}");
     }
 
     let outcomes = rt.merge_all().expect("merge");
     for o in &outcomes {
-        println!("merged task {} from node {} ({} ops)", o.task, o.node, o.result.as_ref().unwrap());
+        println!(
+            "merged task {} from node {} ({} ops)",
+            o.task,
+            o.node,
+            o.result.as_ref().unwrap()
+        );
     }
 
     let (counts, report) = rt.shutdown().expect("shutdown");
@@ -59,8 +66,10 @@ fn main() {
         println!("  {word:<8} {n}");
     }
 
-    let expected_total: i64 =
-        CHAPTERS.iter().map(|c| c.split_whitespace().count() as i64).sum();
+    let expected_total: i64 = CHAPTERS
+        .iter()
+        .map(|c| c.split_whitespace().count() as i64)
+        .sum();
     assert_eq!(counts.total(), expected_total, "no word may be lost");
     assert_eq!(counts.get(&"the".to_string()), 6);
     assert_eq!(counts.get(&"fox".to_string()), 3);

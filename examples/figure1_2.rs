@@ -13,7 +13,13 @@ use spawn_merge::ot::{Operation, Side};
 type Op = ListOp<char>;
 
 fn show(label: &str, l: &[char]) {
-    println!("    {label}: {}", l.iter().map(|c| c.to_string()).collect::<Vec<_>>().join(","));
+    println!(
+        "    {label}: {}",
+        l.iter()
+            .map(|c| c.to_string())
+            .collect::<Vec<_>>()
+            .join(",")
+    );
 }
 
 fn main() {

@@ -15,7 +15,14 @@ use spawn_merge::sha1::to_hex;
 fn main() {
     // A scaled-down configuration so the example finishes in seconds; the
     // full 20/100/100 evaluation lives in `sm-bench --bin figure3`.
-    let cfg = SimConfig { hosts: 8, initial_messages: 32, ttl: 24, workload: 50, routing: Routing::HashDerived, ..SimConfig::default() };
+    let cfg = SimConfig {
+        hosts: 8,
+        initial_messages: 32,
+        ttl: 24,
+        workload: 50,
+        routing: Routing::HashDerived,
+        ..SimConfig::default()
+    };
     println!(
         "simulating {} hosts, {} messages, TTL {}, workload {} SHA-1 iterations\n",
         cfg.hosts, cfg.initial_messages, cfg.ttl, cfg.workload
@@ -37,7 +44,11 @@ fn main() {
             setup.label(),
             fingerprints.len(),
             RUNS,
-            if deterministic { "deterministic" } else { "NON-deterministic" },
+            if deterministic {
+                "deterministic"
+            } else {
+                "NON-deterministic"
+            },
             elapsed_total / RUNS as u32,
         );
         match setup {

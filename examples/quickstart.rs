@@ -45,7 +45,10 @@ fn main() {
         });
         results.insert(list.to_vec());
     }
-    println!("distinct outcomes over 100 adversarial runs: {}", results.len());
+    println!(
+        "distinct outcomes over 100 adversarial runs: {}",
+        results.len()
+    );
     assert_eq!(results.len(), 1, "deterministic by construction");
     println!("OK: spawn/merge is deterministic regardless of timing");
 }

@@ -33,9 +33,12 @@ fn program(jitter: u64, drive: impl FnOnce(&mut TaskCtx<MList<u64>>)) -> Vec<u64
 fn main() {
     // ── Recording run ──────────────────────────────────────────────────
     let mut trace = MergeTrace::new();
-    let recorded = program(3, |ctx| {
-        while ctx.merge_any_recording(&mut trace).is_some() {}
-    });
+    let recorded = program(
+        3,
+        |ctx| {
+            while ctx.merge_any_recording(&mut trace).is_some() {}
+        },
+    );
     println!("recorded run      : {recorded:?}");
     println!("recorded schedule : {:?}", trace.decisions());
 

@@ -62,9 +62,10 @@ fn handle_request(request: &str, db: &mut Db) -> String {
             db.insert(k.to_string(), v.to_string());
             "OK".to_string()
         }
-        (Some("GET"), Some(k), None) => {
-            db.get(&k.to_string()).cloned().unwrap_or_else(|| "NIL".to_string())
-        }
+        (Some("GET"), Some(k), None) => db
+            .get(&k.to_string())
+            .cloned()
+            .unwrap_or_else(|| "NIL".to_string()),
         (Some("DEL"), Some(k), None) => {
             db.remove(&k.to_string());
             "OK".to_string()
@@ -80,7 +81,9 @@ fn handle_request(request: &str, db: &mut Db) -> String {
 
 /// The paper's `accept(data)` task.
 fn accept_task(net: Network, ctx: &mut TaskCtx<Db>) -> TaskResult {
-    let listener = net.listen(PORT).map_err(|e| TaskAbort::new(e.to_string()))?;
+    let listener = net
+        .listen(PORT)
+        .map_err(|e| TaskAbort::new(e.to_string()))?;
     loop {
         if ctx.is_aborted() {
             return Ok(()); // server shutting down

@@ -39,6 +39,9 @@
 //!   states (the offline dependency set has no serde byte format).
 //! * [`dist`] — distributed Spawn & Merge over a simulated cluster (the
 //!   paper's MPI future-work direction).
+//! * [`obs`] — runtime observability: pluggable event recorders, metrics
+//!   with Prometheus/JSON export, Chrome/Perfetto trace export, and the
+//!   determinism auditor.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -49,6 +52,7 @@ pub use sm_dist as dist;
 pub use sm_mergeable as mergeable;
 pub use sm_net as net;
 pub use sm_netsim as netsim;
+pub use sm_obs as obs;
 pub use sm_ot as ot;
 pub use sm_sha1 as sha1;
 
@@ -58,6 +62,6 @@ pub use sm_core::{
     SyncError, TaskAbort, TaskCtx, TaskHandle, TaskId, TaskResult,
 };
 pub use sm_mergeable::{
-    mergeable_struct, CopyMode, MCounter, MCounterMap, MList, MMap, MQueue, MRegister, MSet,
-    MText, MTree, MergeError, MergeStats, Mergeable,
+    mergeable_struct, CopyMode, MCounter, MCounterMap, MList, MMap, MQueue, MRegister, MSet, MText,
+    MTree, MergeError, MergeStats, Mergeable,
 };

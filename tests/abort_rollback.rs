@@ -17,7 +17,11 @@ fn condition_rollback_on_completion_merge() {
         }
         // Accept only children whose result sums to an even value.
         let report = ctx.merge_all_with(&|d: &MList<i32>| d.iter().sum::<i32>() % 2 == 0);
-        let merged: Vec<bool> = report.children.iter().map(|c| c.disposition.is_merged()).collect();
+        let merged: Vec<bool> = report
+            .children
+            .iter()
+            .map(|c| c.disposition.is_merged())
+            .collect();
         assert_eq!(merged, vec![true, false, true, false, true, false]);
     });
     assert_eq!(list.to_vec(), vec![0, 2, 4], "odd pushes rolled back");
@@ -96,18 +100,20 @@ fn panic_mid_sync_protocol_is_contained() {
             Disposition::AbortedByChild(AbortReason::Panic(_))
         ));
     });
-    assert_eq!(counter.get(), 1, "synced work survives; post-sync work dies with the panic");
+    assert_eq!(
+        counter.get(),
+        1,
+        "synced work survives; post-sync work dies with the panic"
+    );
 }
 
 #[test]
 fn external_abort_discards_sync_changes_too() {
     let (counter, ()) = run(MCounter::new(0), |ctx| {
-        let t = ctx.spawn(|c| {
-            loop {
-                c.data_mut().inc();
-                if c.sync().is_err() {
-                    return Ok(());
-                }
+        let t = ctx.spawn(|c| loop {
+            c.data_mut().inc();
+            if c.sync().is_err() {
+                return Ok(());
             }
         });
         ctx.merge_all(); // +1
@@ -144,12 +150,10 @@ fn aborted_parent_aborts_descendants() {
     let (counter, ()) = run(MCounter::new(0), |ctx| {
         ctx.spawn(|child| {
             for _ in 0..3 {
-                child.spawn(|gc| {
-                    loop {
-                        gc.data_mut().inc();
-                        if gc.sync().is_err() {
-                            return Ok(());
-                        }
+                child.spawn(|gc| loop {
+                    gc.data_mut().inc();
+                    if gc.sync().is_err() {
+                        return Ok(());
                     }
                 });
             }

@@ -68,7 +68,11 @@ fn map_conflicts_resolve_identically_every_run() {
         map.iter().map(|(k, v)| (k.clone(), *v)).collect::<Vec<_>>()
     };
     let baseline = run_once();
-    assert_eq!(baseline.iter().find(|(k, _)| k == "winner").unwrap().1, 7, "last merged wins");
+    assert_eq!(
+        baseline.iter().find(|(k, _)| k == "winner").unwrap().1,
+        7,
+        "last merged wins"
+    );
     for _ in 0..8 {
         assert_eq!(run_once(), baseline);
     }

@@ -43,7 +43,12 @@ fn local_reference(tasks: u8) -> Data {
 }
 
 fn digest(d: &Data) -> String {
-    format!("{:?}|{:?}|{}", d.0.to_vec(), d.1.iter().collect::<Vec<_>>(), d.2.as_str())
+    format!(
+        "{:?}|{:?}|{}",
+        d.0.to_vec(),
+        d.1.iter().collect::<Vec<_>>(),
+        d.2.as_str()
+    )
 }
 
 #[test]
@@ -93,7 +98,8 @@ fn multi_round_distributed_computation() {
     let mut rt = DistRuntime::launch(2, data(), &jobs).unwrap();
     for round in 0..3u8 {
         for n in 0..4u8 {
-            rt.spawn(rt.node_for(n as usize), "work", &[round * 4 + n]).unwrap();
+            rt.spawn(rt.node_for(n as usize), "work", &[round * 4 + n])
+                .unwrap();
         }
         let outcomes = rt.merge_all().unwrap();
         assert_eq!(outcomes.len(), 4);

@@ -18,7 +18,14 @@ fn paper_scale_zero_workload_all_setups_conserve_hops() {
 
 #[test]
 fn spawn_merge_hash_routing_identical_across_five_runs() {
-    let cfg = SimConfig { hosts: 6, initial_messages: 18, ttl: 12, workload: 3, routing: Routing::HashDerived, ..SimConfig::default() };
+    let cfg = SimConfig {
+        hosts: 6,
+        initial_messages: 18,
+        ttl: 12,
+        workload: 3,
+        routing: Routing::HashDerived,
+        ..SimConfig::default()
+    };
     let first = run_setup(Setup::SpawnMergeNonDet, &cfg);
     for _ in 0..4 {
         let r = run_setup(Setup::SpawnMergeNonDet, &cfg);
@@ -37,7 +44,14 @@ fn spawn_merge_determinism_independent_of_parallelism() {
     use spawn_merge::netsim::spawnmerge::run_spawn_merge_with_pool;
     use spawn_merge::Pool;
 
-    let cfg = SimConfig { hosts: 5, initial_messages: 15, ttl: 10, workload: 2, routing: Routing::HashDerived, ..SimConfig::default() };
+    let cfg = SimConfig {
+        hosts: 5,
+        initial_messages: 15,
+        ttl: 10,
+        workload: 2,
+        routing: Routing::HashDerived,
+        ..SimConfig::default()
+    };
     let cold = run_spawn_merge_with_pool(&cfg, Pool::new());
     let warm_pool = Pool::new();
     for _ in 0..8 {
@@ -52,7 +66,14 @@ fn ring_variants_agree_across_implementations() {
     // With ring routing each queue has a single producer, so both the
     // conventional and the Spawn & Merge implementation process identical
     // per-host sequences: fingerprints must match exactly.
-    let cfg = SimConfig { hosts: 5, initial_messages: 10, ttl: 8, workload: 1, routing: Routing::NextHost, ..SimConfig::default() };
+    let cfg = SimConfig {
+        hosts: 5,
+        initial_messages: 10,
+        ttl: 8,
+        workload: 1,
+        routing: Routing::NextHost,
+        ..SimConfig::default()
+    };
     let conv = run_setup(Setup::ConventionalDet, &cfg);
     let sm = run_setup(Setup::SpawnMergeDet, &cfg);
     assert_eq!(conv.fingerprint, sm.fingerprint);
@@ -61,17 +82,34 @@ fn ring_variants_agree_across_implementations() {
 
 #[test]
 fn workload_changes_results_but_not_counts() {
-    let mk = |l| SimConfig { hosts: 4, initial_messages: 8, ttl: 6, workload: l, routing: Routing::HashDerived, ..SimConfig::default() };
+    let mk = |l| SimConfig {
+        hosts: 4,
+        initial_messages: 8,
+        ttl: 6,
+        workload: l,
+        routing: Routing::HashDerived,
+        ..SimConfig::default()
+    };
     let a = run_setup(Setup::SpawnMergeNonDet, &mk(0));
     let b = run_setup(Setup::SpawnMergeNonDet, &mk(5));
     assert_eq!(a.total_processed, b.total_processed);
-    assert_ne!(a.fingerprint, b.fingerprint, "workload feeds the payload digests");
+    assert_ne!(
+        a.fingerprint, b.fingerprint,
+        "workload feeds the payload digests"
+    );
 }
 
 #[test]
 fn single_host_single_message_edge_case() {
     // Smallest possible simulation: 1 host, 1 message bouncing to itself.
-    let cfg = SimConfig { hosts: 1, initial_messages: 1, ttl: 5, workload: 0, routing: Routing::NextHost, ..SimConfig::default() };
+    let cfg = SimConfig {
+        hosts: 1,
+        initial_messages: 1,
+        ttl: 5,
+        workload: 0,
+        routing: Routing::NextHost,
+        ..SimConfig::default()
+    };
     for setup in Setup::ALL {
         let r = run_setup(setup, &cfg);
         assert_eq!(r.total_processed, 5, "{}", setup.label());
@@ -81,7 +119,14 @@ fn single_host_single_message_edge_case() {
 
 #[test]
 fn ttl_one_messages_die_immediately() {
-    let cfg = SimConfig { hosts: 3, initial_messages: 9, ttl: 1, workload: 0, routing: Routing::HashDerived, ..SimConfig::default() };
+    let cfg = SimConfig {
+        hosts: 3,
+        initial_messages: 9,
+        ttl: 1,
+        workload: 0,
+        routing: Routing::HashDerived,
+        ..SimConfig::default()
+    };
     for setup in Setup::ALL {
         let r = run_setup(setup, &cfg);
         assert_eq!(r.total_processed, 9, "{}", setup.label());

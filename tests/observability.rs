@@ -1,0 +1,293 @@
+//! The observability layer's contract with the runtime:
+//!
+//! 1. **Passivity** — installing a recorder must never change merged
+//!    results. The event stream is a projection of the run, not an input
+//!    to it.
+//! 2. **Determinism auditing** — for a deterministic (merge_all-only)
+//!    program, the auditor digest is identical on every run, while the
+//!    digest still reacts to genuine behavioural differences.
+//! 3. **Robust lifecycle** — recorders can be installed, swapped, and
+//!    removed concurrently with a running program without panics or lost
+//!    events (for sinks that stay installed throughout).
+//!
+//! The recorder slot is process-global, so every test here serializes on
+//! one mutex; other test binaries never install recorders.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+use spawn_merge::netsim::{run_spawn_merge, Routing, SimConfig};
+use spawn_merge::obs::{
+    self, ChromeTracer, DeterminismAuditor, Metrics, MultiRecorder, ObsEvent, Recorder,
+};
+use spawn_merge::{run, MList};
+
+/// All tests share the process-wide recorder slot; run them one at a time.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn sim_config() -> SimConfig {
+    SimConfig {
+        hosts: 4,
+        initial_messages: 12,
+        ttl: 6,
+        workload: 10,
+        routing: Routing::HashDerived,
+        ..SimConfig::default()
+    }
+}
+
+/// The paper's merge_all-only network simulation, with the full recorder
+/// stack installed, must yield the same auditor digest on every run —
+/// and the same simulation fingerprint as an uninstrumented run.
+#[test]
+fn auditor_digest_is_stable_across_runs() {
+    let _guard = serial();
+    let cfg = sim_config();
+
+    // Baseline: no recorder installed at all.
+    obs::uninstall();
+    let baseline = run_spawn_merge(&cfg);
+
+    let mut digests = Vec::new();
+    for run_no in 0..3 {
+        let auditor = Arc::new(DeterminismAuditor::new());
+        obs::install(auditor.clone());
+        let result = run_spawn_merge(&cfg);
+        obs::uninstall();
+        assert_eq!(
+            result.fingerprint, baseline.fingerprint,
+            "run {run_no}: installing a recorder changed the simulation result"
+        );
+        assert!(
+            auditor.chain_count() > 0,
+            "run {run_no}: auditor saw no events"
+        );
+        digests.push(auditor.digest());
+    }
+    assert_eq!(
+        digests[0], digests[1],
+        "digest differed between runs 0 and 1"
+    );
+    assert_eq!(
+        digests[1], digests[2],
+        "digest differed between runs 1 and 2"
+    );
+}
+
+/// The digest must not be a constant: a program doing different merges
+/// hashes differently.
+#[test]
+fn auditor_digest_reacts_to_different_programs() {
+    let _guard = serial();
+
+    let digest_of = |children: u64| {
+        let auditor = Arc::new(DeterminismAuditor::new());
+        obs::install(auditor.clone());
+        let (_, ()) = run(MList::<u64>::new(), |ctx| {
+            for i in 0..children {
+                ctx.spawn(move |c| {
+                    c.data_mut().push(i);
+                    Ok(())
+                });
+            }
+            ctx.merge_all();
+        });
+        obs::uninstall();
+        auditor.digest()
+    };
+
+    assert_ne!(
+        digest_of(2),
+        digest_of(3),
+        "different programs must hash differently"
+    );
+}
+
+/// A recorder observing a contended run is passive: results match the
+/// uninstrumented baseline bit for bit, and the Chrome export of the run
+/// round-trips through a JSON parser.
+#[test]
+fn recorder_is_passive_and_trace_round_trips() {
+    let _guard = serial();
+
+    let run_once = || {
+        let (list, ()) = run(MList::<u64>::new(), |ctx| {
+            for i in 0..8u64 {
+                ctx.spawn(move |c| {
+                    std::thread::sleep(std::time::Duration::from_micros(i * 37 % 200));
+                    c.data_mut().insert(0, i);
+                    Ok(())
+                });
+            }
+            ctx.merge_all();
+        });
+        list.to_vec()
+    };
+
+    obs::uninstall();
+    let baseline = run_once();
+
+    let tracer = Arc::new(ChromeTracer::new());
+    let metrics = Arc::new(Metrics::new());
+    obs::install(Arc::new(MultiRecorder::new(vec![
+        tracer.clone(),
+        metrics.clone(),
+    ])));
+    let observed = run_once();
+    obs::uninstall();
+
+    assert_eq!(
+        observed, baseline,
+        "recorder must not change the merged result"
+    );
+
+    let snapshot = metrics.snapshot();
+    assert_eq!(snapshot.tasks_spawned, 9, "root + 8 children");
+    assert_eq!(snapshot.merges_finished, 8, "merge_all folds 8 children");
+
+    // The exported trace is valid JSON in Chrome trace-event shape.
+    let trace = tracer.json_string();
+    let doc = obs::json::parse(&trace).expect("trace must parse as JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(|e| e.as_arr())
+        .expect("trace must have a traceEvents array");
+    assert!(!events.is_empty());
+    for ev in events {
+        assert!(
+            ev.get("ph").and_then(|p| p.as_str()).is_some(),
+            "event missing phase"
+        );
+        assert!(
+            ev.get("pid").and_then(|p| p.as_num()).is_some(),
+            "event missing pid"
+        );
+        assert!(
+            ev.get("name").and_then(|n| n.as_str()).is_some(),
+            "event missing name"
+        );
+    }
+}
+
+/// A sink that stays installed across every swap misses nothing: swap the
+/// recorder stack around it as fast as possible while tasks spawn and
+/// merge, and the final MergeFinished count is still exact.
+#[test]
+fn swapping_recorders_mid_run_loses_no_events() {
+    let _guard = serial();
+
+    struct Null;
+    impl Recorder for Null {
+        fn record(&self, _event: &ObsEvent) {}
+    }
+
+    let metrics = Arc::new(Metrics::new());
+    obs::install(metrics.clone());
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let churner = {
+        let metrics = Arc::clone(&metrics);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut swaps = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                // Alternate between two stacks that BOTH contain `metrics`:
+                // every event lands in it no matter when the swap happens.
+                let extra: Arc<dyn Recorder> = Arc::new(Null);
+                obs::install(Arc::new(MultiRecorder::new(vec![metrics.clone(), extra])));
+                obs::install(metrics.clone());
+                swaps += 2;
+            }
+            swaps
+        })
+    };
+
+    const CHILDREN: u64 = 24;
+    let (list, ()) = run(MList::<u64>::new(), |ctx| {
+        for i in 0..CHILDREN {
+            ctx.spawn(move |c| {
+                std::thread::sleep(std::time::Duration::from_micros(i * 53 % 300));
+                c.data_mut().push(i);
+                Ok(())
+            });
+        }
+        ctx.merge_all();
+    });
+
+    stop.store(true, Ordering::Relaxed);
+    let swaps = churner.join().expect("churner must not panic");
+    obs::uninstall();
+
+    assert!(swaps > 0, "churner never ran");
+    assert_eq!(list.len(), CHILDREN as usize);
+    let snapshot = metrics.snapshot();
+    assert_eq!(
+        snapshot.merges_finished, CHILDREN,
+        "a permanently-installed sink lost MergeFinished events across {swaps} swaps"
+    );
+    assert_eq!(snapshot.tasks_spawned, CHILDREN + 1);
+}
+
+/// Full install/uninstall churn (including windows with NO recorder) must
+/// never panic or perturb results — only observation coverage changes.
+#[test]
+fn install_uninstall_churn_is_harmless() {
+    let _guard = serial();
+
+    struct Counting(AtomicU64);
+    impl Recorder for Counting {
+        fn record(&self, _event: &ObsEvent) {
+            self.0.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    obs::uninstall();
+    let baseline = {
+        let (list, ()) = run(MList::<u64>::new(), |ctx| {
+            for i in 0..16u64 {
+                ctx.spawn(move |c| {
+                    c.data_mut().push(i);
+                    Ok(())
+                });
+            }
+            ctx.merge_all();
+        });
+        list.to_vec()
+    };
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let churner = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                obs::install(Arc::new(Counting(AtomicU64::new(0))));
+                obs::uninstall();
+            }
+        })
+    };
+
+    for _ in 0..4 {
+        let (list, ()) = run(MList::<u64>::new(), |ctx| {
+            for i in 0..16u64 {
+                ctx.spawn(move |c| {
+                    c.data_mut().push(i);
+                    Ok(())
+                });
+            }
+            ctx.merge_all();
+        });
+        assert_eq!(
+            list.to_vec(),
+            baseline,
+            "recorder churn changed a merged result"
+        );
+    }
+
+    stop.store(true, Ordering::Relaxed);
+    churner.join().expect("churner must not panic");
+    obs::uninstall();
+}

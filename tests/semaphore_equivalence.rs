@@ -13,7 +13,11 @@ fn binary_semaphore_enforces_mutual_exclusion() {
     let concurrent = Arc::new(AtomicUsize::new(0));
     let max_seen = Arc::new(AtomicUsize::new(0));
     let violations = Arc::new(AtomicUsize::new(0));
-    let (c, m, v) = (Arc::clone(&concurrent), Arc::clone(&max_seen), Arc::clone(&violations));
+    let (c, m, v) = (
+        Arc::clone(&concurrent),
+        Arc::clone(&max_seen),
+        Arc::clone(&violations),
+    );
 
     let outcome = run_with_semaphore(1, 5, move |_i, sem| {
         for _ in 0..4 {
@@ -31,7 +35,11 @@ fn binary_semaphore_enforces_mutual_exclusion() {
         Ok(())
     });
 
-    assert_eq!(violations.load(Ordering::SeqCst), 0, "mutual exclusion violated");
+    assert_eq!(
+        violations.load(Ordering::SeqCst),
+        0,
+        "mutual exclusion violated"
+    );
     assert_eq!(max_seen.load(Ordering::SeqCst), 1);
     assert_eq!(outcome.grants, 20);
     assert_eq!(outcome.final_value, 1, "all permits returned");
@@ -94,7 +102,10 @@ fn zero_permits_deadlocks_and_is_detected() {
         sem.acquire()?;
         Ok(())
     });
-    assert!(outcome.deadlocked, "all waiters blocked ⇒ emulated deadlock");
+    assert!(
+        outcome.deadlocked,
+        "all waiters blocked ⇒ emulated deadlock"
+    );
     assert_eq!(outcome.stranded_workers, 3);
     assert_eq!(outcome.grants, 0);
 }

@@ -12,7 +12,9 @@ type Db = MMap<String, i64>;
 fn conn(socket: Stream, ctx: &mut TaskCtx<Db>) -> TaskResult {
     ctx.sync()?; // refresh the inherited (stale) data first
     loop {
-        let Ok(req) = socket.recv_str() else { return Ok(()) };
+        let Ok(req) = socket.recv_str() else {
+            return Ok(());
+        };
         let mut parts = req.split(' ');
         let reply = match (parts.next(), parts.next(), parts.next()) {
             (Some("INC"), Some(k), None) => {
@@ -21,18 +23,25 @@ fn conn(socket: Stream, ctx: &mut TaskCtx<Db>) -> TaskResult {
                 ctx.data_mut().insert(key, cur + 1);
                 "OK".to_string()
             }
-            (Some("GET"), Some(k), None) => {
-                ctx.data().get(&k.to_string()).copied().unwrap_or(-1).to_string()
-            }
+            (Some("GET"), Some(k), None) => ctx
+                .data()
+                .get(&k.to_string())
+                .copied()
+                .unwrap_or(-1)
+                .to_string(),
             _ => "ERR".to_string(),
         };
         ctx.sync()?;
-        socket.send_str(&reply).map_err(|e| TaskAbort::new(e.to_string()))?;
+        socket
+            .send_str(&reply)
+            .map_err(|e| TaskAbort::new(e.to_string()))?;
     }
 }
 
 fn accept_task(net: Network, port: u16, ctx: &mut TaskCtx<Db>) -> TaskResult {
-    let listener = net.listen(port).map_err(|e| TaskAbort::new(e.to_string()))?;
+    let listener = net
+        .listen(port)
+        .map_err(|e| TaskAbort::new(e.to_string()))?;
     loop {
         if ctx.is_aborted() {
             return Ok(());
@@ -122,24 +131,27 @@ fn commutative_counter_vs_lww_map_under_concurrent_connections() {
     fn conn2(socket: Stream, ctx: &mut TaskCtx<Data>) -> TaskResult {
         ctx.sync()?;
         loop {
-            let Ok(req) = socket.recv_str() else { return Ok(()) };
-            match req.as_str() {
-                "BUMP" => {
-                    // The losing pattern: read-modify-write on an LWW map.
-                    let cur = ctx.data().0.get(&"rmw".to_string()).copied().unwrap_or(0);
-                    ctx.data_mut().0.insert("rmw".to_string(), cur + 1);
-                    // The winning pattern: a commutative counter op.
-                    ctx.data_mut().1.inc();
-                }
-                _ => {}
+            let Ok(req) = socket.recv_str() else {
+                return Ok(());
+            };
+            if req.as_str() == "BUMP" {
+                // The losing pattern: read-modify-write on an LWW map.
+                let cur = ctx.data().0.get(&"rmw".to_string()).copied().unwrap_or(0);
+                ctx.data_mut().0.insert("rmw".to_string(), cur + 1);
+                // The winning pattern: a commutative counter op.
+                ctx.data_mut().1.inc();
             }
             ctx.sync()?;
-            socket.send_str("OK").map_err(|e| TaskAbort::new(e.to_string()))?;
+            socket
+                .send_str("OK")
+                .map_err(|e| TaskAbort::new(e.to_string()))?;
         }
     }
 
     fn accept2(net: Network, ctx: &mut TaskCtx<Data>) -> TaskResult {
-        let listener = net.listen(9001).map_err(|e| TaskAbort::new(e.to_string()))?;
+        let listener = net
+            .listen(9001)
+            .map_err(|e| TaskAbort::new(e.to_string()))?;
         loop {
             if ctx.is_aborted() {
                 return Ok(());

@@ -77,7 +77,9 @@ fn random_task(seed: u64, depth: u32, jitter: u64, ctx: &mut TaskCtx<World>) -> 
     for _ in 0..rng.gen_range(1..5) {
         mutate(&mut rng, ctx.data_mut());
     }
-    std::thread::sleep(std::time::Duration::from_micros((seed.wrapping_mul(jitter)) % 300));
+    std::thread::sleep(std::time::Duration::from_micros(
+        (seed.wrapping_mul(jitter)) % 300,
+    ));
     if depth > 0 {
         let children = rng.gen_range(0..4);
         for c in 0..children {

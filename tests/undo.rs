@@ -4,8 +4,8 @@
 //! rollback path that composes with fork/merge.
 
 use proptest::prelude::*;
-use spawn_merge::ot::invert::inverse_sequence;
 use spawn_merge::ot::apply_all;
+use spawn_merge::ot::invert::inverse_sequence;
 use spawn_merge::{MList, MText, Mergeable};
 
 #[test]
