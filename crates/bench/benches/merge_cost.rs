@@ -47,6 +47,37 @@ fn bench_merge_scaling(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_span_rebase(c: &mut Criterion) {
+    // The headline span case: N contiguous appends on each side. Raw
+    // rebase pays an N×N transform grid; compaction collapses each side
+    // to one `InsertRun`, so the grid is 1×1. Compaction time included.
+    let mut group = c.benchmark_group("merge_span");
+    for n in [100usize, 500, 1000] {
+        let committed: Vec<ListOp<u64>> =
+            (0..n).map(|i| ListOp::Insert(64 + i, i as u64)).collect();
+        let incoming: Vec<ListOp<u64>> = (0..n)
+            .map(|i| ListOp::Insert(64 + i, 1000 + i as u64))
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("contiguous_raw", n),
+            &(&committed, &incoming),
+            |b, (committed, incoming)| b.iter(|| rebase(incoming, committed)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("contiguous_compacted", n),
+            &(&committed, &incoming),
+            |b, (committed, incoming)| {
+                b.iter(|| {
+                    let i = compact_list(incoming);
+                    let c = compact_list(committed);
+                    rebase(&i, &c)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 fn bench_compaction_payoff(c: &mut Criterion) {
     // A log full of Set churn on the same few indices compacts massively;
     // measure rebase cost with and without pre-compaction.
@@ -66,5 +97,10 @@ fn bench_compaction_payoff(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_merge_scaling, bench_compaction_payoff);
+criterion_group!(
+    benches,
+    bench_merge_scaling,
+    bench_span_rebase,
+    bench_compaction_payoff
+);
 criterion_main!(benches);

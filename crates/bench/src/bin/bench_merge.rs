@@ -1,0 +1,192 @@
+//! Emit `BENCH_merge.json`: before/after numbers for the span-compaction
+//! rebase fast path.
+//!
+//! Each scenario rebases the same child log against the same committed
+//! log twice — once raw (element-wise, the pre-optimization merge path)
+//! and once through `sm_ot::compose::compact` first (the current merge
+//! path, compaction time included) — and records wall-clock nanoseconds,
+//! op counts, and transformation-grid sizes. A final scenario times the
+//! full `MList::merge` entry point end to end.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p sm-bench --bin bench_merge [-- --quick] [-- --out PATH]
+//! ```
+//!
+//! `--quick` reduces repetitions for CI smoke runs; `--out` overrides the
+//! default output path `BENCH_merge.json`.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use sm_mergeable::{MList, Mergeable};
+use sm_ot::compose::compact;
+use sm_ot::list::ListOp;
+use sm_ot::seq::rebase;
+
+/// Best-of-`iters` wall time of `f`, in nanoseconds.
+fn time_ns<R>(iters: usize, mut f: impl FnMut() -> R) -> u64 {
+    let mut best = u64::MAX;
+    for _ in 0..iters {
+        let t = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(t.elapsed().as_nanos() as u64);
+    }
+    best
+}
+
+struct Scenario {
+    name: &'static str,
+    committed: Vec<ListOp<u64>>,
+    incoming: Vec<ListOp<u64>>,
+}
+
+/// Deterministic positions for the no-compaction control scenario.
+fn lcg_positions(n: usize, bound: usize) -> Vec<usize> {
+    let mut x: u64 = 0x2545_f491_4f6c_dd1d;
+    (0..n)
+        .map(|_| {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((x >> 33) as usize) % bound.max(1)
+        })
+        .collect()
+}
+
+fn scenarios() -> Vec<Scenario> {
+    // 500 contiguous appends on each side: the headline case, collapses
+    // to a 1x1 grid. Base list is 64 elements, so appends start at 64.
+    let contiguous = Scenario {
+        name: "contiguous_inserts_500x500",
+        committed: (0..500).map(|i| ListOp::Insert(64 + i, i as u64)).collect(),
+        incoming: (0..500)
+            .map(|i| ListOp::Insert(64 + i, 1000 + i as u64))
+            .collect(),
+    };
+    // Overwrite churn: 500 Sets over 4 indices fuse down to 4 ops.
+    let churn = Scenario {
+        name: "set_churn_500_vs_inserts_200",
+        committed: (0..200).map(|i| ListOp::Insert(0, i as u64)).collect(),
+        incoming: (0..500).map(|i| ListOp::Set(i % 4, i as u64)).collect(),
+    };
+    // Control: scattered inserts that mostly do not fuse — compaction
+    // must not slow this path down materially.
+    let scattered = Scenario {
+        name: "scattered_inserts_100x100",
+        committed: lcg_positions(100, 64)
+            .into_iter()
+            .map(|p| ListOp::Insert(p, 7))
+            .collect(),
+        incoming: lcg_positions(100, 64)
+            .into_iter()
+            .rev()
+            .map(|p| ListOp::Insert(p, 9))
+            .collect(),
+    };
+    vec![contiguous, churn, scattered]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_merge.json".to_string());
+    let iters = if quick { 3 } else { 25 };
+
+    let mut json = String::from("{\n  \"bench\": \"merge\",\n");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    json.push_str("  \"rebase_scenarios\": [\n");
+
+    for (si, sc) in scenarios().iter().enumerate() {
+        let raw_ns = time_ns(iters, || rebase(&sc.incoming, &sc.committed));
+        let compacted_ns = time_ns(iters, || {
+            let i = compact(&sc.incoming);
+            let c = compact(&sc.committed);
+            rebase(&i, &c)
+        });
+        let ic = compact(&sc.incoming);
+        let cc = compact(&sc.committed);
+        let speedup = raw_ns as f64 / compacted_ns.max(1) as f64;
+        eprintln!(
+            "{}: raw {} ns ({}x{} grid) -> compacted {} ns ({}x{} grid), {:.1}x",
+            sc.name,
+            raw_ns,
+            sc.incoming.len(),
+            sc.committed.len(),
+            compacted_ns,
+            ic.len(),
+            cc.len(),
+            speedup
+        );
+        if si > 0 {
+            json.push_str(",\n");
+        }
+        let _ = write!(
+            json,
+            "    {{\"name\": \"{}\", \"raw_ns\": {}, \"compacted_ns\": {}, \"speedup\": {:.2}, \
+             \"incoming_ops\": {}, \"committed_ops\": {}, \
+             \"incoming_ops_compacted\": {}, \"committed_ops_compacted\": {}, \
+             \"grid_cells_raw\": {}, \"grid_cells_compacted\": {}}}",
+            sc.name,
+            raw_ns,
+            compacted_ns,
+            speedup,
+            sc.incoming.len(),
+            sc.committed.len(),
+            ic.len(),
+            cc.len(),
+            sc.incoming.len() * sc.committed.len(),
+            ic.len() * cc.len(),
+        );
+    }
+    json.push_str("\n  ],\n");
+
+    // End-to-end merge: 500 appends on each side through the MList entry
+    // point (record-time fusion + pre-rebase compaction both active).
+    let mut parent = MList::from_vec((0..64u64).collect());
+    let mut child = parent.fork();
+    for i in 0..500u64 {
+        child.push(i);
+        parent.push(1000 + i);
+    }
+    let merge_ns = time_ns(iters, || {
+        let mut p = parent.clone();
+        p.merge(&child).unwrap()
+    });
+    let stats = parent.clone().merge(&child).unwrap();
+    eprintln!(
+        "merge_path_500x500: {} ns, grid {} (raw would be {})",
+        merge_ns,
+        stats.grid_cells,
+        stats.child_ops * stats.committed_ops
+    );
+    let _ = writeln!(
+        json,
+        "  \"merge_path\": {{\"name\": \"mlist_merge_500x500\", \"merge_ns\": {}, \
+         \"child_ops\": {}, \"child_ops_compacted\": {}, \
+         \"committed_ops\": {}, \"committed_ops_compacted\": {}, \
+         \"grid_cells\": {}, \"grid_cells_raw\": {}}}",
+        merge_ns,
+        stats.child_ops,
+        stats.child_ops_compacted,
+        stats.committed_ops,
+        stats.committed_ops_compacted,
+        stats.grid_cells,
+        stats.child_ops * stats.committed_ops,
+    );
+    json.push_str("}\n");
+
+    match std::fs::write(&out_path, &json) {
+        Ok(()) => eprintln!("bench_merge: wrote {out_path}"),
+        Err(e) => {
+            eprintln!("bench_merge: could not write {out_path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

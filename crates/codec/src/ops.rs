@@ -37,6 +37,16 @@ impl<T: Encode> Encode for ListOp<T> {
                 i.encode(buf);
                 v.encode(buf);
             }
+            ListOp::InsertRun(i, vs) => {
+                buf.put_u8(3);
+                i.encode(buf);
+                vs.encode(buf);
+            }
+            ListOp::DeleteRange(i, n) => {
+                buf.put_u8(4);
+                i.encode(buf);
+                n.encode(buf);
+            }
         }
     }
 }
@@ -47,6 +57,11 @@ impl<T: Decode> Decode for ListOp<T> {
             0 => Ok(ListOp::Insert(usize::decode(buf)?, T::decode(buf)?)),
             1 => Ok(ListOp::Delete(usize::decode(buf)?)),
             2 => Ok(ListOp::Set(usize::decode(buf)?, T::decode(buf)?)),
+            3 => Ok(ListOp::InsertRun(usize::decode(buf)?, Vec::decode(buf)?)),
+            4 => Ok(ListOp::DeleteRange(
+                usize::decode(buf)?,
+                usize::decode(buf)?,
+            )),
             t => Err(DecodeError::BadTag(t)),
         }
     }
@@ -253,6 +268,17 @@ mod tests {
     }
 
     #[test]
+    fn list_span_ops_roundtrip() {
+        roundtrip(&ListOp::InsertRun(2usize, vec![1u32, 2, 3, 4]));
+        roundtrip(&ListOp::InsertRun(0usize, Vec::<u32>::new()));
+        roundtrip(&ListOp::<u32>::DeleteRange(5, 17));
+        // A span op costs one tag + one length, not N tags.
+        let run = ListOp::InsertRun(0usize, (0u64..64).collect());
+        let points: Vec<ListOp<u64>> = (0u64..64).map(|v| ListOp::Insert(v as usize, v)).collect();
+        assert!(run.to_bytes().len() < points.to_bytes().len());
+    }
+
+    #[test]
     fn text_ops_roundtrip() {
         roundtrip(&TextOp::insert(5, "héllo"));
         roundtrip(&TextOp::delete(0, 12));
@@ -309,11 +335,13 @@ mod tests {
 
     proptest! {
         #[test]
-        fn prop_list_op_roundtrip(i in 0usize..1000, v in any::<u64>(), kind in 0u8..3) {
+        fn prop_list_op_roundtrip(i in 0usize..1000, v in any::<u64>(), n in 0usize..32, kind in 0u8..5) {
             let op = match kind {
                 0 => ListOp::Insert(i, v),
                 1 => ListOp::Delete(i),
-                _ => ListOp::Set(i, v),
+                2 => ListOp::Set(i, v),
+                3 => ListOp::InsertRun(i, (0..n as u64).map(|k| v.wrapping_add(k)).collect()),
+                _ => ListOp::DeleteRange(i, n),
             };
             roundtrip(&op);
         }

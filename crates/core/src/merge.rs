@@ -182,6 +182,7 @@ impl<D: Mergeable> TaskCtx<D> {
             let ev = self.next_event_for(id);
             report.children.push(self.handle_event(ev, cond));
         }
+        self.gc_history();
         report
     }
 
@@ -205,14 +206,18 @@ impl<D: Mergeable> TaskCtx<D> {
             }
             if let Some(pos) = self.pending.iter().position(|e| targets.contains(&e.child)) {
                 let ev = self.pending.remove(pos).expect("position is valid");
-                return Some(self.handle_event(ev, cond));
+                let merged = self.handle_event(ev, cond);
+                self.gc_history();
+                return Some(merged);
             }
             let ev = self
                 .events_rx
                 .recv()
                 .expect("event channel cannot disconnect while the context holds its family");
             if targets.contains(&ev.child) {
-                return Some(self.handle_event(ev, cond));
+                let merged = self.handle_event(ev, cond);
+                self.gc_history();
+                return Some(merged);
             }
             // Not (yet) a target: either outside the caller's set, or a
             // just-cloned sibling we have not adopted. Stash and re-adopt.
@@ -229,7 +234,9 @@ impl<D: Mergeable> TaskCtx<D> {
             return None;
         }
         let ev = self.next_event_for(id);
-        Some(self.handle_event(ev, &|_| true))
+        let merged = self.handle_event(ev, &|_| true);
+        self.gc_history();
+        Some(merged)
     }
 
     /// Implicit MergeAll at task completion: "a task is not completed
@@ -340,6 +347,11 @@ impl<D: Mergeable> TaskCtx<D> {
                 if cond(&data) {
                     let stats = self.merge_child(&data, &child_path, true);
                     let fresh = self.data().fork();
+                    // The child continues from this fresh fork: its old
+                    // fork bases no longer pin the history.
+                    let marks = &mut self.children[pos].fork_marks;
+                    marks.clear();
+                    fresh.fork_marks(marks);
                     let _ = reply.send(SyncReply::Accepted(fresh));
                     MergedChild {
                         task: ev.child,
@@ -358,6 +370,49 @@ impl<D: Mergeable> TaskCtx<D> {
                     }
                 }
             }
+        }
+    }
+
+    /// Fork-watermark history GC (root task only).
+    ///
+    /// Every live child rebases, at merge time, against the suffix of the
+    /// root's committed log starting at its fork base. The element-wise
+    /// minimum of live children's fork marks is therefore a watermark `W`
+    /// below which no log prefix can ever be transformed against again —
+    /// that prefix is dropped, turning committed-log growth from
+    /// O(total history) into O(outstanding divergence). With no live
+    /// children the whole history is droppable.
+    ///
+    /// Non-root tasks must keep their full log: it is exactly what their
+    /// own parent rebases when *they* are merged.
+    fn gc_history(&mut self) {
+        if !self.is_root() || self.data.is_none() {
+            return;
+        }
+        let mut watermark: Option<Vec<usize>> = None;
+        {
+            let adopted = self.family.adopted.lock();
+            for child in self.children.iter().chain(adopted.iter()) {
+                match &mut watermark {
+                    None => watermark = Some(child.fork_marks.clone()),
+                    Some(w) => {
+                        for (slot, mark) in w.iter_mut().zip(&child.fork_marks) {
+                            *slot = (*slot).min(*mark);
+                        }
+                    }
+                }
+            }
+        }
+        let data = self.data.as_mut().expect("checked above");
+        let watermark = watermark.unwrap_or_else(|| {
+            let mut marks = Vec::new();
+            data.history_marks(&mut marks);
+            marks
+        });
+        let mut cursor = 0;
+        let dropped = data.truncate_history(&watermark, &mut cursor);
+        if dropped > 0 {
+            emit(&self.path, || EventKind::LogTruncated { dropped });
         }
     }
 
@@ -387,6 +442,9 @@ impl<D: Mergeable> TaskCtx<D> {
                     child_ops: stats.child_ops,
                     applied_ops: stats.applied_ops,
                     committed_ops: stats.committed_ops,
+                    child_ops_compacted: stats.child_ops_compacted,
+                    committed_ops_compacted: stats.committed_ops_compacted,
+                    grid_cells: stats.grid_cells,
                 },
                 oplog_len,
                 merge_nanos,

@@ -87,6 +87,11 @@ pub(crate) struct Family<D> {
 pub(crate) struct ChildRecord {
     pub id: TaskId,
     pub abort: Arc<AtomicBool>,
+    /// Absolute fork base of every log inside the child's data (in
+    /// structure-traversal order), captured at fork / last accepted sync.
+    /// The element-wise minimum over live children is the watermark below
+    /// which the root's committed-log prefix can be garbage-collected.
+    pub fork_marks: Vec<usize>,
 }
 
 /// A handle to a spawned task, used to address it in `MergeAllFromSet` /
@@ -279,6 +284,8 @@ impl<D: Mergeable> TaskCtx<D> {
         let spawn_t0 = sm_obs::is_enabled().then(Instant::now);
         let id = self.family.next_id.fetch_add(1, Ordering::Relaxed);
         let data = self.data().fork();
+        let mut fork_marks = Vec::new();
+        data.fork_marks(&mut fork_marks);
         // Emit BEFORE dispatching: the spawned task may start emitting its
         // own events immediately, and `TaskSpawned` must be the first event
         // of its per-task sequence (the determinism auditor hashes chains
@@ -296,6 +303,7 @@ impl<D: Mergeable> TaskCtx<D> {
         self.children.push(ChildRecord {
             id,
             abort: Arc::clone(&handle.abort),
+            fork_marks,
         });
         handle
     }
@@ -316,12 +324,17 @@ impl<D: Mergeable> TaskCtx<D> {
         let spawn_t0 = sm_obs::is_enabled().then(Instant::now);
         let id = parent.next_id.fetch_add(1, Ordering::Relaxed);
         let data = self.pristine.clone();
+        // The sibling starts from this task's pristine copy, which carries
+        // the fork bases of the original fork from the parent.
+        let mut fork_marks = Vec::new();
+        data.fork_marks(&mut fork_marks);
         // Register the sibling BEFORE it can run: the parent must be able
         // to resolve the child id of any event it receives.
         let abort = Arc::new(AtomicBool::new(false));
         parent.adopted.lock().push(ChildRecord {
             id,
             abort: Arc::clone(&abort),
+            fork_marks,
         });
         // Emit BEFORE dispatching, for the same reason as in `spawn`: the
         // sibling's `TaskSpawned` must open its per-task event sequence.

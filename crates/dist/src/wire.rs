@@ -32,6 +32,22 @@ pub trait Wire: Mergeable {
     fn apply_log(&mut self, buf: &mut Bytes) -> Result<usize, DistError>;
 }
 
+/// Encode a log with span compaction applied first: runs of fusible
+/// operations (contiguous inserts, same-key puts, counter adds…) cross
+/// the wire as single span ops. Compaction is rebase-preserving, so the
+/// coordinator's shadow replay merges byte-identically to shipping the
+/// raw log — only the `WireSent` byte counts shrink.
+fn encode_compact_log<O>(log: &[O], buf: &mut BytesMut)
+where
+    O: sm_ot::Operation + Encode,
+{
+    let ops = sm_ot::compose::compact_cow(log);
+    sm_codec::put_varint(buf, ops.len() as u64);
+    for op in ops.iter() {
+        op.encode(buf);
+    }
+}
+
 macro_rules! apply_ops {
     ($self:ident, $buf:ident, $op_ty:ty) => {{
         let ops: Vec<$op_ty> = Vec::decode($buf)?;
@@ -58,7 +74,7 @@ where
     }
 
     fn encode_log(&self, buf: &mut BytesMut) {
-        self.log().to_vec().encode(buf);
+        encode_compact_log(self.log(), buf);
     }
 
     fn apply_log(&mut self, buf: &mut Bytes) -> Result<usize, DistError> {
@@ -79,7 +95,7 @@ where
     }
 
     fn encode_log(&self, buf: &mut BytesMut) {
-        self.log().to_vec().encode(buf);
+        encode_compact_log(self.log(), buf);
     }
 
     fn apply_log(&mut self, buf: &mut Bytes) -> Result<usize, DistError> {
@@ -97,7 +113,7 @@ impl Wire for MText {
     }
 
     fn encode_log(&self, buf: &mut BytesMut) {
-        self.log().to_vec().encode(buf);
+        encode_compact_log(self.log(), buf);
     }
 
     fn apply_log(&mut self, buf: &mut Bytes) -> Result<usize, DistError> {
@@ -120,7 +136,7 @@ where
     }
 
     fn encode_log(&self, buf: &mut BytesMut) {
-        self.log().to_vec().encode(buf);
+        encode_compact_log(self.log(), buf);
     }
 
     fn apply_log(&mut self, buf: &mut Bytes) -> Result<usize, DistError> {
@@ -142,7 +158,7 @@ where
     }
 
     fn encode_log(&self, buf: &mut BytesMut) {
-        self.log().to_vec().encode(buf);
+        encode_compact_log(self.log(), buf);
     }
 
     fn apply_log(&mut self, buf: &mut Bytes) -> Result<usize, DistError> {
@@ -160,7 +176,7 @@ impl Wire for MCounter {
     }
 
     fn encode_log(&self, buf: &mut BytesMut) {
-        self.log().to_vec().encode(buf);
+        encode_compact_log(self.log(), buf);
     }
 
     fn apply_log(&mut self, buf: &mut Bytes) -> Result<usize, DistError> {
@@ -181,7 +197,7 @@ where
     }
 
     fn encode_log(&self, buf: &mut BytesMut) {
-        self.log().to_vec().encode(buf);
+        encode_compact_log(self.log(), buf);
     }
 
     fn apply_log(&mut self, buf: &mut Bytes) -> Result<usize, DistError> {
@@ -203,7 +219,7 @@ where
     }
 
     fn encode_log(&self, buf: &mut BytesMut) {
-        self.log().to_vec().encode(buf);
+        encode_compact_log(self.log(), buf);
     }
 
     fn apply_log(&mut self, buf: &mut Bytes) -> Result<usize, DistError> {
@@ -224,7 +240,7 @@ where
     }
 
     fn encode_log(&self, buf: &mut BytesMut) {
-        self.log().to_vec().encode(buf);
+        encode_compact_log(self.log(), buf);
     }
 
     fn apply_log(&mut self, buf: &mut Bytes) -> Result<usize, DistError> {
@@ -380,6 +396,39 @@ mod tests {
         assert_eq!(n, 2);
         assert_eq!(shadow.0.get(&"w".to_string()), 3);
         assert_eq!(shadow.1.as_str(), "hi");
+    }
+
+    #[test]
+    fn wire_log_is_compacted() {
+        // A fork point mid-log blocks in-place tail fusion (the barrier
+        // keeps fork bases addressable), so the remote's log holds more
+        // ops than necessary. The wire encoding compacts anyway: the
+        // whole log is shipped, never sliced, so spans may cross the
+        // fork point on the wire.
+        let base = MList::from_iter([9u32]);
+        let mut remote = base.fork();
+        remote.push(1);
+        let _pin = remote.fork();
+        remote.push(2);
+        remote.push(3);
+        assert!(remote.pending_ops() >= 2, "fork point blocked fusion");
+
+        let mut buf = BytesMut::new();
+        remote.encode_log(&mut buf);
+        let mut bytes = buf.freeze();
+        let ops: Vec<sm_ot::list::ListOp<u32>> = Vec::decode(&mut bytes).unwrap();
+        assert_eq!(
+            ops,
+            vec![sm_ot::list::ListOp::InsertRun(1, vec![1, 2, 3])],
+            "contiguous appends cross the wire as one span"
+        );
+
+        // Replaying the compacted log yields the same state as the raw one.
+        let mut buf = BytesMut::new();
+        remote.encode_log(&mut buf);
+        let mut shadow = base.fork();
+        shadow.apply_log(&mut buf.freeze()).unwrap();
+        assert_eq!(shadow.to_vec(), remote.to_vec());
     }
 
     #[test]

@@ -120,6 +120,20 @@ impl<K: Key> Mergeable for MCounterMap<K> {
     fn pending_ops(&self) -> usize {
         self.inner.pending_ops()
     }
+
+    fn history_marks(&self, out: &mut Vec<usize>) {
+        out.push(self.inner.history_len());
+    }
+
+    fn fork_marks(&self, out: &mut Vec<usize>) {
+        out.push(self.inner.fork_base());
+    }
+
+    fn truncate_history(&mut self, watermark: &[usize], cursor: &mut usize) -> usize {
+        let w = watermark.get(*cursor).copied().unwrap_or(0);
+        *cursor += 1;
+        self.inner.truncate_prefix(w)
+    }
 }
 
 #[cfg(test)]

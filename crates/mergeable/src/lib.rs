@@ -92,6 +92,30 @@ pub trait Mergeable: Clone + Send + 'static {
 
     /// Operations recorded locally since creation or fork (diagnostics).
     fn pending_ops(&self) -> usize;
+
+    /// Append, one entry per contained [`Versioned`] log (in a fixed
+    /// structure-traversal order), the current absolute history length.
+    /// Used by the runtime's fork-watermark GC.
+    fn history_marks(&self, out: &mut Vec<usize>) {
+        let _ = out;
+    }
+
+    /// Append, one entry per contained [`Versioned`] log (same traversal
+    /// order as [`Mergeable::history_marks`]), the absolute fork base this
+    /// copy was forked at. For a root structure this is 0 per log.
+    fn fork_marks(&self, out: &mut Vec<usize>) {
+        let _ = out;
+    }
+
+    /// Truncate each contained log's prefix below the matching entry of
+    /// `watermark` (indexed via `cursor`, same traversal order as
+    /// [`Mergeable::history_marks`]). Returns the total number of
+    /// operations dropped. Callers guarantee every live fork of `self` has
+    /// fork bases ≥ the watermark, element-wise.
+    fn truncate_history(&mut self, watermark: &[usize], cursor: &mut usize) -> usize {
+        let _ = (watermark, cursor);
+        0
+    }
 }
 
 /// Unit state: trivially mergeable (tasks that share no data).
@@ -133,6 +157,24 @@ impl<M: Mergeable> Mergeable for Vec<M> {
     fn pending_ops(&self) -> usize {
         self.iter().map(Mergeable::pending_ops).sum()
     }
+
+    fn history_marks(&self, out: &mut Vec<usize>) {
+        for m in self {
+            m.history_marks(out);
+        }
+    }
+
+    fn fork_marks(&self, out: &mut Vec<usize>) {
+        for m in self {
+            m.fork_marks(out);
+        }
+    }
+
+    fn truncate_history(&mut self, watermark: &[usize], cursor: &mut usize) -> usize {
+        self.iter_mut()
+            .map(|m| m.truncate_history(watermark, cursor))
+            .sum()
+    }
 }
 
 macro_rules! impl_mergeable_tuple {
@@ -150,6 +192,18 @@ macro_rules! impl_mergeable_tuple {
 
             fn pending_ops(&self) -> usize {
                 0 $( + self.$idx.pending_ops() )+
+            }
+
+            fn history_marks(&self, out: &mut Vec<usize>) {
+                $( self.$idx.history_marks(out); )+
+            }
+
+            fn fork_marks(&self, out: &mut Vec<usize>) {
+                $( self.$idx.fork_marks(out); )+
+            }
+
+            fn truncate_history(&mut self, watermark: &[usize], cursor: &mut usize) -> usize {
+                0 $( + self.$idx.truncate_history(watermark, cursor) )+
             }
         }
     };
@@ -213,6 +267,22 @@ macro_rules! mergeable_struct {
 
             fn pending_ops(&self) -> usize {
                 0 $( + $crate::Mergeable::pending_ops(&self.$field) )+
+            }
+
+            fn history_marks(&self, out: &mut ::std::vec::Vec<usize>) {
+                $( $crate::Mergeable::history_marks(&self.$field, out); )+
+            }
+
+            fn fork_marks(&self, out: &mut ::std::vec::Vec<usize>) {
+                $( $crate::Mergeable::fork_marks(&self.$field, out); )+
+            }
+
+            fn truncate_history(
+                &mut self,
+                watermark: &[usize],
+                cursor: &mut usize,
+            ) -> usize {
+                0 $( + $crate::Mergeable::truncate_history(&mut self.$field, watermark, cursor) )+
             }
         }
     };

@@ -106,9 +106,11 @@ impl<T: Element> MList<T> {
             "remove index {index} out of range (len {})",
             self.len()
         );
-        let value = self.inner.state()[index].clone();
-        self.inner.record_validated(ListOp::Delete(index));
-        value
+        // Single state access: the removal both mutates and reads the
+        // element, instead of one copy-on-write access to clone it and a
+        // second inside `record`.
+        self.inner
+            .record_with(ListOp::Delete(index), |s| s.remove(index))
     }
 
     /// Overwrite the element at `index`.
@@ -172,6 +174,20 @@ impl<T: Element> Mergeable for MList<T> {
 
     fn pending_ops(&self) -> usize {
         self.inner.pending_ops()
+    }
+
+    fn history_marks(&self, out: &mut Vec<usize>) {
+        out.push(self.inner.history_len());
+    }
+
+    fn fork_marks(&self, out: &mut Vec<usize>) {
+        out.push(self.inner.fork_base());
+    }
+
+    fn truncate_history(&mut self, watermark: &[usize], cursor: &mut usize) -> usize {
+        let w = watermark.get(*cursor).copied().unwrap_or(0);
+        *cursor += 1;
+        self.inner.truncate_prefix(w)
     }
 }
 
@@ -262,13 +278,15 @@ mod tests {
     }
 
     #[test]
-    fn pending_ops_counts() {
+    fn pending_ops_counts_compacted() {
         let mut l = MList::<u8>::new();
         assert_eq!(l.pending_ops(), 0);
         l.push(1);
         l.push(2);
         l.set(0, 3);
-        assert_eq!(l.pending_ops(), 3);
+        // Contiguous appends and the in-run set fuse into one span op.
+        assert_eq!(l.pending_ops(), 1);
+        assert_eq!(l.to_vec(), vec![3, 2]);
         let c = l.fork();
         assert_eq!(c.pending_ops(), 0);
     }

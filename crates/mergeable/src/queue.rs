@@ -78,9 +78,8 @@ impl<T: Element> MQueue<T> {
         if self.is_empty() {
             return None;
         }
-        let value = self.inner.state()[0].clone();
-        self.inner.record_validated(ListOp::Delete(0));
-        Some(value)
+        // Single state access: remove-and-return in one copy-on-write pass.
+        Some(self.inner.record_with(ListOp::Delete(0), |s| s.remove(0)))
     }
 
     /// Iterate front-to-back.
@@ -136,6 +135,20 @@ impl<T: Element> Mergeable for MQueue<T> {
 
     fn pending_ops(&self) -> usize {
         self.inner.pending_ops()
+    }
+
+    fn history_marks(&self, out: &mut Vec<usize>) {
+        out.push(self.inner.history_len());
+    }
+
+    fn fork_marks(&self, out: &mut Vec<usize>) {
+        out.push(self.inner.fork_base());
+    }
+
+    fn truncate_history(&mut self, watermark: &[usize], cursor: &mut usize) -> usize {
+        let w = watermark.get(*cursor).copied().unwrap_or(0);
+        *cursor += 1;
+        self.inner.truncate_prefix(w)
     }
 }
 

@@ -19,10 +19,33 @@
 //! on either side ([`Arc::make_mut`]). [`CopyMode::Deep`] forces the eager
 //! copy the paper's unoptimized prototype performed — kept for the ablation
 //! benchmarks.
+//!
+//! # Log compaction and truncation
+//!
+//! The rebase grid costs O(|committed|·|incoming|) pair transforms, so the
+//! log is kept short three ways:
+//!
+//! 1. **Tail fusion** — [`Versioned::record`] fuses the new operation into
+//!    the log tail ([`sm_ot::Operation::compose`] /
+//!    [`sm_ot::Operation::annihilates`]) whenever no outstanding fork point
+//!    sits at the end of the log (`fuse_barrier`); a fork point between two
+//!    fused operations would otherwise see half an operation.
+//! 2. **Merge-time compaction** — [`Versioned::merge`] compacts read-only
+//!    views of both the committed slice and the child's log
+//!    ([`sm_ot::compose::compact_cow`]) before rebasing; compaction rules
+//!    are rebase-preserving, so the result is unchanged while the grid
+//!    shrinks multiplicatively.
+//! 3. **Prefix truncation** — once every live fork descends from a history
+//!    position ≥ W, the prefix below W can never be rebased against again;
+//!    [`Versioned::truncate_prefix`] drops it and `log_start` keeps indices
+//!    absolute. The runtime drives this with a fork watermark (GC).
 
+use std::borrow::Cow;
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
+use sm_ot::compose::compact_cow;
 use sm_ot::{seq, ApplyError, Operation};
 
 /// How forking copies the underlying state.
@@ -47,6 +70,14 @@ pub struct MergeStats {
     pub applied_ops: usize,
     /// Parent-side operations the child's log was transformed against.
     pub committed_ops: usize,
+    /// Child-side operations after pre-rebase compaction.
+    pub child_ops_compacted: usize,
+    /// Parent-side operations after pre-rebase compaction.
+    pub committed_ops_compacted: usize,
+    /// Transformation-grid size actually paid: the product of the two
+    /// compacted lengths. Compare with `child_ops * committed_ops` for the
+    /// raw grid the merge would have cost without compaction.
+    pub grid_cells: usize,
 }
 
 impl std::ops::AddAssign for MergeStats {
@@ -54,6 +85,9 @@ impl std::ops::AddAssign for MergeStats {
         self.child_ops += rhs.child_ops;
         self.applied_ops += rhs.applied_ops;
         self.committed_ops += rhs.committed_ops;
+        self.child_ops_compacted += rhs.child_ops_compacted;
+        self.committed_ops_compacted += rhs.committed_ops_compacted;
+        self.grid_cells += rhs.grid_cells;
     }
 }
 
@@ -67,6 +101,15 @@ pub enum MergeError {
         fork_base: usize,
         /// The parent's current history length.
         parent_log_len: usize,
+    },
+    /// The child's fork point lies in a history prefix this structure has
+    /// already garbage-collected — the fork watermark advanced past a live
+    /// fork, which the runtime's bookkeeping is supposed to prevent.
+    ForkPointTruncated {
+        /// The child's recorded fork base.
+        fork_base: usize,
+        /// The first history position still retained.
+        log_start: usize,
     },
     /// Composite structures disagree in shape (e.g. `Vec<M>` length drift).
     ShapeMismatch {
@@ -89,6 +132,14 @@ impl fmt::Display for MergeError {
                 "child fork point {fork_base} exceeds parent history length {parent_log_len}; \
                  the child was not forked from this structure"
             ),
+            MergeError::ForkPointTruncated {
+                fork_base,
+                log_start,
+            } => write!(
+                f,
+                "child fork point {fork_base} precedes the retained history start {log_start}; \
+                 the committed-log prefix it needs was garbage-collected"
+            ),
             MergeError::ShapeMismatch { detail } => write!(f, "shape mismatch: {detail}"),
             MergeError::Apply(e) => write!(f, "rebased operation failed to apply: {e}"),
         }
@@ -107,24 +158,45 @@ impl From<ApplyError> for MergeError {
 ///
 /// This is the engine room; the public structures (`MList`, `MQueue`, …)
 /// are thin typed façades over it.
-#[derive(Debug, Clone)]
+///
+/// Log positions are **absolute**: the in-memory `log` holds history
+/// positions `log_start .. log_start + log.len()`; earlier positions were
+/// truncated by [`Versioned::truncate_prefix`] and can never be needed
+/// again once every live fork's base is ≥ `log_start`.
+#[derive(Debug)]
 pub struct Versioned<O: Operation> {
     state: Arc<O::State>,
     log: Vec<O>,
+    /// Absolute history position of `log[0]` (count of truncated ops).
+    log_start: usize,
+    /// Absolute history position this instance was forked at.
     fork_base: usize,
+    /// Highest absolute fork base handed out by [`Versioned::fork`].
+    /// Recording may only fuse into the log tail when the tail operation's
+    /// absolute position is ≥ this barrier — otherwise a live fork point
+    /// would end up *between* two fused operations.
+    fuse_barrier: AtomicUsize,
     mode: CopyMode,
+}
+
+impl<O: Operation> Clone for Versioned<O> {
+    fn clone(&self) -> Self {
+        Versioned {
+            state: Arc::clone(&self.state),
+            log: self.log.clone(),
+            log_start: self.log_start,
+            fork_base: self.fork_base,
+            fuse_barrier: AtomicUsize::new(self.fuse_barrier.load(Ordering::Relaxed)),
+            mode: self.mode,
+        }
+    }
 }
 
 impl<O: Operation> Versioned<O> {
     /// Wrap an initial state. The log starts empty; this instance is a root
     /// (its `fork_base` is 0 and meaningless until it is itself a fork).
     pub fn new(state: O::State) -> Self {
-        Versioned {
-            state: Arc::new(state),
-            log: Vec::new(),
-            fork_base: 0,
-            mode: CopyMode::default(),
-        }
+        Self::with_mode(state, CopyMode::default())
     }
 
     /// Wrap an initial state with an explicit [`CopyMode`].
@@ -132,7 +204,9 @@ impl<O: Operation> Versioned<O> {
         Versioned {
             state: Arc::new(state),
             log: Vec::new(),
+            log_start: 0,
             fork_base: 0,
+            fuse_barrier: AtomicUsize::new(0),
             mode,
         }
     }
@@ -142,17 +216,29 @@ impl<O: Operation> Versioned<O> {
         &self.state
     }
 
-    /// The operations recorded locally (since creation or fork).
+    /// The operations recorded locally and still retained (since creation,
+    /// fork, or the last prefix truncation).
     pub fn log(&self) -> &[O] {
         &self.log
     }
 
-    /// Number of locally recorded operations.
+    /// Number of locally recorded operations still retained. Tail fusion
+    /// makes this a count of *compacted* operations, not of `record` calls.
     pub fn pending_ops(&self) -> usize {
         self.log.len()
     }
 
-    /// The parent-history position this instance was forked at.
+    /// Total absolute history length (truncated prefix + retained log).
+    pub fn history_len(&self) -> usize {
+        self.log_start + self.log.len()
+    }
+
+    /// Absolute history position of the first retained operation.
+    pub fn log_start(&self) -> usize {
+        self.log_start
+    }
+
+    /// The (absolute) parent-history position this instance was forked at.
     pub fn fork_base(&self) -> usize {
         self.fork_base
     }
@@ -162,6 +248,24 @@ impl<O: Operation> Versioned<O> {
         self.mode
     }
 
+    /// Append `op` to the log, fusing or cancelling against the tail when
+    /// the fork barrier allows it. Does not touch the state.
+    fn push_op(&mut self, op: O) {
+        let barrier = self.fuse_barrier.load(Ordering::Relaxed);
+        if !self.log.is_empty() && self.log_start + self.log.len() > barrier {
+            let last = self.log.last().expect("non-empty");
+            if Operation::annihilates(last, &op) {
+                self.log.pop();
+                return;
+            }
+            if let Some(fused) = Operation::compose(last, &op) {
+                *self.log.last_mut().expect("non-empty") = fused;
+                return;
+            }
+        }
+        self.log.push(op);
+    }
+
     /// Apply and record a locally generated operation.
     ///
     /// # Errors
@@ -169,7 +273,7 @@ impl<O: Operation> Versioned<O> {
     /// state is left unchanged and nothing is recorded.
     pub fn record(&mut self, op: O) -> Result<(), ApplyError> {
         op.apply(Arc::make_mut(&mut self.state))?;
-        self.log.push(op);
+        self.push_op(op);
         Ok(())
     }
 
@@ -183,47 +287,100 @@ impl<O: Operation> Versioned<O> {
             .expect("operation was validated against the current state");
     }
 
+    /// Record `op` while performing the state mutation through `mutate`,
+    /// which must have exactly the effect `op.apply` would have. This gives
+    /// façades a single copy-on-write state access for operations that also
+    /// need to *read* the state (e.g. remove-and-return), instead of one
+    /// access to read and a second inside `record`.
+    pub fn record_with<R>(&mut self, op: O, mutate: impl FnOnce(&mut O::State) -> R) -> R {
+        let result = mutate(Arc::make_mut(&mut self.state));
+        self.push_op(op);
+        result
+    }
+
     /// Fork a child copy: same state, empty log, fork point at the current
     /// end of this instance's history. O(1) under copy-on-write.
+    ///
+    /// Forking also raises the fuse barrier: operations recorded here after
+    /// the fork will not fuse across this fork point, so the child can
+    /// always be rebased against an exact suffix of the history.
     #[must_use]
     pub fn fork(&self) -> Self {
         let state = match self.mode {
             CopyMode::CopyOnWrite => Arc::clone(&self.state),
             CopyMode::Deep => Arc::new((*self.state).clone()),
         };
+        let here = self.history_len();
+        self.fuse_barrier.fetch_max(here, Ordering::Relaxed);
         Versioned {
             state,
             log: Vec::new(),
-            fork_base: self.log.len(),
+            log_start: 0,
+            fork_base: here,
+            fuse_barrier: AtomicUsize::new(0),
             mode: self.mode,
         }
     }
 
     /// Merge a forked child back: rebase its log over everything committed
-    /// here since the fork, apply, and append to this history.
+    /// here since the fork, apply, and append to this history. Both sides
+    /// of the rebase are compacted first (read-only; borrowed unchanged
+    /// when already compact), which shrinks the transformation grid without
+    /// changing the outcome.
     ///
     /// Merging never aborts on conflicting operations — that is the OT
     /// guarantee; the error cases are structural misuse only.
     pub fn merge(&mut self, child: &Self) -> Result<MergeStats, MergeError> {
-        if child.fork_base > self.log.len() {
+        if child.fork_base > self.history_len() {
             return Err(MergeError::InvalidForkPoint {
                 fork_base: child.fork_base,
-                parent_log_len: self.log.len(),
+                parent_log_len: self.history_len(),
             });
         }
-        let committed = &self.log[child.fork_base..];
-        let rebased = seq::rebase(&child.log, committed);
+        if child.fork_base < self.log_start {
+            return Err(MergeError::ForkPointTruncated {
+                fork_base: child.fork_base,
+                log_start: self.log_start,
+            });
+        }
+        let (rebased, stats) = {
+            let committed_raw = &self.log[child.fork_base - self.log_start..];
+            let committed: Cow<'_, [O]> = compact_cow(committed_raw);
+            let incoming: Cow<'_, [O]> = compact_cow(&child.log);
+            let rebased = seq::rebase(&incoming, &committed);
+            let stats = MergeStats {
+                child_ops: child.log.len(),
+                applied_ops: rebased.len(),
+                committed_ops: committed_raw.len(),
+                child_ops_compacted: incoming.len(),
+                committed_ops_compacted: committed.len(),
+                grid_cells: incoming.len() * committed.len(),
+            };
+            (rebased, stats)
+        };
         let state = Arc::make_mut(&mut self.state);
         for op in &rebased {
             op.apply(state)?;
         }
-        let stats = MergeStats {
-            child_ops: child.log.len(),
-            applied_ops: rebased.len(),
-            committed_ops: committed.len(),
-        };
-        self.log.extend(rebased);
+        for op in rebased {
+            self.push_op(op);
+        }
         Ok(stats)
+    }
+
+    /// Drop every retained operation below the absolute history position
+    /// `watermark`; returns how many were dropped. Callers must guarantee
+    /// no live fork has a base below `watermark` (the runtime computes the
+    /// minimum over live forks). Positions stay absolute via `log_start`,
+    /// so later merges and forks are byte-identical to the untruncated run.
+    pub fn truncate_prefix(&mut self, watermark: usize) -> usize {
+        let keep_from = watermark.saturating_sub(self.log_start).min(self.log.len());
+        if keep_from == 0 {
+            return 0;
+        }
+        self.log.drain(..keep_from);
+        self.log_start += keep_from;
+        keep_from
     }
 
     /// Whether the state allocation is currently shared with a fork
@@ -257,6 +414,51 @@ mod tests {
     }
 
     #[test]
+    fn contiguous_records_fuse_in_the_log() {
+        let mut v = V::new(vec![]);
+        for i in 0..10 {
+            v.record(ListOp::Insert(i as usize, i)).unwrap();
+        }
+        assert_eq!(v.state().len(), 10);
+        assert_eq!(v.pending_ops(), 1, "contiguous appends fuse to one run");
+        assert_eq!(v.history_len(), 1);
+    }
+
+    #[test]
+    fn insert_then_delete_annihilates_in_the_log() {
+        let mut v = V::new(vec![1, 2]);
+        v.record(ListOp::Insert(1, 9)).unwrap();
+        v.record(ListOp::Delete(1)).unwrap();
+        assert_eq!(v.state(), &vec![1, 2]);
+        assert_eq!(v.pending_ops(), 0);
+    }
+
+    #[test]
+    fn fork_barrier_blocks_fusion_across_fork_points() {
+        let mut v = V::new(vec![]);
+        v.record(ListOp::Insert(0, 1)).unwrap();
+        let mut child = v.fork(); // fork point at history position 1
+        v.record(ListOp::Insert(1, 2)).unwrap();
+        assert_eq!(
+            v.pending_ops(),
+            2,
+            "append after the fork must not fuse across the fork point"
+        );
+        child.record(ListOp::Insert(1, 3)).unwrap();
+        v.merge(&child).unwrap();
+        assert_eq!(v.state(), &vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn record_with_mutates_once_and_logs() {
+        let mut v = V::new(vec![10, 20, 30]);
+        let removed = v.record_with(ListOp::Delete(1), |s| s.remove(1));
+        assert_eq!(removed, 20);
+        assert_eq!(v.state(), &vec![10, 30]);
+        assert_eq!(v.pending_ops(), 1);
+    }
+
+    #[test]
     fn fork_and_merge_disjoint_edits() {
         let mut parent = V::new(vec![1, 2, 3]);
         let mut child = parent.fork();
@@ -270,6 +472,9 @@ mod tests {
         assert_eq!(stats.child_ops, 1);
         assert_eq!(stats.applied_ops, 1);
         assert_eq!(stats.committed_ops, 1);
+        assert_eq!(stats.child_ops_compacted, 1);
+        assert_eq!(stats.committed_ops_compacted, 1);
+        assert_eq!(stats.grid_cells, 1);
     }
 
     #[test]
@@ -343,6 +548,45 @@ mod tests {
                 parent_log_len: 0
             }
         ));
+    }
+
+    #[test]
+    fn truncated_fork_point_rejected() {
+        let mut parent = V::new(vec![]);
+        let mut child = parent.fork(); // fork_base = 0
+        child.record(ListOp::Insert(0, 1)).unwrap();
+        parent.record(ListOp::Insert(0, 2)).unwrap();
+        parent.record(ListOp::Set(0, 3)).unwrap();
+        assert_eq!(parent.truncate_prefix(parent.history_len()), 1);
+        let err = parent.merge(&child).unwrap_err();
+        assert!(matches!(
+            err,
+            MergeError::ForkPointTruncated {
+                fork_base: 0,
+                log_start: 1
+            }
+        ));
+    }
+
+    #[test]
+    fn truncation_is_transparent_to_later_merges() {
+        // Two parents with identical histories; one truncates the prefix
+        // below the live fork's base. Subsequent merges must be identical.
+        let build = |truncate: bool| {
+            let mut parent = V::new(vec![]);
+            parent.record(ListOp::Insert(0, 1)).unwrap();
+            parent.record(ListOp::Insert(0, 2)).unwrap();
+            let mut child = parent.fork(); // fork_base = history_len()
+            if truncate {
+                let dropped = parent.truncate_prefix(child.fork_base());
+                assert!(dropped > 0);
+            }
+            child.record(ListOp::Insert(0, 3)).unwrap();
+            parent.record(ListOp::Insert(0, 4)).unwrap();
+            parent.merge(&child).unwrap();
+            parent.state().clone()
+        };
+        assert_eq!(build(false), build(true));
     }
 
     #[test]

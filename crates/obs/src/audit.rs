@@ -125,12 +125,14 @@ fn projection(event: &ObsEvent) -> Option<u64> {
         EventKind::Mark { label } => {
             h = fnv_step(h, label.as_bytes());
         }
-        // Pool churn and wire traffic vary run to run (keep-alive timing,
-        // socket batching) without affecting merged results: excluded.
+        // Pool churn, wire traffic, and history GC vary run to run
+        // (keep-alive timing, socket batching, when children happen to be
+        // live) without affecting merged results: excluded.
         EventKind::WorkerStarted { .. }
         | EventKind::WorkerRetired { .. }
         | EventKind::WireSent { .. }
-        | EventKind::WireReceived { .. } => return None,
+        | EventKind::WireReceived { .. }
+        | EventKind::LogTruncated { .. } => return None,
     }
     Some(h)
 }
@@ -166,6 +168,7 @@ mod tests {
                 child_ops,
                 applied_ops: child_ops,
                 committed_ops: 0,
+                ..Default::default()
             },
             oplog_len: child_ops,
             merge_nanos: 1,

@@ -197,6 +197,14 @@ impl ChromeTracer {
                 EventKind::Mark { label } => {
                     out.push(instant(PID_TASKS, tid, label, ts));
                 }
+                EventKind::LogTruncated { dropped } => {
+                    out.push(instant(
+                        PID_TASKS,
+                        tid,
+                        &format!("log gc -{dropped} ops"),
+                        ts,
+                    ));
+                }
                 EventKind::MergeStarted { .. } | EventKind::SyncBlocked => {}
             }
         }
@@ -299,6 +307,7 @@ mod tests {
                     child_ops: 3,
                     applied_ops: 3,
                     committed_ops: 0,
+                    ..Default::default()
                 },
                 oplog_len: 3,
                 merge_nanos: 2000,

@@ -104,6 +104,13 @@ pub struct MergeOpStats {
     pub applied_ops: usize,
     /// Committed-log operations the child ops were transformed against.
     pub committed_ops: usize,
+    /// Child operations after pre-rebase span compaction.
+    pub child_ops_compacted: usize,
+    /// Committed operations after pre-rebase span compaction.
+    pub committed_ops_compacted: usize,
+    /// Transformation-grid cells actually paid (product of the compacted
+    /// lengths); compare with `child_ops * committed_ops`.
+    pub grid_cells: usize,
 }
 
 /// One runtime lifecycle transition.
@@ -167,6 +174,11 @@ pub enum EventKind {
     WorkerStarted { worker: u64 },
     /// A pool worker retired after its keep-alive expired.
     WorkerRetired { worker: u64 },
+    /// The fork-watermark GC truncated `dropped` operations from the
+    /// committed-log prefix no live fork can rebase against anymore.
+    /// Timing-dependent (children finish at different moments across
+    /// runs), so the determinism auditor ignores it.
+    LogTruncated { dropped: usize },
     /// A distributed-runtime wire message was sent to `node`.
     WireSent { node: usize, bytes: usize },
     /// A distributed-runtime wire message arrived from `node`.
@@ -191,6 +203,7 @@ impl EventKind {
             EventKind::CloneCreated { .. } => "clone_created",
             EventKind::WorkerStarted { .. } => "worker_started",
             EventKind::WorkerRetired { .. } => "worker_retired",
+            EventKind::LogTruncated { .. } => "log_truncated",
             EventKind::WireSent { .. } => "wire_sent",
             EventKind::WireReceived { .. } => "wire_received",
             EventKind::Mark { .. } => "mark",

@@ -147,6 +147,19 @@ pub struct MetricsSnapshot {
     pub ops_child_total: u64,
     /// Sum of ops actually applied after transformation.
     pub ops_applied_total: u64,
+    /// Sum of child ops after pre-rebase compaction.
+    pub ops_child_compacted_total: u64,
+    /// Sum of committed ops the merges transformed against (raw).
+    pub ops_committed_total: u64,
+    /// Sum of committed ops after pre-rebase compaction.
+    pub ops_committed_compacted_total: u64,
+    /// Sum of transformation-grid cells actually paid.
+    pub grid_cells_total: u64,
+    // -- history GC ----------------------------------------------------
+    /// Fork-watermark GC runs that dropped at least one operation.
+    pub log_truncations: u64,
+    /// Total committed-log operations dropped by the GC.
+    pub log_truncated_ops: u64,
     // -- syncs ---------------------------------------------------------
     pub syncs: u64,
     pub syncs_rejected: u64,
@@ -189,6 +202,10 @@ impl MetricsSnapshot {
                 self.merges_finished += 1;
                 self.ops_child_total += ops.child_ops as u64;
                 self.ops_applied_total += ops.applied_ops as u64;
+                self.ops_child_compacted_total += ops.child_ops_compacted as u64;
+                self.ops_committed_total += ops.committed_ops as u64;
+                self.ops_committed_compacted_total += ops.committed_ops_compacted as u64;
+                self.grid_cells_total += ops.grid_cells as u64;
                 self.merge_latency_nanos.observe(*merge_nanos);
                 self.merge_child_ops.observe(ops.child_ops as u64);
                 self.oplog_len.observe(*oplog_len as u64);
@@ -222,6 +239,10 @@ impl MetricsSnapshot {
                 self.wire_recv_msgs += 1;
                 self.wire_recv_bytes += *bytes as u64;
             }
+            EventKind::LogTruncated { dropped } => {
+                self.log_truncations += 1;
+                self.log_truncated_ops += *dropped as u64;
+            }
             EventKind::Mark { .. } => self.marks += 1,
         }
     }
@@ -246,6 +267,23 @@ impl MetricsSnapshot {
                     ("rejected", Json::from(self.merges_rejected)),
                     ("ops_child_total", Json::from(self.ops_child_total)),
                     ("ops_applied_total", Json::from(self.ops_applied_total)),
+                    (
+                        "ops_child_compacted_total",
+                        Json::from(self.ops_child_compacted_total),
+                    ),
+                    ("ops_committed_total", Json::from(self.ops_committed_total)),
+                    (
+                        "ops_committed_compacted_total",
+                        Json::from(self.ops_committed_compacted_total),
+                    ),
+                    ("grid_cells_total", Json::from(self.grid_cells_total)),
+                ]),
+            ),
+            (
+                "gc",
+                Json::obj([
+                    ("log_truncations", Json::from(self.log_truncations)),
+                    ("log_truncated_ops", Json::from(self.log_truncated_ops)),
                 ]),
             ),
             (
@@ -290,7 +328,7 @@ impl MetricsSnapshot {
     /// Render in the Prometheus text exposition format.
     pub fn prometheus_text(&self) -> String {
         let mut out = String::new();
-        let counters: [(&str, u64); 19] = [
+        let counters: [(&str, u64); 25] = [
             ("sm_tasks_spawned_total", self.tasks_spawned),
             ("sm_tasks_completed_total", self.tasks_completed),
             ("sm_tasks_aborted_total", self.tasks_aborted),
@@ -300,6 +338,18 @@ impl MetricsSnapshot {
             ("sm_merges_rejected_total", self.merges_rejected),
             ("sm_merge_ops_child_total", self.ops_child_total),
             ("sm_merge_ops_applied_total", self.ops_applied_total),
+            (
+                "sm_merge_ops_child_compacted_total",
+                self.ops_child_compacted_total,
+            ),
+            ("sm_merge_ops_committed_total", self.ops_committed_total),
+            (
+                "sm_merge_ops_committed_compacted_total",
+                self.ops_committed_compacted_total,
+            ),
+            ("sm_merge_grid_cells_total", self.grid_cells_total),
+            ("sm_log_truncations_total", self.log_truncations),
+            ("sm_log_truncated_ops_total", self.log_truncated_ops),
             ("sm_syncs_total", self.syncs),
             ("sm_syncs_rejected_total", self.syncs_rejected),
             ("sm_pool_workers_started_total", self.workers_started),
@@ -429,6 +479,9 @@ mod tests {
                 child_ops: 10,
                 applied_ops: 8,
                 committed_ops: 4,
+                child_ops_compacted: 2,
+                committed_ops_compacted: 1,
+                grid_cells: 2,
             },
             oplog_len: 18,
             merge_nanos: 1234,

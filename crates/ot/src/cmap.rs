@@ -51,6 +51,21 @@ impl<K: Key> Operation for CounterMapOp<K> {
         // Additions commute: nothing to rewrite, nothing ever lost.
         Transformed::One(self.clone())
     }
+
+    fn compose(&self, next: &Self) -> Option<Self> {
+        if self.key == next.key {
+            Some(CounterMapOp::add(
+                self.key.clone(),
+                self.delta.wrapping_add(next.delta),
+            ))
+        } else {
+            None
+        }
+    }
+
+    fn annihilates(&self, next: &Self) -> bool {
+        self.key == next.key && self.delta.wrapping_add(next.delta) == 0
+    }
 }
 
 #[cfg(test)]

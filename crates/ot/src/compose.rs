@@ -4,35 +4,63 @@
 //! functions". Because the rebase in [`crate::seq`] costs
 //! O(|committed|·|incoming|) pair transforms, shrinking either log shrinks
 //! the merge superlinearly. This module provides a peephole compactor: an
-//! adjacent pair of operations is fused into one when that is
-//! behaviour-preserving on *every* state (e.g. two counter increments, two
-//! writes to the same register, two adjacent text inserts).
+//! adjacent pair of operations is fused into one — or dropped entirely when
+//! the pair cancels out — when that is behaviour-preserving on *every*
+//! state (e.g. two counter increments, two writes to the same register, a
+//! contiguous run of list appends, an element inserted and deleted again).
 //!
-//! Compaction is only safe on a **self-contained** log — one no other log's
-//! `fork_base` points into. The Spawn & Merge runtime therefore compacts
-//! only the *child's* log right before a merge (a child's log is private to
-//! it); parent histories are never compacted in place.
+//! The per-algebra fusion rules live with their algebras as
+//! [`Operation::compose`] / [`Operation::annihilates`]; every rule is also
+//! required to be **rebase-preserving**: transforming a concurrent
+//! operation against the compacted log must be state-equivalent to
+//! transforming it against the original log. That is what lets the merge
+//! path compact *both* sides of a rebase — the child's private log and the
+//! read-only view of the parent's committed slice — and lets
+//! `sm_mergeable::Versioned` fuse into its log tail as operations are
+//! recorded (guarded by a fork barrier so no outstanding fork point ever
+//! lands *between* two fused operations). The cross-algebra property suite
+//! in the workspace `tests/` directory exercises the equivalence on
+//! randomized logs.
 
-use crate::counter::CounterOp;
+use std::borrow::Cow;
+
 use crate::list::{Element, ListOp};
-use crate::map::{Key, MapOp, Value as MapValue};
-use crate::register::{RegisterOp, Value as RegValue};
-use crate::set::{Element as SetElement, SetOp};
-use crate::text::TextOp;
-use crate::tree::TreeOp;
+use crate::Operation;
 
 /// Algebras whose adjacent operations can sometimes be fused.
+///
+/// Blanket-implemented for every [`Operation`] by delegating to
+/// [`Operation::compose`] / [`Operation::annihilates`]; kept as a separate
+/// trait so compaction helpers can be written against the minimal surface.
 pub trait Compose: Sized {
     /// Try to fuse `first; second` (applied in that order) into a single
     /// equivalent operation. `None` means the pair must stay as-is.
     /// Implementations must be *state-independent*: the fusion has to be
     /// valid on every state both originals would apply to.
     fn compose(first: &Self, second: &Self) -> Option<Self>;
+
+    /// True when `first; second` cancel out entirely and both can be
+    /// dropped from the log.
+    fn annihilates(first: &Self, second: &Self) -> bool {
+        let _ = (first, second);
+        false
+    }
 }
 
-/// Compact a log by repeatedly fusing adjacent pairs. O(n) amortized per
-/// pass; runs passes until a fixpoint. The result applies to the same base
-/// state and produces the same final state as the input.
+impl<O: Operation> Compose for O {
+    fn compose(first: &Self, second: &Self) -> Option<Self> {
+        Operation::compose(first, second)
+    }
+
+    fn annihilates(first: &Self, second: &Self) -> bool {
+        Operation::annihilates(first, second)
+    }
+}
+
+/// Compact a log by repeatedly fusing (and cancelling) adjacent pairs.
+/// O(n) amortized per pass; runs passes until a fixpoint. The result
+/// applies to the same base state and produces the same final state as the
+/// input.
 pub fn compact<O: Compose + Clone>(ops: &[O]) -> Vec<O> {
     let mut cur: Vec<O> = ops.to_vec();
     loop {
@@ -40,6 +68,11 @@ pub fn compact<O: Compose + Clone>(ops: &[O]) -> Vec<O> {
         let mut fused = false;
         for op in cur.drain(..) {
             if let Some(last) = out.last() {
+                if Compose::annihilates(last, &op) {
+                    out.pop();
+                    fused = true;
+                    continue;
+                }
                 if let Some(f) = Compose::compose(last, &op) {
                     *out.last_mut().expect("non-empty") = f;
                     fused = true;
@@ -55,158 +88,52 @@ pub fn compact<O: Compose + Clone>(ops: &[O]) -> Vec<O> {
     }
 }
 
-impl Compose for CounterOp {
-    fn compose(first: &Self, second: &Self) -> Option<Self> {
-        Some(CounterOp::add(first.delta.wrapping_add(second.delta)))
+/// True when [`compact`] would change `ops` — a single adjacent-pair scan,
+/// allocation-free.
+pub fn needs_compaction<O: Compose>(ops: &[O]) -> bool {
+    ops.windows(2)
+        .any(|w| Compose::annihilates(&w[0], &w[1]) || Compose::compose(&w[0], &w[1]).is_some())
+}
+
+/// Compact a log without copying when there is nothing to fuse — the common
+/// case for already-compacted logs in the merge hot path.
+pub fn compact_cow<O: Compose + Clone>(ops: &[O]) -> Cow<'_, [O]> {
+    if needs_compaction(ops) {
+        Cow::Owned(compact(ops))
+    } else {
+        Cow::Borrowed(ops)
     }
 }
 
-impl<T: RegValue> Compose for RegisterOp<T> {
-    fn compose(_first: &Self, second: &Self) -> Option<Self> {
-        // The second write fully shadows the first.
-        Some(second.clone())
-    }
-}
-
-impl<K: Key, V: MapValue> Compose for MapOp<K, V> {
-    fn compose(first: &Self, second: &Self) -> Option<Self> {
-        if first.key() == second.key() {
-            // Put/Remove under the same key: the second shadows the first.
-            Some(second.clone())
-        } else {
-            None
-        }
-    }
-}
-
-impl<T: SetElement> Compose for SetOp<T> {
-    fn compose(first: &Self, second: &Self) -> Option<Self> {
-        if first.element() == second.element() {
-            Some(second.clone())
-        } else {
-            None
-        }
-    }
-}
-
-impl<T: Element> Compose for ListOp<T> {
-    fn compose(first: &Self, second: &Self) -> Option<Self> {
-        use ListOp::*;
-        match (first, second) {
-            // Two writes to the same slot: the second wins.
-            (Set(i, _), Set(j, v)) if i == j => Some(Set(*i, v.clone())),
-            // Insert then overwrite of the inserted slot: insert the final
-            // value directly.
-            (Insert(i, _), Set(j, v)) if i == j => Some(Insert(*i, v.clone())),
-            // Insert then delete of the same slot cancels out entirely —
-            // represented by fusing into a Set of... nothing; there is no
-            // identity op in the algebra, so we cannot fuse (returning None
-            // keeps the pair). Handled by `compact_list` below instead.
-            _ => None,
-        }
-    }
-}
-
-impl Compose for TextOp {
-    fn compose(first: &Self, second: &Self) -> Option<Self> {
-        use TextOp::*;
-        match (first, second) {
-            // "ab" inserted at p, then "cd" inserted right at its end (or
-            // anywhere inside it): one bigger insert.
-            (Insert { pos: p1, text: t1 }, Insert { pos: p2, text: t2 }) => {
-                let l1 = t1.chars().count();
-                if *p2 >= *p1 && *p2 <= p1 + l1 {
-                    let mut s = String::with_capacity(t1.len() + t2.len());
-                    let split_at_char = p2 - p1;
-                    let mut consumed = 0;
-                    for (count, (byte, _)) in t1.char_indices().enumerate() {
-                        if count == split_at_char {
-                            consumed = byte;
-                            break;
-                        }
-                        consumed = t1.len();
-                    }
-                    if split_at_char == 0 {
-                        consumed = 0;
-                    }
-                    s.push_str(&t1[..consumed]);
-                    s.push_str(t2);
-                    s.push_str(&t1[consumed..]);
-                    Some(Insert { pos: *p1, text: s })
-                } else {
-                    None
-                }
-            }
-            // Delete at p, then another delete starting at the same spot:
-            // one bigger delete (text slid left under the cursor).
-            (Delete { pos: p1, len: l1 }, Delete { pos: p2, len: l2 }) => {
-                if *p2 == *p1 {
-                    Some(Delete {
-                        pos: *p1,
-                        len: l1 + l2,
-                    })
-                } else if p2 + l2 == *p1 {
-                    // Backwards deletion (backspace style).
-                    Some(Delete {
-                        pos: *p2,
-                        len: l1 + l2,
-                    })
-                } else {
-                    None
-                }
-            }
-            _ => None,
-        }
-    }
-}
-
-impl<V: crate::tree::Value> Compose for TreeOp<V> {
-    fn compose(first: &Self, second: &Self) -> Option<Self> {
-        use TreeOp::*;
-        match (first, second) {
-            (SetValue { path: p1, .. }, SetValue { path: p2, value }) if p1 == p2 => {
-                Some(SetValue {
-                    path: p1.clone(),
-                    value: value.clone(),
-                })
-            }
-            _ => None,
-        }
-    }
-}
-
-/// Extra list-specific pass: cancel `Insert(i, _)` immediately followed by
-/// `Delete(i)` (an element created and destroyed with nothing in between).
+/// List-log compaction. Historically this added the insert/delete
+/// cancellation pass on top of [`compact`]; cancellation now lives in the
+/// algebra ([`Operation::annihilates`]), so this is plain [`compact`] —
+/// kept for callers that want the list-specific name.
 pub fn compact_list<T: Element>(ops: &[ListOp<T>]) -> Vec<ListOp<T>> {
-    let mut out: Vec<ListOp<T>> = Vec::with_capacity(ops.len());
-    for op in ops {
-        if let (Some(ListOp::Insert(i, _)), ListOp::Delete(j)) = (out.last(), op) {
-            if i == j {
-                out.pop();
-                continue;
-            }
-        }
-        if let Some(last) = out.last() {
-            if let Some(f) = Compose::compose(last, op) {
-                *out.last_mut().expect("non-empty") = f;
-                continue;
-            }
-        }
-        out.push(op.clone());
-    }
-    out
+    compact(ops)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::apply_all;
+    use crate::counter::CounterOp;
+    use crate::map::MapOp;
+    use crate::register::RegisterOp;
+    use crate::text::TextOp;
+    use crate::tree::TreeOp;
 
     #[test]
     fn counter_adds_fuse_to_one() {
         let ops: Vec<CounterOp> = (1..=10).map(CounterOp::add).collect();
         let c = compact(&ops);
         assert_eq!(c, vec![CounterOp::add(55)]);
+    }
+
+    #[test]
+    fn counter_cancelling_adds_annihilate() {
+        let ops = vec![CounterOp::add(7), CounterOp::add(-7)];
+        assert!(compact(&ops).is_empty());
     }
 
     #[test]
@@ -274,6 +201,15 @@ mod tests {
     }
 
     #[test]
+    fn text_typed_then_deleted_cancels() {
+        let ops = vec![TextOp::insert(4, "oops"), TextOp::delete(4, 4)];
+        assert!(compact(&ops).is_empty());
+        // Partial deletion inside the insert shrinks it instead.
+        let ops = vec![TextOp::insert(4, "oops"), TextOp::delete(5, 2)];
+        assert_eq!(compact(&ops), vec![TextOp::insert(4, "os")]);
+    }
+
+    #[test]
     fn text_compaction_preserves_semantics() {
         let base = "abcdefgh".to_string();
         let ops = vec![
@@ -301,6 +237,15 @@ mod tests {
     fn list_insert_then_set_fuses() {
         let ops = vec![ListOp::Insert(1, 'a'), ListOp::Set(1, 'b')];
         assert_eq!(compact(&ops), vec![ListOp::Insert(1, 'b')]);
+    }
+
+    #[test]
+    fn list_contiguous_appends_fuse_to_run() {
+        let ops: Vec<ListOp<u32>> = (0..5).map(|i| ListOp::Insert(i, i as u32)).collect();
+        assert_eq!(
+            compact(&ops),
+            vec![ListOp::InsertRun(0, vec![0, 1, 2, 3, 4])]
+        );
     }
 
     #[test]
@@ -351,5 +296,16 @@ mod tests {
     fn empty_log_compacts_to_empty() {
         let c: Vec<CounterOp> = compact(&[]);
         assert!(c.is_empty());
+    }
+
+    #[test]
+    fn cow_borrows_when_nothing_fuses() {
+        let ops = vec![TextOp::insert(0, "a"), TextOp::delete(5, 1)];
+        assert!(matches!(compact_cow(&ops), Cow::Borrowed(_)));
+        let ops = vec![TextOp::insert(0, "a"), TextOp::insert(1, "b")];
+        match compact_cow(&ops) {
+            Cow::Owned(v) => assert_eq!(v, vec![TextOp::insert(0, "ab")]),
+            Cow::Borrowed(_) => panic!("adjacent inserts must compact"),
+        }
     }
 }

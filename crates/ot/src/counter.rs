@@ -34,6 +34,14 @@ impl Operation for CounterOp {
     fn transform(&self, _against: &Self, _side: Side) -> Transformed<Self> {
         Transformed::One(*self)
     }
+
+    fn compose(&self, next: &Self) -> Option<Self> {
+        Some(CounterOp::add(self.delta.wrapping_add(next.delta)))
+    }
+
+    fn annihilates(&self, next: &Self) -> bool {
+        self.delta.wrapping_add(next.delta) == 0
+    }
 }
 
 #[cfg(test)]

@@ -55,6 +55,8 @@ impl<T: Element> Invertible for ListOp<T> {
             ListOp::Insert(i, _) => ListOp::Delete(*i),
             ListOp::Delete(i) => ListOp::Insert(*i, state_before[*i].clone()),
             ListOp::Set(i, _) => ListOp::Set(*i, state_before[*i].clone()),
+            ListOp::InsertRun(i, vs) => ListOp::DeleteRange(*i, vs.len()),
+            ListOp::DeleteRange(i, n) => ListOp::InsertRun(*i, state_before[*i..*i + *n].to_vec()),
         }
     }
 }
@@ -160,6 +162,18 @@ mod tests {
                 ListOp::Delete(2),
                 ListOp::Set(0, 7),
                 ListOp::Delete(0),
+            ],
+        );
+    }
+
+    #[test]
+    fn list_span_undo() {
+        undo_roundtrip(
+            vec![1u8, 2, 3, 4, 5],
+            vec![
+                ListOp::InsertRun(1, vec![8, 9]),
+                ListOp::DeleteRange(0, 3),
+                ListOp::InsertRun(2, vec![6]),
             ],
         );
     }

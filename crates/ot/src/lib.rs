@@ -177,6 +177,27 @@ pub trait Operation: Clone + Send + Sync + fmt::Debug + 'static {
     /// `against`) so it can be applied *after* `against`, preserving its
     /// intention. `side` is the side `self` is on (see [`Side`]).
     fn transform(&self, against: &Self, side: Side) -> Transformed<Self>;
+
+    /// Try to fuse `self; next` (applied in that order) into one equivalent
+    /// operation, for log compaction. `None` keeps the pair as-is.
+    ///
+    /// Implementations must be *state-independent* (valid on every state the
+    /// pair applies to) **and rebase-preserving**: transforming a concurrent
+    /// operation against the fused op must be state-equivalent to
+    /// transforming it against the original pair. The property suites in
+    /// `tests/` exercise this against randomized logs.
+    fn compose(&self, next: &Self) -> Option<Self> {
+        let _ = next;
+        None
+    }
+
+    /// True when `self; next` cancel out entirely (e.g. a list insert
+    /// immediately deleted again). The compactor drops both; the same
+    /// rebase-preservation requirement as [`Operation::compose`] applies.
+    fn annihilates(&self, next: &Self) -> bool {
+        let _ = next;
+        false
+    }
 }
 
 /// Apply a sequence of operations to a state, failing fast.

@@ -1,13 +1,23 @@
 //! OT algebra for **lists** — the paper's running example data structure
 //! (`ins(0,obj)`, `del(1)`, Figures 1 and 2).
 //!
-//! State is `Vec<T>`; operations are index-addressed insert / delete / set.
-//! The transformation functions below implement classic Ellis & Gibbs-style
-//! index shifting with the Spawn & Merge tie-break rule: on an equal-index
-//! insert/insert conflict the committed ([`Side::Left`]) operation keeps its
-//! position; on an equal-index set/set conflict the *incoming* operation
-//! wins (last-merged-wins), which keeps TP1 intact because exactly one of
-//! the pair survives.
+//! State is `Vec<T>`; operations are index-addressed insert / delete / set
+//! plus their **span** forms [`ListOp::InsertRun`] / [`ListOp::DeleteRange`],
+//! which carry a whole contiguous run in one operation. The transformation
+//! functions below implement classic Ellis & Gibbs-style index shifting
+//! generalized to spans (the same interval arithmetic as the text algebra),
+//! with the Spawn & Merge tie-break rule: on an equal-index insert/insert
+//! conflict the committed ([`Side::Left`]) operation keeps its position; on
+//! an equal-index set/set conflict the *incoming* operation wins
+//! (last-merged-wins), which keeps TP1 intact because exactly one of the
+//! pair survives.
+//!
+//! Span operations exist for merge cost: a child that appended 500 elements
+//! rebases as **one** `InsertRun` instead of 500 `Insert`s, collapsing the
+//! O(|committed|·|incoming|) transformation grid (see
+//! [`crate::compose::compact`]). A `DeleteRange` interleaved by a concurrent
+//! insert splits into two ranges ([`Transformed::Two`]) so the concurrently
+//! inserted element survives — the algebra is therefore no longer scalar.
 
 use crate::{ApplyError, Operation, Side, Transformed};
 
@@ -24,13 +34,23 @@ pub enum ListOp<T> {
     Delete(usize),
     /// Replace the element at the given index.
     Set(usize, T),
+    /// Insert a contiguous run of elements starting at the given index
+    /// (`0 ≤ i ≤ len`): the span form of [`ListOp::Insert`].
+    InsertRun(usize, Vec<T>),
+    /// Delete the `len` contiguous elements starting at the given index:
+    /// the span form of [`ListOp::Delete`].
+    DeleteRange(usize, usize),
 }
 
 impl<T: Element> ListOp<T> {
     /// The index the operation targets.
     pub fn index(&self) -> usize {
         match self {
-            ListOp::Insert(i, _) | ListOp::Delete(i) | ListOp::Set(i, _) => *i,
+            ListOp::Insert(i, _)
+            | ListOp::Delete(i)
+            | ListOp::Set(i, _)
+            | ListOp::InsertRun(i, _)
+            | ListOp::DeleteRange(i, _) => *i,
         }
     }
 
@@ -40,14 +60,71 @@ impl<T: Element> ListOp<T> {
             ListOp::Insert(_, v) => ListOp::Insert(i, v.clone()),
             ListOp::Delete(_) => ListOp::Delete(i),
             ListOp::Set(_, v) => ListOp::Set(i, v.clone()),
+            ListOp::InsertRun(_, vs) => ListOp::InsertRun(i, vs.clone()),
+            ListOp::DeleteRange(_, n) => ListOp::DeleteRange(i, *n),
         }
+    }
+
+    /// `(start, len)` of the inserted span, for both insert forms.
+    fn ins_span(&self) -> Option<(usize, usize)> {
+        match self {
+            ListOp::Insert(i, _) => Some((*i, 1)),
+            ListOp::InsertRun(i, vs) => Some((*i, vs.len())),
+            _ => None,
+        }
+    }
+
+    /// `(start, len)` of the deleted span, for both delete forms.
+    fn del_span(&self) -> Option<(usize, usize)> {
+        match self {
+            ListOp::Delete(i) => Some((*i, 1)),
+            ListOp::DeleteRange(i, n) => Some((*i, *n)),
+            _ => None,
+        }
+    }
+
+    /// The inserted elements as an owned run (insert forms only).
+    fn ins_payload(&self) -> Vec<T> {
+        match self {
+            ListOp::Insert(_, v) => vec![v.clone()],
+            ListOp::InsertRun(_, vs) => vs.clone(),
+            _ => unreachable!("ins_payload on a non-insert"),
+        }
+    }
+
+    /// Canonical insert for a run: plain `Insert` when the run is a single
+    /// element.
+    fn ins_from(i: usize, mut vs: Vec<T>) -> Self {
+        if vs.len() == 1 {
+            ListOp::Insert(i, vs.pop().expect("len checked"))
+        } else {
+            ListOp::InsertRun(i, vs)
+        }
+    }
+
+    /// Canonical delete for a span: plain `Delete` when the span is a single
+    /// element.
+    fn del_from(i: usize, n: usize) -> Self {
+        if n == 1 {
+            ListOp::Delete(i)
+        } else {
+            ListOp::DeleteRange(i, n)
+        }
+    }
+
+    /// True for span forms that touch nothing (empty run / zero-length
+    /// range); they apply as nothing and transform to nothing.
+    fn is_noop(&self) -> bool {
+        matches!(self, ListOp::InsertRun(_, vs) if vs.is_empty())
+            || matches!(self, ListOp::DeleteRange(_, 0))
     }
 }
 
 impl<T: Element> Operation for ListOp<T> {
     type State = Vec<T>;
 
-    const SCALAR: bool = true;
+    // `DeleteRange` splits around a concurrent interleaving insert.
+    const SCALAR: bool = false;
 
     fn apply(&self, state: &mut Vec<T>) -> Result<(), ApplyError> {
         match self {
@@ -78,84 +155,187 @@ impl<T: Element> Operation for ListOp<T> {
                 }
                 state[*i] = v.clone();
             }
+            ListOp::InsertRun(i, vs) => {
+                if *i > state.len() {
+                    return Err(ApplyError::new(format!(
+                        "insert-run index {i} out of range (len {})",
+                        state.len()
+                    )));
+                }
+                state.splice(*i..*i, vs.iter().cloned());
+            }
+            ListOp::DeleteRange(i, n) => {
+                if i + n > state.len() {
+                    return Err(ApplyError::new(format!(
+                        "delete range {i}+{n} out of range (len {})",
+                        state.len()
+                    )));
+                }
+                state.drain(*i..i + n);
+            }
         }
         Ok(())
     }
 
     fn transform(&self, against: &Self, side: Side) -> Transformed<Self> {
-        use ListOp::*;
+        if self.is_noop() {
+            return Transformed::None;
+        }
+        if against.is_noop() {
+            return Transformed::One(self.clone());
+        }
         let i = self.index();
-        match (self, against) {
-            // --- self is an Insert -------------------------------------
-            (Insert(..), Insert(j, _)) => {
+        let j = against.index();
+
+        if let Some((_, t)) = against.ins_span() {
+            // `against` inserts `t` elements at `j`.
+            if let Some((_, n)) = self.del_span() {
+                return if j <= i {
+                    Transformed::One(self.with_index(i + t))
+                } else if j >= i + n {
+                    Transformed::One(self.clone())
+                } else {
+                    // Insert interleaves our range: split around it so the
+                    // concurrently inserted elements survive.
+                    Transformed::Two(Self::del_from(i, j - i), Self::del_from(i + t, n - (j - i)))
+                };
+            }
+            if self.ins_span().is_some() {
                 // The other insert shifts us right if it lands strictly
                 // before us, or at the same index when we lose the tie.
-                if *j < i || (*j == i && side == Side::Right) {
-                    Transformed::One(self.with_index(i + 1))
+                return if j < i || (j == i && side == Side::Right) {
+                    Transformed::One(self.with_index(i + t))
                 } else {
                     Transformed::One(self.clone())
-                }
+                };
             }
-            (Insert(..), Delete(j)) => {
-                if *j < i {
-                    Transformed::One(self.with_index(i - 1))
-                } else {
-                    Transformed::One(self.clone())
-                }
-            }
-            (Insert(..), Set(..)) => Transformed::One(self.clone()),
+            // self is a Set: an insert at or before our slot pushes it right.
+            return if j <= i {
+                Transformed::One(self.with_index(i + t))
+            } else {
+                Transformed::One(self.clone())
+            };
+        }
 
-            // --- self is a Delete --------------------------------------
-            (Delete(_), Insert(j, _)) => {
-                // An insert at our index pushes our target right.
-                if *j <= i {
-                    Transformed::One(self.with_index(i + 1))
-                } else {
-                    Transformed::One(self.clone())
+        if let Some((_, m)) = against.del_span() {
+            // `against` deletes the span [j, j+m).
+            if let Some((_, n)) = self.del_span() {
+                let overlap = (i + n).min(j + m).saturating_sub(i.max(j));
+                let remaining = n - overlap;
+                if remaining == 0 {
+                    return Transformed::None;
                 }
-            }
-            (Delete(_), Delete(j)) => {
-                if *j < i {
-                    Transformed::One(self.with_index(i - 1))
-                } else if *j == i {
-                    // Same element already deleted on the other side.
-                    Transformed::None
+                // Our surviving range starts where it did if we begin before
+                // the other delete, else right after the other's start.
+                let new_pos = if i <= j {
+                    i
                 } else {
-                    Transformed::One(self.clone())
-                }
+                    i.saturating_sub(m).max(j)
+                };
+                return Transformed::One(Self::del_from(new_pos, remaining));
             }
-            (Delete(_), Set(..)) => Transformed::One(self.clone()),
+            if self.ins_span().is_some() {
+                return if i <= j {
+                    Transformed::One(self.clone())
+                } else if i >= j + m {
+                    Transformed::One(self.with_index(i - m))
+                } else {
+                    // Insertion point fell inside the deleted span: land at
+                    // the deletion point (closest surviving position).
+                    Transformed::One(self.with_index(j))
+                };
+            }
+            // self is a Set.
+            return if i < j {
+                Transformed::One(self.clone())
+            } else if i >= j + m {
+                Transformed::One(self.with_index(i - m))
+            } else {
+                // The element we intended to overwrite is gone.
+                Transformed::None
+            };
+        }
 
-            // --- self is a Set -----------------------------------------
-            (Set(..), Insert(j, _)) => {
-                if *j <= i {
-                    Transformed::One(self.with_index(i + 1))
-                } else {
-                    Transformed::One(self.clone())
+        // `against` is a Set: only a same-slot Set conflicts with it.
+        if matches!(self, ListOp::Set(..)) && j == i {
+            // Exactly one survives so both serializations agree: the
+            // incoming (Right) write wins.
+            return match side {
+                Side::Left => Transformed::None,
+                Side::Right => Transformed::One(self.clone()),
+            };
+        }
+        Transformed::One(self.clone())
+    }
+
+    fn compose(&self, next: &Self) -> Option<Self> {
+        use ListOp::*;
+        if self.is_noop() {
+            return Some(next.clone());
+        }
+        if next.is_noop() {
+            return Some(self.clone());
+        }
+        // Two writes to the same slot: the second wins.
+        if let (Set(i, _), Set(j, v)) = (self, next) {
+            if i == j {
+                return Some(Set(*i, v.clone()));
+            }
+        }
+        // A write whose slot the very next delete removes: the delete alone.
+        if let Set(i, _) = self {
+            if let Some((j, m)) = next.del_span() {
+                if j <= *i && *i < j + m {
+                    return Some(next.clone());
                 }
             }
-            (Set(..), Delete(j)) => {
-                if *j < i {
-                    Transformed::One(self.with_index(i - 1))
-                } else if *j == i {
-                    // The element we intended to overwrite is gone.
-                    Transformed::None
-                } else {
-                    Transformed::One(self.clone())
+        }
+        if let Some((i, len)) = self.ins_span() {
+            // Insert then overwrite inside the run: insert the final value.
+            if let Set(j, v) = next {
+                if i <= *j && *j < i + len {
+                    let mut vs = self.ins_payload();
+                    vs[*j - i] = v.clone();
+                    return Some(Self::ins_from(i, vs));
                 }
             }
-            (Set(..), Set(j, _)) => {
-                if *j == i {
-                    // Exactly one survives so both serializations agree:
-                    // the incoming (Right) write wins.
-                    match side {
-                        Side::Left => Transformed::None,
-                        Side::Right => Transformed::One(self.clone()),
-                    }
-                } else {
-                    Transformed::One(self.clone())
+            // Insert then insert at / inside / right after the run: one
+            // bigger run (the list analogue of text insert splicing).
+            if let Some((j, _)) = next.ins_span() {
+                if i <= j && j <= i + len {
+                    let mut vs = self.ins_payload();
+                    vs.splice(j - i..j - i, next.ins_payload());
+                    return Some(Self::ins_from(i, vs));
                 }
             }
+            // Insert then delete of part of the run: shrink the run. Full
+            // cancellation is `annihilates`.
+            if let Some((j, m)) = next.del_span() {
+                if i <= j && j + m <= i + len && m < len {
+                    let mut vs = self.ins_payload();
+                    vs.drain(j - i..j - i + m);
+                    return Some(Self::ins_from(i, vs));
+                }
+            }
+        }
+        // Delete then delete at the same spot (text slid left under the
+        // cursor) or immediately before (backspace style): one bigger span.
+        if let (Some((i, n)), Some((j, m))) = (self.del_span(), next.del_span()) {
+            if j == i {
+                return Some(Self::del_from(i, n + m));
+            }
+            if j + m == i {
+                return Some(Self::del_from(j, n + m));
+            }
+        }
+        None
+    }
+
+    fn annihilates(&self, next: &Self) -> bool {
+        // A run created and destroyed with nothing in between.
+        match (self.ins_span(), next.del_span()) {
+            (Some((i, len)), Some((j, m))) => len > 0 && j == i && m == len,
+            _ => false,
         }
     }
 }
@@ -183,11 +363,22 @@ mod tests {
     }
 
     #[test]
+    fn apply_span_forms() {
+        let mut s = base();
+        Op::InsertRun(1, vec!['x', 'y']).apply(&mut s).unwrap();
+        assert_eq!(s, vec!['a', 'x', 'y', 'b', 'c']);
+        Op::DeleteRange(1, 3).apply(&mut s).unwrap();
+        assert_eq!(s, vec!['a', 'c']);
+    }
+
+    #[test]
     fn apply_out_of_range_errors() {
         let mut s = base();
         assert!(Op::Insert(4, 'x').apply(&mut s).is_err());
         assert!(Op::Delete(3).apply(&mut s).is_err());
         assert!(Op::Set(3, 'x').apply(&mut s).is_err());
+        assert!(Op::InsertRun(4, vec!['x']).apply(&mut s).is_err());
+        assert!(Op::DeleteRange(2, 2).apply(&mut s).is_err());
         assert_eq!(s, base(), "failed ops must not mutate state");
     }
 
@@ -282,6 +473,107 @@ mod tests {
     }
 
     #[test]
+    fn tp1_span_pairs_exhaustive() {
+        // Every span/point op over a 6-element base, against every other.
+        let base: Vec<u8> = (0..6).collect();
+        let mut ops: Vec<ListOp<u8>> = Vec::new();
+        for i in 0..=6 {
+            ops.push(ListOp::Insert(i, 90));
+            ops.push(ListOp::InsertRun(i, vec![91, 92]));
+            ops.push(ListOp::InsertRun(i, vec![93, 94, 95]));
+        }
+        for i in 0..6 {
+            ops.push(ListOp::Delete(i));
+            ops.push(ListOp::Set(i, 99));
+            for n in 1..=(6 - i) {
+                ops.push(ListOp::DeleteRange(i, n));
+            }
+        }
+        for a in &ops {
+            for b in &ops {
+                assert_tp1(&base, a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn delete_range_splits_around_concurrent_insert() {
+        // Delete [1,4); concurrent insert of a run at 2.
+        let del = ListOp::DeleteRange(1, 3);
+        let ins = ListOp::InsertRun(2, vec![90, 91]);
+        let t = del.transform(&ins, Side::Right);
+        assert_eq!(
+            t,
+            Transformed::Two(ListOp::Delete(1), ListOp::DeleteRange(3, 2))
+        );
+        // End state must keep the inserted run.
+        let mut s: Vec<u8> = (0..6).collect();
+        ins.apply(&mut s).unwrap();
+        for piece in t.into_vec() {
+            piece.apply(&mut s).unwrap();
+        }
+        assert_eq!(s, vec![0, 90, 91, 4, 5]);
+    }
+
+    #[test]
+    fn span_ops_are_equivalent_to_element_runs() {
+        // An `InsertRun`/`DeleteRange` must transform exactly like the
+        // element-wise run it abbreviates, for every concurrent point op.
+        let base: Vec<u8> = (0..6).collect();
+        let mut others: Vec<ListOp<u8>> = Vec::new();
+        for i in 0..=6 {
+            others.push(ListOp::Insert(i, 80));
+        }
+        for i in 0..6 {
+            others.push(ListOp::Delete(i));
+            others.push(ListOp::Set(i, 81));
+        }
+        let runs: Vec<Vec<ListOp<u8>>> = vec![
+            vec![ListOp::InsertRun(2, vec![91, 92, 93])],
+            vec![
+                ListOp::Insert(2, 91),
+                ListOp::Insert(3, 92),
+                ListOp::Insert(4, 93),
+            ],
+            vec![ListOp::DeleteRange(1, 3)],
+            vec![ListOp::Delete(1), ListOp::Delete(1), ListOp::Delete(1)],
+        ];
+        for pair in runs.chunks(2) {
+            for other in &others {
+                let committed = std::slice::from_ref(other);
+                let a = seq::rebase(&pair[0], committed);
+                let b = seq::rebase(&pair[1], committed);
+                let mut sa = base.clone();
+                let mut sb = base.clone();
+                apply_all(&mut sa, committed).unwrap();
+                apply_all(&mut sb, committed).unwrap();
+                apply_all(&mut sa, &a).unwrap();
+                apply_all(&mut sb, &b).unwrap();
+                assert_eq!(sa, sb, "span vs element run diverged against {other:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn compose_fuses_adjacent_runs() {
+        let a = ListOp::Insert(2, 'x');
+        assert_eq!(
+            a.compose(&ListOp::Insert(3, 'y')),
+            Some(ListOp::InsertRun(2, vec!['x', 'y']))
+        );
+        let run = ListOp::InsertRun(2, vec!['x', 'y']);
+        assert_eq!(
+            run.compose(&ListOp::Set(3, 'z')),
+            Some(ListOp::InsertRun(2, vec!['x', 'z']))
+        );
+        let d = Op::Delete(4);
+        assert_eq!(d.compose(&Op::Delete(4)), Some(Op::DeleteRange(4, 2)));
+        assert_eq!(d.compose(&Op::Delete(3)), Some(Op::DeleteRange(3, 2)));
+        assert!(Op::Insert(1, 'q').annihilates(&Op::Delete(1)));
+        assert!(ListOp::InsertRun(1, vec!['q', 'r']).annihilates(&ListOp::DeleteRange(1, 2)));
+    }
+
+    #[test]
     fn set_set_incoming_wins() {
         let committed = Op::Set(1, 'P');
         let incoming = Op::Set(1, 'C');
@@ -308,7 +600,7 @@ mod tests {
                 let mut len = len0;
                 let mut ops = Vec::new();
                 for _ in 0..rng.gen_range(0..6) {
-                    let op = match rng.gen_range(0..3) {
+                    let op = match rng.gen_range(0..5) {
                         0 => {
                             let i = rng.gen_range(0..=len);
                             len += 1;
@@ -318,6 +610,20 @@ mod tests {
                             let i = rng.gen_range(0..len);
                             len -= 1;
                             ListOp::Delete(i)
+                        }
+                        2 => {
+                            let i = rng.gen_range(0..=len);
+                            let run: Vec<u32> = (0..rng.gen_range(1..4))
+                                .map(|_| rng.gen_range(200..300))
+                                .collect();
+                            len += run.len();
+                            ListOp::InsertRun(i, run)
+                        }
+                        3 if len > 0 => {
+                            let i = rng.gen_range(0..len);
+                            let n = rng.gen_range(1..=(len - i).min(3));
+                            len -= n;
+                            ListOp::DeleteRange(i, n)
                         }
                         _ if len > 0 => ListOp::Set(rng.gen_range(0..len), rng.gen()),
                         _ => continue,

@@ -69,6 +69,15 @@ impl<K: Key, V: Value> Operation for MapOp<K, V> {
             Side::Right => Transformed::One(self.clone()),
         }
     }
+
+    fn compose(&self, next: &Self) -> Option<Self> {
+        if self.key() == next.key() {
+            // Put/Remove under the same key: the second shadows the first.
+            Some(next.clone())
+        } else {
+            None
+        }
+    }
 }
 
 #[cfg(test)]

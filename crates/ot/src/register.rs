@@ -40,6 +40,11 @@ impl<T: Value> Operation for RegisterOp<T> {
             Side::Right => Transformed::One(self.clone()),
         }
     }
+
+    fn compose(&self, next: &Self) -> Option<Self> {
+        // The second write fully shadows the first.
+        Some(next.clone())
+    }
 }
 
 #[cfg(test)]

@@ -79,16 +79,20 @@ fn transform_seqs_scalar<O: Operation>(left: &[O], right: &[O]) -> (Vec<O>, Vec<
     debug_assert!(O::SCALAR);
     let mut right_cur: Vec<O> = right.to_vec();
     let mut left_out: Vec<O> = Vec::with_capacity(left.len());
+    // Scratch row reused across all |left| iterations: swapped with
+    // `right_cur` at the end of each row instead of reallocating, so the
+    // inner loop moves operations by value and never clones survivors.
+    let mut right_next: Vec<O> = Vec::with_capacity(right.len());
 
     for l in left {
         let mut l_cur = Some(l.clone());
-        let mut right_next = Vec::with_capacity(right_cur.len());
-        for r in &right_cur {
+        right_next.clear();
+        for r in right_cur.drain(..) {
             match l_cur {
-                None => right_next.push(r.clone()),
+                None => right_next.push(r),
                 Some(ref lv) => {
                     let rt = r.transform(lv, Side::Right);
-                    let lt = lv.transform(r, Side::Left);
+                    let lt = lv.transform(&r, Side::Left);
                     l_cur = match lt {
                         Transformed::One(x) => Some(x),
                         Transformed::None => None,
@@ -109,7 +113,7 @@ fn transform_seqs_scalar<O: Operation>(left: &[O], right: &[O]) -> (Vec<O>, Vec<
         if let Some(lv) = l_cur {
             left_out.push(lv);
         }
-        right_cur = right_next;
+        std::mem::swap(&mut right_cur, &mut right_next);
     }
     (left_out, right_cur)
 }

@@ -57,6 +57,15 @@ impl<T: Element> Operation for SetOp<T> {
             Side::Right => Transformed::One(self.clone()),
         }
     }
+
+    fn compose(&self, next: &Self) -> Option<Self> {
+        if self.element() == next.element() {
+            // The second add/remove of the element shadows the first.
+            Some(next.clone())
+        } else {
+            None
+        }
+    }
 }
 
 #[cfg(test)]

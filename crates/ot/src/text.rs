@@ -189,6 +189,91 @@ impl Operation for TextOp {
             }
         }
     }
+
+    fn compose(&self, next: &Self) -> Option<Self> {
+        use TextOp::*;
+        // Zero-length deletes are no-ops: fuse them away.
+        if matches!(next, Delete { len: 0, .. }) {
+            return Some(self.clone());
+        }
+        if matches!(self, Delete { len: 0, .. }) {
+            return Some(next.clone());
+        }
+        match (self, next) {
+            // "ab" inserted at p, then "cd" inserted right at its end (or
+            // anywhere inside it): one bigger insert.
+            (Insert { pos: p1, text: t1 }, Insert { pos: p2, text: t2 }) => {
+                let l1 = t1.chars().count();
+                if *p2 >= *p1 && *p2 <= p1 + l1 {
+                    let mut s = String::with_capacity(t1.len() + t2.len());
+                    let split_at_char = p2 - p1;
+                    let mut consumed = 0;
+                    for (count, (byte, _)) in t1.char_indices().enumerate() {
+                        if count == split_at_char {
+                            consumed = byte;
+                            break;
+                        }
+                        consumed = t1.len();
+                    }
+                    if split_at_char == 0 {
+                        consumed = 0;
+                    }
+                    s.push_str(&t1[..consumed]);
+                    s.push_str(t2);
+                    s.push_str(&t1[consumed..]);
+                    Some(Insert { pos: *p1, text: s })
+                } else {
+                    None
+                }
+            }
+            // Insert then delete of part of the inserted text: shrink the
+            // insert. Full cancellation is `annihilates`.
+            (Insert { pos: p1, text: t1 }, Delete { pos: p2, len: l2 }) => {
+                let l1 = t1.chars().count();
+                if *p2 >= *p1 && p2 + l2 <= p1 + l1 && *l2 < l1 {
+                    let start = p2 - p1;
+                    let s: String = t1
+                        .chars()
+                        .enumerate()
+                        .filter(|(k, _)| *k < start || *k >= start + l2)
+                        .map(|(_, c)| c)
+                        .collect();
+                    Some(Insert { pos: *p1, text: s })
+                } else {
+                    None
+                }
+            }
+            // Delete at p, then another delete starting at the same spot:
+            // one bigger delete (text slid left under the cursor).
+            (Delete { pos: p1, len: l1 }, Delete { pos: p2, len: l2 }) => {
+                if *p2 == *p1 {
+                    Some(Delete {
+                        pos: *p1,
+                        len: l1 + l2,
+                    })
+                } else if p2 + l2 == *p1 {
+                    // Backwards deletion (backspace style).
+                    Some(Delete {
+                        pos: *p2,
+                        len: l1 + l2,
+                    })
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+
+    fn annihilates(&self, next: &Self) -> bool {
+        // Text typed and immediately deleted again, nothing in between.
+        if let (TextOp::Insert { pos: p1, text }, TextOp::Delete { pos: p2, len }) = (self, next) {
+            let l1 = text.chars().count();
+            l1 > 0 && p2 == p1 && *len == l1
+        } else {
+            false
+        }
+    }
 }
 
 #[cfg(test)]

@@ -232,6 +232,56 @@ impl<V: Value> Operation for TreeOp<V> {
             }
         }
     }
+
+    fn compose(&self, next: &Self) -> Option<Self> {
+        use TreeOp::*;
+        match (self, next) {
+            (SetValue { path: p1, .. }, SetValue { path: p2, value }) if p1 == p2 => {
+                Some(SetValue {
+                    path: p1.clone(),
+                    value: value.clone(),
+                })
+            }
+            // Insert then a write inside the freshly inserted subtree: bake
+            // the write into the inserted payload.
+            (Insert { path: p, node }, SetValue { path: q, value }) if q.starts_with(p) => {
+                let mut node = node.clone();
+                node.node_at_mut(&q[p.len()..])?.value = value.clone();
+                Some(Insert {
+                    path: p.clone(),
+                    node,
+                })
+            }
+            // Insert then a delete strictly inside the inserted subtree:
+            // shrink the payload. Deleting the whole subtree is `annihilates`.
+            (Insert { path: p, node }, Delete { path: q })
+                if q.len() > p.len() && q.starts_with(p) =>
+            {
+                let mut node = node.clone();
+                let (&slot, parent_rel) = q[p.len()..].split_last().expect("len checked");
+                let parent = node.node_at_mut(parent_rel)?;
+                if slot >= parent.children.len() {
+                    return None;
+                }
+                parent.children.remove(slot);
+                Some(Insert {
+                    path: p.clone(),
+                    node,
+                })
+            }
+            // A write inside a subtree the very next delete removes: the
+            // delete alone.
+            (SetValue { path: p, .. }, Delete { path: q }) if p.starts_with(q) => {
+                Some(next.clone())
+            }
+            _ => None,
+        }
+    }
+
+    fn annihilates(&self, next: &Self) -> bool {
+        // A subtree inserted and deleted again with nothing in between.
+        matches!((self, next), (TreeOp::Insert { path: p, .. }, TreeOp::Delete { path: q }) if p == q)
+    }
 }
 
 #[cfg(test)]
