@@ -162,7 +162,7 @@ mod tests {
         rt.data_mut().push_str(" local");
         rt.merge_all().unwrap();
         let doc = rt.shutdown().unwrap();
-        assert_eq!(doc.as_str(), "doc: local remote1 remote2");
+        assert_eq!(doc, "doc: local remote1 remote2");
     }
 
     #[test]

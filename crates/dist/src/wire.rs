@@ -105,7 +105,7 @@ where
 
 impl Wire for MText {
     fn encode_state(&self, buf: &mut BytesMut) {
-        self.as_str().to_string().encode(buf);
+        self.to_string().encode(buf);
     }
 
     fn decode_state(buf: &mut Bytes) -> Result<Self, DecodeError> {
@@ -395,7 +395,7 @@ mod tests {
         let n = shadow.apply_log(&mut buf.freeze()).unwrap();
         assert_eq!(n, 2);
         assert_eq!(shadow.0.get(&"w".to_string()), 3);
-        assert_eq!(shadow.1.as_str(), "hi");
+        assert_eq!(shadow.1, "hi");
     }
 
     #[test]

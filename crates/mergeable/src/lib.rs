@@ -363,7 +363,7 @@ mod tests {
 
         let stats = data.merge(&child).unwrap();
         assert_eq!(data.list.to_vec(), vec![1]);
-        assert_eq!(data.text.as_str(), "doc: parent child");
+        assert_eq!(data.text, "doc: parent child");
         assert_eq!(data.count.get(), 11);
         assert_eq!(stats.child_ops, 3);
         assert!(data.pending_ops() >= 2);

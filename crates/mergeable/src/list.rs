@@ -2,6 +2,7 @@
 //! (`ins(0,obj)` / `del(1)`, listing 1, Figures 1–2).
 
 use sm_ot::list::{Element, ListOp};
+use sm_ot::state::ChunkTree;
 
 use crate::versioned::{CopyMode, MergeError, MergeStats, Versioned};
 use crate::Mergeable;
@@ -21,14 +22,14 @@ impl<T: Element> MList<T> {
     /// An empty list.
     pub fn new() -> Self {
         MList {
-            inner: Versioned::new(Vec::new()),
+            inner: Versioned::new(ChunkTree::new()),
         }
     }
 
     /// An empty list with an explicit fork [`CopyMode`].
     pub fn with_mode(mode: CopyMode) -> Self {
         MList {
-            inner: Versioned::with_mode(Vec::new(), mode),
+            inner: Versioned::with_mode(ChunkTree::new(), mode),
         }
     }
 
@@ -36,18 +37,18 @@ impl<T: Element> MList<T> {
     /// state).
     pub fn from_vec(items: Vec<T>) -> Self {
         MList {
-            inner: Versioned::new(items),
+            inner: Versioned::new(ChunkTree::from_vec(items)),
         }
     }
 
     /// A list seeded with `items` and an explicit fork [`CopyMode`].
     pub fn from_vec_with_mode(items: Vec<T>, mode: CopyMode) -> Self {
         MList {
-            inner: Versioned::with_mode(items, mode),
+            inner: Versioned::with_mode(ChunkTree::from_vec(items), mode),
         }
     }
 
-    /// Number of elements.
+    /// Number of elements — O(1) from the chunk tree's cached count.
     pub fn len(&self) -> usize {
         self.inner.state().len()
     }
@@ -62,18 +63,18 @@ impl<T: Element> MList<T> {
         self.inner.state().get(index)
     }
 
-    /// Borrow the whole list as a slice.
-    pub fn as_slice(&self) -> &[T] {
+    /// Borrow the backing [`ChunkTree`].
+    pub fn chunk_tree(&self) -> &ChunkTree<T> {
         self.inner.state()
     }
 
-    /// Copy the list out as a plain `Vec`.
+    /// Copy the list out as a plain `Vec`. O(n).
     pub fn to_vec(&self) -> Vec<T> {
-        self.inner.state().clone()
+        self.inner.state().to_vec()
     }
 
     /// Iterate over the elements.
-    pub fn iter(&self) -> std::slice::Iter<'_, T> {
+    pub fn iter(&self) -> sm_ot::state::Iter<'_, T> {
         self.inner.state().iter()
     }
 
@@ -157,7 +158,7 @@ impl<T: Element> FromIterator<T> for MList<T> {
 
 impl<T: Element> PartialEq for MList<T> {
     fn eq(&self, other: &Self) -> bool {
-        self.as_slice() == other.as_slice()
+        self.inner.state() == other.inner.state()
     }
 }
 
@@ -202,7 +203,7 @@ mod tests {
         assert!(!l.is_empty());
         assert_eq!(l.get(1), Some(&2));
         assert_eq!(l.get(5), None);
-        assert_eq!(l.as_slice(), &[1, 2, 3]);
+        assert_eq!(*l.chunk_tree(), vec![1, 2, 3]);
         assert_eq!(l.iter().copied().sum::<i32>(), 6);
         l.set(0, 9);
         assert_eq!(l.remove(0), 9);

@@ -13,6 +13,7 @@
 //!   dispatch mechanism — a popped value is returned from the *local* copy.
 
 use sm_ot::list::{Element, ListOp};
+use sm_ot::state::ChunkTree;
 
 use crate::versioned::{CopyMode, MergeError, MergeStats, Versioned};
 use crate::Mergeable;
@@ -27,32 +28,32 @@ impl<T: Element> MQueue<T> {
     /// An empty queue.
     pub fn new() -> Self {
         MQueue {
-            inner: Versioned::new(Vec::new()),
+            inner: Versioned::new(ChunkTree::new()),
         }
     }
 
     /// An empty queue with an explicit fork [`CopyMode`].
     pub fn with_mode(mode: CopyMode) -> Self {
         MQueue {
-            inner: Versioned::with_mode(Vec::new(), mode),
+            inner: Versioned::with_mode(ChunkTree::new(), mode),
         }
     }
 
     /// A queue seeded with `items` front-to-back (base state, no ops).
     pub fn from_vec(items: Vec<T>) -> Self {
         MQueue {
-            inner: Versioned::new(items),
+            inner: Versioned::new(ChunkTree::from_vec(items)),
         }
     }
 
     /// A seeded queue with an explicit fork [`CopyMode`].
     pub fn from_vec_with_mode(items: Vec<T>, mode: CopyMode) -> Self {
         MQueue {
-            inner: Versioned::with_mode(items, mode),
+            inner: Versioned::with_mode(ChunkTree::from_vec(items), mode),
         }
     }
 
-    /// Number of queued elements.
+    /// Number of queued elements — O(1) from the chunk tree's cached count.
     pub fn len(&self) -> usize {
         self.inner.state().len()
     }
@@ -83,13 +84,13 @@ impl<T: Element> MQueue<T> {
     }
 
     /// Iterate front-to-back.
-    pub fn iter(&self) -> std::slice::Iter<'_, T> {
+    pub fn iter(&self) -> sm_ot::state::Iter<'_, T> {
         self.inner.state().iter()
     }
 
-    /// Copy the contents out front-to-back.
+    /// Copy the contents out front-to-back. O(n).
     pub fn to_vec(&self) -> Vec<T> {
-        self.inner.state().clone()
+        self.inner.state().to_vec()
     }
 
     /// The recorded local operations (diagnostics / tests).

@@ -3,6 +3,7 @@
 //! of the text algebra: concurrent inserts both survive, range deletes
 //! split around concurrent insertions.
 
+use sm_ot::state::{Chunks, Rope};
 use sm_ot::text::TextOp;
 
 use crate::versioned::{CopyMode, MergeError, MergeStats, Versioned};
@@ -18,25 +19,33 @@ impl MText {
     /// An empty document.
     pub fn new() -> Self {
         MText {
-            inner: Versioned::new(String::new()),
+            inner: Versioned::new(Rope::new()),
         }
     }
 
     /// An empty document with an explicit fork [`CopyMode`].
     pub fn with_mode(mode: CopyMode) -> Self {
         MText {
-            inner: Versioned::with_mode(String::new(), mode),
+            inner: Versioned::with_mode(Rope::new(), mode),
         }
     }
 
-    /// Borrow the document contents.
-    pub fn as_str(&self) -> &str {
+    /// Borrow the backing [`Rope`].
+    pub fn rope(&self) -> &Rope {
         self.inner.state()
     }
 
-    /// Document length in characters.
+    /// In-order iterator over the document's text chunks. Concatenated,
+    /// the chunks are the document; use this (or `to_string()`) to stream
+    /// contents without materialising one big `String`.
+    pub fn chunks(&self) -> Chunks<'_> {
+        self.inner.state().chunks()
+    }
+
+    /// Document length in characters — O(1) from the rope root's cached
+    /// count.
     pub fn char_len(&self) -> usize {
-        self.inner.state().chars().count()
+        self.inner.state().char_len()
     }
 
     /// True if the document is empty.
@@ -99,7 +108,7 @@ impl Default for MText {
 impl From<&str> for MText {
     fn from(s: &str) -> Self {
         MText {
-            inner: Versioned::new(s.to_string()),
+            inner: Versioned::new(Rope::from(s)),
         }
     }
 }
@@ -107,14 +116,32 @@ impl From<&str> for MText {
 impl From<String> for MText {
     fn from(s: String) -> Self {
         MText {
-            inner: Versioned::new(s),
+            inner: Versioned::new(Rope::from(s)),
         }
+    }
+}
+
+impl std::fmt::Display for MText {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Display::fmt(self.inner.state(), f)
     }
 }
 
 impl PartialEq for MText {
     fn eq(&self, other: &Self) -> bool {
-        self.as_str() == other.as_str()
+        self.inner.state() == other.inner.state()
+    }
+}
+
+impl PartialEq<str> for MText {
+    fn eq(&self, other: &str) -> bool {
+        self.inner.state() == other
+    }
+}
+
+impl PartialEq<&str> for MText {
+    fn eq(&self, other: &&str) -> bool {
+        self.inner.state() == *other
     }
 }
 
@@ -157,9 +184,9 @@ mod tests {
         let mut t = MText::from("hello");
         t.push_str(" world");
         t.insert_str(5, ",");
-        assert_eq!(t.as_str(), "hello, world");
+        assert_eq!(t, "hello, world");
         t.delete_range(0, 7);
-        assert_eq!(t.as_str(), "world");
+        assert_eq!(t, "world");
         assert_eq!(t.char_len(), 5);
     }
 
@@ -192,7 +219,7 @@ mod tests {
         bob.push_str(" high");
         doc.merge(&alice).unwrap();
         doc.merge(&bob).unwrap();
-        assert_eq!(doc.as_str(), "The quick fox jumps high");
+        assert_eq!(doc, "The quick fox jumps high");
     }
 
     #[test]
@@ -205,8 +232,7 @@ mod tests {
         doc.merge(&inserter).unwrap();
         doc.merge(&deleter).unwrap();
         assert_eq!(
-            doc.as_str(),
-            "aXYf",
+            doc, "aXYf",
             "concurrent insert must survive the range delete"
         );
     }
@@ -220,7 +246,7 @@ mod tests {
         b.delete_range(6, 5); // delete "wörld", leaving the space
         doc.merge(&a).unwrap();
         doc.merge(&b).unwrap();
-        assert_eq!(doc.as_str(), "héllo✨ ");
+        assert_eq!(doc, "héllo✨ ");
     }
 
     #[test]
@@ -232,7 +258,7 @@ mod tests {
         b.push_str("B");
         d1.merge(&a).unwrap();
         d1.merge(&b).unwrap();
-        assert_eq!(d1.as_str(), "AB");
+        assert_eq!(d1, "AB");
 
         let mut d2 = MText::new();
         let mut a = d2.fork();
@@ -241,6 +267,6 @@ mod tests {
         b.push_str("B");
         d2.merge(&b).unwrap();
         d2.merge(&a).unwrap();
-        assert_eq!(d2.as_str(), "BA");
+        assert_eq!(d2, "BA");
     }
 }

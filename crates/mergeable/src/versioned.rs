@@ -252,6 +252,12 @@ impl<O: Operation> Versioned<O> {
     /// the fork barrier allows it. Does not touch the state.
     fn push_op(&mut self, op: O) {
         let barrier = self.fuse_barrier.load(Ordering::Relaxed);
+        self.push_op_with_barrier(op, barrier);
+    }
+
+    /// [`Versioned::push_op`] with the fuse barrier pre-loaded, so batch
+    /// appenders pay the atomic load once per run instead of per op.
+    fn push_op_with_barrier(&mut self, op: O, barrier: usize) {
         if !self.log.is_empty() && self.log_start + self.log.len() > barrier {
             let last = self.log.last().expect("non-empty");
             if Operation::annihilates(last, &op) {
@@ -264,6 +270,19 @@ impl<O: Operation> Versioned<O> {
             }
         }
         self.log.push(op);
+    }
+
+    /// Append a run of already-applied operations to the log, checking the
+    /// fuse barrier **once** for the whole run. The fusion semantics are
+    /// identical to pushing one at a time: the barrier only ever guards the
+    /// current log tail, and appending can only move the tail *past* the
+    /// barrier, never back across it. Used by [`Versioned::merge`] for the
+    /// rebased run; does not touch the state.
+    pub(crate) fn extend_ops(&mut self, ops: impl IntoIterator<Item = O>) {
+        let barrier = self.fuse_barrier.load(Ordering::Relaxed);
+        for op in ops {
+            self.push_op_with_barrier(op, barrier);
+        }
     }
 
     /// Apply and record a locally generated operation.
@@ -362,9 +381,7 @@ impl<O: Operation> Versioned<O> {
         for op in &rebased {
             op.apply(state)?;
         }
-        for op in rebased {
-            self.push_op(op);
-        }
+        self.extend_ops(rebased);
         Ok(stats)
     }
 
@@ -394,12 +411,17 @@ impl<O: Operation> Versioned<O> {
 mod tests {
     use super::*;
     use sm_ot::list::ListOp;
+    use sm_ot::state::ChunkTree;
 
     type V = Versioned<ListOp<u32>>;
 
+    fn ct(v: Vec<u32>) -> ChunkTree<u32> {
+        ChunkTree::from_vec(v)
+    }
+
     #[test]
     fn record_applies_and_logs() {
-        let mut v = V::new(vec![1, 2, 3]);
+        let mut v = V::new(ct(vec![1, 2, 3]));
         v.record(ListOp::Insert(3, 4)).unwrap();
         assert_eq!(v.state(), &vec![1, 2, 3, 4]);
         assert_eq!(v.pending_ops(), 1);
@@ -407,7 +429,7 @@ mod tests {
 
     #[test]
     fn record_failure_leaves_state_and_log_untouched() {
-        let mut v = V::new(vec![1]);
+        let mut v = V::new(ct(vec![1]));
         assert!(v.record(ListOp::Delete(5)).is_err());
         assert_eq!(v.state(), &vec![1]);
         assert_eq!(v.pending_ops(), 0);
@@ -415,7 +437,7 @@ mod tests {
 
     #[test]
     fn contiguous_records_fuse_in_the_log() {
-        let mut v = V::new(vec![]);
+        let mut v = V::new(ct(vec![]));
         for i in 0..10 {
             v.record(ListOp::Insert(i as usize, i)).unwrap();
         }
@@ -426,7 +448,7 @@ mod tests {
 
     #[test]
     fn insert_then_delete_annihilates_in_the_log() {
-        let mut v = V::new(vec![1, 2]);
+        let mut v = V::new(ct(vec![1, 2]));
         v.record(ListOp::Insert(1, 9)).unwrap();
         v.record(ListOp::Delete(1)).unwrap();
         assert_eq!(v.state(), &vec![1, 2]);
@@ -435,7 +457,7 @@ mod tests {
 
     #[test]
     fn fork_barrier_blocks_fusion_across_fork_points() {
-        let mut v = V::new(vec![]);
+        let mut v = V::new(ct(vec![]));
         v.record(ListOp::Insert(0, 1)).unwrap();
         let mut child = v.fork(); // fork point at history position 1
         v.record(ListOp::Insert(1, 2)).unwrap();
@@ -451,7 +473,7 @@ mod tests {
 
     #[test]
     fn record_with_mutates_once_and_logs() {
-        let mut v = V::new(vec![10, 20, 30]);
+        let mut v = V::new(ct(vec![10, 20, 30]));
         let removed = v.record_with(ListOp::Delete(1), |s| s.remove(1));
         assert_eq!(removed, 20);
         assert_eq!(v.state(), &vec![10, 30]);
@@ -460,7 +482,7 @@ mod tests {
 
     #[test]
     fn fork_and_merge_disjoint_edits() {
-        let mut parent = V::new(vec![1, 2, 3]);
+        let mut parent = V::new(ct(vec![1, 2, 3]));
         let mut child = parent.fork();
         child.record(ListOp::Insert(3, 5)).unwrap();
         parent.record(ListOp::Insert(3, 4)).unwrap();
@@ -479,7 +501,7 @@ mod tests {
 
     #[test]
     fn sibling_merges_serialize_in_merge_order() {
-        let mut parent = V::new(vec![]);
+        let mut parent = V::new(ct(vec![]));
         let mut c1 = parent.fork();
         let mut c2 = parent.fork();
         c1.record(ListOp::Insert(0, 10)).unwrap();
@@ -497,7 +519,7 @@ mod tests {
         // merge(x, y) != merge(y, x) in general (§II-A of the paper) —
         // but each order always gives the same answer.
         for _ in 0..5 {
-            let mut p1 = V::new(vec![]);
+            let mut p1 = V::new(ct(vec![]));
             let mut a = p1.fork();
             let mut b = p1.fork();
             a.record(ListOp::Insert(0, 1)).unwrap();
@@ -506,7 +528,7 @@ mod tests {
             p1.merge(&b).unwrap();
             assert_eq!(p1.state(), &vec![1, 2]);
 
-            let mut p2 = V::new(vec![]);
+            let mut p2 = V::new(ct(vec![]));
             let mut a = p2.fork();
             let mut b = p2.fork();
             a.record(ListOp::Insert(0, 1)).unwrap();
@@ -521,7 +543,7 @@ mod tests {
     fn nested_fork_merge() {
         // Child forks a grandchild; the grandchild merges into the child,
         // then the child into the parent.
-        let mut parent = V::new(vec![0]);
+        let mut parent = V::new(ct(vec![0]));
         let mut child = parent.fork();
         let mut grandchild = child.fork();
         grandchild.record(ListOp::Insert(1, 2)).unwrap();
@@ -536,8 +558,8 @@ mod tests {
 
     #[test]
     fn invalid_fork_point_rejected() {
-        let mut parent = V::new(vec![]);
-        let mut other = V::new(vec![]);
+        let mut parent = V::new(ct(vec![]));
+        let mut other = V::new(ct(vec![]));
         other.record(ListOp::Insert(0, 1)).unwrap();
         let child = other.fork(); // fork_base = 1
         let err = parent.merge(&child).unwrap_err();
@@ -552,7 +574,7 @@ mod tests {
 
     #[test]
     fn truncated_fork_point_rejected() {
-        let mut parent = V::new(vec![]);
+        let mut parent = V::new(ct(vec![]));
         let mut child = parent.fork(); // fork_base = 0
         child.record(ListOp::Insert(0, 1)).unwrap();
         parent.record(ListOp::Insert(0, 2)).unwrap();
@@ -573,7 +595,7 @@ mod tests {
         // Two parents with identical histories; one truncates the prefix
         // below the live fork's base. Subsequent merges must be identical.
         let build = |truncate: bool| {
-            let mut parent = V::new(vec![]);
+            let mut parent = V::new(ct(vec![]));
             parent.record(ListOp::Insert(0, 1)).unwrap();
             parent.record(ListOp::Insert(0, 2)).unwrap();
             let mut child = parent.fork(); // fork_base = history_len()
@@ -591,7 +613,7 @@ mod tests {
 
     #[test]
     fn cow_fork_shares_until_write() {
-        let mut parent = V::new((0..1000).collect::<Vec<u32>>());
+        let mut parent = V::new((0..1000).collect::<ChunkTree<u32>>());
         let child = parent.fork();
         assert!(parent.state_is_shared());
         assert!(child.state_is_shared());
@@ -602,7 +624,7 @@ mod tests {
 
     #[test]
     fn deep_fork_never_shares() {
-        let parent = V::with_mode(vec![1u32, 2], CopyMode::Deep);
+        let parent = V::with_mode(ct(vec![1, 2]), CopyMode::Deep);
         let child = parent.fork();
         assert!(!parent.state_is_shared());
         assert!(!child.state_is_shared());
@@ -611,7 +633,7 @@ mod tests {
 
     #[test]
     fn duplicate_delete_collapses_across_merge() {
-        let mut parent = V::new(vec![1, 2, 3]);
+        let mut parent = V::new(ct(vec![1, 2, 3]));
         let mut child = parent.fork();
         child.record(ListOp::Delete(0)).unwrap();
         parent.record(ListOp::Delete(0)).unwrap();
@@ -630,7 +652,7 @@ mod tests {
 
     #[test]
     fn merge_of_unmodified_child_is_noop() {
-        let mut parent = V::new(vec![1]);
+        let mut parent = V::new(ct(vec![1]));
         let child = parent.fork();
         parent.record(ListOp::Insert(1, 2)).unwrap();
         let stats = parent.merge(&child).unwrap();

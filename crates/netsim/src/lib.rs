@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 
 pub mod conventional;
+pub mod document;
 pub mod message;
 pub mod spawnmerge;
 pub mod workload;
@@ -32,6 +33,7 @@ pub mod workload;
 use std::time::Duration;
 
 pub use conventional::run_conventional;
+pub use document::{digest_document, run_document, DocConfig, DocResult};
 pub use message::{Message, Routing, SimConfig};
 pub use spawnmerge::{run_spawn_merge, run_spawn_merge_with_pool, SimData};
 pub use workload::{fingerprint, process_message, HostStats};

@@ -211,7 +211,7 @@ mod tests {
 
     #[test]
     fn text_compaction_preserves_semantics() {
-        let base = "abcdefgh".to_string();
+        let base = crate::state::Rope::from("abcdefgh");
         let ops = vec![
             TextOp::insert(2, "XY"),
             TextOp::insert(4, "Z"),
@@ -258,7 +258,7 @@ mod tests {
         let c = compact_list(&ops);
         assert_eq!(c, vec![ListOp::Set(0, 'z')]);
 
-        let mut a = vec!['p', 'q'];
+        let mut a = crate::state::ChunkTree::from_vec(vec!['p', 'q']);
         let mut b = a.clone();
         apply_all(&mut a, &ops).unwrap();
         apply_all(&mut b, &c).unwrap();

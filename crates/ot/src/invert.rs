@@ -50,25 +50,34 @@ pub fn inverse_sequence<O: Invertible>(base: &O::State, ops: &[O]) -> Result<Vec
 }
 
 impl<T: Element> Invertible for ListOp<T> {
-    fn invert(&self, state_before: &Vec<T>) -> Self {
+    fn invert(&self, state_before: &crate::state::ChunkTree<T>) -> Self {
         match self {
             ListOp::Insert(i, _) => ListOp::Delete(*i),
-            ListOp::Delete(i) => ListOp::Insert(*i, state_before[*i].clone()),
-            ListOp::Set(i, _) => ListOp::Set(*i, state_before[*i].clone()),
+            ListOp::Delete(i) => ListOp::Insert(
+                *i,
+                state_before
+                    .get(*i)
+                    .expect("delete target must exist in the pre-state")
+                    .clone(),
+            ),
+            ListOp::Set(i, _) => ListOp::Set(
+                *i,
+                state_before
+                    .get(*i)
+                    .expect("set target must exist in the pre-state")
+                    .clone(),
+            ),
             ListOp::InsertRun(i, vs) => ListOp::DeleteRange(*i, vs.len()),
-            ListOp::DeleteRange(i, n) => ListOp::InsertRun(*i, state_before[*i..*i + *n].to_vec()),
+            ListOp::DeleteRange(i, n) => ListOp::InsertRun(*i, state_before.range_to_vec(*i, *n)),
         }
     }
 }
 
 impl Invertible for TextOp {
-    fn invert(&self, state_before: &String) -> Self {
+    fn invert(&self, state_before: &crate::state::Rope) -> Self {
         match self {
             TextOp::Insert { pos, text } => TextOp::delete(*pos, text.chars().count()),
-            TextOp::Delete { pos, len } => {
-                let deleted: String = state_before.chars().skip(*pos).take(*len).collect();
-                TextOp::insert(*pos, deleted)
-            }
+            TextOp::Delete { pos, len } => TextOp::insert(*pos, state_before.substring(*pos, *len)),
         }
     }
 }
@@ -139,6 +148,7 @@ impl<V: crate::tree::Value> Invertible for TreeOp<V> {
 mod tests {
     use super::*;
     use crate::apply_all;
+    use crate::state::{ChunkTree, Rope};
     use crate::tree::Node;
 
     fn undo_roundtrip<O>(base: O::State, ops: Vec<O>)
@@ -156,7 +166,7 @@ mod tests {
     #[test]
     fn list_undo() {
         undo_roundtrip(
-            vec![1u8, 2, 3],
+            ChunkTree::from_vec(vec![1u8, 2, 3]),
             vec![
                 ListOp::Insert(0, 9),
                 ListOp::Delete(2),
@@ -169,7 +179,7 @@ mod tests {
     #[test]
     fn list_span_undo() {
         undo_roundtrip(
-            vec![1u8, 2, 3, 4, 5],
+            ChunkTree::from_vec(vec![1u8, 2, 3, 4, 5]),
             vec![
                 ListOp::InsertRun(1, vec![8, 9]),
                 ListOp::DeleteRange(0, 3),
@@ -181,7 +191,7 @@ mod tests {
     #[test]
     fn text_undo() {
         undo_roundtrip(
-            "hello world".to_string(),
+            Rope::from("hello world"),
             vec![
                 TextOp::delete(0, 6),
                 TextOp::insert(5, "!!"),
@@ -192,7 +202,7 @@ mod tests {
 
     #[test]
     fn text_undo_unicode() {
-        undo_roundtrip("héllo ✨".to_string(), vec![TextOp::delete(1, 5)]);
+        undo_roundtrip(Rope::from("héllo ✨"), vec![TextOp::delete(1, 5)]);
     }
 
     #[test]
@@ -258,7 +268,7 @@ mod tests {
 
     #[test]
     fn inverse_of_invalid_ops_errors() {
-        let base = vec![1u8];
+        let base = ChunkTree::from_vec(vec![1u8]);
         let ops = vec![ListOp::Delete(0), ListOp::Delete(0)];
         // Second delete is invalid after the first — `inverse_sequence`
         // fails while simulating, rather than producing a wrong script.

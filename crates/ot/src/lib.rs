@@ -48,6 +48,7 @@ pub mod map;
 pub mod register;
 pub mod seq;
 pub mod set;
+pub mod state;
 pub mod text;
 pub mod tp2;
 pub mod tree;

@@ -1,7 +1,12 @@
 //! OT algebra for **lists** — the paper's running example data structure
 //! (`ins(0,obj)`, `del(1)`, Figures 1 and 2).
 //!
-//! State is `Vec<T>`; operations are index-addressed insert / delete / set
+//! State is a [`ChunkTree`] — a balanced chunked sequence with cached
+//! element counts, so applies cost O(log n) seek + O(chunk) splice instead
+//! of shifting the whole tail (see [`crate::state`]).
+//! [`ListOp::apply_vec`] keeps the plain-`Vec` semantics as the reference
+//! implementation for differential tests.
+//! Operations are index-addressed insert / delete / set
 //! plus their **span** forms [`ListOp::InsertRun`] / [`ListOp::DeleteRange`],
 //! which carry a whole contiguous run in one operation. The transformation
 //! functions below implement classic Ellis & Gibbs-style index shifting
@@ -19,6 +24,7 @@
 //! insert splits into two ranges ([`Transformed::Two`]) so the concurrently
 //! inserted element survives — the algebra is therefore no longer scalar.
 
+use crate::state::ChunkTree;
 use crate::{ApplyError, Operation, Side, Transformed};
 
 /// Requirements on list element types.
@@ -118,15 +124,13 @@ impl<T: Element> ListOp<T> {
         matches!(self, ListOp::InsertRun(_, vs) if vs.is_empty())
             || matches!(self, ListOp::DeleteRange(_, 0))
     }
-}
 
-impl<T: Element> Operation for ListOp<T> {
-    type State = Vec<T>;
-
-    // `DeleteRange` splits around a concurrent interleaving insert.
-    const SCALAR: bool = false;
-
-    fn apply(&self, state: &mut Vec<T>) -> Result<(), ApplyError> {
+    /// Apply against a plain `Vec`: the scalar reference implementation
+    /// the property suites diff the [`ChunkTree`] backend against.
+    ///
+    /// # Errors
+    /// Fails when the index or range falls outside the list.
+    pub fn apply_vec(&self, state: &mut Vec<T>) -> Result<(), ApplyError> {
         match self {
             ListOp::Insert(i, v) => {
                 if *i > state.len() {
@@ -172,6 +176,66 @@ impl<T: Element> Operation for ListOp<T> {
                     )));
                 }
                 state.drain(*i..i + n);
+            }
+        }
+        Ok(())
+    }
+}
+
+impl<T: Element> Operation for ListOp<T> {
+    type State = ChunkTree<T>;
+
+    // `DeleteRange` splits around a concurrent interleaving insert.
+    const SCALAR: bool = false;
+
+    fn apply(&self, state: &mut ChunkTree<T>) -> Result<(), ApplyError> {
+        // Length checks are O(1) against the root's cached count; the
+        // edits themselves are O(log n) seek + O(chunk) splice.
+        match self {
+            ListOp::Insert(i, v) => {
+                if *i > state.len() {
+                    return Err(ApplyError::new(format!(
+                        "insert index {i} out of range (len {})",
+                        state.len()
+                    )));
+                }
+                state.insert(*i, v.clone());
+            }
+            ListOp::Delete(i) => {
+                if *i >= state.len() {
+                    return Err(ApplyError::new(format!(
+                        "delete index {i} out of range (len {})",
+                        state.len()
+                    )));
+                }
+                state.remove(*i);
+            }
+            ListOp::Set(i, v) => {
+                if *i >= state.len() {
+                    return Err(ApplyError::new(format!(
+                        "set index {i} out of range (len {})",
+                        state.len()
+                    )));
+                }
+                state.set(*i, v.clone());
+            }
+            ListOp::InsertRun(i, vs) => {
+                if *i > state.len() {
+                    return Err(ApplyError::new(format!(
+                        "insert-run index {i} out of range (len {})",
+                        state.len()
+                    )));
+                }
+                state.insert_slice(*i, vs);
+            }
+            ListOp::DeleteRange(i, n) => {
+                if i + n > state.len() {
+                    return Err(ApplyError::new(format!(
+                        "delete range {i}+{n} out of range (len {})",
+                        state.len()
+                    )));
+                }
+                state.remove_range(*i, *n);
             }
         }
         Ok(())
@@ -347,8 +411,8 @@ mod tests {
 
     type Op = ListOp<char>;
 
-    fn base() -> Vec<char> {
-        vec!['a', 'b', 'c']
+    fn base() -> ChunkTree<char> {
+        ChunkTree::from_vec(vec!['a', 'b', 'c'])
     }
 
     #[test]
@@ -475,7 +539,7 @@ mod tests {
     #[test]
     fn tp1_span_pairs_exhaustive() {
         // Every span/point op over a 6-element base, against every other.
-        let base: Vec<u8> = (0..6).collect();
+        let base: ChunkTree<u8> = (0..6).collect();
         let mut ops: Vec<ListOp<u8>> = Vec::new();
         for i in 0..=6 {
             ops.push(ListOp::Insert(i, 90));
@@ -507,7 +571,7 @@ mod tests {
             Transformed::Two(ListOp::Delete(1), ListOp::DeleteRange(3, 2))
         );
         // End state must keep the inserted run.
-        let mut s: Vec<u8> = (0..6).collect();
+        let mut s: ChunkTree<u8> = (0..6).collect();
         ins.apply(&mut s).unwrap();
         for piece in t.into_vec() {
             piece.apply(&mut s).unwrap();
@@ -519,7 +583,7 @@ mod tests {
     fn span_ops_are_equivalent_to_element_runs() {
         // An `InsertRun`/`DeleteRange` must transform exactly like the
         // element-wise run it abbreviates, for every concurrent point op.
-        let base: Vec<u8> = (0..6).collect();
+        let base: ChunkTree<u8> = (0..6).collect();
         let mut others: Vec<ListOp<u8>> = Vec::new();
         for i in 0..=6 {
             others.push(ListOp::Insert(i, 80));
@@ -595,7 +659,7 @@ mod tests {
         use rand::{rngs::StdRng, Rng, SeedableRng};
         let mut rng = StdRng::seed_from_u64(0xC0FFEE);
         for _ in 0..200 {
-            let base: Vec<u32> = (0..8).collect();
+            let base: ChunkTree<u32> = (0..8).collect();
             let gen = |rng: &mut StdRng, len0: usize| {
                 let mut len = len0;
                 let mut ops = Vec::new();

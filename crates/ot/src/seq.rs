@@ -222,11 +222,12 @@ where
 mod tests {
     use super::*;
     use crate::list::ListOp;
+    use crate::state::ChunkTree;
 
     type Op = ListOp<char>;
 
-    fn base() -> Vec<char> {
-        vec!['a', 'b', 'c']
+    fn base() -> ChunkTree<char> {
+        ChunkTree::from_vec(vec!['a', 'b', 'c'])
     }
 
     #[test]

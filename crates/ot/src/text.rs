@@ -1,15 +1,20 @@
 //! OT algebra for **text** (mergeable strings, §II-C of the paper).
 //!
-//! State is a `String`; operations are position-addressed string inserts and
-//! range deletes over *character* positions (not bytes), mirroring the
-//! collaborative-editing heritage of OT (Ellis & Gibbs; Sun et al.'s
-//! convergence/intention-preservation framework).
+//! State is a [`Rope`] — a balanced chunked text with cached char counts,
+//! so applies cost O(log n) seek + O(chunk) splice instead of rescanning
+//! the whole document (see [`crate::state`]). Operations are
+//! position-addressed string inserts and range deletes over *character*
+//! positions (not bytes), mirroring the collaborative-editing heritage of
+//! OT (Ellis & Gibbs; Sun et al.'s convergence/intention-preservation
+//! framework). [`TextOp::apply_str`] keeps the plain-`String` semantics as
+//! the single-pass reference implementation for differential tests.
 //!
 //! This algebra is the canonical **non-scalar** one: a range delete that is
 //! interleaved by a concurrent insert splits into two deletes so that the
 //! concurrently inserted text survives — intention preservation. The
 //! sequence control algorithm handles the split via [`Transformed::Two`].
 
+use crate::state::Rope;
 use crate::{ApplyError, Operation, Side, Transformed};
 
 /// An operation on a text document.
@@ -52,52 +57,91 @@ impl TextOp {
             TextOp::Delete { .. } => 0,
         }
     }
-}
 
-/// Convert a character position to a byte index, validating range.
-fn char_to_byte(s: &str, pos: usize) -> Result<usize, ApplyError> {
-    if pos == 0 {
-        return Ok(0);
-    }
-    let mut count = 0;
-    for (byte, _) in s.char_indices() {
-        if count == pos {
-            return Ok(byte);
-        }
-        count += 1;
-    }
-    count += 1; // account for the last char
-    if pos == s.chars().count() {
-        Ok(s.len())
-    } else {
-        let _ = count;
-        Err(ApplyError::new(format!("char position {pos} out of range")))
-    }
-}
-
-impl Operation for TextOp {
-    type State = String;
-
-    const SCALAR: bool = false;
-
-    fn apply(&self, state: &mut String) -> Result<(), ApplyError> {
+    /// Apply against a plain `String`: the scalar reference
+    /// implementation the property suites diff the [`Rope`] backend
+    /// against. Resolves both range endpoints in a **single**
+    /// `char_indices` walk, so even the reference path is O(n), not
+    /// O(n) per endpoint.
+    ///
+    /// # Errors
+    /// Fails when the position or range falls outside the text.
+    pub fn apply_str(&self, state: &mut String) -> Result<(), ApplyError> {
         match self {
             TextOp::Insert { pos, text } => {
-                let at = char_to_byte(state, *pos)?;
+                let (at, _) = char_range_to_bytes(state, *pos, 0)?;
                 state.insert_str(at, text);
             }
             TextOp::Delete { pos, len } => {
                 if *len == 0 {
                     return Ok(());
                 }
-                let start = char_to_byte(state, *pos)?;
-                let end = char_to_byte(state, pos + len).map_err(|_| {
-                    ApplyError::new(format!(
-                        "delete range {pos}+{len} exceeds text length {}",
-                        state.chars().count()
-                    ))
-                })?;
+                let (start, end) = char_range_to_bytes(state, *pos, *len)?;
                 state.replace_range(start..end, "");
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Resolve char-range `[pos, pos + len)` to byte offsets in one
+/// `char_indices` pass, validating both endpoints.
+fn char_range_to_bytes(s: &str, pos: usize, len: usize) -> Result<(usize, usize), ApplyError> {
+    let end_pos = pos + len;
+    let mut start = None;
+    let mut end = None;
+    let mut count = 0;
+    for (byte, _) in s.char_indices() {
+        if count == pos {
+            start = Some(byte);
+        }
+        if count == end_pos {
+            end = Some(byte);
+            break;
+        }
+        count += 1;
+    }
+    // Fell off the end: `count` is now the total char count, which is a
+    // valid (exclusive) position for both endpoints.
+    if start.is_none() && pos == count {
+        start = Some(s.len());
+    }
+    if end.is_none() && end_pos == count {
+        end = Some(s.len());
+    }
+    match (start, end) {
+        (Some(b0), Some(b1)) => Ok((b0, b1)),
+        (None, _) => Err(ApplyError::new(format!("char position {pos} out of range"))),
+        _ => Err(ApplyError::new(format!(
+            "delete range {pos}+{len} exceeds text length"
+        ))),
+    }
+}
+
+impl Operation for TextOp {
+    type State = Rope;
+
+    const SCALAR: bool = false;
+
+    fn apply(&self, state: &mut Rope) -> Result<(), ApplyError> {
+        match self {
+            TextOp::Insert { pos, text } => {
+                if *pos > state.char_len() {
+                    return Err(ApplyError::new(format!("char position {pos} out of range")));
+                }
+                state.insert(*pos, text);
+            }
+            TextOp::Delete { pos, len } => {
+                if *len == 0 {
+                    return Ok(());
+                }
+                if pos + len > state.char_len() {
+                    return Err(ApplyError::new(format!(
+                        "delete range {pos}+{len} exceeds text length {}",
+                        state.char_len()
+                    )));
+                }
+                state.delete(*pos, *len);
             }
         }
         Ok(())
@@ -281,8 +325,8 @@ mod tests {
     use super::*;
     use crate::{assert_tp1, seq};
 
-    fn base() -> String {
-        "hello world".to_string()
+    fn base() -> Rope {
+        Rope::from("hello world")
     }
 
     #[test]
@@ -301,7 +345,7 @@ mod tests {
 
     #[test]
     fn apply_unicode_positions_are_chars_not_bytes() {
-        let mut s = "héllo".to_string();
+        let mut s = Rope::from("héllo");
         TextOp::insert(2, "X").apply(&mut s).unwrap();
         assert_eq!(s, "héXllo");
         TextOp::delete(1, 2).apply(&mut s).unwrap();
@@ -381,7 +425,7 @@ mod tests {
 
     #[test]
     fn tp1_exhaustive_small_ranges() {
-        let base = "abcdef".to_string();
+        let base = Rope::from("abcdef");
         let mut ops: Vec<TextOp> = Vec::new();
         for p in 0..=6 {
             ops.push(TextOp::insert(p, "xy"));
@@ -400,7 +444,7 @@ mod tests {
 
     #[test]
     fn sequence_convergence_with_splits() {
-        let base = "The quick brown fox".to_string();
+        let base = Rope::from("The quick brown fox");
         let left = vec![TextOp::insert(4, "very "), TextOp::delete(0, 4)];
         let right = vec![TextOp::delete(4, 6), TextOp::insert(0, ">> ")];
         seq::assert_converges(&base, &left, &right);
@@ -411,7 +455,7 @@ mod tests {
         use rand::{rngs::StdRng, Rng, SeedableRng};
         let mut rng = StdRng::seed_from_u64(0xBEEF);
         for _ in 0..200 {
-            let base: String = "abcdefghij".into();
+            let base = Rope::from("abcdefghij");
             let gen = |rng: &mut StdRng| {
                 let mut len = 10usize;
                 let mut ops = Vec::new();

@@ -144,7 +144,7 @@ mod tests {
     /// into the same rebase, so results are always consistent.
     #[test]
     fn centralized_rebase_never_exercises_tp2() {
-        let base = vec!['0', '1', '2'];
+        let base = crate::state::ChunkTree::from_vec(vec!['0', '1', '2']);
         let ops = [
             Op::Insert(1, 'x'),
             Op::Delete(1),

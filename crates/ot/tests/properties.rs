@@ -16,6 +16,7 @@ use sm_ot::map::MapOp;
 use sm_ot::register::RegisterOp;
 use sm_ot::seq::{assert_converges, rebase, transform_seqs};
 use sm_ot::set::SetOp;
+use sm_ot::state::{ChunkTree, Rope};
 use sm_ot::text::TextOp;
 use sm_ot::tree::{Node, TreeOp};
 use sm_ot::{apply_all, assert_tp1, Operation};
@@ -118,7 +119,7 @@ proptest! {
 
     #[test]
     fn tp1_list(a in list_ops(5, 2), b in list_ops(5, 2)) {
-        let base: Vec<u8> = (0..5).collect();
+        let base: ChunkTree<u8> = (0..5).collect();
         if let (Some(x), Some(y)) = (a.first(), b.first()) {
             assert_tp1(&base, x, y);
         }
@@ -126,7 +127,7 @@ proptest! {
 
     #[test]
     fn tp1_text(a in text_ops(8, 2), b in text_ops(8, 2)) {
-        let base = "abcdefgh".to_string();
+        let base = Rope::from("abcdefgh");
         if let (Some(x), Some(y)) = (a.first(), b.first()) {
             assert_tp1(&base, x, y);
         }
@@ -166,13 +167,13 @@ proptest! {
 
     #[test]
     fn sequences_converge_list(a in list_ops(6, 8), b in list_ops(6, 8)) {
-        let base: Vec<u8> = (0..6).collect();
+        let base: ChunkTree<u8> = (0..6).collect();
         assert_converges(&base, &a, &b);
     }
 
     #[test]
     fn sequences_converge_text(a in text_ops(10, 6), b in text_ops(10, 6)) {
-        let base = "abcdefghij".to_string();
+        let base = Rope::from("abcdefghij");
         assert_converges(&base, &a, &b);
     }
 
@@ -194,7 +195,7 @@ proptest! {
 
     #[test]
     fn rebase_applies_cleanly_and_matches_transform(a in list_ops(6, 6), b in list_ops(6, 6)) {
-        let base: Vec<u8> = (0..6).collect();
+        let base: ChunkTree<u8> = (0..6).collect();
         // rebase(b over a) must equal the right output of transform_seqs.
         let rebased = rebase(&b, &a);
         let (_, rhs) = transform_seqs(&a, &b);
@@ -214,7 +215,7 @@ proptest! {
     ) {
         // Serialize three concurrent histories the way three sibling
         // merges do: rebase b over a, then c over (a ++ b').
-        let base: Vec<u8> = (0..4).collect();
+        let base: ChunkTree<u8> = (0..4).collect();
         let serialize = |x: &[ListOp<u8>], y: &[ListOp<u8>], z: &[ListOp<u8>]| {
             let mut log: Vec<ListOp<u8>> = x.to_vec();
             log.extend(rebase(y, x));
@@ -233,7 +234,7 @@ proptest! {
 
     #[test]
     fn compaction_preserves_list_semantics(ops in list_ops(5, 12)) {
-        let base: Vec<u8> = (0..5).collect();
+        let base: ChunkTree<u8> = (0..5).collect();
         let compacted = compact_list(&ops);
         let mut s1 = base.clone();
         apply_all(&mut s1, &ops).unwrap();
@@ -245,7 +246,7 @@ proptest! {
 
     #[test]
     fn compaction_preserves_text_semantics(ops in text_ops(8, 10)) {
-        let base = "abcdefgh".to_string();
+        let base = Rope::from("abcdefgh");
         let compacted = compact(&ops);
         let mut s1 = base.clone();
         apply_all(&mut s1, &ops).unwrap();

@@ -1,0 +1,190 @@
+//! Observational equivalence of the chunked state backends against their
+//! scalar references: applying any valid op sequence to a [`Rope`] must
+//! agree with [`TextOp::apply_str`] on a plain `String`, and a
+//! [`ChunkTree`] must agree with [`ListOp::apply_vec`] on a plain `Vec` —
+//! including the span forms `InsertRun` / `DeleteRange`. Fork/merge
+//! determinism digests must likewise be independent of the backend's chunk
+//! layout.
+
+use proptest::prelude::*;
+use sm_ot::list::ListOp;
+use sm_ot::state::{ChunkTree, Rope};
+use sm_ot::text::TextOp;
+use sm_ot::{apply_all, Operation};
+
+/// Clamp a raw (kind, pos, payload) triple into a `TextOp` valid at
+/// document length `len`, mirroring how an editor would produce ops.
+fn text_op(kind: u8, pos: usize, payload: &str, len: usize) -> Option<TextOp> {
+    match kind % 3 {
+        0 | 1 => {
+            if payload.is_empty() {
+                return None;
+            }
+            Some(TextOp::insert(pos % (len + 1), payload))
+        }
+        _ => {
+            if len == 0 {
+                return None;
+            }
+            let p = pos % len;
+            let n = 1 + (payload.len() % 4).min(len - p - 1);
+            Some(TextOp::delete(p, n))
+        }
+    }
+}
+
+/// Clamp a raw triple into a `ListOp<u8>` valid at list length `len`,
+/// covering all five variants including the span forms.
+fn list_op(kind: u8, pos: usize, val: u8, len: usize) -> Option<ListOp<u8>> {
+    match kind % 5 {
+        0 => Some(ListOp::Insert(pos % (len + 1), val)),
+        1 => {
+            let run: Vec<u8> = (0..1 + val % 5).map(|i| val.wrapping_add(i)).collect();
+            Some(ListOp::InsertRun(pos % (len + 1), run))
+        }
+        2 if len > 0 => Some(ListOp::Delete(pos % len)),
+        3 if len > 1 => {
+            let p = pos % (len - 1);
+            Some(ListOp::DeleteRange(p, 1 + val as usize % (len - p)))
+        }
+        4 if len > 0 => Some(ListOp::Set(pos % len, val)),
+        _ => None,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Rope and String observe every op sequence identically.
+    #[test]
+    fn rope_tracks_string_reference(
+        base in "[a-z é✨]{0,40}",
+        script in prop::collection::vec((any::<u8>(), any::<usize>(), "[A-Z0-9é✨]{0,6}"), 0..24),
+    ) {
+        let mut rope = Rope::from(base.as_str());
+        let mut reference = base.clone();
+        for (kind, pos, payload) in &script {
+            let len = reference.chars().count();
+            prop_assert_eq!(rope.char_len(), len);
+            let Some(op) = text_op(*kind, *pos, payload, len) else { continue };
+            op.apply(&mut rope).unwrap();
+            op.apply_str(&mut reference).unwrap();
+        }
+        prop_assert_eq!(&rope, &reference);
+        rope.check_invariants();
+    }
+
+    /// ChunkTree and Vec observe every op sequence identically, spans
+    /// included.
+    #[test]
+    fn chunk_tree_tracks_vec_reference(
+        base in prop::collection::vec(any::<u8>(), 0..60),
+        script in prop::collection::vec((any::<u8>(), any::<usize>(), any::<u8>()), 0..32),
+    ) {
+        let mut tree = ChunkTree::from_vec(base.clone());
+        let mut reference = base.clone();
+        for (kind, pos, val) in &script {
+            prop_assert_eq!(tree.len(), reference.len());
+            let Some(op) = list_op(*kind, *pos, *val, reference.len()) else { continue };
+            op.apply(&mut tree).unwrap();
+            op.apply_vec(&mut reference).unwrap();
+        }
+        prop_assert_eq!(&tree, &reference);
+        tree.check_invariants();
+    }
+
+    /// Out-of-range ops error identically on both backends and leave the
+    /// chunked state untouched.
+    #[test]
+    fn errors_agree_between_backends(
+        base in "[a-z]{0,10}",
+        pos in any::<usize>(),
+        len in 1usize..5,
+    ) {
+        let n = base.chars().count();
+        let mut rope = Rope::from(base.as_str());
+        let mut reference = base.clone();
+        let op = TextOp::delete(pos, len);
+        let a = op.apply(&mut rope);
+        let b = op.apply_str(&mut reference);
+        prop_assert_eq!(a.is_err(), b.is_err());
+        if a.is_err() {
+            // A failed apply must not mutate.
+            prop_assert_eq!(rope.char_len(), n);
+        }
+        prop_assert_eq!(&rope, &reference);
+    }
+
+    /// Chunk layout never leaks: any partition of the same content is
+    /// observationally equal and yields identical results under ops.
+    #[test]
+    fn layout_independence(
+        content in prop::collection::vec(any::<u8>(), 1..50),
+        cut in any::<usize>(),
+        script in prop::collection::vec((any::<u8>(), any::<usize>(), any::<u8>()), 0..10),
+    ) {
+        let at = cut % content.len();
+        let mut a = ChunkTree::from_chunk_vecs(vec![content[..at].to_vec(), content[at..].to_vec()]);
+        let mut b = ChunkTree::from_vec(content.clone());
+        prop_assert_eq!(&a, &b);
+        for (kind, pos, val) in &script {
+            let Some(op) = list_op(*kind, *pos, *val, b.len()) else { continue };
+            op.apply(&mut a).unwrap();
+            op.apply(&mut b).unwrap();
+        }
+        prop_assert_eq!(&a, &b);
+    }
+}
+
+/// Rebase-then-apply agrees between backends: the digest of a merged text
+/// is the same whether the states are ropes or strings. This is the
+/// backend-independence half of the determinism audit.
+#[test]
+fn rebase_digest_is_backend_independent() {
+    let base = "the quick brown fox jumps over the lazy dog";
+    let committed = vec![
+        TextOp::insert(4, "very "),
+        TextOp::delete(0, 4),
+        TextOp::insert(0, "A "),
+    ];
+    let incoming = vec![TextOp::insert(9, "RED "), TextOp::delete(20, 5)];
+    let rebased = sm_ot::seq::rebase(&incoming, &committed);
+
+    let mut rope = Rope::from(base);
+    apply_all(&mut rope, &committed).unwrap();
+    apply_all(&mut rope, &rebased).unwrap();
+
+    let mut reference = base.to_string();
+    for op in committed.iter().chain(&rebased) {
+        op.apply_str(&mut reference).unwrap();
+    }
+    assert_eq!(rope, reference);
+}
+
+/// The same for lists, with span ops in both logs.
+#[test]
+fn list_rebase_digest_is_backend_independent() {
+    let base: Vec<u8> = (0..32).collect();
+    let committed = vec![
+        ListOp::InsertRun(4, vec![100, 101, 102]),
+        ListOp::DeleteRange(10, 5),
+        ListOp::Set(0, 99),
+    ];
+    let incoming = vec![
+        ListOp::Insert(8, 200),
+        ListOp::DeleteRange(2, 3),
+        ListOp::InsertRun(30, vec![1, 2]),
+    ];
+    let rebased = sm_ot::seq::rebase(&incoming, &committed);
+
+    let mut tree = ChunkTree::from_vec(base.clone());
+    apply_all(&mut tree, &committed).unwrap();
+    apply_all(&mut tree, &rebased).unwrap();
+
+    let mut reference = base;
+    for op in committed.iter().chain(&rebased) {
+        op.apply_vec(&mut reference).unwrap();
+    }
+    assert_eq!(tree, reference);
+    tree.check_invariants();
+}

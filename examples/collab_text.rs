@@ -11,25 +11,25 @@ use spawn_merge::{run, MText};
 
 fn main() {
     let document = MText::from("The fox jumps over the dog.");
-    println!("base document : {:?}", document.as_str());
+    println!("base document : {:?}", document.to_string());
 
     let (merged, ()) = run(document, |ctx| {
         // Editor 1: qualify the fox.
         let e1 = ctx.spawn(|c| {
-            let pos = c.data().as_str().find("fox").unwrap();
+            let pos = c.data().to_string().find("fox").unwrap();
             c.data_mut().insert_str(pos, "quick brown ");
             Ok(())
         });
         // Editor 2: qualify the dog.
         let e2 = ctx.spawn(|c| {
-            let pos = c.data().as_str().find("dog").unwrap();
+            let pos = c.data().to_string().find("dog").unwrap();
             c.data_mut().insert_str(pos, "lazy ");
             Ok(())
         });
         // Editor 3: delete " over the dog" and end with an exclamation.
         let e3 = ctx.spawn(|c| {
             let (start, len) = {
-                let text = c.data().as_str();
+                let text = c.data().to_string();
                 let start = text.find(" over").unwrap();
                 (start, text.len() - start - 1) // keep the final '.'
             };
@@ -43,14 +43,15 @@ fn main() {
         ctx.merge_all_from_set(&[&e1, &e2, &e3]);
     });
 
-    println!("merged result : {:?}", merged.as_str());
+    let merged_text = merged.to_string();
+    println!("merged result : {merged_text:?}");
 
     // Editor 2's "lazy " was inserted inside the range editor 3 deleted:
     // the range delete was split around it (intention preservation), so
     // the insert survives. Editor 1's and editor 3's edits land verbatim.
-    assert!(merged.as_str().contains("quick brown fox"));
-    assert!(merged.as_str().contains("lazy"));
-    assert!(merged.as_str().ends_with('!'));
+    assert!(merged_text.contains("quick brown fox"));
+    assert!(merged_text.contains("lazy"));
+    assert!(merged_text.ends_with('!'));
 
     // And it is reproducible: rerunning with adversarial timing changes
     // nothing (try it: the merge order is fixed by the FromSet argument

@@ -60,7 +60,7 @@ fn main() {
     }
 
     let (counts, report) = rt.shutdown().expect("shutdown");
-    println!("\nreport: {}", report.as_str());
+    println!("\nreport: {report}");
     println!("word counts (deterministic, spawn-order merge):");
     for (word, n) in counts.iter() {
         println!("  {word:<8} {n}");

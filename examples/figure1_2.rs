@@ -8,11 +8,12 @@
 //! ```
 
 use spawn_merge::ot::list::ListOp;
+use spawn_merge::ot::state::ChunkTree;
 use spawn_merge::ot::{Operation, Side};
 
 type Op = ListOp<char>;
 
-fn show(label: &str, l: &[char]) {
+fn show(label: &str, l: &ChunkTree<char>) {
     println!(
         "    {label}: {}",
         l.iter()
@@ -23,7 +24,7 @@ fn show(label: &str, l: &[char]) {
 }
 
 fn main() {
-    let base = vec!['a', 'b', 'c'];
+    let base = ChunkTree::from_vec(vec!['a', 'b', 'c']);
     let op_a = Op::Delete(2); // process A: del(2)
     let op_b = Op::Insert(0, 'd'); // process B: ins(0, d)
 

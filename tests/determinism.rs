@@ -42,7 +42,7 @@ fn text_merge_is_deterministic() {
             }
             ctx.merge_all();
         });
-        doc.as_str().to_string()
+        doc.to_string()
     };
     let baseline = run_once();
     for _ in 0..8 {

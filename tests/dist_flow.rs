@@ -47,7 +47,7 @@ fn digest(d: &Data) -> String {
         "{:?}|{:?}|{}",
         d.0.to_vec(),
         d.1.iter().collect::<Vec<_>>(),
-        d.2.as_str()
+        d.2
     )
 }
 

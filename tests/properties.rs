@@ -197,7 +197,7 @@ proptest! {
             }
             parent.merge(&a).unwrap();
             parent.merge(&b).unwrap();
-            parent.as_str().to_string()
+            parent.to_string()
         };
         let first = build();
         prop_assert_eq!(&first, &build());

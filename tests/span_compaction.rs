@@ -16,6 +16,7 @@ use spawn_merge::ot::map::MapOp;
 use spawn_merge::ot::register::RegisterOp;
 use spawn_merge::ot::seq::rebase;
 use spawn_merge::ot::set::SetOp;
+use spawn_merge::ot::state::{ChunkTree, Rope};
 use spawn_merge::ot::text::TextOp;
 use spawn_merge::ot::tree::{Node, TreeOp};
 use spawn_merge::ot::{apply_all, Operation};
@@ -47,7 +48,7 @@ where
 
 #[test]
 fn list_adjacent_fuse_and_cancel() {
-    let base: Vec<u8> = (0..8).collect();
+    let base: ChunkTree<u8> = (0..8).collect();
     // Contiguous appends on both sides fuse to one InsertRun each.
     let committed: Vec<ListOp<u8>> = (0..5).map(|i| ListOp::Insert(8 + i, i as u8)).collect();
     let incoming: Vec<ListOp<u8>> = (0..5)
@@ -68,7 +69,7 @@ fn list_adjacent_fuse_and_cancel() {
 
 #[test]
 fn text_adjacent_fuse_and_cancel() {
-    let base = "abcdefgh".to_string();
+    let base = Rope::from("abcdefgh");
     let committed = vec![TextOp::insert(0, "xx"), TextOp::insert(2, "yy")];
     // Typed-then-deleted text cancels (full and partial overlap).
     let incoming = vec![
@@ -205,13 +206,13 @@ proptest! {
 
     #[test]
     fn prop_compact_rebase_equiv_list(c in list_ops(6, 10), i in list_ops(6, 10)) {
-        let base: Vec<u8> = (0..6).collect();
+        let base: ChunkTree<u8> = (0..6).collect();
         assert_compact_rebase_equiv(&base, &c, &i);
     }
 
     #[test]
     fn prop_compact_rebase_equiv_text(c in text_ops(8, 8), i in text_ops(8, 8)) {
-        let base = "abcdefgh".to_string();
+        let base = Rope::from("abcdefgh");
         assert_compact_rebase_equiv(&base, &c, &i);
     }
 

@@ -39,7 +39,7 @@ impl World {
         format!(
             "{:?}|{}|{}|{:?}",
             self.list.to_vec(),
-            self.text.as_str(),
+            self.text,
             self.count.get(),
             self.hist.iter().collect::<Vec<_>>()
         )

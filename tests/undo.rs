@@ -6,6 +6,7 @@
 use proptest::prelude::*;
 use spawn_merge::ot::apply_all;
 use spawn_merge::ot::invert::inverse_sequence;
+use spawn_merge::ot::state::{ChunkTree, Rope};
 use spawn_merge::{MList, MText, Mergeable};
 
 #[test]
@@ -17,8 +18,9 @@ fn list_session_can_be_undone_from_its_log() {
     list.set(1, 9);
     list.insert(0, 7);
 
-    let undo = inverse_sequence(&base, list.log()).expect("log applies to base");
-    let mut state = list.to_vec();
+    let undo = inverse_sequence(&ChunkTree::from_vec(base.clone()), list.log())
+        .expect("log applies to base");
+    let mut state = ChunkTree::from_vec(list.to_vec());
     apply_all(&mut state, &undo).unwrap();
     assert_eq!(state, base);
 }
@@ -37,8 +39,8 @@ fn merged_history_is_undoable_as_a_whole() {
     parent.merge(&c1).unwrap();
     parent.merge(&c2).unwrap();
 
-    let undo = inverse_sequence(&base, parent.log()).unwrap();
-    let mut state = parent.to_vec();
+    let undo = inverse_sequence(&ChunkTree::from_vec(base.clone()), parent.log()).unwrap();
+    let mut state = ChunkTree::from_vec(parent.to_vec());
     apply_all(&mut state, &undo).unwrap();
     assert_eq!(state, base);
 }
@@ -51,8 +53,8 @@ fn text_session_can_be_undone_from_its_log() {
     doc.delete_range(0, 2);
     doc.push_str("!!");
 
-    let undo = inverse_sequence(&base, doc.log()).unwrap();
-    let mut state = doc.as_str().to_string();
+    let undo = inverse_sequence(&Rope::from(base.as_str()), doc.log()).unwrap();
+    let mut state = Rope::from(doc.to_string());
     apply_all(&mut state, &undo).unwrap();
     assert_eq!(state, base);
 }
@@ -81,8 +83,9 @@ proptest! {
                 _ => {}
             }
         }
-        let undo = inverse_sequence(&base, list.log()).expect("own log always applies");
-        let mut state = list.to_vec();
+        let undo = inverse_sequence(&ChunkTree::from_vec(base.clone()), list.log())
+            .expect("own log always applies");
+        let mut state = ChunkTree::from_vec(list.to_vec());
         apply_all(&mut state, &undo).unwrap();
         prop_assert_eq!(state, base);
     }
