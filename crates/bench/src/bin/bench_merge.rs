@@ -1,12 +1,16 @@
-//! Emit `BENCH_merge.json`: before/after numbers for the span-compaction
-//! rebase fast path.
+//! Emit `BENCH_merge.json`: before/after numbers for the rebase fast
+//! paths (span compaction and the linear delta transform).
 //!
 //! Each scenario rebases the same child log against the same committed
-//! log twice — once raw (element-wise, the pre-optimization merge path)
-//! and once through `sm_ot::compose::compact` first (the current merge
-//! path, compaction time included) — and records wall-clock nanoseconds,
-//! op counts, and transformation-grid sizes. A final scenario times the
-//! full `MList::merge` entry point end to end.
+//! log three ways — raw (element-wise, the pre-optimization merge path),
+//! through `sm_ot::compose::compact` first (the PR-2 grid path,
+//! compaction time included), and through `sm_ot::delta::rebase_delta`
+//! (the O(m+n) sorted span-set path) — and records wall-clock
+//! nanoseconds, op counts, grid sizes, span counts, and which path the
+//! merge actually takes (`rebase_delta` declines span-inexpressible logs
+//! and order-sensitive insert collisions; those fall back to the grid).
+//! Final scenarios time the full `MList::merge` entry point end to end
+//! and report its delta/grid rebase split.
 //!
 //! Usage:
 //!
@@ -22,6 +26,7 @@ use std::time::Instant;
 
 use sm_mergeable::{MList, Mergeable};
 use sm_ot::compose::compact;
+use sm_ot::delta::rebase_delta;
 use sm_ot::list::ListOp;
 use sm_ot::seq::rebase;
 
@@ -71,8 +76,9 @@ fn scenarios() -> Vec<Scenario> {
         committed: (0..200).map(|i| ListOp::Insert(0, i as u64)).collect(),
         incoming: (0..500).map(|i| ListOp::Set(i % 4, i as u64)).collect(),
     };
-    // Control: scattered inserts that mostly do not fuse — compaction
-    // must not slow this path down materially.
+    // Scattered inserts that mostly do not fuse: compaction cannot help,
+    // so before this PR the merge degraded to the full grid. The delta
+    // path sweeps them in one pass.
     let scattered = Scenario {
         name: "scattered_inserts_100x100",
         committed: lcg_positions(100, 64)
@@ -85,7 +91,90 @@ fn scenarios() -> Vec<Scenario> {
             .map(|p| ListOp::Insert(p, 9))
             .collect(),
     };
-    vec![contiguous, churn, scattered]
+    // The same shape at 5x the op count: the grid grows 25x, the delta
+    // sweep 5x.
+    let scattered_large = Scenario {
+        name: "scattered_inserts_500x500",
+        committed: lcg_positions(500, 64)
+            .into_iter()
+            .map(|p| ListOp::Insert(p, 7))
+            .collect(),
+        incoming: lcg_positions(500, 64)
+            .into_iter()
+            .rev()
+            .map(|p| ListOp::Insert(p, 9))
+            .collect(),
+    };
+    // Scattered inserts and deletes fully interleaved over the same
+    // region: somewhere an incoming insert ends up separated from a
+    // later committed insert only by deleted units, so the
+    // order-sensitivity screen sends the pair to the grid. Kept as the
+    // honest fallback data point (`path = grid`, ~1x).
+    let positions = lcg_positions(500, 3000);
+    let mixed = Scenario {
+        name: "scattered_mixed_interleaved",
+        committed: positions
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| {
+                if i % 2 == 0 {
+                    ListOp::Insert(p, i as u64)
+                } else {
+                    ListOp::Delete(p)
+                }
+            })
+            .collect(),
+        incoming: positions
+            .iter()
+            .rev()
+            .enumerate()
+            .map(|(i, &p)| {
+                if i % 2 == 0 {
+                    ListOp::Insert(p / 2, 1000 + i as u64)
+                } else {
+                    ListOp::Delete(p / 2)
+                }
+            })
+            .collect(),
+    };
+    // The same insert/delete mix but each side editing its own half of
+    // the base — the paper's motivating disjoint-region workload. Every
+    // committed insert precedes every incoming one, so no collision is
+    // possible and the pair stays on the delta path.
+    let disjoint = Scenario {
+        name: "scattered_mixed_disjoint_halves",
+        committed: positions
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| {
+                if i % 2 == 0 {
+                    ListOp::Insert(p / 2, i as u64)
+                } else {
+                    ListOp::Delete(p / 2)
+                }
+            })
+            .collect(),
+        incoming: positions
+            .iter()
+            .rev()
+            .enumerate()
+            .map(|(i, &p)| {
+                if i % 2 == 0 {
+                    ListOp::Insert(1800 + p / 2, 1000 + i as u64)
+                } else {
+                    ListOp::Delete(1800 + p / 2)
+                }
+            })
+            .collect(),
+    };
+    vec![
+        contiguous,
+        churn,
+        scattered,
+        scattered_large,
+        mixed,
+        disjoint,
+    ]
 }
 
 fn main() {
@@ -112,9 +201,28 @@ fn main() {
         });
         let ic = compact(&sc.incoming);
         let cc = compact(&sc.committed);
-        let speedup = raw_ns as f64 / compacted_ns.max(1) as f64;
+        // The delta path as the merge runs it: fold, screen, sweep.
+        // `None` means this pair falls back to the grid at merge time.
+        let delta_result = rebase_delta(&sc.incoming, &sc.committed);
+        let (delta_ns, delta_spans, path) = match &delta_result {
+            Some((_, st)) => (
+                time_ns(iters, || rebase_delta(&sc.incoming, &sc.committed)),
+                st.incoming_spans + st.committed_spans,
+                "delta",
+            ),
+            None => (0, 0, "grid"),
+        };
+        // What the merge pays after this PR: the delta sweep when the
+        // pair qualifies, the compacted grid otherwise.
+        let after_ns = if path == "delta" {
+            delta_ns
+        } else {
+            compacted_ns
+        };
+        let speedup = raw_ns as f64 / after_ns.max(1) as f64;
+        let speedup_compacted = raw_ns as f64 / compacted_ns.max(1) as f64;
         eprintln!(
-            "{}: raw {} ns ({}x{} grid) -> compacted {} ns ({}x{} grid), {:.1}x",
+            "{}: raw {} ns ({}x{} grid) -> compacted {} ns ({}x{} grid) -> {} {} ns ({} spans), {:.1}x",
             sc.name,
             raw_ns,
             sc.incoming.len(),
@@ -122,6 +230,9 @@ fn main() {
             compacted_ns,
             ic.len(),
             cc.len(),
+            path,
+            after_ns,
+            delta_spans,
             speedup
         );
         if si > 0 {
@@ -129,20 +240,25 @@ fn main() {
         }
         let _ = write!(
             json,
-            "    {{\"name\": \"{}\", \"raw_ns\": {}, \"compacted_ns\": {}, \"speedup\": {:.2}, \
+            "    {{\"name\": \"{}\", \"raw_ns\": {}, \"compacted_ns\": {}, \"delta_ns\": {}, \
+             \"path\": \"{}\", \"speedup\": {:.2}, \"speedup_compacted\": {:.2}, \
              \"incoming_ops\": {}, \"committed_ops\": {}, \
              \"incoming_ops_compacted\": {}, \"committed_ops_compacted\": {}, \
-             \"grid_cells_raw\": {}, \"grid_cells_compacted\": {}}}",
+             \"grid_cells_raw\": {}, \"grid_cells_compacted\": {}, \"delta_spans\": {}}}",
             sc.name,
             raw_ns,
             compacted_ns,
+            delta_ns,
+            path,
             speedup,
+            speedup_compacted,
             sc.incoming.len(),
             sc.committed.len(),
             ic.len(),
             cc.len(),
             sc.incoming.len() * sc.committed.len(),
             ic.len() * cc.len(),
+            delta_spans,
         );
     }
     json.push_str("\n  ],\n");
@@ -161,8 +277,10 @@ fn main() {
     });
     let stats = parent.clone().merge(&child).unwrap();
     eprintln!(
-        "merge_path_500x500: {} ns, grid {} (raw would be {})",
+        "merge_path_500x500: {} ns, {} delta / {} grid rebases, grid {} (raw would be {})",
         merge_ns,
+        stats.delta_rebases,
+        stats.grid_rebases,
         stats.grid_cells,
         stats.child_ops * stats.committed_ops
     );
@@ -171,7 +289,8 @@ fn main() {
         "  \"merge_path\": {{\"name\": \"mlist_merge_500x500\", \"merge_ns\": {}, \
          \"child_ops\": {}, \"child_ops_compacted\": {}, \
          \"committed_ops\": {}, \"committed_ops_compacted\": {}, \
-         \"grid_cells\": {}, \"grid_cells_raw\": {}}}",
+         \"grid_cells\": {}, \"grid_cells_raw\": {}, \
+         \"delta_rebases\": {}, \"grid_rebases\": {}, \"delta_spans\": {}}},",
         merge_ns,
         stats.child_ops,
         stats.child_ops_compacted,
@@ -179,6 +298,46 @@ fn main() {
         stats.committed_ops_compacted,
         stats.grid_cells,
         stats.child_ops * stats.committed_ops,
+        stats.delta_rebases,
+        stats.grid_rebases,
+        stats.delta_spans,
+    );
+
+    // End-to-end scattered merge: 300 scattered inserts on each side
+    // through the MList entry point — the case the delta path exists
+    // for, unreachable by record-time fusion or compaction.
+    let mut parent = MList::from_vec((0..64u64).collect());
+    let mut child = parent.fork();
+    for (i, p) in lcg_positions(300, 64).into_iter().enumerate() {
+        child.insert(p, i as u64);
+        parent.insert(63 - p, 1000 + i as u64);
+    }
+    let merge_ns = time_ns(iters, || {
+        let mut p = parent.clone();
+        p.merge(&child).unwrap()
+    });
+    let stats = parent.clone().merge(&child).unwrap();
+    eprintln!(
+        "merge_path_scattered_300x300: {} ns, {} delta / {} grid rebases, {} spans (grid would be {} cells)",
+        merge_ns,
+        stats.delta_rebases,
+        stats.grid_rebases,
+        stats.delta_spans,
+        stats.child_ops * stats.committed_ops
+    );
+    let _ = writeln!(
+        json,
+        "  \"merge_path_scattered\": {{\"name\": \"mlist_merge_scattered_300x300\", \"merge_ns\": {}, \
+         \"child_ops\": {}, \"committed_ops\": {}, \"grid_cells\": {}, \"grid_cells_raw\": {}, \
+         \"delta_rebases\": {}, \"grid_rebases\": {}, \"delta_spans\": {}}}",
+        merge_ns,
+        stats.child_ops,
+        stats.committed_ops,
+        stats.grid_cells,
+        stats.child_ops * stats.committed_ops,
+        stats.delta_rebases,
+        stats.grid_rebases,
+        stats.delta_spans,
     );
     json.push_str("}\n");
 

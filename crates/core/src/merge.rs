@@ -389,26 +389,36 @@ impl<D: Mergeable> TaskCtx<D> {
         if !self.is_root() || self.data.is_none() {
             return;
         }
-        let mut watermark: Option<Vec<usize>> = None;
-        {
+        let fold = {
             let adopted = self.family.adopted.lock();
-            for child in self.children.iter().chain(adopted.iter()) {
-                match &mut watermark {
-                    None => watermark = Some(child.fork_marks.clone()),
-                    Some(w) => {
-                        for (slot, mark) in w.iter_mut().zip(&child.fork_marks) {
-                            *slot = (*slot).min(*mark);
-                        }
-                    }
-                }
-            }
-        }
+            fold_fork_watermark(
+                self.children
+                    .iter()
+                    .chain(adopted.iter())
+                    .map(|child| child.fork_marks.as_slice()),
+            )
+        };
         let data = self.data.as_mut().expect("checked above");
-        let watermark = watermark.unwrap_or_else(|| {
-            let mut marks = Vec::new();
-            data.history_marks(&mut marks);
-            marks
-        });
+        let watermark = match fold {
+            WatermarkFold::Min(w) => w,
+            WatermarkFold::Unbounded => {
+                let mut marks = Vec::new();
+                data.history_marks(&mut marks);
+                marks
+            }
+            WatermarkFold::ArityMismatch { expected, found } => {
+                // Children disagree on how many versioned fields the data
+                // tree has — the bookkeeping is inconsistent and any
+                // watermark computed from it could over-truncate history a
+                // live fork still needs. Refuse to GC this round.
+                debug_assert!(
+                    false,
+                    "fork-mark arity mismatch across live children: \
+                     expected {expected} marks, found {found}"
+                );
+                return;
+            }
+        };
         let mut cursor = 0;
         let dropped = data.truncate_history(&watermark, &mut cursor);
         if dropped > 0 {
@@ -445,11 +455,136 @@ impl<D: Mergeable> TaskCtx<D> {
                     child_ops_compacted: stats.child_ops_compacted,
                     committed_ops_compacted: stats.committed_ops_compacted,
                     grid_cells: stats.grid_cells,
+                    delta_rebases: stats.delta_rebases,
+                    grid_rebases: stats.grid_rebases,
+                    delta_spans: stats.delta_spans,
                 },
                 oplog_len,
                 merge_nanos,
             });
         }
         stats
+    }
+}
+
+/// Outcome of folding live children's fork marks into a GC watermark.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum WatermarkFold {
+    /// No live children: every history position is droppable.
+    Unbounded,
+    /// The element-wise minimum of all children's fork marks.
+    Min(Vec<usize>),
+    /// Two children reported different mark arities. A watermark computed
+    /// by pairing only the common prefix could silently skip the slots of
+    /// one child entirely and advance past a live fork — GC must not run.
+    ArityMismatch {
+        /// Arity of the first child's marks.
+        expected: usize,
+        /// The differing arity that was encountered.
+        found: usize,
+    },
+}
+
+/// Element-wise minimum over children's fork-mark vectors, refusing to
+/// fold vectors of unequal arity.
+///
+/// Every child of the same parent walks the same data tree in
+/// [`Mergeable::fork_marks`], so the vectors must all have one entry per
+/// versioned field. A bare `zip` here would silently truncate to the
+/// shorter vector on a mismatch and could wrongly advance the watermark;
+/// instead the mismatch is surfaced and the caller skips this GC round.
+fn fold_fork_watermark<'a>(marks: impl IntoIterator<Item = &'a [usize]>) -> WatermarkFold {
+    let mut watermark: Option<Vec<usize>> = None;
+    for child_marks in marks {
+        match &mut watermark {
+            None => watermark = Some(child_marks.to_vec()),
+            Some(w) => {
+                if w.len() != child_marks.len() {
+                    return WatermarkFold::ArityMismatch {
+                        expected: w.len(),
+                        found: child_marks.len(),
+                    };
+                }
+                for (slot, mark) in w.iter_mut().zip(child_marks) {
+                    *slot = (*slot).min(*mark);
+                }
+            }
+        }
+    }
+    match watermark {
+        Some(w) => WatermarkFold::Min(w),
+        None => WatermarkFold::Unbounded,
+    }
+}
+
+#[cfg(test)]
+mod watermark_tests {
+    use super::*;
+
+    #[test]
+    fn no_children_is_unbounded() {
+        assert_eq!(
+            fold_fork_watermark(std::iter::empty()),
+            WatermarkFold::Unbounded
+        );
+    }
+
+    #[test]
+    fn single_child_is_its_marks() {
+        let a = [3usize, 7];
+        assert_eq!(
+            fold_fork_watermark([a.as_slice()]),
+            WatermarkFold::Min(vec![3, 7])
+        );
+    }
+
+    #[test]
+    fn fold_is_elementwise_minimum() {
+        let a = [5usize, 2, 9];
+        let b = [3usize, 8, 9];
+        let c = [4usize, 2, 1];
+        assert_eq!(
+            fold_fork_watermark([a.as_slice(), b.as_slice(), c.as_slice()]),
+            WatermarkFold::Min(vec![3, 2, 1])
+        );
+    }
+
+    #[test]
+    fn arity_mismatch_is_detected_not_truncated() {
+        // Regression: the old fold `zip`ed the vectors, so a short child
+        // silently dropped the trailing slots and the watermark could
+        // advance past marks it never compared. The fold must refuse.
+        let a = [5usize, 2, 9];
+        let b = [3usize];
+        assert_eq!(
+            fold_fork_watermark([a.as_slice(), b.as_slice()]),
+            WatermarkFold::ArityMismatch {
+                expected: 3,
+                found: 1
+            }
+        );
+        // Mismatch on a later child, after a successful fold step.
+        let c = [1usize, 1, 1];
+        let d = [0usize, 0, 0, 0];
+        assert_eq!(
+            fold_fork_watermark([a.as_slice(), c.as_slice(), d.as_slice()]),
+            WatermarkFold::ArityMismatch {
+                expected: 3,
+                found: 4
+            }
+        );
+    }
+
+    #[test]
+    fn longer_first_child_also_mismatches() {
+        let a = [1usize];
+        let b = [0usize, 4];
+        assert_eq!(
+            fold_fork_watermark([a.as_slice(), b.as_slice()]),
+            WatermarkFold::ArityMismatch {
+                expected: 1,
+                found: 2
+            }
+        );
     }
 }

@@ -76,8 +76,21 @@ pub struct MergeStats {
     pub committed_ops_compacted: usize,
     /// Transformation-grid size actually paid: the product of the two
     /// compacted lengths. Compare with `child_ops * committed_ops` for the
-    /// raw grid the merge would have cost without compaction.
+    /// raw grid the merge would have cost without compaction. Zero when the
+    /// delta path ran — no grid is built at all.
     pub grid_cells: usize,
+    /// Rebases that took the O(m+n) sorted span-set path
+    /// ([`sm_ot::delta`]). For composite structures this counts per-field
+    /// rebases, so `delta_rebases + grid_rebases` is the total.
+    pub delta_rebases: usize,
+    /// Rebases that fell back to the pairwise transformation grid
+    /// ([`sm_ot::seq`]): non-sequence algebras, logs containing operations
+    /// a span-set cannot express (e.g. `ListOp::Set`), and trivial merges
+    /// where either side's log was empty.
+    pub grid_rebases: usize,
+    /// Total normalized spans swept by delta-path rebases (incoming +
+    /// committed sides): the m+n the linear transform actually paid.
+    pub delta_spans: usize,
 }
 
 impl std::ops::AddAssign for MergeStats {
@@ -88,6 +101,9 @@ impl std::ops::AddAssign for MergeStats {
         self.child_ops_compacted += rhs.child_ops_compacted;
         self.committed_ops_compacted += rhs.committed_ops_compacted;
         self.grid_cells += rhs.grid_cells;
+        self.delta_rebases += rhs.delta_rebases;
+        self.grid_rebases += rhs.grid_rebases;
+        self.delta_spans += rhs.delta_spans;
     }
 }
 
@@ -342,10 +358,19 @@ impl<O: Operation> Versioned<O> {
     }
 
     /// Merge a forked child back: rebase its log over everything committed
-    /// here since the fork, apply, and append to this history. Both sides
-    /// of the rebase are compacted first (read-only; borrowed unchanged
-    /// when already compact), which shrinks the transformation grid without
-    /// changing the outcome.
+    /// here since the fork, apply, and append to this history.
+    ///
+    /// When both sides are non-empty and the algebra supports it, the
+    /// rebase takes the O(m+n) sorted span-set path
+    /// ([`sm_ot::Operation::delta_rebase`]) — both logs fold into
+    /// normalized deltas over the fork-base coordinate space and transform
+    /// in one linear sweep, no grid at all. Otherwise both sides are
+    /// compacted first (read-only; borrowed unchanged when already compact)
+    /// and rebased over the pairwise transformation grid; compaction rules
+    /// are rebase-preserving, so the result is unchanged while the grid
+    /// shrinks multiplicatively. Trivial merges (either log empty) count as
+    /// grid rebases in [`MergeStats`] — the grid path's empty-side fast
+    /// paths make them O(1) anyway.
     ///
     /// Merging never aborts on conflicting operations — that is the OT
     /// guarantee; the error cases are structural misuse only.
@@ -364,18 +389,46 @@ impl<O: Operation> Versioned<O> {
         }
         let (rebased, stats) = {
             let committed_raw = &self.log[child.fork_base - self.log_start..];
-            let committed: Cow<'_, [O]> = compact_cow(committed_raw);
-            let incoming: Cow<'_, [O]> = compact_cow(&child.log);
-            let rebased = seq::rebase(&incoming, &committed);
-            let stats = MergeStats {
-                child_ops: child.log.len(),
-                applied_ops: rebased.len(),
-                committed_ops: committed_raw.len(),
-                child_ops_compacted: incoming.len(),
-                committed_ops_compacted: committed.len(),
-                grid_cells: incoming.len() * committed.len(),
+            let delta = if !child.log.is_empty() && !committed_raw.is_empty() {
+                O::delta_rebase(&child.log, committed_raw)
+            } else {
+                None
             };
-            (rebased, stats)
+            match delta {
+                Some((rebased, d)) => {
+                    let stats = MergeStats {
+                        child_ops: child.log.len(),
+                        applied_ops: rebased.len(),
+                        committed_ops: committed_raw.len(),
+                        // The delta path never compacts: normalization
+                        // subsumes it. Report the raw lengths.
+                        child_ops_compacted: child.log.len(),
+                        committed_ops_compacted: committed_raw.len(),
+                        grid_cells: 0,
+                        delta_rebases: 1,
+                        grid_rebases: 0,
+                        delta_spans: d.incoming_spans + d.committed_spans,
+                    };
+                    (rebased, stats)
+                }
+                None => {
+                    let committed: Cow<'_, [O]> = compact_cow(committed_raw);
+                    let incoming: Cow<'_, [O]> = compact_cow(&child.log);
+                    let rebased = seq::rebase(&incoming, &committed);
+                    let stats = MergeStats {
+                        child_ops: child.log.len(),
+                        applied_ops: rebased.len(),
+                        committed_ops: committed_raw.len(),
+                        child_ops_compacted: incoming.len(),
+                        committed_ops_compacted: committed.len(),
+                        grid_cells: incoming.len() * committed.len(),
+                        delta_rebases: 0,
+                        grid_rebases: 1,
+                        delta_spans: 0,
+                    };
+                    (rebased, stats)
+                }
+            }
         };
         let state = Arc::make_mut(&mut self.state);
         for op in &rebased {
@@ -496,7 +549,62 @@ mod tests {
         assert_eq!(stats.committed_ops, 1);
         assert_eq!(stats.child_ops_compacted, 1);
         assert_eq!(stats.committed_ops_compacted, 1);
+        // Pure sequence logs take the span-set path: no grid is built.
+        assert_eq!(stats.grid_cells, 0);
+        assert_eq!(stats.delta_rebases, 1);
+        assert_eq!(stats.grid_rebases, 0);
+        assert!(stats.delta_spans > 0);
+    }
+
+    #[test]
+    fn merge_with_set_falls_back_to_the_grid() {
+        let mut parent = V::new(ct(vec![1, 2, 3]));
+        let mut child = parent.fork();
+        child.record(ListOp::Set(0, 9)).unwrap();
+        parent.record(ListOp::Insert(0, 7)).unwrap();
+        let stats = parent.merge(&child).unwrap();
+        assert_eq!(parent.state(), &vec![7, 9, 2, 3]);
+        assert_eq!(stats.delta_rebases, 0);
+        assert_eq!(stats.grid_rebases, 1);
         assert_eq!(stats.grid_cells, 1);
+    }
+
+    #[test]
+    fn trivial_merge_counts_as_grid() {
+        let mut parent = V::new(ct(vec![1]));
+        let child = parent.fork();
+        parent.record(ListOp::Insert(1, 2)).unwrap();
+        let stats = parent.merge(&child).unwrap();
+        assert_eq!(stats.delta_rebases, 0);
+        assert_eq!(stats.grid_rebases, 1);
+        assert_eq!(stats.delta_spans, 0);
+    }
+
+    #[test]
+    fn delta_and_grid_paths_agree_on_scattered_logs() {
+        // Drive the same scattered merge with the real (delta) path and
+        // with a Set-poisoned committed log forced onto the grid, after
+        // which the Set is overwritten back — both must agree on the
+        // sequence part. Cheap inline sanity check; the exhaustive
+        // differential suite lives in tests/delta_rebase.rs.
+        let mut parent = V::new((0..16).collect::<ChunkTree<u32>>());
+        let mut child = parent.fork();
+        for (i, pos) in [3usize, 11, 7, 0, 14, 5].iter().enumerate() {
+            child.record(ListOp::Insert(*pos, 100 + i as u32)).unwrap();
+            parent.record(ListOp::Insert(*pos, 200 + i as u32)).unwrap();
+        }
+        let mut reference = parent.clone();
+        let stats = parent.merge(&child).unwrap();
+        assert_eq!(stats.delta_rebases, 1);
+        assert_eq!(stats.grid_cells, 0);
+
+        // Reference: rebase the same logs through the grid directly.
+        let committed = reference.log()[child.fork_base()..].to_vec();
+        let rebased = sm_ot::seq::rebase(child.log(), &committed);
+        for op in &rebased {
+            reference.record(op.clone()).unwrap();
+        }
+        assert_eq!(parent.state(), reference.state());
     }
 
     #[test]

@@ -143,12 +143,22 @@ impl ChromeTracer {
                         (ts - dur).max(0.0),
                         dur,
                     );
+                    let path = if ops.delta_rebases > 0 && ops.grid_rebases == 0 {
+                        "delta"
+                    } else if ops.delta_rebases > 0 {
+                        "mixed"
+                    } else {
+                        "grid"
+                    };
                     span.set(
                         "args",
                         Json::obj([
                             ("child_ops", Json::from(ops.child_ops)),
                             ("applied_ops", Json::from(ops.applied_ops)),
                             ("committed_ops", Json::from(ops.committed_ops)),
+                            ("rebase_path", Json::Str(path.to_string())),
+                            ("delta_spans", Json::from(ops.delta_spans)),
+                            ("grid_cells", Json::from(ops.grid_cells)),
                         ]),
                     );
                     out.push(span);
@@ -347,6 +357,16 @@ mod tests {
                 .unwrap()
                 .as_num(),
             Some(3.0)
+        );
+        // Zero delta rebases (the Default) reads as a grid-path merge.
+        assert_eq!(
+            merge
+                .get("args")
+                .unwrap()
+                .get("rebase_path")
+                .unwrap()
+                .as_str(),
+            Some("grid")
         );
     }
 

@@ -109,8 +109,19 @@ pub struct MergeOpStats {
     /// Committed operations after pre-rebase span compaction.
     pub committed_ops_compacted: usize,
     /// Transformation-grid cells actually paid (product of the compacted
-    /// lengths); compare with `child_ops * committed_ops`.
+    /// lengths); compare with `child_ops * committed_ops`. Zero when the
+    /// delta path ran.
     pub grid_cells: usize,
+    /// Per-field rebases that took the O(m+n) sorted span-set (delta)
+    /// path. `delta_rebases + grid_rebases` is the total rebase count, so
+    /// the ratio is the delta-path hit rate.
+    pub delta_rebases: usize,
+    /// Per-field rebases that used the pairwise transformation grid
+    /// (non-sequence algebras, span-inexpressible ops, empty-side merges).
+    pub grid_rebases: usize,
+    /// Normalized spans swept by the delta-path rebases (incoming +
+    /// committed): the linear work actually paid instead of `grid_cells`.
+    pub delta_spans: usize,
 }
 
 /// One runtime lifecycle transition.

@@ -155,6 +155,12 @@ pub struct MetricsSnapshot {
     pub ops_committed_compacted_total: u64,
     /// Sum of transformation-grid cells actually paid.
     pub grid_cells_total: u64,
+    /// Per-field rebases that took the O(m+n) delta (span-set) path.
+    pub rebases_delta_total: u64,
+    /// Per-field rebases that used the pairwise transformation grid.
+    pub rebases_grid_total: u64,
+    /// Sum of normalized spans swept by delta-path rebases.
+    pub delta_spans_total: u64,
     // -- history GC ----------------------------------------------------
     /// Fork-watermark GC runs that dropped at least one operation.
     pub log_truncations: u64,
@@ -206,6 +212,9 @@ impl MetricsSnapshot {
                 self.ops_committed_total += ops.committed_ops as u64;
                 self.ops_committed_compacted_total += ops.committed_ops_compacted as u64;
                 self.grid_cells_total += ops.grid_cells as u64;
+                self.rebases_delta_total += ops.delta_rebases as u64;
+                self.rebases_grid_total += ops.grid_rebases as u64;
+                self.delta_spans_total += ops.delta_spans as u64;
                 self.merge_latency_nanos.observe(*merge_nanos);
                 self.merge_child_ops.observe(ops.child_ops as u64);
                 self.oplog_len.observe(*oplog_len as u64);
@@ -277,6 +286,9 @@ impl MetricsSnapshot {
                         Json::from(self.ops_committed_compacted_total),
                     ),
                     ("grid_cells_total", Json::from(self.grid_cells_total)),
+                    ("rebases_delta_total", Json::from(self.rebases_delta_total)),
+                    ("rebases_grid_total", Json::from(self.rebases_grid_total)),
+                    ("delta_spans_total", Json::from(self.delta_spans_total)),
                 ]),
             ),
             (
@@ -328,7 +340,7 @@ impl MetricsSnapshot {
     /// Render in the Prometheus text exposition format.
     pub fn prometheus_text(&self) -> String {
         let mut out = String::new();
-        let counters: [(&str, u64); 25] = [
+        let counters: [(&str, u64); 26] = [
             ("sm_tasks_spawned_total", self.tasks_spawned),
             ("sm_tasks_completed_total", self.tasks_completed),
             ("sm_tasks_aborted_total", self.tasks_aborted),
@@ -348,6 +360,7 @@ impl MetricsSnapshot {
                 self.ops_committed_compacted_total,
             ),
             ("sm_merge_grid_cells_total", self.grid_cells_total),
+            ("sm_merge_delta_spans_total", self.delta_spans_total),
             ("sm_log_truncations_total", self.log_truncations),
             ("sm_log_truncated_ops_total", self.log_truncated_ops),
             ("sm_syncs_total", self.syncs),
@@ -369,6 +382,15 @@ impl MetricsSnapshot {
             };
             out.push_str(&format!("# TYPE {name} {kind}\n{name} {value}\n"));
         }
+        // Rebase-path discriminator: one counter family, labelled by which
+        // path the per-field rebases took, so dashboards can plot the
+        // delta-path hit rate directly.
+        out.push_str(&format!(
+            "# TYPE sm_merge_rebases_total counter\n\
+             sm_merge_rebases_total{{path=\"delta\"}} {}\n\
+             sm_merge_rebases_total{{path=\"grid\"}} {}\n",
+            self.rebases_delta_total, self.rebases_grid_total
+        ));
         out.push_str(&format!(
             "# TYPE sm_pool_workers_live gauge\nsm_pool_workers_live {}\n",
             self.workers_live
@@ -482,6 +504,9 @@ mod tests {
                 child_ops_compacted: 2,
                 committed_ops_compacted: 1,
                 grid_cells: 2,
+                delta_rebases: 3,
+                grid_rebases: 1,
+                delta_spans: 12,
             },
             oplog_len: 18,
             merge_nanos: 1234,
@@ -494,6 +519,9 @@ mod tests {
         assert_eq!(s.merges_finished, 1);
         assert_eq!(s.ops_child_total, 10);
         assert_eq!(s.ops_applied_total, 8);
+        assert_eq!(s.rebases_delta_total, 3);
+        assert_eq!(s.rebases_grid_total, 1);
+        assert_eq!(s.delta_spans_total, 12);
         assert_eq!(s.merge_latency_nanos.count(), 1);
         assert_eq!(s.oplog_len.max(), 18);
         assert_eq!(s.spawn_cost_nanos.mean(), 600.0);
@@ -526,6 +554,9 @@ mod tests {
         assert!(text.contains("sm_wire_sent_bytes_total 256"));
         assert!(text.contains("sm_spawn_cost_nanos_bucket{le=\"+Inf\"} 1"));
         assert!(text.contains("sm_spawn_cost_nanos_count 1"));
+        assert!(text.contains("# TYPE sm_merge_rebases_total counter"));
+        assert!(text.contains("sm_merge_rebases_total{path=\"delta\"} 0"));
+        assert!(text.contains("sm_merge_rebases_total{path=\"grid\"} 0"));
         // Every line is either a comment or `name{labels} value`.
         for line in text.lines() {
             assert!(

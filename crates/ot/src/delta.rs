@@ -1,0 +1,1118 @@
+//! Linear-time batch rebase: the **delta** (sorted span-set) representation
+//! of a whole operation log.
+//!
+//! The pairwise grid in [`crate::seq`] costs O(|committed|·|incoming|) pair
+//! transforms. When a child's edits coalesce into runs, compaction
+//! ([`crate::compose`]) collapses the grid — but *scattered* edits do not
+//! fuse, and the merge degrades back to the full grid. This module removes
+//! that last super-linear term for the sequence algebras: an operation log
+//! is folded into one normalized [`Delta`] — a sorted run-set of
+//! `Retain`/`Insert`/`Delete` spans over the **fork-base coordinate
+//! space** — and two deltas are transformed against each other in a single
+//! merge-style sweep, O(m+n) in the number of spans regardless of scatter.
+//! This is the changeset/delta treatment used by collaborative editors
+//! (cf. the TP1 batch-transform formulation), specialized to the
+//! Spawn & Merge rebase: the committed side always has [`Side::Left`]
+//! insert-tie priority, reproducing the pairwise transform's deterministic
+//! bias.
+//!
+//! # Normal form
+//!
+//! A [`Delta`] maintains three invariants:
+//!
+//! 1. **Sorted, run-length form** — spans are stored in base order and
+//!    adjacent same-kind spans are coalesced, so a delta has at most one
+//!    span per base position and kind.
+//! 2. **Adjacency order is semantic** — an insert adjacent to a delete at
+//!    the same base position is *not* reordered. `Insert` before `Delete`
+//!    anchors the inserted run at the **start** of the deleted gap, while
+//!    `Delete` before `Insert` anchors it at the gap **end**. The two
+//!    forms apply to the same document identically but *transform*
+//!    differently against concurrent edits: when the gap collapses,
+//!    surviving inserts from both sides order by their anchor positions,
+//!    with exact ties won by the left (committed) side. The factorings
+//!    `ins j s; del j+|s| m` (gap start) and `ins j+m s; del j m` (gap
+//!    end) fold unambiguously; `del j m; ins j s` — insert at the gap
+//!    point after deleting — is ambiguous in the log and resolves per
+//!    merge side via [`GapBias`], reproducing the pairwise grid's
+//!    side-dependent treatment of that factoring.
+//! 3. **No trailing retain** — everything past the last edit is implicitly
+//!    retained, so deltas need no knowledge of the document length.
+//!
+//! # Coordinate spaces
+//!
+//! [`from_ops`] composes a log of *sequentially applied* operations (each
+//! addressed against the document produced by its predecessors) into one
+//! delta addressed entirely against the **base** (fork-time) document.
+//! [`Delta::transform`] requires both deltas to share that base.
+//! [`Delta::into_ops`] re-materializes sequential-application operations,
+//! one span op per run.
+//!
+//! # Fallback rules
+//!
+//! Not every operation is a pure sequence edit — `ListOp::Set` overwrites
+//! in place with last-merged-wins conflict semantics that a span-set cannot
+//! express. [`DeltaOp::to_span`] returns `None` for such operations and
+//! [`from_ops`] (hence [`rebase_delta`]) bails to the caller, which falls
+//! back to the transformation grid. Non-sequence algebras never implement
+//! [`DeltaOp`] at all and take the grid unconditionally.
+//!
+//! One further class of log *pairs* is declined even though both sides are
+//! span-expressible: an incoming insert separated from a later committed
+//! insert only by deleted base units. There the grid's answer provably
+//! depends on intra-log sequencing (which side's deletes ran before which
+//! insert) that normalization erases — two logs with identical per-side
+//! effects can rebase differently — so no delta transform can reproduce
+//! it. [`Delta::rebase_is_order_sensitive`] screens such pairs out with
+//! one extra O(m+n) sweep and [`rebase_delta`] returns `None`; the merge
+//! then runs on the grid, which resolves the race from the concrete logs.
+
+use std::fmt;
+
+use crate::Operation;
+
+/// Payload carried by insert spans: an ordered run of inserted content
+/// (`String` for text, `Vec<T>` for lists), sliceable in *unit* (char /
+/// element) coordinates.
+pub trait DeltaPayload: Clone + PartialEq + fmt::Debug + Send + Sync + 'static {
+    /// Length in units (characters for text, elements for lists).
+    fn unit_len(&self) -> usize;
+
+    /// Copy out the sub-run `[start, start + len)`, in unit coordinates.
+    fn slice(&self, start: usize, len: usize) -> Self;
+
+    /// Append `other`'s content after `self`'s.
+    fn append(&mut self, other: &Self);
+}
+
+impl DeltaPayload for String {
+    fn unit_len(&self) -> usize {
+        self.chars().count()
+    }
+
+    fn slice(&self, start: usize, len: usize) -> Self {
+        self.chars().skip(start).take(len).collect()
+    }
+
+    fn append(&mut self, other: &Self) {
+        self.push_str(other);
+    }
+}
+
+impl<T: Clone + PartialEq + fmt::Debug + Send + Sync + 'static> DeltaPayload for Vec<T> {
+    fn unit_len(&self) -> usize {
+        self.len()
+    }
+
+    fn slice(&self, start: usize, len: usize) -> Self {
+        self[start..start + len].to_vec()
+    }
+
+    fn append(&mut self, other: &Self) {
+        self.extend_from_slice(other);
+    }
+}
+
+/// One run of a delta, in base coordinates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Span<P> {
+    /// Keep the next `n` base units unchanged.
+    Retain(usize),
+    /// Insert the payload at the current position. `len` caches
+    /// `payload.unit_len()` so text spans do not re-count characters.
+    Insert {
+        /// The inserted run.
+        payload: P,
+        /// Cached unit length of `payload`.
+        len: usize,
+    },
+    /// Delete the next `n` base units.
+    Delete(usize),
+}
+
+impl<P> Span<P> {
+    /// Unit length of the span (inserted, retained, or deleted units).
+    pub fn len(&self) -> usize {
+        match self {
+            Span::Retain(n) | Span::Delete(n) => *n,
+            Span::Insert { len, .. } => *len,
+        }
+    }
+
+    /// True for zero-length spans (normalized away).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A position-addressed edit, the interchange form between an algebra's
+/// operations and delta spans.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OpSpan<P> {
+    /// Insert `payload` so it starts at `pos` (in the coordinates of the
+    /// document the operation applies to).
+    Insert {
+        /// Insertion position.
+        pos: usize,
+        /// Inserted run.
+        payload: P,
+    },
+    /// Delete the `len` units starting at `pos`.
+    Delete {
+        /// First deleted position.
+        pos: usize,
+        /// Number of deleted units.
+        len: usize,
+    },
+}
+
+/// Sequence algebras whose operations round-trip through delta spans.
+///
+/// Implemented by [`crate::text::TextOp`] and [`crate::list::ListOp`]; the
+/// grid remains the oracle and the fallback for everything else.
+pub trait DeltaOp: Operation {
+    /// The insert-payload type.
+    type Payload: DeltaPayload;
+
+    /// View this operation as a position-addressed span edit, or `None`
+    /// when it is not expressible as one (e.g. `ListOp::Set`) — the caller
+    /// must then fall back to the pairwise grid.
+    fn to_span(&self) -> Option<OpSpan<Self::Payload>>;
+
+    /// Materialize a span edit back into an operation (span forms for
+    /// multi-unit runs, point forms for single units).
+    fn from_span(span: OpSpan<Self::Payload>) -> Self;
+}
+
+/// Which side of its own adjacent deletion an ambiguous gap insert
+/// anchors to when a log is folded into a delta.
+///
+/// A log step "delete `[p, p+k)`, then insert at the gap point `p`" does
+/// not say which side of the collapsed gap the insert belongs to, and the
+/// pairwise grid resolves it differently per merge side. On the
+/// **committed** (tie-winning, `Side::Left`) side, concurrent positions
+/// are transformed over the committed log, so everything landing in the
+/// gap collapses onto the insert's position and loses the tie: the insert
+/// behaves as if anchored at the gap *start* ([`GapBias::Start`]). On the
+/// **incoming** side the committed positions have already collapsed when
+/// the insert's tie is evaluated, and the insert loses to all of them: it
+/// behaves as if anchored at the gap *end* ([`GapBias::End`]).
+/// [`rebase_delta`] folds each side with its own bias.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GapBias {
+    /// The insert precedes the deleted run (`[Insert, Delete]` adjacency):
+    /// the committed-side reading of the ambiguous factoring.
+    Start,
+    /// The insert follows the deleted run (`[Delete, Insert]` adjacency):
+    /// the incoming-side reading.
+    End,
+}
+
+/// Work actually performed by a delta-path rebase, for `MergeStats`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeltaStats {
+    /// Spans in the child's (incoming) normalized delta.
+    pub incoming_spans: usize,
+    /// Spans in the parent's (committed) normalized delta.
+    pub committed_spans: usize,
+}
+
+/// A normalized sorted span-set over a base document. See the module docs
+/// for the invariants.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Delta<P> {
+    spans: Vec<Span<P>>,
+}
+
+impl<P: DeltaPayload> Delta<P> {
+    /// The identity delta (retain everything).
+    pub fn identity() -> Self {
+        Delta { spans: Vec::new() }
+    }
+
+    /// True when the delta changes nothing.
+    pub fn is_identity(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Number of normalized spans (the m and n of the O(m+n) sweep).
+    pub fn span_count(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// The normalized spans, in base order.
+    pub fn spans(&self) -> &[Span<P>] {
+        &self.spans
+    }
+
+    /// A delta of one edit addressed against its own document. The slow
+    /// path [`Delta::compose_op`] is pinned against; production folding
+    /// never materializes singleton deltas.
+    #[cfg(test)]
+    fn from_op_span(op: OpSpan<P>) -> Self {
+        let mut d = Delta::identity();
+        match op {
+            OpSpan::Insert { pos, payload } => {
+                let len = payload.unit_len();
+                d.push(Span::Retain(pos));
+                d.push(Span::Insert { payload, len });
+            }
+            OpSpan::Delete { pos, len } => {
+                d.push(Span::Retain(pos));
+                d.push(Span::Delete(len));
+            }
+        }
+        d.trim();
+        d
+    }
+
+    /// Append a span, maintaining the normal form (coalesce same-kind
+    /// neighbours, drop empties). Insert/delete adjacency order is kept
+    /// as pushed — it encodes the gap anchor (see the module docs).
+    fn push(&mut self, span: Span<P>) {
+        if span.is_empty() {
+            return;
+        }
+        match span {
+            Span::Retain(n) => {
+                if let Some(Span::Retain(m)) = self.spans.last_mut() {
+                    *m += n;
+                } else {
+                    self.spans.push(Span::Retain(n));
+                }
+            }
+            Span::Delete(n) => {
+                if let Some(Span::Delete(m)) = self.spans.last_mut() {
+                    *m += n;
+                } else {
+                    self.spans.push(Span::Delete(n));
+                }
+            }
+            Span::Insert { payload, len } => {
+                if let Some(Span::Insert {
+                    payload: p0,
+                    len: l0,
+                }) = self.spans.last_mut()
+                {
+                    p0.append(&payload);
+                    *l0 += len;
+                } else {
+                    self.spans.push(Span::Insert { payload, len });
+                }
+            }
+        }
+    }
+
+    /// Drop a trailing retain (implicit by convention).
+    fn trim(&mut self) {
+        if let Some(Span::Retain(_)) = self.spans.last() {
+            self.spans.pop();
+        }
+    }
+
+    /// Compose `self` (base → A) with `other` (A → B) into one delta
+    /// (base → B), resolving ambiguous gap inserts with the committed-side
+    /// [`GapBias::Start`]. Single linear sweep, O(m+n) spans.
+    pub fn compose(&self, other: &Delta<P>) -> Delta<P> {
+        self.compose_biased(other, GapBias::Start)
+    }
+
+    /// [`compose`](Self::compose) with an explicit [`GapBias`]: when a
+    /// `b`-insert coincides with an `a`-delete (the "delete, then insert
+    /// at the gap" factoring), `Start` emits the insert before the deleted
+    /// run and `End` after it. Extensionally equal; the adjacency order
+    /// they encode transforms differently (see the module docs).
+    fn compose_biased(&self, other: &Delta<P>, bias: GapBias) -> Delta<P> {
+        let mut a = Cursor::new(&self.spans);
+        let mut b = Cursor::new(&other.spans);
+        let mut out = Delta::identity();
+        loop {
+            // Base units deleted by `a` were never seen by `b`; content
+            // inserted by `b` exists regardless of `a`. When both are
+            // current the bias picks which drains first.
+            let a_deletes = matches!(a.peek(), Some(Span::Delete(_)));
+            let b_inserts = matches!(b.peek(), Some(Span::Insert { .. }));
+            if a_deletes && (bias == GapBias::End || !b_inserts) {
+                out.push(Span::Delete(a.take_all()));
+                continue;
+            }
+            if b_inserts {
+                let n = b.remaining();
+                let (payload, len) = b.take_insert(n);
+                out.push(Span::Insert { payload, len });
+                continue;
+            }
+            match (a.peek(), b.peek()) {
+                (None, None) => break,
+                // `b` exhausted: implicit retain of the rest of `a`.
+                (Some(Span::Retain(_)), None) => out.push(Span::Retain(a.take_all())),
+                (Some(Span::Insert { .. }), None) => {
+                    let n = a.remaining();
+                    let (payload, len) = a.take_insert(n);
+                    out.push(Span::Insert { payload, len });
+                }
+                // `a` exhausted: implicit retain under the rest of `b`.
+                (None, Some(Span::Retain(_))) => out.push(Span::Retain(b.take_all())),
+                (None, Some(Span::Delete(_))) => out.push(Span::Delete(b.take_all())),
+                (Some(Span::Delete(_)), _) | (_, Some(Span::Insert { .. })) => {
+                    unreachable!("b-inserts and a-deletes drained above")
+                }
+                (Some(sa), Some(sb)) => {
+                    let n = a.remaining().min(b.remaining());
+                    match (sa, sb) {
+                        (Span::Retain(_), Span::Retain(_)) => {
+                            a.take(n);
+                            b.take(n);
+                            out.push(Span::Retain(n));
+                        }
+                        (Span::Retain(_), Span::Delete(_)) => {
+                            a.take(n);
+                            b.take(n);
+                            out.push(Span::Delete(n));
+                        }
+                        (Span::Insert { .. }, Span::Retain(_)) => {
+                            let (payload, len) = a.take_insert(n);
+                            b.take(n);
+                            out.push(Span::Insert { payload, len });
+                        }
+                        (Span::Insert { .. }, Span::Delete(_)) => {
+                            // Inserted by `a`, deleted by `b`: annihilates.
+                            a.take(n);
+                            b.take(n);
+                        }
+                        _ => unreachable!("delete/insert handled above"),
+                    }
+                }
+            }
+        }
+        out.trim();
+        out
+    }
+
+    /// Compose one position-addressed edit (in this delta's *output*
+    /// coordinates) into `self`, in place. Semantically identical to
+    /// `self.compose_biased(&Delta::from_op_span(op), bias)` but moves
+    /// the existing spans instead of re-cloning them level by level —
+    /// insert payloads are only cloned at genuine split points. This is
+    /// the fold step of [`from_ops_biased`]; a full log folds in
+    /// O(k · s) span *moves* (k ops, s spans) with no payload churn,
+    /// which in practice beats the O(k log k) balanced compose tree that
+    /// re-allocates every payload at every level.
+    fn compose_op(&mut self, op: OpSpan<P>, bias: GapBias, scratch: &mut Vec<Span<P>>) {
+        let (mut skip, edit) = match op {
+            OpSpan::Insert { pos, payload } => (pos, Ok(payload)),
+            OpSpan::Delete { pos, len } => (pos, Err(len)),
+        };
+        // Index-scan to output position `pos` without moving anything:
+        // spans `[0, cut)` are untouched prefix. Deletes occupy no output
+        // positions and pass through; when the position is reached at a
+        // span boundary the scan stops *before* any adjacent delete, so
+        // the edit phases below see it.
+        let mut cut = 0;
+        while cut < self.spans.len() && skip > 0 {
+            let out_len = match &self.spans[cut] {
+                Span::Retain(n) => *n,
+                Span::Insert { len, .. } => *len,
+                Span::Delete(_) => 0,
+            };
+            if out_len <= skip {
+                skip -= out_len;
+                cut += 1;
+            } else {
+                break;
+            }
+        }
+        // Ping-pong with the caller's scratch buffer instead of
+        // allocating: the old spans drain out of `scratch`, the new ones
+        // build in `self.spans`, and both capacities persist across the
+        // whole fold.
+        std::mem::swap(&mut self.spans, scratch);
+        self.spans.clear();
+        self.spans.reserve(scratch.len() + 2);
+        let mut it = scratch.drain(..);
+        // Bulk-move the untouched prefix (already normalized, nothing to
+        // coalesce against an empty vec).
+        self.spans.extend(it.by_ref().take(cut));
+        // Remainder of a span split by the edit position, to be consumed
+        // before the iterator resumes.
+        let mut pending: Option<Span<P>> = None;
+        if skip > 0 {
+            match it.next() {
+                // Into the implicit trailing retain.
+                None => self.push(Span::Retain(skip)),
+                Some(Span::Retain(n)) => {
+                    self.push(Span::Retain(skip));
+                    pending = Some(Span::Retain(n - skip));
+                }
+                Some(Span::Insert { payload, len }) => {
+                    let head = payload.slice(0, skip);
+                    let tail = payload.slice(skip, len - skip);
+                    self.push(Span::Insert {
+                        payload: head,
+                        len: skip,
+                    });
+                    pending = Some(Span::Insert {
+                        payload: tail,
+                        len: len - skip,
+                    });
+                }
+                Some(Span::Delete(_)) => unreachable!("deletes occupy no output positions"),
+            }
+        }
+        match edit {
+            Ok(payload) => {
+                // A gap-end insert anchors after an adjacent deleted run
+                // ([D, I]); gap-start before it ([I, D]). Normal form
+                // coalesces deletes, so "the run" is at most one span, and
+                // only at a span boundary (`pending` empty) can the insert
+                // be gap-adjacent at all.
+                if bias == GapBias::End && pending.is_none() {
+                    match it.next() {
+                        Some(Span::Delete(n)) => self.push(Span::Delete(n)),
+                        other => pending = other,
+                    }
+                }
+                let len = payload.unit_len();
+                self.push(Span::Insert { payload, len });
+            }
+            Err(mut del) => {
+                while del > 0 {
+                    match pending.take().or_else(|| it.next()) {
+                        // Into the implicit trailing retain: the rest of
+                        // the deletion is all base units.
+                        None => {
+                            self.push(Span::Delete(del));
+                            del = 0;
+                        }
+                        // Already-deleted base units occupy no output
+                        // positions; they pass through unconsumed.
+                        Some(Span::Delete(n)) => self.push(Span::Delete(n)),
+                        Some(Span::Retain(n)) => {
+                            let m = n.min(del);
+                            del -= m;
+                            self.push(Span::Delete(m));
+                            if n > m {
+                                pending = Some(Span::Retain(n - m));
+                            }
+                        }
+                        // Deleting our own earlier insert: annihilates.
+                        Some(Span::Insert { payload, len }) => {
+                            let m = len.min(del);
+                            del -= m;
+                            if len > m {
+                                pending = Some(Span::Insert {
+                                    payload: payload.slice(m, len - m),
+                                    len: len - m,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(s) = pending {
+            self.push(s);
+        }
+        // Seam: the first remaining span may coalesce with what the edit
+        // pushed; after it the suffix is already pairwise normalized and
+        // bulk-moves.
+        if let Some(s) = it.next() {
+            self.push(s);
+        }
+        self.spans.extend(it);
+        self.trim();
+    }
+
+    /// Transform two concurrent deltas sharing a base: returns
+    /// `(left', right')` with `base ∘ right ∘ left' == base ∘ left ∘ right'`.
+    ///
+    /// One merge-style sweep over both sorted span-sets, O(m+n). Tie rules
+    /// reproduce the pairwise grid bit for bit: at equal base positions the
+    /// **left** (committed) insert lands first; overlapping deletes vanish
+    /// from both sides; an insert interior to the other side's delete
+    /// splits that delete and survives at the deletion point.
+    pub fn transform(&self, other: &Delta<P>) -> (Delta<P>, Delta<P>) {
+        let mut l = Cursor::new(&self.spans);
+        let mut r = Cursor::new(&other.spans);
+        let mut left_out = Delta::identity();
+        let mut right_out = Delta::identity();
+        loop {
+            // Inserts are processed before deletes/retains at the same
+            // base position, left before right — the insert-tie bias.
+            // Anchoring does the rest: a gap insert stored before its
+            // side's delete is swept here at the gap-start position, one
+            // stored after it only once the delete is consumed, so the
+            // per-side [`GapBias`] folding makes this position-ordered
+            // sweep reproduce the grid's collapsed-gap ordering. (Pairs
+            // where position order cannot decide — an insert separated
+            // from a *later* left insert only by deleted units — never
+            // reach this sweep: [`rebase_delta`] screens them out via
+            // [`Delta::rebase_is_order_sensitive`].)
+            if let Some(Span::Insert { .. }) = l.peek() {
+                let n = l.remaining();
+                let (payload, len) = l.take_insert(n);
+                left_out.push(Span::Insert { payload, len });
+                right_out.push(Span::Retain(len));
+                continue;
+            }
+            if let Some(Span::Insert { .. }) = r.peek() {
+                let n = r.remaining();
+                let (payload, len) = r.take_insert(n);
+                left_out.push(Span::Retain(len));
+                right_out.push(Span::Insert { payload, len });
+                continue;
+            }
+            match (l.peek(), r.peek()) {
+                (None, None) => break,
+                (Some(Span::Retain(_)), None) => {
+                    left_out.push(Span::Retain(l.take_all()));
+                }
+                (Some(Span::Delete(_)), None) => {
+                    left_out.push(Span::Delete(l.take_all()));
+                }
+                (None, Some(Span::Retain(_))) => {
+                    right_out.push(Span::Retain(r.take_all()));
+                }
+                (None, Some(Span::Delete(_))) => {
+                    right_out.push(Span::Delete(r.take_all()));
+                }
+                (Some(Span::Insert { .. }), _) | (_, Some(Span::Insert { .. })) => {
+                    unreachable!("inserts drained above")
+                }
+                (Some(sl), Some(sr)) => {
+                    let n = l.remaining().min(r.remaining());
+                    match (sl, sr) {
+                        (Span::Retain(_), Span::Retain(_)) => {
+                            l.take(n);
+                            r.take(n);
+                            left_out.push(Span::Retain(n));
+                            right_out.push(Span::Retain(n));
+                        }
+                        (Span::Delete(_), Span::Retain(_)) => {
+                            // Deleted by left only: left' still deletes it;
+                            // right' never mentions it.
+                            l.take(n);
+                            r.take(n);
+                            left_out.push(Span::Delete(n));
+                        }
+                        (Span::Retain(_), Span::Delete(_)) => {
+                            l.take(n);
+                            r.take(n);
+                            right_out.push(Span::Delete(n));
+                        }
+                        (Span::Delete(_), Span::Delete(_)) => {
+                            // Both deleted the same base units: the effect
+                            // happens once; neither side re-deletes.
+                            l.take(n);
+                            r.take(n);
+                        }
+                        _ => unreachable!("inserts handled above"),
+                    }
+                }
+            }
+        }
+        left_out.trim();
+        right_out.trim();
+        (left_out, right_out)
+    }
+
+    /// True when the pairwise grid's outcome for `self` (committed) vs
+    /// `other` (incoming) can depend on log sequencing that delta
+    /// normalization erases — the one class of log pairs the delta path
+    /// must hand back to the grid.
+    ///
+    /// The configuration: an incoming insert at base `x` and a committed
+    /// insert at base `y > x` with every base unit in `(x, y)` deleted by
+    /// one side or the other. Position order says the incoming insert
+    /// lands first; the collapsed-gap tie says the committed one does —
+    /// and which of the two the grid realizes depends on *intra-log*
+    /// sequencing on both sides: an incoming insert recorded before the
+    /// incoming deletes that close the gap never ties and stays first,
+    /// one recorded after them ties and is displaced, and symmetrically a
+    /// committed `insert-then-delete` (replace) log leaves the gap open
+    /// while the incoming insert walks past it, where a `delete-then-
+    /// insert` log has already collapsed it. Concrete logs folding to
+    /// these same two deltas can realize either outcome, so the delta
+    /// cannot decide and the pair goes to the grid.
+    ///
+    /// The reverse arrangement (committed insert at or before the
+    /// incoming one) is deterministic — the committed side both precedes
+    /// in position and wins ties — as is any pair whose inserts are
+    /// separated by a base unit *both* sides keep.
+    pub fn rebase_is_order_sensitive(&self, other: &Delta<P>) -> bool {
+        let mut l = Cursor::new(&self.spans);
+        let mut r = Cursor::new(&other.spans);
+        // An incoming insert with no surviving base unit seen since it
+        // ("live") can still tie with the next committed insert.
+        let mut r_insert_live = false;
+        loop {
+            if let Some(Span::Insert { .. }) = l.peek() {
+                if r_insert_live {
+                    return true;
+                }
+                let n = l.remaining();
+                l.take(n);
+                continue;
+            }
+            if let Some(Span::Insert { .. }) = r.peek() {
+                let n = r.remaining();
+                r.take(n);
+                r_insert_live = true;
+                continue;
+            }
+            match (l.peek(), r.peek()) {
+                // Left exhausted: no committed insert remains to collide
+                // with. Trailing right spans are emitted as-is.
+                (None, _) => return false,
+                // Right exhausted, unit surviving on both sides (the
+                // implicit right retain): the collapse chain is broken
+                // and the right side has no inserts left.
+                (Some(Span::Retain(_)), None) => return false,
+                // Right exhausted but left still deleting: the gap keeps
+                // collapsing toward any remaining left insert.
+                (Some(Span::Delete(_)), None) => {
+                    l.take_all();
+                }
+                (Some(Span::Retain(_)), Some(Span::Retain(_))) => {
+                    let n = l.remaining().min(r.remaining());
+                    l.take(n);
+                    r.take(n);
+                    // A base unit both sides keep breaks the chain.
+                    r_insert_live = false;
+                }
+                (Some(Span::Retain(_)), Some(Span::Delete(_)))
+                | (Some(Span::Delete(_)), Some(Span::Retain(_)))
+                | (Some(Span::Delete(_)), Some(Span::Delete(_))) => {
+                    // Deleted by either side: the gap between a live
+                    // incoming insert and a committed insert can close.
+                    let n = l.remaining().min(r.remaining());
+                    l.take(n);
+                    r.take(n);
+                }
+                (Some(Span::Insert { .. }), _) | (_, Some(Span::Insert { .. })) => {
+                    unreachable!("inserts drained above")
+                }
+            }
+        }
+    }
+
+    /// Re-materialize sequential-application operations, one per span run,
+    /// in left-to-right order.
+    pub fn into_ops<O>(self) -> Vec<O>
+    where
+        O: DeltaOp<Payload = P>,
+    {
+        let mut pos = 0usize;
+        let mut ops = Vec::new();
+        let mut it = self.spans.into_iter().peekable();
+        while let Some(span) = it.next() {
+            match span {
+                Span::Retain(n) => pos += n,
+                Span::Insert { payload, len } => {
+                    ops.push(O::from_span(OpSpan::Insert { pos, payload }));
+                    pos += len;
+                }
+                Span::Delete(n) => {
+                    if matches!(it.peek(), Some(Span::Insert { .. })) {
+                        // Delete-before-insert anchors the run at the gap
+                        // *end*: materialize as "insert past the doomed
+                        // units, then delete them" so `from_ops` folds the
+                        // log back to this exact factoring.
+                        let Some(Span::Insert { payload, len }) = it.next() else {
+                            unreachable!("peeked an insert span");
+                        };
+                        ops.push(O::from_span(OpSpan::Insert {
+                            pos: pos + n,
+                            payload,
+                        }));
+                        ops.push(O::from_span(OpSpan::Delete { pos, len: n }));
+                        pos += len;
+                    } else {
+                        ops.push(O::from_span(OpSpan::Delete { pos, len: n }));
+                    }
+                }
+            }
+        }
+        ops
+    }
+}
+
+/// Read cursor over a span list with partial-span consumption; an
+/// exhausted cursor reads as an implicit infinite retain to its caller.
+struct Cursor<'a, P> {
+    spans: &'a [Span<P>],
+    idx: usize,
+    /// Units already consumed from `spans[idx]`.
+    off: usize,
+}
+
+impl<'a, P: DeltaPayload> Cursor<'a, P> {
+    fn new(spans: &'a [Span<P>]) -> Self {
+        Cursor {
+            spans,
+            idx: 0,
+            off: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&'a Span<P>> {
+        self.spans.get(self.idx)
+    }
+
+    /// Unconsumed units of the current span.
+    fn remaining(&self) -> usize {
+        self.peek().map_or(0, |s| s.len() - self.off)
+    }
+
+    /// Consume `n` units of the current span (retain/delete kinds).
+    fn take(&mut self, n: usize) {
+        debug_assert!(n <= self.remaining());
+        self.off += n;
+        if self.off == self.spans[self.idx].len() {
+            self.idx += 1;
+            self.off = 0;
+        }
+    }
+
+    /// Consume the whole remainder of the current span, returning its
+    /// unit length.
+    fn take_all(&mut self) -> usize {
+        let n = self.remaining();
+        self.take(n);
+        n
+    }
+
+    /// Consume `n` units of the current insert span, returning the
+    /// payload sub-run (and its length).
+    fn take_insert(&mut self, n: usize) -> (P, usize) {
+        let Some(Span::Insert { payload, len }) = self.peek() else {
+            unreachable!("take_insert on a non-insert span");
+        };
+        let piece = if self.off == 0 && n == *len {
+            payload.clone()
+        } else {
+            payload.slice(self.off, n)
+        };
+        self.take(n);
+        (piece, n)
+    }
+}
+
+/// Fold a sequentially-applied operation log into one base-coordinate
+/// delta, splicing each op into the accumulator in place
+/// ([`Delta::compose_op`]) — O(k · s) span moves for k operations and s
+/// resulting spans, with insert payloads cloned only at split points.
+/// Ambiguous gap inserts anchor with the committed-side
+/// [`GapBias::Start`]; use [`from_ops_biased`] to fold an incoming-side
+/// log.
+///
+/// Returns `None` when any operation is not expressible as a span edit;
+/// the caller falls back to the grid.
+pub fn from_ops<O: DeltaOp>(ops: &[O]) -> Option<Delta<O::Payload>> {
+    from_ops_biased(ops, GapBias::Start)
+}
+
+/// [`from_ops`] with an explicit per-side [`GapBias`] for ambiguous gap
+/// inserts. [`rebase_delta`] folds the committed log with
+/// [`GapBias::Start`] and the incoming log with [`GapBias::End`].
+pub fn from_ops_biased<O: DeltaOp>(ops: &[O], bias: GapBias) -> Option<Delta<O::Payload>> {
+    let mut acc = Delta::identity();
+    let mut scratch = Vec::new();
+    for op in ops {
+        acc.compose_op(op.to_span()?, bias, &mut scratch);
+    }
+    Some(acc)
+}
+
+/// Batch rebase of `incoming` over `committed` (both sequentially applied
+/// from the same fork base) through the delta representation: compose each
+/// side into a sorted span-set (with its side's [`GapBias`]), transform
+/// them in one linear sweep with committed-side insert-tie priority, and
+/// re-materialize the incoming side. Returns `None` (grid fallback) when
+/// either log contains an operation a span-set cannot express, or when
+/// the pair is in the one configuration whose grid outcome depends on
+/// log sequencing the normal form erases (see
+/// [`Delta::rebase_is_order_sensitive`]).
+pub fn rebase_delta<O: DeltaOp>(incoming: &[O], committed: &[O]) -> Option<(Vec<O>, DeltaStats)> {
+    let inc = from_ops_biased(incoming, GapBias::End)?;
+    let com = from_ops_biased(committed, GapBias::Start)?;
+    if com.rebase_is_order_sensitive(&inc) {
+        return None;
+    }
+    let stats = DeltaStats {
+        incoming_spans: inc.span_count(),
+        committed_spans: com.span_count(),
+    };
+    let (_, inc_t) = com.transform(&inc);
+    Some((inc_t.into_ops(), stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::list::ListOp;
+    use crate::text::TextOp;
+    use crate::{apply_all, seq};
+
+    fn text_delta(ops: &[TextOp]) -> Delta<String> {
+        from_ops(ops).expect("text ops are always expressible")
+    }
+
+    #[test]
+    fn identity_round_trip() {
+        let d = text_delta(&[]);
+        assert!(d.is_identity());
+        let ops: Vec<TextOp> = d.into_ops();
+        assert!(ops.is_empty());
+    }
+
+    #[test]
+    fn from_ops_composes_into_base_coordinates() {
+        // Sequential: insert "xy" at 2, then delete the base char now at 4.
+        let d = text_delta(&[TextOp::insert(2, "xy"), TextOp::delete(4, 1)]);
+        assert_eq!(
+            d.spans(),
+            &[
+                Span::Retain(2),
+                Span::Insert {
+                    payload: "xy".to_string(),
+                    len: 2
+                },
+                Span::Delete(1),
+            ]
+        );
+    }
+
+    #[test]
+    fn insert_then_full_delete_annihilates() {
+        let d = text_delta(&[TextOp::insert(3, "oops"), TextOp::delete(3, 4)]);
+        assert!(d.is_identity());
+    }
+
+    #[test]
+    fn gap_start_factorings_share_a_normal_form() {
+        // "Delete at 2, insert at 2" and "insert at 2, delete what is now
+        // at 3" both anchor the new run at the start of the deleted gap:
+        // one normal form, insert before delete.
+        let a = text_delta(&[TextOp::delete(2, 1), TextOp::insert(2, "z")]);
+        let b = text_delta(&[TextOp::insert(2, "z"), TextOp::delete(3, 1)]);
+        assert_eq!(a, b);
+        assert_eq!(
+            a.spans(),
+            &[
+                Span::Retain(2),
+                Span::Insert {
+                    payload: "z".to_string(),
+                    len: 1
+                },
+                Span::Delete(1),
+            ]
+        );
+    }
+
+    #[test]
+    fn gap_end_factoring_is_kept_distinct() {
+        // "Insert after the doomed unit, then delete it" produces the same
+        // document as the gap-start factorings but transforms differently
+        // against concurrent gap inserts, so its delta must stay distinct —
+        // delete before insert — and round-trip through into_ops.
+        let f2 = text_delta(&[TextOp::insert(3, "z"), TextOp::delete(2, 1)]);
+        assert_eq!(
+            f2.spans(),
+            &[
+                Span::Retain(2),
+                Span::Delete(1),
+                Span::Insert {
+                    payload: "z".to_string(),
+                    len: 1
+                },
+            ]
+        );
+        let f1 = text_delta(&[TextOp::delete(2, 1), TextOp::insert(2, "z")]);
+        assert_ne!(f1, f2);
+        let ops: Vec<TextOp> = f2.clone().into_ops();
+        assert_eq!(text_delta(&ops), f2);
+    }
+
+    #[test]
+    fn in_place_fold_matches_pairwise_compose() {
+        // `compose_op` (the production fold step) must agree span-for-span
+        // with the definitional route: compose against the singleton delta
+        // of the same op. Randomized logs, both biases.
+        let mut x: u64 = 0x9e37_79b9_7f4a_7c15;
+        let mut rand = move |bound: usize| {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((x >> 33) as usize) % bound.max(1)
+        };
+        for case in 0..2000 {
+            let bias = if case % 2 == 0 {
+                GapBias::Start
+            } else {
+                GapBias::End
+            };
+            let mut doc_len = 8 + rand(8);
+            let mut ops: Vec<ListOp<u64>> = Vec::new();
+            let mut by_compose = Delta::identity();
+            for i in 0..(1 + rand(12)) {
+                let op = if doc_len > 0 && rand(2) == 0 {
+                    let pos = rand(doc_len);
+                    doc_len -= 1;
+                    ListOp::Delete(pos)
+                } else {
+                    let pos = rand(doc_len + 1);
+                    doc_len += 1;
+                    ListOp::Insert(pos, i as u64)
+                };
+                let span = op.to_span().unwrap();
+                by_compose = by_compose.compose_biased(&Delta::from_op_span(span), bias);
+                ops.push(op);
+            }
+            let in_place = from_ops_biased(&ops, bias).unwrap();
+            assert_eq!(in_place, by_compose, "ops {ops:?} bias {bias:?}");
+        }
+    }
+
+    #[test]
+    fn order_sensitive_collisions_are_screened_to_the_grid() {
+        // Committed: delete b and c, insert "XY" where c was (gap end).
+        // Incoming: insert "q" where b was, and also delete c. Whether
+        // "q" lands before or after "XY" under the grid depends on the
+        // *incoming log's* internal order — `[del c, ins q]` ties with
+        // the committed insert (c already collapsed) and is displaced
+        // after it, while `[ins q, del c]` is walked with c still alive
+        // and stays before it. Same incoming delta either way, so the
+        // pair is undecidable from the deltas and must go to the grid.
+        let committed = vec![
+            TextOp::delete(1, 1),
+            TextOp::insert(2, "XY"),
+            TextOp::delete(1, 1),
+        ];
+        let incoming = vec![TextOp::delete(2, 1), TextOp::insert(1, "q")];
+        let alternate = vec![TextOp::insert(1, "q"), TextOp::delete(3, 1)];
+        assert_eq!(text_delta(&incoming), text_delta(&alternate));
+        assert_ne!(
+            seq::rebase(&incoming, &committed),
+            seq::rebase(&alternate, &committed)
+        );
+        assert!(rebase_delta(&incoming, &committed).is_none());
+        let com = text_delta(&committed);
+        let inc = text_delta(&incoming);
+        assert!(com.rebase_is_order_sensitive(&inc));
+
+        // A base unit both sides keep between the two inserts breaks the
+        // collapse chain: deterministic, stays on the delta path.
+        let committed = vec![TextOp::insert(4, "XY"), TextOp::delete(6, 1)];
+        let incoming = vec![TextOp::insert(2, "q")];
+        assert!(rebase_delta(&incoming, &committed).is_some());
+
+        // Reverse arrangement — committed insert first in base order —
+        // is deterministic (position and tie bias agree): delta path.
+        let committed = vec![TextOp::insert(2, "XY")];
+        let incoming = vec![TextOp::delete(2, 2), TextOp::insert(2, "q")];
+        assert!(rebase_delta(&incoming, &committed).is_some());
+    }
+
+    #[test]
+    fn transform_matches_pairwise_tie_bias() {
+        // Committed (left) and incoming (right) insert at the same point:
+        // left lands first, right is displaced after it.
+        let com = text_delta(&[TextOp::insert(3, "LL")]);
+        let inc = text_delta(&[TextOp::insert(3, "R")]);
+        let (_, inc_t) = com.transform(&inc);
+        let ops: Vec<TextOp> = inc_t.into_ops();
+        assert_eq!(ops, vec![TextOp::insert(5, "R")]);
+    }
+
+    #[test]
+    fn transform_splits_delete_around_concurrent_insert() {
+        let com = text_delta(&[TextOp::insert(5, "XY")]);
+        let inc = text_delta(&[TextOp::delete(3, 5)]);
+        let (_, inc_t) = com.transform(&inc);
+        let ops: Vec<TextOp> = inc_t.into_ops();
+        assert_eq!(ops, vec![TextOp::delete(3, 2), TextOp::delete(5, 3)]);
+    }
+
+    #[test]
+    fn overlapping_deletes_vanish_once() {
+        let com = text_delta(&[TextOp::delete(2, 4)]);
+        let inc = text_delta(&[TextOp::delete(4, 4)]);
+        let (com_t, inc_t) = com.transform(&inc);
+        let c: Vec<TextOp> = com_t.into_ops();
+        let i: Vec<TextOp> = inc_t.into_ops();
+        assert_eq!(c, vec![TextOp::delete(2, 2)]);
+        assert_eq!(i, vec![TextOp::delete(2, 2)]);
+    }
+
+    #[test]
+    fn rebase_delta_agrees_with_grid_on_the_paper_example() {
+        let committed = vec![ListOp::Insert(0, 'd')];
+        let incoming = vec![ListOp::Delete(2)];
+        let (rebased, stats) = rebase_delta(&incoming, &committed).unwrap();
+        assert_eq!(rebased, seq::rebase(&incoming, &committed));
+        assert_eq!(rebased, vec![ListOp::Delete(3)]);
+        assert_eq!(stats.incoming_spans, 2);
+        assert_eq!(stats.committed_spans, 1);
+    }
+
+    #[test]
+    fn set_falls_back_to_the_grid() {
+        let committed = vec![ListOp::Insert(0, 1u8)];
+        let incoming = vec![ListOp::Set(0, 9u8)];
+        assert!(rebase_delta(&incoming, &committed).is_none());
+        assert!(from_ops(&incoming).is_none());
+    }
+
+    #[test]
+    fn noop_span_ops_normalize_away() {
+        let d = from_ops(&[
+            ListOp::InsertRun(1, Vec::<u8>::new()),
+            ListOp::DeleteRange(2, 0),
+        ])
+        .unwrap();
+        assert!(d.is_identity());
+    }
+
+    #[test]
+    fn scattered_rebase_equals_grid_on_state() {
+        // Deterministic scattered inserts on both sides; the delta result
+        // must produce the same state as the grid oracle.
+        let mut x = 0x9e37_79b9_7f4a_7c15u64;
+        let mut pos = |bound: usize| {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((x >> 33) as usize) % bound
+        };
+        let committed: Vec<ListOp<u64>> = (0..40).map(|i| ListOp::Insert(pos(32), i)).collect();
+        let incoming: Vec<ListOp<u64>> =
+            (0..40).map(|i| ListOp::Insert(pos(32), 100 + i)).collect();
+
+        let grid = seq::rebase(&incoming, &committed);
+        let (delta, _) = rebase_delta(&incoming, &committed).unwrap();
+
+        let base: crate::state::ChunkTree<u64> = (0..32).collect();
+        let mut via_grid = base.clone();
+        apply_all(&mut via_grid, &committed).unwrap();
+        apply_all(&mut via_grid, &grid).unwrap();
+        let mut via_delta = base;
+        apply_all(&mut via_delta, &committed).unwrap();
+        apply_all(&mut via_delta, &delta).unwrap();
+        assert_eq!(via_grid, via_delta);
+        // And the logs agree up to delta normal form.
+        assert_eq!(from_ops(&grid).unwrap(), from_ops(&delta).unwrap());
+    }
+
+    #[test]
+    fn into_ops_uses_span_forms_for_runs() {
+        let d = from_ops(&[
+            ListOp::Insert(0, 1u8),
+            ListOp::Insert(1, 2u8),
+            ListOp::Insert(2, 3u8),
+        ])
+        .unwrap();
+        let ops: Vec<ListOp<u8>> = d.into_ops();
+        assert_eq!(ops, vec![ListOp::InsertRun(0, vec![1, 2, 3])]);
+    }
+}

@@ -42,6 +42,7 @@
 pub mod cmap;
 pub mod compose;
 pub mod counter;
+pub mod delta;
 pub mod invert;
 pub mod list;
 pub mod map;
@@ -198,6 +199,25 @@ pub trait Operation: Clone + Send + Sync + fmt::Debug + 'static {
     fn annihilates(&self, next: &Self) -> bool {
         let _ = next;
         false
+    }
+
+    /// Batch rebase of `incoming` over `committed` through the sorted
+    /// span-set representation in [`delta`], O(m+n) in span count instead
+    /// of the O(m·n) pairwise grid.
+    ///
+    /// Sequence algebras ([`text::TextOp`], [`list::ListOp`]) override
+    /// this to delegate to [`delta::rebase_delta`]. The default — and the
+    /// required behavior whenever a log contains an operation a span-set
+    /// cannot express — is `None`, sending the caller to [`seq::rebase`].
+    /// An override must be *state-equivalent* to the grid: applying its
+    /// result after `committed` reaches the same state as applying the
+    /// grid's, and the two rebased logs normalize to the same delta.
+    fn delta_rebase(
+        incoming: &[Self],
+        committed: &[Self],
+    ) -> Option<(Vec<Self>, delta::DeltaStats)> {
+        let _ = (incoming, committed);
+        None
     }
 }
 

@@ -24,6 +24,7 @@
 //! insert splits into two ranges ([`Transformed::Two`]) so the concurrently
 //! inserted element survives — the algebra is therefore no longer scalar.
 
+use crate::delta::{DeltaOp, OpSpan};
 use crate::state::ChunkTree;
 use crate::{ApplyError, Operation, Side, Transformed};
 
@@ -400,6 +401,44 @@ impl<T: Element> Operation for ListOp<T> {
         match (self.ins_span(), next.del_span()) {
             (Some((i, len)), Some((j, m))) => len > 0 && j == i && m == len,
             _ => false,
+        }
+    }
+
+    fn delta_rebase(
+        incoming: &[Self],
+        committed: &[Self],
+    ) -> Option<(Vec<Self>, crate::delta::DeltaStats)> {
+        crate::delta::rebase_delta(incoming, committed)
+    }
+}
+
+impl<T: Element> DeltaOp for ListOp<T> {
+    type Payload = Vec<T>;
+
+    fn to_span(&self) -> Option<OpSpan<Vec<T>>> {
+        match self {
+            // `Set` overwrites in place with incoming-wins conflict
+            // semantics a span-set cannot express: force the grid fallback
+            // for the whole log.
+            ListOp::Set(..) => None,
+            _ => {
+                if let Some((i, _)) = self.ins_span() {
+                    Some(OpSpan::Insert {
+                        pos: i,
+                        payload: self.ins_payload(),
+                    })
+                } else {
+                    let (i, n) = self.del_span().expect("insert/set handled above");
+                    Some(OpSpan::Delete { pos: i, len: n })
+                }
+            }
+        }
+    }
+
+    fn from_span(span: OpSpan<Vec<T>>) -> Self {
+        match span {
+            OpSpan::Insert { pos, payload } => Self::ins_from(pos, payload),
+            OpSpan::Delete { pos, len } => Self::del_from(pos, len),
         }
     }
 }

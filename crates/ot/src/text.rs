@@ -14,6 +14,7 @@
 //! concurrently inserted text survives — intention preservation. The
 //! sequence control algorithm handles the split via [`Transformed::Two`].
 
+use crate::delta::{DeltaOp, OpSpan};
 use crate::state::Rope;
 use crate::{ApplyError, Operation, Side, Transformed};
 
@@ -316,6 +317,37 @@ impl Operation for TextOp {
             l1 > 0 && p2 == p1 && *len == l1
         } else {
             false
+        }
+    }
+
+    fn delta_rebase(
+        incoming: &[Self],
+        committed: &[Self],
+    ) -> Option<(Vec<Self>, crate::delta::DeltaStats)> {
+        crate::delta::rebase_delta(incoming, committed)
+    }
+}
+
+impl DeltaOp for TextOp {
+    type Payload = String;
+
+    fn to_span(&self) -> Option<OpSpan<String>> {
+        Some(match self {
+            TextOp::Insert { pos, text } => OpSpan::Insert {
+                pos: *pos,
+                payload: text.clone(),
+            },
+            TextOp::Delete { pos, len } => OpSpan::Delete {
+                pos: *pos,
+                len: *len,
+            },
+        })
+    }
+
+    fn from_span(span: OpSpan<String>) -> Self {
+        match span {
+            OpSpan::Insert { pos, payload } => TextOp::Insert { pos, text: payload },
+            OpSpan::Delete { pos, len } => TextOp::Delete { pos, len },
         }
     }
 }
