@@ -1,0 +1,236 @@
+//! Emit `BENCH_recovery.json`: the durability cost model for the
+//! sm-store WAL (PR: durable op-log tentpole).
+//!
+//! Three measurements:
+//!
+//! * `append` — sustained commit throughput per [`FsyncPolicy`]: the
+//!   per-commit price of "no committed merge is ever lost" (`Always`)
+//!   versus group commit (`EveryN`) versus time-boxed flushing
+//!   (`Interval`).
+//! * `snapshot` — full-state snapshot cost against state size, and the
+//!   snapshot's on-disk footprint.
+//! * `recovery` — end-to-end crash recovery (snapshot load + WAL replay
+//!   through the OT apply path + digest-chain verification) for journals
+//!   of 10^4, 10^5 and 10^6 scattered list operations, reported as total
+//!   wall time and replayed ops/second.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p sm-bench --bin bench_recovery [-- --quick] [-- --out PATH]
+//! ```
+//!
+//! `--quick` reduces repetitions and skips the 10^6 journal for CI smoke
+//! runs; `--out` overrides the default output path `BENCH_recovery.json`.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use sm_mergeable::MList;
+use sm_obs::TaskPath;
+use sm_store::{FsyncPolicy, Store, StoreOptions};
+
+/// Scratch directory under the OS temp root, wiped on entry.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sm-bench-recovery-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Deterministic scattered positions (same LCG family as bench_merge).
+/// Scattering inside a trailing window defeats span compaction (so the
+/// journal really holds ~`n` individual operations) while keeping the
+/// list-shift cost of building a million-element journal bounded.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+}
+
+/// Journal `total_ops` scattered inserts in commits of `ops_per_commit`.
+fn build_journal(dir: &Path, total_ops: usize, ops_per_commit: usize, fsync: FsyncPolicy) -> Store {
+    let store = Store::open(
+        dir.to_path_buf(),
+        StoreOptions {
+            fsync,
+            ..StoreOptions::default()
+        },
+    )
+    .unwrap();
+    let mut data = MList::<u64>::new();
+    store.begin(&data).unwrap();
+    let mut rng = Lcg(0x5EED);
+    let mut done = 0usize;
+    while done < total_ops {
+        let batch = ops_per_commit.min(total_ops - done);
+        for _ in 0..batch {
+            let window = (data.len() + 1).min(4096);
+            let at = data.len() + 1 - window + (rng.next() as usize) % window;
+            data.insert(at, rng.next());
+        }
+        store.commit(&data, &TaskPath::root()).unwrap();
+        done += batch;
+    }
+    store.sync().unwrap();
+    store
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_recovery.json".to_string());
+
+    let mut json = String::from("{\n  \"bench\": \"recovery\",\n");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+
+    // ------------------------------------------------------------------
+    // Append throughput per fsync policy.
+    // ------------------------------------------------------------------
+    json.push_str("  \"append\": [\n");
+    let commits = if quick { 200 } else { 2_000 };
+    let policies: &[(&str, FsyncPolicy)] = &[
+        ("always", FsyncPolicy::Always),
+        ("every_64", FsyncPolicy::EveryN(64)),
+        (
+            "interval_5ms",
+            FsyncPolicy::Interval(Duration::from_millis(5)),
+        ),
+    ];
+    for (pi, (name, policy)) in policies.iter().enumerate() {
+        let dir = scratch(&format!("append-{name}"));
+        let store = Store::open(
+            dir.clone(),
+            StoreOptions {
+                fsync: *policy,
+                ..StoreOptions::default()
+            },
+        )
+        .unwrap();
+        let mut data = MList::<u64>::new();
+        store.begin(&data).unwrap();
+        let t = Instant::now();
+        for i in 0..commits {
+            data.push(i as u64);
+            store.commit(&data, &TaskPath::root()).unwrap();
+        }
+        store.sync().unwrap();
+        let total_ns = t.elapsed().as_nanos() as u64;
+        let per_commit = total_ns / commits as u64;
+        let per_sec = commits as f64 / (total_ns as f64 / 1e9);
+        eprintln!(
+            "append {commits} commits, fsync={name}: {per_commit} ns/commit, {per_sec:.0} commits/s"
+        );
+        if pi > 0 {
+            json.push_str(",\n");
+        }
+        let _ = write!(
+            json,
+            "    {{\"policy\": \"{name}\", \"commits\": {commits}, \
+             \"ns_per_commit\": {per_commit}, \"commits_per_sec\": {per_sec:.0}}}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    // ------------------------------------------------------------------
+    // Snapshot cost vs state size.
+    // ------------------------------------------------------------------
+    json.push_str("\n  ],\n  \"snapshot\": [\n");
+    let sizes: &[usize] = if quick {
+        &[10_000, 100_000]
+    } else {
+        &[10_000, 100_000, 1_000_000]
+    };
+    for (si, &size) in sizes.iter().enumerate() {
+        let dir = scratch(&format!("snap-{size}"));
+        let store = Store::open(dir.clone(), StoreOptions::default()).unwrap();
+        let data = MList::<u64>::from_iter(0..size as u64);
+        store.begin(&data).unwrap();
+        let t = Instant::now();
+        store.snapshot(&data).unwrap();
+        let snap_ns = t.elapsed().as_nanos() as u64;
+        let snap_bytes: u64 = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| {
+                let e = e.unwrap();
+                e.file_name()
+                    .to_str()
+                    .is_some_and(|n| n.starts_with("snap-"))
+                    .then(|| e.metadata().unwrap().len())
+            })
+            .max()
+            .unwrap_or(0);
+        eprintln!("snapshot @ {size} elems: {snap_ns} ns, {snap_bytes} bytes");
+        if si > 0 {
+            json.push_str(",\n");
+        }
+        let _ = write!(
+            json,
+            "    {{\"elems\": {size}, \"snapshot_ns\": {snap_ns}, \"bytes\": {snap_bytes}}}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    // ------------------------------------------------------------------
+    // Recovery time vs journal size.
+    // ------------------------------------------------------------------
+    json.push_str("\n  ],\n  \"recovery\": [\n");
+    let journal_sizes: &[usize] = if quick {
+        &[10_000, 100_000]
+    } else {
+        &[10_000, 100_000, 1_000_000]
+    };
+    for (ji, &total_ops) in journal_sizes.iter().enumerate() {
+        let dir = scratch(&format!("recover-{total_ops}"));
+        let build = Instant::now();
+        let store = build_journal(&dir, total_ops, 1_000, FsyncPolicy::EveryN(256));
+        let build_ns = build.elapsed().as_nanos() as u64;
+        let commits = store.last_seq();
+        drop(store);
+
+        let reopened = Store::open(dir.clone(), StoreOptions::default()).unwrap();
+        let t = Instant::now();
+        let rec = reopened.recover::<MList<u64>>().unwrap().expect("journal");
+        let recover_ns = t.elapsed().as_nanos() as u64;
+        // Span compaction fuses the occasional adjacent insert pair, so
+        // the replayed op count can sit slightly below the requested one;
+        // the reconstructed state must be element-for-element complete.
+        assert_eq!(rec.data.len(), total_ops);
+        let replayed = rec.replayed_ops;
+        let ops_per_sec = replayed as f64 / (recover_ns as f64 / 1e9);
+        eprintln!(
+            "recovery @ {total_ops} ops ({commits} commits, {replayed} replayed): \
+             journal {build_ns} ns, recover {recover_ns} ns, {ops_per_sec:.0} ops/s"
+        );
+        if ji > 0 {
+            json.push_str(",\n");
+        }
+        let _ = write!(
+            json,
+            "    {{\"ops\": {total_ops}, \"commits\": {commits}, \"replayed_ops\": {replayed}, \
+             \"journal_ns\": {build_ns}, \"recover_ns\": {recover_ns}, \
+             \"replay_ops_per_sec\": {ops_per_sec:.0}}}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    json.push_str("\n  ]\n}\n");
+
+    match std::fs::write(&out_path, &json) {
+        Ok(()) => eprintln!("bench_recovery: wrote {out_path}"),
+        Err(e) => {
+            eprintln!("bench_recovery: could not write {out_path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

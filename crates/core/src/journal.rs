@@ -1,0 +1,70 @@
+//! [`CommitSink`]: the runtime's durability seam.
+//!
+//! A Spawn & Merge program mutates no shared state; the only points where
+//! the *program's* data changes are the root task's merge commits. A
+//! [`CommitSink`] installed via [`run_with_sink`](crate::run_with_sink)
+//! observes exactly those points, synchronously, on the root task's
+//! thread — which is what makes a write-ahead log of commits equivalent to
+//! the execution itself: replaying the journaled commit sequence through
+//! the ordinary OT apply path reconstructs the same state (determinism of
+//! `merge_all` does the rest).
+//!
+//! The sink is intentionally infallible at the trait level: the runtime
+//! has no error channel in the middle of a merge round. Implementations
+//! that can fail (e.g. a disk-backed store) record the first error
+//! internally ("sticky error") and surface it when the program finishes.
+
+use sm_mergeable::Mergeable;
+use sm_obs::TaskPath;
+
+/// Observer of root-task commit points, for durability layers.
+///
+/// Install one with [`run_with_sink`](crate::run_with_sink). All callbacks
+/// run on the root task's thread, synchronously inside the merge machinery:
+///
+/// * [`committed`](CommitSink::committed) — immediately **after** a child's
+///   operations were merged into the root data and **before** any history
+///   garbage collection of that round. The data's committed logs therefore
+///   still contain every operation up to (at least) the previous commit's
+///   history marks, so the sink can export the delta since its last
+///   observation via
+///   [`Persist::encode_committed_since`](sm_mergeable::Persist::encode_committed_since).
+/// * [`truncating`](CommitSink::truncating) — **before** fork-watermark GC
+///   drops a committed-log prefix. This exists because the GC watermark is
+///   the minimum over *live* fork bases, which can lie beyond the last
+///   merge commit: after a commit the root may record local operations and
+///   then fork fresh children past them, and a GC round triggered without
+///   an intervening merge (an aborted or rejected child) would drop those
+///   operations before any `committed` call saw them. The pre-hook lets
+///   the sink journal everything up to the present first.
+/// * [`truncated`](CommitSink::truncated) — after GC dropped a prefix;
+///   informational.
+/// * [`finished`](CommitSink::finished) — once, when the root function has
+///   returned and all children are drained; `data` is the final state.
+pub trait CommitSink<D: Mergeable>: Send {
+    /// A child's operations were just merged into the root data.
+    ///
+    /// `child` is the merged child's observability path and
+    /// `child_continues` is true for a `sync` commit (the child lives on
+    /// with a fresh fork) and false for a completion commit.
+    fn committed(&mut self, data: &D, child: &TaskPath, child_continues: bool);
+
+    /// Fork-watermark GC is about to truncate history up to `watermark`
+    /// (absolute marks, one per contained log). The data still holds every
+    /// operation the sink has not yet observed; a durability sink journals
+    /// the outstanding slice now.
+    fn truncating(&mut self, data: &D, watermark: &[usize]) {
+        let _ = (data, watermark);
+    }
+
+    /// Fork-watermark GC dropped `dropped` committed operations from the
+    /// root data's history.
+    fn truncated(&mut self, data: &D, dropped: usize) {
+        let _ = (data, dropped);
+    }
+
+    /// The program finished; `data` is the final merged state.
+    fn finished(&mut self, data: &D) {
+        let _ = data;
+    }
+}

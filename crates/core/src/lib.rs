@@ -59,6 +59,7 @@
 #![warn(missing_docs)]
 
 mod error;
+pub mod journal;
 mod merge;
 mod pool;
 mod runtime;
@@ -67,9 +68,10 @@ mod task;
 mod trace;
 
 pub use error::{AbortReason, SyncError, TaskAbort, TaskResult};
+pub use journal::CommitSink;
 pub use merge::{Condition, Disposition, MergeReport, MergedChild};
 pub use pool::{Pool, PoolStats};
-pub use runtime::{run, run_with_pool};
+pub use runtime::{run, run_with_pool, run_with_sink};
 pub use task::{TaskCtx, TaskHandle, TaskId, TaskOutcome};
 pub use trace::{MergeTrace, ReplayError, TraceCursor};
 
@@ -386,6 +388,55 @@ mod tests {
             ctx.merge_all_from_set(&[&b, &a]);
         });
         assert_eq!(list.to_vec(), vec![2, 1]);
+    }
+
+    #[test]
+    fn commit_sink_sees_every_root_commit_and_the_final_state() {
+        use std::sync::{Arc as StdArc, Mutex as StdMutex};
+
+        #[derive(Default)]
+        struct Recorder {
+            commits: Vec<(String, bool, i64)>,
+            finished_with: Option<i64>,
+        }
+        struct Sink(StdArc<StdMutex<Recorder>>);
+        impl CommitSink<MCounter> for Sink {
+            fn committed(&mut self, data: &MCounter, child: &sm_obs::TaskPath, continues: bool) {
+                self.0
+                    .lock()
+                    .unwrap()
+                    .commits
+                    .push((child.to_string(), continues, data.get()));
+            }
+            fn finished(&mut self, data: &MCounter) {
+                self.0.lock().unwrap().finished_with = Some(data.get());
+            }
+        }
+
+        let rec = StdArc::new(StdMutex::new(Recorder::default()));
+        let (counter, ()) = run_with_sink(
+            MCounter::new(0),
+            Pool::new(),
+            Box::new(Sink(rec.clone())),
+            |ctx| {
+                ctx.spawn(|c| {
+                    c.data_mut().add(1);
+                    c.sync()?; // sync commit (child continues)
+                    c.data_mut().add(2);
+                    Ok(())
+                });
+                ctx.merge_all(); // processes the sync
+                ctx.merge_all(); // processes the completion
+            },
+        );
+        assert_eq!(counter.get(), 3);
+        let rec = rec.lock().unwrap();
+        assert_eq!(rec.commits.len(), 2, "one sync commit + one completion");
+        assert!(rec.commits[0].1, "first commit is a continuing sync");
+        assert_eq!(rec.commits[0].2, 1);
+        assert!(!rec.commits[1].1, "second commit is the completion");
+        assert_eq!(rec.commits[1].2, 3);
+        assert_eq!(rec.finished_with, Some(3));
     }
 
     #[test]

@@ -419,10 +419,23 @@ impl<D: Mergeable> TaskCtx<D> {
                 return;
             }
         };
+        // The watermark is the minimum over *live* fork bases, which can
+        // lie beyond the last merge commit (root-local ops recorded after
+        // it, with every younger fork past them). Let a durability sink
+        // journal the outstanding slice before it is dropped.
+        if let Some(mut sink) = self.sink.take() {
+            sink.truncating(self.data(), &watermark);
+            self.sink = Some(sink);
+        }
+        let data = self.data.as_mut().expect("checked above");
         let mut cursor = 0;
         let dropped = data.truncate_history(&watermark, &mut cursor);
         if dropped > 0 {
             emit(&self.path, || EventKind::LogTruncated { dropped });
+            if let Some(mut sink) = self.sink.take() {
+                sink.truncated(self.data(), dropped);
+                self.sink = Some(sink);
+            }
         }
     }
 
@@ -462,6 +475,13 @@ impl<D: Mergeable> TaskCtx<D> {
                 oplog_len,
                 merge_nanos,
             });
+        }
+        // Journal the commit point: the merged ops are now part of this
+        // task's committed log and no GC has run yet this round, so a
+        // durability sink sees every committed operation exactly once.
+        if let Some(mut sink) = self.sink.take() {
+            sink.committed(self.data(), child_path, child_continues);
+            self.sink = Some(sink);
         }
         stats
     }

@@ -6,6 +6,7 @@ use std::sync::Arc;
 use sm_mergeable::Mergeable;
 use sm_obs::{emit, EventKind, TaskPath};
 
+use crate::journal::CommitSink;
 use crate::pool::Pool;
 use crate::task::TaskCtx;
 
@@ -53,11 +54,45 @@ pub fn run_with_pool<D, R>(data: D, pool: Pool, root: impl FnOnce(&mut TaskCtx<D
 where
     D: Mergeable,
 {
+    run_inner(data, pool, None, root)
+}
+
+/// [`run_with_pool`] with a [`CommitSink`] journaling the root task's merge
+/// commits (the durability seam — see [`crate::journal`]).
+///
+/// The sink's `committed` callback fires synchronously after every merge
+/// into the root data, `truncated` after history GC, and `finished` once
+/// with the final state, just before this function returns it.
+pub fn run_with_sink<D, R>(
+    data: D,
+    pool: Pool,
+    sink: Box<dyn CommitSink<D>>,
+    root: impl FnOnce(&mut TaskCtx<D>) -> R,
+) -> (D, R)
+where
+    D: Mergeable,
+{
+    run_inner(data, pool, Some(sink), root)
+}
+
+fn run_inner<D, R>(
+    data: D,
+    pool: Pool,
+    sink: Option<Box<dyn CommitSink<D>>>,
+    root: impl FnOnce(&mut TaskCtx<D>) -> R,
+) -> (D, R)
+where
+    D: Mergeable,
+{
     let root_path = TaskPath::root();
     emit(&root_path, || EventKind::TaskSpawned { spawn_nanos: 0 });
     let mut ctx = TaskCtx::new(data, 0, None, Arc::new(AtomicBool::new(false)), pool);
+    ctx.sink = sink;
     let result = root(&mut ctx);
     ctx.drain_children();
+    if let Some(mut sink) = ctx.sink.take() {
+        sink.finished(ctx.data());
+    }
     emit(&root_path, || EventKind::TaskCompleted);
     (ctx.into_data(), result)
 }

@@ -167,6 +167,9 @@ pub struct TaskCtx<D: Mergeable> {
     /// Events received while waiting for a specific child, in arrival
     /// order.
     pub(crate) pending: VecDeque<Event<D>>,
+    /// Durability observer of this task's merge commits (root task only;
+    /// installed by [`crate::run_with_sink`]).
+    pub(crate) sink: Option<Box<dyn crate::CommitSink<D>>>,
 }
 
 impl<D: Mergeable> TaskCtx<D> {
@@ -200,6 +203,7 @@ impl<D: Mergeable> TaskCtx<D> {
             events_rx,
             children: Vec::new(),
             pending: VecDeque::new(),
+            sink: None,
         }
     }
 

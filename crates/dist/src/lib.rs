@@ -66,6 +66,9 @@ pub enum DistError {
     Apply(String),
     /// The peer violated the wire protocol.
     Protocol(String),
+    /// The coordinator's durability journal failed (the program's merge
+    /// semantics are unaffected; durability is).
+    Journal(String),
 }
 
 impl fmt::Display for DistError {
@@ -76,11 +79,18 @@ impl fmt::Display for DistError {
             DistError::Decode(e) => write!(f, "wire decode failed: {e}"),
             DistError::Apply(e) => write!(f, "operation replay failed: {e}"),
             DistError::Protocol(e) => write!(f, "protocol violation: {e}"),
+            DistError::Journal(e) => write!(f, "coordinator journal failed: {e}"),
         }
     }
 }
 
 impl std::error::Error for DistError {}
+
+impl From<sm_store::StoreError> for DistError {
+    fn from(e: sm_store::StoreError) -> Self {
+        DistError::Journal(e.to_string())
+    }
+}
 
 impl From<sm_codec::DecodeError> for DistError {
     fn from(e: sm_codec::DecodeError) -> Self {

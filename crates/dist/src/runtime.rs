@@ -57,6 +57,7 @@ pub struct DistRuntime<D: Wire> {
     outstanding: Vec<Outstanding<D>>,
     buffered: VecDeque<WireMsg>,
     next_task: u64,
+    journal: Option<sm_store::Store>,
 }
 
 impl<D: Wire> DistRuntime<D> {
@@ -96,7 +97,30 @@ impl<D: Wire> DistRuntime<D> {
             outstanding: Vec::new(),
             buffered: VecDeque::new(),
             next_task: 1,
+            journal: None,
         })
+    }
+
+    /// [`launch`](DistRuntime::launch), with every coordinator merge
+    /// journaled into `store` — the distributed runtime's durability
+    /// story. On a coordinator crash, [`sm_store::Store::recover`] the
+    /// data and `launch_durable` again with a fresh cluster: workers are
+    /// stateless between jobs (each spawn re-ships the state snapshot),
+    /// so a restarted coordinator rejoins exactly where the journal ends.
+    ///
+    /// `store` must be fresh (a genesis baseline is written) or just
+    /// recovered; `data` must be the corresponding initial or recovered
+    /// state.
+    pub fn launch_durable(
+        workers: usize,
+        data: D,
+        registry: &JobRegistry<D>,
+        store: &sm_store::Store,
+    ) -> Result<Self, DistError> {
+        store.begin(&data)?;
+        let mut rt = Self::launch(workers, data, registry)?;
+        rt.journal = Some(store.clone());
+        Ok(rt)
     }
 
     /// Read access to the coordinator's data.
@@ -211,6 +235,12 @@ impl<D: Wire> DistRuntime<D> {
         self.data
             .merge(&shadow)
             .map_err(|e| DistError::Apply(e.to_string()))?;
+        if let Some(journal) = &self.journal {
+            // One WAL record per distributed merge, attributed to the
+            // task's pseudo-path (root → task id). Coordinator-local
+            // edits since the previous commit ride in the same record.
+            journal.commit(&self.data, &sm_obs::TaskPath::root().child(task))?;
+        }
         Ok(DistOutcome {
             task,
             node,
@@ -224,6 +254,11 @@ impl<D: Wire> DistRuntime<D> {
     /// "a task is not completed unless all its children have been merged".
     pub fn shutdown(mut self) -> Result<D, DistError> {
         self.merge_all()?;
+        if let Some(journal) = self.journal.take() {
+            // Journal any trailing coordinator-local edits and make the
+            // whole log durable before the cluster goes away.
+            journal.commit_outstanding(&self.data, &sm_obs::TaskPath::root())?;
+        }
         self.cluster.shutdown();
         for f in self.forwarders {
             let _ = f.join();

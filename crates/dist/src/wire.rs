@@ -4,442 +4,61 @@
 //! distributed Merge ships the **operation log** back. Rebasing stays on
 //! the coordinator: the returned operations are replayed onto the local
 //! *shadow fork* taken at spawn time, and the shadow merges through the
-//! ordinary [`Mergeable`] machinery — so the distributed semantics are
-//! byte-identical to the shared-memory ones.
-
-use bytes::{Bytes, BytesMut};
-use sm_codec::{Decode, DecodeError, Encode};
-use sm_mergeable::{
-    MCounter, MCounterMap, MList, MMap, MQueue, MRegister, MSet, MText, MTree, Mergeable,
-};
-use sm_ot::tree::Node;
+//! ordinary [`Mergeable`](sm_mergeable::Mergeable) machinery — so the
+//! distributed semantics are byte-identical to the shared-memory ones.
+//!
+//! The codec itself lives in [`sm_mergeable::persist`], because the
+//! durable store journals exactly the same wire shapes (a node's store
+//! snapshot *is* an `encode_state`, a journaled commit replays through
+//! `apply_log`). `Wire` is the trait under its distributed name.
 
 use crate::DistError;
+use sm_mergeable::ReplayError;
 
-/// A mergeable structure whose state and operation log can be serialized.
-pub trait Wire: Mergeable {
-    /// Encode a snapshot of the current state (no log, no fork metadata).
-    fn encode_state(&self, buf: &mut BytesMut);
+pub use sm_mergeable::Persist as Wire;
 
-    /// Decode a snapshot into a fresh instance with an empty log.
-    fn decode_state(buf: &mut Bytes) -> Result<Self, DecodeError>;
-
-    /// Encode the locally recorded operation log.
-    fn encode_log(&self, buf: &mut BytesMut);
-
-    /// Decode an operation log and apply + record it here. Returns the
-    /// number of operations applied.
-    fn apply_log(&mut self, buf: &mut Bytes) -> Result<usize, DistError>;
-}
-
-/// Encode a log with span compaction applied first: runs of fusible
-/// operations (contiguous inserts, same-key puts, counter adds…) cross
-/// the wire as single span ops. Compaction is rebase-preserving, so the
-/// coordinator's shadow replay merges byte-identically to shipping the
-/// raw log — only the `WireSent` byte counts shrink.
-fn encode_compact_log<O>(log: &[O], buf: &mut BytesMut)
-where
-    O: sm_ot::Operation + Encode,
-{
-    let ops = sm_ot::compose::compact_cow(log);
-    sm_codec::put_varint(buf, ops.len() as u64);
-    for op in ops.iter() {
-        op.encode(buf);
-    }
-}
-
-macro_rules! apply_ops {
-    ($self:ident, $buf:ident, $op_ty:ty) => {{
-        let ops: Vec<$op_ty> = Vec::decode($buf)?;
-        let n = ops.len();
-        for op in ops {
-            $self
-                .apply_op(op)
-                .map_err(|e| DistError::Apply(e.to_string()))?;
-        }
-        Ok(n)
-    }};
-}
-
-impl<T> Wire for MList<T>
-where
-    T: sm_ot::list::Element + Encode + Decode,
-{
-    fn encode_state(&self, buf: &mut BytesMut) {
-        self.to_vec().encode(buf);
-    }
-
-    fn decode_state(buf: &mut Bytes) -> Result<Self, DecodeError> {
-        Ok(MList::from_vec(Vec::decode(buf)?))
-    }
-
-    fn encode_log(&self, buf: &mut BytesMut) {
-        encode_compact_log(self.log(), buf);
-    }
-
-    fn apply_log(&mut self, buf: &mut Bytes) -> Result<usize, DistError> {
-        apply_ops!(self, buf, sm_ot::list::ListOp<T>)
-    }
-}
-
-impl<T> Wire for MQueue<T>
-where
-    T: sm_ot::list::Element + Encode + Decode,
-{
-    fn encode_state(&self, buf: &mut BytesMut) {
-        self.to_vec().encode(buf);
-    }
-
-    fn decode_state(buf: &mut Bytes) -> Result<Self, DecodeError> {
-        Ok(MQueue::from_vec(Vec::decode(buf)?))
-    }
-
-    fn encode_log(&self, buf: &mut BytesMut) {
-        encode_compact_log(self.log(), buf);
-    }
-
-    fn apply_log(&mut self, buf: &mut Bytes) -> Result<usize, DistError> {
-        apply_ops!(self, buf, sm_ot::list::ListOp<T>)
-    }
-}
-
-impl Wire for MText {
-    fn encode_state(&self, buf: &mut BytesMut) {
-        self.to_string().encode(buf);
-    }
-
-    fn decode_state(buf: &mut Bytes) -> Result<Self, DecodeError> {
-        Ok(MText::from(String::decode(buf)?))
-    }
-
-    fn encode_log(&self, buf: &mut BytesMut) {
-        encode_compact_log(self.log(), buf);
-    }
-
-    fn apply_log(&mut self, buf: &mut Bytes) -> Result<usize, DistError> {
-        apply_ops!(self, buf, sm_ot::text::TextOp)
-    }
-}
-
-impl<K, V> Wire for MMap<K, V>
-where
-    K: sm_ot::map::Key + Encode + Decode,
-    V: sm_ot::map::Value + Encode + Decode,
-{
-    fn encode_state(&self, buf: &mut BytesMut) {
-        let entries: Vec<(K, V)> = self.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
-        entries.encode(buf);
-    }
-
-    fn decode_state(buf: &mut Bytes) -> Result<Self, DecodeError> {
-        Ok(MMap::from_entries(Vec::<(K, V)>::decode(buf)?))
-    }
-
-    fn encode_log(&self, buf: &mut BytesMut) {
-        encode_compact_log(self.log(), buf);
-    }
-
-    fn apply_log(&mut self, buf: &mut Bytes) -> Result<usize, DistError> {
-        apply_ops!(self, buf, sm_ot::map::MapOp<K, V>)
-    }
-}
-
-impl<T> Wire for MSet<T>
-where
-    T: sm_ot::set::Element + Encode + Decode,
-{
-    fn encode_state(&self, buf: &mut BytesMut) {
-        let items: Vec<T> = self.iter().cloned().collect();
-        items.encode(buf);
-    }
-
-    fn decode_state(buf: &mut Bytes) -> Result<Self, DecodeError> {
-        Ok(MSet::from_items(Vec::<T>::decode(buf)?))
-    }
-
-    fn encode_log(&self, buf: &mut BytesMut) {
-        encode_compact_log(self.log(), buf);
-    }
-
-    fn apply_log(&mut self, buf: &mut Bytes) -> Result<usize, DistError> {
-        apply_ops!(self, buf, sm_ot::set::SetOp<T>)
-    }
-}
-
-impl Wire for MCounter {
-    fn encode_state(&self, buf: &mut BytesMut) {
-        self.get().encode(buf);
-    }
-
-    fn decode_state(buf: &mut Bytes) -> Result<Self, DecodeError> {
-        Ok(MCounter::new(i64::decode(buf)?))
-    }
-
-    fn encode_log(&self, buf: &mut BytesMut) {
-        encode_compact_log(self.log(), buf);
-    }
-
-    fn apply_log(&mut self, buf: &mut Bytes) -> Result<usize, DistError> {
-        apply_ops!(self, buf, sm_ot::counter::CounterOp)
-    }
-}
-
-impl<T> Wire for MRegister<T>
-where
-    T: sm_ot::register::Value + Encode + Decode,
-{
-    fn encode_state(&self, buf: &mut BytesMut) {
-        self.get().encode(buf);
-    }
-
-    fn decode_state(buf: &mut Bytes) -> Result<Self, DecodeError> {
-        Ok(MRegister::new(T::decode(buf)?))
-    }
-
-    fn encode_log(&self, buf: &mut BytesMut) {
-        encode_compact_log(self.log(), buf);
-    }
-
-    fn apply_log(&mut self, buf: &mut Bytes) -> Result<usize, DistError> {
-        apply_ops!(self, buf, sm_ot::register::RegisterOp<T>)
-    }
-}
-
-impl<K> Wire for MCounterMap<K>
-where
-    K: sm_ot::cmap::Key + Encode + Decode,
-{
-    fn encode_state(&self, buf: &mut BytesMut) {
-        let entries: Vec<(K, i64)> = self.iter().map(|(k, v)| (k.clone(), *v)).collect();
-        entries.encode(buf);
-    }
-
-    fn decode_state(buf: &mut Bytes) -> Result<Self, DecodeError> {
-        Ok(MCounterMap::from_entries(Vec::<(K, i64)>::decode(buf)?))
-    }
-
-    fn encode_log(&self, buf: &mut BytesMut) {
-        encode_compact_log(self.log(), buf);
-    }
-
-    fn apply_log(&mut self, buf: &mut Bytes) -> Result<usize, DistError> {
-        apply_ops!(self, buf, sm_ot::cmap::CounterMapOp<K>)
-    }
-}
-
-impl<V> Wire for MTree<V>
-where
-    V: sm_ot::tree::Value + Encode + Decode,
-{
-    fn encode_state(&self, buf: &mut BytesMut) {
-        self.root().encode(buf);
-    }
-
-    fn decode_state(buf: &mut Bytes) -> Result<Self, DecodeError> {
-        Ok(MTree::from_root(Node::decode(buf)?))
-    }
-
-    fn encode_log(&self, buf: &mut BytesMut) {
-        encode_compact_log(self.log(), buf);
-    }
-
-    fn apply_log(&mut self, buf: &mut Bytes) -> Result<usize, DistError> {
-        apply_ops!(self, buf, sm_ot::tree::TreeOp<V>)
-    }
-}
-
-impl<M: Wire> Wire for Vec<M> {
-    fn encode_state(&self, buf: &mut BytesMut) {
-        sm_codec::put_varint(buf, self.len() as u64);
-        for m in self {
-            m.encode_state(buf);
+impl From<ReplayError> for DistError {
+    fn from(e: ReplayError) -> Self {
+        match e {
+            ReplayError::Decode(d) => DistError::Decode(d),
+            ReplayError::Apply(a) => DistError::Apply(a),
+            ReplayError::Shape(s) => DistError::Protocol(s),
         }
     }
-
-    fn decode_state(buf: &mut Bytes) -> Result<Self, DecodeError> {
-        let len = sm_codec::get_varint(buf)?;
-        if len > 1_000_000 {
-            return Err(DecodeError::BadLength(len));
-        }
-        let mut v = Vec::with_capacity(len as usize);
-        for _ in 0..len {
-            v.push(M::decode_state(buf)?);
-        }
-        Ok(v)
-    }
-
-    fn encode_log(&self, buf: &mut BytesMut) {
-        sm_codec::put_varint(buf, self.len() as u64);
-        for m in self {
-            m.encode_log(buf);
-        }
-    }
-
-    fn apply_log(&mut self, buf: &mut Bytes) -> Result<usize, DistError> {
-        let len = sm_codec::get_varint(buf)?;
-        if len as usize != self.len() {
-            return Err(DistError::Protocol(format!(
-                "log vector length {len} does not match state length {}",
-                self.len()
-            )));
-        }
-        let mut total = 0;
-        for m in self.iter_mut() {
-            total += m.apply_log(buf)?;
-        }
-        Ok(total)
-    }
 }
-
-macro_rules! impl_wire_tuple {
-    ( $( $name:ident : $idx:tt ),+ ) => {
-        impl<$( $name: Wire ),+> Wire for ( $( $name, )+ ) {
-            fn encode_state(&self, buf: &mut BytesMut) {
-                $( self.$idx.encode_state(buf); )+
-            }
-
-            fn decode_state(buf: &mut Bytes) -> Result<Self, DecodeError> {
-                Ok(( $( $name::decode_state(buf)?, )+ ))
-            }
-
-            fn encode_log(&self, buf: &mut BytesMut) {
-                $( self.$idx.encode_log(buf); )+
-            }
-
-            fn apply_log(&mut self, buf: &mut Bytes) -> Result<usize, DistError> {
-                let mut total = 0;
-                $( total += self.$idx.apply_log(buf)?; )+
-                Ok(total)
-            }
-        }
-    };
-}
-impl_wire_tuple!(A: 0);
-impl_wire_tuple!(A: 0, B: 1);
-impl_wire_tuple!(A: 0, B: 1, C: 2);
-impl_wire_tuple!(A: 0, B: 1, C: 2, D: 3);
 
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    fn roundtrip_state<W: Wire + PartialEq + std::fmt::Debug>(w: &W) {
-        let mut buf = BytesMut::new();
-        w.encode_state(&mut buf);
-        let mut bytes = buf.freeze();
-        let back = W::decode_state(&mut bytes).expect("decode");
-        assert!(bytes.is_empty(), "state decode must consume everything");
-        assert_eq!(&back, w);
-    }
+    use bytes::BytesMut;
+    use sm_codec::DecodeError;
+    use sm_mergeable::MCounter;
 
     #[test]
-    fn state_roundtrips() {
-        roundtrip_state(&MList::from_iter([1u32, 2, 3]));
-        roundtrip_state(&MQueue::from_iter(["a".to_string(), "b".to_string()]));
-        roundtrip_state(&MText::from("héllo"));
-        roundtrip_state(&MMap::from_entries([("k".to_string(), 7i64)]));
-        roundtrip_state(&MSet::from_items([1u64, 5]));
-        roundtrip_state(&MCounter::new(-3));
-        roundtrip_state(&MRegister::new(true));
-        roundtrip_state(&MCounterMap::from_entries([("w".to_string(), 2i64)]));
-        roundtrip_state(&(MCounter::new(1), MText::from("x")));
-        roundtrip_state(&vec![MCounter::new(1), MCounter::new(2)]);
-    }
-
-    #[test]
-    fn tree_state_roundtrips() {
-        let mut t = MTree::new(1u32);
-        t.push_child(&[], Node::branch(2, vec![Node::leaf(3)]));
-        roundtrip_state(&t);
-    }
-
-    #[test]
-    fn log_ships_and_replays() {
-        // Simulate the full remote round trip by hand: fork, ship state,
-        // mutate remotely, ship log back, replay onto the shadow, merge.
-        let mut coordinator = MList::from_iter([1u32, 2]);
-        let shadow = coordinator.fork();
-
-        // Ship the snapshot to the "remote node".
-        let mut buf = BytesMut::new();
-        shadow.encode_state(&mut buf);
-        let mut remote = MList::<u32>::decode_state(&mut buf.freeze()).unwrap();
-
-        // Remote work.
-        remote.push(9);
-        remote.remove(0);
-
-        // Ship the log back and replay onto the shadow.
-        let mut buf = BytesMut::new();
-        remote.encode_log(&mut buf);
-        let mut shadow = shadow;
-        let n = shadow.apply_log(&mut buf.freeze()).unwrap();
-        assert_eq!(n, 2);
-
-        // Coordinator meanwhile worked too; merge resolves via OT.
-        coordinator.push(5);
-        coordinator.merge(&shadow).unwrap();
-        assert_eq!(coordinator.to_vec(), vec![2, 5, 9]);
-    }
-
-    #[test]
-    fn composite_log_roundtrip() {
-        let base = (MCounterMap::<String>::new(), MText::new());
-        let mut remote = base.clone();
-        remote.0.add("w".to_string(), 3);
-        remote.1.push_str("hi");
-        let mut buf = BytesMut::new();
-        remote.encode_log(&mut buf);
-
-        let mut shadow = base.fork();
-        let n = shadow.apply_log(&mut buf.freeze()).unwrap();
-        assert_eq!(n, 2);
-        assert_eq!(shadow.0.get(&"w".to_string()), 3);
-        assert_eq!(shadow.1, "hi");
-    }
-
-    #[test]
-    fn wire_log_is_compacted() {
-        // A fork point mid-log blocks in-place tail fusion (the barrier
-        // keeps fork bases addressable), so the remote's log holds more
-        // ops than necessary. The wire encoding compacts anyway: the
-        // whole log is shipped, never sliced, so spans may cross the
-        // fork point on the wire.
-        let base = MList::from_iter([9u32]);
-        let mut remote = base.fork();
-        remote.push(1);
-        let _pin = remote.fork();
-        remote.push(2);
-        remote.push(3);
-        assert!(remote.pending_ops() >= 2, "fork point blocked fusion");
-
-        let mut buf = BytesMut::new();
-        remote.encode_log(&mut buf);
-        let mut bytes = buf.freeze();
-        let ops: Vec<sm_ot::list::ListOp<u32>> = Vec::decode(&mut bytes).unwrap();
+    fn replay_errors_map_onto_dist_errors() {
         assert_eq!(
-            ops,
-            vec![sm_ot::list::ListOp::InsertRun(1, vec![1, 2, 3])],
-            "contiguous appends cross the wire as one span"
+            DistError::from(ReplayError::Decode(DecodeError::UnexpectedEnd)),
+            DistError::Decode(DecodeError::UnexpectedEnd)
         );
-
-        // Replaying the compacted log yields the same state as the raw one.
-        let mut buf = BytesMut::new();
-        remote.encode_log(&mut buf);
-        let mut shadow = base.fork();
-        shadow.apply_log(&mut buf.freeze()).unwrap();
-        assert_eq!(shadow.to_vec(), remote.to_vec());
+        assert_eq!(
+            DistError::from(ReplayError::Apply("boom".into())),
+            DistError::Apply("boom".into())
+        );
+        assert_eq!(
+            DistError::from(ReplayError::Shape("len".into())),
+            DistError::Protocol("len".into())
+        );
     }
 
     #[test]
-    fn vec_log_shape_mismatch_detected() {
+    fn vec_shape_mismatch_surfaces_as_protocol_violation() {
+        // The coordinator treats a shape drift on the wire as a protocol
+        // violation by the peer.
         let remote = vec![MCounter::new(0), MCounter::new(0)];
         let mut buf = BytesMut::new();
         remote.encode_log(&mut buf);
         let mut wrong_shape = vec![MCounter::new(0)];
-        assert!(matches!(
-            wrong_shape.apply_log(&mut buf.freeze()),
-            Err(DistError::Protocol(_))
-        ));
+        let err: DistError = wrong_shape.apply_log(&mut buf.freeze()).unwrap_err().into();
+        assert!(matches!(err, DistError::Protocol(_)));
     }
 }

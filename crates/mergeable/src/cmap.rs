@@ -87,6 +87,12 @@ impl<K: Key> MCounterMap<K> {
         self.inner.log()
     }
 
+    // Engine-room view of the log bookkeeping for the in-crate
+    // persistence layer (`crate::persist`).
+    pub(crate) fn versioned(&self) -> &Versioned<CounterMapOp<K>> {
+        &self.inner
+    }
+
     /// Apply and record an operation produced elsewhere (replication /
     /// distributed runtimes).
     pub fn apply_op(&mut self, op: CounterMapOp<K>) -> Result<(), sm_ot::ApplyError> {

@@ -53,6 +53,12 @@ impl MCounter {
         self.inner.log()
     }
 
+    // Engine-room view of the log bookkeeping for the in-crate
+    // persistence layer (`crate::persist`).
+    pub(crate) fn versioned(&self) -> &Versioned<CounterOp> {
+        &self.inner
+    }
+
     /// Apply and record an operation produced elsewhere (replication /
     /// distributed runtimes).
     pub fn apply_op(&mut self, op: CounterOp) -> Result<(), sm_ot::ApplyError> {

@@ -51,6 +51,7 @@ mod cmap;
 mod counter;
 mod list;
 mod map;
+pub mod persist;
 mod queue;
 mod register;
 mod set;
@@ -62,6 +63,7 @@ pub use cmap::MCounterMap;
 pub use counter::MCounter;
 pub use list::MList;
 pub use map::MMap;
+pub use persist::{Persist, ReplayError};
 pub use queue::MQueue;
 pub use register::MRegister;
 pub use set::MSet;

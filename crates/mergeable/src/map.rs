@@ -91,6 +91,12 @@ impl<K: Key, V: Value> MMap<K, V> {
         self.inner.log()
     }
 
+    // Engine-room view of the log bookkeeping for the in-crate
+    // persistence layer (`crate::persist`).
+    pub(crate) fn versioned(&self) -> &Versioned<MapOp<K, V>> {
+        &self.inner
+    }
+
     /// Apply and record an operation produced elsewhere (replication /
     /// distributed runtimes).
     pub fn apply_op(&mut self, op: MapOp<K, V>) -> Result<(), sm_ot::ApplyError> {

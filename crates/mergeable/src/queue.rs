@@ -98,6 +98,12 @@ impl<T: Element> MQueue<T> {
         self.inner.log()
     }
 
+    // Engine-room view of the log bookkeeping for the in-crate
+    // persistence layer (`crate::persist`).
+    pub(crate) fn versioned(&self) -> &Versioned<ListOp<T>> {
+        &self.inner
+    }
+
     /// Apply and record an operation produced elsewhere (replication /
     /// distributed runtimes).
     pub fn apply_op(&mut self, op: ListOp<T>) -> Result<(), sm_ot::ApplyError> {

@@ -45,6 +45,12 @@ impl<T: Value> MRegister<T> {
         self.inner.log()
     }
 
+    // Engine-room view of the log bookkeeping for the in-crate
+    // persistence layer (`crate::persist`).
+    pub(crate) fn versioned(&self) -> &Versioned<RegisterOp<T>> {
+        &self.inner
+    }
+
     /// Apply and record an operation produced elsewhere (replication /
     /// distributed runtimes).
     pub fn apply_op(&mut self, op: RegisterOp<T>) -> Result<(), sm_ot::ApplyError> {

@@ -92,6 +92,12 @@ impl MText {
         self.inner.log()
     }
 
+    // Engine-room view of the log bookkeeping for the in-crate
+    // persistence layer (`crate::persist`).
+    pub(crate) fn versioned(&self) -> &Versioned<TextOp> {
+        &self.inner
+    }
+
     /// Apply and record an operation produced elsewhere (replication /
     /// distributed runtimes).
     pub fn apply_op(&mut self, op: TextOp) -> Result<(), sm_ot::ApplyError> {

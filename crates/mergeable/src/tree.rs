@@ -103,6 +103,12 @@ impl<V: Value> MTree<V> {
         self.inner.log()
     }
 
+    // Engine-room view of the log bookkeeping for the in-crate
+    // persistence layer (`crate::persist`).
+    pub(crate) fn versioned(&self) -> &Versioned<TreeOp<V>> {
+        &self.inner
+    }
+
     /// Apply and record an operation produced elsewhere (replication /
     /// distributed runtimes).
     pub fn apply_op(&mut self, op: TreeOp<V>) -> Result<(), sm_ot::ApplyError> {

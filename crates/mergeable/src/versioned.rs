@@ -438,6 +438,21 @@ impl<O: Operation> Versioned<O> {
         Ok(stats)
     }
 
+    /// Seal the current history: raise the fuse barrier to the present
+    /// history length so no later [`Versioned::record`] can fuse into (or
+    /// annihilate) an operation already in the log.
+    ///
+    /// Durability needs this: a journal that has persisted the log up to
+    /// position P must be able to assume those operations are immutable,
+    /// but tail fusion rewrites the last log entry in place. Sealing at
+    /// every journal commit makes the persisted prefix append-only.
+    /// Takes `&self` — the barrier is atomic, exactly like the raise in
+    /// [`Versioned::fork`].
+    pub fn seal(&self) {
+        self.fuse_barrier
+            .fetch_max(self.history_len(), Ordering::Relaxed);
+    }
+
     /// Drop every retained operation below the absolute history position
     /// `watermark`; returns how many were dropped. Callers must guarantee
     /// no live fork has a base below `watermark` (the runtime computes the
@@ -521,6 +536,23 @@ mod tests {
         );
         child.record(ListOp::Insert(1, 3)).unwrap();
         v.merge(&child).unwrap();
+        assert_eq!(v.state(), &vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn seal_blocks_fusion_into_persisted_prefix() {
+        let mut v = V::new(ct(vec![]));
+        v.record(ListOp::Insert(0, 1)).unwrap();
+        v.seal(); // a journal persisted the log up to here
+        v.record(ListOp::Insert(1, 2)).unwrap();
+        assert_eq!(
+            v.pending_ops(),
+            2,
+            "an append after a seal must not rewrite the sealed tail"
+        );
+        // Beyond the seal, fusion resumes as usual.
+        v.record(ListOp::Insert(2, 3)).unwrap();
+        assert_eq!(v.pending_ops(), 2);
         assert_eq!(v.state(), &vec![1, 2, 3]);
     }
 

@@ -13,6 +13,11 @@
 //! `Spawn`, `Clone`, `Sync` and `MergeAny`, which this substrate preserves
 //! exactly.
 //!
+//! Beyond the loopback substrate, the [`frame`] module provides the
+//! CRC32-checked framing that sm-store's write-ahead log and the
+//! distributed wire layer share: length-prefixed, checksummed records
+//! whose decoder distinguishes torn writes from corruption.
+//!
 //! # Example
 //!
 //! ```
@@ -36,6 +41,8 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod frame;
 
 use std::collections::HashMap;
 use std::fmt;

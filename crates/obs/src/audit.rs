@@ -125,14 +125,20 @@ fn projection(event: &ObsEvent) -> Option<u64> {
         EventKind::Mark { label } => {
             h = fnv_step(h, label.as_bytes());
         }
-        // Pool churn, wire traffic, and history GC vary run to run
-        // (keep-alive timing, socket batching, when children happen to be
-        // live) without affecting merged results: excluded.
+        // Pool churn, wire traffic, history GC, and durable-store I/O vary
+        // run to run (keep-alive timing, socket batching, when children
+        // happen to be live, fsync policy) without affecting merged
+        // results: excluded. Store exclusion also guarantees that running
+        // the *same* program with and without a store yields the same
+        // digest — the property crash recovery verifies against.
         EventKind::WorkerStarted { .. }
         | EventKind::WorkerRetired { .. }
         | EventKind::WireSent { .. }
         | EventKind::WireReceived { .. }
-        | EventKind::LogTruncated { .. } => return None,
+        | EventKind::LogTruncated { .. }
+        | EventKind::WalAppended { .. }
+        | EventKind::SnapshotTaken { .. }
+        | EventKind::RecoveryReplayed { .. } => return None,
     }
     Some(h)
 }

@@ -7,8 +7,9 @@
 //! - every task gets its own track (`tid` = task path), named via `"M"`
 //!   thread-name metadata, so the task tree reads as a timeline;
 //! - task lifetimes, merges, and sync blocks are `"X"` complete spans;
-//! - marks and wire messages are `"i"` instant events;
-//! - `pid` partitions the view: 1 = task tree, 2 = pool, 3 = wire.
+//! - marks, wire messages, and WAL appends are `"i"` instant events;
+//! - `pid` partitions the view: 1 = task tree, 2 = pool, 3 = wire,
+//!   4 = durable store (snapshot / recovery spans).
 //!
 //! [trace-event format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
 //! [ui.perfetto.dev]: https://ui.perfetto.dev
@@ -25,6 +26,7 @@ use crate::recorder::Recorder;
 const PID_TASKS: u64 = 1;
 const PID_POOL: u64 = 2;
 const PID_WIRE: u64 = 3;
+const PID_STORE: u64 = 4;
 
 /// A [`Recorder`] buffering events for later export as Chrome trace JSON.
 pub struct ChromeTracer {
@@ -215,6 +217,47 @@ impl ChromeTracer {
                         ts,
                     ));
                 }
+                EventKind::WalAppended { bytes, fsynced, .. } => {
+                    let sync = if *fsynced { " +fsync" } else { "" };
+                    out.push(instant(
+                        PID_STORE,
+                        1,
+                        &format!("wal append {bytes}B{sync}"),
+                        ts,
+                    ));
+                }
+                EventKind::SnapshotTaken {
+                    bytes,
+                    snapshot_nanos,
+                } => {
+                    let dur = *snapshot_nanos as f64 / 1000.0;
+                    out.push(span(
+                        PID_STORE,
+                        1,
+                        &format!("snapshot {bytes}B"),
+                        (ts - dur).max(0.0),
+                        dur,
+                    ));
+                }
+                EventKind::RecoveryReplayed {
+                    replayed_ops,
+                    torn_bytes,
+                    replay_nanos,
+                } => {
+                    let dur = *replay_nanos as f64 / 1000.0;
+                    let torn = if *torn_bytes > 0 {
+                        format!(", torn {torn_bytes}B truncated")
+                    } else {
+                        String::new()
+                    };
+                    out.push(span(
+                        PID_STORE,
+                        1,
+                        &format!("recovery replay {replayed_ops} ops{torn}"),
+                        (ts - dur).max(0.0),
+                        dur,
+                    ));
+                }
                 EventKind::MergeStarted { .. } | EventKind::SyncBlocked => {}
             }
         }
@@ -368,6 +411,54 @@ mod tests {
                 .as_str(),
             Some("grid")
         );
+    }
+
+    #[test]
+    fn store_events_render_on_their_own_process_track() {
+        let tracer = ChromeTracer::new();
+        let root = TaskPath::root();
+        tracer.record(&ev(
+            root.clone(),
+            EventKind::WalAppended {
+                bytes: 128,
+                fsynced: true,
+                fsync_nanos: 2_000,
+            },
+        ));
+        tracer.record(&ev(
+            root.clone(),
+            EventKind::SnapshotTaken {
+                bytes: 4096,
+                snapshot_nanos: 8_000,
+            },
+        ));
+        tracer.record(&ev(
+            root.clone(),
+            EventKind::RecoveryReplayed {
+                replayed_ops: 17,
+                torn_bytes: 5,
+                replay_nanos: 3_000,
+            },
+        ));
+        let doc = crate::json::parse(&tracer.json_string()).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let store: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("pid").unwrap().as_num() == Some(PID_STORE as f64))
+            .collect();
+        assert_eq!(store.len(), 3);
+        assert!(store.iter().any(|e| {
+            e.get("ph").unwrap().as_str() == Some("i")
+                && e.get("name").unwrap().as_str().unwrap().contains("+fsync")
+        }));
+        assert!(store.iter().any(|e| {
+            e.get("ph").unwrap().as_str() == Some("X")
+                && e.get("name").unwrap().as_str() == Some("snapshot 4096B")
+        }));
+        assert!(store.iter().any(|e| {
+            e.get("ph").unwrap().as_str() == Some("X")
+                && e.get("name").unwrap().as_str().unwrap().contains("torn 5B")
+        }));
     }
 
     #[test]

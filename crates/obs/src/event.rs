@@ -194,6 +194,34 @@ pub enum EventKind {
     WireSent { node: usize, bytes: usize },
     /// A distributed-runtime wire message arrived from `node`.
     WireReceived { node: usize, bytes: usize },
+    /// The durable store appended a commit record to its write-ahead log.
+    /// Store activity is I/O-timing dependent and must not perturb the
+    /// program digest, so the determinism auditor ignores it.
+    WalAppended {
+        /// Framed bytes appended (header + payload).
+        bytes: usize,
+        /// Whether this append was followed by an fsync (per policy).
+        fsynced: bool,
+        /// Latency of the fsync, 0 when `fsynced` is false.
+        fsync_nanos: u64,
+    },
+    /// The durable store wrote a full-state snapshot and rotated its log.
+    SnapshotTaken {
+        /// Serialized snapshot size in bytes.
+        bytes: usize,
+        /// Wall time spent serializing and persisting the snapshot.
+        snapshot_nanos: u64,
+    },
+    /// The durable store finished crash recovery: snapshot load plus
+    /// journal-suffix replay through the normal OT apply path.
+    RecoveryReplayed {
+        /// Operations replayed from the journal suffix.
+        replayed_ops: usize,
+        /// Bytes of torn tail frame truncated during repair (0 = clean).
+        torn_bytes: usize,
+        /// Wall time of the whole recovery.
+        replay_nanos: u64,
+    },
     /// Freeform, program-defined annotation (simulation rounds,
     /// semaphore grants, …).
     Mark { label: String },
@@ -217,6 +245,9 @@ impl EventKind {
             EventKind::LogTruncated { .. } => "log_truncated",
             EventKind::WireSent { .. } => "wire_sent",
             EventKind::WireReceived { .. } => "wire_received",
+            EventKind::WalAppended { .. } => "wal_appended",
+            EventKind::SnapshotTaken { .. } => "snapshot_taken",
+            EventKind::RecoveryReplayed { .. } => "recovery_replayed",
             EventKind::Mark { .. } => "mark",
         }
     }

@@ -179,6 +179,21 @@ pub struct MetricsSnapshot {
     pub wire_sent_bytes: u64,
     pub wire_recv_msgs: u64,
     pub wire_recv_bytes: u64,
+    // -- durable store -------------------------------------------------
+    /// Commit records appended to the write-ahead log.
+    pub wal_appends: u64,
+    /// Total framed bytes appended to the WAL.
+    pub wal_bytes: u64,
+    /// WAL appends that were followed by an fsync.
+    pub wal_fsyncs: u64,
+    /// Full-state snapshots persisted.
+    pub snapshots: u64,
+    /// Total serialized snapshot bytes.
+    pub snapshot_bytes: u64,
+    /// Crash recoveries performed.
+    pub recoveries: u64,
+    /// Total operations replayed from journal suffixes during recovery.
+    pub recovery_replayed_ops: u64,
     // -- marks ---------------------------------------------------------
     pub marks: u64,
     // -- histograms ----------------------------------------------------
@@ -187,6 +202,8 @@ pub struct MetricsSnapshot {
     pub merge_child_ops: Histogram,
     pub oplog_len: Histogram,
     pub sync_blocked_nanos: Histogram,
+    pub fsync_nanos: Histogram,
+    pub snapshot_nanos: Histogram,
 }
 
 impl MetricsSnapshot {
@@ -251,6 +268,30 @@ impl MetricsSnapshot {
             EventKind::LogTruncated { dropped } => {
                 self.log_truncations += 1;
                 self.log_truncated_ops += *dropped as u64;
+            }
+            EventKind::WalAppended {
+                bytes,
+                fsynced,
+                fsync_nanos,
+            } => {
+                self.wal_appends += 1;
+                self.wal_bytes += *bytes as u64;
+                if *fsynced {
+                    self.wal_fsyncs += 1;
+                    self.fsync_nanos.observe(*fsync_nanos);
+                }
+            }
+            EventKind::SnapshotTaken {
+                bytes,
+                snapshot_nanos,
+            } => {
+                self.snapshots += 1;
+                self.snapshot_bytes += *bytes as u64;
+                self.snapshot_nanos.observe(*snapshot_nanos);
+            }
+            EventKind::RecoveryReplayed { replayed_ops, .. } => {
+                self.recoveries += 1;
+                self.recovery_replayed_ops += *replayed_ops as u64;
             }
             EventKind::Mark { .. } => self.marks += 1,
         }
@@ -323,6 +364,21 @@ impl MetricsSnapshot {
                     ("recv_bytes", Json::from(self.wire_recv_bytes)),
                 ]),
             ),
+            (
+                "store",
+                Json::obj([
+                    ("wal_appends", Json::from(self.wal_appends)),
+                    ("wal_bytes", Json::from(self.wal_bytes)),
+                    ("wal_fsyncs", Json::from(self.wal_fsyncs)),
+                    ("snapshots", Json::from(self.snapshots)),
+                    ("snapshot_bytes", Json::from(self.snapshot_bytes)),
+                    ("recoveries", Json::from(self.recoveries)),
+                    (
+                        "recovery_replayed_ops",
+                        Json::from(self.recovery_replayed_ops),
+                    ),
+                ]),
+            ),
             ("marks", Json::from(self.marks)),
             (
                 "histograms",
@@ -332,6 +388,8 @@ impl MetricsSnapshot {
                     ("merge_child_ops", self.merge_child_ops.to_json()),
                     ("oplog_len", self.oplog_len.to_json()),
                     ("sync_blocked_nanos", self.sync_blocked_nanos.to_json()),
+                    ("fsync_nanos", self.fsync_nanos.to_json()),
+                    ("snapshot_nanos", self.snapshot_nanos.to_json()),
                 ]),
             ),
         ])
@@ -340,7 +398,7 @@ impl MetricsSnapshot {
     /// Render in the Prometheus text exposition format.
     pub fn prometheus_text(&self) -> String {
         let mut out = String::new();
-        let counters: [(&str, u64); 26] = [
+        let counters: [(&str, u64); 33] = [
             ("sm_tasks_spawned_total", self.tasks_spawned),
             ("sm_tasks_completed_total", self.tasks_completed),
             ("sm_tasks_aborted_total", self.tasks_aborted),
@@ -371,6 +429,13 @@ impl MetricsSnapshot {
             ("sm_wire_sent_bytes_total", self.wire_sent_bytes),
             ("sm_wire_recv_msgs_total", self.wire_recv_msgs),
             ("sm_wire_recv_bytes_total", self.wire_recv_bytes),
+            ("sm_wal_appends_total", self.wal_appends),
+            ("sm_wal_bytes_total", self.wal_bytes),
+            ("sm_wal_fsyncs_total", self.wal_fsyncs),
+            ("sm_snapshots_total", self.snapshots),
+            ("sm_snapshot_bytes_total", self.snapshot_bytes),
+            ("sm_recoveries_total", self.recoveries),
+            ("sm_recovery_replayed_ops_total", self.recovery_replayed_ops),
             ("sm_marks_total", self.marks),
             ("sm_pool_workers_peak", self.workers_peak),
         ];
@@ -395,12 +460,14 @@ impl MetricsSnapshot {
             "# TYPE sm_pool_workers_live gauge\nsm_pool_workers_live {}\n",
             self.workers_live
         ));
-        let histograms: [(&str, &Histogram); 5] = [
+        let histograms: [(&str, &Histogram); 7] = [
             ("sm_spawn_cost_nanos", &self.spawn_cost_nanos),
             ("sm_merge_latency_nanos", &self.merge_latency_nanos),
             ("sm_merge_child_ops", &self.merge_child_ops),
             ("sm_oplog_len", &self.oplog_len),
             ("sm_sync_blocked_nanos", &self.sync_blocked_nanos),
+            ("sm_fsync_nanos", &self.fsync_nanos),
+            ("sm_snapshot_nanos", &self.snapshot_nanos),
         ];
         for (name, h) in histograms {
             out.push_str(&format!("# TYPE {name} histogram\n"));
@@ -564,6 +631,48 @@ mod tests {
                 "malformed exposition line: {line:?}"
             );
         }
+    }
+
+    #[test]
+    fn aggregates_store_events() {
+        let m = Metrics::new();
+        m.record(&ev(EventKind::WalAppended {
+            bytes: 100,
+            fsynced: true,
+            fsync_nanos: 5_000,
+        }));
+        m.record(&ev(EventKind::WalAppended {
+            bytes: 60,
+            fsynced: false,
+            fsync_nanos: 0,
+        }));
+        m.record(&ev(EventKind::SnapshotTaken {
+            bytes: 4096,
+            snapshot_nanos: 9_000,
+        }));
+        m.record(&ev(EventKind::RecoveryReplayed {
+            replayed_ops: 42,
+            torn_bytes: 7,
+            replay_nanos: 1_000,
+        }));
+        let s = m.snapshot();
+        assert_eq!(s.wal_appends, 2);
+        assert_eq!(s.wal_bytes, 160);
+        assert_eq!(s.wal_fsyncs, 1);
+        assert_eq!(s.fsync_nanos.count(), 1, "unsynced appends not observed");
+        assert_eq!(s.snapshots, 1);
+        assert_eq!(s.snapshot_bytes, 4096);
+        assert_eq!(s.recoveries, 1);
+        assert_eq!(s.recovery_replayed_ops, 42);
+        let text = s.prometheus_text();
+        assert!(text.contains("sm_wal_appends_total 2"));
+        assert!(text.contains("sm_snapshot_bytes_total 4096"));
+        assert!(text.contains("sm_fsync_nanos_count 1"));
+        let doc = crate::json::parse(&m.json_string()).unwrap();
+        assert_eq!(
+            doc.get("store").unwrap().get("wal_bytes").unwrap().as_num(),
+            Some(160.0)
+        );
     }
 
     #[test]

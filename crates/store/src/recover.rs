@@ -1,0 +1,209 @@
+//! Crash recovery: snapshot load, torn-tail repair, journal replay, and
+//! digest-chain verification.
+//!
+//! The invariant recovery enforces is *verified prefix or nothing*:
+//!
+//! 1. The highest decodable snapshot is the base state.
+//! 2. The WAL suffix (commits with `seq` above the snapshot) replays in
+//!    strict sequence order through the ordinary OT apply path
+//!    ([`Persist::apply_log`]) — the same code path a live merge uses,
+//!    which is why the reconstructed state is bit-identical to the
+//!    original run's.
+//! 3. Every replayed record's FNV digest chain is recomputed and checked
+//!    against the journaled value; any mismatch refuses recovery
+//!    ([`StoreError::DigestMismatch`]) rather than starting from silently
+//!    divergent state.
+//! 4. A frame error in the **final** segment is a torn write: the tail is
+//!    truncated and the clean prefix wins. The same error anywhere else
+//!    means interior corruption and fails closed
+//!    ([`StoreError::Corrupt`]).
+
+use std::fs::{self, OpenOptions};
+use std::time::Instant;
+
+use bytes::Buf;
+use sm_mergeable::Persist;
+use sm_net::frame::Frames;
+use sm_obs::{emit, EventKind, TaskPath};
+
+use crate::store::{list_files, Store};
+use crate::wal::{chain_update, Record, FNV_OFFSET};
+use crate::StoreError;
+
+/// The outcome of a successful [`Store::recover`].
+#[derive(Debug)]
+pub struct Recovered<D> {
+    /// The reconstructed state: snapshot plus replayed journal suffix.
+    pub data: D,
+    /// Sequence of the snapshot recovery started from (0 = genesis).
+    pub snapshot_seq: u64,
+    /// Sequence of the last replayed commit (equals `snapshot_seq` when
+    /// the journal suffix was empty).
+    pub last_seq: u64,
+    /// Operations replayed from the journal suffix.
+    pub replayed_ops: u64,
+    /// Bytes of torn tail frame truncated during repair (0 = clean).
+    pub torn_bytes: u64,
+}
+
+impl Store {
+    /// Recover the journaled state from disk, priming this store to
+    /// continue journaling right after it.
+    ///
+    /// Returns `Ok(None)` when the directory holds no journal (a fresh
+    /// store — call [`begin`](Store::begin), typically via
+    /// [`run_with_store`](crate::run_with_store)). Fails closed on
+    /// interior corruption or digest mismatch; see the module docs for
+    /// the exact rules.
+    pub fn recover<D: Persist>(&self) -> Result<Option<Recovered<D>>, StoreError> {
+        let t0 = sm_obs::is_enabled().then(Instant::now);
+        let mut inner = self.inner.lock();
+        let snaps = list_files(&inner.dir, "snap-")?;
+        let wals = list_files(&inner.dir, "wal-")?;
+        if snaps.is_empty() {
+            if !wals.is_empty() {
+                return Err(StoreError::Corrupt(
+                    "WAL segments present but no snapshot: the genesis baseline is gone".into(),
+                ));
+            }
+            return Ok(None);
+        }
+
+        // Highest decodable snapshot wins. Snapshots are written to a
+        // temp file and renamed, so normally the newest is valid; if it
+        // is not, an older one may still give a usable (if longer) replay.
+        let mut base = None;
+        for (seq, path) in snaps.iter().rev() {
+            let bytes = fs::read(path)?;
+            let mut frames = Frames::new(&bytes);
+            let Some((_, payload)) = frames.next() else {
+                continue;
+            };
+            if let Ok(Record::Snapshot(snap)) = Record::from_bytes(payload) {
+                if snap.seq == *seq {
+                    base = Some(snap);
+                    break;
+                }
+            }
+        }
+        let Some(snap) = base else {
+            return Err(StoreError::Corrupt(
+                "no snapshot file decodes cleanly".into(),
+            ));
+        };
+
+        let mut state = snap.state.clone();
+        let mut data = D::decode_state(&mut state)
+            .map_err(|e| StoreError::Corrupt(format!("snapshot state: {e}")))?;
+        let mut chains: std::collections::BTreeMap<Vec<u64>, u64> =
+            snap.chains.iter().cloned().collect();
+        let mut last_seq = snap.seq;
+        let mut replayed_ops = 0u64;
+        let mut torn_bytes = 0u64;
+
+        let last_segment = wals.len().saturating_sub(1);
+        for (i, (_, path)) in wals.iter().enumerate() {
+            let bytes = fs::read(path)?;
+            let mut frames = Frames::new(&bytes);
+            for (_, payload) in frames.by_ref() {
+                let record = Record::from_bytes(payload)
+                    .map_err(|e| StoreError::Corrupt(format!("WAL record: {e}")))?;
+                let Record::Commit(commit) = record else {
+                    return Err(StoreError::Corrupt(
+                        "snapshot record inside a WAL segment".into(),
+                    ));
+                };
+                if commit.seq <= snap.seq {
+                    // A pre-snapshot segment that escaped GC (crash
+                    // between snapshot and segment deletion): already
+                    // folded into the snapshot, skip.
+                    continue;
+                }
+                if commit.seq != last_seq + 1 {
+                    return Err(StoreError::Corrupt(format!(
+                        "commit sequence gap: expected {}, found {}",
+                        last_seq + 1,
+                        commit.seq
+                    )));
+                }
+                let prev = chains.get(&commit.child).copied().unwrap_or(FNV_OFFSET);
+                let computed = chain_update(prev, commit.seq, commit.ops.as_slice());
+                if computed != commit.chain {
+                    return Err(StoreError::DigestMismatch {
+                        seq: commit.seq,
+                        stored: commit.chain,
+                        computed,
+                    });
+                }
+                let mut ops = commit.ops.clone();
+                let applied = data.apply_log(&mut ops).map_err(|e| StoreError::Replay {
+                    seq: commit.seq,
+                    error: e,
+                })?;
+                if applied as u64 != commit.ops_count || ops.has_remaining() {
+                    return Err(StoreError::Corrupt(format!(
+                        "commit {} replayed {applied} of {} ops with {} trailing bytes",
+                        commit.seq,
+                        commit.ops_count,
+                        ops.remaining()
+                    )));
+                }
+                chains.insert(commit.child.clone(), computed);
+                last_seq = commit.seq;
+                replayed_ops += applied as u64;
+                // Reproduce the journaling protocol's seal points: the
+                // original run sealed its history at every commit, so the
+                // replayed structure must carry the same fuse barriers.
+                // This also keeps replay linear — without the barrier,
+                // tail fusion accretes one ever-growing span op that is
+                // rebuilt on every replayed operation.
+                data.seal_history();
+            }
+            if let Some(trailer) = frames.trailer() {
+                if i != last_segment {
+                    return Err(StoreError::Corrupt(format!(
+                        "frame error inside non-final segment {}: {trailer}",
+                        path.display()
+                    )));
+                }
+                // Torn tail: truncate the file back to the clean prefix.
+                torn_bytes = (bytes.len() - frames.offset()) as u64;
+                let file = OpenOptions::new().write(true).open(path)?;
+                file.set_len(frames.offset() as u64)?;
+                file.sync_data()?;
+            }
+        }
+
+        // Prime the store to continue journaling after the recovered
+        // prefix. The recovered data's own history marks are its absolute
+        // positions in the *new* numbering (snapshot state + replayed
+        // ops), which is what future committed-slice exports are relative
+        // to.
+        data.seal_history();
+        let mut marks = Vec::new();
+        data.history_marks(&mut marks);
+        inner.last_marks = marks;
+        inner.chains = chains;
+        inner.next_seq = last_seq + 1;
+        inner.started = true;
+        inner.bounds.clear();
+        inner.ops_since_snapshot = 0;
+        inner.open_segment(last_seq + 1)?;
+
+        if let Some(t0) = t0 {
+            let replay_nanos = t0.elapsed().as_nanos() as u64;
+            emit(&TaskPath::root(), || EventKind::RecoveryReplayed {
+                replayed_ops: replayed_ops as usize,
+                torn_bytes: torn_bytes as usize,
+                replay_nanos,
+            });
+        }
+        Ok(Some(Recovered {
+            data,
+            snapshot_seq: snap.seq,
+            last_seq,
+            replayed_ops,
+            torn_bytes,
+        }))
+    }
+}

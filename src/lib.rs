@@ -42,6 +42,9 @@
 //! * [`obs`] — runtime observability: pluggable event recorders, metrics
 //!   with Prometheus/JSON export, Chrome/Perfetto trace export, and the
 //!   determinism auditor.
+//! * [`store`] — durability: a CRC32-framed write-ahead log of root merge
+//!   commits, CoW snapshots, and digest-verified deterministic crash
+//!   recovery.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -55,13 +58,15 @@ pub use sm_netsim as netsim;
 pub use sm_obs as obs;
 pub use sm_ot as ot;
 pub use sm_sha1 as sha1;
+pub use sm_store as store;
 
 // The everyday API, flattened.
 pub use sm_core::{
-    run, run_with_pool, AbortReason, Condition, Disposition, MergeReport, MergedChild, Pool,
-    SyncError, TaskAbort, TaskCtx, TaskHandle, TaskId, TaskResult,
+    run, run_with_pool, run_with_sink, AbortReason, CommitSink, Condition, Disposition,
+    MergeReport, MergedChild, Pool, SyncError, TaskAbort, TaskCtx, TaskHandle, TaskId, TaskResult,
 };
 pub use sm_mergeable::{
     mergeable_struct, CopyMode, MCounter, MCounterMap, MList, MMap, MQueue, MRegister, MSet, MText,
-    MTree, MergeError, MergeStats, Mergeable,
+    MTree, MergeError, MergeStats, Mergeable, Persist, ReplayError,
 };
+pub use sm_store::{run_with_store, FsyncPolicy, Store, StoreError, StoreOptions};

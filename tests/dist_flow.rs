@@ -191,3 +191,66 @@ fn local_and_distributed_can_be_layered() {
     assert_eq!(counts.get(&"local".to_string()), 3);
     assert_eq!(counts.get(&"remote".to_string()), 2);
 }
+
+/// The coordinator journals every distributed merge; killing it between
+/// batches and relaunching from the recovered journal (with a brand-new
+/// cluster — workers are stateless between jobs) must land on the same
+/// final state as a coordinator that never died.
+#[test]
+fn durable_coordinator_restarts_and_rejoins_where_the_journal_ends() {
+    use spawn_merge::{Store, StoreOptions};
+
+    let jobs = jobs();
+    let dir = std::env::temp_dir().join(format!("sm-dist-journal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Reference: one coordinator does all 8 tasks.
+    let reference = {
+        let mut rt = DistRuntime::launch(2, data(), &jobs).unwrap();
+        for n in 0..8u8 {
+            let node = rt.node_for(n as usize);
+            rt.spawn(node, "work", &[n]).unwrap();
+        }
+        rt.merge_all().unwrap();
+        rt.shutdown().unwrap()
+    };
+
+    // Incarnation 1: journaled coordinator runs the first 4 tasks, then
+    // "crashes" (dropped without shutdown — the journal already holds
+    // every merge).
+    {
+        let store = Store::open(&dir, StoreOptions::default()).unwrap();
+        let mut rt = DistRuntime::launch_durable(2, data(), &jobs, &store).unwrap();
+        for n in 0..4u8 {
+            let node = rt.node_for(n as usize);
+            rt.spawn(node, "work", &[n]).unwrap();
+        }
+        rt.merge_all().unwrap();
+        assert_eq!(store.last_seq(), 4, "one WAL record per distributed merge");
+        // No shutdown: the coordinator process dies here.
+    }
+
+    // Incarnation 2: recover the journal, relaunch with a fresh cluster,
+    // finish the remaining tasks, and shut down cleanly.
+    let store = Store::open(&dir, StoreOptions::default()).unwrap();
+    let recovered = store.recover::<Data>().unwrap().expect("journal exists");
+    assert_eq!(recovered.last_seq, 4);
+    let mut rt = DistRuntime::launch_durable(2, recovered.data, &jobs, &store).unwrap();
+    for n in 4..8u8 {
+        let node = rt.node_for(n as usize);
+        rt.spawn(node, "work", &[n]).unwrap();
+    }
+    rt.merge_all().unwrap();
+    let resumed = rt.shutdown().unwrap();
+
+    assert_eq!(
+        digest(&resumed),
+        digest(&reference),
+        "restarted coordinator must converge with the uninterrupted one"
+    );
+
+    // And the journal agrees with the in-memory result.
+    let verify = Store::open(&dir, StoreOptions::default()).unwrap();
+    let replayed = verify.recover::<Data>().unwrap().expect("journal exists");
+    assert_eq!(digest(&replayed.data), digest(&reference));
+}

@@ -20,7 +20,7 @@ use spawn_merge::netsim::{run_spawn_merge, Routing, SimConfig};
 use spawn_merge::obs::{
     self, ChromeTracer, DeterminismAuditor, Metrics, MultiRecorder, ObsEvent, Recorder,
 };
-use spawn_merge::{run, MList};
+use spawn_merge::{run, run_with_store, FsyncPolicy, MList, Pool, Store, StoreOptions};
 
 /// All tests share the process-wide recorder slot; run them one at a time.
 static SERIAL: Mutex<()> = Mutex::new(());
@@ -290,4 +290,111 @@ fn install_uninstall_churn_is_harmless() {
     stop.store(true, Ordering::Relaxed);
     churner.join().expect("churner must not panic");
     obs::uninstall();
+}
+
+/// A deterministic store-backed workload in a fresh scratch directory.
+fn store_run(tag: &str, fsync: FsyncPolicy) -> (Store, MList<u64>) {
+    let dir = std::env::temp_dir().join(format!("sm-obs-store-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = Store::open(
+        dir,
+        StoreOptions {
+            fsync,
+            ..StoreOptions::default()
+        },
+    )
+    .unwrap();
+    let (list, ()) = run_with_store(MList::<u64>::new(), Pool::new(), &store, |ctx| {
+        for i in 0..6u64 {
+            ctx.spawn(move |c| {
+                c.data_mut().push(i * 3);
+                Ok(())
+            });
+        }
+        ctx.merge_all();
+    })
+    .unwrap();
+    (store, list)
+}
+
+/// Store telemetry lands in [`Metrics`] and on the Chrome trace's
+/// dedicated store track — while the determinism auditor excludes it, so
+/// durability configuration (fsync cadence, snapshots, recovery) can
+/// never perturb the audited digest.
+#[test]
+fn store_events_reach_metrics_and_chrome_but_not_the_auditor() {
+    let _guard = serial();
+
+    let tracer = Arc::new(ChromeTracer::new());
+    let metrics = Arc::new(Metrics::new());
+    obs::install(Arc::new(MultiRecorder::new(vec![
+        tracer.clone(),
+        metrics.clone(),
+    ])));
+    let (store, list) = store_run("metrics", FsyncPolicy::Always);
+    store.snapshot(&list).unwrap();
+    let reopened = Store::open(store.dir(), StoreOptions::default()).unwrap();
+    let recovered = reopened.recover::<MList<u64>>().unwrap().expect("journal");
+    obs::uninstall();
+    assert_eq!(recovered.data.to_vec(), list.to_vec());
+
+    let snap = metrics.snapshot();
+    assert!(snap.wal_appends >= 6, "one WAL append per merge commit");
+    assert!(snap.wal_bytes > 0);
+    assert!(
+        snap.wal_fsyncs >= 6,
+        "FsyncPolicy::Always syncs every append"
+    );
+    assert!(snap.snapshots >= 2, "genesis + explicit snapshot");
+    assert!(snap.snapshot_bytes > 0);
+    assert_eq!(snap.recoveries, 1);
+    assert_eq!(snap.recovery_replayed_ops, 0, "snapshot covered the log");
+
+    let prom = metrics.prometheus_text();
+    assert!(prom.contains("sm_wal_appends_total"));
+    assert!(prom.contains("sm_recoveries_total"));
+
+    let trace = tracer.json_string();
+    let doc = obs::json::parse(&trace).expect("trace must parse as JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(|e| e.as_arr())
+        .expect("traceEvents array");
+    let store_names: Vec<&str> = events
+        .iter()
+        .filter(|e| e.get("pid").and_then(|p| p.as_num()) == Some(4.0))
+        .filter_map(|e| e.get("name").and_then(|n| n.as_str()))
+        .collect();
+    assert!(
+        store_names.iter().any(|n| n.starts_with("wal append")),
+        "expected WAL appends on the store track, saw {store_names:?}"
+    );
+    assert!(
+        store_names.iter().any(|n| n.starts_with("snapshot")),
+        "expected a snapshot span on the store track, saw {store_names:?}"
+    );
+}
+
+/// Two runs of the same program under *different* durability settings
+/// produce the identical audit digest: the store's events are projected
+/// out, and journaling itself never alters merge behaviour.
+#[test]
+fn audit_digest_ignores_durability_configuration() {
+    let _guard = serial();
+
+    let digest_of = |tag: &str, fsync: FsyncPolicy| {
+        let auditor = Arc::new(DeterminismAuditor::new());
+        obs::install(auditor.clone());
+        let (_, list) = store_run(tag, fsync);
+        obs::uninstall();
+        (auditor.digest(), list.to_vec())
+    };
+
+    let (digest_always, state_always) = digest_of("always", FsyncPolicy::Always);
+    let (digest_batched, state_batched) = digest_of("batched", FsyncPolicy::EveryN(3));
+    assert_eq!(state_always, state_batched);
+    assert_eq!(
+        digest_always, digest_batched,
+        "fsync policy must be invisible to the determinism auditor"
+    );
 }

@@ -217,3 +217,29 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    /// A journal replay fed arbitrary bytes — a corrupted WAL payload
+    /// whose frame CRC happened to collide, or a hostile wire peer — must
+    /// report a clean `ReplayError`, never panic, and leave the structure
+    /// usable.
+    #[test]
+    fn apply_log_on_garbage_errors_cleanly(bytes in prop::collection::vec(any::<u8>(), 0..96)) {
+        use spawn_merge::store::wal::Bytes;
+        use spawn_merge::Persist;
+
+        let mut list = MList::<u32>::from_iter([1, 2, 3]);
+        let _ = list.apply_log(&mut Bytes::copy_from_slice(&bytes));
+        list.push(4); // still usable afterwards
+
+        let mut text = MText::from("base");
+        let _ = text.apply_log(&mut Bytes::copy_from_slice(&bytes));
+        text.push_str("!");
+
+        let mut map: MMap<u8, i32> = MMap::new();
+        let _ = map.apply_log(&mut Bytes::copy_from_slice(&bytes));
+
+        let mut counter = MCounter::new(0);
+        let _ = counter.apply_log(&mut Bytes::copy_from_slice(&bytes));
+    }
+}

@@ -1,0 +1,477 @@
+//! sm-store integration: journal/recover roundtrips, snapshot GC, the
+//! crash-injection harness, tamper detection, and the mid-stream crash
+//! convergence theorem.
+//!
+//! The property under test is the store's *verified prefix or nothing*
+//! contract: whatever a crash leaves on disk, recovery either
+//! reconstructs a digest-verified prefix of the journaled commit
+//! sequence (bit-identical to the original run's state at that commit)
+//! or fails closed with an error — it never panics and never fabricates
+//! state. Determinism then upgrades prefix recovery to full convergence:
+//! resuming a deterministic program from a recovered round-boundary state
+//! reproduces the uninterrupted run's final state exactly.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use spawn_merge::net::frame::{encode_frame, Frames};
+use spawn_merge::obs::TaskPath;
+use spawn_merge::store::wal::Record;
+use spawn_merge::{
+    run, run_with_store, FsyncPolicy, MCounter, MList, MText, Pool, Store, StoreError,
+    StoreOptions, TaskAbort,
+};
+
+/// A fresh, empty scratch directory unique to this process and `tag`.
+/// The repo's dependency set has no tempdir crate, so tests hand-roll
+/// one under the OS temp root.
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sm-store-test-{}-{tag}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Copy every regular file of `src` into a fresh sibling directory, so a
+/// "crash image" can be mutilated without disturbing the live store.
+fn copy_dir(src: &Path, tag: &str) -> PathBuf {
+    let dst = scratch_dir(tag);
+    for entry in fs::read_dir(src).unwrap() {
+        let entry = entry.unwrap();
+        fs::copy(entry.path(), dst.join(entry.file_name())).unwrap();
+    }
+    dst
+}
+
+/// The single WAL segment of a store directory (panics if there is not
+/// exactly one — callers arrange options so rotation never triggers).
+fn single_wal(dir: &Path) -> PathBuf {
+    let mut wals: Vec<PathBuf> = fs::read_dir(dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("wal-"))
+        })
+        .collect();
+    assert_eq!(wals.len(), 1, "expected a single WAL segment in {dir:?}");
+    wals.pop().unwrap()
+}
+
+/// The seeded generator every deterministic workload here derives from.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+}
+
+type Doc = (MList<u32>, MText, MCounter);
+
+fn doc_digest(doc: &Doc) -> String {
+    format!("{:?}|{}|{}", doc.0.to_vec(), doc.1, doc.2.get())
+}
+
+/// One deterministic multi-structure round: three children edit forks of
+/// the doc, the parent merges them in creation order. Only the root ever
+/// touches the counter — tests use it as the round number.
+fn doc_round(ctx: &mut spawn_merge::TaskCtx<Doc>, round: u64) {
+    for editor in 0..3u64 {
+        ctx.spawn(move |c| {
+            let mut rng = Lcg(round * 31 + editor + 1);
+            let (list, text, _count) = c.data_mut();
+            list.push((rng.next() % 1000) as u32);
+            let pos = (rng.next() as usize) % (text.char_len() + 1);
+            text.insert_str(pos, format!("{}", rng.next() % 10));
+            Ok(())
+        });
+    }
+    ctx.merge_all();
+}
+
+#[test]
+fn journal_then_recover_restores_exact_state() {
+    let dir = scratch_dir("roundtrip");
+    let store = Store::open(&dir, StoreOptions::default()).unwrap();
+    let initial: Doc = (MList::new(), MText::from("seed:"), MCounter::new(10));
+    let (live, ()) = run_with_store(initial, Pool::new(), &store, |ctx| {
+        for round in 0..8 {
+            doc_round(ctx, round);
+            // Root-local edits between merge rounds exercise the
+            // trailing-ops export paths.
+            ctx.data_mut().2.add(1);
+        }
+    })
+    .unwrap();
+
+    let reopened = Store::open(&dir, StoreOptions::default()).unwrap();
+    let rec = reopened.recover::<Doc>().unwrap().expect("journal exists");
+    assert_eq!(doc_digest(&rec.data), doc_digest(&live));
+    assert_eq!(rec.snapshot_seq, 0, "no snapshot was requested");
+    assert_eq!(rec.torn_bytes, 0, "clean shutdown leaves no torn tail");
+    assert!(rec.replayed_ops > 0);
+
+    // Recovery primes the store: journaling continues seamlessly and a
+    // second recovery sees the continuation.
+    let (live2, ()) = run_with_store(rec.data, Pool::new(), &reopened, |ctx| {
+        doc_round(ctx, 99);
+    })
+    .unwrap();
+    let third = Store::open(&dir, StoreOptions::default()).unwrap();
+    let rec2 = third.recover::<Doc>().unwrap().expect("journal exists");
+    assert_eq!(doc_digest(&rec2.data), doc_digest(&live2));
+    assert!(rec2.last_seq > rec.last_seq);
+}
+
+#[test]
+fn empty_directory_recovers_to_none() {
+    let dir = scratch_dir("empty");
+    let store = Store::open(&dir, StoreOptions::default()).unwrap();
+    assert!(store.recover::<MList<u32>>().unwrap().is_none());
+}
+
+#[test]
+fn snapshots_garbage_collect_segments_and_still_recover() {
+    let dir = scratch_dir("snapshot-gc");
+    let options = StoreOptions {
+        fsync: FsyncPolicy::EveryN(8),
+        snapshot_every_ops: 5,
+        ..StoreOptions::default()
+    };
+    let store = Store::open(&dir, options.clone()).unwrap();
+    let (live, ()) = run_with_store(
+        (MList::new(), MText::new(), MCounter::new(0)),
+        Pool::new(),
+        &store,
+        |ctx| {
+            for round in 0..10 {
+                doc_round(ctx, round);
+            }
+        },
+    )
+    .unwrap();
+
+    // Automatic snapshots fired and GC'd covered history: the genesis
+    // snapshot is gone and some snapshot with seq > 0 exists.
+    let names: Vec<String> = fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .collect();
+    assert!(
+        names
+            .iter()
+            .any(|n| n.starts_with("snap-") && !n.ends_with("00000000000000000000")),
+        "expected a non-genesis snapshot, found {names:?}"
+    );
+    assert!(
+        !names.contains(&"snap-00000000000000000000".to_string()),
+        "genesis snapshot should be GC'd, found {names:?}"
+    );
+
+    let reopened = Store::open(&dir, options).unwrap();
+    let rec = reopened.recover::<Doc>().unwrap().expect("journal exists");
+    assert!(rec.snapshot_seq > 0, "recovery starts from a real snapshot");
+    assert_eq!(doc_digest(&rec.data), doc_digest(&live));
+}
+
+#[test]
+fn gc_after_abort_round_cannot_outrun_the_journal() {
+    // The adversarial GC schedule: a commit, then root-local ops, then a
+    // young fork past them, then a GC round triggered by an *aborted*
+    // child (no commit). The fork watermark lies beyond the last commit,
+    // so without the sink's pre-truncation hook the root-local ops would
+    // be dropped before ever reaching the WAL.
+    let dir = scratch_dir("gc-abort");
+    let store = Store::open(&dir, StoreOptions::default()).unwrap();
+    let (live, ()) = run_with_store(MList::<u32>::new(), Pool::new(), &store, |ctx| {
+        let a = ctx.spawn(|c| {
+            c.data_mut().push(1);
+            Ok(())
+        });
+        ctx.merge_all_from_set(&[&a]); // commit 1
+        ctx.data_mut().push(2); // root-local, journaled by no commit yet
+        let _b = ctx.spawn(|c| {
+            c.data_mut().push(3); // forked past the root-local op
+            Ok(())
+        });
+        let doomed = ctx.spawn(|_| -> Result<(), TaskAbort> { Err(TaskAbort::new("doomed")) });
+        ctx.merge_all_from_set(&[&doomed]); // abort round: GC without commit
+        ctx.merge_all(); // commit for b
+    })
+    .unwrap();
+    assert_eq!(live.to_vec(), vec![1, 2, 3]);
+
+    let reopened = Store::open(&dir, StoreOptions::default()).unwrap();
+    let rec = reopened.recover::<MList<u32>>().unwrap().expect("journal");
+    assert_eq!(rec.data.to_vec(), vec![1, 2, 3]);
+}
+
+#[test]
+fn crash_injection_recovers_verified_prefix_or_fails_closed_never_panics() {
+    // Journal 40 standalone commits, remembering the exact state at each
+    // sequence number. Then mutilate crash images of the directory at
+    // seeded offsets — truncations and byte flips — and require recovery
+    // to either reproduce the remembered state at whatever prefix it
+    // reports, or return an error. Panics and divergent states fail the
+    // test.
+    let dir = scratch_dir("crash-base");
+    let store = Store::open(&dir, StoreOptions::default()).unwrap();
+    let mut data = MList::<u64>::new();
+    store.begin(&data).unwrap();
+    let mut prefix_states = vec![data.to_vec()]; // index = seq
+    for i in 1..=40u64 {
+        data.push(i * i);
+        store.commit_now(&data, &TaskPath::root()).unwrap();
+        prefix_states.push(data.to_vec());
+    }
+    let wal = single_wal(&dir);
+    let wal_len = fs::metadata(&wal).unwrap().len();
+
+    let mut rng = Lcg(0xC0FFEE);
+    for case in 0..60 {
+        let image = copy_dir(&dir, &format!("crash-{case}"));
+        let target = image.join(wal.file_name().unwrap());
+        let flip = case % 2 == 1;
+        let offset = rng.next() % wal_len;
+        if flip {
+            let mut bytes = fs::read(&target).unwrap();
+            bytes[offset as usize] ^= 0x40;
+            fs::write(&target, bytes).unwrap();
+        } else {
+            let file = fs::OpenOptions::new().write(true).open(&target).unwrap();
+            file.set_len(offset).unwrap();
+        }
+
+        let victim = Store::open(&image, StoreOptions::default()).unwrap();
+        match victim.recover::<MList<u64>>() {
+            Ok(Some(rec)) => {
+                let seq = rec.last_seq as usize;
+                assert!(seq < prefix_states.len(), "case {case}: impossible seq");
+                assert_eq!(
+                    rec.data.to_vec(),
+                    prefix_states[seq],
+                    "case {case} (flip={flip} offset={offset}): recovered state \
+                     must be the journaled prefix at seq {seq}"
+                );
+                // A truncation is always a torn tail; a flip may also be
+                // caught by the digest chain or record decoding, but
+                // whatever prefix survives must verify — checked above.
+                if !flip {
+                    assert!(rec.last_seq <= 40);
+                }
+            }
+            Ok(None) => panic!("case {case}: genesis snapshot was never touched"),
+            Err(_) => {} // failing closed is always acceptable
+        }
+    }
+}
+
+#[test]
+fn post_crash_journaling_continues_from_the_recovered_prefix() {
+    let dir = scratch_dir("crash-continue");
+    let store = Store::open(&dir, StoreOptions::default()).unwrap();
+    let mut data = MList::<u64>::new();
+    store.begin(&data).unwrap();
+    for i in 1..=10u64 {
+        data.push(i);
+        store.commit_now(&data, &TaskPath::root()).unwrap();
+    }
+    // Tear mid-record: chop 3 bytes off the WAL tail.
+    let wal = single_wal(&dir);
+    let len = fs::metadata(&wal).unwrap().len();
+    fs::OpenOptions::new()
+        .write(true)
+        .open(&wal)
+        .unwrap()
+        .set_len(len - 3)
+        .unwrap();
+
+    let reopened = Store::open(&dir, StoreOptions::default()).unwrap();
+    let rec = reopened.recover::<MList<u64>>().unwrap().expect("journal");
+    assert_eq!(rec.last_seq, 9, "final record was torn");
+    assert!(rec.torn_bytes > 0);
+    let mut data = rec.data;
+    assert_eq!(data.to_vec(), (1..=9).collect::<Vec<_>>());
+
+    // The repaired store keeps journaling; a later recovery sees both the
+    // surviving prefix and the continuation.
+    data.push(77);
+    reopened.commit_now(&data, &TaskPath::root()).unwrap();
+    let third = Store::open(&dir, StoreOptions::default()).unwrap();
+    let rec2 = third.recover::<MList<u64>>().unwrap().expect("journal");
+    assert_eq!(rec2.last_seq, 10);
+    let mut expect: Vec<u64> = (1..=9).collect();
+    expect.push(77);
+    assert_eq!(rec2.data.to_vec(), expect);
+}
+
+#[test]
+fn interior_segment_corruption_fails_closed() {
+    let dir = scratch_dir("interior");
+    let options = StoreOptions {
+        segment_bytes: 64, // force a rotation on nearly every commit
+        ..StoreOptions::default()
+    };
+    let store = Store::open(&dir, options.clone()).unwrap();
+    let mut data = MList::<u64>::new();
+    store.begin(&data).unwrap();
+    for i in 1..=6u64 {
+        data.push(i);
+        store.commit_now(&data, &TaskPath::root()).unwrap();
+    }
+    let mut wals: Vec<PathBuf> = fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("wal-"))
+        })
+        .collect();
+    wals.sort();
+    assert!(wals.len() > 1, "tiny segments must have rotated");
+
+    // Flip a byte inside the *first* segment: not a torn tail, so
+    // recovery must refuse rather than silently skip commits.
+    let mut bytes = fs::read(&wals[0]).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    fs::write(&wals[0], bytes).unwrap();
+
+    let victim = Store::open(&dir, options).unwrap();
+    match victim.recover::<MList<u64>>() {
+        Err(StoreError::Corrupt(_)) => {}
+        other => panic!("expected Corrupt, got {other:?}"),
+    }
+}
+
+#[test]
+fn tampered_ops_with_a_valid_crc_trip_the_digest_chain() {
+    // CRC32 framing catches accidental corruption; the FNV digest chain
+    // is what catches *reframed* tampering. Rewrite the first commit's
+    // ops with a bit flipped, keep the journaled chain value, and reframe
+    // with a correct CRC: recovery must report DigestMismatch at seq 1.
+    let dir = scratch_dir("tamper");
+    let store = Store::open(&dir, StoreOptions::default()).unwrap();
+    let mut data = MText::new();
+    store.begin(&data).unwrap();
+    for i in 0..4 {
+        data.push_str(format!("line {i};"));
+        store.commit_now(&data, &TaskPath::root()).unwrap();
+    }
+
+    let wal = single_wal(&dir);
+    let bytes = fs::read(&wal).unwrap();
+    let mut frames = Frames::new(&bytes);
+    let (_, payload) = frames.next().expect("first frame");
+    let first_end = frames.offset();
+    let Record::Commit(mut commit) = Record::from_bytes(payload).unwrap() else {
+        panic!("WAL must hold commit records");
+    };
+    assert_eq!(commit.seq, 1);
+    let mut ops = commit.ops.to_vec();
+    assert!(!ops.is_empty());
+    let mid = ops.len() / 2;
+    ops[mid] ^= 0x20;
+    commit.ops = spawn_merge::store::wal::Bytes::copy_from_slice(&ops);
+    // Note: commit.chain is left at the journaled value.
+    let mut forged = Vec::new();
+    encode_frame(Record::Commit(commit).to_bytes().as_slice(), &mut forged);
+    forged.extend_from_slice(&bytes[first_end..]);
+    fs::write(&wal, forged).unwrap();
+
+    let victim = Store::open(&dir, StoreOptions::default()).unwrap();
+    match victim.recover::<MText>() {
+        Err(StoreError::DigestMismatch { seq: 1, .. }) => {}
+        other => panic!("expected DigestMismatch at seq 1, got {other:?}"),
+    }
+}
+
+/// The acceptance run: a 120-round collaborative-editing program, killed
+/// mid-stream at a round boundary, must converge to the uninterrupted
+/// run's exact final state after recovery + resumption — and the store
+/// must be passive (a store-less run of the same program agrees).
+#[test]
+fn mid_stream_crash_recovery_converges_with_uninterrupted_run() {
+    const ROUNDS: i64 = 120;
+
+    // The program: the counter *is* the round number, incremented before
+    // the merges of its round, so every round boundary is a commit
+    // boundary in the journal (3 commits per round, the increment riding
+    // in the first).
+    fn rounds(ctx: &mut spawn_merge::TaskCtx<Doc>, upto: i64) {
+        while ctx.data().2.get() < upto {
+            let round = ctx.data().2.get() as u64;
+            ctx.data_mut().2.add(1);
+            doc_round(ctx, round);
+        }
+    }
+
+    let options = StoreOptions {
+        fsync: FsyncPolicy::EveryN(64),
+        ..StoreOptions::default()
+    };
+
+    // Reference: uninterrupted, journaled run.
+    let full_dir = scratch_dir("converge-full");
+    let full_store = Store::open(&full_dir, options.clone()).unwrap();
+    let fresh = || (MList::new(), MText::from("doc:"), MCounter::new(0));
+    let (uninterrupted, ()) =
+        run_with_store(fresh(), Pool::new(), &full_store, |ctx| rounds(ctx, ROUNDS)).unwrap();
+    assert_eq!(uninterrupted.2.get(), ROUNDS);
+
+    // Store passivity: the same program without a store computes the same
+    // final state. (Digest-chain equality across runs is checked by the
+    // store itself at every recovery; state equality is the user-visible
+    // half of the theorem.)
+    let (plain, ()) = run(fresh(), |ctx| rounds(ctx, ROUNDS));
+    assert_eq!(doc_digest(&plain), doc_digest(&uninterrupted));
+
+    // Interrupted: run the identical program, then "crash" by truncating
+    // the WAL at the commit boundary closing round 60 (seq = 3 per round
+    // × 60 rounds) in a copied crash image.
+    let half_dir = scratch_dir("converge-half");
+    let half_store = Store::open(&half_dir, options.clone()).unwrap();
+    let (_, ()) =
+        run_with_store(fresh(), Pool::new(), &half_store, |ctx| rounds(ctx, ROUNDS)).unwrap();
+    let cut_seq = 3 * 60;
+    let bound = half_store
+        .frame_bounds()
+        .into_iter()
+        .find(|b| b.seq == cut_seq)
+        .expect("cut bound exists");
+    let image = copy_dir(&half_dir, "converge-image");
+    let target = image.join(bound.segment.file_name().unwrap());
+    fs::OpenOptions::new()
+        .write(true)
+        .open(&target)
+        .unwrap()
+        .set_len(bound.end)
+        .unwrap();
+
+    // Recover the prefix and resume the remaining 60 rounds.
+    let resumed_store = Store::open(&image, options).unwrap();
+    let rec = resumed_store.recover::<Doc>().unwrap().expect("journal");
+    assert_eq!(rec.last_seq, cut_seq);
+    assert_eq!(
+        rec.data.2.get(),
+        60,
+        "cut lands exactly on a round boundary"
+    );
+    let (resumed, ()) = run_with_store(rec.data, Pool::new(), &resumed_store, |ctx| {
+        rounds(ctx, ROUNDS)
+    })
+    .unwrap();
+
+    assert_eq!(
+        doc_digest(&resumed),
+        doc_digest(&uninterrupted),
+        "mid-stream recovery must converge to the uninterrupted final state"
+    );
+}
