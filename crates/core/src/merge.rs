@@ -25,7 +25,7 @@ use std::collections::BTreeSet;
 use std::time::Instant;
 
 use sm_mergeable::{MergeStats, Mergeable};
-use sm_obs::{emit, EventKind, MergeOpStats};
+use sm_obs::{emit, EventKind, MergeOpStats, Phase};
 
 use crate::error::AbortReason;
 use crate::task::{Event, EventBody, SyncReply, TaskCtx, TaskHandle, TaskId};
@@ -475,6 +475,13 @@ impl<D: Mergeable> TaskCtx<D> {
                 oplog_len,
                 merge_nanos,
             });
+            // Surface the merge's internal phase breakdown (measured by
+            // the mergeable layer, which has no task identity) as
+            // properly attributed phase-timer events.
+            sm_obs::timer::observe(&self.path, Phase::RebaseDelta, stats.delta_nanos);
+            sm_obs::timer::observe(&self.path, Phase::RebaseCompact, stats.compact_nanos);
+            sm_obs::timer::observe(&self.path, Phase::RebaseGrid, stats.grid_nanos);
+            sm_obs::timer::observe(&self.path, Phase::StateApply, stats.apply_nanos);
         }
         // Journal the commit point: the merged ops are now part of this
         // task's committed log and no GC has run yet this round, so a

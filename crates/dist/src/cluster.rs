@@ -206,7 +206,11 @@ impl Cluster {
             .links
             .get(node.checked_sub(1).ok_or(DistError::NoSuchNode(node))?)
             .ok_or(DistError::NoSuchNode(node))?;
+        let span = sm_obs::timer::start(sm_obs::Phase::WireEncode);
         let raw = msg.to_bytes();
+        if let Some(span) = span {
+            span.finish_root();
+        }
         let bytes = raw.len();
         sm_obs::emit(&sm_obs::TaskPath::root(), || sm_obs::EventKind::WireSent {
             node,
@@ -243,10 +247,14 @@ fn worker_main<D: Wire>(listener: sm_net::Listener, registry: JobRegistry<D>) {
             Err(NetError::Closed) => return,
             Err(_) => return,
         };
+        let span = sm_obs::timer::start(sm_obs::Phase::WireDecode);
         let msg = match WireMsg::from_bytes(&raw) {
             Ok(m) => m,
             Err(_) => return, // corrupted link: nothing sane to do
         };
+        if let Some(span) = span {
+            span.finish_root();
+        }
         match msg {
             WireMsg::Shutdown => return,
             WireMsg::Done { .. } => return, // protocol violation
@@ -269,7 +277,12 @@ fn worker_main<D: Wire>(listener: sm_net::Listener, registry: JobRegistry<D>) {
                         payload: err.into_bytes(),
                     },
                 };
-                if link.send(&msg.to_bytes()).is_err() {
+                let span = sm_obs::timer::start(sm_obs::Phase::WireEncode);
+                let raw = msg.to_bytes();
+                if let Some(span) = span {
+                    span.finish_root();
+                }
+                if link.send(&raw).is_err() {
                     return;
                 }
             }

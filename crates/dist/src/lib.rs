@@ -47,7 +47,7 @@ mod runtime;
 mod wire;
 
 pub use cluster::{Cluster, JobFn, JobRegistry, NodeId};
-pub use runtime::{DistOutcome, DistRuntime, DistTaskId};
+pub use runtime::{DistOutcome, DistRuntime, DistTaskId, TelemetryConfig};
 pub use wire::Wire;
 
 use std::fmt;

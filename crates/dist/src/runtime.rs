@@ -11,10 +11,17 @@
 //! non-determinism, as in the paper).
 
 use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Instant;
 
 use bytes::{Bytes, BytesMut};
 use crossbeam::channel::{unbounded, Receiver};
 use sm_codec::Decode;
+use sm_net::Network;
+use sm_obs::{
+    DeterminismAuditor, FlightRecorder, Metrics, MultiRecorder, ObsServer, Phase, Recorder,
+    TelemetrySources,
+};
 
 use crate::cluster::{Cluster, JobRegistry, NodeId, WireMsg};
 use crate::wire::Wire;
@@ -46,6 +53,69 @@ struct Outstanding<D> {
     task: DistTaskId,
     node: NodeId,
     shadow: D,
+    /// Spawn-message send time, captured only while a recorder is
+    /// installed; feeds the `wire_roundtrip` phase histogram on merge.
+    sent_at: Option<Instant>,
+}
+
+/// Opt-in configuration for the live telemetry endpoint of a
+/// distributed runtime ([`DistRuntime::launch_with`]).
+///
+/// The endpoint serves `/metrics`, `/flight` and `/health` over `network`
+/// — an in-memory [`sm_net::Network`]: hold a clone and scrape it with
+/// [`sm_obs::http_get`]. [`TelemetryConfig::full`] builds the standard
+/// wiring (metrics + flight recorder + determinism auditor, installed as
+/// the process-wide recorder for the runtime's lifetime); pass hand-built
+/// [`TelemetrySources`] via [`TelemetryConfig::with_sources`] when the
+/// recorders are managed elsewhere.
+pub struct TelemetryConfig {
+    network: Network,
+    port: u16,
+    sources: TelemetrySources,
+    install: bool,
+}
+
+impl TelemetryConfig {
+    /// The standard full wiring: fresh [`Metrics`], [`FlightRecorder`]
+    /// and [`DeterminismAuditor`] served on `port` of `network`,
+    /// installed as the global recorder when the runtime launches and
+    /// uninstalled at [`DistRuntime::shutdown`].
+    pub fn full(network: Network, port: u16, replica: impl Into<String>) -> Self {
+        let mut sources = TelemetrySources::named(replica);
+        sources.metrics = Some(Arc::new(Metrics::new()));
+        sources.flight = Some(Arc::new(FlightRecorder::default()));
+        sources.auditor = Some(Arc::new(DeterminismAuditor::new()));
+        TelemetryConfig {
+            network,
+            port,
+            sources,
+            install: true,
+        }
+    }
+
+    /// Serve caller-managed `sources` on `port` of `network` without
+    /// touching the global recorder slot (the caller installs whatever
+    /// recorder feeds those sources).
+    pub fn with_sources(network: Network, port: u16, sources: TelemetrySources) -> Self {
+        TelemetryConfig {
+            network,
+            port,
+            sources,
+            install: false,
+        }
+    }
+
+    /// The sources the endpoint will serve (useful to keep handles on
+    /// the metrics/flight/auditor built by [`TelemetryConfig::full`]).
+    pub fn sources(&self) -> &TelemetrySources {
+        &self.sources
+    }
+}
+
+/// A live endpoint attached to a running [`DistRuntime`].
+struct Telemetry {
+    server: ObsServer,
+    installed: bool,
 }
 
 /// The coordinator of a distributed Spawn & Merge program.
@@ -58,6 +128,7 @@ pub struct DistRuntime<D: Wire> {
     buffered: VecDeque<WireMsg>,
     next_task: u64,
     journal: Option<sm_store::Store>,
+    telemetry: Option<Telemetry>,
 }
 
 impl<D: Wire> DistRuntime<D> {
@@ -78,8 +149,12 @@ impl<D: Wire> DistRuntime<D> {
                     sm_obs::emit(&sm_obs::TaskPath::root(), || {
                         sm_obs::EventKind::WireReceived { node, bytes }
                     });
+                    let span = sm_obs::timer::start(Phase::WireDecode);
                     match WireMsg::from_bytes(&raw) {
                         Ok(msg) => {
+                            if let Some(span) = span {
+                                span.finish_root();
+                            }
                             if tx.send(msg).is_err() {
                                 return;
                             }
@@ -98,7 +173,67 @@ impl<D: Wire> DistRuntime<D> {
             buffered: VecDeque::new(),
             next_task: 1,
             journal: None,
+            telemetry: None,
         })
+    }
+
+    /// [`launch`](DistRuntime::launch), with a live telemetry endpoint
+    /// serving `/metrics`, `/flight` and `/health` for the lifetime of
+    /// the runtime. When `telemetry` was built by
+    /// [`TelemetryConfig::full`], its recorders are installed process-
+    /// wide here and uninstalled at [`shutdown`](DistRuntime::shutdown).
+    pub fn launch_with(
+        workers: usize,
+        data: D,
+        registry: &JobRegistry<D>,
+        telemetry: TelemetryConfig,
+    ) -> Result<Self, DistError> {
+        let mut rt = Self::launch(workers, data, registry)?;
+        rt.attach_telemetry(telemetry)?;
+        Ok(rt)
+    }
+
+    /// [`launch_durable`](DistRuntime::launch_durable) plus the live
+    /// telemetry endpoint of [`launch_with`](DistRuntime::launch_with).
+    pub fn launch_durable_with(
+        workers: usize,
+        data: D,
+        registry: &JobRegistry<D>,
+        store: &sm_store::Store,
+        telemetry: TelemetryConfig,
+    ) -> Result<Self, DistError> {
+        let mut rt = Self::launch_durable(workers, data, registry, store)?;
+        rt.attach_telemetry(telemetry)?;
+        Ok(rt)
+    }
+
+    fn attach_telemetry(&mut self, config: TelemetryConfig) -> Result<(), DistError> {
+        if config.install {
+            let sources = &config.sources;
+            let mut sinks: Vec<Arc<dyn Recorder>> = Vec::new();
+            if let Some(m) = &sources.metrics {
+                sinks.push(m.clone());
+            }
+            if let Some(f) = &sources.flight {
+                sinks.push(f.clone());
+            }
+            if let Some(a) = &sources.auditor {
+                sinks.push(a.clone());
+            }
+            sm_obs::install(Arc::new(MultiRecorder::new(sinks)));
+        }
+        let server = ObsServer::start(&config.network, config.port, config.sources)
+            .map_err(|e| DistError::Link(format!("telemetry endpoint: {e}")))?;
+        self.telemetry = Some(Telemetry {
+            server,
+            installed: config.install,
+        });
+        Ok(())
+    }
+
+    /// The port of the attached telemetry endpoint, if one is serving.
+    pub fn telemetry_port(&self) -> Option<u16> {
+        self.telemetry.as_ref().map(|t| t.server.port())
     }
 
     /// [`launch`](DistRuntime::launch), with every coordinator merge
@@ -159,7 +294,12 @@ impl<D: Wire> DistRuntime<D> {
                 arg: arg.to_vec(),
             },
         )?;
-        self.outstanding.push(Outstanding { task, node, shadow });
+        self.outstanding.push(Outstanding {
+            task,
+            node,
+            shadow,
+            sent_at: sm_obs::is_enabled().then(Instant::now),
+        });
         Ok(task)
     }
 
@@ -220,8 +360,18 @@ impl<D: Wire> DistRuntime<D> {
             .position(|o| o.task == task)
             .ok_or_else(|| DistError::Protocol(format!("Done for unknown task {task}")))?;
         let Outstanding {
-            node, mut shadow, ..
+            node,
+            mut shadow,
+            sent_at,
+            ..
         } = self.outstanding.remove(pos);
+        let path = sm_obs::TaskPath::root().child(task);
+        if let Some(sent_at) = sent_at {
+            // Spawn message out → Done message merged back: the full
+            // distributed round trip, including remote execution.
+            let nanos = sent_at.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+            sm_obs::timer::observe(&path, Phase::WireRoundtrip, nanos);
+        }
         if !ok {
             // Remote job failed: dismiss the shadow (abort semantics).
             return Ok(DistOutcome {
@@ -232,14 +382,19 @@ impl<D: Wire> DistRuntime<D> {
         }
         let mut bytes = Bytes::copy_from_slice(&payload);
         let applied = shadow.apply_log(&mut bytes)?;
-        self.data
+        let stats = self
+            .data
             .merge(&shadow)
             .map_err(|e| DistError::Apply(e.to_string()))?;
+        sm_obs::timer::observe(&path, Phase::RebaseDelta, stats.delta_nanos);
+        sm_obs::timer::observe(&path, Phase::RebaseCompact, stats.compact_nanos);
+        sm_obs::timer::observe(&path, Phase::RebaseGrid, stats.grid_nanos);
+        sm_obs::timer::observe(&path, Phase::StateApply, stats.apply_nanos);
         if let Some(journal) = &self.journal {
             // One WAL record per distributed merge, attributed to the
             // task's pseudo-path (root → task id). Coordinator-local
             // edits since the previous commit ride in the same record.
-            journal.commit(&self.data, &sm_obs::TaskPath::root().child(task))?;
+            journal.commit(&self.data, &path)?;
         }
         Ok(DistOutcome {
             task,
@@ -262,6 +417,12 @@ impl<D: Wire> DistRuntime<D> {
         self.cluster.shutdown();
         for f in self.forwarders {
             let _ = f.join();
+        }
+        if let Some(telemetry) = self.telemetry.take() {
+            telemetry.server.stop();
+            if telemetry.installed {
+                sm_obs::uninstall();
+            }
         }
         Ok(self.data)
     }

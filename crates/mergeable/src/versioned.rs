@@ -48,6 +48,11 @@ use std::sync::Arc;
 use sm_ot::compose::compact_cow;
 use sm_ot::{seq, ApplyError, Operation};
 
+/// Saturating elapsed nanoseconds since `t0`.
+fn elapsed_nanos(t0: std::time::Instant) -> u64 {
+    t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64
+}
+
 /// How forking copies the underlying state.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum CopyMode {
@@ -91,6 +96,18 @@ pub struct MergeStats {
     /// Total normalized spans swept by delta-path rebases (incoming +
     /// committed sides): the m+n the linear transform actually paid.
     pub delta_spans: usize,
+    /// Nanoseconds spent in successful delta-path rebases. Timing fields
+    /// are only populated while an `sm_obs` recorder is installed (one
+    /// relaxed load otherwise) and are wall-clock: excluded from every
+    /// determinism check, consumed by the phase-timer histograms.
+    pub delta_nanos: u64,
+    /// Nanoseconds spent in pre-rebase span compaction (grid path only).
+    pub compact_nanos: u64,
+    /// Nanoseconds spent in the pairwise transformation grid, including
+    /// the declined delta-path attempt that preceded it.
+    pub grid_nanos: u64,
+    /// Nanoseconds spent applying the rebased operations to the state.
+    pub apply_nanos: u64,
 }
 
 impl std::ops::AddAssign for MergeStats {
@@ -104,6 +121,10 @@ impl std::ops::AddAssign for MergeStats {
         self.delta_rebases += rhs.delta_rebases;
         self.grid_rebases += rhs.grid_rebases;
         self.delta_spans += rhs.delta_spans;
+        self.delta_nanos += rhs.delta_nanos;
+        self.compact_nanos += rhs.compact_nanos;
+        self.grid_nanos += rhs.grid_nanos;
+        self.apply_nanos += rhs.apply_nanos;
     }
 }
 
@@ -387,13 +408,19 @@ impl<O: Operation> Versioned<O> {
                 log_start: self.log_start,
             });
         }
-        let (rebased, stats) = {
+        // Phase timing is live-telemetry only: clocks are read solely
+        // while an sm_obs recorder is installed, so the uninstalled
+        // merge path pays one relaxed load and no syscalls.
+        let timing = sm_obs::is_enabled();
+        let (rebased, mut stats) = {
             let committed_raw = &self.log[child.fork_base - self.log_start..];
+            let attempt_t0 = timing.then(std::time::Instant::now);
             let delta = if !child.log.is_empty() && !committed_raw.is_empty() {
                 O::delta_rebase(&child.log, committed_raw)
             } else {
                 None
             };
+            let attempt_nanos = attempt_t0.map_or(0, elapsed_nanos);
             match delta {
                 Some((rebased, d)) => {
                     let stats = MergeStats {
@@ -408,12 +435,17 @@ impl<O: Operation> Versioned<O> {
                         delta_rebases: 1,
                         grid_rebases: 0,
                         delta_spans: d.incoming_spans + d.committed_spans,
+                        delta_nanos: attempt_nanos,
+                        ..MergeStats::default()
                     };
                     (rebased, stats)
                 }
                 None => {
+                    let compact_t0 = timing.then(std::time::Instant::now);
                     let committed: Cow<'_, [O]> = compact_cow(committed_raw);
                     let incoming: Cow<'_, [O]> = compact_cow(&child.log);
+                    let compact_nanos = compact_t0.map_or(0, elapsed_nanos);
+                    let grid_t0 = timing.then(std::time::Instant::now);
                     let rebased = seq::rebase(&incoming, &committed);
                     let stats = MergeStats {
                         child_ops: child.log.len(),
@@ -425,15 +457,22 @@ impl<O: Operation> Versioned<O> {
                         delta_rebases: 0,
                         grid_rebases: 1,
                         delta_spans: 0,
+                        compact_nanos,
+                        // The declined delta attempt is part of what the
+                        // grid path cost this merge.
+                        grid_nanos: attempt_nanos + grid_t0.map_or(0, elapsed_nanos),
+                        ..MergeStats::default()
                     };
                     (rebased, stats)
                 }
             }
         };
+        let apply_t0 = timing.then(std::time::Instant::now);
         let state = Arc::make_mut(&mut self.state);
         for op in &rebased {
             op.apply(state)?;
         }
+        stats.apply_nanos = apply_t0.map_or(0, elapsed_nanos);
         self.extend_ops(rebased);
         Ok(stats)
     }

@@ -84,6 +84,38 @@ impl DeterminismAuditor {
             .unwrap_or_else(PoisonError::into_inner)
             .len()
     }
+
+    /// The current per-task chain heads, in sorted path order. This is
+    /// what `/health` exposes: two replicas running the same program
+    /// must agree on every head, and when they diverge the *first
+    /// differing path* localizes the desync to a task — a live sentinel
+    /// rather than a post-run assert.
+    pub fn chain_heads(&self) -> BTreeMap<TaskPath, u64> {
+        self.chains
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    /// Diff two replicas' chain heads: the sorted list of task paths
+    /// whose chains disagree (present on one side only, or present on
+    /// both with different heads). Empty means the replicas are
+    /// digest-identical.
+    pub fn diff_heads(a: &BTreeMap<TaskPath, u64>, b: &BTreeMap<TaskPath, u64>) -> Vec<TaskPath> {
+        let mut out = Vec::new();
+        for (path, head) in a {
+            if b.get(path) != Some(head) {
+                out.push(path.clone());
+            }
+        }
+        for path in b.keys() {
+            if !a.contains_key(path) {
+                out.push(path.clone());
+            }
+        }
+        out.sort();
+        out
+    }
 }
 
 /// The deterministic projection of one event: a tag plus the fields that
@@ -138,7 +170,9 @@ fn projection(event: &ObsEvent) -> Option<u64> {
         | EventKind::LogTruncated { .. }
         | EventKind::WalAppended { .. }
         | EventKind::SnapshotTaken { .. }
-        | EventKind::RecoveryReplayed { .. } => return None,
+        | EventKind::RecoveryReplayed { .. }
+        | EventKind::RecoveryFailed { .. }
+        | EventKind::PhaseTimed { .. } => return None,
     }
     Some(h)
 }
@@ -233,6 +267,56 @@ mod tests {
         cooked.record(&ev(root.clone(), merge_finished(c1.clone(), 4)));
         cooked.record(&ev(root.clone(), merge_finished(c2.clone(), 5)));
         assert_ne!(base.digest(), cooked.digest());
+    }
+
+    #[test]
+    fn phase_timings_do_not_perturb_the_digest() {
+        let root = TaskPath::root();
+        let clean = DeterminismAuditor::new();
+        clean.record(&ev(root.clone(), merge_finished(root.child(1), 2)));
+
+        let noisy = DeterminismAuditor::new();
+        noisy.record(&ev(
+            root.clone(),
+            EventKind::PhaseTimed {
+                phase: crate::timer::Phase::RebaseDelta,
+                nanos: 12345,
+            },
+        ));
+        noisy.record(&ev(root.clone(), merge_finished(root.child(1), 2)));
+        noisy.record(&ev(
+            root.clone(),
+            EventKind::RecoveryFailed {
+                reason: "Corrupt".into(),
+            },
+        ));
+        assert_eq!(clean.digest(), noisy.digest());
+    }
+
+    #[test]
+    fn chain_head_diff_localizes_divergence() {
+        let root = TaskPath::root();
+        let (c1, c2) = (root.child(1), root.child(2));
+
+        let a = DeterminismAuditor::new();
+        let b = DeterminismAuditor::new();
+        for aud in [&a, &b] {
+            aud.record(&ev(c1.clone(), EventKind::TaskCompleted));
+            aud.record(&ev(root.clone(), merge_finished(c1.clone(), 3)));
+        }
+        assert!(
+            DeterminismAuditor::diff_heads(&a.chain_heads(), &b.chain_heads()).is_empty(),
+            "identical replicas have no diff"
+        );
+
+        // Replica b merges one extra op: its root chain diverges, and it
+        // also grows a chain a never saw.
+        b.record(&ev(root.clone(), merge_finished(c2.clone(), 1)));
+        b.record(&ev(c2.clone(), EventKind::TaskCompleted));
+        let diff = DeterminismAuditor::diff_heads(&a.chain_heads(), &b.chain_heads());
+        let rendered: Vec<String> = diff.iter().map(|p| p.to_string()).collect();
+        assert_eq!(rendered, ["0", "0/2"], "diff names the diverged tasks");
+        assert_ne!(a.digest(), b.digest());
     }
 
     #[test]

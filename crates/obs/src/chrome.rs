@@ -95,6 +95,16 @@ impl ChromeTracer {
         for (i, tid) in tids.values_mut().enumerate() {
             *tid = i as u64 + 1;
         }
+        // Name the four process lanes so Perfetto renders labeled
+        // groups instead of bare pids 1–4.
+        for (pid, name) in [
+            (PID_TASKS, "runtime"),
+            (PID_POOL, "pool"),
+            (PID_WIRE, "wire"),
+            (PID_STORE, "store"),
+        ] {
+            out.push(process_metadata_event(pid, name));
+        }
         for (path, tid) in &tids {
             out.push(metadata_event(PID_TASKS, *tid, &format!("task {path}")));
         }
@@ -258,6 +268,24 @@ impl ChromeTracer {
                         dur,
                     ));
                 }
+                EventKind::RecoveryFailed { reason } => {
+                    out.push(instant(
+                        PID_STORE,
+                        1,
+                        &format!("recovery FAILED: {reason}"),
+                        ts,
+                    ));
+                }
+                EventKind::PhaseTimed { phase, nanos } => {
+                    let dur = *nanos as f64 / 1000.0;
+                    out.push(span(
+                        PID_TASKS,
+                        tid,
+                        &format!("phase {phase}"),
+                        (ts - dur).max(0.0),
+                        dur,
+                    ));
+                }
                 EventKind::MergeStarted { .. } | EventKind::SyncBlocked => {}
             }
         }
@@ -321,6 +349,12 @@ fn metadata_event(pid: u64, tid: u64, thread_name: &str) -> Json {
     e
 }
 
+fn process_metadata_event(pid: u64, process_name: &str) -> Json {
+    let mut e = base_event("M", pid, 0, "process_name", 0.0);
+    e.set("args", Json::obj([("name", Json::str(process_name))]));
+    e
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -372,8 +406,9 @@ mod tests {
         let text = tracer.json_string();
         let doc = crate::json::parse(&text).expect("trace must be valid JSON");
         let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
-        // 2 thread_name metadata + 2 run spans + 1 merge span.
-        assert_eq!(events.len(), 5);
+        // 4 process_name + 2 thread_name metadata + 2 run spans + 1
+        // merge span.
+        assert_eq!(events.len(), 9);
         for e in events {
             let ph = e.get("ph").unwrap().as_str().unwrap();
             assert!(matches!(ph, "X" | "i" | "M"), "unexpected phase {ph}");
@@ -444,7 +479,10 @@ mod tests {
         let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
         let store: Vec<_> = events
             .iter()
-            .filter(|e| e.get("pid").unwrap().as_num() == Some(PID_STORE as f64))
+            .filter(|e| {
+                e.get("pid").unwrap().as_num() == Some(PID_STORE as f64)
+                    && e.get("ph").unwrap().as_str() != Some("M")
+            })
             .collect();
         assert_eq!(store.len(), 3);
         assert!(store.iter().any(|e| {
@@ -458,6 +496,67 @@ mod tests {
         assert!(store.iter().any(|e| {
             e.get("ph").unwrap().as_str() == Some("X")
                 && e.get("name").unwrap().as_str().unwrap().contains("torn 5B")
+        }));
+    }
+
+    #[test]
+    fn process_lanes_are_named() {
+        let tracer = ChromeTracer::new();
+        tracer.record(&ev(TaskPath::root(), EventKind::Mark { label: "x".into() }));
+        let doc = crate::json::parse(&tracer.json_string()).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let lane_names: Vec<(f64, &str)> = events
+            .iter()
+            .filter(|e| e.get("name").unwrap().as_str() == Some("process_name"))
+            .map(|e| {
+                (
+                    e.get("pid").unwrap().as_num().unwrap(),
+                    e.get("args")
+                        .unwrap()
+                        .get("name")
+                        .unwrap()
+                        .as_str()
+                        .unwrap(),
+                )
+            })
+            .collect();
+        assert_eq!(
+            lane_names,
+            [
+                (1.0, "runtime"),
+                (2.0, "pool"),
+                (3.0, "wire"),
+                (4.0, "store")
+            ]
+        );
+    }
+
+    #[test]
+    fn phase_and_recovery_failure_render() {
+        let tracer = ChromeTracer::new();
+        let root = TaskPath::root();
+        tracer.record(&ev(
+            root.clone(),
+            EventKind::PhaseTimed {
+                phase: crate::timer::Phase::RebaseGrid,
+                nanos: 5_000,
+            },
+        ));
+        tracer.record(&ev(
+            root.clone(),
+            EventKind::RecoveryFailed {
+                reason: "DigestMismatch".into(),
+            },
+        ));
+        let doc = crate::json::parse(&tracer.json_string()).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        assert!(events.iter().any(|e| {
+            e.get("ph").unwrap().as_str() == Some("X")
+                && e.get("name").unwrap().as_str() == Some("phase rebase_grid")
+        }));
+        assert!(events.iter().any(|e| {
+            e.get("ph").unwrap().as_str() == Some("i")
+                && e.get("name").unwrap().as_str() == Some("recovery FAILED: DigestMismatch")
         }));
     }
 

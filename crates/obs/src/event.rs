@@ -19,6 +19,8 @@ use std::fmt;
 use std::sync::Arc;
 use std::time::Instant;
 
+use crate::timer::Phase;
+
 /// Deterministic global task identity: ids from the root down.
 ///
 /// The root task is `[0]`; its third spawned child is `[0, 3]`; that
@@ -222,6 +224,24 @@ pub enum EventKind {
         /// Wall time of the whole recovery.
         replay_nanos: u64,
     },
+    /// Crash recovery failed closed: the journal was corrupt or a
+    /// digest-chain verification mismatched. An anomaly — the flight
+    /// recorder dumps its rings when it sees one.
+    RecoveryFailed {
+        /// Human-readable failure description (`Corrupt`,
+        /// `DigestMismatch`, …).
+        reason: String,
+    },
+    /// One instrumented hot-path phase ran for `nanos` (monotonic
+    /// clock). Wall-clock timing: excluded from the determinism digest;
+    /// aggregated by [`Metrics`](crate::Metrics) into per-phase
+    /// histograms.
+    PhaseTimed {
+        /// Which hot path.
+        phase: Phase,
+        /// Measured duration in nanoseconds.
+        nanos: u64,
+    },
     /// Freeform, program-defined annotation (simulation rounds,
     /// semaphore grants, …).
     Mark { label: String },
@@ -248,8 +268,24 @@ impl EventKind {
             EventKind::WalAppended { .. } => "wal_appended",
             EventKind::SnapshotTaken { .. } => "snapshot_taken",
             EventKind::RecoveryReplayed { .. } => "recovery_replayed",
+            EventKind::RecoveryFailed { .. } => "recovery_failed",
+            EventKind::PhaseTimed { .. } => "phase_timed",
             EventKind::Mark { .. } => "mark",
         }
+    }
+
+    /// Whether this event signals an anomaly a production sentinel should
+    /// capture context for: a rejected merge (OT condition refused a
+    /// child's changes), a task abort, or a failed-closed recovery
+    /// (corruption / digest mismatch). The flight recorder dumps its
+    /// rings when one of these flows past.
+    pub fn is_anomaly(&self) -> bool {
+        matches!(
+            self,
+            EventKind::MergeRejected { .. }
+                | EventKind::TaskAborted { .. }
+                | EventKind::RecoveryFailed { .. }
+        )
     }
 }
 

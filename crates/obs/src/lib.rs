@@ -8,30 +8,42 @@
 //! costs one relaxed atomic load and the event is never even
 //! constructed; [`install`] a recorder and the full stream flows to it.
 //!
-//! Three consumers ship in this crate:
+//! Four consumers ship in this crate:
 //!
-//! - [`Metrics`]: counters + log₂ latency histograms, exported as
+//! - [`Metrics`]: counters + log₂ latency histograms (including the
+//!   per-phase `sm_phase_nanos` family fed by [`timer`]), exported as
 //!   Prometheus text ([`Metrics::prometheus_text`]) or a JSON snapshot
 //!   ([`Metrics::json_string`]) — the bench binaries write the latter as
 //!   a machine-readable sidecar.
+//! - [`FlightRecorder`]: always-on per-thread bounded rings of
+//!   sequence-stamped events — dump-on-demand and automatic
+//!   dump-on-anomaly (the production black box).
 //! - [`ChromeTracer`]: a Chrome trace-event / Perfetto JSON exporter
 //!   rendering the task tree as a timeline (`examples/tracing.rs`).
 //! - [`DeterminismAuditor`]: a 64-bit digest over the deterministic
 //!   projection of the stream — identical across runs of a
 //!   `merge_all`-only program, sensitive to merge order and op counts.
 //!
-//! Several consumers compose via [`MultiRecorder`]. The determinism
+//! Several consumers compose via [`MultiRecorder`], and [`serve`] turns
+//! any of them into a live scrape endpoint (`/metrics`, `/flight`,
+//! `/health`) over the `sm-net` loopback network. The determinism
 //! contract recorders must uphold is documented on [`recorder`].
 
 pub mod audit;
 pub mod chrome;
 pub mod event;
+pub mod flight;
 pub mod json;
 pub mod metrics;
 pub mod recorder;
+pub mod serve;
+pub mod timer;
 
 pub use audit::DeterminismAuditor;
 pub use chrome::ChromeTracer;
 pub use event::{AbortCause, EventKind, MergeOpStats, ObsEvent, TaskPath};
-pub use metrics::{Histogram, Metrics, MetricsSnapshot};
+pub use flight::{FlightEntry, FlightRecorder};
+pub use metrics::{Histogram, Metrics, MetricsSnapshot, PhaseHistograms};
 pub use recorder::{emit, install, is_enabled, uninstall, MultiRecorder, Recorder};
+pub use serve::{health_divergence, http_get, ObsServer, TelemetrySources};
+pub use timer::{observe, start, Phase, PhaseSpan};

@@ -14,6 +14,7 @@ use std::sync::PoisonError;
 use crate::event::{EventKind, ObsEvent};
 use crate::json::Json;
 use crate::recorder::Recorder;
+use crate::timer::Phase;
 
 /// Number of log₂ buckets: bucket `i` counts values `v` with
 /// `bucket_index(v) == i`, i.e. `v == 0` → 0 and otherwise
@@ -77,19 +78,30 @@ impl Histogram {
         }
     }
 
-    /// Approximate quantile: the upper bound of the bucket containing
-    /// the `q`-quantile observation (`q` in 0..=1).
+    /// Approximate quantile (`q` in 0..=1) with sub-bucket linear
+    /// interpolation: the rank is located within its log₂ bucket and the
+    /// bucket's value range `[lower, upper]` is interpolated linearly,
+    /// so p50/p99 stay meaningful even where buckets are coarse relative
+    /// to the distribution (sub-microsecond phases live in buckets whose
+    /// upper bound alone would overstate them by up to 2×).
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
         }
         let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
-        let mut seen = 0;
+        let mut seen = 0u64;
         for (i, c) in self.counts.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                return bucket_upper_bound(i).min(self.max);
+            if *c == 0 {
+                continue;
             }
+            if seen + c >= rank {
+                let lower = bucket_lower_bound(i);
+                let upper = bucket_upper_bound(i).min(self.max);
+                let frac = (rank - seen) as f64 / *c as f64;
+                let v = lower as f64 + frac * (upper.saturating_sub(lower)) as f64;
+                return (v.round() as u64).min(self.max);
+            }
+            seen += c;
         }
         self.max
     }
@@ -129,6 +141,111 @@ fn bucket_upper_bound(i: usize) -> u64 {
     } else {
         (1u64 << i) - 1
     }
+}
+
+/// Inclusive lower bound of bucket `i` (`0`, `1`, `2`, `4`, `8`, …).
+fn bucket_lower_bound(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        1u64 << (i - 1)
+    }
+}
+
+/// One [`Histogram`] per [`Phase`], indexed by [`Phase::index`]. The
+/// aggregation target of every [`EventKind::PhaseTimed`] event.
+#[derive(Debug, Clone)]
+pub struct PhaseHistograms([Histogram; Phase::COUNT]);
+
+impl Default for PhaseHistograms {
+    fn default() -> Self {
+        PhaseHistograms(std::array::from_fn(|_| Histogram::default()))
+    }
+}
+
+impl PhaseHistograms {
+    /// The histogram for `phase`.
+    pub fn get(&self, phase: Phase) -> &Histogram {
+        &self.0[phase.index()]
+    }
+
+    /// Total observations across all phases.
+    pub fn total_count(&self) -> u64 {
+        self.0.iter().map(Histogram::count).sum()
+    }
+
+    fn observe(&mut self, phase: Phase, nanos: u64) {
+        self.0[phase.index()].observe(nanos);
+    }
+}
+
+/// Escape a Prometheus label *value*: backslash, double-quote and
+/// newline must be backslash-escaped per the text exposition format.
+pub fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// One sample parsed from a Prometheus text exposition: the metric
+/// name, the raw label block (`""` or `{k="v",…}` verbatim), and the
+/// value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Metric name (legality-checked by [`parse_exposition`]).
+    pub name: String,
+    /// The label block exactly as serialized, empty when unlabelled.
+    pub labels: String,
+    /// The sample value.
+    pub value: f64,
+}
+
+/// Parse a Prometheus text exposition into its samples, validating
+/// metric-name legality (`[a-zA-Z_:][a-zA-Z0-9_:]*`) and basic line
+/// shape. Comment (`#`) and blank lines are skipped. This is the
+/// scrape side of the scrape → parse → re-emit round-trip tests and of
+/// the live-endpoint smoke checks.
+pub fn parse_exposition(text: &str) -> Result<Vec<Sample>, String> {
+    let mut out = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim_end();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (series, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {}: no value separator: {line:?}", lineno + 1))?;
+        let value: f64 = value
+            .parse()
+            .map_err(|_| format!("line {}: bad value {value:?}", lineno + 1))?;
+        let (name, labels) = match series.split_once('{') {
+            Some((n, rest)) => {
+                if !rest.ends_with('}') {
+                    return Err(format!("line {}: unterminated label block", lineno + 1));
+                }
+                (n, format!("{{{rest}"))
+            }
+            None => (series, String::new()),
+        };
+        let legal_start = |c: char| c.is_ascii_alphabetic() || c == '_' || c == ':';
+        let legal = |c: char| c.is_ascii_alphanumeric() || c == '_' || c == ':';
+        if !name.starts_with(legal_start) || !name.chars().all(legal) {
+            return Err(format!("line {}: illegal metric name {name:?}", lineno + 1));
+        }
+        out.push(Sample {
+            name: name.to_string(),
+            labels,
+            value,
+        });
+    }
+    Ok(out)
 }
 
 /// The aggregated state. Plain data: cheap to clone out as a snapshot.
@@ -194,6 +311,9 @@ pub struct MetricsSnapshot {
     pub recoveries: u64,
     /// Total operations replayed from journal suffixes during recovery.
     pub recovery_replayed_ops: u64,
+    /// Crash recoveries that failed closed (corruption, digest
+    /// mismatch) — an anomaly counter a production alert should watch.
+    pub recovery_failures: u64,
     // -- marks ---------------------------------------------------------
     pub marks: u64,
     // -- histograms ----------------------------------------------------
@@ -204,6 +324,8 @@ pub struct MetricsSnapshot {
     pub sync_blocked_nanos: Histogram,
     pub fsync_nanos: Histogram,
     pub snapshot_nanos: Histogram,
+    /// Per-phase hot-path latency histograms (see [`Phase`]).
+    pub phase_nanos: PhaseHistograms,
 }
 
 impl MetricsSnapshot {
@@ -293,6 +415,10 @@ impl MetricsSnapshot {
                 self.recoveries += 1;
                 self.recovery_replayed_ops += *replayed_ops as u64;
             }
+            EventKind::RecoveryFailed { .. } => self.recovery_failures += 1,
+            EventKind::PhaseTimed { phase, nanos } => {
+                self.phase_nanos.observe(*phase, *nanos);
+            }
             EventKind::Mark { .. } => self.marks += 1,
         }
     }
@@ -377,7 +503,17 @@ impl MetricsSnapshot {
                         "recovery_replayed_ops",
                         Json::from(self.recovery_replayed_ops),
                     ),
+                    ("recovery_failures", Json::from(self.recovery_failures)),
                 ]),
+            ),
+            (
+                "phases",
+                Json::Obj(
+                    Phase::ALL
+                        .iter()
+                        .map(|p| (p.name().to_string(), self.phase_nanos.get(*p).to_json()))
+                        .collect(),
+                ),
             ),
             ("marks", Json::from(self.marks)),
             (
@@ -398,7 +534,7 @@ impl MetricsSnapshot {
     /// Render in the Prometheus text exposition format.
     pub fn prometheus_text(&self) -> String {
         let mut out = String::new();
-        let counters: [(&str, u64); 33] = [
+        let counters: [(&str, u64); 34] = [
             ("sm_tasks_spawned_total", self.tasks_spawned),
             ("sm_tasks_completed_total", self.tasks_completed),
             ("sm_tasks_aborted_total", self.tasks_aborted),
@@ -436,6 +572,7 @@ impl MetricsSnapshot {
             ("sm_snapshot_bytes_total", self.snapshot_bytes),
             ("sm_recoveries_total", self.recoveries),
             ("sm_recovery_replayed_ops_total", self.recovery_replayed_ops),
+            ("sm_recovery_failures_total", self.recovery_failures),
             ("sm_marks_total", self.marks),
             ("sm_pool_workers_peak", self.workers_peak),
         ];
@@ -477,6 +614,31 @@ impl MetricsSnapshot {
             out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count()));
             out.push_str(&format!("{name}_sum {}\n", h.sum()));
             out.push_str(&format!("{name}_count {}\n", h.count()));
+        }
+        // Per-phase hot-path latency: one histogram family labelled by
+        // phase. Count/sum series are emitted for every phase (so a
+        // scraper sees the full taxonomy); buckets only where populated.
+        out.push_str("# TYPE sm_phase_nanos histogram\n");
+        for phase in Phase::ALL {
+            let h = self.phase_nanos.get(phase);
+            let label = escape_label(phase.name());
+            for (le, cum) in h.cumulative_buckets() {
+                out.push_str(&format!(
+                    "sm_phase_nanos_bucket{{phase=\"{label}\",le=\"{le}\"}} {cum}\n"
+                ));
+            }
+            out.push_str(&format!(
+                "sm_phase_nanos_bucket{{phase=\"{label}\",le=\"+Inf\"}} {}\n",
+                h.count()
+            ));
+            out.push_str(&format!(
+                "sm_phase_nanos_sum{{phase=\"{label}\"}} {}\n",
+                h.sum()
+            ));
+            out.push_str(&format!(
+                "sm_phase_nanos_count{{phase=\"{label}\"}} {}\n",
+                h.count()
+            ));
         }
         out
     }
@@ -673,6 +835,171 @@ mod tests {
             doc.get("store").unwrap().get("wal_bytes").unwrap().as_num(),
             Some(160.0)
         );
+    }
+
+    #[test]
+    fn quantile_interpolates_within_buckets() {
+        // Uniform 1..=1000: without interpolation every mid-range
+        // quantile collapses to a bucket upper bound (511, 1023, …).
+        let mut h = Histogram::default();
+        for v in 1..=1000u64 {
+            h.observe(v);
+        }
+        let p50 = h.quantile(0.5);
+        assert!(
+            (495..=505).contains(&p50),
+            "p50 of uniform 1..=1000 should interpolate to ~500, got {p50}"
+        );
+        let p90 = h.quantile(0.9);
+        assert!(
+            (880..=920).contains(&p90),
+            "p90 should interpolate to ~900, got {p90}"
+        );
+        assert_eq!(h.quantile(1.0), 1000);
+
+        // Point mass: all observations equal. Within one bucket the
+        // histogram cannot see the shape, but estimates stay inside the
+        // bucket's [lower, max] range, converge to max as q → 1, and
+        // never exceed the true maximum (the old upper-bound answer
+        // overshot by up to 2×).
+        let mut point = Histogram::default();
+        for _ in 0..100 {
+            point.observe(700);
+        }
+        assert!((512..=700).contains(&point.quantile(0.5)));
+        assert!(point.quantile(0.99) > 690);
+        assert_eq!(point.quantile(1.0), 700);
+
+        // Sub-microsecond regime: values in [512, 1023] (one coarse
+        // bucket). The old behaviour returned 1023 for every quantile;
+        // interpolation recovers the within-bucket position.
+        let mut sub = Histogram::default();
+        for v in (512..1024).step_by(2) {
+            sub.observe(v);
+        }
+        let p50 = sub.quantile(0.5);
+        assert!(
+            (740..=790).contains(&p50),
+            "p50 of uniform [512,1022] should be ~767, got {p50}"
+        );
+        assert!(sub.quantile(0.01) < 600, "low quantile stays near 512");
+    }
+
+    #[test]
+    fn aggregates_phase_timings_and_recovery_failures() {
+        let m = Metrics::new();
+        m.record(&ev(EventKind::PhaseTimed {
+            phase: Phase::RebaseDelta,
+            nanos: 800,
+        }));
+        m.record(&ev(EventKind::PhaseTimed {
+            phase: Phase::RebaseDelta,
+            nanos: 1200,
+        }));
+        m.record(&ev(EventKind::PhaseTimed {
+            phase: Phase::WalFsync,
+            nanos: 50_000,
+        }));
+        m.record(&ev(EventKind::RecoveryFailed {
+            reason: "DigestMismatch".into(),
+        }));
+        let s = m.snapshot();
+        assert_eq!(s.phase_nanos.get(Phase::RebaseDelta).count(), 2);
+        assert_eq!(s.phase_nanos.get(Phase::RebaseDelta).sum(), 2000);
+        assert_eq!(s.phase_nanos.get(Phase::WalFsync).count(), 1);
+        assert_eq!(s.phase_nanos.get(Phase::RebaseGrid).count(), 0);
+        assert_eq!(s.phase_nanos.total_count(), 3);
+        assert_eq!(s.recovery_failures, 1);
+        let text = s.prometheus_text();
+        assert!(text.contains("sm_phase_nanos_count{phase=\"rebase_delta\"} 2"));
+        assert!(text.contains("sm_phase_nanos_sum{phase=\"wal_fsync\"} 50000"));
+        // The whole taxonomy is visible even where unpopulated.
+        assert!(text.contains("sm_phase_nanos_count{phase=\"wire_roundtrip\"} 0"));
+        assert!(text.contains("sm_recovery_failures_total 1"));
+        let doc = crate::json::parse(&m.json_string()).unwrap();
+        assert_eq!(
+            doc.get("phases")
+                .unwrap()
+                .get("rebase_delta")
+                .unwrap()
+                .get("count")
+                .unwrap()
+                .as_num(),
+            Some(2.0)
+        );
+    }
+
+    #[test]
+    fn label_escaping_is_exposition_safe() {
+        assert_eq!(escape_label("plain"), "plain");
+        assert_eq!(escape_label(r#"a"b"#), r#"a\"b"#);
+        assert_eq!(escape_label(r"a\b"), r"a\\b");
+        assert_eq!(escape_label("a\nb"), r"a\nb");
+        // Escaped output never contains a raw quote, backslash-ambiguity
+        // or newline that would break a series line.
+        let hostile = "x\"\\\n{}=,y";
+        let escaped = escape_label(hostile);
+        assert!(!escaped.contains('\n'));
+        let line = format!("sm_test{{k=\"{escaped}\"}} 1");
+        let parsed = parse_exposition(&line).unwrap();
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].name, "sm_test");
+    }
+
+    #[test]
+    fn exposition_metric_names_are_legal() {
+        let m = Metrics::new();
+        m.record(&ev(EventKind::TaskSpawned { spawn_nanos: 77 }));
+        m.record(&ev(EventKind::PhaseTimed {
+            phase: Phase::StateApply,
+            nanos: 900,
+        }));
+        let samples = parse_exposition(&m.prometheus_text()).expect("exposition parses");
+        assert!(!samples.is_empty());
+        for s in &samples {
+            assert!(
+                s.name
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+                "illegal metric name {:?}",
+                s.name
+            );
+            assert!(!s.name.starts_with(|c: char| c.is_ascii_digit()));
+        }
+        // Illegal names are rejected by the parser itself.
+        assert!(parse_exposition("9bad_name 1").is_err());
+        assert!(parse_exposition("bad-name 1").is_err());
+        assert!(parse_exposition("no_value").is_err());
+    }
+
+    #[test]
+    fn exposition_roundtrips_through_parser() {
+        let m = Metrics::new();
+        m.record(&ev(EventKind::TaskSpawned { spawn_nanos: 128 }));
+        m.record(&ev(EventKind::WireSent { node: 2, bytes: 99 }));
+        m.record(&ev(EventKind::PhaseTimed {
+            phase: Phase::WireEncode,
+            nanos: 333,
+        }));
+        let text = m.prometheus_text();
+        let samples = parse_exposition(&text).unwrap();
+        // Re-emit each parsed sample as a bare exposition line and parse
+        // again: scrape → parse → re-emit must be lossless.
+        let reemitted: String = samples
+            .iter()
+            .map(|s| format!("{}{} {}\n", s.name, s.labels, s.value))
+            .collect();
+        let samples2 = parse_exposition(&reemitted).unwrap();
+        assert_eq!(samples, samples2);
+        // Series identity (name + labels) is unique across the scrape.
+        let mut keys: Vec<String> = samples
+            .iter()
+            .map(|s| format!("{}{}", s.name, s.labels))
+            .collect();
+        let total = keys.len();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), total, "duplicate series in exposition");
     }
 
     #[test]

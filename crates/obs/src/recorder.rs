@@ -102,11 +102,18 @@ impl Recorder for MultiRecorder {
     }
 }
 
+/// Serialize tests touching the process-global recorder slot (shared
+/// across this crate's test modules).
+#[cfg(test)]
+pub(crate) fn test_serial() -> std::sync::MutexGuard<'static, ()> {
+    static SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    SERIAL.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicU64;
-    use std::sync::Mutex;
 
     struct Counting(AtomicU64);
 
@@ -116,12 +123,9 @@ mod tests {
         }
     }
 
-    /// Global-state tests share the one process-wide slot; serialize them.
-    static SERIAL: Mutex<()> = Mutex::new(());
-
     #[test]
     fn emit_reaches_installed_recorder_only_while_installed() {
-        let _guard = SERIAL.lock().unwrap_or_else(PoisonError::into_inner);
+        let _guard = test_serial();
         let root = TaskPath::root();
         let counting = Arc::new(Counting(AtomicU64::new(0)));
 
@@ -142,7 +146,7 @@ mod tests {
 
     #[test]
     fn emit_skips_event_construction_when_uninstalled() {
-        let _guard = SERIAL.lock().unwrap_or_else(PoisonError::into_inner);
+        let _guard = test_serial();
         uninstall();
         let root = TaskPath::root();
         emit(&root, || {
@@ -152,7 +156,7 @@ mod tests {
 
     #[test]
     fn multi_recorder_fans_out() {
-        let _guard = SERIAL.lock().unwrap_or_else(PoisonError::into_inner);
+        let _guard = test_serial();
         let a = Arc::new(Counting(AtomicU64::new(0)));
         let b = Arc::new(Counting(AtomicU64::new(0)));
         install(Arc::new(MultiRecorder::new(vec![a.clone(), b.clone()])));

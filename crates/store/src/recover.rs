@@ -57,6 +57,41 @@ impl Store {
     /// the exact rules.
     pub fn recover<D: Persist>(&self) -> Result<Option<Recovered<D>>, StoreError> {
         let t0 = sm_obs::is_enabled().then(Instant::now);
+        let result = self.recover_inner::<D>();
+        match &result {
+            Ok(recovered) => {
+                if let (Some(t0), Some(r)) = (t0, recovered.as_ref()) {
+                    let replay_nanos = t0.elapsed().as_nanos() as u64;
+                    emit(&TaskPath::root(), || EventKind::RecoveryReplayed {
+                        replayed_ops: r.replayed_ops as usize,
+                        torn_bytes: r.torn_bytes as usize,
+                        replay_nanos,
+                    });
+                    sm_obs::timer::observe(
+                        &TaskPath::root(),
+                        sm_obs::Phase::RecoveryReplay,
+                        replay_nanos,
+                    );
+                }
+            }
+            // Failed-closed recovery is an anomaly: surface it in the
+            // event stream so the flight recorder dumps its rings.
+            Err(err) => {
+                let reason = match err {
+                    StoreError::Io(e) => format!("Io: {e}"),
+                    StoreError::Corrupt(msg) => format!("Corrupt: {msg}"),
+                    StoreError::DigestMismatch { seq, .. } => {
+                        format!("DigestMismatch at seq {seq}")
+                    }
+                    StoreError::Replay { seq, .. } => format!("Replay failed at seq {seq}"),
+                };
+                emit(&TaskPath::root(), || EventKind::RecoveryFailed { reason });
+            }
+        }
+        result
+    }
+
+    fn recover_inner<D: Persist>(&self) -> Result<Option<Recovered<D>>, StoreError> {
         let mut inner = self.inner.lock();
         let snaps = list_files(&inner.dir, "snap-")?;
         let wals = list_files(&inner.dir, "wal-")?;
@@ -190,14 +225,6 @@ impl Store {
         inner.ops_since_snapshot = 0;
         inner.open_segment(last_seq + 1)?;
 
-        if let Some(t0) = t0 {
-            let replay_nanos = t0.elapsed().as_nanos() as u64;
-            emit(&TaskPath::root(), || EventKind::RecoveryReplayed {
-                replayed_ops: replayed_ops as usize,
-                torn_bytes: torn_bytes as usize,
-                replay_nanos,
-            });
-        }
         Ok(Some(Recovered {
             data,
             snapshot_seq: snap.seq,

@@ -278,6 +278,7 @@ impl Inner {
     /// Frame `record` and append it to the current segment, rotating
     /// first when the segment is full, fsyncing per policy.
     fn append(&mut self, record: &Record, seq: u64) -> Result<(), StoreError> {
+        let append_t0 = sm_obs::is_enabled().then(Instant::now);
         let payload = record.to_bytes();
         let mut framed = Vec::with_capacity(payload.len() + sm_net::frame::HEADER_LEN);
         encode_frame(payload.as_slice(), &mut framed);
@@ -320,6 +321,17 @@ impl Inner {
             fsynced: fsync_due,
             fsync_nanos,
         });
+        if let Some(t0) = append_t0 {
+            let total = t0.elapsed().as_nanos() as u64;
+            // The fsync is reported as its own phase; the append phase
+            // covers framing + write without it.
+            sm_obs::timer::observe(
+                &TaskPath::root(),
+                sm_obs::Phase::WalAppend,
+                total.saturating_sub(fsync_nanos),
+            );
+            sm_obs::timer::observe(&TaskPath::root(), sm_obs::Phase::WalFsync, fsync_nanos);
+        }
         Ok(())
     }
 
@@ -406,6 +418,11 @@ impl Inner {
                 bytes: framed.len(),
                 snapshot_nanos,
             });
+            sm_obs::timer::observe(
+                &TaskPath::root(),
+                sm_obs::Phase::SnapshotWrite,
+                snapshot_nanos,
+            );
         }
         Ok(())
     }

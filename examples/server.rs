@@ -22,8 +22,21 @@
 //! ```text
 //! cargo run --example server
 //! ```
+//!
+//! Set `SM_TELEMETRY=1` to additionally run the live telemetry plane:
+//! the full recorder stack is installed, an [`ObsServer`] serves
+//! `/metrics`, `/flight` and `/health` on port 9600 of the same
+//! in-memory network the clients use, and the example self-scrapes all
+//! three routes while the server is still up, printing marker lines the
+//! CI smoke job greps for.
+
+use std::sync::Arc;
 
 use spawn_merge::net::{Network, Stream};
+use spawn_merge::obs::{
+    self, http_get, DeterminismAuditor, FlightRecorder, Metrics, MultiRecorder, ObsServer,
+    Recorder, TelemetrySources,
+};
 use spawn_merge::{run, MMap, SyncError, TaskAbort, TaskCtx, TaskResult};
 
 type Db = MMap<String, String>;
@@ -124,8 +137,59 @@ fn client(net: &Network, i: usize) -> std::thread::JoinHandle<Vec<String>> {
     })
 }
 
+/// Port of the opt-in live telemetry endpoint (`SM_TELEMETRY=1`).
+const TELEMETRY_PORT: u16 = 9600;
+
+/// Install the full recorder plane and serve it on `net`.
+fn start_telemetry(net: &Network) -> (ObsServer, Arc<Metrics>) {
+    let mut sources = TelemetrySources::named("server-example");
+    let metrics = Arc::new(Metrics::new());
+    sources.metrics = Some(metrics.clone());
+    sources.flight = Some(Arc::new(FlightRecorder::default()));
+    sources.auditor = Some(Arc::new(DeterminismAuditor::new()));
+    let sinks: Vec<Arc<dyn Recorder>> = vec![
+        metrics.clone() as Arc<dyn Recorder>,
+        sources.flight.clone().unwrap() as Arc<dyn Recorder>,
+        sources.auditor.clone().unwrap() as Arc<dyn Recorder>,
+    ];
+    obs::install(Arc::new(MultiRecorder::new(sinks)));
+    let server = ObsServer::start(net, TELEMETRY_PORT, sources).expect("telemetry port free");
+    (server, metrics)
+}
+
+/// Self-scrape all three routes while the endpoint is live, printing the
+/// marker lines the CI smoke job greps for.
+fn scrape_telemetry(net: &Network) {
+    let (status, metrics) = http_get(net, TELEMETRY_PORT, "/metrics").expect("scrape /metrics");
+    let spawned = metrics
+        .lines()
+        .find_map(|l| l.strip_prefix("sm_tasks_spawned_total "))
+        .and_then(|v| v.trim().parse::<f64>().ok())
+        .expect("spawned counter exposed");
+    let nonzero_phases = metrics
+        .lines()
+        .filter(|l| {
+            l.starts_with("sm_phase_nanos_count{")
+                && l.rsplit_once(' ').is_some_and(|(_, v)| v.trim() != "0")
+        })
+        .count();
+    assert!(status == 200 && spawned > 0.0 && nonzero_phases > 0);
+    println!("TELEMETRY metrics status={status} spawned={spawned} nonzero_phases={nonzero_phases}");
+
+    let (status, flight) = http_get(net, TELEMETRY_PORT, "/flight").expect("scrape /flight");
+    assert!(status == 200 && flight.contains("\"retained\""));
+    println!("TELEMETRY flight status={status} bytes={}", flight.len());
+
+    let (status, health) = http_get(net, TELEMETRY_PORT, "/health").expect("scrape /health");
+    assert!(status == 200 && health.contains("\"ok\":true") && health.contains("\"digest\""));
+    println!("TELEMETRY health status={status} replica=server-example");
+}
+
 fn main() {
     let net = Network::new();
+    let telemetry = std::env::var("SM_TELEMETRY")
+        .is_ok_and(|v| v != "0")
+        .then(|| start_telemetry(&net));
     let clients: Vec<_> = (0..CLIENTS).map(|i| client(&net, i)).collect();
 
     let (db, served) = run(Db::new(), |ctx| {
@@ -162,4 +226,12 @@ fn main() {
     }
     assert_eq!(db.len(), CLIENTS, "one key per client, poison key rejected");
     assert!(!db.contains_key(&FORBIDDEN_KEY.to_string()));
+
+    // With SM_TELEMETRY on, the endpoint outlives the run: scrape it
+    // live, then wind it down.
+    if let Some((server, _metrics)) = telemetry {
+        scrape_telemetry(&net);
+        server.stop();
+        obs::uninstall();
+    }
 }

@@ -6,27 +6,38 @@
 //! cargo run --release --example tracing
 //! ```
 //!
-//! The run drives the paper's network simulation (listing 4) with three
+//! The run drives the paper's network simulation (listing 4) with four
 //! recorders installed at once: a [`ChromeTracer`] (timeline), a
-//! [`Metrics`] aggregator (counters + histograms), and a
+//! [`Metrics`] aggregator (counters + histograms), a
 //! [`DeterminismAuditor`] (content hash of the deterministic event
-//! stream). The trace JSON is validated by round-tripping it through a
-//! parser before it is written.
+//! stream), and a [`FlightRecorder`] black box with an anomaly dump
+//! directory armed. The trace JSON is validated by round-tripping it
+//! through a parser before it is written; afterwards a second, tiny run
+//! provokes a merge rejection to show the flight recorder dumping its
+//! rings to disk on its own.
 
 use std::sync::Arc;
 
 use spawn_merge::netsim::{run_spawn_merge, Routing, SimConfig};
-use spawn_merge::obs::{self, ChromeTracer, DeterminismAuditor, Metrics, MultiRecorder};
+use spawn_merge::obs::{
+    self, ChromeTracer, DeterminismAuditor, FlightRecorder, Metrics, MultiRecorder,
+};
 use spawn_merge::sha1::to_hex;
+use spawn_merge::{run, MCounter};
 
 fn main() {
     let tracer = Arc::new(ChromeTracer::new());
     let metrics = Arc::new(Metrics::new());
     let auditor = Arc::new(DeterminismAuditor::new());
+    std::fs::create_dir_all("target").ok();
+    let anomaly_dir = "target/tracing-example-anomalies";
+    let _ = std::fs::remove_dir_all(anomaly_dir);
+    let flight = Arc::new(FlightRecorder::default().with_anomaly_dir(anomaly_dir));
     obs::install(Arc::new(MultiRecorder::new(vec![
         tracer.clone(),
         metrics.clone(),
         auditor.clone(),
+        flight.clone(),
     ])));
 
     // A scaled-down deterministic simulation: every run of this program
@@ -40,7 +51,39 @@ fn main() {
         ..SimConfig::default()
     };
     let result = run_spawn_merge(&cfg);
+
+    // The flight recorder's reason to exist: when an anomaly strikes,
+    // the black box dumps its rings without anyone asking. Provoke a
+    // merge rejection (a child violating the parent's merge condition)
+    // and watch the dump land.
+    let (_, ()) = run(MCounter::new(0), |ctx| {
+        ctx.spawn(|child| {
+            child.data_mut().add(50); // violates the condition below
+            let _ = child.sync(); // rejected -> MergeRejected anomaly
+            child.data_mut().add(-45);
+            child.sync()?;
+            Ok(())
+        });
+        ctx.merge_all_with(&|d: &MCounter| d.get() < 10);
+        ctx.merge_all();
+        ctx.merge_all();
+    });
     obs::uninstall();
+
+    assert!(
+        flight.anomaly_dump_count() >= 1,
+        "the rejection must auto-dump the flight rings"
+    );
+    let dump_files: Vec<_> = std::fs::read_dir(anomaly_dir)
+        .expect("anomaly dir")
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .collect();
+    println!(
+        "flight recorder    : {} events in rings, anomaly auto-dump -> {}",
+        flight.recorded(),
+        dump_files[0].display()
+    );
 
     println!(
         "simulated {} hosts / {} hops in {:?} over {} merge rounds",
