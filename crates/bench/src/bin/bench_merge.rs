@@ -12,23 +12,51 @@
 //! Final scenarios time the full `MList::merge` entry point end to end
 //! and report its delta/grid rebase split.
 //!
+//! Two end-of-file scenarios exercise the PR-7 parallel merge engine
+//! through the full runtime: a 1000-child `merge_all` timed with staging
+//! off (the sequential creation-order fold) and on (tree-reduction
+//! staging on the pool), and a field-parallel composite merge through
+//! `Mergeable::merge_with_exec`.
+//!
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p sm-bench --bin bench_merge [-- --quick] [-- --out PATH]
+//! cargo run --release -p sm-bench --bin bench_merge [-- --quick] [-- --out PATH] [-- --assert-floors]
 //! ```
 //!
 //! `--quick` reduces repetitions for CI smoke runs; `--out` overrides the
-//! default output path `BENCH_merge.json`.
+//! default output path `BENCH_merge.json`; `--assert-floors` exits
+//! non-zero if any scenario's speedup falls below its recorded floor
+//! (halved under `--quick` for timing noise), so CI catches a change
+//! that silently pessimizes a fast path.
 
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
+use sm_core::{run_with_pool, set_parallel_merge_lanes, set_parallel_merge_min_children, Pool};
+use sm_mergeable::parallel::StageCtx;
 use sm_mergeable::{MList, Mergeable};
 use sm_ot::compose::compact;
 use sm_ot::delta::rebase_delta;
 use sm_ot::list::ListOp;
 use sm_ot::seq::rebase;
+
+/// Speedup floors per scenario: a release run below its floor means a
+/// fast path regressed. `scattered_mixed_interleaved` is the honest grid
+/// fallback stuck at ~1.00×; its floor guards against the parallel-merge
+/// machinery pessimizing the path it does not take.
+const FLOORS: &[(&str, f64)] = &[
+    ("contiguous_inserts_500x500", 100.0),
+    ("set_churn_500_vs_inserts_200", 20.0),
+    ("scattered_inserts_100x100", 5.0),
+    ("scattered_inserts_500x500", 10.0),
+    ("scattered_mixed_interleaved", 0.8),
+    ("scattered_mixed_disjoint_halves", 4.0),
+    ("parallel_merge_all_1000", 4.0),
+    ("field_parallel_struct_merge", 0.5),
+];
 
 /// Best-of-`iters` wall time of `f`, in nanoseconds.
 fn time_ns<R>(iters: usize, mut f: impl FnMut() -> R) -> u64 {
@@ -177,9 +205,53 @@ fn scenarios() -> Vec<Scenario> {
     ]
 }
 
+/// One timed `merge_all` over a scattered-insert fan-out: `children`
+/// tasks each record `ops_per_child` non-fusing inserts, every completion
+/// is allowed to land, and only the `merge_all` call is timed. Returns
+/// (merge nanoseconds, final state, pool peak workers).
+fn fanout_merge_all(children: usize, ops_per_child: usize) -> (u64, Vec<u64>, u64) {
+    let pool = Pool::new();
+    let stats_pool = pool.clone();
+    let done = Arc::new(AtomicUsize::new(0));
+    let done_in = Arc::clone(&done);
+    let (list, merge_ns) = run_with_pool(MList::from_vec((0..64u64).collect()), pool, move |ctx| {
+        for i in 0..children as u64 {
+            let done = Arc::clone(&done_in);
+            ctx.spawn(move |c| {
+                for j in 0..ops_per_child as u64 {
+                    let len = c.data().len();
+                    // Strided positions: consecutive inserts never
+                    // touch, so record-time fusion cannot collapse
+                    // the log and every merge rebases real spans.
+                    let at = ((i * 7 + j * 13) as usize) % (len + 1);
+                    c.data_mut().insert(at, i * 1000 + j);
+                }
+                done.fetch_add(1, Ordering::SeqCst);
+                Ok(())
+            });
+        }
+        // One committed parent op after the forks: the realistic
+        // shape (the parent works too), and what lets the staged
+        // fold qualify for the delta lane.
+        ctx.data_mut().push(u64::MAX);
+        // Let every completion event land so the timer measures the
+        // merge fold, not child compute (stragglers would merge
+        // sequentially either way, blurring the comparison).
+        while done.load(Ordering::SeqCst) < children {
+            std::thread::yield_now();
+        }
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        let t = Instant::now();
+        ctx.merge_all();
+        t.elapsed().as_nanos() as u64
+    });
+    (merge_ns, list.to_vec(), stats_pool.stats().peak_workers)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let assert_floors = args.iter().any(|a| a == "--assert-floors");
     let out_path = args
         .iter()
         .position(|a| a == "--out")
@@ -187,6 +259,7 @@ fn main() {
         .cloned()
         .unwrap_or_else(|| "BENCH_merge.json".to_string());
     let iters = if quick { 3 } else { 25 };
+    let mut speedups: Vec<(String, f64)> = Vec::new();
 
     let mut json = String::from("{\n  \"bench\": \"merge\",\n");
     let _ = writeln!(json, "  \"quick\": {quick},");
@@ -260,6 +333,7 @@ fn main() {
             ic.len() * cc.len(),
             delta_spans,
         );
+        speedups.push((sc.name.to_string(), speedup));
     }
     json.push_str("\n  ],\n");
 
@@ -339,12 +413,128 @@ fn main() {
         stats.grid_rebases,
         stats.delta_spans,
     );
+    json.push_str(",\n");
+
+    // Tree-reduction merge_all: the same 1000-child scattered fan-out
+    // folded sequentially (staging disabled) and staged on the pool. The
+    // sequential fold refolds the whole committed suffix per child; the
+    // staged fold builds the committed composite incrementally across
+    // reduction chunks — the win is algorithmic first, threaded second.
+    let children = if quick { 200 } else { 1000 };
+    let ops_per_child = 4;
+    set_parallel_merge_min_children(None);
+    let (seq_ns, seq_state, _) = fanout_merge_all(children, ops_per_child);
+    set_parallel_merge_min_children(Some(8));
+    set_parallel_merge_lanes(8);
+    let (par_ns, par_state, peak_workers) = fanout_merge_all(children, ops_per_child);
+    set_parallel_merge_min_children(Some(8));
+    set_parallel_merge_lanes(0);
+    assert_eq!(
+        seq_state, par_state,
+        "staged merge_all diverged from the sequential fold"
+    );
+    let par_speedup = seq_ns as f64 / par_ns.max(1) as f64;
+    eprintln!(
+        "parallel_merge_all ({children} children x {ops_per_child} ops): \
+         sequential {seq_ns} ns -> staged {par_ns} ns ({par_speedup:.2}x, peak {peak_workers} workers)"
+    );
+    let _ = writeln!(
+        json,
+        "  \"parallel_merge_all\": {{\"name\": \"parallel_merge_all_1000\", \
+         \"children\": {children}, \"ops_per_child\": {ops_per_child}, \
+         \"sequential_ns\": {seq_ns}, \"staged_ns\": {par_ns}, \"speedup\": {par_speedup:.2}, \
+         \"lanes\": 8, \"peak_workers\": {peak_workers}, \"states_identical\": true}},"
+    );
+    speedups.push(("parallel_merge_all_1000".to_string(), par_speedup));
+
+    // Field-parallel composite merge: a two-field tuple where each field
+    // carries heavy scattered divergence, merged with the plain
+    // field-by-field fold and with `merge_with_exec` shipping each field
+    // to its own pool worker. On one core the worker hop is pure
+    // overhead (recorded honestly); with idle cores the fields rebase
+    // concurrently.
+    let mut parent = (
+        MList::from_vec((0..64u64).collect()),
+        MList::from_vec((0..64u64).collect()),
+    );
+    let mut child = parent.fork();
+    for (i, p) in lcg_positions(400, 64).into_iter().enumerate() {
+        child.0.insert(p, i as u64);
+        child.1.insert(63 - p, i as u64);
+        parent.0.insert(63 - p, 1000 + i as u64);
+        parent.1.insert(p, 1000 + i as u64);
+    }
+    let field_seq_ns = time_ns(iters, || {
+        let mut p = parent.clone();
+        p.merge(&child).unwrap()
+    });
+    let pool = Pool::new();
+    let exec_pool = pool.clone();
+    let ctx = StageCtx {
+        exec: Arc::new(move |job| exec_pool.execute(job)),
+        lanes: 2,
+        field_min_ops: 1,
+        timing: false,
+    };
+    let field_par_ns = time_ns(iters, || {
+        let mut p = parent.clone();
+        p.merge_with_exec(&child, &ctx).unwrap()
+    });
+    {
+        let mut seq = parent.clone();
+        seq.merge(&child).unwrap();
+        let mut par = parent.clone();
+        par.merge_with_exec(&child, &ctx).unwrap();
+        assert_eq!(
+            (seq.0.to_vec(), seq.1.to_vec()),
+            (par.0.to_vec(), par.1.to_vec()),
+            "field-parallel merge diverged from the sequential field fold"
+        );
+    }
+    let field_speedup = field_seq_ns as f64 / field_par_ns.max(1) as f64;
+    eprintln!(
+        "field_parallel_struct_merge (2 fields x 400 ops): \
+         sequential {field_seq_ns} ns -> field-parallel {field_par_ns} ns ({field_speedup:.2}x)"
+    );
+    let _ = writeln!(
+        json,
+        "  \"field_parallel\": {{\"name\": \"field_parallel_struct_merge\", \"fields\": 2, \
+         \"ops_per_field\": 400, \"sequential_ns\": {field_seq_ns}, \
+         \"parallel_ns\": {field_par_ns}, \"speedup\": {field_speedup:.2}, \
+         \"states_identical\": true}}"
+    );
+    speedups.push(("field_parallel_struct_merge".to_string(), field_speedup));
     json.push_str("}\n");
 
     match std::fs::write(&out_path, &json) {
         Ok(()) => eprintln!("bench_merge: wrote {out_path}"),
         Err(e) => {
             eprintln!("bench_merge: could not write {out_path}: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    // The bench-smoke guard, checked after the JSON lands so CI keeps the
+    // artifact from a failing run: every recorded scenario must clear its
+    // speedup floor (halved under --quick: fewer reps, more noise).
+    if assert_floors {
+        let relax = if quick { 0.5 } else { 1.0 };
+        let mut failed = false;
+        for (name, floor) in FLOORS {
+            let Some((_, got)) = speedups.iter().find(|(n, _)| n == name) else {
+                eprintln!("floor check: scenario {name} missing from this run");
+                failed = true;
+                continue;
+            };
+            let bar = floor * relax;
+            if *got < bar {
+                eprintln!("floor check FAILED: {name} at {got:.2}x, floor {bar:.2}x");
+                failed = true;
+            } else {
+                eprintln!("floor check ok: {name} at {got:.2}x (floor {bar:.2}x)");
+            }
+        }
+        if failed {
             std::process::exit(1);
         }
     }

@@ -20,8 +20,22 @@
 //! `merge_all` processes exactly one event per live child per call — which
 //! is what makes a `for { MergeAll() }` loop over syncing children proceed
 //! in deterministic rounds (the simulation pattern of listing 4).
+//!
+//! # Parallel staging
+//!
+//! When an unconditional `merge_all` finds a large prefix of children with
+//! clean completions already in hand, it stages their rebases on the
+//! worker pool (see [`sm_mergeable::parallel`]) and then *commits* the
+//! pre-rebased runs in creation order — the schedule of observable
+//! effects, the merged state, and the determinism-auditor digests are
+//! bit-identical to the sequential fold; only wall-clock changes. The
+//! sequential path remains for conditional merges, syncs, sinks, small
+//! fan-outs, and the `serial-merge` escape-hatch feature, and debug
+//! builds re-derive every staged run sequentially at commit and assert
+//! equality (see `Versioned::commit_staged`).
 
 use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
 use sm_mergeable::{MergeStats, Mergeable};
@@ -29,6 +43,66 @@ use sm_obs::{emit, EventKind, MergeOpStats, Phase};
 
 use crate::error::AbortReason;
 use crate::task::{Event, EventBody, SyncReply, TaskCtx, TaskHandle, TaskId};
+
+#[cfg(not(feature = "serial-merge"))]
+use sm_mergeable::parallel::StageCtx;
+use sm_mergeable::parallel::StagedCommit;
+
+/// `usize::MAX` sentinel = disabled.
+static PAR_MIN_CHILDREN: AtomicUsize = AtomicUsize::new(8);
+/// 0 = auto (twice the machine's available parallelism, min 2).
+static PAR_LANES: AtomicUsize = AtomicUsize::new(0);
+/// `usize::MAX` sentinel = disabled.
+static PAR_FIELD_MIN_OPS: AtomicUsize = AtomicUsize::new(512);
+
+/// Set the minimum number of simultaneously-ready children an
+/// unconditional `merge_all` needs before staging the batch on the pool;
+/// `None` disables parallel staging entirely (every merge folds
+/// sequentially, as if built with the `serial-merge` feature).
+pub fn set_parallel_merge_min_children(min: Option<usize>) {
+    PAR_MIN_CHILDREN.store(min.unwrap_or(usize::MAX).max(1), Ordering::Relaxed);
+}
+
+/// Current staging threshold; `None` when parallel staging is disabled.
+pub fn parallel_merge_min_children() -> Option<usize> {
+    match PAR_MIN_CHILDREN.load(Ordering::Relaxed) {
+        usize::MAX => None,
+        n => Some(n),
+    }
+}
+
+/// Set the number of parallel reduction chunks the delta staging lane
+/// splits a batch into; `0` restores the default (auto: sized to the
+/// machine's available parallelism).
+pub fn set_parallel_merge_lanes(lanes: usize) {
+    PAR_LANES.store(lanes, Ordering::Relaxed);
+}
+
+/// The resolved reduction-lane count (≥ 1).
+pub fn parallel_merge_lanes() -> usize {
+    match PAR_LANES.load(Ordering::Relaxed) {
+        0 => std::thread::available_parallelism()
+            .map(|n| n.get() * 2)
+            .unwrap_or(2)
+            .max(2),
+        n => n,
+    }
+}
+
+/// Set the minimum child-side pending-op count for a top-level field of a
+/// composite (tuple / `mergeable_struct!`) to be rebased on its own
+/// worker during a single merge; `None` disables field parallelism.
+pub fn set_field_parallel_min_ops(min: Option<usize>) {
+    PAR_FIELD_MIN_OPS.store(min.unwrap_or(usize::MAX).max(1), Ordering::Relaxed);
+}
+
+/// Current field-parallelism threshold; `None` when disabled.
+pub fn field_parallel_min_ops() -> Option<usize> {
+    match PAR_FIELD_MIN_OPS.load(Ordering::Relaxed) {
+        usize::MAX => None,
+        n => Some(n),
+    }
+}
 
 /// What happened to one child during a merge call.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -101,20 +175,21 @@ impl<D: Mergeable> TaskCtx<D> {
     /// merged, handed a fresh fork, and stay live. One event per child per
     /// call.
     pub fn merge_all(&mut self) -> MergeReport {
-        self.merge_all_inner(None, &|_| true)
+        self.merge_all_inner(None, None)
     }
 
     /// [`merge_all`](Self::merge_all) with a merge condition.
     pub fn merge_all_with(&mut self, condition: Condition<'_, D>) -> MergeReport {
-        self.merge_all_inner(None, condition)
+        self.merge_all_inner(None, Some(condition))
     }
 
     /// **MergeAllFromSet**: wait for and merge exactly the children in
     /// `set`, in **argument order** — deterministic. Handles of already
-    /// retired children are skipped.
+    /// retired children are skipped, and a handle that appears more than
+    /// once counts once, at its first position (a duplicate must not
+    /// consume a second event from the same child).
     pub fn merge_all_from_set(&mut self, set: &[&TaskHandle]) -> MergeReport {
-        let ids: Vec<TaskId> = set.iter().map(|h| h.id()).collect();
-        self.merge_all_inner(Some(ids), &|_| true)
+        self.merge_all_inner(Some(dedup_handle_ids(set)), None)
     }
 
     /// [`merge_all_from_set`](Self::merge_all_from_set) with a merge
@@ -124,8 +199,7 @@ impl<D: Mergeable> TaskCtx<D> {
         set: &[&TaskHandle],
         condition: Condition<'_, D>,
     ) -> MergeReport {
-        let ids: Vec<TaskId> = set.iter().map(|h| h.id()).collect();
-        self.merge_all_inner(Some(ids), condition)
+        self.merge_all_inner(Some(dedup_handle_ids(set)), Some(condition))
     }
 
     /// **MergeAny**: wait for the first event from *any* live child and
@@ -165,7 +239,7 @@ impl<D: Mergeable> TaskCtx<D> {
     fn merge_all_inner(
         &mut self,
         subset: Option<Vec<TaskId>>,
-        cond: Condition<'_, D>,
+        cond: Option<Condition<'_, D>>,
     ) -> MergeReport {
         self.adopt_children();
         let ids: Vec<TaskId> = match subset {
@@ -178,12 +252,148 @@ impl<D: Mergeable> TaskCtx<D> {
                 .collect(),
         };
         let mut report = MergeReport::default();
-        for id in ids {
-            let ev = self.next_event_for(id);
-            report.children.push(self.handle_event(ev, cond));
+        // Unconditional merges may stage a ready prefix of the batch on
+        // the pool; the committed schedule is the sequential one either
+        // way, so a condition (which must see each child *after* every
+        // earlier sibling merged) forces the plain fold.
+        #[cfg(not(feature = "serial-merge"))]
+        let consumed = if cond.is_none() {
+            self.merge_all_staged(&ids, &mut report)
+        } else {
+            0
+        };
+        #[cfg(feature = "serial-merge")]
+        let consumed = 0;
+        let default_cond: &dyn Fn(&D) -> bool = &|_| true;
+        let cond = cond.unwrap_or(default_cond);
+        for id in &ids[consumed..] {
+            let ev = self.next_event_for(*id);
+            report.children.push(self.handle_event(ev, cond, None));
         }
         self.gc_history();
         report
+    }
+
+    /// Stage the eligible ready prefix of `ids` on the pool and commit
+    /// the pre-rebased runs in creation order. Returns how many leading
+    /// ids were fully processed (their reports are appended); the caller
+    /// folds the rest sequentially. Never blocks on an event: staging
+    /// only covers children whose completions have already arrived.
+    #[cfg(not(feature = "serial-merge"))]
+    fn merge_all_staged(&mut self, ids: &[TaskId], report: &mut MergeReport) -> usize {
+        let min = PAR_MIN_CHILDREN.load(Ordering::Relaxed);
+        if ids.len() < min || self.sink.is_some() || self.data.is_none() {
+            // A durability sink journals (and may seal) after every
+            // commit, which moves the fuse barrier mid-batch — the staged
+            // replica cannot mirror that, so sinks always fold
+            // sequentially.
+            return 0;
+        }
+        while let Ok(ev) = self.events_rx.try_recv() {
+            self.pending.push_back(ev);
+        }
+        // The stageable prefix: children (in merge order) whose event is
+        // a clean completion-with-data and whose abort flag is down. The
+        // first child missing either condition ends the prefix — its
+        // siblings-after must observe its (possibly rejected) merge
+        // through the sequential path.
+        let mut batch: Vec<Event<D>> = Vec::new();
+        for id in ids {
+            let Some(pos) = self.pending.iter().position(|e| e.child == *id) else {
+                break;
+            };
+            let aborted = self
+                .children
+                .iter()
+                .find(|c| c.id == *id)
+                .is_none_or(|c| c.abort.load(std::sync::atomic::Ordering::SeqCst));
+            let clean = matches!(
+                &self.pending[pos].body,
+                EventBody::Done {
+                    data: Some(_),
+                    outcome: crate::task::TaskOutcome::Completed,
+                }
+            );
+            if aborted || !clean {
+                break;
+            }
+            batch.push(self.pending.remove(pos).expect("position is valid"));
+        }
+        if batch.len() < min {
+            // Too small to pay for staging: hand the events back for the
+            // sequential walk (`next_event_for` checks `pending` first).
+            for ev in batch.into_iter().rev() {
+                self.pending.push_front(ev);
+            }
+            return 0;
+        }
+        let n = batch.len();
+        let span = sm_obs::timer::start(Phase::MergeParallel);
+        let ctx = self.stage_ctx();
+        let stage = {
+            let kids: Vec<&D> = batch
+                .iter()
+                .map(|ev| match &ev.body {
+                    EventBody::Done { data: Some(d), .. } => d,
+                    _ => unreachable!("batch holds only completions with data"),
+                })
+                .collect();
+            self.data().stage_merge_all(&kids, &ctx)
+        };
+        let default_cond: &dyn Fn(&D) -> bool = &|_| true;
+        let mut stage = match stage {
+            // No parallel seam in this data type: fold the drained
+            // events sequentially — they are already in hand.
+            None => {
+                for ev in batch {
+                    report
+                        .children
+                        .push(self.handle_event(ev, default_cond, None));
+                }
+                return n;
+            }
+            Some(stage) => {
+                let profile = stage.profile();
+                emit(&self.path, || EventKind::MergeStaged {
+                    children: n,
+                    delta_lanes: profile.delta_leaves,
+                    serial_lanes: profile.serial_leaves,
+                    chunks: profile.chunks,
+                });
+                Some(stage)
+            }
+        };
+        for (index, ev) in batch.into_iter().enumerate() {
+            let merged = match stage.as_mut() {
+                Some(s) => self.handle_event(ev, default_cond, Some((s.as_mut(), index))),
+                None => self.handle_event(ev, default_cond, None),
+            };
+            if !merged.disposition.is_merged() {
+                // An abort flag raced in after eligibility: this child's
+                // changes were dismissed, so every later staged run (which
+                // assumed they committed) is stale. Finish sequentially.
+                stage = None;
+            }
+            report.children.push(merged);
+        }
+        if let Some(span) = span {
+            span.finish(&self.path);
+        }
+        n
+    }
+
+    /// The staging environment for this task: jobs run on the family's
+    /// worker pool (which grows on demand, so staging can never deadlock
+    /// behind blocked tasks).
+    #[cfg(not(feature = "serial-merge"))]
+    fn stage_ctx(&self) -> StageCtx {
+        let pool = self.family.pool.clone();
+        StageCtx {
+            exec: std::sync::Arc::new(move |job: sm_mergeable::parallel::Job| pool.execute(job)),
+            lanes: parallel_merge_lanes(),
+            field_min_ops: PAR_FIELD_MIN_OPS.load(Ordering::Relaxed),
+            timing: sm_obs::is_enabled(),
+        }
     }
 
     fn merge_any_inner(
@@ -206,7 +416,7 @@ impl<D: Mergeable> TaskCtx<D> {
             }
             if let Some(pos) = self.pending.iter().position(|e| targets.contains(&e.child)) {
                 let ev = self.pending.remove(pos).expect("position is valid");
-                let merged = self.handle_event(ev, cond);
+                let merged = self.handle_event(ev, cond, None);
                 self.gc_history();
                 return Some(merged);
             }
@@ -215,7 +425,7 @@ impl<D: Mergeable> TaskCtx<D> {
                 .recv()
                 .expect("event channel cannot disconnect while the context holds its family");
             if targets.contains(&ev.child) {
-                let merged = self.handle_event(ev, cond);
+                let merged = self.handle_event(ev, cond, None);
                 self.gc_history();
                 return Some(merged);
             }
@@ -234,7 +444,7 @@ impl<D: Mergeable> TaskCtx<D> {
             return None;
         }
         let ev = self.next_event_for(id);
-        let merged = self.handle_event(ev, &|_| true);
+        let merged = self.handle_event(ev, &|_| true, None);
         self.gc_history();
         Some(merged)
     }
@@ -285,8 +495,15 @@ impl<D: Mergeable> TaskCtx<D> {
         }
     }
 
-    /// Merge (or reject) one child event.
-    fn handle_event(&mut self, ev: Event<D>, cond: Condition<'_, D>) -> MergedChild {
+    /// Merge (or reject) one child event. `staged` carries this child's
+    /// pre-rebased run from a parallel batch (and its batch index); the
+    /// sequential path passes `None`.
+    fn handle_event(
+        &mut self,
+        ev: Event<D>,
+        cond: Condition<'_, D>,
+        staged: Option<(&mut dyn StagedCommit<D>, usize)>,
+    ) -> MergedChild {
         let pos = self
             .children
             .iter()
@@ -306,7 +523,8 @@ impl<D: Mergeable> TaskCtx<D> {
                             Disposition::AbortedExternally
                         } else if let Some(child_data) = data {
                             if cond(&child_data) {
-                                let stats = self.merge_child(&child_data, &child_path, false);
+                                let stats =
+                                    self.merge_child(&child_data, &child_path, false, staged);
                                 Disposition::Merged(stats)
                             } else {
                                 Disposition::Rejected
@@ -345,7 +563,7 @@ impl<D: Mergeable> TaskCtx<D> {
                     };
                 }
                 if cond(&data) {
-                    let stats = self.merge_child(&data, &child_path, true);
+                    let stats = self.merge_child(&data, &child_path, true, None);
                     let fresh = self.data().fork();
                     // The child continues from this fresh fork: its old
                     // fork bases no longer pin the history.
@@ -441,20 +659,26 @@ impl<D: Mergeable> TaskCtx<D> {
 
     /// Perform the actual OT merge of one child's data, emitting the
     /// `MergeStarted` / `MergeFinished` observability pair around it.
+    /// With `staged` the child's rebased run was pre-computed on the pool
+    /// and is committed here — same result, same stats, same events as
+    /// the plain merge.
     fn merge_child(
         &mut self,
         child_data: &D,
         child_path: &sm_obs::TaskPath,
         child_continues: bool,
+        staged: Option<(&mut dyn StagedCommit<D>, usize)>,
     ) -> MergeStats {
         emit(&self.path, || EventKind::MergeStarted {
             child: child_path.clone(),
         });
         let merge_t0 = sm_obs::is_enabled().then(Instant::now);
-        let stats = self
-            .data_mut()
-            .merge(child_data)
-            .expect("merging a forked child cannot fail");
+        let stats = match staged {
+            Some((stage, index)) => stage
+                .commit(self.data_mut(), child_data, index)
+                .expect("merging a forked child cannot fail"),
+            None => self.merge_unstaged(child_data),
+        };
         if let Some(t0) = merge_t0 {
             let merge_nanos = t0.elapsed().as_nanos() as u64;
             let oplog_len = self.data().pending_ops();
@@ -492,6 +716,32 @@ impl<D: Mergeable> TaskCtx<D> {
         }
         stats
     }
+
+    /// The plain (non-staged) merge, dispatching large composite children
+    /// to the field-parallel `merge_with_exec` path when enabled.
+    fn merge_unstaged(&mut self, child_data: &D) -> MergeStats {
+        #[cfg(not(feature = "serial-merge"))]
+        if child_data.pending_ops() >= PAR_FIELD_MIN_OPS.load(Ordering::Relaxed) {
+            let ctx = self.stage_ctx();
+            return self
+                .data_mut()
+                .merge_with_exec(child_data, &ctx)
+                .expect("merging a forked child cannot fail");
+        }
+        self.data_mut()
+            .merge(child_data)
+            .expect("merging a forked child cannot fail")
+    }
+}
+
+/// The ids of `set` in argument order with repeats dropped: each handle
+/// names one child event per call no matter how often it is passed.
+fn dedup_handle_ids(set: &[&TaskHandle]) -> Vec<TaskId> {
+    let mut seen = BTreeSet::new();
+    set.iter()
+        .map(|h| h.id())
+        .filter(|id| seen.insert(*id))
+        .collect()
 }
 
 /// Outcome of folding live children's fork marks into a GC watermark.

@@ -47,10 +47,33 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+/// Implements [`Mergeable::stage_merge_all`] for a façade wrapping a
+/// single `inner: Versioned<_>` log by projecting the batch onto that
+/// log and staging it on the named lane (`stage_versioned_delta` for
+/// sequence algebras, `stage_versioned` for everything else).
+macro_rules! stage_versioned_inner {
+    ($lane:ident) => {
+        fn stage_merge_all(
+            &self,
+            children: &[&Self],
+            ctx: &crate::parallel::StageCtx,
+        ) -> Option<Box<dyn crate::parallel::StagedCommit<Self>>> {
+            let inners: Vec<_> = children.iter().map(|c| &c.inner).collect();
+            let stage = crate::parallel::$lane(&self.inner, &inners, ctx)?;
+            Some(crate::parallel::map_stage(
+                |m: &Self| &m.inner,
+                |m: &mut Self| &mut m.inner,
+                stage,
+            ))
+        }
+    };
+}
+
 mod cmap;
 mod counter;
 mod list;
 mod map;
+pub mod parallel;
 pub mod persist;
 mod queue;
 mod register;
@@ -118,6 +141,36 @@ pub trait Mergeable: Clone + Send + 'static {
         let _ = (watermark, cursor);
         0
     }
+
+    /// Stage a whole batch of sibling merges for off-thread pre-rebasing
+    /// (see [`parallel`]): return a [`parallel::StagedCommit`] whose
+    /// per-child commits are bit-identical to calling
+    /// [`Mergeable::merge`] on the children in order, or `None` when the
+    /// structure has no parallel seam — the caller then merges
+    /// sequentially. The default is `None`; the bundled structures and
+    /// the composite derives override it.
+    fn stage_merge_all(
+        &self,
+        children: &[&Self],
+        ctx: &parallel::StageCtx,
+    ) -> Option<Box<dyn parallel::StagedCommit<Self>>> {
+        let _ = (children, ctx);
+        None
+    }
+
+    /// [`Mergeable::merge`] with an executor for intra-merge (per-field)
+    /// parallelism: composite structures merge their large fields on
+    /// `ctx.exec` concurrently, folding the per-field results in field
+    /// declaration order. The result and stats are identical to `merge`;
+    /// the default *is* `merge`.
+    fn merge_with_exec(
+        &mut self,
+        child: &Self,
+        ctx: &parallel::StageCtx,
+    ) -> Result<MergeStats, MergeError> {
+        let _ = ctx;
+        self.merge(child)
+    }
 }
 
 /// Unit state: trivially mergeable (tasks that share no data).
@@ -130,6 +183,14 @@ impl Mergeable for () {
 
     fn pending_ops(&self) -> usize {
         0
+    }
+
+    fn stage_merge_all(
+        &self,
+        _children: &[&Self],
+        _ctx: &parallel::StageCtx,
+    ) -> Option<Box<dyn parallel::StagedCommit<Self>>> {
+        Some(Box::new(parallel::NoopStage))
     }
 }
 
@@ -177,6 +238,49 @@ impl<M: Mergeable> Mergeable for Vec<M> {
             .map(|m| m.truncate_history(watermark, cursor))
             .sum()
     }
+
+    fn stage_merge_all(
+        &self,
+        children: &[&Self],
+        ctx: &parallel::StageCtx,
+    ) -> Option<Box<dyn parallel::StagedCommit<Self>>> {
+        // The shape is fixed at fork time; a drifted child must take the
+        // sequential path so the mismatch surfaces as its usual error.
+        if children.iter().any(|c| c.len() != self.len()) {
+            return None;
+        }
+        let mut fields: Vec<Box<dyn parallel::StagedCommit<Self>>> = Vec::with_capacity(self.len());
+        for idx in 0..self.len() {
+            let kids: Vec<&M> = children.iter().map(|c| &c[idx]).collect();
+            let stage = self[idx].stage_merge_all(&kids, ctx);
+            fields.push(Box::new(parallel::IndexStage { idx, stage }));
+        }
+        Some(Box::new(parallel::FieldStage::new(fields)))
+    }
+
+    fn merge_with_exec(
+        &mut self,
+        child: &Self,
+        ctx: &parallel::StageCtx,
+    ) -> Result<MergeStats, MergeError> {
+        if self.len() != child.len() {
+            return Err(MergeError::ShapeMismatch {
+                detail: format!("Vec length {} vs child {}", self.len(), child.len()),
+            });
+        }
+        let mut jobs: Vec<Option<parallel::FieldMergeJob<M>>> = Vec::with_capacity(self.len());
+        for (p, c) in self.iter().zip(child) {
+            jobs.push(parallel::spawn_field_merge(p, c, ctx));
+        }
+        let mut stats = MergeStats::default();
+        for ((p, c), job) in self.iter_mut().zip(child).zip(jobs) {
+            stats += match job {
+                Some(rx) => parallel::recv_field_merge(p, rx)?,
+                None => p.merge_with_exec(c, ctx)?,
+            };
+        }
+        Ok(stats)
+    }
 }
 
 macro_rules! impl_mergeable_tuple {
@@ -206,6 +310,47 @@ macro_rules! impl_mergeable_tuple {
 
             fn truncate_history(&mut self, watermark: &[usize], cursor: &mut usize) -> usize {
                 0 $( + self.$idx.truncate_history(watermark, cursor) )+
+            }
+
+            fn stage_merge_all(
+                &self,
+                children: &[&Self],
+                ctx: &parallel::StageCtx,
+            ) -> Option<Box<dyn parallel::StagedCommit<Self>>> {
+                let mut fields: Vec<Box<dyn parallel::StagedCommit<Self>>> = Vec::new();
+                $(
+                    {
+                        let kids: Vec<&$name> =
+                            children.iter().map(|c| &c.$idx).collect();
+                        let stage = self.$idx.stage_merge_all(&kids, ctx);
+                        fields.push(parallel::project_stage(
+                            |d: &Self| &d.$idx,
+                            |d: &mut Self| &mut d.$idx,
+                            stage,
+                        ));
+                    }
+                )+
+                Some(Box::new(parallel::FieldStage::new(fields)))
+            }
+
+            fn merge_with_exec(
+                &mut self,
+                child: &Self,
+                ctx: &parallel::StageCtx,
+            ) -> Result<MergeStats, MergeError> {
+                // One job slot per field, in field order — the receiver
+                // tuple mirrors the data tuple, so `jobs.N` is field N's.
+                let mut jobs =
+                    ( $( parallel::spawn_field_merge(&self.$idx, &child.$idx, ctx), )+ );
+                let mut stats = MergeStats::default();
+                $(
+                    stats += match jobs.$idx.take() {
+                        Some(rx) => parallel::recv_field_merge(&mut self.$idx, rx)?,
+                        None => self.$idx.merge_with_exec(&child.$idx, ctx)?,
+                    };
+                )+
+                let _ = &mut jobs;
+                Ok(stats)
             }
         }
     };
@@ -285,6 +430,58 @@ macro_rules! mergeable_struct {
                 cursor: &mut usize,
             ) -> usize {
                 0 $( + $crate::Mergeable::truncate_history(&mut self.$field, watermark, cursor) )+
+            }
+
+            fn stage_merge_all(
+                &self,
+                children: &[&Self],
+                ctx: &$crate::parallel::StageCtx,
+            ) -> ::std::option::Option<
+                ::std::boxed::Box<dyn $crate::parallel::StagedCommit<Self>>,
+            > {
+                let mut fields: ::std::vec::Vec<
+                    ::std::boxed::Box<dyn $crate::parallel::StagedCommit<Self>>,
+                > = ::std::vec::Vec::new();
+                $(
+                    {
+                        let kids: ::std::vec::Vec<&$fty> =
+                            children.iter().map(|c| &c.$field).collect();
+                        let stage =
+                            $crate::Mergeable::stage_merge_all(&self.$field, &kids, ctx);
+                        fields.push($crate::parallel::project_stage(
+                            |d: &Self| &d.$field,
+                            |d: &mut Self| &mut d.$field,
+                            stage,
+                        ));
+                    }
+                )+
+                ::std::option::Option::Some(::std::boxed::Box::new(
+                    $crate::parallel::FieldStage::new(fields),
+                ))
+            }
+
+            fn merge_with_exec(
+                &mut self,
+                child: &Self,
+                ctx: &$crate::parallel::StageCtx,
+            ) -> Result<$crate::MergeStats, $crate::MergeError> {
+                // One job binding per field, in field order, named after
+                // the field itself.
+                let ( $( mut $field, )+ ) = ( $(
+                    $crate::parallel::spawn_field_merge(&self.$field, &child.$field, ctx),
+                )+ );
+                let mut stats = $crate::MergeStats::default();
+                $(
+                    stats += match $field.take() {
+                        ::std::option::Option::Some(rx) => {
+                            $crate::parallel::recv_field_merge(&mut self.$field, rx)?
+                        }
+                        ::std::option::Option::None => {
+                            $crate::Mergeable::merge_with_exec(&mut self.$field, &child.$field, ctx)?
+                        }
+                    };
+                )+
+                Ok(stats)
             }
         }
     };

@@ -169,6 +169,8 @@ impl<T: Element> PartialEq for MList<T> {
 }
 
 impl<T: Element> Mergeable for MList<T> {
+    stage_versioned_inner!(stage_versioned_delta);
+
     fn fork(&self) -> Self {
         MList {
             inner: self.inner.fork(),

@@ -1,0 +1,685 @@
+//! The parallel merge-staging engine: off-thread rebasing that is
+//! **bit-identical** to the sequential creation-order fold.
+//!
+//! # The seam
+//!
+//! [`Mergeable::stage_merge_all`](crate::Mergeable::stage_merge_all) turns
+//! a batch of forked children into a [`StagedCommit`]: a hand-off object
+//! whose workers pre-compute each child's rebased operation run on an
+//! executor while the parent thread walks the children *in creation
+//! order* committing run `0`, run `1`, … exactly as `merge` would have.
+//! The commit path ([`Versioned::commit_staged`]) re-derives every field
+//! the determinism auditor hashes (`child_ops`, `applied_ops`,
+//! `committed_ops`, and the post-fusion `oplog_len`) from the live parent
+//! log, so the observable event stream cannot diverge from the
+//! sequential schedule by construction — and debug builds recompute the
+//! sequential rebase at every commit and assert the staged run matches
+//! operation for operation.
+//!
+//! # Two lanes
+//!
+//! **Delta lane** ([`stage_versioned_delta`]) — for insert-only sequence
+//! batches sharing one fork base (the overwhelming fan-out shape: every
+//! child appends its results). Sibling logs fold into normalized
+//! span-set deltas over the fork-base coordinates and reduce pairwise:
+//! each chunk of siblings folds its local composite in parallel, the
+//! chunk composites sequence in O(#chunks) combines, and each chunk then
+//! transforms its members against its start composite concurrently —
+//! O(log-depth) critical path in the reduction sense, and, just as
+//! important, the committed composite is built *incrementally* instead
+//! of refolded from the whole committed log per child, collapsing the
+//! sequential fold's O(n³) total work at high fan-out. The unique normal
+//! form of insert-only deltas makes every re-association of
+//! `combine(a, b) = a ∘ T(b, a)` produce the same normalized delta, so
+//! the re-materialized runs equal the sequential ones span for span.
+//!
+//! **Serial lane** ([`stage_versioned`]) — everything else (deletes,
+//! `Set`s, mixed fork bases, non-sequence algebras). One worker replays
+//! the exact sequential rebase pipeline against a [`LogReplica`] — same
+//! rebase kernel, same tail-fusion rules, same fuse barrier — so a
+//! composite structure can still stage *fields* in parallel: each field's
+//! lane runs concurrently with every other field's even when no single
+//! field parallelizes internally. That is the field-parallel merge of
+//! tuple / `mergeable_struct!` data.
+//!
+//! Neither lane ever blocks event collection and the parent commits in
+//! creation order, so the schedule of observable effects is the
+//! sequential one; only wall-clock (never hashed) differs.
+
+use std::sync::mpsc::{channel, Receiver};
+use std::sync::Arc;
+use std::time::Instant;
+
+use sm_ot::delta::{from_ops_biased, Delta, DeltaOp, DeltaPayload, GapBias, OpSpan};
+use sm_ot::Operation;
+
+use crate::versioned::rebase_over;
+use crate::{MergeError, MergeStats, Mergeable, Versioned};
+
+/// A unit of staging work shipped to the executor.
+pub type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A clonable handle that runs staging jobs — in the runtime this wraps
+/// the task pool's `execute`; tests and defaults use [`inline_exec`].
+pub type ExecHandle = Arc<dyn Fn(Job) + Send + Sync>;
+
+/// An executor that runs every job synchronously on the calling thread.
+/// Staging through it is pure overhead but exercises the identical code
+/// path — useful as a differential harness and as a safe default.
+pub fn inline_exec() -> ExecHandle {
+    Arc::new(|job: Job| job())
+}
+
+/// Everything a staging lane needs to know about its environment.
+#[derive(Clone)]
+pub struct StageCtx {
+    /// Where staging jobs run.
+    pub exec: ExecHandle,
+    /// Target number of parallel chunks for the delta lane (≥ 1).
+    pub lanes: usize,
+    /// Minimum child-side op count for a *field* of a composite to be
+    /// merged on its own worker in
+    /// [`Mergeable::merge_with_exec`](crate::Mergeable::merge_with_exec);
+    /// smaller fields merge inline.
+    pub field_min_ops: usize,
+    /// Whether an `sm_obs` recorder is installed: gates every clock read
+    /// so uninstalled staging reads no clocks, like the sequential path.
+    pub timing: bool,
+}
+
+impl StageCtx {
+    /// A context that runs everything inline on the calling thread.
+    pub fn inline() -> Self {
+        StageCtx {
+            exec: inline_exec(),
+            lanes: 1,
+            field_min_ops: usize::MAX,
+            timing: false,
+        }
+    }
+}
+
+impl std::fmt::Debug for StageCtx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StageCtx")
+            .field("lanes", &self.lanes)
+            .field("field_min_ops", &self.field_min_ops)
+            .field("timing", &self.timing)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Shape of the staging plan a [`StagedCommit`] built, for telemetry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageProfile {
+    /// Leaves staged on the chunked delta lane.
+    pub delta_leaves: usize,
+    /// Leaves staged on the serial-replay lane (or committed inline).
+    pub serial_leaves: usize,
+    /// Total parallel chunks across all delta-lane leaves.
+    pub chunks: usize,
+}
+
+impl std::ops::AddAssign for StageProfile {
+    fn add_assign(&mut self, rhs: Self) {
+        self.delta_leaves += rhs.delta_leaves;
+        self.serial_leaves += rhs.serial_leaves;
+        self.chunks += rhs.chunks;
+    }
+}
+
+/// A staged batch merge: pre-rebased runs for children `0..n` of one
+/// batch, committed one child at a time in creation order.
+///
+/// `commit` must be called with the same parent the batch was staged
+/// from, the same child data in the same order, and each index exactly
+/// once, with no other mutation of the parent's mergeable state in
+/// between — the runtime's `merge_all` upholds this by construction.
+pub trait StagedCommit<D> {
+    /// Merge child `index`'s staged run into `parent`, blocking only if
+    /// that child's staging work has not finished yet. Equivalent to
+    /// `parent.merge(child)` — same result, same stats.
+    fn commit(&mut self, parent: &mut D, child: &D, index: usize)
+        -> Result<MergeStats, MergeError>;
+
+    /// The plan shape, for the `MergeStaged` telemetry event.
+    fn profile(&self) -> StageProfile;
+}
+
+/// One pre-rebased run plus the stats measured while staging it.
+struct StagedRun<O> {
+    run: Vec<O>,
+    pre: MergeStats,
+    /// True when the lane reports compaction counters as raw lengths
+    /// (the delta path's convention).
+    raw_compacted: bool,
+}
+
+/// The leaf [`StagedCommit`] over a single [`Versioned`] log: collects
+/// `(index, run)` pairs from the lane workers and commits them in order.
+struct StagedLeaf<O: Operation> {
+    slots: Vec<Option<StagedRun<O>>>,
+    rx: Receiver<(usize, StagedRun<O>)>,
+    profile: StageProfile,
+    timing: bool,
+}
+
+impl<O: Operation> StagedLeaf<O> {
+    fn take(&mut self, index: usize) -> StagedRun<O> {
+        while self.slots[index].is_none() {
+            let (i, staged) = self
+                .rx
+                .recv()
+                .expect("a merge-staging worker died before delivering its rebased run");
+            self.slots[i] = Some(staged);
+        }
+        self.slots[index].take().expect("filled above")
+    }
+}
+
+impl<O: Operation> StagedCommit<Versioned<O>> for StagedLeaf<O> {
+    fn commit(
+        &mut self,
+        parent: &mut Versioned<O>,
+        child: &Versioned<O>,
+        index: usize,
+    ) -> Result<MergeStats, MergeError> {
+        let staged = self.take(index);
+        parent.commit_staged(
+            child,
+            staged.run,
+            staged.pre,
+            staged.raw_compacted,
+            self.timing,
+        )
+    }
+
+    fn profile(&self) -> StageProfile {
+        self.profile
+    }
+}
+
+/// A log-only stand-in for the parent's `Versioned` that can cross
+/// threads (the state cannot, and rebasing never needs it): the committed
+/// log, its absolute start, and the fuse barrier captured at staging
+/// time. `extend` mirrors `Versioned`'s tail-fusion rules exactly, so the
+/// committed slice each staged child rebases against is byte-identical
+/// to what the sequential schedule would have seen.
+struct LogReplica<O: Operation> {
+    log: Vec<O>,
+    log_start: usize,
+    barrier: usize,
+}
+
+impl<O: Operation> LogReplica<O> {
+    fn suffix(&self, fork_base: usize) -> &[O] {
+        &self.log[fork_base - self.log_start..]
+    }
+
+    fn extend(&mut self, ops: &[O]) {
+        for op in ops {
+            if !self.log.is_empty() && self.log_start + self.log.len() > self.barrier {
+                let last = self.log.last().expect("non-empty");
+                if Operation::annihilates(last, op) {
+                    self.log.pop();
+                    continue;
+                }
+                if let Some(fused) = Operation::compose(last, op) {
+                    *self.log.last_mut().expect("non-empty") = fused;
+                    continue;
+                }
+            }
+            self.log.push(op.clone());
+        }
+    }
+}
+
+/// Stage a batch on the **serial lane**: one worker replays the exact
+/// sequential rebase pipeline — per child, rebase over the replica's
+/// committed suffix from its fork base, then extend the replica with the
+/// run under the same fusion rules. Returns `None` only when a child's
+/// fork point does not lie inside the parent's retained history (the
+/// sequential path is then the one that must surface the error).
+pub fn stage_versioned<O: Operation>(
+    parent: &Versioned<O>,
+    children: &[&Versioned<O>],
+    ctx: &StageCtx,
+) -> Option<Box<dyn StagedCommit<Versioned<O>>>> {
+    if children.is_empty() {
+        return None;
+    }
+    let lo = parent.log_start();
+    let hi = parent.history_len();
+    if children
+        .iter()
+        .any(|c| c.fork_base() < lo || c.fork_base() > hi)
+    {
+        return None;
+    }
+    let mut replica = LogReplica {
+        log: parent.log().to_vec(),
+        log_start: lo,
+        barrier: parent.barrier_value(),
+    };
+    let work: Vec<(usize, Vec<O>)> = children
+        .iter()
+        .map(|c| (c.fork_base(), c.log().to_vec()))
+        .collect();
+    let (tx, rx) = channel();
+    let timing = ctx.timing;
+    (ctx.exec)(Box::new(move || {
+        for (i, (fork_base, log)) in work.into_iter().enumerate() {
+            let (run, pre) = rebase_over(&log, replica.suffix(fork_base), timing);
+            replica.extend(&run);
+            let _ = tx.send((
+                i,
+                StagedRun {
+                    run,
+                    pre,
+                    raw_compacted: false,
+                },
+            ));
+        }
+    }));
+    Some(Box::new(StagedLeaf {
+        slots: (0..children.len()).map(|_| None).collect(),
+        rx,
+        profile: StageProfile {
+            delta_leaves: 0,
+            serial_leaves: 1,
+            chunks: 1,
+        },
+        timing,
+    }))
+}
+
+/// True when every op is a span-expressible insert of at least one unit —
+/// the shape for which insert-only deltas have a unique normal form and
+/// the sequential path is guaranteed to take the delta rebase at every
+/// step of the fold.
+fn insert_only<O: DeltaOp>(ops: &[O]) -> bool {
+    ops.iter().all(|op| match op.to_span() {
+        Some(OpSpan::Insert { payload, .. }) => payload.unit_len() >= 1,
+        _ => false,
+    })
+}
+
+/// `committed ∘ T(next, committed)`: extend a committed composite delta
+/// by one more sibling's delta, exactly the step the sequential fold
+/// performs when it commits that sibling's rebased run.
+fn combine<P: DeltaPayload>(committed: &Delta<P>, next: &Delta<P>) -> Delta<P> {
+    let (_, rebased) = committed.transform(next);
+    committed.compose(&rebased)
+}
+
+/// Saturating elapsed nanoseconds since `t0`.
+fn elapsed_nanos(t0: Instant) -> u64 {
+    t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64
+}
+
+/// One chunk's pass-A report: its members' deltas plus their local
+/// composite.
+type ChunkFold<P> = (Vec<Delta<P>>, Delta<P>);
+
+/// Stage a batch on the **delta lane** when the batch qualifies
+/// (insert-only sequence logs, one shared in-history fork base, non-empty
+/// committed slice), falling back to the serial lane otherwise.
+///
+/// The plan: siblings are split into `ctx.lanes` chunks. Pass A folds
+/// each chunk's logs into deltas and its local composite concurrently;
+/// a coordinator then sequences the chunk-start composites (`#chunks`
+/// combines) and fans out pass B, where each chunk walks its members
+/// against a running committed composite, emitting every member's
+/// rebased run. All reductions re-associate `combine`, which for
+/// insert-only deltas is exact down to the span representation.
+pub fn stage_versioned_delta<O: DeltaOp>(
+    parent: &Versioned<O>,
+    children: &[&Versioned<O>],
+    ctx: &StageCtx,
+) -> Option<Box<dyn StagedCommit<Versioned<O>>>> {
+    if children.is_empty() {
+        return None;
+    }
+    let lo = parent.log_start();
+    let hi = parent.history_len();
+    let fork_base = children[0].fork_base();
+    let qualified = fork_base >= lo
+        && fork_base <= hi
+        && children
+            .iter()
+            .all(|c| c.fork_base() == fork_base && !c.log().is_empty() && insert_only(c.log()))
+        && {
+            let committed = &parent.log()[fork_base - lo..];
+            !committed.is_empty() && insert_only(committed)
+        };
+    if !qualified {
+        return stage_versioned(parent, children, ctx);
+    }
+
+    let c0 = from_ops_biased(&parent.log()[fork_base - lo..], GapBias::Start)
+        .expect("insert-only ops are span-expressible");
+    let n = children.len();
+    let lanes = ctx.lanes.clamp(1, n);
+    let chunk_len = n.div_ceil(lanes);
+    let logs: Vec<Vec<Vec<O>>> = children
+        .chunks(chunk_len)
+        .map(|chunk| chunk.iter().map(|c| c.log().to_vec()).collect())
+        .collect();
+    let chunks = logs.len();
+    let timing = ctx.timing;
+
+    // Pass A (parallel per chunk): fold each sibling log into a delta
+    // over the fork-base coordinates and reduce the chunk's local
+    // composite.
+    let (fold_tx, fold_rx) = channel();
+    for (k, chunk) in logs.into_iter().enumerate() {
+        let fold_tx = fold_tx.clone();
+        (ctx.exec)(Box::new(move || {
+            let ds: Vec<Delta<O::Payload>> = chunk
+                .iter()
+                .map(|log| {
+                    from_ops_biased(log, GapBias::End)
+                        .expect("insert-only ops are span-expressible")
+                })
+                .collect();
+            let mut total: Option<Delta<O::Payload>> = None;
+            for d in &ds {
+                total = Some(match total {
+                    None => d.clone(),
+                    Some(t) => combine(&t, d),
+                });
+            }
+            let total = total.expect("chunks are non-empty");
+            let _ = fold_tx.send((k, ds, total));
+        }));
+    }
+    drop(fold_tx);
+
+    // Coordinator: sequence the chunk-start composites, fan out pass B.
+    let (slot_tx, slot_rx) = channel();
+    let exec = Arc::clone(&ctx.exec);
+    (ctx.exec)(Box::new(move || {
+        let mut folds: Vec<Option<ChunkFold<O::Payload>>> = (0..chunks).map(|_| None).collect();
+        for _ in 0..chunks {
+            let (k, ds, total) = fold_rx
+                .recv()
+                .expect("a delta-staging fold worker died before reporting");
+            folds[k] = Some((ds, total));
+        }
+        let mut base = c0;
+        for (k, fold) in folds.into_iter().enumerate() {
+            let (ds, total) = fold.expect("every chunk reported above");
+            let next_base = combine(&base, &total);
+            let slot_tx = slot_tx.clone();
+            let chunk_base = base.clone();
+            let start = k * chunk_len;
+            // Pass B (parallel per chunk): walk the chunk's members
+            // against a running committed composite — identical to the
+            // sequential fold's committed delta at each member, by the
+            // insert-only normal form.
+            exec(Box::new(move || {
+                let mut committed = chunk_base;
+                for (t, d) in ds.into_iter().enumerate() {
+                    let t0 = timing.then(Instant::now);
+                    let (_, rebased) = committed.transform(&d);
+                    let pre = MergeStats {
+                        delta_rebases: 1,
+                        delta_spans: committed.span_count() + d.span_count(),
+                        delta_nanos: t0.map_or(0, elapsed_nanos),
+                        ..MergeStats::default()
+                    };
+                    committed = committed.compose(&rebased);
+                    let _ = slot_tx.send((
+                        start + t,
+                        StagedRun {
+                            run: rebased.into_ops(),
+                            pre,
+                            raw_compacted: true,
+                        },
+                    ));
+                }
+            }));
+            base = next_base;
+        }
+    }));
+
+    Some(Box::new(StagedLeaf {
+        slots: (0..n).map(|_| None).collect(),
+        rx: slot_rx,
+        profile: StageProfile {
+            delta_leaves: 1,
+            serial_leaves: 0,
+            chunks,
+        },
+        timing,
+    }))
+}
+
+/// Lift a leaf stage over a projection (façade `inner` field, tuple
+/// element, struct field).
+struct MappedStage<D, F> {
+    get: Box<dyn for<'a> Fn(&'a D) -> &'a F>,
+    get_mut: Box<dyn for<'a> Fn(&'a mut D) -> &'a mut F>,
+    stage: Box<dyn StagedCommit<F>>,
+}
+
+impl<D, F> StagedCommit<D> for MappedStage<D, F> {
+    fn commit(
+        &mut self,
+        parent: &mut D,
+        child: &D,
+        index: usize,
+    ) -> Result<MergeStats, MergeError> {
+        let c = (self.get)(child);
+        self.stage.commit((self.get_mut)(parent), c, index)
+    }
+
+    fn profile(&self) -> StageProfile {
+        self.stage.profile()
+    }
+}
+
+/// A field with no staging seam of its own: committed by plain
+/// sequential `merge` at commit time, inside the batch walk.
+struct InlineStage<D, F: Mergeable> {
+    get: Box<dyn for<'a> Fn(&'a D) -> &'a F>,
+    get_mut: Box<dyn for<'a> Fn(&'a mut D) -> &'a mut F>,
+}
+
+impl<D, F: Mergeable> StagedCommit<D> for InlineStage<D, F> {
+    fn commit(
+        &mut self,
+        parent: &mut D,
+        child: &D,
+        _index: usize,
+    ) -> Result<MergeStats, MergeError> {
+        let c = (self.get)(child);
+        (self.get_mut)(parent).merge(c)
+    }
+
+    fn profile(&self) -> StageProfile {
+        StageProfile {
+            delta_leaves: 0,
+            serial_leaves: 1,
+            chunks: 0,
+        }
+    }
+}
+
+/// Lift an optional leaf stage over a field projection: staged fields
+/// commit their pre-rebased runs, seamless fields merge inline. Used by
+/// the tuple and [`mergeable_struct!`](crate::mergeable_struct) derives.
+pub fn project_stage<D, F, G, H>(
+    get: G,
+    get_mut: H,
+    stage: Option<Box<dyn StagedCommit<F>>>,
+) -> Box<dyn StagedCommit<D>>
+where
+    D: 'static,
+    F: Mergeable,
+    G: for<'a> Fn(&'a D) -> &'a F + 'static,
+    H: for<'a> Fn(&'a mut D) -> &'a mut F + 'static,
+{
+    match stage {
+        Some(stage) => Box::new(MappedStage {
+            get: Box::new(get),
+            get_mut: Box::new(get_mut),
+            stage,
+        }),
+        None => Box::new(InlineStage {
+            get: Box::new(get),
+            get_mut: Box::new(get_mut),
+        }),
+    }
+}
+
+/// [`project_stage`] for a required stage with no `Mergeable` bound on
+/// the projected field — the façade-to-[`Versioned`] hop.
+pub fn map_stage<D, F, G, H>(
+    get: G,
+    get_mut: H,
+    stage: Box<dyn StagedCommit<F>>,
+) -> Box<dyn StagedCommit<D>>
+where
+    D: 'static,
+    F: 'static,
+    G: for<'a> Fn(&'a D) -> &'a F + 'static,
+    H: for<'a> Fn(&'a mut D) -> &'a mut F + 'static,
+{
+    Box::new(MappedStage {
+        get: Box::new(get),
+        get_mut: Box::new(get_mut),
+        stage,
+    })
+}
+
+/// Field-wise composite of per-field stages: commits every field of one
+/// child (in declaration order, summing stats) before moving on, exactly
+/// like the sequential field-wise merge.
+pub struct FieldStage<D> {
+    fields: Vec<Box<dyn StagedCommit<D>>>,
+}
+
+impl<D> FieldStage<D> {
+    /// Compose per-field stages in field declaration order.
+    pub fn new(fields: Vec<Box<dyn StagedCommit<D>>>) -> Self {
+        FieldStage { fields }
+    }
+}
+
+impl<D> StagedCommit<D> for FieldStage<D> {
+    fn commit(
+        &mut self,
+        parent: &mut D,
+        child: &D,
+        index: usize,
+    ) -> Result<MergeStats, MergeError> {
+        let mut stats = MergeStats::default();
+        for field in &mut self.fields {
+            stats += field.commit(parent, child, index)?;
+        }
+        Ok(stats)
+    }
+
+    fn profile(&self) -> StageProfile {
+        let mut p = StageProfile::default();
+        for field in &self.fields {
+            p += field.profile();
+        }
+        p
+    }
+}
+
+/// Per-element stage for `Vec<M>` composites.
+pub(crate) struct IndexStage<M: Mergeable> {
+    pub(crate) idx: usize,
+    pub(crate) stage: Option<Box<dyn StagedCommit<M>>>,
+}
+
+impl<M: Mergeable> StagedCommit<Vec<M>> for IndexStage<M> {
+    fn commit(
+        &mut self,
+        parent: &mut Vec<M>,
+        child: &Vec<M>,
+        index: usize,
+    ) -> Result<MergeStats, MergeError> {
+        let c = &child[self.idx];
+        let p = &mut parent[self.idx];
+        match &mut self.stage {
+            Some(stage) => stage.commit(p, c, index),
+            None => p.merge(c),
+        }
+    }
+
+    fn profile(&self) -> StageProfile {
+        match &self.stage {
+            Some(stage) => stage.profile(),
+            None => StageProfile {
+                delta_leaves: 0,
+                serial_leaves: 1,
+                chunks: 0,
+            },
+        }
+    }
+}
+
+/// Receiver for one composite field being merged on its own worker.
+pub type FieldMergeJob<M> = Receiver<Result<(M, MergeStats), MergeError>>;
+
+/// Ship one composite field's merge to the executor when the child side
+/// is large enough (`ctx.field_min_ops`) to pay for the clone; `None`
+/// means merge it inline. The worker merges *clones* of both sides —
+/// deterministically the same result and stats as merging in place —
+/// and sends the merged field back wholesale.
+pub fn spawn_field_merge<M: Mergeable>(
+    parent: &M,
+    child: &M,
+    ctx: &StageCtx,
+) -> Option<FieldMergeJob<M>> {
+    if child.pending_ops() < ctx.field_min_ops {
+        return None;
+    }
+    let (tx, rx) = channel();
+    let mut mine = parent.clone();
+    let theirs = child.clone();
+    (ctx.exec)(Box::new(move || {
+        let result = match mine.merge(&theirs) {
+            Ok(stats) => Ok((mine, stats)),
+            Err(e) => Err(e),
+        };
+        let _ = tx.send(result);
+    }));
+    Some(rx)
+}
+
+/// Collect one field's off-thread merge, installing the merged field in
+/// place. Field-order error semantics match the sequential fold: fields
+/// before a failure are committed, fields after it are untouched.
+pub fn recv_field_merge<M: Mergeable>(
+    parent: &mut M,
+    rx: FieldMergeJob<M>,
+) -> Result<MergeStats, MergeError> {
+    let (merged, stats) = rx
+        .recv()
+        .expect("a field-merge worker died before reporting")?;
+    *parent = merged;
+    Ok(stats)
+}
+
+/// The stage for `()`: nothing to rebase, nothing to commit.
+pub(crate) struct NoopStage;
+
+impl StagedCommit<()> for NoopStage {
+    fn commit(
+        &mut self,
+        _parent: &mut (),
+        _child: &(),
+        _index: usize,
+    ) -> Result<MergeStats, MergeError> {
+        Ok(MergeStats::default())
+    }
+
+    fn profile(&self) -> StageProfile {
+        StageProfile::default()
+    }
+}

@@ -130,6 +130,8 @@ impl<T: Element> PartialEq for MQueue<T> {
 }
 
 impl<T: Element> Mergeable for MQueue<T> {
+    stage_versioned_inner!(stage_versioned_delta);
+
     fn fork(&self) -> Self {
         MQueue {
             inner: self.inner.fork(),

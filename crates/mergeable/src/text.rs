@@ -152,6 +152,8 @@ impl PartialEq<&str> for MText {
 }
 
 impl Mergeable for MText {
+    stage_versioned_inner!(stage_versioned_delta);
+
     fn fork(&self) -> Self {
         MText {
             inner: self.inner.fork(),

@@ -412,61 +412,8 @@ impl<O: Operation> Versioned<O> {
         // while an sm_obs recorder is installed, so the uninstalled
         // merge path pays one relaxed load and no syscalls.
         let timing = sm_obs::is_enabled();
-        let (rebased, mut stats) = {
-            let committed_raw = &self.log[child.fork_base - self.log_start..];
-            let attempt_t0 = timing.then(std::time::Instant::now);
-            let delta = if !child.log.is_empty() && !committed_raw.is_empty() {
-                O::delta_rebase(&child.log, committed_raw)
-            } else {
-                None
-            };
-            let attempt_nanos = attempt_t0.map_or(0, elapsed_nanos);
-            match delta {
-                Some((rebased, d)) => {
-                    let stats = MergeStats {
-                        child_ops: child.log.len(),
-                        applied_ops: rebased.len(),
-                        committed_ops: committed_raw.len(),
-                        // The delta path never compacts: normalization
-                        // subsumes it. Report the raw lengths.
-                        child_ops_compacted: child.log.len(),
-                        committed_ops_compacted: committed_raw.len(),
-                        grid_cells: 0,
-                        delta_rebases: 1,
-                        grid_rebases: 0,
-                        delta_spans: d.incoming_spans + d.committed_spans,
-                        delta_nanos: attempt_nanos,
-                        ..MergeStats::default()
-                    };
-                    (rebased, stats)
-                }
-                None => {
-                    let compact_t0 = timing.then(std::time::Instant::now);
-                    let committed: Cow<'_, [O]> = compact_cow(committed_raw);
-                    let incoming: Cow<'_, [O]> = compact_cow(&child.log);
-                    let compact_nanos = compact_t0.map_or(0, elapsed_nanos);
-                    let grid_t0 = timing.then(std::time::Instant::now);
-                    let rebased = seq::rebase(&incoming, &committed);
-                    let stats = MergeStats {
-                        child_ops: child.log.len(),
-                        applied_ops: rebased.len(),
-                        committed_ops: committed_raw.len(),
-                        child_ops_compacted: incoming.len(),
-                        committed_ops_compacted: committed.len(),
-                        grid_cells: incoming.len() * committed.len(),
-                        delta_rebases: 0,
-                        grid_rebases: 1,
-                        delta_spans: 0,
-                        compact_nanos,
-                        // The declined delta attempt is part of what the
-                        // grid path cost this merge.
-                        grid_nanos: attempt_nanos + grid_t0.map_or(0, elapsed_nanos),
-                        ..MergeStats::default()
-                    };
-                    (rebased, stats)
-                }
-            }
-        };
+        let committed_raw = &self.log[child.fork_base - self.log_start..];
+        let (rebased, mut stats) = rebase_over(&child.log, committed_raw, timing);
         let apply_t0 = timing.then(std::time::Instant::now);
         let state = Arc::make_mut(&mut self.state);
         for op in &rebased {
@@ -474,6 +421,75 @@ impl<O: Operation> Versioned<O> {
         }
         stats.apply_nanos = apply_t0.map_or(0, elapsed_nanos);
         self.extend_ops(rebased);
+        Ok(stats)
+    }
+
+    /// The current fuse-barrier position (absolute history coordinate).
+    /// Staging replicas capture it once so off-thread tail fusion mirrors
+    /// what [`Versioned::extend_ops`] will do at commit time.
+    pub(crate) fn barrier_value(&self) -> usize {
+        self.fuse_barrier.load(Ordering::Relaxed)
+    }
+
+    /// Commit a pre-rebased run produced by the staging engine
+    /// ([`crate::parallel`]): validate the fork point exactly like
+    /// [`Versioned::merge`], apply the run, and append it to the history.
+    ///
+    /// `pre` carries the stats measured at staging time; the fields the
+    /// determinism auditor hashes (`child_ops`, `applied_ops`,
+    /// `committed_ops`) are re-derived here from the real parent log so
+    /// they are exact by construction, not by trust. With
+    /// `raw_compacted`, the compaction counters are set to the raw
+    /// lengths — what the sequential delta path reports.
+    ///
+    /// Debug builds additionally recompute the sequential rebase against
+    /// the live parent log and assert the staged run is bit-identical:
+    /// every test that drives a staged merge is a differential test.
+    pub(crate) fn commit_staged(
+        &mut self,
+        child: &Self,
+        run: Vec<O>,
+        pre: MergeStats,
+        raw_compacted: bool,
+        timing: bool,
+    ) -> Result<MergeStats, MergeError> {
+        if child.fork_base > self.history_len() {
+            return Err(MergeError::InvalidForkPoint {
+                fork_base: child.fork_base,
+                parent_log_len: self.history_len(),
+            });
+        }
+        if child.fork_base < self.log_start {
+            return Err(MergeError::ForkPointTruncated {
+                fork_base: child.fork_base,
+                log_start: self.log_start,
+            });
+        }
+        #[cfg(debug_assertions)]
+        {
+            let committed_raw = &self.log[child.fork_base - self.log_start..];
+            let (expect, _) = rebase_over(&child.log, committed_raw, false);
+            debug_assert_eq!(
+                format!("{run:?}"),
+                format!("{expect:?}"),
+                "staged run diverged from the sequential rebase"
+            );
+        }
+        let mut stats = pre;
+        stats.child_ops = child.log.len();
+        stats.committed_ops = self.history_len() - child.fork_base;
+        stats.applied_ops = run.len();
+        if raw_compacted {
+            stats.child_ops_compacted = stats.child_ops;
+            stats.committed_ops_compacted = stats.committed_ops;
+        }
+        let apply_t0 = timing.then(std::time::Instant::now);
+        let state = Arc::make_mut(&mut self.state);
+        for op in &run {
+            op.apply(state)?;
+        }
+        stats.apply_nanos = apply_t0.map_or(0, elapsed_nanos);
+        self.extend_ops(run);
         Ok(stats)
     }
 
@@ -511,6 +527,74 @@ impl<O: Operation> Versioned<O> {
     /// (diagnostic; used by the copy-on-write tests and benches).
     pub fn state_is_shared(&self) -> bool {
         Arc::strong_count(&self.state) > 1
+    }
+}
+
+/// Rebase `child_log` over `committed_raw` (both rooted at the same fork
+/// base): the delta fast path when the algebra supports it, the compacted
+/// pairwise grid otherwise. This is the single rebase kernel shared by
+/// [`Versioned::merge`] and the off-thread staging lanes in
+/// [`crate::parallel`] — both paths compute, by construction, the same
+/// operation run and the same [`MergeStats`] for the same inputs.
+///
+/// `timing` gates the wall-clock fields (live telemetry only; stats
+/// nanos stay zero otherwise and no clock is read).
+pub(crate) fn rebase_over<O: Operation>(
+    child_log: &[O],
+    committed_raw: &[O],
+    timing: bool,
+) -> (Vec<O>, MergeStats) {
+    let attempt_t0 = timing.then(std::time::Instant::now);
+    let delta = if !child_log.is_empty() && !committed_raw.is_empty() {
+        O::delta_rebase(child_log, committed_raw)
+    } else {
+        None
+    };
+    let attempt_nanos = attempt_t0.map_or(0, elapsed_nanos);
+    match delta {
+        Some((rebased, d)) => {
+            let stats = MergeStats {
+                child_ops: child_log.len(),
+                applied_ops: rebased.len(),
+                committed_ops: committed_raw.len(),
+                // The delta path never compacts: normalization
+                // subsumes it. Report the raw lengths.
+                child_ops_compacted: child_log.len(),
+                committed_ops_compacted: committed_raw.len(),
+                grid_cells: 0,
+                delta_rebases: 1,
+                grid_rebases: 0,
+                delta_spans: d.incoming_spans + d.committed_spans,
+                delta_nanos: attempt_nanos,
+                ..MergeStats::default()
+            };
+            (rebased, stats)
+        }
+        None => {
+            let compact_t0 = timing.then(std::time::Instant::now);
+            let committed: Cow<'_, [O]> = compact_cow(committed_raw);
+            let incoming: Cow<'_, [O]> = compact_cow(child_log);
+            let compact_nanos = compact_t0.map_or(0, elapsed_nanos);
+            let grid_t0 = timing.then(std::time::Instant::now);
+            let rebased = seq::rebase(&incoming, &committed);
+            let stats = MergeStats {
+                child_ops: child_log.len(),
+                applied_ops: rebased.len(),
+                committed_ops: committed_raw.len(),
+                child_ops_compacted: incoming.len(),
+                committed_ops_compacted: committed.len(),
+                grid_cells: incoming.len() * committed.len(),
+                delta_rebases: 0,
+                grid_rebases: 1,
+                delta_spans: 0,
+                compact_nanos,
+                // The declined delta attempt is part of what the
+                // grid path cost this merge.
+                grid_nanos: attempt_nanos + grid_t0.map_or(0, elapsed_nanos),
+                ..MergeStats::default()
+            };
+            (rebased, stats)
+        }
     }
 }
 

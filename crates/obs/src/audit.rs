@@ -163,7 +163,12 @@ fn projection(event: &ObsEvent) -> Option<u64> {
         // results: excluded. Store exclusion also guarantees that running
         // the *same* program with and without a store yields the same
         // digest — the property crash recovery verifies against.
+        // MergeStaged is likewise excluded: staging is a scheduling
+        // detail whose committed outcome is bit-identical to the
+        // sequential fold, and whether a batch stages depends on event
+        // arrival timing.
         EventKind::WorkerStarted { .. }
+        | EventKind::MergeStaged { .. }
         | EventKind::WorkerRetired { .. }
         | EventKind::WireSent { .. }
         | EventKind::WireReceived { .. }

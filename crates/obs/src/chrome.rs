@@ -183,6 +183,24 @@ impl ChromeTracer {
                         ts,
                     ));
                 }
+                EventKind::MergeStaged {
+                    children,
+                    delta_lanes,
+                    serial_lanes,
+                    chunks,
+                } => {
+                    let mut ev = instant(PID_TASKS, tid, &format!("merge staged ×{children}"), ts);
+                    ev.set(
+                        "args",
+                        Json::obj([
+                            ("children", Json::from(*children)),
+                            ("delta_lanes", Json::from(*delta_lanes)),
+                            ("serial_lanes", Json::from(*serial_lanes)),
+                            ("chunks", Json::from(*chunks)),
+                        ]),
+                    );
+                    out.push(ev);
+                }
                 EventKind::SyncResumed {
                     blocked_nanos,
                     accepted,

@@ -170,6 +170,20 @@ pub enum EventKind {
     /// The merge of `child` was rejected or the child was aborted at the
     /// merge point; no operations were applied.
     MergeRejected { child: TaskPath },
+    /// `task` pre-rebased a batch of sibling deltas on the pool before
+    /// the creation-order fold committed them. Purely observational:
+    /// the committed result is bit-identical to the sequential fold, so
+    /// this event is excluded from determinism digests.
+    MergeStaged {
+        /// Children covered by this staged batch.
+        children: usize,
+        /// Leaves staged on the delta (span-set) fast path.
+        delta_lanes: usize,
+        /// Leaves staged on the serial replica path.
+        serial_lanes: usize,
+        /// Reduction chunks staged concurrently (tree width).
+        chunks: usize,
+    },
     /// `task` called sync and is now blocked waiting for its parent.
     SyncBlocked,
     /// `task`'s sync was answered and it resumed.
@@ -257,6 +271,7 @@ impl EventKind {
             EventKind::MergeStarted { .. } => "merge_started",
             EventKind::MergeFinished { .. } => "merge_finished",
             EventKind::MergeRejected { .. } => "merge_rejected",
+            EventKind::MergeStaged { .. } => "merge_staged",
             EventKind::SyncBlocked => "sync_blocked",
             EventKind::SyncResumed { .. } => "sync_resumed",
             EventKind::CloneCreated { .. } => "clone_created",

@@ -243,6 +243,17 @@ fn event_detail(kind: &EventKind) -> Option<Json> {
             ("oplog_len", Json::from(*oplog_len)),
             ("merge_nanos", Json::from(*merge_nanos)),
         ]),
+        EventKind::MergeStaged {
+            children,
+            delta_lanes,
+            serial_lanes,
+            chunks,
+        } => Json::obj([
+            ("children", Json::from(*children)),
+            ("delta_lanes", Json::from(*delta_lanes)),
+            ("serial_lanes", Json::from(*serial_lanes)),
+            ("chunks", Json::from(*chunks)),
+        ]),
         EventKind::SyncResumed {
             blocked_nanos,
             accepted,

@@ -260,6 +260,10 @@ pub struct MetricsSnapshot {
     pub merges_started: u64,
     pub merges_finished: u64,
     pub merges_rejected: u64,
+    /// Staged parallel-merge batches (tree-reduction pre-rebase).
+    pub merges_staged: u64,
+    /// Children covered by staged batches.
+    pub merge_staged_children: u64,
     /// Sum of child ops brought to all merges.
     pub ops_child_total: u64,
     /// Sum of ops actually applied after transformation.
@@ -359,6 +363,10 @@ impl MetricsSnapshot {
                 self.oplog_len.observe(*oplog_len as u64);
             }
             EventKind::MergeRejected { .. } => self.merges_rejected += 1,
+            EventKind::MergeStaged { children, .. } => {
+                self.merges_staged += 1;
+                self.merge_staged_children += *children as u64;
+            }
             EventKind::SyncBlocked => self.syncs += 1,
             EventKind::SyncResumed {
                 blocked_nanos,
@@ -441,6 +449,8 @@ impl MetricsSnapshot {
                     ("started", Json::from(self.merges_started)),
                     ("finished", Json::from(self.merges_finished)),
                     ("rejected", Json::from(self.merges_rejected)),
+                    ("staged", Json::from(self.merges_staged)),
+                    ("staged_children", Json::from(self.merge_staged_children)),
                     ("ops_child_total", Json::from(self.ops_child_total)),
                     ("ops_applied_total", Json::from(self.ops_applied_total)),
                     (
@@ -534,7 +544,7 @@ impl MetricsSnapshot {
     /// Render in the Prometheus text exposition format.
     pub fn prometheus_text(&self) -> String {
         let mut out = String::new();
-        let counters: [(&str, u64); 34] = [
+        let counters: [(&str, u64); 36] = [
             ("sm_tasks_spawned_total", self.tasks_spawned),
             ("sm_tasks_completed_total", self.tasks_completed),
             ("sm_tasks_aborted_total", self.tasks_aborted),
@@ -542,6 +552,8 @@ impl MetricsSnapshot {
             ("sm_merges_started_total", self.merges_started),
             ("sm_merges_finished_total", self.merges_finished),
             ("sm_merges_rejected_total", self.merges_rejected),
+            ("sm_merges_staged_total", self.merges_staged),
+            ("sm_merge_staged_children_total", self.merge_staged_children),
             ("sm_merge_ops_child_total", self.ops_child_total),
             ("sm_merge_ops_applied_total", self.ops_applied_total),
             (

@@ -50,11 +50,14 @@ pub enum Phase {
     /// Full distributed round-trip: spawn shipped to a node until its
     /// Done merged back on the coordinator.
     WireRoundtrip,
+    /// The staged parallel merge: pre-rebasing a batch of sibling
+    /// deltas on the pool before the creation-order fold commits them.
+    MergeParallel,
 }
 
 impl Phase {
     /// Every phase, in declaration order (histogram slot order).
-    pub const ALL: [Phase; 11] = [
+    pub const ALL: [Phase; 12] = [
         Phase::RebaseCompact,
         Phase::RebaseDelta,
         Phase::RebaseGrid,
@@ -66,6 +69,7 @@ impl Phase {
         Phase::WireEncode,
         Phase::WireDecode,
         Phase::WireRoundtrip,
+        Phase::MergeParallel,
     ];
 
     /// Number of phases (histogram array size).
@@ -85,6 +89,7 @@ impl Phase {
             Phase::WireEncode => "wire_encode",
             Phase::WireDecode => "wire_decode",
             Phase::WireRoundtrip => "wire_roundtrip",
+            Phase::MergeParallel => "merge_parallel",
         }
     }
 

@@ -1,0 +1,332 @@
+//! The parallel merge engine's contract: staging sibling rebases on the
+//! pool (tree-reduction `merge_all`) and field-parallel single merges
+//! must be **observably indistinguishable** from the sequential
+//! creation-order fold — bit-identical final state and bit-identical
+//! `DeterminismAuditor` digest chains, with the full telemetry plane
+//! installed, regardless of worker count, lane count, or pool warmth.
+//!
+//! Debug builds double every staged commit with the sequential rebase
+//! (see `Versioned::commit_staged`), so each test here is also a
+//! differential oracle of the staged runs themselves.
+//!
+//! The recorder slot and the parallel-merge knobs are process-global, so
+//! every test serializes on one mutex and restores defaults on exit.
+
+#![cfg(not(feature = "serial-merge"))]
+
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+use proptest::prelude::*;
+use spawn_merge::mergeable_struct;
+use spawn_merge::obs::{
+    self, DeterminismAuditor, FlightRecorder, Metrics, MultiRecorder, Recorder,
+};
+use spawn_merge::{
+    run, run_with_pool, set_field_parallel_min_ops, set_parallel_merge_lanes,
+    set_parallel_merge_min_children, MCounter, MList, MText, Pool,
+};
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+/// Serialize on the global knobs + recorder slot, restoring the default
+/// configuration (and uninstalling any recorder) when the test ends —
+/// even on panic, so one failure cannot cascade.
+struct KnobGuard(#[allow(dead_code)] MutexGuard<'static, ()>);
+
+fn serial() -> KnobGuard {
+    KnobGuard(SERIAL.lock().unwrap_or_else(PoisonError::into_inner))
+}
+
+impl Drop for KnobGuard {
+    fn drop(&mut self) {
+        set_parallel_merge_min_children(Some(8));
+        set_parallel_merge_lanes(0);
+        set_field_parallel_min_ops(Some(512));
+        obs::uninstall();
+    }
+}
+
+/// Install the full telemetry plane (metrics + flight recorder + a fresh
+/// auditor), run `f`, uninstall, and return the auditor digest.
+fn with_plane<T>(f: impl FnOnce() -> T) -> (T, u64) {
+    let auditor = Arc::new(DeterminismAuditor::new());
+    let sinks: Vec<Arc<dyn Recorder>> = vec![
+        Arc::new(Metrics::new()),
+        Arc::new(FlightRecorder::new(64)),
+        auditor.clone(),
+    ];
+    obs::install(Arc::new(MultiRecorder::new(sinks)));
+    let out = f();
+    obs::uninstall();
+    (out, auditor.digest())
+}
+
+/// One scripted child mutation. `Remove` and `Set` force the rebase off
+/// the insert-only delta lane onto the serial staging lane, so scripts
+/// mixing them sweep both lanes (and the lane-selection gates).
+#[derive(Debug, Clone)]
+enum Cmd {
+    Push(u8),
+    Insert(usize, u8),
+    Remove(usize),
+    Set(usize, u8),
+}
+
+fn apply(list: &mut MList<u8>, cmds: &[Cmd]) {
+    for c in cmds {
+        match *c {
+            Cmd::Push(v) => list.push(v),
+            Cmd::Insert(i, v) => {
+                let at = if list.is_empty() {
+                    0
+                } else {
+                    i % (list.len() + 1)
+                };
+                list.insert(at, v);
+            }
+            Cmd::Remove(i) => {
+                if !list.is_empty() {
+                    list.remove(i % list.len());
+                }
+            }
+            Cmd::Set(i, v) => {
+                if !list.is_empty() {
+                    list.set(i % list.len(), v);
+                }
+            }
+        }
+    }
+}
+
+fn scripts() -> impl Strategy<Value = Vec<Vec<Cmd>>> {
+    prop::collection::vec(
+        prop::collection::vec(
+            prop_oneof![
+                any::<u8>().prop_map(Cmd::Push),
+                any::<u8>().prop_map(Cmd::Push),
+                (any::<usize>(), any::<u8>()).prop_map(|(i, v)| Cmd::Insert(i, v)),
+                any::<usize>().prop_map(Cmd::Remove),
+                (any::<usize>(), any::<u8>()).prop_map(|(i, v)| Cmd::Set(i, v)),
+            ],
+            0..8,
+        ),
+        1..14,
+    )
+}
+
+/// Run one fan-out program: each script drives one child, the parent
+/// waits long enough for completions to queue up (so staging actually
+/// has a ready batch to bite on), then merges all.
+fn run_fanout(scripts: &[Vec<Cmd>], settle: bool) -> Vec<u8> {
+    let scripts = scripts.to_vec();
+    let (list, ()) = run(MList::from_iter([1u8, 2, 3]), move |ctx| {
+        for s in scripts {
+            ctx.spawn(move |c| {
+                apply(c.data_mut(), &s);
+                Ok(())
+            });
+        }
+        if settle {
+            std::thread::sleep(std::time::Duration::from_millis(30));
+        }
+        ctx.data_mut().push(99);
+        ctx.merge_all();
+    });
+    list.to_vec()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The differential sweep of the acceptance criteria: arbitrary op
+    /// mixes and fan-outs, sequential fold vs staged fold, telemetry
+    /// plane installed — final state and digest chains must be
+    /// bit-identical.
+    #[test]
+    fn staged_merge_all_is_digest_identical_to_sequential(fan in scripts()) {
+        let guard = serial();
+        set_parallel_merge_min_children(None);
+        let (seq_state, seq_digest) = with_plane(|| run_fanout(&fan, false));
+        set_parallel_merge_min_children(Some(2));
+        set_parallel_merge_lanes(3);
+        let (par_state, par_digest) = with_plane(|| run_fanout(&fan, true));
+        drop(guard);
+        prop_assert_eq!(seq_state, par_state);
+        prop_assert_eq!(seq_digest, par_digest);
+    }
+}
+
+/// A large all-ready fan-out must actually take the staged path (the
+/// `MergeStaged` telemetry event proves it) and still produce the
+/// sequential digest.
+#[test]
+fn large_fanout_stages_and_matches_sequential_digest() {
+    let _guard = serial();
+    let program = || {
+        let (list, ()) = run(MList::<u32>::new(), |ctx| {
+            for i in 0..32u32 {
+                ctx.spawn(move |c| {
+                    for j in 0..8 {
+                        c.data_mut().push(i * 100 + j);
+                    }
+                    Ok(())
+                });
+            }
+            // Let every completion land so the whole batch is stageable.
+            std::thread::sleep(std::time::Duration::from_millis(120));
+            ctx.merge_all();
+        });
+        list.to_vec()
+    };
+
+    set_parallel_merge_min_children(None);
+    let (seq_state, seq_digest) = with_plane(program);
+
+    set_parallel_merge_min_children(Some(4));
+    set_parallel_merge_lanes(4);
+    let metrics = Arc::new(Metrics::new());
+    let auditor = Arc::new(DeterminismAuditor::new());
+    let sinks: Vec<Arc<dyn Recorder>> = vec![metrics.clone(), auditor.clone()];
+    obs::install(Arc::new(MultiRecorder::new(sinks)));
+    let par_state = program();
+    obs::uninstall();
+
+    let snap = metrics.snapshot();
+    assert!(
+        snap.merges_staged >= 1,
+        "a 32-child all-ready merge_all must stage at least one batch"
+    );
+    assert!(
+        snap.merge_staged_children >= 4,
+        "the staged batch must cover at least the threshold"
+    );
+    assert_eq!(seq_state, par_state);
+    assert_eq!(seq_digest, auditor.digest());
+    assert_eq!(par_state.len(), 32 * 8);
+}
+
+mergeable_struct! {
+    /// Two independently-versioned fields for the field-parallel seam.
+    #[derive(Debug, Clone)]
+    struct Doc {
+        items: MList<u8>,
+        notes: MText,
+    }
+}
+
+/// Field-parallel single merges (`merge_with_exec`) must match the plain
+/// per-field fold bit for bit, state and digest.
+#[test]
+fn field_parallel_struct_merge_matches_sequential() {
+    let _guard = serial();
+    let program = || {
+        let init = Doc {
+            items: MList::from_iter([0u8]),
+            notes: MText::from("base"),
+        };
+        let (doc, ()) = run(init, |ctx| {
+            for i in 0..6u8 {
+                ctx.spawn(move |c| {
+                    for j in 0..20u8 {
+                        c.data_mut().items.push(i * 20 + j);
+                    }
+                    c.data_mut().notes.insert_str(0, format!("[{i}]"));
+                    Ok(())
+                });
+            }
+            ctx.merge_all();
+        });
+        (doc.items.to_vec(), doc.notes.to_string())
+    };
+
+    // Sequential: both parallel paths off.
+    set_parallel_merge_min_children(None);
+    set_field_parallel_min_ops(None);
+    let (seq_out, seq_digest) = with_plane(program);
+
+    // Field-parallel: every non-trivial field merges on its own worker
+    // (threshold 1 op); batch staging stays off to isolate the seam.
+    set_field_parallel_min_ops(Some(1));
+    let (par_out, par_digest) = with_plane(program);
+
+    assert_eq!(seq_out, par_out);
+    assert_eq!(seq_digest, par_digest);
+}
+
+/// Satellite: merge determinism under worker-count variation. The same
+/// program, staged with 1, 2, and `num_cpus` reduction lanes on pools of
+/// different warmth, must produce one digest chain.
+#[test]
+fn digest_is_identical_across_lanes_and_pool_warmth() {
+    let _guard = serial();
+    let ncpus = std::thread::available_parallelism().map_or(4, |n| n.get().max(2));
+    let run_once = |lanes: usize, warm: usize| {
+        set_parallel_merge_min_children(Some(2));
+        set_parallel_merge_lanes(lanes);
+        let pool = Pool::new();
+        for _ in 0..warm {
+            pool.execute(|| {});
+        }
+        with_plane(|| {
+            let (data, ()) = run_with_pool((MList::<u8>::new(), MCounter::new(0)), pool, |ctx| {
+                for i in 0..12u8 {
+                    ctx.spawn(move |c| {
+                        c.data_mut().0.push(i);
+                        c.data_mut().1.add(i64::from(i));
+                        Ok(())
+                    });
+                }
+                std::thread::sleep(std::time::Duration::from_millis(60));
+                ctx.merge_all();
+            });
+            (data.0.to_vec(), data.1.get())
+        })
+    };
+    let baseline = run_once(1, 0);
+    for (lanes, warm) in [(2, 0), (ncpus, 0), (1, 16), (ncpus, 16)] {
+        let got = run_once(lanes, warm);
+        assert_eq!(
+            got, baseline,
+            "lanes={lanes} warm={warm} changed the state or digest"
+        );
+    }
+    assert_eq!(baseline.0 .1, (0..12).map(i64::from).sum::<i64>());
+}
+
+/// Satellite regression: a duplicated handle in `merge_all_from_set`
+/// must count once — before the dedup fix the second occurrence waited
+/// forever for a second event from a child that only ever sends one.
+#[test]
+fn merge_all_from_set_dedups_duplicate_handles() {
+    let _guard = serial();
+    let (list, reports) = run(MList::<u32>::new(), |ctx| {
+        let a = ctx.spawn(|c| {
+            c.data_mut().push(1);
+            Ok(())
+        });
+        let b = ctx.spawn(|c| {
+            c.data_mut().push(2);
+            Ok(())
+        });
+        let report = ctx.merge_all_from_set(&[&a, &a, &b, &a]);
+        let again = ctx.merge_all_from_set(&[&a, &b]);
+        (report, again)
+    });
+    let (report, again) = reports;
+    assert_eq!(
+        report.children.len(),
+        2,
+        "each duplicated handle merges exactly once"
+    );
+    assert!(report.all_merged());
+    assert_eq!(report.completed_count(), 2);
+    assert!(
+        again.children.is_empty(),
+        "retired children are skipped on the next call"
+    );
+    assert_eq!(
+        list.to_vec(),
+        vec![1, 2],
+        "argument order is the merge order"
+    );
+}
