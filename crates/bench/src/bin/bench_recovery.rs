@@ -11,17 +11,27 @@
 //!   snapshot's on-disk footprint.
 //! * `recovery` — end-to-end crash recovery (snapshot load + WAL replay
 //!   through the OT apply path + digest-chain verification) for journals
-//!   of 10^4, 10^5 and 10^6 scattered list operations, reported as total
-//!   wall time and replayed ops/second.
+//!   of 10^4, 10^5 and 10^6 scattered list operations, measured on both
+//!   the segment-parallel default path and the `recover_serial` escape
+//!   hatch (best of two runs each), reported as total wall time,
+//!   replayed ops/second, and the parallel-over-serial speedup.
+//! * `delta` — delta-snapshot footprint: a ~1%-mutated chunk-backed
+//!   state's `snap-delta` bytes against a full snapshot of the same
+//!   state, as written by the store itself.
 //!
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p sm-bench --bin bench_recovery [-- --quick] [-- --out PATH]
+//! cargo run --release -p sm-bench --bin bench_recovery \
+//!     [-- --quick] [-- --out PATH] [-- --assert-floors]
 //! ```
 //!
 //! `--quick` reduces repetitions and skips the 10^6 journal for CI smoke
-//! runs; `--out` overrides the default output path `BENCH_recovery.json`.
+//! runs; `--out` overrides the default output path `BENCH_recovery.json`;
+//! `--assert-floors` exits non-zero unless the parallel replay speedup
+//! and the delta-footprint ratio clear their regression floors (>= 4x
+//! and <= 10% full mode, halved to >= 2x and <= 20% under `--quick`,
+//! where the journals are smaller and fixed costs weigh more).
 
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
@@ -29,7 +39,7 @@ use std::time::{Duration, Instant};
 
 use sm_mergeable::MList;
 use sm_obs::TaskPath;
-use sm_store::{FsyncPolicy, Store, StoreOptions};
+use sm_store::{FsyncPolicy, RetentionPolicy, Store, StoreOptions};
 
 /// Scratch directory under the OS temp root, wiped on entry.
 fn scratch(tag: &str) -> PathBuf {
@@ -55,11 +65,14 @@ impl Lcg {
 }
 
 /// Journal `total_ops` scattered inserts in commits of `ops_per_commit`.
+/// Segments roll at 1 MiB so the large journals span enough of them to
+/// exercise the segment-parallel scan.
 fn build_journal(dir: &Path, total_ops: usize, ops_per_commit: usize, fsync: FsyncPolicy) -> Store {
     let store = Store::open(
         dir.to_path_buf(),
         StoreOptions {
             fsync,
+            segment_bytes: 1 << 20,
             ..StoreOptions::default()
         },
     )
@@ -85,6 +98,7 @@ fn build_journal(dir: &Path, total_ops: usize, ops_per_commit: usize, fsync: Fsy
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let assert_floors = args.iter().any(|a| a == "--assert-floors");
     let out_path = args
         .iter()
         .position(|a| a == "--out")
@@ -191,6 +205,7 @@ fn main() {
     } else {
         &[10_000, 100_000, 1_000_000]
     };
+    let mut largest_speedup = 0.0f64;
     for (ji, &total_ops) in journal_sizes.iter().enumerate() {
         let dir = scratch(&format!("recover-{total_ops}"));
         let build = Instant::now();
@@ -199,19 +214,39 @@ fn main() {
         let commits = store.last_seq();
         drop(store);
 
-        let reopened = Store::open(dir.clone(), StoreOptions::default()).unwrap();
-        let t = Instant::now();
-        let rec = reopened.recover::<MList<u64>>().unwrap().expect("journal");
-        let recover_ns = t.elapsed().as_nanos() as u64;
-        // Span compaction fuses the occasional adjacent insert pair, so
-        // the replayed op count can sit slightly below the requested one;
-        // the reconstructed state must be element-for-element complete.
-        assert_eq!(rec.data.len(), total_ops);
-        let replayed = rec.replayed_ops;
+        // Best of two runs per path, serial/parallel interleaved so page
+        // cache and allocator warmth favour neither side.
+        let mut serial_ns = u64::MAX;
+        let mut recover_ns = u64::MAX;
+        let mut replayed = 0u64;
+        for _ in 0..2 {
+            let reopened = Store::open(dir.clone(), StoreOptions::default()).unwrap();
+            let t = Instant::now();
+            let rec = reopened
+                .recover_serial::<MList<u64>>()
+                .unwrap()
+                .expect("journal");
+            serial_ns = serial_ns.min(t.elapsed().as_nanos() as u64);
+            assert_eq!(rec.data.len(), total_ops);
+
+            let reopened = Store::open(dir.clone(), StoreOptions::default()).unwrap();
+            let t = Instant::now();
+            let rec = reopened.recover::<MList<u64>>().unwrap().expect("journal");
+            recover_ns = recover_ns.min(t.elapsed().as_nanos() as u64);
+            // Span compaction fuses the occasional adjacent insert pair,
+            // so the replayed op count can sit slightly below the
+            // requested one; the reconstructed state must be
+            // element-for-element complete.
+            assert_eq!(rec.data.len(), total_ops);
+            replayed = rec.replayed_ops;
+        }
         let ops_per_sec = replayed as f64 / (recover_ns as f64 / 1e9);
+        let speedup = serial_ns as f64 / recover_ns as f64;
+        largest_speedup = speedup;
         eprintln!(
             "recovery @ {total_ops} ops ({commits} commits, {replayed} replayed): \
-             journal {build_ns} ns, recover {recover_ns} ns, {ops_per_sec:.0} ops/s"
+             journal {build_ns} ns, parallel {recover_ns} ns ({ops_per_sec:.0} ops/s), \
+             serial {serial_ns} ns, speedup {speedup:.2}x"
         );
         if ji > 0 {
             json.push_str(",\n");
@@ -220,11 +255,88 @@ fn main() {
             json,
             "    {{\"ops\": {total_ops}, \"commits\": {commits}, \"replayed_ops\": {replayed}, \
              \"journal_ns\": {build_ns}, \"recover_ns\": {recover_ns}, \
+             \"serial_recover_ns\": {serial_ns}, \"speedup\": {speedup:.2}, \
              \"replay_ops_per_sec\": {ops_per_sec:.0}}}"
         );
         let _ = std::fs::remove_dir_all(&dir);
     }
-    json.push_str("\n  ]\n}\n");
+
+    // ------------------------------------------------------------------
+    // Delta-snapshot footprint: ~1% tail-clustered mutation of a
+    // chunk-backed state, measured from the files the store writes.
+    // ------------------------------------------------------------------
+    json.push_str("\n  ],\n  \"delta\": ");
+    let size: usize = if quick { 100_000 } else { 1_000_000 };
+    let muts = size / 100;
+    let dir = scratch("delta");
+    let store = Store::open(
+        dir.clone(),
+        StoreOptions {
+            fsync: FsyncPolicy::EveryN(256),
+            snapshot_every_ops: muts as u64 / 2,
+            delta_snapshots: true,
+            full_snapshot_every: u32::MAX,
+            retention: RetentionPolicy::KeepAll,
+            ..StoreOptions::default()
+        },
+    )
+    .unwrap();
+    let mut rng = Lcg(0xDE17A);
+    let mut data = MList::<u64>::from_iter(0..size as u64);
+    store.begin(&data).unwrap();
+    for _ in 0..muts {
+        let window = (data.len() + 1).min(4096);
+        let at = data.len() + 1 - window + (rng.next() as usize) % window;
+        data.insert(at, rng.next());
+    }
+    let t = Instant::now();
+    store.commit(&data, &TaskPath::root()).unwrap(); // triggers the delta
+    let delta_commit_ns = t.elapsed().as_nanos() as u64;
+    store.snapshot(&data).unwrap(); // explicit snapshots are always full
+    store.sync().unwrap();
+    let file_size = |prefix: &str| -> u64 {
+        std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| {
+                let e = e.unwrap();
+                let name = e.file_name();
+                let name = name.to_str()?;
+                (name.starts_with(prefix) && (prefix != "snap-" || !name.starts_with("snap-delta")))
+                    .then(|| e.metadata().unwrap().len())
+            })
+            .max()
+            .unwrap_or(0)
+    };
+    let delta_bytes = file_size("snap-delta-");
+    let full_bytes = file_size("snap-");
+    assert!(delta_bytes > 0, "the mutation commit must write a delta");
+    let ratio = delta_bytes as f64 / full_bytes as f64;
+    eprintln!(
+        "delta @ {size} elems, {muts} tail mutations: delta {delta_bytes} bytes vs \
+         full {full_bytes} bytes ({:.1}% of full), commit+delta {delta_commit_ns} ns",
+        ratio * 100.0
+    );
+    let _ = writeln!(
+        json,
+        "{{\"elems\": {size}, \"mutations\": {muts}, \"delta_bytes\": {delta_bytes}, \
+         \"full_bytes\": {full_bytes}, \"ratio\": {ratio:.4}, \
+         \"delta_commit_ns\": {delta_commit_ns}}},"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // ------------------------------------------------------------------
+    // Regression floors (halved under --quick: smaller journals, larger
+    // share of fixed costs).
+    // ------------------------------------------------------------------
+    let (speedup_floor, ratio_ceiling) = if quick { (2.0, 0.20) } else { (4.0, 0.10) };
+    let speedup_ok = largest_speedup >= speedup_floor;
+    let ratio_ok = ratio <= ratio_ceiling;
+    let _ = write!(
+        json,
+        "  \"floors\": {{\"speedup_floor\": {speedup_floor}, \"speedup\": {largest_speedup:.2}, \
+         \"speedup_ok\": {speedup_ok}, \"delta_ratio_ceiling\": {ratio_ceiling}, \
+         \"delta_ratio\": {ratio:.4}, \"delta_ratio_ok\": {ratio_ok}}}\n}}\n"
+    );
 
     match std::fs::write(&out_path, &json) {
         Ok(()) => eprintln!("bench_recovery: wrote {out_path}"),
@@ -232,5 +344,30 @@ fn main() {
             eprintln!("bench_recovery: could not write {out_path}: {e}");
             std::process::exit(1);
         }
+    }
+
+    if assert_floors {
+        let mut failed = false;
+        if !speedup_ok {
+            eprintln!(
+                "bench_recovery: FLOOR VIOLATION: parallel replay speedup \
+                 {largest_speedup:.2}x < {speedup_floor}x"
+            );
+            failed = true;
+        }
+        if !ratio_ok {
+            eprintln!(
+                "bench_recovery: FLOOR VIOLATION: delta snapshot ratio \
+                 {ratio:.4} > {ratio_ceiling}"
+            );
+            failed = true;
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        eprintln!(
+            "bench_recovery: floors hold (speedup {largest_speedup:.2}x >= {speedup_floor}x, \
+             delta ratio {ratio:.4} <= {ratio_ceiling})"
+        );
     }
 }

@@ -101,24 +101,32 @@ pub fn put_varint(buf: &mut BytesMut, mut v: u64) {
 }
 
 /// Read a LEB128 varint.
+///
+/// Scans the unread region as one slice — a single bounds check up front
+/// instead of a `has_remaining` + indexed `get_u8` per byte, which is the
+/// hot loop of every decode — and consumes exactly the bytes the per-byte
+/// loop would have (including the offending byte on overflow).
 pub fn get_varint(buf: &mut Bytes) -> Result<u64, DecodeError> {
     let mut v: u64 = 0;
     let mut shift = 0u32;
-    loop {
-        if !buf.has_remaining() {
-            return Err(DecodeError::UnexpectedEnd);
-        }
-        let byte = buf.get_u8();
+    let mut used = 0usize;
+    let mut res: Result<u64, DecodeError> = Err(DecodeError::UnexpectedEnd);
+    for &byte in buf.as_slice() {
+        used += 1;
         let payload = u64::from(byte & 0x7f);
         if shift >= 64 || (shift == 63 && payload > 1) {
-            return Err(DecodeError::VarintOverflow);
+            res = Err(DecodeError::VarintOverflow);
+            break;
         }
         v |= payload << shift;
         if byte & 0x80 == 0 {
-            return Ok(v);
+            res = Ok(v);
+            break;
         }
         shift += 7;
     }
+    buf.advance(used);
+    res
 }
 
 fn zigzag(v: i64) -> u64 {

@@ -23,6 +23,7 @@ impl From<ReplayError> for DistError {
             ReplayError::Decode(d) => DistError::Decode(d),
             ReplayError::Apply(a) => DistError::Apply(a),
             ReplayError::Shape(s) => DistError::Protocol(s),
+            ReplayError::Count { .. } => DistError::Protocol(e.to_string()),
         }
     }
 }

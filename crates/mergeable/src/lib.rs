@@ -86,7 +86,7 @@ pub use cmap::MCounterMap;
 pub use counter::MCounter;
 pub use list::MList;
 pub use map::MMap;
-pub use persist::{Persist, ReplayError};
+pub use persist::{Persist, PreparedLog, PreparedReplayError, RawPreparedLog, ReplayError};
 pub use queue::MQueue;
 pub use register::MRegister;
 pub use set::MSet;

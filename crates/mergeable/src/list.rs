@@ -138,6 +138,18 @@ impl<T: Element> MList<T> {
         &self.inner
     }
 
+    pub(crate) fn versioned_mut(&mut self) -> &mut Versioned<ListOp<T>> {
+        &mut self.inner
+    }
+
+    // Base-state constructor from an already-built chunk tree (delta
+    // snapshot decode in `crate::persist` — shares the base's chunks).
+    pub(crate) fn from_chunk_tree(tree: ChunkTree<T>) -> Self {
+        MList {
+            inner: Versioned::new(tree),
+        }
+    }
+
     /// Apply and record an operation produced elsewhere (replication /
     /// distributed runtimes).
     pub fn apply_op(&mut self, op: ListOp<T>) -> Result<(), sm_ot::ApplyError> {

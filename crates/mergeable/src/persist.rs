@@ -24,8 +24,10 @@
 //! which the current history prefix can never be rewritten. A journal
 //! seals before it reads.
 
-use bytes::{Bytes, BytesMut};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
 use sm_codec::{Decode, DecodeError, Encode};
+use sm_ot::list::{Element, ListOp};
+use sm_ot::state::{ChunkTree, DeltaPart, Rope};
 use sm_ot::tree::Node;
 use sm_ot::Operation;
 
@@ -33,6 +35,7 @@ use crate::{
     MCounter, MCounterMap, MList, MMap, MQueue, MRegister, MSet, MText, MTree, Mergeable, Versioned,
 };
 
+use std::any::Any;
 use std::fmt;
 
 /// Error replaying a serialized operation log onto a structure.
@@ -45,6 +48,16 @@ pub enum ReplayError {
     /// Composite structures disagree in shape (e.g. `Vec<M>` length
     /// drift between encoder and decoder).
     Shape(String),
+    /// Replay applied a different number of operations than the journal
+    /// frame declared, or left trailing bytes: frame/payload drift.
+    Count {
+        /// Operations actually applied.
+        applied: usize,
+        /// Operation count the frame declared.
+        expected: u64,
+        /// Undecoded bytes left after the last operation.
+        trailing: usize,
+    },
 }
 
 impl fmt::Display for ReplayError {
@@ -53,6 +66,16 @@ impl fmt::Display for ReplayError {
             ReplayError::Decode(e) => write!(f, "log decode failed: {e}"),
             ReplayError::Apply(e) => write!(f, "replayed operation failed to apply: {e}"),
             ReplayError::Shape(e) => write!(f, "shape mismatch: {e}"),
+            // Phrased so a journal prefixing "commit {seq} " reproduces
+            // its sequential corruption report verbatim.
+            ReplayError::Count {
+                applied,
+                expected,
+                trailing,
+            } => write!(
+                f,
+                "replayed {applied} of {expected} ops with {trailing} trailing bytes"
+            ),
         }
     }
 }
@@ -62,6 +85,79 @@ impl std::error::Error for ReplayError {}
 impl From<DecodeError> for ReplayError {
     fn from(e: DecodeError) -> Self {
         ReplayError::Decode(e)
+    }
+}
+
+/// Error from [`Persist::replay_prepared`]: which slice of the submitted
+/// batch failed and why, so callers can map the index back to a journal
+/// sequence number.
+#[derive(Debug)]
+pub struct PreparedReplayError {
+    /// Position of the failing slice in the submitted batch.
+    pub index: usize,
+    /// The underlying replay failure.
+    pub error: ReplayError,
+}
+
+/// A committed log slice pre-decoded off the hot path, ready to replay
+/// onto `D`.
+///
+/// Parallel recovery (sm-store) decodes and verifies journal segments on
+/// worker threads, producing one `PreparedLog` per commit; a single
+/// coordinator then replays them strictly in sequence order via
+/// [`Persist::replay_prepared`]. The default pipeline wraps the raw
+/// bytes ([`RawPreparedLog`]) and defers to [`Persist::apply_log`], so
+/// prepared replay is effect-identical to sequential replay; structures
+/// may override [`Persist::decode_log_prepared`] with a representation
+/// that replays faster (e.g. list insert batches).
+pub trait PreparedLog<D>: Send {
+    /// Apply this prepared slice to `data` with the effect of
+    /// [`Persist::apply_log`] followed by [`Persist::seal_history`].
+    /// Returns the number of operations applied.
+    fn replay(self: Box<Self>, data: &mut D) -> Result<usize, ReplayError>;
+
+    /// Non-consuming downcast probe: batched replay paths peek at the
+    /// concrete type before deciding how to consume the item.
+    fn as_any(&self) -> &dyn Any;
+
+    /// Consume into `Any` once [`PreparedLog::as_any`] confirmed the
+    /// concrete type (a failed consuming downcast cannot restore the
+    /// trait object).
+    fn into_any(self: Box<Self>) -> Box<dyn Any + Send>;
+}
+
+/// The default [`PreparedLog`]: undecoded log bytes plus the journal
+/// frame's declared operation count, replayed through
+/// [`Persist::apply_log`].
+pub struct RawPreparedLog {
+    /// The encoded log slice (wire-compatible with [`Persist::apply_log`]).
+    pub buf: Bytes,
+    /// Operation count the journal frame declared for this slice.
+    pub expected_ops: u64,
+}
+
+impl<D: Persist + 'static> PreparedLog<D> for RawPreparedLog {
+    fn replay(self: Box<Self>, data: &mut D) -> Result<usize, ReplayError> {
+        let expected = self.expected_ops;
+        let mut buf = self.buf;
+        let applied = data.apply_log(&mut buf)?;
+        if applied as u64 != expected || buf.has_remaining() {
+            return Err(ReplayError::Count {
+                applied,
+                expected,
+                trailing: buf.remaining(),
+            });
+        }
+        data.seal_history();
+        Ok(applied)
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn Any + Send> {
+        self
     }
 }
 
@@ -104,6 +200,122 @@ pub trait Persist: Mergeable {
         cursor: &mut usize,
         buf: &mut BytesMut,
     ) -> usize;
+
+    /// Decode one committed log slice into a [`PreparedLog`] without
+    /// touching any state, so decode work can run off the replay thread
+    /// (parallel recovery workers). `expected_ops` is the operation
+    /// count the journal frame declared; implementations that cannot
+    /// confirm it defer the check to replay. The default keeps the raw
+    /// bytes and replays through [`Persist::apply_log`].
+    fn decode_log_prepared(buf: Bytes, expected_ops: u64) -> Box<dyn PreparedLog<Self>>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(RawPreparedLog { buf, expected_ops })
+    }
+
+    /// Replay a batch of prepared slices in order — equivalent to
+    /// replaying each via [`PreparedLog::replay`]. Structures override
+    /// this to amortize work across consecutive slices (e.g. the list
+    /// replay session). On failure reports the batch index of the
+    /// failing slice so callers can attribute it to a journal sequence.
+    fn replay_prepared(
+        &mut self,
+        items: Vec<Box<dyn PreparedLog<Self>>>,
+    ) -> Result<usize, PreparedReplayError>
+    where
+        Self: Sized,
+    {
+        let mut total = 0;
+        for (index, item) in items.into_iter().enumerate() {
+            total += item
+                .replay(self)
+                .map_err(|error| PreparedReplayError { index, error })?;
+        }
+        Ok(total)
+    }
+
+    /// Encode the difference between the current state and `base` (an
+    /// earlier snapshot of the same structure lineage), decodable by
+    /// [`Persist::decode_state_delta`] against the same base. The
+    /// default carries a full snapshot — always correct; chunk-backed
+    /// structures override with a shared-run encoding whose size tracks
+    /// the diverged content instead of the whole state.
+    fn encode_state_delta(&self, base: &Self, buf: &mut BytesMut) {
+        let _ = base;
+        buf.put_u8(DELTA_TAG_FULL);
+        self.encode_state(buf);
+    }
+
+    /// Decode [`Persist::encode_state_delta`] output against `base`.
+    fn decode_state_delta(base: &Self, buf: &mut Bytes) -> Result<Self, DecodeError>
+    where
+        Self: Sized,
+    {
+        let _ = base;
+        match read_u8(buf)? {
+            DELTA_TAG_FULL => Self::decode_state(buf),
+            t => Err(DecodeError::BadTag(t)),
+        }
+    }
+}
+
+/// [`Persist::encode_state_delta`] leading tag: a full state snapshot
+/// follows (the always-correct fallback).
+const DELTA_TAG_FULL: u8 = 0;
+/// A chunk shared-run delta follows ([`encode_delta_parts`]).
+const DELTA_TAG_CHUNKS: u8 = 1;
+/// A composite: one tagged delta per component follows.
+const DELTA_TAG_COMPOSITE: u8 = 2;
+
+/// [`DeltaPart`] run kinds on the wire.
+const DELTA_PART_SHARED: u8 = 0;
+const DELTA_PART_LITERAL: u8 = 1;
+
+fn read_u8(buf: &mut Bytes) -> Result<u8, DecodeError> {
+    if !buf.has_remaining() {
+        return Err(DecodeError::UnexpectedEnd);
+    }
+    Ok(buf.get_u8())
+}
+
+/// Wire form of a chunk shared-run delta: varint part count, then per
+/// part either `SHARED` + varint base start + varint run length, or
+/// `LITERAL` + the encoded chunk content.
+fn encode_delta_parts<C: Encode>(parts: &[DeltaPart<C>], buf: &mut BytesMut) {
+    sm_codec::put_varint(buf, parts.len() as u64);
+    for part in parts {
+        match part {
+            DeltaPart::Shared { start, count } => {
+                buf.put_u8(DELTA_PART_SHARED);
+                sm_codec::put_varint(buf, *start as u64);
+                sm_codec::put_varint(buf, *count as u64);
+            }
+            DeltaPart::Literal(c) => {
+                buf.put_u8(DELTA_PART_LITERAL);
+                c.encode(buf);
+            }
+        }
+    }
+}
+
+fn decode_delta_parts<C: Decode>(buf: &mut Bytes) -> Result<Vec<DeltaPart<C>>, DecodeError> {
+    let n = sm_codec::get_varint(buf)?;
+    if n > buf.remaining() as u64 {
+        return Err(DecodeError::BadLength(n));
+    }
+    let mut parts = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        match read_u8(buf)? {
+            DELTA_PART_SHARED => parts.push(DeltaPart::Shared {
+                start: usize::decode(buf)?,
+                count: usize::decode(buf)?,
+            }),
+            DELTA_PART_LITERAL => parts.push(DeltaPart::Literal(C::decode(buf)?)),
+            t => return Err(DecodeError::BadTag(t)),
+        }
+    }
+    Ok(parts)
 }
 
 /// Encode a log with span compaction applied first: runs of fusible
@@ -175,6 +387,292 @@ macro_rules! persist_log_methods {
     };
 }
 
+/// Pre-decoded insert-only list commit: `(position, value start, run
+/// length)` spans in op order over a flat value buffer — the input shape
+/// of [`sm_ot::list::plan_insert_batch`], consumed by
+/// [`ListReplaySession`].
+pub struct ListPreparedLog<T: Element> {
+    spans: Vec<(usize, usize, usize)>,
+    /// Per-span: encoded as `InsertRun` (true) or `Insert` (false), so
+    /// the sequential fallback reconstructs the exact operation (and its
+    /// exact apply-error text).
+    runs: Vec<bool>,
+    values: Vec<T>,
+    min_pos: usize,
+}
+
+/// Fused single-pass decoder for the list fast lane: accepts a committed
+/// slice made solely of `Insert`/`InsertRun` ops. Returns `None` — raw
+/// fallback, preserving sequential error semantics byte-for-byte — on a
+/// declared-count mismatch, non-insert tags, empty runs (which the
+/// sequential path bounds-checks before discovering they are no-ops),
+/// trailing bytes, or any decode failure.
+fn decode_insert_only<T>(buf: &Bytes, expected_ops: u64) -> Option<ListPreparedLog<T>>
+where
+    T: Element + Decode,
+{
+    let mut buf = buf.clone();
+    let count = sm_codec::get_varint(&mut buf).ok()?;
+    if count != expected_ops || count > buf.remaining() as u64 {
+        return None;
+    }
+    let mut spans = Vec::with_capacity(count as usize);
+    let mut runs = Vec::with_capacity(count as usize);
+    let mut values: Vec<T> = Vec::with_capacity(count as usize);
+    let mut min_pos = usize::MAX;
+    for _ in 0..count {
+        if !buf.has_remaining() {
+            return None;
+        }
+        match buf.get_u8() {
+            // Tags from the `ListOp` wire format (sm-codec).
+            0 => {
+                let at = usize::decode(&mut buf).ok()?;
+                spans.push((at, values.len(), 1));
+                runs.push(false);
+                values.push(T::decode(&mut buf).ok()?);
+                min_pos = min_pos.min(at);
+            }
+            3 => {
+                let at = usize::decode(&mut buf).ok()?;
+                let vs: Vec<T> = Vec::decode(&mut buf).ok()?;
+                if vs.is_empty() {
+                    return None;
+                }
+                spans.push((at, values.len(), vs.len()));
+                runs.push(true);
+                values.extend(vs);
+                min_pos = min_pos.min(at);
+            }
+            _ => return None,
+        }
+    }
+    if buf.has_remaining() {
+        return None;
+    }
+    Some(ListPreparedLog {
+        spans,
+        runs,
+        values,
+        min_pos,
+    })
+}
+
+/// Replays consecutive [`ListPreparedLog`] commits over a split
+/// representation: an untouched chunk-tree prefix plus a plain `Vec`
+/// tail covering everything the batches touch. Trailing-window
+/// workloads (appends, queue churn) then amortize — each commit is one
+/// slot plan + window rewrite on the tail, with no tree rebuild until
+/// [`ListReplaySession::into_tree`].
+struct ListReplaySession<T: Element> {
+    /// Untouched prefix; the document is `tree ++ tail`.
+    tree: ChunkTree<T>,
+    tail: Vec<T>,
+    /// Reused slot-plan state (free-slot index + mark buffer).
+    planner: sm_ot::list::InsertPlanner,
+    /// Reused copy of the pre-batch window, freeing `tail` to receive
+    /// the assembled result in place.
+    scratch: Vec<T>,
+}
+
+impl<T: Element> ListReplaySession<T> {
+    fn new(tree: ChunkTree<T>) -> Self {
+        ListReplaySession {
+            tree,
+            tail: Vec::new(),
+            planner: sm_ot::list::InsertPlanner::new(),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Apply one prepared commit; returns its op count. Falls back to
+    /// exact sequential application whenever the batch lane's
+    /// preconditions don't hold, so results *and errors* match
+    /// op-by-op replay.
+    fn apply(&mut self, item: ListPreparedLog<T>) -> Result<usize, ReplayError> {
+        let ops = item.spans.len();
+        if ops == 0 {
+            return Ok(0);
+        }
+        let doc_len = self.tree.len() + self.tail.len();
+        let k = item.values.len();
+        let s = item.min_pos;
+        if s > doc_len {
+            // The earliest insert is already out of bounds; sequential
+            // application owns the per-op error report.
+            return self.apply_sequential(item).map(|()| ops);
+        }
+        let window = doc_len - s;
+        let m = window + k;
+        if m >= u32::MAX as usize || window > 16 * k + 4096 {
+            return self.apply_sequential(item).map(|()| ops);
+        }
+        // Validate that every op lands in bounds at its time (mirrors
+        // `apply_batch` step 2); any failure is sequential's to report.
+        let mut cur = doc_len;
+        for (pos, _, len) in &item.spans {
+            if *pos > cur {
+                return self.apply_sequential(item).map(|()| ops);
+            }
+            cur += len;
+        }
+        // Make the window tail-resident, then rewrite it in place.
+        if s < self.tree.len() {
+            let t = self.tree.len();
+            let mut suffix = self.tree.range_to_vec(s, t - s);
+            self.tree.remove_range(s, t - s);
+            suffix.append(&mut self.tail);
+            self.tail = suffix;
+        }
+        let off = s - self.tree.len();
+        let mut spans = item.spans;
+        for span in &mut spans {
+            span.0 -= s;
+        }
+        // Save the pre-batch window, then grow `tail` to the post-batch
+        // length and let the fused plan+assemble overwrite every slot of
+        // the window region in place.
+        self.scratch.clear();
+        self.scratch.extend_from_slice(&self.tail[off..]);
+        self.tail.resize(off + m, item.values[0].clone());
+        self.planner
+            .plan_assemble(&spans, &self.scratch, &item.values, &mut self.tail[off..]);
+        Ok(ops)
+    }
+
+    fn apply_sequential(&mut self, item: ListPreparedLog<T>) -> Result<(), ReplayError> {
+        self.flush();
+        let mut vals = item.values.into_iter();
+        for ((pos, _, len), is_run) in item.spans.into_iter().zip(item.runs) {
+            let op: ListOp<T> = if is_run {
+                ListOp::InsertRun(pos, vals.by_ref().take(len).collect())
+            } else {
+                ListOp::Insert(pos, vals.next().expect("span covers one value"))
+            };
+            op.apply(&mut self.tree)
+                .map_err(|e| ReplayError::Apply(e.to_string()))?;
+        }
+        Ok(())
+    }
+
+    /// Fold the tail back into the tree.
+    fn flush(&mut self) {
+        if !self.tail.is_empty() {
+            let tail = std::mem::take(&mut self.tail);
+            if self.tree.is_empty() {
+                // Replay-from-empty leaves the whole document in the
+                // tail; bulk chunking beats a root splice.
+                self.tree = ChunkTree::from_vec(tail);
+            } else {
+                let at = self.tree.len();
+                self.tree.splice_vec(at, 0, tail);
+            }
+        }
+    }
+
+    fn into_tree(mut self) -> ChunkTree<T> {
+        self.flush();
+        self.tree
+    }
+}
+
+macro_rules! impl_list_prepared_log {
+    ($target:ident) => {
+        impl<T> PreparedLog<$target<T>> for ListPreparedLog<T>
+        where
+            T: Element + Encode + Decode,
+        {
+            fn replay(self: Box<Self>, data: &mut $target<T>) -> Result<usize, ReplayError> {
+                let mut session = ListReplaySession::new(data.chunk_tree().clone());
+                let n = session.apply(*self)?;
+                data.versioned_mut().set_state(session.into_tree());
+                data.seal_history();
+                Ok(n)
+            }
+
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+
+            fn into_any(self: Box<Self>) -> Box<dyn Any + Send> {
+                self
+            }
+        }
+    };
+}
+impl_list_prepared_log!(MList);
+impl_list_prepared_log!(MQueue);
+
+/// Prepared-replay overrides for the list-shaped structures: decode
+/// fans insert-only slices into [`ListPreparedLog`]s, and batched replay
+/// threads one [`ListReplaySession`] through consecutive slices.
+/// `$elem` is the impl's element type parameter (passed in explicitly:
+/// macro bodies cannot name the caller's generics hygienically).
+macro_rules! persist_list_prepared_methods {
+    ($elem:ident) => {
+        fn decode_log_prepared(buf: Bytes, expected_ops: u64) -> Box<dyn PreparedLog<Self>> {
+            match decode_insert_only::<$elem>(&buf, expected_ops) {
+                Some(prepared) => Box::new(prepared),
+                None => Box::new(RawPreparedLog { buf, expected_ops }),
+            }
+        }
+
+        fn replay_prepared(
+            &mut self,
+            items: Vec<Box<dyn PreparedLog<Self>>>,
+        ) -> Result<usize, PreparedReplayError> {
+            let mut session = ListReplaySession::new(self.chunk_tree().clone());
+            let mut total = 0;
+            for (index, item) in items.into_iter().enumerate() {
+                if item.as_any().is::<ListPreparedLog<$elem>>() {
+                    let prepared = item
+                        .into_any()
+                        .downcast::<ListPreparedLog<$elem>>()
+                        .expect("probed via as_any");
+                    total += session
+                        .apply(*prepared)
+                        .map_err(|error| PreparedReplayError { index, error })?;
+                } else {
+                    // Foreign slice (deletes/sets decode to raw bytes):
+                    // install the session state, replay through the
+                    // generic path, resume batching from the result.
+                    self.versioned_mut().set_state(session.into_tree());
+                    total += item
+                        .replay(self)
+                        .map_err(|error| PreparedReplayError { index, error })?;
+                    session = ListReplaySession::new(self.chunk_tree().clone());
+                }
+            }
+            self.versioned_mut().set_state(session.into_tree());
+            self.seal_history();
+            Ok(total)
+        }
+    };
+}
+
+/// Chunk shared-run delta overrides for list-shaped structures.
+macro_rules! persist_chunk_delta_methods {
+    () => {
+        fn encode_state_delta(&self, base: &Self, buf: &mut BytesMut) {
+            buf.put_u8(DELTA_TAG_CHUNKS);
+            encode_delta_parts(&self.chunk_tree().delta_parts(base.chunk_tree()), buf);
+        }
+
+        fn decode_state_delta(base: &Self, buf: &mut Bytes) -> Result<Self, DecodeError> {
+            match read_u8(buf)? {
+                DELTA_TAG_FULL => Self::decode_state(buf),
+                DELTA_TAG_CHUNKS => {
+                    let parts = decode_delta_parts(buf)?;
+                    let tree = ChunkTree::apply_delta(base.chunk_tree(), parts)
+                        .ok_or(DecodeError::BadLength(u64::MAX))?;
+                    Ok(Self::from_chunk_tree(tree))
+                }
+                t => Err(DecodeError::BadTag(t)),
+            }
+        }
+    };
+}
+
 impl<T> Persist for MList<T>
 where
     T: sm_ot::list::Element + Encode + Decode,
@@ -188,6 +686,8 @@ where
     }
 
     persist_log_methods!(sm_ot::list::ListOp<T>);
+    persist_list_prepared_methods!(T);
+    persist_chunk_delta_methods!();
 }
 
 impl<T> Persist for MQueue<T>
@@ -203,6 +703,8 @@ where
     }
 
     persist_log_methods!(sm_ot::list::ListOp<T>);
+    persist_list_prepared_methods!(T);
+    persist_chunk_delta_methods!();
 }
 
 impl Persist for MText {
@@ -212,6 +714,24 @@ impl Persist for MText {
 
     fn decode_state(buf: &mut Bytes) -> Result<Self, DecodeError> {
         Ok(MText::from(String::decode(buf)?))
+    }
+
+    fn encode_state_delta(&self, base: &Self, buf: &mut BytesMut) {
+        buf.put_u8(DELTA_TAG_CHUNKS);
+        encode_delta_parts(&self.rope().delta_parts(base.rope()), buf);
+    }
+
+    fn decode_state_delta(base: &Self, buf: &mut Bytes) -> Result<Self, DecodeError> {
+        match read_u8(buf)? {
+            DELTA_TAG_FULL => Self::decode_state(buf),
+            DELTA_TAG_CHUNKS => {
+                let parts = decode_delta_parts::<String>(buf)?;
+                let rope = Rope::apply_delta(base.rope(), parts)
+                    .ok_or(DecodeError::BadLength(u64::MAX))?;
+                Ok(MText::from_rope(rope))
+            }
+            t => Err(DecodeError::BadTag(t)),
+        }
     }
 
     persist_log_methods!(sm_ot::text::TextOp);
@@ -369,6 +889,37 @@ impl<M: Persist> Persist for Vec<M> {
         }
         total
     }
+
+    fn encode_state_delta(&self, base: &Self, buf: &mut BytesMut) {
+        if self.len() != base.len() {
+            buf.put_u8(DELTA_TAG_FULL);
+            self.encode_state(buf);
+            return;
+        }
+        buf.put_u8(DELTA_TAG_COMPOSITE);
+        sm_codec::put_varint(buf, self.len() as u64);
+        for (m, b) in self.iter().zip(base) {
+            m.encode_state_delta(b, buf);
+        }
+    }
+
+    fn decode_state_delta(base: &Self, buf: &mut Bytes) -> Result<Self, DecodeError> {
+        match read_u8(buf)? {
+            DELTA_TAG_FULL => Self::decode_state(buf),
+            DELTA_TAG_COMPOSITE => {
+                let len = sm_codec::get_varint(buf)?;
+                if len as usize != base.len() {
+                    return Err(DecodeError::BadLength(len));
+                }
+                let mut v = Vec::with_capacity(base.len());
+                for b in base {
+                    v.push(M::decode_state_delta(b, buf)?);
+                }
+                Ok(v)
+            }
+            t => Err(DecodeError::BadTag(t)),
+        }
+    }
 }
 
 macro_rules! impl_persist_tuple {
@@ -405,6 +956,21 @@ macro_rules! impl_persist_tuple {
                 let mut total = 0;
                 $( total += self.$idx.encode_committed_since(marks, cursor, buf); )+
                 total
+            }
+
+            fn encode_state_delta(&self, base: &Self, buf: &mut BytesMut) {
+                buf.put_u8(DELTA_TAG_COMPOSITE);
+                $( self.$idx.encode_state_delta(&base.$idx, buf); )+
+            }
+
+            fn decode_state_delta(base: &Self, buf: &mut Bytes) -> Result<Self, DecodeError> {
+                match read_u8(buf)? {
+                    DELTA_TAG_FULL => Self::decode_state(buf),
+                    DELTA_TAG_COMPOSITE => {
+                        Ok(( $( $name::decode_state_delta(&base.$idx, buf)?, )+ ))
+                    }
+                    t => Err(DecodeError::BadTag(t)),
+                }
             }
         }
     };

@@ -98,6 +98,14 @@ impl MText {
         &self.inner
     }
 
+    // Base-state constructor from an already-built rope (delta snapshot
+    // decode in `crate::persist` — shares the base's chunks).
+    pub(crate) fn from_rope(rope: Rope) -> Self {
+        MText {
+            inner: Versioned::new(rope),
+        }
+    }
+
     /// Apply and record an operation produced elsewhere (replication /
     /// distributed runtimes).
     pub fn apply_op(&mut self, op: TextOp) -> Result<(), sm_ot::ApplyError> {

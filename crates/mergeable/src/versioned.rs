@@ -343,6 +343,17 @@ impl<O: Operation> Versioned<O> {
             .expect("operation was validated against the current state");
     }
 
+    /// Replace the state wholesale without recording an operation.
+    ///
+    /// Recovery-only (`crate::persist`): journal replay may reconstruct
+    /// the post-replay state through a batched side path and install the
+    /// result here. The log stays empty, which is indistinguishable from
+    /// a fully GC'd history — both export future committed slices
+    /// relative to marks captured after the install.
+    pub(crate) fn set_state(&mut self, state: O::State) {
+        self.state = Arc::new(state);
+    }
+
     /// Record `op` while performing the state mutation through `mutate`,
     /// which must have exactly the effect `op.apply` would have. This gives
     /// façades a single copy-on-write state access for operations that also

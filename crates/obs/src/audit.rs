@@ -175,6 +175,9 @@ fn projection(event: &ObsEvent) -> Option<u64> {
         | EventKind::LogTruncated { .. }
         | EventKind::WalAppended { .. }
         | EventKind::SnapshotTaken { .. }
+        | EventKind::SnapshotDeltaTaken { .. }
+        | EventKind::WalSegmentsPruned { .. }
+        | EventKind::RecoverySegmentsScanned { .. }
         | EventKind::RecoveryReplayed { .. }
         | EventKind::RecoveryFailed { .. }
         | EventKind::PhaseTimed { .. } => return None,

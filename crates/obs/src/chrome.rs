@@ -286,6 +286,39 @@ impl ChromeTracer {
                         dur,
                     ));
                 }
+                EventKind::SnapshotDeltaTaken {
+                    bytes,
+                    base_seq,
+                    snapshot_nanos,
+                } => {
+                    let dur = *snapshot_nanos as f64 / 1000.0;
+                    out.push(span(
+                        PID_STORE,
+                        1,
+                        &format!("delta snapshot {bytes}B (base {base_seq})"),
+                        (ts - dur).max(0.0),
+                        dur,
+                    ));
+                }
+                EventKind::WalSegmentsPruned {
+                    segments,
+                    snapshots,
+                } => {
+                    out.push(instant(
+                        PID_STORE,
+                        1,
+                        &format!("retention pruned {segments} segments, {snapshots} snapshots"),
+                        ts,
+                    ));
+                }
+                EventKind::RecoverySegmentsScanned { segments } => {
+                    out.push(instant(
+                        PID_STORE,
+                        1,
+                        &format!("recovery scanned {segments} segments in parallel"),
+                        ts,
+                    ));
+                }
                 EventKind::RecoveryFailed { reason } => {
                     out.push(instant(
                         PID_STORE,

@@ -228,6 +228,31 @@ pub enum EventKind {
         /// Wall time spent serializing and persisting the snapshot.
         snapshot_nanos: u64,
     },
+    /// The durable store wrote a delta snapshot (unshared chunks against
+    /// the last full snapshot). I/O-timing dependent like the other
+    /// store events: excluded from the determinism digest.
+    SnapshotDeltaTaken {
+        /// Serialized delta size in bytes.
+        bytes: usize,
+        /// Sequence of the full snapshot the delta is expressed against.
+        base_seq: u64,
+        /// Wall time spent serializing and persisting the delta.
+        snapshot_nanos: u64,
+    },
+    /// The durable store's retention policy pruned journal files wholly
+    /// covered by a durable full snapshot.
+    WalSegmentsPruned {
+        /// WAL segments deleted.
+        segments: usize,
+        /// Superseded snapshot files (full or delta) deleted.
+        snapshots: usize,
+    },
+    /// Parallel crash recovery fanned segment scanning out: this many
+    /// WAL segments were decoded and pre-verified on worker threads.
+    RecoverySegmentsScanned {
+        /// Segments scanned in parallel.
+        segments: usize,
+    },
     /// The durable store finished crash recovery: snapshot load plus
     /// journal-suffix replay through the normal OT apply path.
     RecoveryReplayed {
@@ -282,6 +307,9 @@ impl EventKind {
             EventKind::WireReceived { .. } => "wire_received",
             EventKind::WalAppended { .. } => "wal_appended",
             EventKind::SnapshotTaken { .. } => "snapshot_taken",
+            EventKind::SnapshotDeltaTaken { .. } => "snapshot_delta_taken",
+            EventKind::WalSegmentsPruned { .. } => "wal_segments_pruned",
+            EventKind::RecoverySegmentsScanned { .. } => "recovery_segments_scanned",
             EventKind::RecoveryReplayed { .. } => "recovery_replayed",
             EventKind::RecoveryFailed { .. } => "recovery_failed",
             EventKind::PhaseTimed { .. } => "phase_timed",

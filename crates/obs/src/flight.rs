@@ -271,6 +271,22 @@ fn event_detail(kind: &EventKind) -> Option<Json> {
             ("fsynced", Json::Bool(*fsynced)),
         ]),
         EventKind::SnapshotTaken { bytes, .. } => Json::obj([("bytes", Json::from(*bytes))]),
+        EventKind::SnapshotDeltaTaken {
+            bytes, base_seq, ..
+        } => Json::obj([
+            ("bytes", Json::from(*bytes)),
+            ("base_seq", Json::from(*base_seq)),
+        ]),
+        EventKind::WalSegmentsPruned {
+            segments,
+            snapshots,
+        } => Json::obj([
+            ("segments", Json::from(*segments)),
+            ("snapshots", Json::from(*snapshots)),
+        ]),
+        EventKind::RecoverySegmentsScanned { segments } => {
+            Json::obj([("segments", Json::from(*segments))])
+        }
         EventKind::RecoveryReplayed {
             replayed_ops,
             torn_bytes,

@@ -311,8 +311,16 @@ pub struct MetricsSnapshot {
     pub snapshots: u64,
     /// Total serialized snapshot bytes.
     pub snapshot_bytes: u64,
+    /// Delta snapshots persisted.
+    pub snapshot_deltas: u64,
+    /// Total serialized delta-snapshot bytes.
+    pub snapshot_delta_bytes: u64,
+    /// WAL segments deleted by the retention policy.
+    pub wal_segments_pruned: u64,
     /// Crash recoveries performed.
     pub recoveries: u64,
+    /// WAL segments scanned on worker threads by parallel recovery.
+    pub recovery_segments_parallel: u64,
     /// Total operations replayed from journal suffixes during recovery.
     pub recovery_replayed_ops: u64,
     /// Crash recoveries that failed closed (corruption, digest
@@ -419,6 +427,21 @@ impl MetricsSnapshot {
                 self.snapshot_bytes += *bytes as u64;
                 self.snapshot_nanos.observe(*snapshot_nanos);
             }
+            EventKind::SnapshotDeltaTaken {
+                bytes,
+                snapshot_nanos,
+                ..
+            } => {
+                self.snapshot_deltas += 1;
+                self.snapshot_delta_bytes += *bytes as u64;
+                self.snapshot_nanos.observe(*snapshot_nanos);
+            }
+            EventKind::WalSegmentsPruned { segments, .. } => {
+                self.wal_segments_pruned += *segments as u64;
+            }
+            EventKind::RecoverySegmentsScanned { segments } => {
+                self.recovery_segments_parallel += *segments as u64;
+            }
             EventKind::RecoveryReplayed { replayed_ops, .. } => {
                 self.recoveries += 1;
                 self.recovery_replayed_ops += *replayed_ops as u64;
@@ -508,7 +531,17 @@ impl MetricsSnapshot {
                     ("wal_fsyncs", Json::from(self.wal_fsyncs)),
                     ("snapshots", Json::from(self.snapshots)),
                     ("snapshot_bytes", Json::from(self.snapshot_bytes)),
+                    ("snapshot_deltas", Json::from(self.snapshot_deltas)),
+                    (
+                        "snapshot_delta_bytes",
+                        Json::from(self.snapshot_delta_bytes),
+                    ),
+                    ("wal_segments_pruned", Json::from(self.wal_segments_pruned)),
                     ("recoveries", Json::from(self.recoveries)),
+                    (
+                        "recovery_segments_parallel",
+                        Json::from(self.recovery_segments_parallel),
+                    ),
                     (
                         "recovery_replayed_ops",
                         Json::from(self.recovery_replayed_ops),
@@ -544,7 +577,7 @@ impl MetricsSnapshot {
     /// Render in the Prometheus text exposition format.
     pub fn prometheus_text(&self) -> String {
         let mut out = String::new();
-        let counters: [(&str, u64); 36] = [
+        let counters: [(&str, u64); 40] = [
             ("sm_tasks_spawned_total", self.tasks_spawned),
             ("sm_tasks_completed_total", self.tasks_completed),
             ("sm_tasks_aborted_total", self.tasks_aborted),
@@ -582,7 +615,14 @@ impl MetricsSnapshot {
             ("sm_wal_fsyncs_total", self.wal_fsyncs),
             ("sm_snapshots_total", self.snapshots),
             ("sm_snapshot_bytes_total", self.snapshot_bytes),
+            ("sm_snapshot_deltas_total", self.snapshot_deltas),
+            ("sm_snapshot_delta_bytes_total", self.snapshot_delta_bytes),
+            ("sm_wal_segments_pruned_total", self.wal_segments_pruned),
             ("sm_recoveries_total", self.recoveries),
+            (
+                "sm_recovery_segments_parallel_total",
+                self.recovery_segments_parallel,
+            ),
             ("sm_recovery_replayed_ops_total", self.recovery_replayed_ops),
             ("sm_recovery_failures_total", self.recovery_failures),
             ("sm_marks_total", self.marks),

@@ -43,6 +43,14 @@ pub enum Phase {
     SnapshotWrite,
     /// Crash recovery: snapshot load plus journal-suffix replay.
     RecoveryReplay,
+    /// Parallel recovery, fan-out half: segment read, frame CRC, record
+    /// decode, and chain pre-verification across worker threads.
+    RecoveryDecode,
+    /// Parallel recovery, coordinator half: in-order chain linking plus
+    /// the prepared-log replay onto the recovered state.
+    RecoveryApply,
+    /// Serializing and durably persisting a delta snapshot.
+    SnapshotDelta,
     /// Encoding a distributed wire message for transmission.
     WireEncode,
     /// Decoding a distributed wire message on arrival.
@@ -57,7 +65,7 @@ pub enum Phase {
 
 impl Phase {
     /// Every phase, in declaration order (histogram slot order).
-    pub const ALL: [Phase; 12] = [
+    pub const ALL: [Phase; 15] = [
         Phase::RebaseCompact,
         Phase::RebaseDelta,
         Phase::RebaseGrid,
@@ -66,6 +74,9 @@ impl Phase {
         Phase::WalFsync,
         Phase::SnapshotWrite,
         Phase::RecoveryReplay,
+        Phase::RecoveryDecode,
+        Phase::RecoveryApply,
+        Phase::SnapshotDelta,
         Phase::WireEncode,
         Phase::WireDecode,
         Phase::WireRoundtrip,
@@ -86,6 +97,9 @@ impl Phase {
             Phase::WalFsync => "wal_fsync",
             Phase::SnapshotWrite => "snapshot_write",
             Phase::RecoveryReplay => "recovery_replay",
+            Phase::RecoveryDecode => "recovery_decode",
+            Phase::RecoveryApply => "recovery_apply",
+            Phase::SnapshotDelta => "snapshot_delta",
             Phase::WireEncode => "wire_encode",
             Phase::WireDecode => "wire_decode",
             Phase::WireRoundtrip => "wire_roundtrip",

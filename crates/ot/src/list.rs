@@ -183,6 +183,412 @@ impl<T: Element> ListOp<T> {
     }
 }
 
+/// Slots per [`FreeSlots`] group: four bitmap words, one `u16` count.
+const GROUP: usize = 256;
+
+/// Slots per top-level [`FreeSlots`] super-group: four groups, one `u32`
+/// count. A third level keeps the selection scan ~`m/1024 + 12` steps
+/// for the window sizes batch replay produces.
+const SUPER: usize = 4 * GROUP;
+
+/// `SELECT_IN_BYTE[v * 8 + r]` = bit index of the `r + 1`-th set bit of
+/// byte `v` (0 where `r ≥ popcount(v)`, never consulted).
+const SELECT_IN_BYTE: [u8; 2048] = build_select_in_byte();
+
+const fn build_select_in_byte() -> [u8; 2048] {
+    let mut table = [0u8; 2048];
+    let mut v = 0usize;
+    while v < 256 {
+        let mut r = 0usize;
+        let mut bit = 0usize;
+        while bit < 8 {
+            if v & (1 << bit) != 0 {
+                table[v * 8 + r] = bit as u8;
+                r += 1;
+            }
+            bit += 1;
+        }
+        v += 1;
+    }
+    table
+}
+
+/// Index (0-based) of the `rank`-th (1-based) set bit; `rank` ≤ popcount.
+///
+/// Branch-free select64: SWAR per-byte popcounts, byte-prefix sums via
+/// one multiply, the target byte from the low set lane of a packed
+/// compare, then a table lookup inside the byte — short dependency
+/// chains instead of a six-level halving descend.
+fn select_bit(x: u64, rank: u32) -> u32 {
+    const ONES: u64 = 0x0101_0101_0101_0101;
+    const HIGHS: u64 = 0x8080_8080_8080_8080;
+    let mut c = x - ((x >> 1) & 0x5555_5555_5555_5555);
+    c = (c & 0x3333_3333_3333_3333) + ((c >> 2) & 0x3333_3333_3333_3333);
+    c = (c + (c >> 4)) & 0x0f0f_0f0f_0f0f_0f0f;
+    // Byte `j` of `prefix` = popcount of bits 0..8j+7; lanes stay below
+    // 128, so `(prefix | HIGHS) - rank·ONES` never borrows across lanes
+    // and bit 7 of lane `j` survives exactly when prefix_j ≥ rank.
+    let prefix = c.wrapping_mul(ONES);
+    let hits = ((prefix | HIGHS) - u64::from(rank) * ONES) & HIGHS;
+    let byte = hits.trailing_zeros() >> 3;
+    let before = ((prefix << 8) >> (8 * byte)) & 0xFF;
+    let in_byte = rank - before as u32;
+    let bv = ((x >> (8 * byte)) & 0xFF) as usize;
+    8 * byte + u32::from(SELECT_IN_BYTE[bv * 8 + in_byte as usize - 1])
+}
+
+/// Two-level free-slot index over `m` slots: a `u64` bitmap (1 = free)
+/// with per-word popcounts, and a `u16` free count per [`GROUP`]-slot
+/// group. Selection scans each level without early exit — unpredictable
+/// comparisons compile to conditional moves instead of the
+/// branch-mispredicted binary descend a Fenwick tree costs — so a select
+/// is ~(m/256 + 4) predictable steps plus one [`select_bit`], and an
+/// update is O(1).
+struct FreeSlots {
+    bits: Vec<u64>,
+    word: Vec<u8>,
+    group: Vec<u16>,
+    wide: Vec<u32>,
+}
+
+impl FreeSlots {
+    fn new(m: usize) -> FreeSlots {
+        let mut slots = FreeSlots {
+            bits: Vec::new(),
+            word: Vec::new(),
+            group: Vec::new(),
+            wide: Vec::new(),
+        };
+        slots.reset(m);
+        slots
+    }
+
+    /// Re-initialize for `m` all-free slots, reusing the allocations.
+    fn reset(&mut self, m: usize) {
+        let ng = m.div_ceil(GROUP);
+        // Pad to whole groups; padding words hold no free slots and valid
+        // ranks never reach them.
+        self.bits.clear();
+        self.bits.resize(ng * (GROUP / 64), 0u64);
+        let nb = m.div_ceil(64);
+        for b in self.bits.iter_mut().take(nb - 1) {
+            *b = u64::MAX;
+        }
+        self.bits[nb - 1] = if m.is_multiple_of(64) {
+            u64::MAX
+        } else {
+            (1u64 << (m % 64)) - 1
+        };
+        self.word.clear();
+        self.word
+            .extend(self.bits.iter().map(|b| b.count_ones() as u8));
+        self.group.clear();
+        self.group.extend((0..ng).map(|g| {
+            self.word[g * (GROUP / 64)..(g + 1) * (GROUP / 64)]
+                .iter()
+                .map(|&c| u16::from(c))
+                .sum::<u16>()
+        }));
+        self.wide.clear();
+        self.wide.extend(
+            self.group
+                .chunks(SUPER / GROUP)
+                .map(|gs| gs.iter().map(|&c| u32::from(c)).sum::<u32>()),
+        );
+    }
+
+    fn mark_taken(&mut self, slot: usize) {
+        self.bits[slot / 64] &= !(1u64 << (slot % 64));
+        self.word[slot / 64] -= 1;
+        self.group[slot / GROUP] -= 1;
+        self.wide[slot / SUPER] -= 1;
+    }
+
+    /// Select the `rank`-th (1-based) free slot and mark it taken.
+    /// `rank` must not exceed the current free count.
+    fn take(&mut self, rank: u32) -> usize {
+        let mut si = 0usize;
+        let mut srun = 0u32;
+        let mut spre = 0u32;
+        for &c in &self.wide {
+            srun += c;
+            let lt = srun < rank;
+            si += usize::from(lt);
+            spre = if lt { srun } else { spre };
+        }
+        let grank = rank - spre;
+        let gbase = si * (SUPER / GROUP);
+        let gend = (gbase + SUPER / GROUP).min(self.group.len());
+        let mut gi = gbase;
+        let mut run = 0u32;
+        let mut pre = 0u32;
+        for &c in &self.group[gbase..gend] {
+            run += u32::from(c);
+            let lt = run < grank;
+            gi += usize::from(lt);
+            pre = if lt { run } else { pre };
+        }
+        let mut rest = grank - pre;
+        let base = gi * (GROUP / 64);
+        let mut wi = base;
+        let mut wrun = 0u32;
+        let mut wpre = 0u32;
+        for &c in &self.word[base..base + GROUP / 64] {
+            wrun += u32::from(c);
+            let lt = wrun < rest;
+            wi += usize::from(lt);
+            wpre = if lt { wrun } else { wpre };
+        }
+        rest -= wpre;
+        let slot = wi * 64 + select_bit(self.bits[wi], rest) as usize;
+        self.mark_taken(slot);
+        slot
+    }
+
+    /// Take the first free slot above `slot` (there must be one): the
+    /// cheap path for a run's trailing units, which occupy consecutive
+    /// free slots.
+    fn take_next_after(&mut self, slot: usize) -> usize {
+        let mut w = slot / 64;
+        let bit = (slot % 64) as u32;
+        let above = if bit == 63 {
+            0
+        } else {
+            self.bits[w] & !((1u64 << (bit + 1)) - 1)
+        };
+        let slot = if above != 0 {
+            w * 64 + above.trailing_zeros() as usize
+        } else {
+            w += 1;
+            while self.word[w] == 0 {
+                w += 1;
+            }
+            w * 64 + self.bits[w].trailing_zeros() as usize
+        };
+        self.mark_taken(slot);
+        slot
+    }
+}
+
+/// Apply a whole batch of sequential operations in one window rebuild
+/// instead of one O(log n) tree splice per op.
+///
+/// The fast lane handles **insert-only** batches (the journal replay
+/// shape: every commit is a run of recorded inserts). All inserts land at
+/// or above some window start `s`; the prefix `[0, s)` is untouched, so
+/// the final content is a deterministic interleaving of the base window
+/// with the inserted values. Each inserted element's *final* slot is
+/// computed by processing ops in reverse against a [`FreeSlots`] index
+/// (the op applied last sees no later inserts, so its position indexes
+/// the free slots directly; marking its slots taken re-creates the doc
+/// the previous op saw — and a run's trailing units occupy the free slots
+/// directly after its first). One `splice_vec` then rewrites the window —
+/// O(window + k·select) total, versus O(k (log n + chunk)) for k
+/// single-op applies.
+///
+/// Returns `false` — with `state` untouched — when the batch is not
+/// insert-only, any op is out of bounds (the caller's sequential path
+/// reports the error with per-op context), or the touched window is so
+/// much larger than the batch that per-op applies are cheaper. The lane
+/// is content-exact: the result equals applying `ops` in order.
+pub fn apply_batch<T: Element>(ops: &[ListOp<T>], state: &mut ChunkTree<T>) -> bool {
+    // 1. Scan: insert-only? Flatten payloads, record (pos, value-range).
+    let mut values: Vec<T> = Vec::with_capacity(ops.len());
+    let mut spans: Vec<(usize, usize, usize)> = Vec::with_capacity(ops.len());
+    let mut min_pos = usize::MAX;
+    for op in ops {
+        match op {
+            ListOp::Insert(index, value) => {
+                spans.push((*index, values.len(), 1));
+                values.push(value.clone());
+                min_pos = min_pos.min(*index);
+            }
+            ListOp::InsertRun(index, vs) => {
+                if vs.is_empty() {
+                    continue;
+                }
+                spans.push((*index, values.len(), vs.len()));
+                values.extend_from_slice(vs);
+                min_pos = min_pos.min(*index);
+            }
+            _ => return false,
+        }
+    }
+    if spans.is_empty() {
+        return true;
+    }
+    let k = values.len();
+    let base_len = state.len();
+    if min_pos > base_len {
+        // The earliest op is already out of bounds; let the sequential
+        // path produce the error.
+        return false;
+    }
+    // Inserted units only ever shift right (inserts at or after them),
+    // so every unit's final slot is ≥ its stated position ≥ `min_pos`,
+    // and base elements below `min_pos` never move: the prefix
+    // `[0, min_pos)` is untouched.
+    let s = min_pos;
+    let window = base_len - s;
+    let m = window + k;
+    // Scattered far beyond the batch: rewriting the window would dominate.
+    if m >= u32::MAX as usize || window > 16 * k + 4096 {
+        return false;
+    }
+    // 2. Validate every op lands in bounds at its time; on any failure the
+    // sequential path owns the (partial-apply + error) semantics.
+    let mut cur = base_len;
+    for (pos, _, len) in &spans {
+        if *pos > cur {
+            return false;
+        }
+        cur += len;
+    }
+
+    // 3. Assign slots and assemble the final window by copying runs,
+    // then splice it in whole.
+    for span in &mut spans {
+        span.0 -= s;
+    }
+    let mark = plan_insert_batch(window, &spans);
+    let base_window = state.range_to_vec(s, window);
+    let mut out: Vec<T> = Vec::with_capacity(m);
+    assemble_insert_batch(&mark, &base_window, &values, &mut out);
+    state.splice_vec(s, window, out);
+    true
+}
+
+/// Slot plan for an insert-only batch over a window of `window` base
+/// elements: `mark[slot]` = 1 + index into the flattened value buffer,
+/// 0 = a base-window slot. `spans` are `(window-relative position,
+/// value start, run length)` triples in op order, already
+/// bounds-validated (see [`apply_batch`] steps 1–2).
+///
+/// Each inserted unit's final slot is computed by processing ops in
+/// reverse against a [`FreeSlots`] index: the op applied last sees no
+/// later inserts, so its position indexes the free slots directly, and
+/// marking its slots taken re-creates the document the previous op saw.
+/// Taking a slot shifts a run's remaining units down one rank each, so
+/// a run's units occupy consecutive free slots.
+pub fn plan_insert_batch(window: usize, spans: &[(usize, usize, usize)]) -> Vec<u32> {
+    let mut planner = InsertPlanner::new();
+    planner.plan(window, spans);
+    std::mem::take(&mut planner.mark)
+}
+
+/// Reusable [`plan_insert_batch`] state: owns the free-slot index and
+/// mark buffer so repeated plans (journal replay threads one planner
+/// through every commit) skip the per-batch allocation churn.
+pub struct InsertPlanner {
+    free: FreeSlots,
+    mark: Vec<u32>,
+}
+
+impl Default for InsertPlanner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl InsertPlanner {
+    /// An empty planner; allocations grow to fit the largest batch seen.
+    pub fn new() -> Self {
+        InsertPlanner {
+            free: FreeSlots::new(1),
+            mark: Vec::new(),
+        }
+    }
+
+    /// Compute the slot plan for one batch (see [`plan_insert_batch`])
+    /// and return it, valid until the next `plan` call.
+    pub fn plan(&mut self, window: usize, spans: &[(usize, usize, usize)]) -> &[u32] {
+        let k: usize = spans.iter().map(|(_, _, len)| len).sum();
+        let m = window + k;
+        self.free.reset(m);
+        self.mark.clear();
+        self.mark.resize(m, 0);
+        for (rel, val_start, len) in spans.iter().rev() {
+            let mut slot = self.free.take(*rel as u32 + 1);
+            self.mark[slot] = (*val_start + 1) as u32;
+            for j in 1..*len {
+                slot = self.free.take_next_after(slot);
+                self.mark[slot] = (*val_start + j + 1) as u32;
+            }
+        }
+        &self.mark
+    }
+
+    /// Fused plan + assemble: write the batch result straight into
+    /// `out` (length `base.len() + values.len()`, every slot is
+    /// overwritten). Values land on their final slots as they are
+    /// planned; the slots left free then take `base` in order — they
+    /// are exactly the set bits of the free index, so no mark buffer or
+    /// run-detection walk is needed. Equivalent to
+    /// [`plan_insert_batch`] + [`assemble_insert_batch`].
+    pub fn plan_assemble<T: Clone>(
+        &mut self,
+        spans: &[(usize, usize, usize)],
+        base: &[T],
+        values: &[T],
+        out: &mut [T],
+    ) {
+        let m = base.len() + values.len();
+        debug_assert_eq!(out.len(), m);
+        self.free.reset(m);
+        for (rel, val_start, len) in spans.iter().rev() {
+            let mut slot = self.free.take(*rel as u32 + 1);
+            out[slot] = values[*val_start].clone();
+            for j in 1..*len {
+                slot = self.free.take_next_after(slot);
+                out[slot] = values[*val_start + j].clone();
+            }
+        }
+        let mut bpos = 0usize;
+        for (wi, &bits) in self.free.bits.iter().enumerate() {
+            let mut bv = bits;
+            while bv != 0 {
+                let slot = wi * 64 + bv.trailing_zeros() as usize;
+                out[slot] = base[bpos].clone();
+                bpos += 1;
+                bv &= bv - 1;
+            }
+        }
+        debug_assert_eq!(bpos, base.len());
+    }
+}
+
+/// Materialize a window planned by [`plan_insert_batch`]: consecutive
+/// base slots (`mark == 0`) and consecutive value indices both extend
+/// as slice copies into `out`.
+pub fn assemble_insert_batch<T: Element>(
+    mark: &[u32],
+    base_window: &[T],
+    values: &[T],
+    out: &mut Vec<T>,
+) {
+    let m = mark.len();
+    let mut bpos = 0usize;
+    let mut i = 0usize;
+    while i < m {
+        let mk = mark[i];
+        let mut j = i + 1;
+        if mk == 0 {
+            while j < m && mark[j] == 0 {
+                j += 1;
+            }
+            out.extend_from_slice(&base_window[bpos..bpos + (j - i)]);
+            bpos += j - i;
+        } else {
+            while j < m && mark[j] == mk + (j - i) as u32 {
+                j += 1;
+            }
+            let st = mk as usize - 1;
+            out.extend_from_slice(&values[st..st + (j - i)]);
+        }
+        i = j;
+    }
+}
+
 impl<T: Element> Operation for ListOp<T> {
     type State = ChunkTree<T>;
 

@@ -1,6 +1,6 @@
 //! [`Rope`]: chunked UTF-8 text with O(1) char length and O(log n) edits.
 
-use super::tree::{Chunk, Leaves, Tree};
+use super::tree::{Chunk, DeltaPart, Leaves, Tree};
 
 /// One contiguous run of text plus its cached char count, so the tree
 /// can seek by character position without scanning bytes.
@@ -79,6 +79,24 @@ impl Chunk for TextChunk {
                 .map_or(self.text.len() - b0, |(b, _)| b);
         self.text.replace_range(b0..b1, "");
         self.chars -= len;
+    }
+
+    fn into_pieces(self, target: usize) -> Vec<Self> {
+        // One pass over char boundaries instead of re-splitting the tail.
+        let mut pieces = Vec::with_capacity(self.chars / target + 1);
+        let (mut start, mut chars) = (0usize, 0usize);
+        for (b, _) in self.text.char_indices() {
+            if chars == target {
+                pieces.push(TextChunk::from_str(&self.text[start..b]));
+                start = b;
+                chars = 0;
+            }
+            chars += 1;
+        }
+        if start < self.text.len() || pieces.is_empty() {
+            pieces.push(TextChunk::from_str(&self.text[start..]));
+        }
+        pieces
     }
 }
 
@@ -202,6 +220,37 @@ impl Rope {
         Rope {
             tree: Tree::from_chunks(parts.iter().map(|p| TextChunk::from_str(p))),
         }
+    }
+
+    /// Chunk-level structural delta against `base`: maximal runs of
+    /// chunks shared with `base` become base chunk index ranges;
+    /// diverged chunks are carried as literal text. Rebuild with
+    /// [`Rope::apply_delta`]. Delta-snapshot support.
+    #[must_use]
+    pub fn delta_parts(&self, base: &Rope) -> Vec<DeltaPart<String>> {
+        self.tree
+            .delta_parts(&base.tree)
+            .into_iter()
+            .map(|p| match p {
+                DeltaPart::Shared { start, count } => DeltaPart::Shared { start, count },
+                DeltaPart::Literal(c) => DeltaPart::Literal(c.text),
+            })
+            .collect()
+    }
+
+    /// Rebuild a rope from a [`Rope::delta_parts`] run over the same
+    /// `base`; shared runs reuse the base's chunk allocations. `None`
+    /// when a shared range falls outside the base.
+    #[must_use]
+    pub fn apply_delta(base: &Rope, parts: Vec<DeltaPart<String>>) -> Option<Rope> {
+        let parts = parts
+            .into_iter()
+            .map(|p| match p {
+                DeltaPart::Shared { start, count } => DeltaPart::Shared { start, count },
+                DeltaPart::Literal(s) => DeltaPart::Literal(TextChunk::from_str(&s)),
+            })
+            .collect();
+        Tree::apply_delta(&base.tree, parts).map(|tree| Rope { tree })
     }
 
     /// Validate structural invariants (balance, cached counts, chunk

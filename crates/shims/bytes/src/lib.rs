@@ -101,6 +101,17 @@ impl Bytes {
     pub fn to_vec(&self) -> Vec<u8> {
         self.as_slice().to_vec()
     }
+
+    /// Discard the first `n` unread bytes. Panics if fewer than `n`
+    /// bytes remain.
+    pub fn advance(&mut self, n: usize) {
+        assert!(
+            n <= self.len(),
+            "advance out of bounds: {n} > {}",
+            self.len()
+        );
+        self.start += n;
+    }
 }
 
 impl Default for Bytes {

@@ -68,7 +68,9 @@ use std::fmt;
 
 pub use recover::Recovered;
 pub use sm_mergeable::{Persist, ReplayError};
-pub use store::{run_with_store, FrameBound, FsyncPolicy, Store, StoreOptions, StoreSink};
+pub use store::{
+    run_with_store, FrameBound, FsyncPolicy, RetentionPolicy, Store, StoreOptions, StoreSink,
+};
 
 /// Why a store operation or recovery failed.
 #[derive(Debug)]

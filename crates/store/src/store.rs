@@ -1,23 +1,25 @@
 //! The [`Store`]: segmented WAL writer, snapshot trigger, and the
 //! [`CommitSink`] bridge that journals a running program.
 
+use std::any::Any;
 use std::collections::BTreeMap;
 use std::fs::{self, File, OpenOptions};
 use std::io::Write;
 use std::marker::PhantomData;
 use std::path::{Path, PathBuf};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 use std::time::{Duration, Instant};
 
 use bytes::BytesMut;
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 use sm_core::{run_with_sink, CommitSink, Pool, TaskCtx};
 use sm_mergeable::Persist;
 use sm_net::frame::encode_frame;
 use sm_obs::{emit, EventKind, TaskPath};
 
 use crate::wal::{
-    chain_update, segment_name, snapshot_name, CommitRecord, Record, SnapshotRecord, FNV_OFFSET,
+    chain_update, segment_name, snapshot_delta_name, snapshot_name, CommitRecord, Record,
+    SnapshotDeltaRecord, SnapshotRecord, FNV_OFFSET,
 };
 use crate::StoreError;
 
@@ -36,6 +38,22 @@ pub enum FsyncPolicy {
     Interval(Duration),
 }
 
+/// What the store does with journal files a durable full snapshot has
+/// made redundant for recovery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RetentionPolicy {
+    /// Log-structured retention: once a full snapshot at `S` is durable,
+    /// delete older snapshots, delta snapshots at or below `S`, and
+    /// every *closed* WAL segment whose commits are all ≤ `S`. Recovery
+    /// work stays proportional to the data written since the last
+    /// snapshot, not to the journal's lifetime.
+    #[default]
+    PruneCovered,
+    /// Never delete journal files; every snapshot and WAL segment since
+    /// genesis remains (archival / audit mode).
+    KeepAll,
+}
+
 /// Tunables for [`Store::open`].
 #[derive(Debug, Clone)]
 pub struct StoreOptions {
@@ -47,6 +65,28 @@ pub struct StoreOptions {
     /// Take an automatic snapshot (and GC covered segments) after this
     /// many journaled operations; `0` disables automatic snapshots.
     pub snapshot_every_ops: u64,
+    /// Run automatic snapshots on an attached worker pool instead of
+    /// the commit path: the trigger captures a CoW fork of the data
+    /// under the store lock and returns; serialization, fsync, and
+    /// rename happen off-lock. Needs [`Store::attach_pool`] (done
+    /// automatically by [`run_with_store`]); without a pool the
+    /// snapshot falls back to running inline.
+    pub snapshot_in_background: bool,
+    /// Write automatic snapshots as deltas against the last full
+    /// snapshot ([`Persist::encode_state_delta`]): only chunks not
+    /// shared with the base are persisted. Every
+    /// [`full_snapshot_every`](StoreOptions::full_snapshot_every)-th
+    /// automatic snapshot (and every explicit [`Store::snapshot`]) is
+    /// still full. Deltas never authorize WAL pruning — a torn delta
+    /// degrades recovery to the full base plus a longer replay, never
+    /// to failure.
+    pub delta_snapshots: bool,
+    /// In delta mode, one automatic snapshot out of this many is a full
+    /// snapshot (the fresh delta base and pruning point). Values ≤ 1
+    /// make every snapshot full.
+    pub full_snapshot_every: u32,
+    /// What happens to covered journal files after a full snapshot.
+    pub retention: RetentionPolicy,
 }
 
 impl Default for StoreOptions {
@@ -55,6 +95,10 @@ impl Default for StoreOptions {
             fsync: FsyncPolicy::Always,
             segment_bytes: 8 << 20,
             snapshot_every_ops: 0,
+            snapshot_in_background: false,
+            delta_snapshots: false,
+            full_snapshot_every: 8,
+            retention: RetentionPolicy::PruneCovered,
         }
     }
 }
@@ -96,6 +140,21 @@ pub(crate) struct Inner {
     pub bounds: Vec<FrameBound>,
     /// First failure observed by the infallible sink callbacks.
     pub error: Option<StoreError>,
+    /// Worker pool for background snapshots ([`Store::attach_pool`]).
+    pub pool: Option<Pool>,
+    /// Back-reference for background workers to re-lock the store.
+    pub handle: Weak<Mutex<Inner>>,
+    /// Signaled whenever a background snapshot completes.
+    pub snap_cv: Arc<Condvar>,
+    /// A background snapshot job is queued or running.
+    pub snapshot_in_flight: bool,
+    /// CoW fork of the data at the last durable full snapshot, plus the
+    /// sequence it covers: the base the next delta snapshot is encoded
+    /// against. `None` (e.g. right after recovery) forces the next
+    /// automatic snapshot to be full.
+    pub delta_base: Option<(u64, Box<dyn Any + Send>)>,
+    /// Automatic snapshots taken since the last full one.
+    pub snapshots_since_full: u32,
 }
 
 /// A durable journal of one program's root-task commits.
@@ -114,22 +173,46 @@ impl Store {
     pub fn open(dir: impl Into<PathBuf>, options: StoreOptions) -> Result<Store, StoreError> {
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
-        Ok(Store {
-            inner: Arc::new(Mutex::new(Inner {
-                dir,
-                options,
-                segment: None,
-                next_seq: 1,
-                started: false,
-                last_marks: Vec::new(),
-                chains: BTreeMap::new(),
-                ops_since_snapshot: 0,
-                appends_since_fsync: 0,
-                last_fsync: Instant::now(),
-                bounds: Vec::new(),
-                error: None,
-            })),
-        })
+        let inner = Arc::new(Mutex::new(Inner {
+            dir,
+            options,
+            segment: None,
+            next_seq: 1,
+            started: false,
+            last_marks: Vec::new(),
+            chains: BTreeMap::new(),
+            ops_since_snapshot: 0,
+            appends_since_fsync: 0,
+            last_fsync: Instant::now(),
+            bounds: Vec::new(),
+            error: None,
+            pool: None,
+            handle: Weak::new(),
+            snap_cv: Arc::new(Condvar::new()),
+            snapshot_in_flight: false,
+            delta_base: None,
+            snapshots_since_full: 0,
+        }));
+        inner.lock().handle = Arc::downgrade(&inner);
+        Ok(Store { inner })
+    }
+
+    /// Attach a worker pool for
+    /// [background snapshots](StoreOptions::snapshot_in_background).
+    /// [`run_with_store`] calls this with the program's pool; embedders
+    /// with their own commit loop call it directly.
+    pub fn attach_pool(&self, pool: &Pool) {
+        self.inner.lock().pool = Some(pool.clone());
+    }
+
+    /// Block until no background snapshot is queued or running. Any
+    /// failure the worker parked is left for [`Store::take_error`].
+    pub fn wait_snapshots(&self) {
+        let mut inner = self.inner.lock();
+        let cv = inner.snap_cv.clone();
+        while inner.snapshot_in_flight {
+            cv.wait(&mut inner);
+        }
     }
 
     /// The store's directory.
@@ -161,6 +244,9 @@ impl Store {
         let mut marks = Vec::new();
         data.history_marks(&mut marks);
         inner.write_snapshot(data, 0, &marks)?;
+        if inner.options.delta_snapshots {
+            inner.delta_base = Some((0, Box::new(data.fork())));
+        }
         inner.last_marks = marks;
         inner.open_segment(1)?;
         inner.started = true;
@@ -182,10 +268,18 @@ impl Store {
         inner.fsync_segment()
     }
 
-    /// Persist a full-state snapshot of `data`, rotate the WAL, and
-    /// delete the segments (and older snapshots) the new snapshot covers.
+    /// Persist a full-state snapshot of `data`, rotate the WAL, and —
+    /// under [`RetentionPolicy::PruneCovered`] — delete the segments and
+    /// older snapshots the new snapshot covers. Always full, even in
+    /// delta mode; waits out any background snapshot first so on-disk
+    /// ordering matches trigger ordering.
     pub fn snapshot<D: Persist>(&self, data: &D) -> Result<(), StoreError> {
-        self.inner.lock().snapshot(data)
+        let mut inner = self.inner.lock();
+        let cv = inner.snap_cv.clone();
+        while inner.snapshot_in_flight {
+            cv.wait(&mut inner);
+        }
+        inner.snapshot_full(data)
     }
 
     /// Flush the current segment to stable storage.
@@ -270,7 +364,11 @@ impl Inner {
         if self.options.snapshot_every_ops > 0
             && self.ops_since_snapshot >= self.options.snapshot_every_ops
         {
-            self.snapshot(data)?;
+            if self.options.snapshot_in_background {
+                self.snapshot_background(data)?;
+            } else {
+                self.snapshot_auto(data)?;
+            }
         }
         Ok(())
     }
@@ -352,7 +450,42 @@ impl Inner {
         Ok(())
     }
 
-    fn snapshot<D: Persist>(&mut self, data: &D) -> Result<(), StoreError> {
+    /// Whether the next automatic snapshot may be a delta, and against
+    /// which base. `None` means full (delta mode off, no usable base,
+    /// or the full-snapshot interval is due).
+    fn delta_base_for<D: Persist>(&self) -> Option<(u64, &D)> {
+        if !self.options.delta_snapshots
+            || self.snapshots_since_full + 1 >= self.options.full_snapshot_every.max(1)
+        {
+            return None;
+        }
+        let (base_seq, base) = self.delta_base.as_ref()?;
+        Some((*base_seq, base.downcast_ref::<D>()?))
+    }
+
+    /// Automatic snapshot on the commit path: a delta when a base is
+    /// available and the full interval is not due, a full snapshot
+    /// otherwise.
+    fn snapshot_auto<D: Persist>(&mut self, data: &D) -> Result<(), StoreError> {
+        let Some((base_seq, base)) = self.delta_base_for::<D>() else {
+            return self.snapshot_full(data);
+        };
+        data.seal_history();
+        let mut marks = Vec::new();
+        data.history_marks(&mut marks);
+        let covered = self.next_seq - 1;
+        let chains = self.chains_vec();
+        persist_snapshot_delta(&self.dir, data, base, base_seq, covered, &marks, &chains)?;
+        // No rotation, no pruning: recovery must still be able to fall
+        // back to the full base plus the covered WAL.
+        self.snapshots_since_full += 1;
+        self.ops_since_snapshot = 0;
+        Ok(())
+    }
+
+    /// Full snapshot: write `snap-<covered>`, rotate the WAL, apply
+    /// retention, and refresh the delta base.
+    fn snapshot_full<D: Persist>(&mut self, data: &D) -> Result<(), StoreError> {
         data.seal_history();
         let mut marks = Vec::new();
         data.history_marks(&mut marks);
@@ -363,20 +496,131 @@ impl Inner {
         // their commits have seq ≤ covered by construction).
         self.fsync_segment()?;
         self.open_segment(self.next_seq)?;
+        self.prune_covered(covered)?;
+        if self.options.delta_snapshots {
+            self.delta_base = Some((covered, Box::new(data.fork())));
+        }
+        self.snapshots_since_full = 0;
+        self.ops_since_snapshot = 0;
+        Ok(())
+    }
+
+    /// Queue the automatic snapshot on the attached pool: capture a CoW
+    /// fork, marks, and chains under the lock (held by the caller),
+    /// then serialize and fsync off-lock. Falls back to an inline
+    /// snapshot when no pool is attached; skips when one is already in
+    /// flight (`ops_since_snapshot` keeps accumulating, so the next
+    /// commit after completion re-triggers).
+    fn snapshot_background<D: Persist>(&mut self, data: &D) -> Result<(), StoreError> {
+        if self.snapshot_in_flight {
+            return Ok(());
+        }
+        let (Some(pool), Some(store)) = (self.pool.clone(), self.handle.upgrade()) else {
+            return self.snapshot_auto(data);
+        };
+        data.seal_history();
+        let mut marks = Vec::new();
+        data.history_marks(&mut marks);
+        let covered = self.next_seq - 1;
+        let chains = self.chains_vec();
+        let base: Option<(u64, D)> = self
+            .delta_base_for::<D>()
+            .map(|(seq, base)| (seq, base.fork()));
+        let fork = data.fork();
+        if base.is_none() {
+            // Rotate now, under the lock: the snapshot covers exactly
+            // the commits ≤ `covered`, and commits racing the worker
+            // land in the fresh segment that survives pruning.
+            self.fsync_segment()?;
+            self.open_segment(self.next_seq)?;
+            self.snapshots_since_full = 0;
+        } else {
+            self.snapshots_since_full += 1;
+        }
+        self.snapshot_in_flight = true;
+        self.ops_since_snapshot = 0;
+        let cv = self.snap_cv.clone();
+        let dir = self.dir.clone();
+        pool.execute(move || {
+            let full = base.is_none();
+            let result = match &base {
+                Some((base_seq, base)) => {
+                    persist_snapshot_delta(&dir, &fork, base, *base_seq, covered, &marks, &chains)
+                }
+                None => persist_snapshot(&dir, &fork, covered, &marks, &chains),
+            };
+            let mut inner = store.lock();
+            match result {
+                Ok(()) if full => {
+                    if let Err(e) = inner.prune_covered(covered) {
+                        if inner.error.is_none() {
+                            inner.error = Some(e);
+                        }
+                    }
+                    if inner.options.delta_snapshots {
+                        inner.delta_base = Some((covered, Box::new(fork)));
+                    }
+                }
+                Ok(()) => {}
+                Err(e) => {
+                    if inner.error.is_none() {
+                        inner.error = Some(e);
+                    }
+                }
+            }
+            inner.snapshot_in_flight = false;
+            cv.notify_all();
+        });
+        Ok(())
+    }
+
+    /// Apply [`RetentionPolicy`] after a durable full snapshot at
+    /// `covered`: remove older full snapshots, deltas at or below
+    /// `covered`, and closed WAL segments whose commits are all ≤
+    /// `covered` (a segment is fully covered when its successor starts
+    /// at or below `covered + 1`; the open segment never qualifies).
+    fn prune_covered(&mut self, covered: u64) -> Result<(), StoreError> {
+        if self.options.retention == RetentionPolicy::KeepAll {
+            return Ok(());
+        }
         let current = self.segment.as_ref().map(|s| s.path.clone());
+        let mut snapshots = 0usize;
+        for (seq, path) in list_files(&self.dir, "snap-delta-")? {
+            if seq <= covered {
+                fs::remove_file(path)?;
+                snapshots += 1;
+            }
+        }
         for (seq, path) in list_files(&self.dir, "snap-")? {
             if seq < covered {
                 fs::remove_file(path)?;
+                snapshots += 1;
             }
         }
-        for (_, path) in list_files(&self.dir, "wal-")? {
-            if Some(&path) != current.as_ref() {
+        let wals = list_files(&self.dir, "wal-")?;
+        let mut removed = Vec::new();
+        for (i, (_, path)) in wals.iter().enumerate() {
+            let next_first = wals.get(i + 1).map(|(seq, _)| *seq);
+            if Some(path) != current.as_ref() && next_first.is_some_and(|n| n <= covered + 1) {
                 fs::remove_file(path)?;
+                removed.push(path.clone());
             }
         }
-        self.bounds.retain(|b| Some(&b.segment) == current.as_ref());
-        self.ops_since_snapshot = 0;
+        self.bounds.retain(|b| !removed.contains(&b.segment));
+        if snapshots + removed.len() > 0 {
+            emit(&TaskPath::root(), || EventKind::WalSegmentsPruned {
+                segments: removed.len(),
+                snapshots,
+            });
+        }
         Ok(())
+    }
+
+    fn chains_vec(&self) -> Vec<(Vec<u64>, u64)> {
+        self.chains
+            .iter()
+            .map(|(path, chain)| (path.clone(), *chain))
+            .collect()
     }
 
     /// Durably write `snap-<seq>`: temp file, fsync, atomic rename,
@@ -387,45 +631,98 @@ impl Inner {
         seq: u64,
         marks: &[usize],
     ) -> Result<(), StoreError> {
-        let t0 = sm_obs::is_enabled().then(Instant::now);
-        let mut state = BytesMut::new();
-        data.encode_state(&mut state);
-        let record = Record::Snapshot(SnapshotRecord {
-            seq,
-            marks: marks.to_vec(),
-            chains: self
-                .chains
-                .iter()
-                .map(|(path, chain)| (path.clone(), *chain))
-                .collect(),
-            state: state.freeze(),
-        });
-        let payload = record.to_bytes();
-        let mut framed = Vec::with_capacity(payload.len() + sm_net::frame::HEADER_LEN);
-        encode_frame(payload.as_slice(), &mut framed);
-
-        let final_path = self.dir.join(snapshot_name(seq));
-        let tmp_path = self.dir.join(format!("{}.tmp", snapshot_name(seq)));
-        let mut file = File::create(&tmp_path)?;
-        file.write_all(&framed)?;
-        file.sync_data()?;
-        drop(file);
-        fs::rename(&tmp_path, &final_path)?;
-        File::open(&self.dir)?.sync_all()?;
-        if let Some(t0) = t0 {
-            let snapshot_nanos = t0.elapsed().as_nanos() as u64;
-            emit(&TaskPath::root(), || EventKind::SnapshotTaken {
-                bytes: framed.len(),
-                snapshot_nanos,
-            });
-            sm_obs::timer::observe(
-                &TaskPath::root(),
-                sm_obs::Phase::SnapshotWrite,
-                snapshot_nanos,
-            );
-        }
-        Ok(())
+        persist_snapshot(&self.dir, data, seq, marks, &self.chains_vec())
     }
+}
+
+/// Durably write a full snapshot `snap-<seq>`: encode, frame, temp
+/// file, fsync, atomic rename, directory fsync. Free function so
+/// background workers can run it without the store lock.
+fn persist_snapshot<D: Persist>(
+    dir: &Path,
+    data: &D,
+    seq: u64,
+    marks: &[usize],
+    chains: &[(Vec<u64>, u64)],
+) -> Result<(), StoreError> {
+    let t0 = sm_obs::is_enabled().then(Instant::now);
+    let mut state = BytesMut::new();
+    data.encode_state(&mut state);
+    let record = Record::Snapshot(SnapshotRecord {
+        seq,
+        marks: marks.to_vec(),
+        chains: chains.to_vec(),
+        state: state.freeze(),
+    });
+    let bytes = write_record_file(dir, &snapshot_name(seq), &record)?;
+    if let Some(t0) = t0 {
+        let snapshot_nanos = t0.elapsed().as_nanos() as u64;
+        emit(&TaskPath::root(), || EventKind::SnapshotTaken {
+            bytes,
+            snapshot_nanos,
+        });
+        sm_obs::timer::observe(
+            &TaskPath::root(),
+            sm_obs::Phase::SnapshotWrite,
+            snapshot_nanos,
+        );
+    }
+    Ok(())
+}
+
+/// Durably write `snap-delta-<seq>` against the full snapshot at
+/// `base_seq`, with the same temp-file discipline as a full snapshot.
+fn persist_snapshot_delta<D: Persist>(
+    dir: &Path,
+    data: &D,
+    base: &D,
+    base_seq: u64,
+    seq: u64,
+    marks: &[usize],
+    chains: &[(Vec<u64>, u64)],
+) -> Result<(), StoreError> {
+    let t0 = sm_obs::is_enabled().then(Instant::now);
+    let mut delta = BytesMut::new();
+    data.encode_state_delta(base, &mut delta);
+    let record = Record::SnapshotDelta(SnapshotDeltaRecord {
+        seq,
+        base_seq,
+        marks: marks.to_vec(),
+        chains: chains.to_vec(),
+        delta: delta.freeze(),
+    });
+    let bytes = write_record_file(dir, &snapshot_delta_name(seq), &record)?;
+    if let Some(t0) = t0 {
+        let snapshot_nanos = t0.elapsed().as_nanos() as u64;
+        emit(&TaskPath::root(), || EventKind::SnapshotDeltaTaken {
+            bytes,
+            base_seq,
+            snapshot_nanos,
+        });
+        sm_obs::timer::observe(
+            &TaskPath::root(),
+            sm_obs::Phase::SnapshotDelta,
+            snapshot_nanos,
+        );
+    }
+    Ok(())
+}
+
+/// Frame `record` and write it durably to `dir/name`: temp file, fsync,
+/// atomic rename, directory fsync. Returns the framed byte count.
+fn write_record_file(dir: &Path, name: &str, record: &Record) -> Result<usize, StoreError> {
+    let payload = record.to_bytes();
+    let mut framed = Vec::with_capacity(payload.len() + sm_net::frame::HEADER_LEN);
+    encode_frame(payload.as_slice(), &mut framed);
+    let final_path = dir.join(name);
+    let tmp_path = dir.join(format!("{name}.tmp"));
+    let mut file = File::create(&tmp_path)?;
+    file.write_all(&framed)?;
+    file.sync_data()?;
+    drop(file);
+    fs::rename(&tmp_path, &final_path)?;
+    File::open(dir)?.sync_all()?;
+    Ok(framed.len())
 }
 
 /// List `<prefix><seq>` files in `dir` as `(seq, path)`, ascending by
@@ -499,6 +796,13 @@ impl<D: Persist> CommitSink<D> for StoreSink<D> {
 
     fn finished(&mut self, data: &D) {
         let mut inner = self.store.inner.lock();
+        // Wait out any background snapshot so its outcome (including a
+        // parked error) is visible before the program's result is
+        // returned.
+        let cv = inner.snap_cv.clone();
+        while inner.snapshot_in_flight {
+            cv.wait(&mut inner);
+        }
         if inner.error.is_some() {
             return;
         }
@@ -514,6 +818,10 @@ impl<D: Persist> CommitSink<D> for StoreSink<D> {
         })();
         if let Err(e) = result {
             inner.error = Some(e);
+        }
+        // The final commit may itself have queued a snapshot.
+        while inner.snapshot_in_flight {
+            cv.wait(&mut inner);
         }
     }
 }
@@ -536,6 +844,7 @@ pub fn run_with_store<D, R>(
 where
     D: Persist,
 {
+    store.attach_pool(&pool);
     store.begin(&data)?;
     let (data, result) = run_with_sink(data, pool, Box::new(StoreSink::new(store.clone())), root);
     match store.take_error() {

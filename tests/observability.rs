@@ -18,7 +18,8 @@ use std::sync::{Arc, Mutex, PoisonError};
 
 use spawn_merge::netsim::{run_spawn_merge, Routing, SimConfig};
 use spawn_merge::obs::{
-    self, ChromeTracer, DeterminismAuditor, Metrics, MultiRecorder, ObsEvent, Recorder,
+    self, ChromeTracer, DeterminismAuditor, Metrics, MultiRecorder, ObsEvent, Phase, Recorder,
+    TaskPath,
 };
 use spawn_merge::{run, run_with_store, FsyncPolicy, MList, Pool, Store, StoreOptions};
 
@@ -293,17 +294,10 @@ fn install_uninstall_churn_is_harmless() {
 }
 
 /// A deterministic store-backed workload in a fresh scratch directory.
-fn store_run(tag: &str, fsync: FsyncPolicy) -> (Store, MList<u64>) {
+fn store_run(tag: &str, options: StoreOptions) -> (Store, MList<u64>) {
     let dir = std::env::temp_dir().join(format!("sm-obs-store-{}-{tag}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
-    let store = Store::open(
-        dir,
-        StoreOptions {
-            fsync,
-            ..StoreOptions::default()
-        },
-    )
-    .unwrap();
+    let store = Store::open(dir, options).unwrap();
     let (list, ()) = run_with_store(MList::<u64>::new(), Pool::new(), &store, |ctx| {
         for i in 0..6u64 {
             ctx.spawn(move |c| {
@@ -331,7 +325,13 @@ fn store_events_reach_metrics_and_chrome_but_not_the_auditor() {
         tracer.clone(),
         metrics.clone(),
     ])));
-    let (store, list) = store_run("metrics", FsyncPolicy::Always);
+    let (store, list) = store_run(
+        "metrics",
+        StoreOptions {
+            fsync: FsyncPolicy::Always,
+            ..StoreOptions::default()
+        },
+    );
     store.snapshot(&list).unwrap();
     let reopened = Store::open(store.dir(), StoreOptions::default()).unwrap();
     let recovered = reopened.recover::<MList<u64>>().unwrap().expect("journal");
@@ -375,6 +375,75 @@ fn store_events_reach_metrics_and_chrome_but_not_the_auditor() {
     );
 }
 
+/// The durability pipeline added for segment-parallel recovery — delta
+/// snapshots, segment retention, and the parallel segment scan — reports
+/// through [`Metrics`]: dedicated counters, byte totals, and phase
+/// timers, all scrapeable from the Prometheus exposition.
+#[test]
+fn durability_pipeline_counters_and_phase_timers_reach_metrics() {
+    let _guard = serial();
+
+    let metrics = Arc::new(Metrics::new());
+    obs::install(metrics.clone());
+
+    let dir = std::env::temp_dir().join(format!("sm-obs-store-{}-durability", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let options = StoreOptions {
+        fsync: FsyncPolicy::EveryN(4),
+        segment_bytes: 512,
+        snapshot_every_ops: 25,
+        delta_snapshots: true,
+        full_snapshot_every: 1000,
+        ..StoreOptions::default()
+    };
+    let store = Store::open(&dir, options.clone()).unwrap();
+    let mut data = MList::<u64>::new();
+    store.begin(&data).unwrap();
+    for i in 0..200u64 {
+        data.push(i);
+        if i % 5 == 4 {
+            store.commit(&data, &TaskPath::root()).unwrap();
+        }
+    }
+    // An explicit snapshot is always full; under PruneCovered it retires
+    // the covered segments and the now-superseded deltas.
+    store.snapshot(&data).unwrap();
+    store.sync().unwrap();
+
+    let reopened = Store::open(&dir, options).unwrap();
+    let recovered = reopened.recover::<MList<u64>>().unwrap().expect("journal");
+    obs::uninstall();
+    assert_eq!(recovered.data.to_vec(), data.to_vec());
+
+    let snap = metrics.snapshot();
+    assert!(
+        snap.snapshot_deltas >= 1,
+        "automatic deltas must have fired"
+    );
+    assert!(snap.snapshot_delta_bytes > 0);
+    assert!(
+        snap.wal_segments_pruned >= 1,
+        "the explicit full snapshot must have pruned covered segments"
+    );
+    assert!(
+        snap.recovery_segments_parallel >= 1,
+        "recovery must report the segments it scanned"
+    );
+    assert!(snap.phase_nanos.get(Phase::SnapshotDelta).count() >= 1);
+    assert!(snap.phase_nanos.get(Phase::RecoveryDecode).count() >= 1);
+    assert!(snap.phase_nanos.get(Phase::RecoveryApply).count() >= 1);
+
+    let prom = metrics.prometheus_text();
+    for name in [
+        "sm_snapshot_deltas_total",
+        "sm_snapshot_delta_bytes_total",
+        "sm_wal_segments_pruned_total",
+        "sm_recovery_segments_parallel_total",
+    ] {
+        assert!(prom.contains(name), "missing {name} in exposition");
+    }
+}
+
 /// Two runs of the same program under *different* durability settings
 /// produce the identical audit digest: the store's events are projected
 /// out, and journaling itself never alters merge behaviour.
@@ -382,19 +451,48 @@ fn store_events_reach_metrics_and_chrome_but_not_the_auditor() {
 fn audit_digest_ignores_durability_configuration() {
     let _guard = serial();
 
-    let digest_of = |tag: &str, fsync: FsyncPolicy| {
+    let digest_of = |tag: &str, options: StoreOptions| {
         let auditor = Arc::new(DeterminismAuditor::new());
         obs::install(auditor.clone());
-        let (_, list) = store_run(tag, fsync);
+        let (store, list) = store_run(tag, options);
+        store.wait_snapshots();
         obs::uninstall();
         (auditor.digest(), list.to_vec())
     };
 
-    let (digest_always, state_always) = digest_of("always", FsyncPolicy::Always);
-    let (digest_batched, state_batched) = digest_of("batched", FsyncPolicy::EveryN(3));
+    let (digest_always, state_always) = digest_of(
+        "always",
+        StoreOptions {
+            fsync: FsyncPolicy::Always,
+            ..StoreOptions::default()
+        },
+    );
+    let (digest_batched, state_batched) = digest_of(
+        "batched",
+        StoreOptions {
+            fsync: FsyncPolicy::EveryN(3),
+            ..StoreOptions::default()
+        },
+    );
+    let (digest_durable, state_durable) = digest_of(
+        "durable",
+        StoreOptions {
+            fsync: FsyncPolicy::EveryN(3),
+            snapshot_every_ops: 4,
+            snapshot_in_background: true,
+            delta_snapshots: true,
+            full_snapshot_every: 2,
+            ..StoreOptions::default()
+        },
+    );
     assert_eq!(state_always, state_batched);
+    assert_eq!(state_always, state_durable);
     assert_eq!(
         digest_always, digest_batched,
         "fsync policy must be invisible to the determinism auditor"
+    );
+    assert_eq!(
+        digest_always, digest_durable,
+        "background and delta snapshots must be invisible to the auditor"
     );
 }

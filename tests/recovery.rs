@@ -18,8 +18,8 @@ use spawn_merge::net::frame::{encode_frame, Frames};
 use spawn_merge::obs::TaskPath;
 use spawn_merge::store::wal::Record;
 use spawn_merge::{
-    run, run_with_store, FsyncPolicy, MCounter, MList, MText, Pool, Store, StoreError,
-    StoreOptions, TaskAbort,
+    run, run_with_store, FsyncPolicy, MCounter, MList, MText, Pool, RetentionPolicy, Store,
+    StoreError, StoreOptions, TaskAbort,
 };
 
 /// A fresh, empty scratch directory unique to this process and `tag`.
@@ -473,5 +473,343 @@ fn mid_stream_crash_recovery_converges_with_uninterrupted_run() {
         doc_digest(&resumed),
         doc_digest(&uninterrupted),
         "mid-stream recovery must converge to the uninterrupted final state"
+    );
+}
+
+/// Parallel recovery (the default) and the `serial-recovery` escape
+/// hatch's code path must be observationally identical: same state, same
+/// per-child digest chains, same bookkeeping — on both the mixed-op
+/// journal (raw fallback lane) and an insert-only journal (batch lane).
+#[test]
+fn parallel_and_serial_recovery_agree_on_state_and_chains() {
+    // Mixed multi-structure workload: three children per round plus
+    // root-local counter edits, so several digest chains interleave.
+    let dir = scratch_dir("differential-mixed");
+    let store = Store::open(&dir, StoreOptions::default()).unwrap();
+    let initial: Doc = (MList::new(), MText::from("seed:"), MCounter::new(0));
+    let (live, ()) = run_with_store(initial, Pool::new(), &store, |ctx| {
+        for round in 0..12 {
+            doc_round(ctx, round);
+            ctx.data_mut().2.add(1);
+        }
+    })
+    .unwrap();
+
+    let serial = Store::open(&dir, StoreOptions::default())
+        .unwrap()
+        .recover_serial::<Doc>()
+        .unwrap()
+        .expect("journal exists");
+    let parallel = Store::open(&dir, StoreOptions::default())
+        .unwrap()
+        .recover::<Doc>()
+        .unwrap()
+        .expect("journal exists");
+    assert_eq!(doc_digest(&serial.data), doc_digest(&live));
+    assert_eq!(doc_digest(&parallel.data), doc_digest(&live));
+    assert_eq!(
+        serial.chains, parallel.chains,
+        "digest chains must match op-for-op"
+    );
+    assert_eq!(serial.last_seq, parallel.last_seq);
+    assert_eq!(serial.replayed_ops, parallel.replayed_ops);
+    assert_eq!(serial.snapshot_seq, parallel.snapshot_seq);
+
+    // Insert-only journal across several segments: the shape the batch
+    // replay lane accelerates.
+    let dir = scratch_dir("differential-inserts");
+    let options = StoreOptions {
+        fsync: FsyncPolicy::EveryN(16),
+        segment_bytes: 4096,
+        ..StoreOptions::default()
+    };
+    let store = Store::open(&dir, options.clone()).unwrap();
+    let mut data = MList::<u64>::new();
+    store.begin(&data).unwrap();
+    let mut rng = Lcg(0xD1FF);
+    for _ in 0..40 {
+        for _ in 0..25 {
+            let at = (rng.next() as usize) % (data.len() + 1);
+            data.insert(at, rng.next());
+        }
+        store.commit(&data, &TaskPath::root()).unwrap();
+    }
+    store.sync().unwrap();
+
+    let serial = Store::open(&dir, options.clone())
+        .unwrap()
+        .recover_serial::<MList<u64>>()
+        .unwrap()
+        .expect("journal exists");
+    let parallel = Store::open(&dir, options)
+        .unwrap()
+        .recover::<MList<u64>>()
+        .unwrap()
+        .expect("journal exists");
+    assert_eq!(serial.data.to_vec(), data.to_vec());
+    assert_eq!(parallel.data.to_vec(), data.to_vec());
+    assert_eq!(serial.chains, parallel.chains);
+    assert_eq!(serial.replayed_ops, parallel.replayed_ops);
+}
+
+/// Delta snapshots shorten recovery replay (the newest delta upgrades
+/// the full base), and a torn or corrupt delta silently degrades to the
+/// full snapshot plus a longer replay — never to a recovery failure.
+#[test]
+fn delta_snapshots_upgrade_recovery_and_survive_torn_deltas() {
+    let dir = scratch_dir("delta-snapshots");
+    let options = StoreOptions {
+        fsync: FsyncPolicy::EveryN(8),
+        snapshot_every_ops: 40,
+        delta_snapshots: true,
+        full_snapshot_every: 1000, // deltas only after the genesis full
+        ..StoreOptions::default()
+    };
+    let store = Store::open(&dir, options.clone()).unwrap();
+    let mut data = MList::<u64>::new();
+    store.begin(&data).unwrap();
+    let mut rng = Lcg(0xDE17A);
+    for _ in 0..12 {
+        for _ in 0..20 {
+            let at = (rng.next() as usize) % (data.len() + 1);
+            data.insert(at, rng.next());
+        }
+        store.commit(&data, &TaskPath::root()).unwrap();
+    }
+    store.sync().unwrap();
+
+    let deltas: Vec<PathBuf> = {
+        let mut v: Vec<PathBuf> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("snap-delta-"))
+            })
+            .collect();
+        v.sort();
+        v
+    };
+    assert!(
+        deltas.len() >= 2,
+        "automatic snapshots must have written deltas, found {deltas:?}"
+    );
+
+    let rec = Store::open(&dir, options.clone())
+        .unwrap()
+        .recover::<MList<u64>>()
+        .unwrap()
+        .expect("journal exists");
+    assert_eq!(rec.data.to_vec(), data.to_vec());
+    assert!(
+        rec.snapshot_seq > 0,
+        "recovery must start from a delta upgrade, not the genesis full"
+    );
+    let replay_from_delta = rec.replayed_ops;
+
+    // Tear the newest delta mid-file: recovery falls back to an older
+    // delta (or the full) and replays more — same state, no error.
+    let newest = deltas.last().unwrap();
+    let len = fs::metadata(newest).unwrap().len();
+    fs::OpenOptions::new()
+        .write(true)
+        .open(newest)
+        .unwrap()
+        .set_len(len / 2)
+        .unwrap();
+    let rec = Store::open(&dir, options.clone())
+        .unwrap()
+        .recover::<MList<u64>>()
+        .unwrap()
+        .expect("journal exists");
+    assert_eq!(rec.data.to_vec(), data.to_vec());
+    assert!(rec.replayed_ops >= replay_from_delta);
+
+    // Corrupt every delta: recovery degrades all the way to the genesis
+    // full snapshot and replays the whole journal — still never an error.
+    for delta in &deltas {
+        let mut bytes = fs::read(delta).unwrap();
+        if bytes.is_empty() {
+            continue;
+        }
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        fs::write(delta, bytes).unwrap();
+    }
+    let rec = Store::open(&dir, options)
+        .unwrap()
+        .recover::<MList<u64>>()
+        .unwrap()
+        .expect("journal exists");
+    assert_eq!(rec.data.to_vec(), data.to_vec());
+    assert_eq!(rec.snapshot_seq, 0, "all deltas rejected, full base wins");
+}
+
+/// Retention crash-consistency: a crash after the full snapshot but
+/// before (or midway through) pruning leaves extra covered files behind
+/// — recovery must ignore them and reproduce the same state.
+#[test]
+fn crash_between_snapshot_and_prune_leaves_recovery_sound() {
+    // KeepAll models the crash *before* any deletion: every covered
+    // snapshot and segment survives alongside the new full snapshot.
+    let dir = scratch_dir("prune-crash");
+    let options = StoreOptions {
+        fsync: FsyncPolicy::EveryN(4),
+        segment_bytes: 2048,
+        snapshot_every_ops: 30,
+        retention: RetentionPolicy::KeepAll,
+        ..StoreOptions::default()
+    };
+    let store = Store::open(&dir, options.clone()).unwrap();
+    let mut data = MList::<u64>::new();
+    store.begin(&data).unwrap();
+    let mut rng = Lcg(0x9121);
+    for _ in 0..20 {
+        for _ in 0..10 {
+            let at = (rng.next() as usize) % (data.len() + 1);
+            data.insert(at, rng.next());
+        }
+        store.commit(&data, &TaskPath::root()).unwrap();
+    }
+    store.sync().unwrap();
+
+    let names: Vec<String> = fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .collect();
+    assert!(
+        names.contains(&"snap-00000000000000000000".to_string()),
+        "KeepAll must preserve the genesis snapshot, found {names:?}"
+    );
+    let snaps: Vec<u64> = names
+        .iter()
+        .filter_map(|n| n.strip_prefix("snap-"))
+        .filter_map(|s| s.parse().ok())
+        .collect();
+    let newest_snap = *snaps.iter().max().unwrap();
+    assert!(newest_snap > 0, "automatic snapshots fired");
+
+    let rec = Store::open(&dir, options.clone())
+        .unwrap()
+        .recover::<MList<u64>>()
+        .unwrap()
+        .expect("journal exists");
+    assert_eq!(rec.data.to_vec(), data.to_vec());
+
+    // Crash mid-prune: delete a strict subset of the covered segments
+    // (those entirely below the newest snapshot) and recover again.
+    let mut wals: Vec<(u64, PathBuf)> = fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter_map(|p| {
+            let seq: u64 = p
+                .file_name()?
+                .to_str()?
+                .strip_prefix("wal-")?
+                .parse()
+                .ok()?;
+            Some((seq, p))
+        })
+        .collect();
+    wals.sort();
+    let covered: Vec<&(u64, PathBuf)> = wals
+        .iter()
+        .zip(wals.iter().skip(1))
+        .filter(|(_, next)| next.0 <= newest_snap + 1)
+        .map(|(cur, _)| cur)
+        .collect();
+    assert!(
+        covered.len() >= 2,
+        "tiny segments must leave several covered ones, got {}",
+        covered.len()
+    );
+    fs::remove_file(&covered[covered.len() / 2].1).unwrap();
+
+    let rec = Store::open(&dir, options)
+        .unwrap()
+        .recover::<MList<u64>>()
+        .unwrap()
+        .expect("journal exists");
+    assert_eq!(
+        rec.data.to_vec(),
+        data.to_vec(),
+        "partially pruned covered segments must not change recovery"
+    );
+}
+
+/// Background snapshots take serialization and fsync off the commit
+/// path: with the same workload and snapshot cadence, the summed
+/// commit-path latency with background snapshots stays below the inline
+/// configuration's, while recovery still sees every snapshot.
+#[test]
+fn background_snapshots_move_write_cost_off_the_commit_path() {
+    fn run_commits(dir: &Path, background: bool) -> (std::time::Duration, Vec<u64>) {
+        let options = StoreOptions {
+            fsync: FsyncPolicy::EveryN(4),
+            snapshot_every_ops: 600,
+            snapshot_in_background: background,
+            ..StoreOptions::default()
+        };
+        let store = Store::open(dir, options).unwrap();
+        let pool = Pool::new();
+        store.attach_pool(&pool);
+        // A large baseline makes each snapshot's serialization cost
+        // visible next to the per-commit work.
+        let mut data = MList::<u64>::new();
+        let mut rng = Lcg(0xBACC);
+        for _ in 0..200_000 {
+            data.push(rng.next());
+        }
+        store.begin(&data).unwrap();
+        let mut in_commit = std::time::Duration::ZERO;
+        for _ in 0..24 {
+            for _ in 0..200 {
+                let at = data.len() - (rng.next() as usize) % 512;
+                data.insert(at, rng.next());
+            }
+            let t = std::time::Instant::now();
+            store.commit(&data, &TaskPath::root()).unwrap();
+            in_commit += t.elapsed();
+            // The gap models application work between commits — the
+            // window a background worker actually runs in.
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        store.sync().unwrap();
+        store.wait_snapshots();
+        assert!(store.take_error().is_none(), "worker parked no error");
+        (in_commit, data.to_vec())
+    }
+
+    let inline_dir = scratch_dir("bg-snap-inline");
+    let bg_dir = scratch_dir("bg-snap-worker");
+    let (inline_cost, inline_state) = run_commits(&inline_dir, false);
+    let (bg_cost, bg_state) = run_commits(&bg_dir, true);
+    assert_eq!(inline_state, bg_state, "identical deterministic workload");
+
+    for dir in [&inline_dir, &bg_dir] {
+        let names: Vec<String> = fs::read_dir(dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert!(
+            names
+                .iter()
+                .any(|n| n.starts_with("snap-") && !n.ends_with("00000000000000000000")),
+            "snapshots must have fired in {dir:?}, found {names:?}"
+        );
+        let rec = Store::open(dir, StoreOptions::default())
+            .unwrap()
+            .recover::<MList<u64>>()
+            .unwrap()
+            .expect("journal exists");
+        assert_eq!(rec.data.to_vec(), inline_state);
+        assert!(rec.snapshot_seq > 0, "recovery starts from a real snapshot");
+    }
+
+    assert!(
+        bg_cost < inline_cost,
+        "commit-path time with background snapshots ({bg_cost:?}) must undercut \
+         inline snapshots ({inline_cost:?})"
     );
 }
