@@ -12,10 +12,13 @@
 //! Final scenarios time the full `MList::merge` entry point end to end
 //! and report its delta/grid rebase split.
 //!
-//! Two end-of-file scenarios exercise the PR-7 parallel merge engine
-//! through the full runtime: a 1000-child `merge_all` timed with staging
+//! End-of-file scenarios exercise the parallel merge engine through the
+//! full runtime: a 1000-child insert-only `merge_all` timed with staging
 //! off (the sequential creation-order fold) and on (tree-reduction
-//! staging on the pool), and a field-parallel composite merge through
+//! staging on the pool); the same fan-out with deletes mixed in (the
+//! fold-parallel/combine-serial mixed lane) and under a merge condition
+//! (speculative staging with rollback); a huge-child split/fuse fold
+//! comparison; and a field-parallel composite merge through
 //! `Mergeable::merge_with_exec`.
 //!
 //! Usage:
@@ -35,7 +38,10 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-use sm_core::{run_with_pool, set_parallel_merge_lanes, set_parallel_merge_min_children, Pool};
+use sm_core::{
+    run_with_pool, set_parallel_merge_lanes, set_parallel_merge_min_children,
+    set_parallel_split_min_ops, Pool,
+};
 use sm_mergeable::parallel::StageCtx;
 use sm_mergeable::{MList, Mergeable};
 use sm_ot::compose::compact;
@@ -55,6 +61,9 @@ const FLOORS: &[(&str, f64)] = &[
     ("scattered_mixed_interleaved", 0.8),
     ("scattered_mixed_disjoint_halves", 4.0),
     ("parallel_merge_all_1000", 4.0),
+    ("mixed_delete_merge_all_1000", 3.0),
+    ("conditional_merge_all_1000", 1.5),
+    ("huge_child_split_fuse", 1.2),
     ("field_parallel_struct_merge", 0.5),
 ];
 
@@ -205,26 +214,85 @@ fn scenarios() -> Vec<Scenario> {
     ]
 }
 
-/// One timed `merge_all` over a scattered-insert fan-out: `children`
-/// tasks each record `ops_per_child` non-fusing inserts, every completion
-/// is allowed to land, and only the `merge_all` call is timed. Returns
-/// (merge nanoseconds, final state, pool peak workers).
-fn fanout_merge_all(children: usize, ops_per_child: usize) -> (u64, Vec<u64>, u64) {
+/// What each child of a [`fanout_merge_all`] records, and how the
+/// parent merges.
+#[derive(Clone, Copy, PartialEq)]
+enum FanoutMode {
+    /// Strided inserts only — the insert-only tree-reduction lane.
+    InsertOnly,
+    /// Every fourth op is a delete, each child confined to its own
+    /// 8-element segment of the base — the mixed fold-parallel lane.
+    /// Disjoint segments keep the order-sensitivity screen quiet (no
+    /// child insert can reach another child's insert through deleted
+    /// units), so the lane is measured, not its serial fallback.
+    Mixed,
+    /// Insert-only children merged through `merge_all_with` — the
+    /// speculative conditional staging path (the condition rejects the
+    /// odd child, so staging pays a real rollback/re-stage round).
+    Conditional,
+    /// Inserts strided over the last ~60 local positions — deep logs
+    /// whose delta folds are span-scattered but whose state applies
+    /// are cheap tail memmoves, isolating split/fuse fold time.
+    TailInserts,
+}
+
+/// One timed `merge_all` over a scattered fan-out: `children` tasks each
+/// record `ops_per_child` non-fusing ops (shape per `mode`), every
+/// completion is allowed to land, and only the merge call is timed.
+/// Returns (merge nanoseconds, final state, pool peak workers).
+fn fanout_merge_all(
+    children: usize,
+    ops_per_child: usize,
+    mode: FanoutMode,
+) -> (u64, Vec<u64>, u64) {
     let pool = Pool::new();
     let stats_pool = pool.clone();
     let done = Arc::new(AtomicUsize::new(0));
     let done_in = Arc::clone(&done);
-    let (list, merge_ns) = run_with_pool(MList::from_vec((0..64u64).collect()), pool, move |ctx| {
+    // Mixed mode gives every child its own 8-element segment; element
+    // `i * 8` of each segment is never edited, so a surviving retain
+    // always separates one child's spans from the next child's.
+    let base_len = if mode == FanoutMode::Mixed {
+        children * 8
+    } else {
+        64
+    };
+    let base = MList::from_vec((0..base_len as u64).collect());
+    let (list, merge_ns) = run_with_pool(base, pool, move |ctx| {
         for i in 0..children as u64 {
             let done = Arc::clone(&done_in);
             ctx.spawn(move |c| {
                 for j in 0..ops_per_child as u64 {
                     let len = c.data().len();
-                    // Strided positions: consecutive inserts never
-                    // touch, so record-time fusion cannot collapse
-                    // the log and every merge rebases real spans.
-                    let at = ((i * 7 + j * 13) as usize) % (len + 1);
-                    c.data_mut().insert(at, i * 1000 + j);
+                    match mode {
+                        FanoutMode::Mixed => {
+                            // Segment-local strided positions, first
+                            // segment element untouched. Every fourth
+                            // op deletes; net growth keeps the segment
+                            // populated.
+                            let at = i as usize * 8 + 1 + (j as usize * 3) % 6;
+                            if j % 4 == 3 {
+                                c.data_mut().remove(at);
+                            } else {
+                                c.data_mut().insert(at, i * 1000 + j);
+                            }
+                        }
+                        FanoutMode::TailInserts => {
+                            // Strided over the last ~60 local slots:
+                            // span-scattered folds, cheap tail applies.
+                            let window = 60.min(len - 1);
+                            let at = len - 1 - (j as usize * 13) % window.max(1);
+                            c.data_mut().insert(at, i * 1000 + j);
+                        }
+                        _ => {
+                            // Strided positions: consecutive ops never
+                            // touch, so record-time fusion cannot
+                            // collapse the log and every merge rebases
+                            // real spans.
+                            let at = ((i * 7 + j * 13) as usize) % (len + 1);
+                            c.data_mut().insert(at, i * 1000 + j);
+                        }
+                    }
                 }
                 done.fetch_add(1, Ordering::SeqCst);
                 Ok(())
@@ -242,7 +310,14 @@ fn fanout_merge_all(children: usize, ops_per_child: usize) -> (u64, Vec<u64>, u6
         }
         std::thread::sleep(std::time::Duration::from_millis(100));
         let t = Instant::now();
-        ctx.merge_all();
+        if mode == FanoutMode::Conditional {
+            // Deterministic on the child's own data; rejects a scatter
+            // of children, so staging pays real rollback/re-stage
+            // rounds.
+            ctx.merge_all_with(&|d: &MList<u64>| d.to_vec().iter().sum::<u64>() % 257 != 0);
+        } else {
+            ctx.merge_all();
+        }
         t.elapsed().as_nanos() as u64
     });
     (merge_ns, list.to_vec(), stats_pool.stats().peak_workers)
@@ -423,10 +498,11 @@ fn main() {
     let children = if quick { 200 } else { 1000 };
     let ops_per_child = 4;
     set_parallel_merge_min_children(None);
-    let (seq_ns, seq_state, _) = fanout_merge_all(children, ops_per_child);
+    let (seq_ns, seq_state, _) = fanout_merge_all(children, ops_per_child, FanoutMode::InsertOnly);
     set_parallel_merge_min_children(Some(8));
     set_parallel_merge_lanes(8);
-    let (par_ns, par_state, peak_workers) = fanout_merge_all(children, ops_per_child);
+    let (par_ns, par_state, peak_workers) =
+        fanout_merge_all(children, ops_per_child, FanoutMode::InsertOnly);
     set_parallel_merge_min_children(Some(8));
     set_parallel_merge_lanes(0);
     assert_eq!(
@@ -446,6 +522,102 @@ fn main() {
          \"lanes\": 8, \"peak_workers\": {peak_workers}, \"states_identical\": true}},"
     );
     speedups.push(("parallel_merge_all_1000".to_string(), par_speedup));
+
+    // Mixed insert/delete merge_all: same fan-out, every fourth child op
+    // a delete — the batch that used to be screened off the delta lane
+    // entirely. The staged mixed plan parallelizes the per-child folds
+    // and grows the committed composite incrementally on one
+    // coordinator instead of refolding it per child.
+    set_parallel_merge_min_children(None);
+    let (seq_ns, seq_state, _) = fanout_merge_all(children, ops_per_child, FanoutMode::Mixed);
+    set_parallel_merge_min_children(Some(8));
+    set_parallel_merge_lanes(8);
+    let (par_ns, par_state, peak_workers) =
+        fanout_merge_all(children, ops_per_child, FanoutMode::Mixed);
+    set_parallel_merge_min_children(Some(8));
+    set_parallel_merge_lanes(0);
+    assert_eq!(
+        seq_state, par_state,
+        "staged mixed merge_all diverged from the sequential fold"
+    );
+    let mixed_speedup = seq_ns as f64 / par_ns.max(1) as f64;
+    eprintln!(
+        "mixed_delete_merge_all ({children} children x {ops_per_child} ops, 1 delete each): \
+         sequential {seq_ns} ns -> staged {par_ns} ns ({mixed_speedup:.2}x, peak {peak_workers} workers)"
+    );
+    let _ = writeln!(
+        json,
+        "  \"mixed_delete_merge_all\": {{\"name\": \"mixed_delete_merge_all_1000\", \
+         \"children\": {children}, \"ops_per_child\": {ops_per_child}, \
+         \"sequential_ns\": {seq_ns}, \"staged_ns\": {par_ns}, \"speedup\": {mixed_speedup:.2}, \
+         \"lanes\": 8, \"peak_workers\": {peak_workers}, \"states_identical\": true}},"
+    );
+    speedups.push(("mixed_delete_merge_all_1000".to_string(), mixed_speedup));
+
+    // Conditional merge_all: the condition rejects ~5% of children, so
+    // the staged path pays real speculation rollbacks (drop the stage,
+    // re-stage the remainder) and must still come out ahead of the
+    // sequential conditional fold.
+    set_parallel_merge_min_children(None);
+    let (seq_ns, seq_state, _) = fanout_merge_all(children, ops_per_child, FanoutMode::Conditional);
+    set_parallel_merge_min_children(Some(8));
+    set_parallel_merge_lanes(8);
+    let (par_ns, par_state, peak_workers) =
+        fanout_merge_all(children, ops_per_child, FanoutMode::Conditional);
+    set_parallel_merge_min_children(Some(8));
+    set_parallel_merge_lanes(0);
+    assert_eq!(
+        seq_state, par_state,
+        "speculatively staged conditional merge_all diverged from the sequential fold"
+    );
+    let cond_speedup = seq_ns as f64 / par_ns.max(1) as f64;
+    eprintln!(
+        "conditional_merge_all ({children} children x {ops_per_child} ops): \
+         sequential {seq_ns} ns -> staged {par_ns} ns ({cond_speedup:.2}x, peak {peak_workers} workers)"
+    );
+    let _ = writeln!(
+        json,
+        "  \"conditional_merge_all\": {{\"name\": \"conditional_merge_all_1000\", \
+         \"children\": {children}, \"ops_per_child\": {ops_per_child}, \
+         \"sequential_ns\": {seq_ns}, \"staged_ns\": {par_ns}, \"speedup\": {cond_speedup:.2}, \
+         \"lanes\": 8, \"peak_workers\": {peak_workers}, \"states_identical\": true}},"
+    );
+    speedups.push(("conditional_merge_all_1000".to_string(), cond_speedup));
+
+    // Split/fuse: a handful of children with huge logs. Staged both
+    // times; the comparison isolates the split knob — segment folds in
+    // parallel, composites fused in order — against one worker folding
+    // each giant log alone.
+    let split_children = 4;
+    let split_ops = if quick { 4000 } else { 12000 };
+    set_parallel_merge_min_children(Some(2));
+    set_parallel_merge_lanes(8);
+    set_parallel_split_min_ops(None);
+    let (unsplit_ns, unsplit_state, _) =
+        fanout_merge_all(split_children, split_ops, FanoutMode::TailInserts);
+    set_parallel_split_min_ops(Some(256));
+    let (split_ns, split_state, peak_workers) =
+        fanout_merge_all(split_children, split_ops, FanoutMode::TailInserts);
+    set_parallel_split_min_ops(Some(65536));
+    set_parallel_merge_min_children(Some(8));
+    set_parallel_merge_lanes(0);
+    assert_eq!(
+        unsplit_state, split_state,
+        "split/fuse fold diverged from the unsplit staged fold"
+    );
+    let split_speedup = unsplit_ns as f64 / split_ns.max(1) as f64;
+    eprintln!(
+        "huge_child_split_fuse ({split_children} children x {split_ops} ops): \
+         unsplit {unsplit_ns} ns -> split {split_ns} ns ({split_speedup:.2}x, peak {peak_workers} workers)"
+    );
+    let _ = writeln!(
+        json,
+        "  \"huge_child_split_fuse\": {{\"name\": \"huge_child_split_fuse\", \
+         \"children\": {split_children}, \"ops_per_child\": {split_ops}, \
+         \"unsplit_ns\": {unsplit_ns}, \"split_ns\": {split_ns}, \"speedup\": {split_speedup:.2}, \
+         \"lanes\": 8, \"split_min_ops\": 256, \"states_identical\": true}},"
+    );
+    speedups.push(("huge_child_split_fuse".to_string(), split_speedup));
 
     // Field-parallel composite merge: a two-field tuple where each field
     // carries heavy scattered divergence, merged with the plain
@@ -474,6 +646,8 @@ fn main() {
         exec: Arc::new(move |job| exec_pool.execute(job)),
         lanes: 2,
         field_min_ops: 1,
+        split_min_ops: usize::MAX,
+        seal_per_commit: false,
         timing: false,
     };
     let field_par_ns = time_ns(iters, || {

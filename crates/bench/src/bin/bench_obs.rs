@@ -120,6 +120,7 @@ fn instrumented_merge(parent: &MList<u64>, child: &MList<u64>, path: &TaskPath) 
                 delta_rebases: stats.delta_rebases,
                 grid_rebases: stats.grid_rebases,
                 delta_spans: stats.delta_spans,
+                screen_rejects: stats.screen_rejects,
             },
             merge_nanos,
             oplog_len: stats.applied_ops,

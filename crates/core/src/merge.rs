@@ -23,16 +23,19 @@
 //!
 //! # Parallel staging
 //!
-//! When an unconditional `merge_all` finds a large prefix of children with
-//! clean completions already in hand, it stages their rebases on the
-//! worker pool (see [`sm_mergeable::parallel`]) and then *commits* the
+//! When a `merge_all` finds a large prefix of children with clean
+//! completions already in hand, it stages their rebases on the worker
+//! pool (see [`sm_mergeable::parallel`]) and then *commits* the
 //! pre-rebased runs in creation order — the schedule of observable
 //! effects, the merged state, and the determinism-auditor digests are
-//! bit-identical to the sequential fold; only wall-clock changes. The
-//! sequential path remains for conditional merges, syncs, sinks, small
-//! fan-outs, and the `serial-merge` escape-hatch feature, and debug
-//! builds re-derive every staged run sequentially at commit and assert
-//! equality (see `Versioned::commit_staged`).
+//! bit-identical to the sequential fold; only wall-clock changes.
+//! Conditional merges stage speculatively (a rejection drops the stage
+//! and re-stages the remainder), and a durability sink coexists with
+//! staging (the serial lane mirrors its per-commit history seal). The
+//! sequential path remains for syncs, small fan-outs, and the
+//! `serial-merge` escape-hatch feature, and debug builds re-derive every
+//! staged run sequentially at commit and assert equality (see
+//! `Versioned::commit_staged`).
 
 use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -54,6 +57,8 @@ static PAR_MIN_CHILDREN: AtomicUsize = AtomicUsize::new(8);
 static PAR_LANES: AtomicUsize = AtomicUsize::new(0);
 /// `usize::MAX` sentinel = disabled.
 static PAR_FIELD_MIN_OPS: AtomicUsize = AtomicUsize::new(512);
+/// `usize::MAX` sentinel = disabled.
+static PAR_SPLIT_MIN_OPS: AtomicUsize = AtomicUsize::new(65536);
 
 /// Set the minimum number of simultaneously-ready children an
 /// unconditional `merge_all` needs before staging the batch on the pool;
@@ -99,6 +104,21 @@ pub fn set_field_parallel_min_ops(min: Option<usize>) {
 /// Current field-parallelism threshold; `None` when disabled.
 pub fn field_parallel_min_ops() -> Option<usize> {
     match PAR_FIELD_MIN_OPS.load(Ordering::Relaxed) {
+        usize::MAX => None,
+        n => Some(n),
+    }
+}
+
+/// Set the minimum op count at which a *single* log's delta fold is
+/// split across segment workers and fused in order during staging (the
+/// huge-child split/fuse path); `None` disables splitting.
+pub fn set_parallel_split_min_ops(min: Option<usize>) {
+    PAR_SPLIT_MIN_OPS.store(min.unwrap_or(usize::MAX).max(1), Ordering::Relaxed);
+}
+
+/// Current split/fuse threshold; `None` when splitting is disabled.
+pub fn parallel_split_min_ops() -> Option<usize> {
+    match PAR_SPLIT_MIN_OPS.load(Ordering::Relaxed) {
         usize::MAX => None,
         n => Some(n),
     }
@@ -252,16 +272,15 @@ impl<D: Mergeable> TaskCtx<D> {
                 .collect(),
         };
         let mut report = MergeReport::default();
-        // Unconditional merges may stage a ready prefix of the batch on
-        // the pool; the committed schedule is the sequential one either
-        // way, so a condition (which must see each child *after* every
-        // earlier sibling merged) forces the plain fold.
+        // A ready prefix of the batch may stage on the pool; the
+        // committed schedule is the sequential one either way.
+        // Conditional merges stage *speculatively*: conditions only
+        // inspect the child's own immutable completion data, so they are
+        // evaluated at commit time exactly as the sequential fold would,
+        // and a rejection rolls the speculation back by dropping the
+        // stage and re-staging the remainder against the updated parent.
         #[cfg(not(feature = "serial-merge"))]
-        let consumed = if cond.is_none() {
-            self.merge_all_staged(&ids, &mut report)
-        } else {
-            0
-        };
+        let consumed = self.merge_all_staged(&ids, cond, &mut report);
         #[cfg(feature = "serial-merge")]
         let consumed = 0;
         let default_cond: &dyn Fn(&D) -> bool = &|_| true;
@@ -280,13 +299,14 @@ impl<D: Mergeable> TaskCtx<D> {
     /// folds the rest sequentially. Never blocks on an event: staging
     /// only covers children whose completions have already arrived.
     #[cfg(not(feature = "serial-merge"))]
-    fn merge_all_staged(&mut self, ids: &[TaskId], report: &mut MergeReport) -> usize {
+    fn merge_all_staged(
+        &mut self,
+        ids: &[TaskId],
+        cond: Option<Condition<'_, D>>,
+        report: &mut MergeReport,
+    ) -> usize {
         let min = PAR_MIN_CHILDREN.load(Ordering::Relaxed);
-        if ids.len() < min || self.sink.is_some() || self.data.is_none() {
-            // A durability sink journals (and may seal) after every
-            // commit, which moves the fuse barrier mid-batch — the staged
-            // replica cannot mirror that, so sinks always fold
-            // sequentially.
+        if ids.len() < min || self.data.is_none() {
             return 0;
         }
         while let Ok(ev) = self.events_rx.try_recv() {
@@ -329,52 +349,74 @@ impl<D: Mergeable> TaskCtx<D> {
         }
         let n = batch.len();
         let span = sm_obs::timer::start(Phase::MergeParallel);
-        let ctx = self.stage_ctx();
-        let stage = {
-            let kids: Vec<&D> = batch
-                .iter()
-                .map(|ev| match &ev.body {
-                    EventBody::Done { data: Some(d), .. } => d,
-                    _ => unreachable!("batch holds only completions with data"),
-                })
-                .collect();
-            self.data().stage_merge_all(&kids, &ctx)
-        };
         let default_cond: &dyn Fn(&D) -> bool = &|_| true;
-        let mut stage = match stage {
-            // No parallel seam in this data type: fold the drained
-            // events sequentially — they are already in hand.
-            None => {
-                for ev in batch {
+        let effective_cond = cond.unwrap_or(default_cond);
+        let mut queue: std::collections::VecDeque<Event<D>> = batch.into();
+        while !queue.is_empty() {
+            if queue.len() < min {
+                // Too few left to pay for (re-)staging: finish the
+                // remainder sequentially, events already in hand.
+                for ev in queue.drain(..) {
                     report
                         .children
-                        .push(self.handle_event(ev, default_cond, None));
+                        .push(self.handle_event(ev, effective_cond, None));
                 }
-                return n;
+                break;
             }
-            Some(stage) => {
-                let profile = stage.profile();
-                emit(&self.path, || EventKind::MergeStaged {
-                    children: n,
-                    delta_lanes: profile.delta_leaves,
-                    serial_lanes: profile.serial_leaves,
-                    chunks: profile.chunks,
-                });
-                Some(stage)
-            }
-        };
-        for (index, ev) in batch.into_iter().enumerate() {
-            let merged = match stage.as_mut() {
-                Some(s) => self.handle_event(ev, default_cond, Some((s.as_mut(), index))),
-                None => self.handle_event(ev, default_cond, None),
+            let ctx = self.stage_ctx();
+            let stage = {
+                let kids: Vec<&D> = queue
+                    .iter()
+                    .map(|ev| match &ev.body {
+                        EventBody::Done { data: Some(d), .. } => d,
+                        _ => unreachable!("batch holds only completions with data"),
+                    })
+                    .collect();
+                self.data().stage_merge_all(&kids, &ctx)
             };
-            if !merged.disposition.is_merged() {
-                // An abort flag raced in after eligibility: this child's
-                // changes were dismissed, so every later staged run (which
-                // assumed they committed) is stale. Finish sequentially.
-                stage = None;
+            let Some(mut stage) = stage else {
+                // No parallel seam in this data type: fold the drained
+                // events sequentially — they are already in hand.
+                for ev in queue.drain(..) {
+                    report
+                        .children
+                        .push(self.handle_event(ev, effective_cond, None));
+                }
+                break;
+            };
+            let profile = stage.profile();
+            let lane = if cond.is_some() {
+                "conditional"
+            } else if profile.mixed_leaves > 0 {
+                "mixed"
+            } else if profile.delta_leaves > 0 {
+                "insert-only"
+            } else {
+                "serial"
+            };
+            emit(&self.path, || EventKind::MergeStaged {
+                children: queue.len(),
+                lane,
+                delta_lanes: profile.delta_leaves,
+                serial_lanes: profile.serial_leaves,
+                chunks: profile.chunks,
+            });
+            let mut index = 0usize;
+            while let Some(ev) = queue.pop_front() {
+                let merged = self.handle_event(ev, effective_cond, Some((stage.as_mut(), index)));
+                index += 1;
+                let dismissed = !merged.disposition.is_merged();
+                report.children.push(merged);
+                if dismissed {
+                    // The condition rejected this child (or an abort flag
+                    // raced in): its changes were dismissed, so every
+                    // later staged run — speculatively computed as if
+                    // they committed — is stale. Drop the stage and
+                    // re-stage the remainder against the rolled-back
+                    // parent (the outer loop).
+                    break;
+                }
             }
-            report.children.push(merged);
         }
         if let Some(span) = span {
             span.finish(&self.path);
@@ -392,6 +434,11 @@ impl<D: Mergeable> TaskCtx<D> {
             exec: std::sync::Arc::new(move |job: sm_mergeable::parallel::Job| pool.execute(job)),
             lanes: parallel_merge_lanes(),
             field_min_ops: PAR_FIELD_MIN_OPS.load(Ordering::Relaxed),
+            split_min_ops: PAR_SPLIT_MIN_OPS.load(Ordering::Relaxed),
+            // A durability sink journals and seals after every commit,
+            // which moves the fuse barrier mid-batch; the serial lane's
+            // replica mirrors that seal when this is set.
+            seal_per_commit: self.sink.is_some(),
             timing: sm_obs::is_enabled(),
         }
     }
@@ -695,6 +742,7 @@ impl<D: Mergeable> TaskCtx<D> {
                     delta_rebases: stats.delta_rebases,
                     grid_rebases: stats.grid_rebases,
                     delta_spans: stats.delta_spans,
+                    screen_rejects: stats.screen_rejects,
                 },
                 oplog_len,
                 merge_nanos,

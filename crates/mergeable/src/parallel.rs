@@ -16,33 +16,72 @@
 //! sequential rebase at every commit and assert the staged run matches
 //! operation for operation.
 //!
-//! # Two lanes
+//! # Three lanes
 //!
-//! **Delta lane** ([`stage_versioned_delta`]) — for insert-only sequence
-//! batches sharing one fork base (the overwhelming fan-out shape: every
-//! child appends its results). Sibling logs fold into normalized
-//! span-set deltas over the fork-base coordinates and reduce pairwise:
-//! each chunk of siblings folds its local composite in parallel, the
-//! chunk composites sequence in O(#chunks) combines, and each chunk then
-//! transforms its members against its start composite concurrently —
-//! O(log-depth) critical path in the reduction sense, and, just as
-//! important, the committed composite is built *incrementally* instead
-//! of refolded from the whole committed log per child, collapsing the
-//! sequential fold's O(n³) total work at high fan-out. The unique normal
-//! form of insert-only deltas makes every re-association of
-//! `combine(a, b) = a ∘ T(b, a)` produce the same normalized delta, so
-//! the re-materialized runs equal the sequential ones span for span.
+//! **Insert-only delta lane** ([`stage_versioned_delta`]) — for
+//! insert-only sequence batches sharing one fork base (the overwhelming
+//! fan-out shape: every child appends its results). Sibling logs fold
+//! into normalized span-set deltas over the fork-base coordinates and
+//! reduce pairwise: each chunk of siblings folds its local composite in
+//! parallel, the chunk composites sequence in O(#chunks) combines, and
+//! each chunk then transforms its members against its start composite
+//! concurrently — O(log-depth) critical path in the reduction sense,
+//! and, just as important, the committed composite is built
+//! *incrementally* instead of refolded from the whole committed log per
+//! child, collapsing the sequential fold's O(n³) total work at high
+//! fan-out. The unique normal form of insert-only deltas makes every
+//! re-association of `combine(a, b) = a ∘ T(b, a)` produce the same
+//! normalized delta, so the re-materialized runs equal the sequential
+//! ones span for span.
 //!
-//! **Serial lane** ([`stage_versioned`]) — everything else (deletes,
-//! `Set`s, mixed fork bases, non-sequence algebras). One worker replays
-//! the exact sequential rebase pipeline against a [`LogReplica`] — same
-//! rebase kernel, same tail-fusion rules, same fuse barrier — so a
-//! composite structure can still stage *fields* in parallel: each field's
-//! lane runs concurrently with every other field's even when no single
-//! field parallelizes internally. That is the field-parallel merge of
-//! tuple / `mergeable_struct!` data.
+//! **Mixed delta lane** (also [`stage_versioned_delta`]) — batches whose
+//! logs mix inserts and deletes (still span-expressible, one shared
+//! fork base). Deletes forfeit the insert-only re-association proof, so
+//! this lane parallelizes only the *folds* (each chunk of sibling logs
+//! folds to deltas concurrently; a huge single log additionally
+//! split/fuses across segment workers, see below) and keeps the
+//! committed-composite walk on one worker, performing **exactly** the
+//! delta-level operations of the sequential kernel in the same order:
+//! screen with [`Delta::rebase_is_order_sensitive`], transform, compose.
+//! When the screen fires for a member, that member and every later one
+//! in the batch fall back per-child to the plain sequential merge (the
+//! poison protocol below) — per-batch fallback, not global.
 //!
-//! Neither lane ever blocks event collection and the parent commits in
+//! **Serial lane** ([`stage_versioned`]) — everything else (`Set`s,
+//! mixed fork bases, non-sequence algebras). One worker replays the
+//! exact sequential rebase pipeline against a [`LogReplica`] — same
+//! rebase kernel, same tail-fusion rules, same fuse barrier, including
+//! the per-commit history *seal* a durable `CommitSink` performs when
+//! `StageCtx::seal_per_commit` is set — so a composite structure can
+//! still stage *fields* in parallel: each field's lane runs concurrently
+//! with every other field's even when no single field parallelizes
+//! internally. That is the field-parallel merge of tuple /
+//! `mergeable_struct!` data.
+//!
+//! # Split/fuse for one huge log
+//!
+//! A single ≥[`StageCtx::split_min_ops`]-op log (one 10⁶-op child, or a
+//! long committed slice) no longer serializes its own fold: the staging
+//! thread segments the log, ships each segment's fold to an executor
+//! worker, and fuses the segment composites in order under the log's
+//! [`GapBias`] — exact because composition under a fixed bias is
+//! associative ([`sm_ot::delta::from_ops_chunked`] is the sequential
+//! oracle for this plan).
+//!
+//! # The poison protocol
+//!
+//! Lane workers send `(index, Option<StagedRun>)`; `None` marks a member
+//! the lane could not stage exactly (order-sensitivity screen fire, or a
+//! span-inexpressible op discovered mid-fold). Commits happen in index
+//! order, and the first consumed `None` **poisons** the leaf: that child
+//! and every later child in the batch commit through the plain
+//! sequential `merge` (the exact kernel, grid fallback included), and
+//! stale staged runs still arriving from in-flight workers are ignored.
+//! The committed outcome is therefore always the sequential one — a
+//! staged prefix that is bit-identical by construction, then a plainly
+//! merged suffix. Fallbacks are counted in `MergeStats::screen_rejects`.
+//!
+//! No lane ever blocks event collection and the parent commits in
 //! creation order, so the schedule of observable effects is the
 //! sequential one; only wall-clock (never hashed) differs.
 
@@ -50,11 +89,12 @@ use std::sync::mpsc::{channel, Receiver};
 use std::sync::Arc;
 use std::time::Instant;
 
-use sm_ot::delta::{from_ops_biased, Delta, DeltaOp, DeltaPayload, GapBias, OpSpan};
-use sm_ot::Operation;
+use sm_ot::compose::shape_of_log;
+use sm_ot::delta::{from_ops_biased, Delta, DeltaOp, DeltaPayload, GapBias};
+use sm_ot::{OpShape, Operation};
 
 use crate::versioned::rebase_over;
-use crate::{MergeError, MergeStats, Mergeable, Versioned};
+use crate::{LogShape, MergeError, MergeStats, Mergeable, Versioned};
 
 /// A unit of staging work shipped to the executor.
 pub type Job = Box<dyn FnOnce() + Send + 'static>;
@@ -82,6 +122,18 @@ pub struct StageCtx {
     /// [`Mergeable::merge_with_exec`](crate::Mergeable::merge_with_exec);
     /// smaller fields merge inline.
     pub field_min_ops: usize,
+    /// Minimum op count at which a *single* log's fold is split across
+    /// segment workers and fused in order ([`from_ops_chunked`]
+    /// semantics); `usize::MAX` disables the split.
+    ///
+    /// [`from_ops_chunked`]: sm_ot::delta::from_ops_chunked
+    pub split_min_ops: usize,
+    /// Whether a durable `CommitSink` is installed on the runtime: the
+    /// sink seals the parent's fusible history after *every* commit, so
+    /// the serial lane's [`LogReplica`] must move its fuse barrier the
+    /// same way or staged tail fusion would diverge from the sequential
+    /// schedule.
+    pub seal_per_commit: bool,
     /// Whether an `sm_obs` recorder is installed: gates every clock read
     /// so uninstalled staging reads no clocks, like the sequential path.
     pub timing: bool,
@@ -94,6 +146,8 @@ impl StageCtx {
             exec: inline_exec(),
             lanes: 1,
             field_min_ops: usize::MAX,
+            split_min_ops: usize::MAX,
+            seal_per_commit: false,
             timing: false,
         }
     }
@@ -104,6 +158,8 @@ impl std::fmt::Debug for StageCtx {
         f.debug_struct("StageCtx")
             .field("lanes", &self.lanes)
             .field("field_min_ops", &self.field_min_ops)
+            .field("split_min_ops", &self.split_min_ops)
+            .field("seal_per_commit", &self.seal_per_commit)
             .field("timing", &self.timing)
             .finish_non_exhaustive()
     }
@@ -112,8 +168,11 @@ impl std::fmt::Debug for StageCtx {
 /// Shape of the staging plan a [`StagedCommit`] built, for telemetry.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StageProfile {
-    /// Leaves staged on the chunked delta lane.
+    /// Leaves staged on the chunked delta lane (insert-only or mixed).
     pub delta_leaves: usize,
+    /// Delta-lane leaves that took the fold-parallel *mixed* plan
+    /// (a subset of `delta_leaves`).
+    pub mixed_leaves: usize,
     /// Leaves staged on the serial-replay lane (or committed inline).
     pub serial_leaves: usize,
     /// Total parallel chunks across all delta-lane leaves.
@@ -123,6 +182,7 @@ pub struct StageProfile {
 impl std::ops::AddAssign for StageProfile {
     fn add_assign(&mut self, rhs: Self) {
         self.delta_leaves += rhs.delta_leaves;
+        self.mixed_leaves += rhs.mixed_leaves;
         self.serial_leaves += rhs.serial_leaves;
         self.chunks += rhs.chunks;
     }
@@ -155,25 +215,55 @@ struct StagedRun<O> {
     raw_compacted: bool,
 }
 
+/// One slot of a [`StagedLeaf`]'s commit schedule.
+enum Slot<O> {
+    /// Not delivered yet.
+    Pending,
+    /// A staged run, ready to commit.
+    Run(StagedRun<O>),
+    /// The lane could not stage this member exactly (screen fire,
+    /// span-inexpressible op): this child and every later one fall back
+    /// to the plain sequential merge.
+    Poison,
+}
+
 /// The leaf [`StagedCommit`] over a single [`Versioned`] log: collects
-/// `(index, run)` pairs from the lane workers and commits them in order.
+/// `(index, Option<run>)` pairs from the lane workers and commits them
+/// in order, with `None` poisoning the batch suffix (see the module
+/// docs).
 struct StagedLeaf<O: Operation> {
-    slots: Vec<Option<StagedRun<O>>>,
-    rx: Receiver<(usize, StagedRun<O>)>,
+    slots: Vec<Slot<O>>,
+    rx: Receiver<(usize, Option<StagedRun<O>>)>,
     profile: StageProfile,
     timing: bool,
+    poisoned: bool,
 }
 
 impl<O: Operation> StagedLeaf<O> {
-    fn take(&mut self, index: usize) -> StagedRun<O> {
-        while self.slots[index].is_none() {
-            let (i, staged) = self
-                .rx
-                .recv()
-                .expect("a merge-staging worker died before delivering its rebased run");
-            self.slots[i] = Some(staged);
+    /// Block until slot `index` resolves; `None` means the lane marked
+    /// it (and therefore the whole batch suffix) unstageable. Lanes
+    /// poison the *first* unstaged index and then stop sending, so this
+    /// never waits on an index past a poison marker.
+    fn take(&mut self, index: usize) -> Option<StagedRun<O>> {
+        loop {
+            match std::mem::replace(&mut self.slots[index], Slot::Pending) {
+                Slot::Run(staged) => return Some(staged),
+                Slot::Poison => {
+                    self.slots[index] = Slot::Poison;
+                    return None;
+                }
+                Slot::Pending => {
+                    let (i, staged) = self
+                        .rx
+                        .recv()
+                        .expect("a merge-staging worker died before delivering its rebased run");
+                    self.slots[i] = match staged {
+                        Some(run) => Slot::Run(run),
+                        None => Slot::Poison,
+                    };
+                }
+            }
         }
-        self.slots[index].take().expect("filled above")
     }
 }
 
@@ -184,14 +274,24 @@ impl<O: Operation> StagedCommit<Versioned<O>> for StagedLeaf<O> {
         child: &Versioned<O>,
         index: usize,
     ) -> Result<MergeStats, MergeError> {
-        let staged = self.take(index);
-        parent.commit_staged(
-            child,
-            staged.run,
-            staged.pre,
-            staged.raw_compacted,
-            self.timing,
-        )
+        if !self.poisoned {
+            if let Some(staged) = self.take(index) {
+                return parent.commit_staged(
+                    child,
+                    staged.run,
+                    staged.pre,
+                    staged.raw_compacted,
+                    self.timing,
+                );
+            }
+            self.poisoned = true;
+        }
+        // Poisoned suffix: the staged prefix left `parent` in exactly
+        // the sequential state, so the plain kernel (grid fallback and
+        // all) finishes the batch bit-identically.
+        let mut stats = parent.merge(child)?;
+        stats.screen_rejects = 1;
+        Ok(stats)
     }
 
     fn profile(&self) -> StageProfile {
@@ -267,41 +367,37 @@ pub fn stage_versioned<O: Operation>(
         .collect();
     let (tx, rx) = channel();
     let timing = ctx.timing;
+    let seal_per_commit = ctx.seal_per_commit;
     (ctx.exec)(Box::new(move || {
         for (i, (fork_base, log)) in work.into_iter().enumerate() {
             let (run, pre) = rebase_over(&log, replica.suffix(fork_base), timing);
             replica.extend(&run);
+            if seal_per_commit {
+                // Mirror the sink's post-commit history seal: the next
+                // child must not fuse into ops this commit made durable.
+                replica.barrier = replica.log_start + replica.log.len();
+            }
             let _ = tx.send((
                 i,
-                StagedRun {
+                Some(StagedRun {
                     run,
                     pre,
                     raw_compacted: false,
-                },
+                }),
             ));
         }
     }));
     Some(Box::new(StagedLeaf {
-        slots: (0..children.len()).map(|_| None).collect(),
+        slots: (0..children.len()).map(|_| Slot::Pending).collect(),
         rx,
         profile: StageProfile {
-            delta_leaves: 0,
             serial_leaves: 1,
             chunks: 1,
+            ..StageProfile::default()
         },
         timing,
+        poisoned: false,
     }))
-}
-
-/// True when every op is a span-expressible insert of at least one unit —
-/// the shape for which insert-only deltas have a unique normal form and
-/// the sequential path is guaranteed to take the delta rebase at every
-/// step of the fold.
-fn insert_only<O: DeltaOp>(ops: &[O]) -> bool {
-    ops.iter().all(|op| match op.to_span() {
-        Some(OpSpan::Insert { payload, .. }) => payload.unit_len() >= 1,
-        _ => false,
-    })
 }
 
 /// `committed ∘ T(next, committed)`: extend a committed composite delta
@@ -321,17 +417,94 @@ fn elapsed_nanos(t0: Instant) -> u64 {
 /// composite.
 type ChunkFold<P> = (Vec<Delta<P>>, Delta<P>);
 
-/// Stage a batch on the **delta lane** when the batch qualifies
-/// (insert-only sequence logs, one shared in-history fork base, non-empty
-/// committed slice), falling back to the serial lane otherwise.
+/// A sibling log handed to pass A: either the raw ops, or — for a log
+/// big enough that one worker folding it alone would dominate the
+/// critical path — a composite the staging thread already split/fused
+/// across segment workers.
+enum FoldItem<O: DeltaOp> {
+    Log(Vec<O>),
+    Folded(Delta<O::Payload>),
+}
+
+impl<O: DeltaOp> FoldItem<O> {
+    fn fold(self, bias: GapBias) -> Option<Delta<O::Payload>> {
+        match self {
+            FoldItem::Folded(d) => Some(d),
+            FoldItem::Log(log) => from_ops_biased(&log, bias),
+        }
+    }
+}
+
+/// Fold one log into a delta, splitting it across executor workers when
+/// it is at least `ctx.split_min_ops` ops long: segment folds run
+/// concurrently and the segment composites fuse in order, exact because
+/// composition under a fixed bias is associative
+/// ([`sm_ot::delta::from_ops_chunked`] is the sequential oracle).
 ///
-/// The plan: siblings are split into `ctx.lanes` chunks. Pass A folds
-/// each chunk's logs into deltas and its local composite concurrently;
-/// a coordinator then sequences the chunk-start composites (`#chunks`
-/// combines) and fans out pass B, where each chunk walks its members
-/// against a running committed composite, emitting every member's
-/// rebased run. All reductions re-associate `combine`, which for
-/// insert-only deltas is exact down to the span representation.
+/// Called from the staging thread only; the pool grows on demand, so
+/// blocking here on segment results cannot starve the lane workers.
+fn fold_log_split<O: DeltaOp>(
+    ops: &[O],
+    bias: GapBias,
+    ctx: &StageCtx,
+) -> Option<Delta<O::Payload>> {
+    if ops.len() < ctx.split_min_ops || ctx.lanes <= 1 {
+        return from_ops_biased(ops, bias);
+    }
+    let seg_len = ops
+        .len()
+        .div_ceil(ctx.lanes)
+        .max(ctx.split_min_ops / 2)
+        .max(1);
+    let (tx, rx) = channel();
+    let mut segs = 0usize;
+    for (k, seg) in ops.chunks(seg_len).enumerate() {
+        let seg = seg.to_vec();
+        let tx = tx.clone();
+        (ctx.exec)(Box::new(move || {
+            let _ = tx.send((k, from_ops_biased(&seg, bias)));
+        }));
+        segs += 1;
+    }
+    drop(tx);
+    let mut folds: Vec<Option<Delta<O::Payload>>> = (0..segs).map(|_| None).collect();
+    for _ in 0..segs {
+        let (k, d) = rx.recv().ok()?;
+        folds[k] = d;
+    }
+    let mut acc = Delta::identity();
+    for d in folds {
+        acc = acc.compose_biased(&d?, bias);
+    }
+    Some(acc)
+}
+
+/// Stage a batch on the **delta lane** when the batch qualifies
+/// (delta-foldable sequence logs by the push-time [`LogShape`] cache —
+/// no rescans — one shared in-history fork base, non-empty committed
+/// slice), falling back to the serial lane otherwise.
+///
+/// Two plans share this entry point:
+///
+/// **Insert-only** (every child's cache says [`LogShape::InsertOnly`]
+/// and the committed slice is insert-only too): siblings split into
+/// `ctx.lanes` chunks. Pass A folds each chunk's logs into deltas and
+/// its local composite concurrently; a coordinator sequences the
+/// chunk-start composites (`#chunks` combines) and fans out pass B,
+/// where each chunk walks its members against a running committed
+/// composite, emitting every member's rebased run. All reductions
+/// re-associate `combine`, which for insert-only deltas is exact down
+/// to the span representation.
+///
+/// **Mixed** (deletes anywhere in the batch): deletes forfeit the
+/// re-association proof, so only pass A runs in parallel; a single
+/// coordinator walks every member delta in index order performing
+/// exactly the sequential kernel's delta steps — screen with
+/// [`Delta::rebase_is_order_sensitive`], transform, compose. A screen
+/// fire poisons the batch suffix (module docs) instead of bailing the
+/// whole batch. Still a large win at fan-out: the committed composite
+/// grows incrementally instead of being refolded from the whole
+/// committed log per child.
 pub fn stage_versioned_delta<O: DeltaOp>(
     parent: &Versioned<O>,
     children: &[&Versioned<O>],
@@ -345,113 +518,220 @@ pub fn stage_versioned_delta<O: DeltaOp>(
     let fork_base = children[0].fork_base();
     let qualified = fork_base >= lo
         && fork_base <= hi
-        && children
-            .iter()
-            .all(|c| c.fork_base() == fork_base && !c.log().is_empty() && insert_only(c.log()))
-        && {
-            let committed = &parent.log()[fork_base - lo..];
-            !committed.is_empty() && insert_only(committed)
-        };
+        && children.iter().all(|c| {
+            c.fork_base() == fork_base && !c.log().is_empty() && c.log_shape().delta_foldable()
+        })
+        && fork_base - lo < parent.log().len();
     if !qualified {
         return stage_versioned(parent, children, ctx);
     }
+    let committed = &parent.log()[fork_base - lo..];
+    // The committed *slice* of an insert-only log is insert-only; any
+    // other cache state needs one O(slice) scan to decide (a slice of a
+    // Mixed log can itself be insert-only, and Foreign must bail).
+    let committed_shape = match parent.log_shape() {
+        LogShape::InsertOnly => OpShape::Insert,
+        _ => shape_of_log(committed),
+    };
+    if committed_shape == OpShape::Foreign {
+        return stage_versioned(parent, children, ctx);
+    }
+    let insert_only_batch =
+        committed_shape == OpShape::Insert && children.iter().all(|c| c.log_shape().insert_only());
 
-    let c0 = from_ops_biased(&parent.log()[fork_base - lo..], GapBias::Start)
-        .expect("insert-only ops are span-expressible");
+    let Some(c0) = fold_log_split(committed, GapBias::Start, ctx) else {
+        // Shape cache said foldable but a fold failed (conservative
+        // seam for foreign algebras): the serial lane is always exact.
+        return stage_versioned(parent, children, ctx);
+    };
     let n = children.len();
     let lanes = ctx.lanes.clamp(1, n);
     let chunk_len = n.div_ceil(lanes);
-    let logs: Vec<Vec<Vec<O>>> = children
-        .chunks(chunk_len)
-        .map(|chunk| chunk.iter().map(|c| c.log().to_vec()).collect())
-        .collect();
-    let chunks = logs.len();
     let timing = ctx.timing;
 
-    // Pass A (parallel per chunk): fold each sibling log into a delta
-    // over the fork-base coordinates and reduce the chunk's local
-    // composite.
-    let (fold_tx, fold_rx) = channel();
-    for (k, chunk) in logs.into_iter().enumerate() {
-        let fold_tx = fold_tx.clone();
-        (ctx.exec)(Box::new(move || {
-            let ds: Vec<Delta<O::Payload>> = chunk
-                .iter()
-                .map(|log| {
-                    from_ops_biased(log, GapBias::End)
-                        .expect("insert-only ops are span-expressible")
-                })
-                .collect();
-            let mut total: Option<Delta<O::Payload>> = None;
-            for d in &ds {
-                total = Some(match total {
-                    None => d.clone(),
-                    Some(t) => combine(&t, d),
-                });
+    // Pre-fold huge sibling logs on the staging thread (split/fuse), so
+    // no single pass-A worker serializes a giant fold.
+    let mut items: Vec<FoldItem<O>> = Vec::with_capacity(n);
+    for c in children {
+        if c.log().len() >= ctx.split_min_ops {
+            match fold_log_split(c.log(), GapBias::End, ctx) {
+                Some(d) => items.push(FoldItem::Folded(d)),
+                None => return stage_versioned(parent, children, ctx),
             }
-            let total = total.expect("chunks are non-empty");
-            let _ = fold_tx.send((k, ds, total));
-        }));
-    }
-    drop(fold_tx);
-
-    // Coordinator: sequence the chunk-start composites, fan out pass B.
-    let (slot_tx, slot_rx) = channel();
-    let exec = Arc::clone(&ctx.exec);
-    (ctx.exec)(Box::new(move || {
-        let mut folds: Vec<Option<ChunkFold<O::Payload>>> = (0..chunks).map(|_| None).collect();
-        for _ in 0..chunks {
-            let (k, ds, total) = fold_rx
-                .recv()
-                .expect("a delta-staging fold worker died before reporting");
-            folds[k] = Some((ds, total));
+        } else {
+            items.push(FoldItem::Log(c.log().to_vec()));
         }
-        let mut base = c0;
-        for (k, fold) in folds.into_iter().enumerate() {
-            let (ds, total) = fold.expect("every chunk reported above");
-            let next_base = combine(&base, &total);
-            let slot_tx = slot_tx.clone();
-            let chunk_base = base.clone();
-            let start = k * chunk_len;
-            // Pass B (parallel per chunk): walk the chunk's members
-            // against a running committed composite — identical to the
-            // sequential fold's committed delta at each member, by the
-            // insert-only normal form.
-            exec(Box::new(move || {
-                let mut committed = chunk_base;
-                for (t, d) in ds.into_iter().enumerate() {
+    }
+    let mut chunked: Vec<Vec<FoldItem<O>>> = Vec::with_capacity(lanes);
+    let mut it = items.into_iter();
+    loop {
+        let chunk: Vec<FoldItem<O>> = it.by_ref().take(chunk_len).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        chunked.push(chunk);
+    }
+    let chunks = chunked.len();
+    let (slot_tx, slot_rx) = channel();
+
+    if insert_only_batch {
+        // Pass A (parallel per chunk): fold each sibling log into a
+        // delta over the fork-base coordinates and reduce the chunk's
+        // local composite.
+        let (fold_tx, fold_rx) = channel();
+        for (k, chunk) in chunked.into_iter().enumerate() {
+            let fold_tx = fold_tx.clone();
+            (ctx.exec)(Box::new(move || {
+                let ds: Option<Vec<Delta<O::Payload>>> = chunk
+                    .into_iter()
+                    .map(|item| item.fold(GapBias::End))
+                    .collect();
+                let report: Option<ChunkFold<O::Payload>> = ds.map(|ds| {
+                    let mut total: Option<Delta<O::Payload>> = None;
+                    for d in &ds {
+                        total = Some(match total {
+                            None => d.clone(),
+                            Some(t) => combine(&t, d),
+                        });
+                    }
+                    let total = total.expect("chunks are non-empty");
+                    (ds, total)
+                });
+                let _ = fold_tx.send((k, report));
+            }));
+        }
+        drop(fold_tx);
+
+        // Coordinator: sequence the chunk-start composites, fan out
+        // pass B.
+        let exec = Arc::clone(&ctx.exec);
+        (ctx.exec)(Box::new(move || {
+            let mut folds: Vec<Option<Option<ChunkFold<O::Payload>>>> =
+                (0..chunks).map(|_| None).collect();
+            for _ in 0..chunks {
+                let Ok((k, report)) = fold_rx.recv() else {
+                    break;
+                };
+                folds[k] = Some(report);
+            }
+            let mut base = c0;
+            for (k, fold) in folds.into_iter().enumerate() {
+                let start = k * chunk_len;
+                let Some(Some((ds, total))) = fold else {
+                    // A fold worker failed or died: poison from this
+                    // chunk's first member on.
+                    let _ = slot_tx.send((start, None));
+                    return;
+                };
+                let next_base = combine(&base, &total);
+                let slot_tx = slot_tx.clone();
+                let chunk_base = base.clone();
+                // Pass B (parallel per chunk): walk the chunk's members
+                // against a running committed composite — identical to
+                // the sequential fold's committed delta at each member,
+                // by the insert-only normal form.
+                exec(Box::new(move || {
+                    let mut committed = chunk_base;
+                    for (t, d) in ds.into_iter().enumerate() {
+                        let t0 = timing.then(Instant::now);
+                        let (_, rebased) = committed.transform(&d);
+                        let pre = MergeStats {
+                            delta_rebases: 1,
+                            delta_spans: committed.span_count() + d.span_count(),
+                            delta_nanos: t0.map_or(0, elapsed_nanos),
+                            ..MergeStats::default()
+                        };
+                        committed = committed.compose(&rebased);
+                        let _ = slot_tx.send((
+                            start + t,
+                            Some(StagedRun {
+                                run: rebased.into_ops(),
+                                pre,
+                                raw_compacted: true,
+                            }),
+                        ));
+                    }
+                }));
+                base = next_base;
+            }
+        }));
+    } else {
+        // Mixed plan. Pass A (parallel per chunk): fold only — no chunk
+        // composites, since re-associating `combine` over deltas with
+        // deletes is unproven.
+        let (fold_tx, fold_rx) = channel();
+        for (k, chunk) in chunked.into_iter().enumerate() {
+            let fold_tx = fold_tx.clone();
+            (ctx.exec)(Box::new(move || {
+                let ds: Option<Vec<Delta<O::Payload>>> = chunk
+                    .into_iter()
+                    .map(|item| item.fold(GapBias::End))
+                    .collect();
+                let _ = fold_tx.send((k, ds));
+            }));
+        }
+        drop(fold_tx);
+
+        // Coordinator: the sequential kernel's delta walk, verbatim —
+        // screen, transform, compose — against an incrementally grown
+        // committed composite. One worker, index order.
+        (ctx.exec)(Box::new(move || {
+            // Outer Option: chunk not yet received; inner: fold failure.
+            type ChunkFolds<P> = Option<Option<Vec<Delta<P>>>>;
+            let mut folds: Vec<ChunkFolds<O::Payload>> = (0..chunks).map(|_| None).collect();
+            for _ in 0..chunks {
+                let Ok((k, ds)) = fold_rx.recv() else { break };
+                folds[k] = Some(ds);
+            }
+            let mut base = c0;
+            let mut index = 0usize;
+            for fold in folds {
+                let Some(Some(ds)) = fold else {
+                    let _ = slot_tx.send((index, None));
+                    return;
+                };
+                for d in ds {
+                    if base.rebase_is_order_sensitive(&d) {
+                        // The exact committed-vs-incoming screen the
+                        // sequential kernel would run for this child:
+                        // poison here, grid fallback at commit time.
+                        let _ = slot_tx.send((index, None));
+                        return;
+                    }
                     let t0 = timing.then(Instant::now);
-                    let (_, rebased) = committed.transform(&d);
+                    let (_, rebased) = base.transform(&d);
                     let pre = MergeStats {
                         delta_rebases: 1,
-                        delta_spans: committed.span_count() + d.span_count(),
+                        delta_spans: base.span_count() + d.span_count(),
                         delta_nanos: t0.map_or(0, elapsed_nanos),
                         ..MergeStats::default()
                     };
-                    committed = committed.compose(&rebased);
+                    base = base.compose(&rebased);
                     let _ = slot_tx.send((
-                        start + t,
-                        StagedRun {
+                        index,
+                        Some(StagedRun {
                             run: rebased.into_ops(),
                             pre,
                             raw_compacted: true,
-                        },
+                        }),
                     ));
+                    index += 1;
                 }
-            }));
-            base = next_base;
-        }
-    }));
+            }
+        }));
+    }
 
     Some(Box::new(StagedLeaf {
-        slots: (0..n).map(|_| None).collect(),
+        slots: (0..n).map(|_| Slot::Pending).collect(),
         rx: slot_rx,
         profile: StageProfile {
             delta_leaves: 1,
+            mixed_leaves: usize::from(!insert_only_batch),
             serial_leaves: 0,
             chunks,
         },
         timing,
+        poisoned: false,
     }))
 }
 
@@ -499,9 +779,8 @@ impl<D, F: Mergeable> StagedCommit<D> for InlineStage<D, F> {
 
     fn profile(&self) -> StageProfile {
         StageProfile {
-            delta_leaves: 0,
             serial_leaves: 1,
-            chunks: 0,
+            ..StageProfile::default()
         }
     }
 }
@@ -615,9 +894,8 @@ impl<M: Mergeable> StagedCommit<Vec<M>> for IndexStage<M> {
         match &self.stage {
             Some(stage) => stage.profile(),
             None => StageProfile {
-                delta_leaves: 0,
                 serial_leaves: 1,
-                chunks: 0,
+                ..StageProfile::default()
             },
         }
     }

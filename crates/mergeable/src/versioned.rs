@@ -46,11 +46,58 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use sm_ot::compose::compact_cow;
-use sm_ot::{seq, ApplyError, Operation};
+use sm_ot::{seq, ApplyError, OpShape, Operation};
 
 /// Saturating elapsed nanoseconds since `t0`.
 fn elapsed_nanos(t0: std::time::Instant) -> u64 {
     t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64
+}
+
+/// Cached classification of a [`Versioned`]'s retained log, maintained
+/// incrementally as operations are pushed so the staged `merge_all`
+/// engine can route a batch to a fold lane without rescanning every
+/// child log (the old `insert_only` scan was O(total batch ops) per
+/// `merge_all`).
+///
+/// The cache is a *conservative upper bound*: tail fusion and
+/// annihilation can only keep or lower an op's
+/// [`sm_ot::OpShape`], and a wrong-towards-`Mixed`/`Foreign` answer
+/// only costs the fast lane, never correctness — the staging lanes
+/// re-screen with [`sm_ot::delta::Delta::rebase_is_order_sensitive`]
+/// and debug-assert against the sequential rebase regardless.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LogShape {
+    /// Every retained op is a pure insertion (also the empty log).
+    /// Delta-foldable and incapable of firing the delete-gap
+    /// order-sensitivity screen on its own.
+    #[default]
+    InsertOnly,
+    /// Span-expressible inserts and deletes: delta-foldable behind the
+    /// order-sensitivity screen.
+    Mixed,
+    /// At least one op a span-set cannot express: serial-replay lane.
+    Foreign,
+}
+
+impl LogShape {
+    /// Join the shape of one more pushed op into the cached log shape.
+    fn join(self, op: OpShape) -> LogShape {
+        match (self, op) {
+            (LogShape::Foreign, _) | (_, OpShape::Foreign) => LogShape::Foreign,
+            (LogShape::Mixed, _) | (_, OpShape::SpanEdit) => LogShape::Mixed,
+            (LogShape::InsertOnly, OpShape::Insert) => LogShape::InsertOnly,
+        }
+    }
+
+    /// True when the log folds into a sorted span-set delta.
+    pub fn delta_foldable(self) -> bool {
+        !matches!(self, LogShape::Foreign)
+    }
+
+    /// True when every retained op is a pure insertion.
+    pub fn insert_only(self) -> bool {
+        matches!(self, LogShape::InsertOnly)
+    }
 }
 
 /// How forking copies the underlying state.
@@ -96,6 +143,12 @@ pub struct MergeStats {
     /// Total normalized spans swept by delta-path rebases (incoming +
     /// committed sides): the m+n the linear transform actually paid.
     pub delta_spans: usize,
+    /// Staged-lane commits that fell back to the sequential kernel
+    /// because the order-sensitivity screen (or a span-inexpressible
+    /// op discovered mid-fold) fired after staging had started. Counts
+    /// per fallen-back child; zero on the plain sequential path, whose
+    /// screen fires are already visible as `grid_rebases`.
+    pub screen_rejects: usize,
     /// Nanoseconds spent in successful delta-path rebases. Timing fields
     /// are only populated while an `sm_obs` recorder is installed (one
     /// relaxed load otherwise) and are wall-clock: excluded from every
@@ -121,6 +174,7 @@ impl std::ops::AddAssign for MergeStats {
         self.delta_rebases += rhs.delta_rebases;
         self.grid_rebases += rhs.grid_rebases;
         self.delta_spans += rhs.delta_spans;
+        self.screen_rejects += rhs.screen_rejects;
         self.delta_nanos += rhs.delta_nanos;
         self.compact_nanos += rhs.compact_nanos;
         self.grid_nanos += rhs.grid_nanos;
@@ -213,6 +267,8 @@ pub struct Versioned<O: Operation> {
     /// absolute position is ≥ this barrier — otherwise a live fork point
     /// would end up *between* two fused operations.
     fuse_barrier: AtomicUsize,
+    /// Cached [`LogShape`] of `log`, joined incrementally on push.
+    shape: LogShape,
     mode: CopyMode,
 }
 
@@ -224,6 +280,7 @@ impl<O: Operation> Clone for Versioned<O> {
             log_start: self.log_start,
             fork_base: self.fork_base,
             fuse_barrier: AtomicUsize::new(self.fuse_barrier.load(Ordering::Relaxed)),
+            shape: self.shape,
             mode: self.mode,
         }
     }
@@ -244,6 +301,7 @@ impl<O: Operation> Versioned<O> {
             log_start: 0,
             fork_base: 0,
             fuse_barrier: AtomicUsize::new(0),
+            shape: LogShape::default(),
             mode,
         }
     }
@@ -285,6 +343,13 @@ impl<O: Operation> Versioned<O> {
         self.mode
     }
 
+    /// Cached [`LogShape`] of the retained log — a conservative upper
+    /// bound maintained incrementally on push (see [`LogShape`]); equals
+    /// `sm_ot::compose::shape_of_log(self.log())` up to fusion slack.
+    pub fn log_shape(&self) -> LogShape {
+        self.shape
+    }
+
     /// Append `op` to the log, fusing or cancelling against the tail when
     /// the fork barrier allows it. Does not touch the state.
     fn push_op(&mut self, op: O) {
@@ -298,14 +363,24 @@ impl<O: Operation> Versioned<O> {
         if !self.log.is_empty() && self.log_start + self.log.len() > barrier {
             let last = self.log.last().expect("non-empty");
             if Operation::annihilates(last, &op) {
+                // The pair vanishes: nothing to join. Survivors keep the
+                // (possibly now over-wide) cached shape; an empty log
+                // resets to the join identity.
                 self.log.pop();
+                if self.log.is_empty() {
+                    self.shape = LogShape::default();
+                }
                 return;
             }
             if let Some(fused) = Operation::compose(last, &op) {
+                // Fusion can only keep or lower the tail's shape, so
+                // joining the unfused op's shape stays a sound bound.
+                self.shape = self.shape.join(op.shape());
                 *self.log.last_mut().expect("non-empty") = fused;
                 return;
             }
         }
+        self.shape = self.shape.join(op.shape());
         self.log.push(op);
     }
 
@@ -385,6 +460,7 @@ impl<O: Operation> Versioned<O> {
             log_start: 0,
             fork_base: here,
             fuse_barrier: AtomicUsize::new(0),
+            shape: LogShape::default(),
             mode: self.mode,
         }
     }
@@ -531,6 +607,11 @@ impl<O: Operation> Versioned<O> {
         }
         self.log.drain(..keep_from);
         self.log_start += keep_from;
+        if self.log.is_empty() {
+            // The cached shape described the dropped prefix too; an
+            // empty log is back at the join identity.
+            self.shape = LogShape::default();
+        }
         keep_from
     }
 
@@ -922,6 +1003,46 @@ mod tests {
             stats.applied_ops, 0,
             "duplicate delete collapses to nothing"
         );
+    }
+
+    #[test]
+    fn log_shape_cache_tracks_pushes() {
+        let mut v = V::new(ct(vec![1, 2, 3]));
+        assert!(v.log_shape().insert_only(), "empty log is the identity");
+        v.record(ListOp::Insert(3, 4)).unwrap();
+        assert_eq!(v.log_shape(), LogShape::InsertOnly);
+        v.record(ListOp::Delete(0)).unwrap();
+        assert_eq!(v.log_shape(), LogShape::Mixed);
+        v.record(ListOp::Set(0, 9)).unwrap();
+        assert_eq!(v.log_shape(), LogShape::Foreign);
+        // Truncating the whole log resets to the identity.
+        assert!(v.truncate_prefix(v.history_len()) > 0);
+        assert_eq!(v.log_shape(), LogShape::InsertOnly);
+        // The cache agrees with the scan oracle after every push.
+        let mut w = V::new(ct(vec![1, 2, 3]));
+        for op in [
+            ListOp::Insert(0, 7),
+            ListOp::Insert(1, 8),
+            ListOp::Delete(2),
+            ListOp::Insert(0, 9),
+        ] {
+            w.record(op).unwrap();
+            let oracle = match sm_ot::compose::shape_of_log(w.log()) {
+                OpShape::Insert => LogShape::InsertOnly,
+                OpShape::SpanEdit => LogShape::Mixed,
+                OpShape::Foreign => LogShape::Foreign,
+            };
+            assert_eq!(w.log_shape(), oracle);
+        }
+    }
+
+    #[test]
+    fn log_shape_resets_when_annihilation_empties_the_log() {
+        let mut v = V::new(ct(vec![1, 2]));
+        v.record(ListOp::Insert(1, 9)).unwrap();
+        v.record(ListOp::Delete(1)).unwrap();
+        assert_eq!(v.pending_ops(), 0);
+        assert!(v.log_shape().insert_only());
     }
 
     #[test]

@@ -185,6 +185,7 @@ impl ChromeTracer {
                 }
                 EventKind::MergeStaged {
                     children,
+                    lane,
                     delta_lanes,
                     serial_lanes,
                     chunks,
@@ -194,6 +195,7 @@ impl ChromeTracer {
                         "args",
                         Json::obj([
                             ("children", Json::from(*children)),
+                            ("merge_stage_lane", Json::Str(lane.to_string())),
                             ("delta_lanes", Json::from(*delta_lanes)),
                             ("serial_lanes", Json::from(*serial_lanes)),
                             ("chunks", Json::from(*chunks)),

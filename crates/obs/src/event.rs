@@ -124,6 +124,10 @@ pub struct MergeOpStats {
     /// Normalized spans swept by the delta-path rebases (incoming +
     /// committed): the linear work actually paid instead of `grid_cells`.
     pub delta_spans: usize,
+    /// Staged-lane commits that fell back to the plain sequential kernel
+    /// (order-sensitivity screen fire or batch-suffix poison); zero on
+    /// the plain path.
+    pub screen_rejects: usize,
 }
 
 /// One runtime lifecycle transition.
@@ -177,6 +181,9 @@ pub enum EventKind {
     MergeStaged {
         /// Children covered by this staged batch.
         children: usize,
+        /// Which staging plan ran: `"insert-only"`, `"mixed"`,
+        /// `"conditional"` (speculative, any delta plan), or `"serial"`.
+        lane: &'static str,
         /// Leaves staged on the delta (span-set) fast path.
         delta_lanes: usize,
         /// Leaves staged on the serial replica path.

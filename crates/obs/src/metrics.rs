@@ -282,6 +282,9 @@ pub struct MetricsSnapshot {
     pub rebases_grid_total: u64,
     /// Sum of normalized spans swept by delta-path rebases.
     pub delta_spans_total: u64,
+    /// Staged-lane commits that fell back to the plain sequential kernel
+    /// (order-sensitivity screen fire or batch-suffix poison).
+    pub rebase_screen_rejects_total: u64,
     // -- history GC ----------------------------------------------------
     /// Fork-watermark GC runs that dropped at least one operation.
     pub log_truncations: u64,
@@ -366,6 +369,7 @@ impl MetricsSnapshot {
                 self.rebases_delta_total += ops.delta_rebases as u64;
                 self.rebases_grid_total += ops.grid_rebases as u64;
                 self.delta_spans_total += ops.delta_spans as u64;
+                self.rebase_screen_rejects_total += ops.screen_rejects as u64;
                 self.merge_latency_nanos.observe(*merge_nanos);
                 self.merge_child_ops.observe(ops.child_ops as u64);
                 self.oplog_len.observe(*oplog_len as u64);
@@ -489,6 +493,10 @@ impl MetricsSnapshot {
                     ("rebases_delta_total", Json::from(self.rebases_delta_total)),
                     ("rebases_grid_total", Json::from(self.rebases_grid_total)),
                     ("delta_spans_total", Json::from(self.delta_spans_total)),
+                    (
+                        "rebase_screen_rejects_total",
+                        Json::from(self.rebase_screen_rejects_total),
+                    ),
                 ]),
             ),
             (
@@ -577,7 +585,7 @@ impl MetricsSnapshot {
     /// Render in the Prometheus text exposition format.
     pub fn prometheus_text(&self) -> String {
         let mut out = String::new();
-        let counters: [(&str, u64); 40] = [
+        let counters: [(&str, u64); 41] = [
             ("sm_tasks_spawned_total", self.tasks_spawned),
             ("sm_tasks_completed_total", self.tasks_completed),
             ("sm_tasks_aborted_total", self.tasks_aborted),
@@ -600,6 +608,10 @@ impl MetricsSnapshot {
             ),
             ("sm_merge_grid_cells_total", self.grid_cells_total),
             ("sm_merge_delta_spans_total", self.delta_spans_total),
+            (
+                "sm_rebase_screen_rejects_total",
+                self.rebase_screen_rejects_total,
+            ),
             ("sm_log_truncations_total", self.log_truncations),
             ("sm_log_truncated_ops_total", self.log_truncated_ops),
             ("sm_syncs_total", self.syncs),
@@ -788,6 +800,7 @@ mod tests {
                 delta_rebases: 3,
                 grid_rebases: 1,
                 delta_spans: 12,
+                screen_rejects: 1,
             },
             oplog_len: 18,
             merge_nanos: 1234,
@@ -803,6 +816,7 @@ mod tests {
         assert_eq!(s.rebases_delta_total, 3);
         assert_eq!(s.rebases_grid_total, 1);
         assert_eq!(s.delta_spans_total, 12);
+        assert_eq!(s.rebase_screen_rejects_total, 1);
         assert_eq!(s.merge_latency_nanos.count(), 1);
         assert_eq!(s.oplog_len.max(), 18);
         assert_eq!(s.spawn_cost_nanos.mean(), 600.0);

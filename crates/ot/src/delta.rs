@@ -322,7 +322,11 @@ impl<P: DeltaPayload> Delta<P> {
     /// at the gap" factoring), `Start` emits the insert before the deleted
     /// run and `End` after it. Extensionally equal; the adjacency order
     /// they encode transforms differently (see the module docs).
-    fn compose_biased(&self, other: &Delta<P>, bias: GapBias) -> Delta<P> {
+    ///
+    /// Under a fixed bias composition is associative, which is what lets
+    /// [`from_ops_chunked`] fold disjoint log segments independently and
+    /// fuse the segment composites in order.
+    pub fn compose_biased(&self, other: &Delta<P>, bias: GapBias) -> Delta<P> {
         let mut a = Cursor::new(&self.spans);
         let mut b = Cursor::new(&other.spans);
         let mut out = Delta::identity();
@@ -824,6 +828,29 @@ pub fn from_ops_biased<O: DeltaOp>(ops: &[O], bias: GapBias) -> Option<Delta<O::
     Some(acc)
 }
 
+/// Split/fuse fold: segment `ops` into runs of at most `chunk` operations,
+/// fold each segment independently with [`from_ops_biased`], and fuse the
+/// segment composites left-to-right with [`Delta::compose_biased`] under
+/// the same bias. Because composition under a fixed bias is associative,
+/// the result equals the straight [`from_ops_biased`] fold — but the
+/// per-segment folds are independent, so a caller with idle workers can
+/// run them concurrently and fuse in order (the staged merge engine's
+/// huge-child lane does exactly that; this sequential form is its
+/// oracle in differential tests).
+///
+/// Returns `None` when any operation is not span-expressible.
+pub fn from_ops_chunked<O: DeltaOp>(
+    ops: &[O],
+    chunk: usize,
+    bias: GapBias,
+) -> Option<Delta<O::Payload>> {
+    let mut acc = Delta::identity();
+    for seg in ops.chunks(chunk.max(1)) {
+        acc = acc.compose_biased(&from_ops_biased(seg, bias)?, bias);
+    }
+    Some(acc)
+}
+
 /// Batch rebase of `incoming` over `committed` (both sequentially applied
 /// from the same fork base) through the delta representation: compose each
 /// side into a sorted span-set (with its side's [`GapBias`]), transform
@@ -971,6 +998,47 @@ mod tests {
             }
             let in_place = from_ops_biased(&ops, bias).unwrap();
             assert_eq!(in_place, by_compose, "ops {ops:?} bias {bias:?}");
+        }
+    }
+
+    #[test]
+    fn chunked_fold_matches_straight_fold() {
+        // Split/fuse associativity: folding segment composites and fusing
+        // them in order must equal the straight left fold, for every
+        // segment size, both biases, mixed insert/delete logs. This is
+        // the algebraic fact the staged huge-child lane leans on.
+        let mut x: u64 = 0x2545_f491_4f6c_dd1d;
+        let mut rand = move |bound: usize| {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((x >> 33) as usize) % bound.max(1)
+        };
+        for case in 0..500 {
+            let bias = if case % 2 == 0 {
+                GapBias::Start
+            } else {
+                GapBias::End
+            };
+            let mut doc_len = 8 + rand(8);
+            let mut ops: Vec<ListOp<u64>> = Vec::new();
+            for i in 0..(1 + rand(24)) {
+                let op = if doc_len > 0 && rand(2) == 0 {
+                    let pos = rand(doc_len);
+                    doc_len -= 1;
+                    ListOp::Delete(pos)
+                } else {
+                    let pos = rand(doc_len + 1);
+                    doc_len += 1;
+                    ListOp::Insert(pos, i as u64)
+                };
+                ops.push(op);
+            }
+            let straight = from_ops_biased(&ops, bias).unwrap();
+            for chunk in [1, 2, 3, 5, ops.len().max(1)] {
+                let fused = from_ops_chunked(&ops, chunk, bias).unwrap();
+                assert_eq!(fused, straight, "ops {ops:?} chunk {chunk} bias {bias:?}");
+            }
         }
     }
 

@@ -816,6 +816,15 @@ impl<T: Element> Operation for ListOp<T> {
     ) -> Option<(Vec<Self>, crate::delta::DeltaStats)> {
         crate::delta::rebase_delta(incoming, committed)
     }
+
+    fn shape(&self) -> crate::OpShape {
+        match self {
+            ListOp::Insert(..) | ListOp::InsertRun(..) => crate::OpShape::Insert,
+            ListOp::Delete(..) | ListOp::DeleteRange(..) => crate::OpShape::SpanEdit,
+            // `Set` is span-inexpressible (see `to_span`): grid only.
+            ListOp::Set(..) => crate::OpShape::Foreign,
+        }
+    }
 }
 
 impl<T: Element> DeltaOp for ListOp<T> {

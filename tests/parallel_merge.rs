@@ -22,8 +22,9 @@ use spawn_merge::obs::{
     self, DeterminismAuditor, FlightRecorder, Metrics, MultiRecorder, Recorder,
 };
 use spawn_merge::{
-    run, run_with_pool, set_field_parallel_min_ops, set_parallel_merge_lanes,
-    set_parallel_merge_min_children, MCounter, MList, MText, Pool,
+    run, run_with_pool, run_with_store, set_field_parallel_min_ops, set_parallel_merge_lanes,
+    set_parallel_merge_min_children, set_parallel_split_min_ops, MCounter, MList, MText, Pool,
+    Store, StoreOptions,
 };
 
 static SERIAL: Mutex<()> = Mutex::new(());
@@ -42,6 +43,7 @@ impl Drop for KnobGuard {
         set_parallel_merge_min_children(Some(8));
         set_parallel_merge_lanes(0);
         set_field_parallel_min_ops(Some(512));
+        set_parallel_split_min_ops(Some(65536));
         obs::uninstall();
     }
 }
@@ -329,4 +331,281 @@ fn merge_all_from_set_dedups_duplicate_handles() {
         vec![1, 2],
         "argument order is the merge order"
     );
+}
+
+/// Install metrics + auditor, run `f`, and return its output with the
+/// metrics snapshot and the auditor digest — for tests that must prove
+/// *which* path ran, not just that the result matches.
+fn with_metrics_plane<T>(f: impl FnOnce() -> T) -> (T, spawn_merge::obs::MetricsSnapshot, u64) {
+    let metrics = Arc::new(Metrics::new());
+    let auditor = Arc::new(DeterminismAuditor::new());
+    let sinks: Vec<Arc<dyn Recorder>> = vec![metrics.clone(), auditor.clone()];
+    obs::install(Arc::new(MultiRecorder::new(sinks)));
+    let out = f();
+    obs::uninstall();
+    (out, metrics.snapshot(), auditor.digest())
+}
+
+/// Tentpole: a fan-out whose children mix inserts and deletes must take
+/// the staged path (previously the `insert_only` gate forced the serial
+/// lane) and stay digest-identical to the sequential fold.
+#[test]
+fn mixed_delete_fanout_stages_and_matches_sequential_digest() {
+    let _guard = serial();
+    let program = || {
+        let (list, ()) = run(MList::from_iter(0..32u32), |ctx| {
+            for i in 0..24u32 {
+                ctx.spawn(move |c| {
+                    for j in 0..6 {
+                        let at = ((i * 7 + j * 13) as usize) % (c.data().len() + 1);
+                        c.data_mut().insert(at, i * 100 + j);
+                    }
+                    // Every third child also deletes, making its log
+                    // shape Mixed rather than InsertOnly.
+                    if i % 3 == 0 {
+                        let at = (i as usize * 5) % c.data().len();
+                        c.data_mut().remove(at);
+                    }
+                    Ok(())
+                });
+            }
+            std::thread::sleep(std::time::Duration::from_millis(120));
+            ctx.data_mut().push(u32::MAX);
+            ctx.merge_all();
+        });
+        list.to_vec()
+    };
+
+    set_parallel_merge_min_children(None);
+    let (seq_state, seq_digest) = with_plane(program);
+
+    set_parallel_merge_min_children(Some(4));
+    set_parallel_merge_lanes(4);
+    let (par_state, snap, par_digest) = with_metrics_plane(program);
+
+    assert!(
+        snap.merges_staged >= 1,
+        "a mixed insert/delete batch must stage, not fall back to the serial fold"
+    );
+    assert_eq!(seq_state, par_state);
+    assert_eq!(seq_digest, par_digest);
+}
+
+/// Tentpole: the runtime mirror of the order-sensitivity fixture in
+/// `sm_ot::delta` — a committed delete closes the gap between an
+/// incoming insert and a later committed insert, so the staged mixed
+/// lane must poison that child (and the batch suffix) back to the plain
+/// sequential kernel, counted in `sm_rebase_screen_rejects_total`, with
+/// the digest chain still bit-identical.
+#[test]
+fn screened_mixed_batch_falls_back_per_batch_and_matches_sequential() {
+    let _guard = serial();
+    let program = || {
+        let (text, ()) = run(MText::from("abcd"), |ctx| {
+            // Child 0 commits first: delete, insert "XY", delete — the
+            // committed side of the screened fixture.
+            ctx.spawn(|c| {
+                c.data_mut().delete_range(1, 1);
+                c.data_mut().insert_str(2, "XY");
+                c.data_mut().delete_range(1, 1);
+                Ok(())
+            });
+            // Child 1's delta (delete at 2, insert "q" at 1) is
+            // order-sensitive against child 0's committed composite.
+            ctx.spawn(|c| {
+                c.data_mut().delete_range(2, 1);
+                c.data_mut().insert_str(1, "q");
+                Ok(())
+            });
+            std::thread::sleep(std::time::Duration::from_millis(60));
+            // Parent edit far to the right keeps the committed slice
+            // non-empty (delta-lane qualification) without disturbing
+            // the low-position collision.
+            let end = ctx.data().char_len();
+            ctx.data_mut().insert_str(end, "Z");
+            ctx.merge_all();
+        });
+        text.to_string()
+    };
+
+    set_parallel_merge_min_children(None);
+    let (seq_state, seq_digest) = with_plane(program);
+
+    set_parallel_merge_min_children(Some(2));
+    set_parallel_merge_lanes(2);
+    let (par_state, snap, par_digest) = with_metrics_plane(program);
+
+    assert!(
+        snap.merges_staged >= 1,
+        "the two-child batch must stage on the mixed delta lane"
+    );
+    assert!(
+        snap.rebase_screen_rejects_total >= 1,
+        "the order-sensitive child must fall back through the poison protocol"
+    );
+    assert_eq!(seq_state, par_state);
+    assert_eq!(seq_digest, par_digest);
+}
+
+/// Tentpole: conditional `merge_all_with` batches stage speculatively;
+/// dismissed children roll the speculation back (drop the stage,
+/// re-stage the remainder) and the committed outcome — state, rejected
+/// set, and digest chain — is exactly the sequential one.
+#[test]
+fn conditional_merge_all_stages_speculatively_and_matches_sequential() {
+    let _guard = serial();
+    let program = || {
+        let (list, report) = run(MList::from_iter([1u32, 2, 3]), |ctx| {
+            for i in 0..16u32 {
+                ctx.spawn(move |c| {
+                    for j in 0..4 {
+                        c.data_mut().push(i * 10 + j);
+                    }
+                    Ok(())
+                });
+            }
+            std::thread::sleep(std::time::Duration::from_millis(120));
+            ctx.data_mut().push(500);
+            // Deterministic on the child's own data: rejects roughly a
+            // third of the children, scattered through the batch, so
+            // staging must survive several rollback/re-stage rounds.
+            ctx.merge_all_with(&|d: &MList<u32>| d.to_vec().iter().sum::<u32>() % 3 != 0)
+        });
+        (list.to_vec(), report.merged_count())
+    };
+
+    set_parallel_merge_min_children(None);
+    let ((seq_state, seq_merged), seq_digest) = with_plane(program);
+
+    set_parallel_merge_min_children(Some(2));
+    set_parallel_merge_lanes(3);
+    let ((par_state, par_merged), snap, par_digest) = with_metrics_plane(program);
+
+    assert!(
+        snap.merges_staged >= 1,
+        "a conditional merge_all must stage speculatively, not fold sequentially"
+    );
+    assert!(
+        seq_merged < 16,
+        "the condition must actually reject some children for this test to bite"
+    );
+    assert_eq!(seq_merged, par_merged);
+    assert_eq!(seq_state, par_state);
+    assert_eq!(seq_digest, par_digest);
+}
+
+/// Tentpole: a durable `CommitSink` no longer forces the sequential
+/// fold — staged batches run with the journal installed (the serial
+/// lane mirrors the per-commit seal), the digest chain matches the
+/// sequential run, and recovery replays both journals to the same
+/// state.
+#[test]
+fn staged_merge_coexists_with_store_sink_and_recovers() {
+    let _guard = serial();
+    let scratch = |tag: &str| {
+        let dir = std::env::temp_dir().join(format!(
+            "sm-parallel-merge-sink-{}-{tag}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    };
+    let program = |dir: &std::path::Path| {
+        let store = Store::open(dir, StoreOptions::default()).unwrap();
+        let (list, ()) = run_with_store(MList::<u32>::new(), Pool::new(), &store, |ctx| {
+            for i in 0..16u32 {
+                ctx.spawn(move |c| {
+                    for j in 0..6 {
+                        c.data_mut().push(i * 10 + j);
+                    }
+                    if i % 4 == 0 {
+                        let len = c.data().len();
+                        c.data_mut().remove(len - 1);
+                    }
+                    Ok(())
+                });
+            }
+            std::thread::sleep(std::time::Duration::from_millis(120));
+            ctx.data_mut().push(9999);
+            ctx.merge_all();
+        })
+        .unwrap();
+        list.to_vec()
+    };
+
+    let dir_seq = scratch("seq");
+    set_parallel_merge_min_children(None);
+    let (seq_state, seq_digest) = with_plane(|| program(&dir_seq));
+
+    let dir_par = scratch("par");
+    set_parallel_merge_min_children(Some(4));
+    set_parallel_merge_lanes(3);
+    let (par_state, snap, par_digest) = with_metrics_plane(|| program(&dir_par));
+
+    assert!(
+        snap.merges_staged >= 1,
+        "a sink must no longer disqualify the batch from staging"
+    );
+    assert_eq!(seq_state, par_state);
+    assert_eq!(seq_digest, par_digest);
+
+    // Both journals must replay to the bit-identical live state.
+    for (dir, state) in [(&dir_seq, &seq_state), (&dir_par, &par_state)] {
+        let reopened = Store::open(dir, StoreOptions::default()).unwrap();
+        let rec = reopened
+            .recover::<MList<u32>>()
+            .unwrap()
+            .expect("journal exists");
+        assert_eq!(&rec.data.to_vec(), state);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}
+
+/// Tentpole: one huge child log split across segment workers and fused
+/// in order must be indistinguishable — state and digest — from both
+/// the unsplit staged run and the sequential fold.
+#[test]
+fn huge_child_split_fuse_matches_unsplit_and_sequential_digests() {
+    let _guard = serial();
+    let program = || {
+        let (list, ()) = run(MList::from_iter(0..8u32), |ctx| {
+            for i in 0..4u32 {
+                ctx.spawn(move |c| {
+                    for j in 0..1500u32 {
+                        let at = ((i * 7 + j * 13) as usize) % (c.data().len() + 1);
+                        c.data_mut().insert(at, i * 10_000 + j);
+                    }
+                    if i % 2 == 0 {
+                        let at = (i as usize * 11) % c.data().len();
+                        c.data_mut().remove(at);
+                    }
+                    Ok(())
+                });
+            }
+            std::thread::sleep(std::time::Duration::from_millis(150));
+            ctx.data_mut().push(u32::MAX);
+            ctx.merge_all();
+        });
+        list.to_vec()
+    };
+
+    set_parallel_merge_min_children(None);
+    let (seq_state, seq_digest) = with_plane(program);
+
+    // Staged, splitting disabled: the whole 1500-op fold on one worker.
+    set_parallel_merge_min_children(Some(2));
+    set_parallel_merge_lanes(4);
+    set_parallel_split_min_ops(None);
+    let (unsplit_state, unsplit_digest) = with_plane(program);
+
+    // Staged with split/fuse biting on every child log.
+    set_parallel_split_min_ops(Some(256));
+    let (split_state, snap, split_digest) = with_metrics_plane(program);
+
+    assert!(snap.merges_staged >= 1, "the batch must stage");
+    assert_eq!(seq_state, unsplit_state);
+    assert_eq!(seq_state, split_state);
+    assert_eq!(seq_digest, unsplit_digest);
+    assert_eq!(seq_digest, split_digest);
 }
