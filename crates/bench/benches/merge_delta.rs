@@ -8,23 +8,11 @@
 //! group isolates the per-op splice cost of `from_ops`.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sm_netsim::workload::lcg_positions;
 use sm_ot::delta::{from_ops, rebase_delta};
 use sm_ot::list::ListOp;
 use sm_ot::seq::rebase;
 use sm_ot::text::TextOp;
-
-/// Deterministic scattered positions (same generator as `bench_merge`).
-fn lcg_positions(n: usize, bound: usize) -> Vec<usize> {
-    let mut x: u64 = 0x2545_f491_4f6c_dd1d;
-    (0..n)
-        .map(|_| {
-            x = x
-                .wrapping_mul(6364136223846793005)
-                .wrapping_add(1442695040888963407);
-            ((x >> 33) as usize) % bound.max(1)
-        })
-        .collect()
-}
 
 fn scattered_list(n: usize, rev: bool, value: u64) -> Vec<ListOp<u64>> {
     let mut pos = lcg_positions(n, 64);

@@ -44,6 +44,7 @@ use sm_core::{
 };
 use sm_mergeable::parallel::StageCtx;
 use sm_mergeable::{MList, Mergeable};
+use sm_netsim::workload::lcg_positions;
 use sm_ot::compose::compact;
 use sm_ot::delta::rebase_delta;
 use sm_ot::list::ListOp;
@@ -82,19 +83,6 @@ struct Scenario {
     name: &'static str,
     committed: Vec<ListOp<u64>>,
     incoming: Vec<ListOp<u64>>,
-}
-
-/// Deterministic positions for the no-compaction control scenario.
-fn lcg_positions(n: usize, bound: usize) -> Vec<usize> {
-    let mut x: u64 = 0x2545_f491_4f6c_dd1d;
-    (0..n)
-        .map(|_| {
-            x = x
-                .wrapping_mul(6364136223846793005)
-                .wrapping_add(1442695040888963407);
-            ((x >> 33) as usize) % bound.max(1)
-        })
-        .collect()
 }
 
 fn scenarios() -> Vec<Scenario> {

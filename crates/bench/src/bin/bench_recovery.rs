@@ -38,6 +38,7 @@ use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
 use sm_mergeable::MList;
+use sm_netsim::workload::Lcg;
 use sm_obs::TaskPath;
 use sm_store::{FsyncPolicy, RetentionPolicy, Store, StoreOptions};
 
@@ -46,22 +47,6 @@ fn scratch(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("sm-bench-recovery-{}-{tag}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     dir
-}
-
-/// Deterministic scattered positions (same LCG family as bench_merge).
-/// Scattering inside a trailing window defeats span compaction (so the
-/// journal really holds ~`n` individual operations) while keeping the
-/// list-shift cost of building a million-element journal bounded.
-struct Lcg(u64);
-
-impl Lcg {
-    fn next(&mut self) -> u64 {
-        self.0 = self
-            .0
-            .wrapping_mul(6364136223846793005)
-            .wrapping_add(1442695040888963407);
-        self.0 >> 33
-    }
 }
 
 /// Journal `total_ops` scattered inserts in commits of `ops_per_commit`.
@@ -79,7 +64,7 @@ fn build_journal(dir: &Path, total_ops: usize, ops_per_commit: usize, fsync: Fsy
     .unwrap();
     let mut data = MList::<u64>::new();
     store.begin(&data).unwrap();
-    let mut rng = Lcg(0x5EED);
+    let mut rng = Lcg::new(0x5EED);
     let mut done = 0usize;
     while done < total_ops {
         let batch = ops_per_commit.min(total_ops - done);
@@ -281,7 +266,7 @@ fn main() {
         },
     )
     .unwrap();
-    let mut rng = Lcg(0xDE17A);
+    let mut rng = Lcg::new(0xDE17A);
     let mut data = MList::<u64>::from_iter(0..size as u64);
     store.begin(&data).unwrap();
     for _ in 0..muts {

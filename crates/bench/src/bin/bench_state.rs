@@ -24,6 +24,7 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
+use sm_netsim::workload::lcg_positions;
 use sm_ot::list::ListOp;
 use sm_ot::state::{ChunkTree, Rope};
 use sm_ot::text::TextOp;
@@ -38,19 +39,6 @@ fn time_ns<R>(iters: usize, mut f: impl FnMut() -> R) -> u64 {
         best = best.min(t.elapsed().as_nanos() as u64);
     }
     best
-}
-
-/// Deterministic scattered positions (same LCG family as bench_merge).
-fn lcg_positions(n: usize, bound: usize) -> Vec<usize> {
-    let mut x: u64 = 0x2545_f491_4f6c_dd1d;
-    (0..n)
-        .map(|_| {
-            x = x
-                .wrapping_mul(6364136223846793005)
-                .wrapping_add(1442695040888963407);
-            ((x >> 33) as usize) % bound.max(1)
-        })
-        .collect()
 }
 
 /// A 1000-op edit script shaped like a rebased merge log: scattered

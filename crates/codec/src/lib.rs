@@ -21,6 +21,7 @@
 #![warn(missing_docs)]
 
 pub mod ops;
+pub mod session;
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::fmt;

@@ -21,6 +21,8 @@ use sm_core::{run_with_pool, Pool, SyncError, TaskCtx, TaskResult};
 use sm_mergeable::{CopyMode, MText};
 use sm_sha1::{Digest, Sha1};
 
+use crate::workload::Lcg;
+
 /// Configuration for one collaborative-editing run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DocConfig {
@@ -83,28 +85,11 @@ pub fn digest_document(doc: &MText) -> Digest {
     h.finalize()
 }
 
-/// Deterministic edit stream: a 64-bit LCG (Knuth's MMIX constants) salted
-/// with the editor id.
-struct EditStream(u64);
-
-impl EditStream {
-    fn new(seed: u64, editor: usize) -> Self {
-        EditStream(seed ^ ((editor as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15)))
-    }
-
-    fn next(&mut self) -> u64 {
-        self.0 = self
-            .0
-            .wrapping_mul(6364136223846793005)
-            .wrapping_add(1442695040888963407);
-        self.0 >> 11
-    }
-}
-
 /// One editor: scattered inserts with occasional range deletes, one sync
-/// per round.
+/// per round. Edit positions come from the shared per-actor
+/// [`Lcg::stream`], so runs are reproducible without an RNG dependency.
 fn editor_task(editor: usize, cfg: DocConfig, ctx: &mut TaskCtx<MText>) -> TaskResult {
-    let mut stream = EditStream::new(cfg.seed, editor);
+    let mut stream = Lcg::stream(cfg.seed, editor);
     for _ in 0..cfg.rounds {
         match ctx.sync() {
             Ok(()) => {}

@@ -29,6 +29,7 @@ pub mod document;
 pub mod live;
 pub mod message;
 pub mod spawnmerge;
+pub mod tenant;
 pub mod workload;
 
 use std::time::Duration;
@@ -38,7 +39,8 @@ pub use document::{digest_document, run_document, DocConfig, DocResult};
 pub use live::{run_live, LiveReport};
 pub use message::{Message, Routing, SimConfig};
 pub use spawnmerge::{run_spawn_merge, run_spawn_merge_with_pool, SimData};
-pub use workload::{fingerprint, process_message, HostStats};
+pub use tenant::{run_tenants, TenantConfig, TenantReport};
+pub use workload::{fingerprint, lcg_positions, process_message, HostStats, Lcg};
 
 /// Result of one simulation run.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -1,8 +1,58 @@
-//! The per-message host workload and result fingerprinting.
+//! The per-message host workload, result fingerprinting, and the shared
+//! deterministic seeding utility ([`Lcg`]) every reproducible workload
+//! derives its "randomness" from.
 
 use sm_sha1::{digest_to_index, sha1, sha1_iterated, Digest, Sha1};
 
 use crate::message::{Message, Routing, SimConfig};
+
+/// The deterministic 64-bit LCG (Knuth's MMIX constants) shared by the
+/// netsim workloads, the bench binaries, and the integration tests — one
+/// definition instead of a copy per call site. Runs are reproducible
+/// without an RNG dependency: same seed, same stream, on every platform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lcg(u64);
+
+impl Lcg {
+    /// The workspace's conventional seed for unsalted position streams
+    /// (the historical `lcg_positions` constant).
+    pub const DEFAULT_SEED: u64 = 0x2545_f491_4f6c_dd1d;
+
+    /// A generator starting from `seed`.
+    pub fn new(seed: u64) -> Self {
+        Lcg(seed)
+    }
+
+    /// A per-actor stream: `seed` salted with `id` via a golden-ratio
+    /// multiply, so actors sharing one workload seed still draw
+    /// decorrelated streams (the editor/tenant idiom).
+    pub fn stream(seed: u64, id: usize) -> Self {
+        Lcg(seed ^ ((id as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15)))
+    }
+
+    /// The next value: one MMIX step, top bits (`state >> 33`) — the
+    /// well-mixed half of the state.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+
+    /// The next value reduced below `bound` (`bound` 0 is treated as 1).
+    pub fn next_below(&mut self, bound: usize) -> usize {
+        (self.next() as usize) % bound.max(1)
+    }
+}
+
+/// `n` deterministic scattered positions in `[0, bound)` from the
+/// conventional seed — the shape every "scattered merge" scenario uses.
+pub fn lcg_positions(n: usize, bound: usize) -> Vec<usize> {
+    let mut lcg = Lcg::new(Lcg::DEFAULT_SEED);
+    (0..n).map(|_| lcg.next_below(bound)).collect()
+}
 
 /// Process one message at `host`: run the (iterated) SHA-1 workload over
 /// the payload, derive the destination, decrement the TTL.
@@ -93,6 +143,37 @@ mod tests {
             routing,
             ..SimConfig::default()
         }
+    }
+
+    #[test]
+    fn lcg_streams_are_reproducible_and_decorrelated() {
+        let mut a = Lcg::new(42);
+        let mut b = Lcg::new(42);
+        let run: Vec<u64> = (0..16).map(|_| a.next()).collect();
+        let rerun: Vec<u64> = (0..16).map(|_| b.next()).collect();
+        assert_eq!(run, rerun, "same seed, same stream");
+
+        let mut s0 = Lcg::stream(42, 0);
+        let mut s1 = Lcg::stream(42, 1);
+        assert_ne!(
+            (0..8).map(|_| s0.next()).collect::<Vec<_>>(),
+            (0..8).map(|_| s1.next()).collect::<Vec<_>>(),
+            "salted streams differ per actor"
+        );
+
+        // The positions helper matches the historical inline generator.
+        let mut x = Lcg::DEFAULT_SEED;
+        let legacy: Vec<usize> = (0..8)
+            .map(|_| {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((x >> 33) as usize) % 64
+            })
+            .collect();
+        assert_eq!(lcg_positions(8, 64), legacy);
+        // bound 0 must not divide by zero.
+        assert_eq!(lcg_positions(3, 0), vec![0, 0, 0]);
     }
 
     #[test]

@@ -30,6 +30,13 @@ use crate::recorder::Recorder;
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 
+/// FNV-1a over `bytes` — the hash the auditor chains are built from,
+/// exposed so layers emitting content digests (e.g. the session server's
+/// broadcast payloads) hash exactly the way the auditor expects.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    fnv_step(FNV_OFFSET, bytes)
+}
+
 fn fnv_step(mut h: u64, bytes: &[u8]) -> u64 {
     for b in bytes {
         h ^= u64::from(*b);
@@ -157,6 +164,21 @@ fn projection(event: &ObsEvent) -> Option<u64> {
         EventKind::Mark { label } => {
             h = fnv_step(h, label.as_bytes());
         }
+        // A session commit's broadcast bytes are the convergence
+        // contract: the server and every subscriber that applied the
+        // broadcast emit this same event at the session's path, so their
+        // chains agree iff the replicated streams were identical.
+        EventKind::SessionCommitted {
+            session,
+            seq,
+            ops,
+            digest,
+        } => {
+            h = fnv_u64(h, *session);
+            h = fnv_u64(h, *seq);
+            h = fnv_u64(h, *ops as u64);
+            h = fnv_u64(h, *digest);
+        }
         // Pool churn, wire traffic, history GC, and durable-store I/O vary
         // run to run (keep-alive timing, socket batching, when children
         // happen to be live, fsync policy) without affecting merged
@@ -181,6 +203,15 @@ fn projection(event: &ObsEvent) -> Option<u64> {
         | EventKind::RecoveryReplayed { .. }
         | EventKind::RecoveryFailed { .. }
         | EventKind::PhaseTimed { .. } => return None,
+        // Session lifecycle (open/attach/evict/rehydrate, slow-consumer
+        // drops) is driven by connection timing and idle scanning:
+        // excluded, like the store events above. Only SessionCommitted
+        // (the replicated content) participates in the digest.
+        EventKind::SessionOpened { .. }
+        | EventKind::SessionAttached { .. }
+        | EventKind::SessionEvicted { .. }
+        | EventKind::SessionRehydrated { .. }
+        | EventKind::SlowConsumerDropped { .. } => return None,
     }
     Some(h)
 }

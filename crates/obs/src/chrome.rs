@@ -27,6 +27,7 @@ const PID_TASKS: u64 = 1;
 const PID_POOL: u64 = 2;
 const PID_WIRE: u64 = 3;
 const PID_STORE: u64 = 4;
+const PID_SERVER: u64 = 5;
 
 /// A [`Recorder`] buffering events for later export as Chrome trace JSON.
 pub struct ChromeTracer {
@@ -102,6 +103,7 @@ impl ChromeTracer {
             (PID_POOL, "pool"),
             (PID_WIRE, "wire"),
             (PID_STORE, "store"),
+            (PID_SERVER, "server"),
         ] {
             out.push(process_metadata_event(pid, name));
         }
@@ -339,6 +341,64 @@ impl ChromeTracer {
                         dur,
                     ));
                 }
+                EventKind::SessionOpened { session, shard } => {
+                    out.push(instant(
+                        PID_SERVER,
+                        *shard + 1,
+                        &format!("session {session} opened"),
+                        ts,
+                    ));
+                }
+                EventKind::SessionAttached {
+                    session,
+                    shard,
+                    subscribers,
+                } => {
+                    out.push(instant(
+                        PID_SERVER,
+                        *shard + 1,
+                        &format!("session {session} attach ({subscribers} subs)"),
+                        ts,
+                    ));
+                }
+                EventKind::SessionEvicted { session, shard } => {
+                    out.push(instant(
+                        PID_SERVER,
+                        *shard + 1,
+                        &format!("session {session} evicted"),
+                        ts,
+                    ));
+                }
+                EventKind::SessionRehydrated {
+                    session,
+                    shard,
+                    replayed_ops,
+                } => {
+                    out.push(instant(
+                        PID_SERVER,
+                        *shard + 1,
+                        &format!("session {session} rehydrated (+{replayed_ops} ops)"),
+                        ts,
+                    ));
+                }
+                EventKind::SessionCommitted {
+                    session, seq, ops, ..
+                } => {
+                    out.push(instant(
+                        PID_SERVER,
+                        1,
+                        &format!("session {session} commit #{seq} ({ops} ops)"),
+                        ts,
+                    ));
+                }
+                EventKind::SlowConsumerDropped { queued } => {
+                    out.push(instant(
+                        PID_SERVER,
+                        1,
+                        &format!("slow consumer dropped ({queued} queued)"),
+                        ts,
+                    ));
+                }
                 EventKind::MergeStarted { .. } | EventKind::SyncBlocked => {}
             }
         }
@@ -459,9 +519,9 @@ mod tests {
         let text = tracer.json_string();
         let doc = crate::json::parse(&text).expect("trace must be valid JSON");
         let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
-        // 4 process_name + 2 thread_name metadata + 2 run spans + 1
+        // 5 process_name + 2 thread_name metadata + 2 run spans + 1
         // merge span.
-        assert_eq!(events.len(), 9);
+        assert_eq!(events.len(), 10);
         for e in events {
             let ph = e.get("ph").unwrap().as_str().unwrap();
             assert!(matches!(ph, "X" | "i" | "M"), "unexpected phase {ph}");
@@ -579,7 +639,8 @@ mod tests {
                 (1.0, "runtime"),
                 (2.0, "pool"),
                 (3.0, "wire"),
-                (4.0, "store")
+                (4.0, "store"),
+                (5.0, "server")
             ]
         );
     }

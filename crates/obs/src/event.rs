@@ -291,6 +291,61 @@ pub enum EventKind {
     /// Freeform, program-defined annotation (simulation rounds,
     /// semaphore grants, …).
     Mark { label: String },
+    /// A session server opened a brand-new session on a shard (first
+    /// attach created it). Timing-dependent placement (which shard tick
+    /// saw the attach first), so excluded from determinism digests.
+    SessionOpened {
+        /// Session id.
+        session: u64,
+        /// Shard the session hash-routed to.
+        shard: u64,
+    },
+    /// A client attached to (subscribed to) a live session.
+    SessionAttached {
+        /// Session id.
+        session: u64,
+        /// Shard the session lives on.
+        shard: u64,
+        /// Subscriber count after this attach.
+        subscribers: usize,
+    },
+    /// An idle session was evicted: snapshotted to the store and dropped
+    /// from memory. I/O- and timing-dependent, excluded from digests.
+    SessionEvicted {
+        /// Session id.
+        session: u64,
+        /// Shard the session lived on.
+        shard: u64,
+    },
+    /// An evicted session was rehydrated from its store on re-attach.
+    SessionRehydrated {
+        /// Session id.
+        session: u64,
+        /// Shard the session lives on.
+        shard: u64,
+        /// Journal-suffix operations replayed on top of the snapshot.
+        replayed_ops: usize,
+    },
+    /// A session commit was accepted and its rebased operations
+    /// broadcast to every subscriber. `digest` hashes the broadcast
+    /// bytes, so this event is *included* in determinism digests: the
+    /// server and each converged subscriber emit identical chains.
+    SessionCommitted {
+        /// Session id.
+        session: u64,
+        /// Server sequence number of this commit.
+        seq: u64,
+        /// Operations applied to the authoritative state.
+        ops: usize,
+        /// FNV-1a hash of the broadcast op-log bytes.
+        digest: u64,
+    },
+    /// A subscriber fell too far behind its bounded outbound queue and
+    /// was disconnected. Timing-dependent, excluded from digests.
+    SlowConsumerDropped {
+        /// Messages still queued when the connection was dropped.
+        queued: usize,
+    },
 }
 
 impl EventKind {
@@ -321,6 +376,12 @@ impl EventKind {
             EventKind::RecoveryFailed { .. } => "recovery_failed",
             EventKind::PhaseTimed { .. } => "phase_timed",
             EventKind::Mark { .. } => "mark",
+            EventKind::SessionOpened { .. } => "session_opened",
+            EventKind::SessionAttached { .. } => "session_attached",
+            EventKind::SessionEvicted { .. } => "session_evicted",
+            EventKind::SessionRehydrated { .. } => "session_rehydrated",
+            EventKind::SessionCommitted { .. } => "session_committed",
+            EventKind::SlowConsumerDropped { .. } => "slow_consumer_dropped",
         }
     }
 

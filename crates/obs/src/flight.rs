@@ -303,6 +303,44 @@ fn event_detail(kind: &EventKind) -> Option<Json> {
             ("nanos", Json::from(*nanos)),
         ]),
         EventKind::Mark { label } => Json::obj([("label", Json::str(label))]),
+        EventKind::SessionOpened { session, shard } => Json::obj([
+            ("session", Json::from(*session)),
+            ("shard", Json::from(*shard)),
+        ]),
+        EventKind::SessionAttached {
+            session,
+            shard,
+            subscribers,
+        } => Json::obj([
+            ("session", Json::from(*session)),
+            ("shard", Json::from(*shard)),
+            ("subscribers", Json::from(*subscribers)),
+        ]),
+        EventKind::SessionEvicted { session, shard } => Json::obj([
+            ("session", Json::from(*session)),
+            ("shard", Json::from(*shard)),
+        ]),
+        EventKind::SessionRehydrated {
+            session,
+            shard,
+            replayed_ops,
+        } => Json::obj([
+            ("session", Json::from(*session)),
+            ("shard", Json::from(*shard)),
+            ("replayed_ops", Json::from(*replayed_ops)),
+        ]),
+        EventKind::SessionCommitted {
+            session,
+            seq,
+            ops,
+            digest,
+        } => Json::obj([
+            ("session", Json::from(*session)),
+            ("seq", Json::from(*seq)),
+            ("ops", Json::from(*ops)),
+            ("digest", Json::Str(format!("{digest:016x}"))),
+        ]),
+        EventKind::SlowConsumerDropped { queued } => Json::obj([("queued", Json::from(*queued))]),
         EventKind::TaskCompleted
         | EventKind::SyncBlocked
         | EventKind::WorkerStarted { .. }

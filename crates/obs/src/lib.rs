@@ -39,7 +39,7 @@ pub mod recorder;
 pub mod serve;
 pub mod timer;
 
-pub use audit::DeterminismAuditor;
+pub use audit::{fnv1a, DeterminismAuditor};
 pub use chrome::ChromeTracer;
 pub use event::{AbortCause, EventKind, MergeOpStats, ObsEvent, TaskPath};
 pub use flight::{FlightEntry, FlightRecorder};

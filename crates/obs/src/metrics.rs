@@ -8,6 +8,7 @@
 //! human-readable tables; [`Metrics::prometheus_text`] renders the same
 //! state in the Prometheus text exposition format for scraping.
 
+use std::collections::BTreeMap;
 use std::sync::Mutex;
 use std::sync::PoisonError;
 
@@ -329,6 +330,29 @@ pub struct MetricsSnapshot {
     /// Crash recoveries that failed closed (corruption, digest
     /// mismatch) — an anomaly counter a production alert should watch.
     pub recovery_failures: u64,
+    // -- session server ------------------------------------------------
+    /// Sessions created (first attach opened them).
+    pub sessions_opened: u64,
+    /// Client attaches (subscriptions), including re-attaches.
+    pub sessions_attached: u64,
+    /// Idle sessions evicted to store snapshots.
+    pub sessions_evicted: u64,
+    /// Evicted sessions rehydrated from their store on re-attach.
+    pub sessions_rehydrated: u64,
+    /// Journal-suffix operations replayed by rehydrations.
+    pub session_rehydrate_replayed_ops: u64,
+    /// Session commits accepted and broadcast.
+    pub session_commits: u64,
+    /// Operations applied by accepted session commits.
+    pub session_commit_ops: u64,
+    /// Subscribers disconnected for falling behind their outbound queue.
+    pub slow_consumers_dropped: u64,
+    /// Live (in-memory) sessions per shard — the per-shard
+    /// `sm_sessions_active` gauge family.
+    pub sessions_active_by_shard: BTreeMap<u64, u64>,
+    /// Evictions per shard — the per-shard `sm_sessions_evicted_total`
+    /// counter family.
+    pub sessions_evicted_by_shard: BTreeMap<u64, u64>,
     // -- marks ---------------------------------------------------------
     pub marks: u64,
     // -- histograms ----------------------------------------------------
@@ -455,7 +479,37 @@ impl MetricsSnapshot {
                 self.phase_nanos.observe(*phase, *nanos);
             }
             EventKind::Mark { .. } => self.marks += 1,
+            EventKind::SessionOpened { shard, .. } => {
+                self.sessions_opened += 1;
+                *self.sessions_active_by_shard.entry(*shard).or_default() += 1;
+            }
+            EventKind::SessionAttached { .. } => self.sessions_attached += 1,
+            EventKind::SessionEvicted { shard, .. } => {
+                self.sessions_evicted += 1;
+                *self.sessions_evicted_by_shard.entry(*shard).or_default() += 1;
+                let active = self.sessions_active_by_shard.entry(*shard).or_default();
+                *active = active.saturating_sub(1);
+            }
+            EventKind::SessionRehydrated {
+                shard,
+                replayed_ops,
+                ..
+            } => {
+                self.sessions_rehydrated += 1;
+                self.session_rehydrate_replayed_ops += *replayed_ops as u64;
+                *self.sessions_active_by_shard.entry(*shard).or_default() += 1;
+            }
+            EventKind::SessionCommitted { ops, .. } => {
+                self.session_commits += 1;
+                self.session_commit_ops += *ops as u64;
+            }
+            EventKind::SlowConsumerDropped { .. } => self.slow_consumers_dropped += 1,
         }
+    }
+
+    /// Total live sessions across all shards.
+    pub fn sessions_active(&self) -> u64 {
+        self.sessions_active_by_shard.values().sum()
     }
 
     /// Render as a JSON document.
@@ -566,6 +620,35 @@ impl MetricsSnapshot {
                         .collect(),
                 ),
             ),
+            (
+                "sessions",
+                Json::obj([
+                    ("opened", Json::from(self.sessions_opened)),
+                    ("attached", Json::from(self.sessions_attached)),
+                    ("evicted", Json::from(self.sessions_evicted)),
+                    ("rehydrated", Json::from(self.sessions_rehydrated)),
+                    (
+                        "rehydrate_replayed_ops",
+                        Json::from(self.session_rehydrate_replayed_ops),
+                    ),
+                    ("commits", Json::from(self.session_commits)),
+                    ("commit_ops", Json::from(self.session_commit_ops)),
+                    (
+                        "slow_consumers_dropped",
+                        Json::from(self.slow_consumers_dropped),
+                    ),
+                    ("active", Json::from(self.sessions_active())),
+                    (
+                        "active_by_shard",
+                        Json::Obj(
+                            self.sessions_active_by_shard
+                                .iter()
+                                .map(|(shard, n)| (shard.to_string(), Json::from(*n)))
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            ),
             ("marks", Json::from(self.marks)),
             (
                 "histograms",
@@ -585,7 +668,7 @@ impl MetricsSnapshot {
     /// Render in the Prometheus text exposition format.
     pub fn prometheus_text(&self) -> String {
         let mut out = String::new();
-        let counters: [(&str, u64); 41] = [
+        let counters: [(&str, u64); 48] = [
             ("sm_tasks_spawned_total", self.tasks_spawned),
             ("sm_tasks_completed_total", self.tasks_completed),
             ("sm_tasks_aborted_total", self.tasks_aborted),
@@ -637,6 +720,19 @@ impl MetricsSnapshot {
             ),
             ("sm_recovery_replayed_ops_total", self.recovery_replayed_ops),
             ("sm_recovery_failures_total", self.recovery_failures),
+            ("sm_sessions_opened_total", self.sessions_opened),
+            ("sm_sessions_attached_total", self.sessions_attached),
+            ("sm_sessions_rehydrated_total", self.sessions_rehydrated),
+            (
+                "sm_session_rehydrate_replayed_ops_total",
+                self.session_rehydrate_replayed_ops,
+            ),
+            ("sm_session_commits_total", self.session_commits),
+            ("sm_session_commit_ops_total", self.session_commit_ops),
+            (
+                "sm_slow_consumers_dropped_total",
+                self.slow_consumers_dropped,
+            ),
             ("sm_marks_total", self.marks),
             ("sm_pool_workers_peak", self.workers_peak),
         ];
@@ -661,6 +757,25 @@ impl MetricsSnapshot {
             "# TYPE sm_pool_workers_live gauge\nsm_pool_workers_live {}\n",
             self.workers_live
         ));
+        // Session-server shard families: live sessions and evictions per
+        // shard, so dashboards see routing balance directly. The
+        // unlabelled series is the all-shard total.
+        out.push_str(&format!(
+            "# TYPE sm_sessions_active gauge\nsm_sessions_active {}\n",
+            self.sessions_active()
+        ));
+        for (shard, n) in &self.sessions_active_by_shard {
+            out.push_str(&format!("sm_sessions_active{{shard=\"{shard}\"}} {n}\n"));
+        }
+        out.push_str(&format!(
+            "# TYPE sm_sessions_evicted_total counter\nsm_sessions_evicted_total {}\n",
+            self.sessions_evicted
+        ));
+        for (shard, n) in &self.sessions_evicted_by_shard {
+            out.push_str(&format!(
+                "sm_sessions_evicted_total{{shard=\"{shard}\"}} {n}\n"
+            ));
+        }
         let histograms: [(&str, &Histogram); 7] = [
             ("sm_spawn_cost_nanos", &self.spawn_cost_nanos),
             ("sm_merge_latency_nanos", &self.merge_latency_nanos),
@@ -1066,6 +1181,66 @@ mod tests {
         keys.sort();
         keys.dedup();
         assert_eq!(keys.len(), total, "duplicate series in exposition");
+    }
+
+    #[test]
+    fn aggregates_session_events_with_per_shard_gauges() {
+        let m = Metrics::new();
+        m.record(&ev(EventKind::SessionOpened {
+            session: 7,
+            shard: 0,
+        }));
+        m.record(&ev(EventKind::SessionOpened {
+            session: 8,
+            shard: 1,
+        }));
+        m.record(&ev(EventKind::SessionAttached {
+            session: 7,
+            shard: 0,
+            subscribers: 1,
+        }));
+        m.record(&ev(EventKind::SessionCommitted {
+            session: 7,
+            seq: 1,
+            ops: 5,
+            digest: 0xfeed,
+        }));
+        m.record(&ev(EventKind::SessionEvicted {
+            session: 7,
+            shard: 0,
+        }));
+        m.record(&ev(EventKind::SessionRehydrated {
+            session: 7,
+            shard: 0,
+            replayed_ops: 3,
+        }));
+        m.record(&ev(EventKind::SlowConsumerDropped { queued: 99 }));
+        let s = m.snapshot();
+        assert_eq!(s.sessions_opened, 2);
+        assert_eq!(s.sessions_attached, 1);
+        assert_eq!(s.sessions_evicted, 1);
+        assert_eq!(s.sessions_rehydrated, 1);
+        assert_eq!(s.session_rehydrate_replayed_ops, 3);
+        assert_eq!(s.session_commits, 1);
+        assert_eq!(s.session_commit_ops, 5);
+        assert_eq!(s.slow_consumers_dropped, 1);
+        // Shard 0: opened + rehydrated - evicted = 1; shard 1: 1.
+        assert_eq!(s.sessions_active_by_shard.get(&0), Some(&1));
+        assert_eq!(s.sessions_active_by_shard.get(&1), Some(&1));
+        assert_eq!(s.sessions_active(), 2);
+        assert_eq!(s.sessions_evicted_by_shard.get(&0), Some(&1));
+        let text = s.prometheus_text();
+        assert!(text.contains("sm_sessions_active 2"));
+        assert!(text.contains("sm_sessions_active{shard=\"0\"} 1"));
+        assert!(text.contains("sm_sessions_evicted_total{shard=\"0\"} 1"));
+        assert!(text.contains("sm_session_commits_total 1"));
+        assert!(text.contains("sm_slow_consumers_dropped_total 1"));
+        parse_exposition(&text).expect("session families parse");
+        let doc = crate::json::parse(&s.to_json().to_string()).unwrap();
+        assert_eq!(
+            doc.get("sessions").unwrap().get("active").unwrap().as_num(),
+            Some(2.0)
+        );
     }
 
     #[test]

@@ -104,6 +104,20 @@ impl TelemetrySources {
                     ("live", Json::from(live)),
                 ]),
             );
+            doc.set(
+                "sessions",
+                Json::obj([
+                    ("active", Json::from(s.sessions_active())),
+                    ("opened", Json::from(s.sessions_opened)),
+                    ("evicted", Json::from(s.sessions_evicted)),
+                    ("rehydrated", Json::from(s.sessions_rehydrated)),
+                    ("commits", Json::from(s.session_commits)),
+                    (
+                        "slow_consumers_dropped",
+                        Json::from(s.slow_consumers_dropped),
+                    ),
+                ]),
+            );
         }
         doc.set("ok", Json::Bool(true));
         doc

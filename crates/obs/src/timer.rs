@@ -61,11 +61,14 @@ pub enum Phase {
     /// The staged parallel merge: pre-rebasing a batch of sibling
     /// deltas on the pool before the creation-order fold commits them.
     MergeParallel,
+    /// Session-server shard dispatch: decoding a client command, the
+    /// commit rebase, and the broadcast fan-out for one message.
+    ServerDispatch,
 }
 
 impl Phase {
     /// Every phase, in declaration order (histogram slot order).
-    pub const ALL: [Phase; 15] = [
+    pub const ALL: [Phase; 16] = [
         Phase::RebaseCompact,
         Phase::RebaseDelta,
         Phase::RebaseGrid,
@@ -81,6 +84,7 @@ impl Phase {
         Phase::WireDecode,
         Phase::WireRoundtrip,
         Phase::MergeParallel,
+        Phase::ServerDispatch,
     ];
 
     /// Number of phases (histogram array size).
@@ -104,6 +108,7 @@ impl Phase {
             Phase::WireDecode => "wire_decode",
             Phase::WireRoundtrip => "wire_roundtrip",
             Phase::MergeParallel => "merge_parallel",
+            Phase::ServerDispatch => "server_dispatch",
         }
     }
 

@@ -1,0 +1,359 @@
+//! [`SessionClient`]: the blocking client helper for a [`SessionServer`].
+//!
+//! A client keeps one **mirror** per attached session — a copy of the
+//! authoritative state advanced *only* by applying the server's
+//! `Committed` broadcast slices in sequence order. Edits never touch the
+//! mirror directly: [`commit_with`](SessionClient::commit_with) clones
+//! it, applies the caller's edit closure to the clone, and ships the
+//! recorded ops to the server; the state change lands back on the mirror
+//! via the broadcast, rebased — exactly like every other subscriber's.
+//! Two clients of a session therefore converge to bit-identical mirrors
+//! no matter who committed what, which the lifecycle tests assert via
+//! [`state_digest`](SessionClient::state_digest).
+//!
+//! Every received message is acknowledged (`Ack { upto }`) with the
+//! running count of processed deliveries, which is what keeps this
+//! client inside the server's back-pressure window.
+//!
+//! [`SessionServer`]: crate::SessionServer
+
+use std::collections::HashMap;
+use std::fmt;
+use std::time::Duration;
+
+use bytes::{Bytes, BytesMut};
+use sm_codec::session::{ClientMsg, RejectReason, ServerMsg};
+use sm_codec::{Decode, DecodeError, Encode};
+use sm_net::frame::{encode_frame, FrameError};
+use sm_net::{NetError, Network, Stream};
+use sm_store::Persist;
+
+/// Client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure (including the server closing the connection).
+    Net(NetError),
+    /// A server frame failed CRC or length validation.
+    Frame(FrameError),
+    /// A server message failed to decode.
+    Decode(DecodeError),
+    /// A broadcast slice failed to apply to the local mirror.
+    Replay(String),
+    /// The server sent something this client did not expect (e.g. a
+    /// broadcast for a session it never attached).
+    Protocol(String),
+    /// The server closed the connection with a reason.
+    Shutdown(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Net(e) => write!(f, "client network error: {e}"),
+            ClientError::Frame(e) => write!(f, "client frame error: {e}"),
+            ClientError::Decode(e) => write!(f, "client decode error: {e}"),
+            ClientError::Replay(e) => write!(f, "mirror replay failed: {e}"),
+            ClientError::Protocol(e) => write!(f, "protocol violation: {e}"),
+            ClientError::Shutdown(reason) => write!(f, "server shut us down: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<NetError> for ClientError {
+    fn from(e: NetError) -> Self {
+        ClientError::Net(e)
+    }
+}
+
+/// Outcome of [`SessionClient::commit_with`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommitOutcome {
+    /// The commit landed; the mirror now reflects sequence `seq`.
+    Committed {
+        /// The session's new commit sequence.
+        seq: u64,
+    },
+    /// The server rejected the commit; the mirror is unchanged (beyond
+    /// any other subscribers' commits that arrived meanwhile).
+    Rejected(RejectReason),
+}
+
+/// One applied `Committed` broadcast, as observed by this client — the
+/// subscriber-side twin of the server's `session_committed` event.
+/// Feeding these into a client-side `DeterminismAuditor` and diffing its
+/// chain heads against the server's is the convergence assertion the
+/// multi-tenant workload runs: equal heads ⟺ this subscriber applied
+/// exactly the committed stream, bit for bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommitEvent {
+    /// The session the broadcast belonged to.
+    pub session: u64,
+    /// The commit sequence the mirror advanced to.
+    pub seq: u64,
+    /// Operations applied from the broadcast slice.
+    pub ops: usize,
+    /// FNV-1a digest of the raw broadcast bytes.
+    pub digest: u64,
+}
+
+struct Mirror<D> {
+    data: D,
+    seq: u64,
+    /// History marks at the mirror's current head — the base against
+    /// which local edits are encoded for the next commit.
+    marks: Vec<usize>,
+}
+
+impl<D: Persist> Mirror<D> {
+    fn recapture(&mut self) {
+        self.data.seal_history();
+        self.marks.clear();
+        self.data.history_marks(&mut self.marks);
+    }
+}
+
+/// A blocking client of a [`SessionServer`](crate::SessionServer),
+/// multiplexing any number of attached sessions over one connection.
+pub struct SessionClient<D: Persist> {
+    stream: Stream,
+    received: u64,
+    mirrors: HashMap<u64, Mirror<D>>,
+    commit_events: Vec<CommitEvent>,
+    shutdown: Option<String>,
+}
+
+impl<D: Persist> SessionClient<D> {
+    /// Connect to the server listening on `port` of `net`.
+    pub fn connect(net: &Network, port: u16) -> Result<Self, ClientError> {
+        Ok(SessionClient {
+            stream: net.connect(port)?,
+            received: 0,
+            mirrors: HashMap::new(),
+            commit_events: Vec::new(),
+            shutdown: None,
+        })
+    }
+
+    /// Attach to `session`, blocking until the state snapshot arrives.
+    /// Returns the session's current commit sequence.
+    pub fn attach(&mut self, session: u64) -> Result<u64, ClientError> {
+        self.send(&ClientMsg::Attach { session })?;
+        loop {
+            match self.pump_blocking()? {
+                ServerMsg::Attached { session: s, .. } if s == session => {
+                    return Ok(self.mirrors[&session].seq);
+                }
+                ServerMsg::Rejected { session: s, reason } if s == session => {
+                    return Err(ClientError::Protocol(format!(
+                        "attach rejected: {reason:?}"
+                    )));
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Detach from `session`, blocking for the acknowledgement, and drop
+    /// its mirror.
+    pub fn detach(&mut self, session: u64) -> Result<(), ClientError> {
+        self.send(&ClientMsg::Detach { session })?;
+        loop {
+            if let ServerMsg::Detached { session: s } = self.pump_blocking()? {
+                if s == session {
+                    return Ok(());
+                }
+            }
+        }
+    }
+
+    /// Edit `session` and commit the result, blocking until the server
+    /// confirms or rejects. `edit` runs on a clone of the mirror; the
+    /// ops it records are shipped, rebased server-side over anything
+    /// committed since this mirror's head, and land back here via the
+    /// broadcast (so after `Committed` the mirror includes the edit in
+    /// its rebased form).
+    pub fn commit_with(
+        &mut self,
+        session: u64,
+        edit: impl FnOnce(&mut D),
+    ) -> Result<CommitOutcome, ClientError> {
+        let (base_seq, ops) = {
+            let mirror = self.mirrors.get(&session).ok_or_else(|| {
+                ClientError::Protocol(format!("commit on unattached session {session}"))
+            })?;
+            let mut work = mirror.data.clone();
+            edit(&mut work);
+            work.seal_history();
+            let mut buf = BytesMut::new();
+            let mut cursor = 0usize;
+            work.encode_committed_since(&mirror.marks, &mut cursor, &mut buf);
+            (mirror.seq, buf.to_vec())
+        };
+        self.send(&ClientMsg::Commit {
+            session,
+            base_seq,
+            ops,
+        })?;
+        loop {
+            match self.pump_blocking()? {
+                ServerMsg::Committed {
+                    session: s,
+                    seq,
+                    applied: true,
+                    ..
+                } if s == session => return Ok(CommitOutcome::Committed { seq }),
+                ServerMsg::Rejected { session: s, reason } if s == session => {
+                    return Ok(CommitOutcome::Rejected(reason))
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Process at most one pending server message. `Ok(true)` if one was
+    /// processed, `Ok(false)` on timeout.
+    pub fn pump(&mut self, timeout: Duration) -> Result<bool, ClientError> {
+        match self.stream.recv_timeout(timeout) {
+            Ok(raw) => {
+                self.handle_raw(&raw)?;
+                Ok(true)
+            }
+            Err(NetError::Timeout) => Ok(false),
+            Err(e) => Err(self.closed_reason(e)),
+        }
+    }
+
+    /// Drain every already-queued server message without blocking
+    /// longer than `timeout` per message. Returns how many were
+    /// processed.
+    pub fn pump_all(&mut self, timeout: Duration) -> Result<usize, ClientError> {
+        let mut n = 0;
+        while self.pump(timeout)? {
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// The mirror of an attached session.
+    pub fn mirror(&self, session: u64) -> Option<&D> {
+        self.mirrors.get(&session).map(|m| &m.data)
+    }
+
+    /// The mirror's commit sequence for an attached session.
+    pub fn seq(&self, session: u64) -> Option<u64> {
+        self.mirrors.get(&session).map(|m| m.seq)
+    }
+
+    /// FNV-1a digest of the mirror's encoded state — the convergence
+    /// witness the multi-tenant tests compare across subscribers.
+    pub fn state_digest(&self, session: u64) -> Option<u64> {
+        self.mirrors.get(&session).map(|m| {
+            let mut buf = BytesMut::new();
+            m.data.encode_state(&mut buf);
+            sm_obs::fnv1a(&buf)
+        })
+    }
+
+    /// Drain the log of applied `Committed` broadcasts accumulated since
+    /// the last drain, in application order.
+    pub fn drain_commit_events(&mut self) -> Vec<CommitEvent> {
+        std::mem::take(&mut self.commit_events)
+    }
+
+    /// Send a ping and block until the pong comes back (flushing any
+    /// broadcasts queued in between).
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        self.send(&ClientMsg::Ping)?;
+        loop {
+            if let ServerMsg::Pong = self.pump_blocking()? {
+                return Ok(());
+            }
+        }
+    }
+
+    fn send(&mut self, msg: &ClientMsg) -> Result<(), ClientError> {
+        let mut framed = Vec::new();
+        encode_frame(&msg.to_bytes(), &mut framed);
+        self.stream.send(&framed).map_err(|e| self.closed_reason(e))
+    }
+
+    /// Receive, decode, apply, and ack one server message.
+    fn pump_blocking(&mut self) -> Result<ServerMsg, ClientError> {
+        let raw = self.stream.recv().map_err(|e| self.closed_reason(e))?;
+        self.handle_raw(&raw)
+    }
+
+    fn closed_reason(&mut self, e: NetError) -> ClientError {
+        match (&e, self.shutdown.take()) {
+            (NetError::Closed, Some(reason)) => ClientError::Shutdown(reason),
+            _ => ClientError::Net(e),
+        }
+    }
+
+    fn handle_raw(&mut self, raw: &[u8]) -> Result<ServerMsg, ClientError> {
+        let (payload, used) = sm_net::frame::decode_frame(raw).map_err(ClientError::Frame)?;
+        if used != raw.len() {
+            return Err(ClientError::Protocol("trailing bytes after frame".into()));
+        }
+        let msg = ServerMsg::from_bytes(payload).map_err(ClientError::Decode)?;
+        self.received += 1;
+        // Ack before applying: the window measures delivery, not
+        // application, and an apply error kills the connection anyway.
+        // Best-effort — the server may already have closed its end (e.g.
+        // a slow-consumer disconnect) while deliveries, including the
+        // final `Shutdown` frame, are still queued for us to drain.
+        let upto = self.received;
+        let _ = self.send(&ClientMsg::Ack { upto });
+        self.apply(&msg)?;
+        Ok(msg)
+    }
+
+    fn apply(&mut self, msg: &ServerMsg) -> Result<(), ClientError> {
+        match msg {
+            ServerMsg::Attached {
+                session,
+                seq,
+                state,
+            } => {
+                let mut buf = Bytes::copy_from_slice(state);
+                let data = D::decode_state(&mut buf).map_err(ClientError::Decode)?;
+                let mut mirror = Mirror {
+                    data,
+                    seq: *seq,
+                    marks: Vec::new(),
+                };
+                mirror.recapture();
+                self.mirrors.insert(*session, mirror);
+            }
+            ServerMsg::Committed {
+                session, seq, ops, ..
+            } => {
+                if let Some(mirror) = self.mirrors.get_mut(session) {
+                    let mut buf = Bytes::copy_from_slice(ops);
+                    let applied = mirror
+                        .data
+                        .apply_log(&mut buf)
+                        .map_err(|e| ClientError::Replay(e.to_string()))?;
+                    mirror.seq = *seq;
+                    mirror.recapture();
+                    self.commit_events.push(CommitEvent {
+                        session: *session,
+                        seq: *seq,
+                        ops: applied,
+                        digest: sm_obs::fnv1a(ops),
+                    });
+                }
+            }
+            ServerMsg::Detached { session } => {
+                self.mirrors.remove(session);
+            }
+            ServerMsg::Shutdown { reason } => {
+                self.shutdown = Some(reason.clone());
+            }
+            ServerMsg::Rejected { .. } | ServerMsg::Pong => {}
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,362 @@
+//! The shard loop: exclusive owner of its sessions' state, stores, and
+//! subscriber lists.
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bytes::{Bytes, BytesMut};
+use crossbeam::channel::{Receiver, RecvTimeoutError};
+use sm_codec::session::{ClientMsg, RejectReason, ServerMsg};
+use sm_core::Pool;
+use sm_obs::{emit, fnv1a, start, EventKind, Phase, TaskPath};
+use sm_store::{Persist, Store, StoreError};
+
+use crate::conn::ConnShared;
+use crate::ServerConfig;
+
+/// How often an idle shard wakes to scan for evictable sessions.
+pub const SHARD_TICK: Duration = Duration::from_millis(25);
+
+/// Commands a shard receives from reader threads and the server handle.
+pub enum ShardCmd {
+    /// A session-scoped client message, with the connection it came from.
+    Client {
+        /// The originating connection.
+        conn: Arc<ConnShared>,
+        /// The decoded message (`Attach`, `Commit`, or `Detach`).
+        msg: ClientMsg,
+    },
+    /// A connection closed; forget its subscriptions.
+    Disconnect {
+        /// The closed connection's id.
+        conn_id: u64,
+    },
+    /// Orderly shutdown: evict every session, then exit.
+    Stop,
+}
+
+/// One in-memory session: authoritative state, its fork-base ring, and
+/// the subscriber fan-out list.
+struct Session<D> {
+    data: D,
+    /// History marks of `data` as of the last broadcast — the base for
+    /// the next `encode_committed_since`.
+    marks: Vec<usize>,
+    /// Commit sequence number (equals the store's last appended seq).
+    seq: u64,
+    /// `(seq, fork)` bases for recent commits, oldest first. A commit
+    /// whose `base_seq` fell off the front is rejected as stale.
+    ring: std::collections::VecDeque<(u64, D)>,
+    store: Store,
+    subscribers: Vec<(u64, Arc<ConnShared>)>,
+    last_active: Instant,
+    path: TaskPath,
+}
+
+impl<D: Persist> Session<D> {
+    /// Reseal and recapture the broadcast marks from the current state.
+    fn recapture_marks(&mut self) {
+        self.data.seal_history();
+        self.marks.clear();
+        self.data.history_marks(&mut self.marks);
+    }
+
+    /// Fan `msg` out to every live subscriber, dropping dead ones.
+    fn broadcast(&mut self, make: impl Fn(&u64) -> ServerMsg) {
+        self.subscribers
+            .retain(|(conn_id, conn)| conn.send_msg(&make(conn_id)));
+    }
+}
+
+/// The shard thread body: drain commands, evict idle sessions on ticks.
+pub(crate) fn shard_loop<D: Persist + 'static>(
+    shard: u64,
+    rx: Receiver<ShardCmd>,
+    cfg: Arc<ServerConfig>,
+    factory: Arc<dyn Fn() -> D + Send + Sync>,
+    pool: Pool,
+) {
+    let mut sessions: HashMap<u64, Session<D>> = HashMap::new();
+    loop {
+        match rx.recv_timeout(SHARD_TICK) {
+            Ok(ShardCmd::Client { conn, msg }) => {
+                dispatch(shard, &mut sessions, &cfg, &factory, &pool, conn, msg)
+            }
+            Ok(ShardCmd::Disconnect { conn_id }) => {
+                for sess in sessions.values_mut() {
+                    if sess.subscribers.iter().any(|(id, _)| *id == conn_id) {
+                        sess.subscribers.retain(|(id, _)| *id != conn_id);
+                        sess.last_active = Instant::now();
+                    }
+                }
+            }
+            Ok(ShardCmd::Stop) => break,
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+        evict_idle(shard, &mut sessions, &cfg, false);
+    }
+    // Orderly shutdown: evict everything still resident.
+    evict_idle(shard, &mut sessions, &cfg, true);
+}
+
+/// Handle one session-scoped client message under a `server_dispatch`
+/// phase span.
+fn dispatch<D: Persist + 'static>(
+    shard: u64,
+    sessions: &mut HashMap<u64, Session<D>>,
+    cfg: &ServerConfig,
+    factory: &Arc<dyn Fn() -> D + Send + Sync>,
+    pool: &Pool,
+    conn: Arc<ConnShared>,
+    msg: ClientMsg,
+) {
+    let session_id = match &msg {
+        ClientMsg::Attach { session }
+        | ClientMsg::Commit { session, .. }
+        | ClientMsg::Detach { session } => *session,
+        // Ack/Ping are handled on the reader thread, never routed here.
+        _ => return,
+    };
+    let span = start(Phase::ServerDispatch);
+    let path = TaskPath::root().child(session_id);
+
+    match msg {
+        ClientMsg::Attach { session } => {
+            handle_attach(shard, sessions, cfg, factory, pool, conn, session)
+        }
+        ClientMsg::Commit {
+            session,
+            base_seq,
+            ops,
+        } => handle_commit(sessions, cfg, conn, session, base_seq, ops),
+        ClientMsg::Detach { session } => {
+            if let Some(sess) = sessions.get_mut(&session) {
+                sess.subscribers.retain(|(id, _)| *id != conn.id());
+                sess.last_active = Instant::now();
+            }
+            conn.send_msg(&ServerMsg::Detached { session });
+        }
+        _ => {}
+    }
+
+    if let Some(span) = span {
+        span.finish(&path);
+    }
+}
+
+fn handle_attach<D: Persist + 'static>(
+    shard: u64,
+    sessions: &mut HashMap<u64, Session<D>>,
+    cfg: &ServerConfig,
+    factory: &Arc<dyn Fn() -> D + Send + Sync>,
+    pool: &Pool,
+    conn: Arc<ConnShared>,
+    session: u64,
+) {
+    let sess = match sessions.entry(session) {
+        Entry::Occupied(e) => e.into_mut(),
+        Entry::Vacant(slot) => match open_session(shard, cfg, factory, pool, session) {
+            Ok(sess) => slot.insert(sess),
+            Err(e) => {
+                conn.send_msg(&ServerMsg::Rejected {
+                    session,
+                    reason: RejectReason::BadOps(format!("session store: {e}")),
+                });
+                return;
+            }
+        },
+    };
+    sess.last_active = Instant::now();
+    if !sess.subscribers.iter().any(|(id, _)| *id == conn.id()) {
+        sess.subscribers.push((conn.id(), Arc::clone(&conn)));
+    }
+    emit(&sess.path, || EventKind::SessionAttached {
+        session,
+        shard,
+        subscribers: sess.subscribers.len(),
+    });
+    let mut state = BytesMut::new();
+    sess.data.encode_state(&mut state);
+    conn.send_msg(&ServerMsg::Attached {
+        session,
+        seq: sess.seq,
+        state: state.to_vec(),
+    });
+}
+
+/// Load a session into memory: rehydrate from its journal if one
+/// exists, otherwise create it from the factory state.
+fn open_session<D: Persist + 'static>(
+    shard: u64,
+    cfg: &ServerConfig,
+    factory: &Arc<dyn Fn() -> D + Send + Sync>,
+    pool: &Pool,
+    session: u64,
+) -> Result<Session<D>, StoreError> {
+    let dir = cfg.dir.join(format!("session-{session:016x}"));
+    let store = Store::open(dir, cfg.store.clone())?;
+    store.attach_pool(pool);
+    let path = TaskPath::root().child(session);
+    let data = match store.recover::<D>()? {
+        Some(recovered) => {
+            emit(&path, || EventKind::SessionRehydrated {
+                session,
+                shard,
+                replayed_ops: recovered.replayed_ops as usize,
+            });
+            recovered.data
+        }
+        None => {
+            let data = (factory)();
+            store.begin(&data)?;
+            emit(&path, || EventKind::SessionOpened { session, shard });
+            data
+        }
+    };
+    let seq = store.last_seq();
+    let mut sess = Session {
+        data,
+        marks: Vec::new(),
+        seq,
+        ring: std::collections::VecDeque::new(),
+        store,
+        subscribers: Vec::new(),
+        last_active: Instant::now(),
+        path,
+    };
+    sess.recapture_marks();
+    sess.ring.push_back((seq, sess.data.fork()));
+    Ok(sess)
+}
+
+fn handle_commit<D: Persist>(
+    sessions: &mut HashMap<u64, Session<D>>,
+    cfg: &ServerConfig,
+    conn: Arc<ConnShared>,
+    session: u64,
+    base_seq: u64,
+    ops: Vec<u8>,
+) {
+    let Some(sess) = sessions.get_mut(&session) else {
+        conn.send_msg(&ServerMsg::Rejected {
+            session,
+            reason: RejectReason::NotAttached,
+        });
+        return;
+    };
+    if !sess.subscribers.iter().any(|(id, _)| *id == conn.id()) {
+        conn.send_msg(&ServerMsg::Rejected {
+            session,
+            reason: RejectReason::NotAttached,
+        });
+        return;
+    }
+    sess.last_active = Instant::now();
+
+    // Locate the fork base the client's ops were made against.
+    let Some((_, base)) = sess.ring.iter().find(|(s, _)| *s == base_seq) else {
+        let oldest = sess.ring.front().map(|(s, _)| *s).unwrap_or(0);
+        conn.send_msg(&ServerMsg::Rejected {
+            session,
+            reason: RejectReason::StaleBase {
+                base_seq,
+                oldest_retained: oldest,
+            },
+        });
+        return;
+    };
+
+    // Replay the client's ops onto a clone of that base: the clone keeps
+    // the base's fork lineage, so merging it into the authoritative
+    // state OT-rebases the ops over every commit in (base_seq, seq].
+    let mut work = base.clone();
+    let mut buf = Bytes::from(ops);
+    let _applied = match work.apply_log(&mut buf) {
+        Ok(n) => n,
+        Err(e) => {
+            conn.send_msg(&ServerMsg::Rejected {
+                session,
+                reason: RejectReason::BadOps(format!("apply: {e}")),
+            });
+            return;
+        }
+    };
+
+    // Merge into a clone of the authoritative state so a failed merge or
+    // journal append leaves the session untouched.
+    let mut next = sess.data.clone();
+    if let Err(e) = next.merge(&work) {
+        conn.send_msg(&ServerMsg::Rejected {
+            session,
+            reason: RejectReason::BadOps(format!("merge: {e}")),
+        });
+        return;
+    }
+    let seq = sess.seq + 1;
+    if let Err(e) = sess.store.commit(&next, &TaskPath::root().child(seq)) {
+        conn.send_msg(&ServerMsg::Rejected {
+            session,
+            reason: RejectReason::BadOps(format!("journal: {e}")),
+        });
+        return;
+    }
+
+    // The commit is durable: adopt the new state and fan it out.
+    sess.data = next;
+    sess.seq = seq;
+    sess.data.seal_history();
+    let mut slice = BytesMut::new();
+    let mut cursor = 0usize;
+    let broadcast_ops = sess
+        .data
+        .encode_committed_since(&sess.marks, &mut cursor, &mut slice);
+    let slice = slice.to_vec();
+    sess.recapture_marks();
+    sess.ring.push_back((seq, sess.data.fork()));
+    while sess.ring.len() > cfg.ring.max(1) {
+        sess.ring.pop_front();
+    }
+    let committer = conn.id();
+
+    emit(&sess.path, || EventKind::SessionCommitted {
+        session,
+        seq,
+        ops: broadcast_ops,
+        digest: fnv1a(&slice),
+    });
+    sess.broadcast(|conn_id| ServerMsg::Committed {
+        session,
+        seq,
+        applied: *conn_id == committer,
+        ops: slice.clone(),
+    });
+}
+
+/// Drop sessions that have no subscribers and have been idle past the
+/// configured horizon (or all of them, on shutdown), snapshotting per
+/// `snapshot_on_evict`.
+fn evict_idle<D: Persist>(
+    shard: u64,
+    sessions: &mut HashMap<u64, Session<D>>,
+    cfg: &ServerConfig,
+    all: bool,
+) {
+    sessions.retain(|session, sess| {
+        sess.subscribers.retain(|(_, conn)| !conn.is_dead());
+        if !all && (!sess.subscribers.is_empty() || sess.last_active.elapsed() < cfg.idle_after) {
+            return true;
+        }
+        if cfg.snapshot_on_evict {
+            let _ = sess.store.snapshot(&sess.data);
+        }
+        let _ = sess.store.sync();
+        emit(&sess.path, || EventKind::SessionEvicted {
+            session: *session,
+            shard,
+        });
+        false
+    });
+}

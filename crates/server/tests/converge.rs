@@ -1,0 +1,229 @@
+//! Convergence and back-pressure behaviour of the session server: every
+//! subscriber of a session ends digest-identical, divergent concurrent
+//! commits are OT-rebased, stale bases are rejected, and slow consumers
+//! are disconnected without stalling anyone else.
+
+use std::time::Duration;
+
+use sm_codec::session::RejectReason;
+use sm_mergeable::MText;
+use sm_net::Network;
+use sm_server::{ClientError, CommitOutcome, ServerConfig, SessionClient, SessionServer};
+
+fn tmpdir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "sm-server-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn start(net: &Network, port: u16, cfg: ServerConfig) -> SessionServer {
+    SessionServer::start(net, port, cfg, || MText::from("base. ")).expect("server starts")
+}
+
+#[test]
+fn two_clients_converge_through_broadcasts() {
+    let net = Network::new();
+    let server = start(&net, 4400, ServerConfig::new(tmpdir("converge")));
+
+    let mut a: SessionClient<MText> = SessionClient::connect(&net, 4400).unwrap();
+    let mut b: SessionClient<MText> = SessionClient::connect(&net, 4400).unwrap();
+    assert_eq!(a.attach(7).unwrap(), 0);
+    assert_eq!(b.attach(7).unwrap(), 0);
+
+    let out = a.commit_with(7, |t| t.insert_str(0, "[a1]")).unwrap();
+    assert_eq!(out, CommitOutcome::Committed { seq: 1 });
+    // B sees A's commit as a broadcast.
+    while b.seq(7) != Some(1) {
+        b.pump(Duration::from_secs(1)).unwrap();
+    }
+    assert_eq!(a.state_digest(7), b.state_digest(7));
+
+    let out = b
+        .commit_with(7, |t| {
+            let len = t.char_len();
+            t.insert_str(len, "[b1]")
+        })
+        .unwrap();
+    assert_eq!(out, CommitOutcome::Committed { seq: 2 });
+    while a.seq(7) != Some(2) {
+        a.pump(Duration::from_secs(1)).unwrap();
+    }
+    assert_eq!(a.state_digest(7), b.state_digest(7));
+    let text = a.mirror(7).unwrap().to_string();
+    assert!(text.contains("[a1]") && text.contains("[b1]"), "{text:?}");
+
+    server.shutdown();
+}
+
+#[test]
+fn divergent_concurrent_commits_are_rebased() {
+    let net = Network::new();
+    let server = start(&net, 4401, ServerConfig::new(tmpdir("rebase")));
+
+    let mut a: SessionClient<MText> = SessionClient::connect(&net, 4401).unwrap();
+    let mut b: SessionClient<MText> = SessionClient::connect(&net, 4401).unwrap();
+    a.attach(1).unwrap();
+    b.attach(1).unwrap();
+
+    // Both commit against seq 0; B does not see A's commit before
+    // committing, so the server must rebase B's ops over A's.
+    assert_eq!(
+        a.commit_with(1, |t| t.insert_str(0, "[A]")).unwrap(),
+        CommitOutcome::Committed { seq: 1 }
+    );
+    let out = b.commit_with(1, |t| t.insert_str(0, "[B]")).unwrap();
+    assert_eq!(out, CommitOutcome::Committed { seq: 2 });
+
+    while a.seq(1) != Some(2) {
+        a.pump(Duration::from_secs(1)).unwrap();
+    }
+    while b.seq(1) != Some(2) {
+        b.pump(Duration::from_secs(1)).unwrap();
+    }
+    assert_eq!(
+        a.state_digest(1),
+        b.state_digest(1),
+        "mirrors must converge"
+    );
+    let text = a.mirror(1).unwrap().to_string();
+    assert!(
+        text.contains("[A]") && text.contains("[B]"),
+        "both divergent edits must survive the rebase: {text:?}"
+    );
+
+    server.shutdown();
+}
+
+#[test]
+fn stale_base_commits_are_rejected() {
+    let net = Network::new();
+    let mut cfg = ServerConfig::new(tmpdir("stale"));
+    cfg.ring = 2;
+    let server = start(&net, 4402, cfg);
+
+    let mut a: SessionClient<MText> = SessionClient::connect(&net, 4402).unwrap();
+    let mut b: SessionClient<MText> = SessionClient::connect(&net, 4402).unwrap();
+    a.attach(3).unwrap();
+    b.attach(3).unwrap();
+
+    // Four commits from A push seq to 4; the ring (length 2) forgets
+    // base 0, which B still sits on.
+    for i in 0..4 {
+        a.commit_with(3, |t| t.insert_str(0, format!("[a{i}]")))
+            .unwrap();
+    }
+    match b.commit_with(3, |t| t.insert_str(0, "[late]")).unwrap() {
+        CommitOutcome::Rejected(RejectReason::StaleBase {
+            base_seq,
+            oldest_retained,
+        }) => {
+            assert_eq!(base_seq, 0);
+            assert!(oldest_retained > 0);
+        }
+        other => panic!("expected StaleBase rejection, got {other:?}"),
+    }
+    // Recovery path: B re-attaches for a fresh snapshot and can commit.
+    let seq = b.attach(3).unwrap();
+    assert_eq!(seq, 4);
+    assert!(matches!(
+        b.commit_with(3, |t| t.insert_str(0, "[b-retry]")).unwrap(),
+        CommitOutcome::Committed { seq: 5 }
+    ));
+
+    server.shutdown();
+}
+
+#[test]
+fn commit_without_attach_is_rejected() {
+    use sm_codec::session::{ClientMsg, ServerMsg};
+    use sm_codec::{Decode, Encode};
+    use sm_net::frame::{decode_frame, encode_frame};
+
+    let net = Network::new();
+    let server = start(&net, 4403, ServerConfig::new(tmpdir("noattach")));
+
+    // The client helper refuses locally without a mirror…
+    let mut b: SessionClient<MText> = SessionClient::connect(&net, 4403).unwrap();
+    assert!(b.commit_with(9, |_| {}).is_err(), "no mirror, no commit");
+    b.attach(9).unwrap();
+    b.detach(9).unwrap();
+    assert!(
+        b.commit_with(9, |_| {}).is_err(),
+        "detach drops the mirror too"
+    );
+
+    // …and the server itself bounces a raw commit from a connection
+    // that never attached.
+    let raw = net.connect(4403).unwrap();
+    let msg = ClientMsg::Commit {
+        session: 9,
+        base_seq: 0,
+        ops: Vec::new(),
+    };
+    let mut framed = Vec::new();
+    encode_frame(&msg.to_bytes(), &mut framed);
+    raw.send(&framed).unwrap();
+    let reply = raw.recv_timeout(Duration::from_secs(2)).unwrap();
+    let (payload, _) = decode_frame(&reply).unwrap();
+    match ServerMsg::from_bytes(payload).unwrap() {
+        ServerMsg::Rejected {
+            session: 9,
+            reason: RejectReason::NotAttached,
+        } => {}
+        other => panic!("expected NotAttached rejection, got {other:?}"),
+    }
+
+    server.shutdown();
+}
+
+#[test]
+fn slow_consumer_is_disconnected_without_stalling_others() {
+    let net = Network::new();
+    let mut cfg = ServerConfig::new(tmpdir("slow"));
+    cfg.window = 2;
+    cfg.queue_cap = 4;
+    let server = start(&net, 4404, cfg);
+
+    let mut fast: SessionClient<MText> = SessionClient::connect(&net, 4404).unwrap();
+    let mut slow: SessionClient<MText> = SessionClient::connect(&net, 4404).unwrap();
+    fast.attach(5).unwrap();
+    slow.attach(5).unwrap();
+
+    // `slow` never pumps: after `window` deliveries its broadcasts
+    // queue, and past `queue_cap` the server cuts it loose. `fast` keeps
+    // committing the whole time.
+    for i in 0..20 {
+        assert!(matches!(
+            fast.commit_with(5, |t| t.insert_str(0, format!("[{i}]")))
+                .unwrap(),
+            CommitOutcome::Committed { .. }
+        ));
+    }
+
+    // Draining `slow` now ends in the server's shutdown notice.
+    let err = loop {
+        match slow.pump(Duration::from_secs(1)) {
+            Ok(true) => continue,
+            Ok(false) => panic!("slow consumer never saw the disconnect"),
+            Err(e) => break e,
+        }
+    };
+    match err {
+        ClientError::Shutdown(reason) => {
+            assert_eq!(reason, sm_server::SLOW_CONSUMER_REASON)
+        }
+        other => panic!("expected slow-consumer shutdown, got {other:?}"),
+    }
+
+    // The fast client is unaffected.
+    assert!(matches!(
+        fast.commit_with(5, |t| t.insert_str(0, "[after]")).unwrap(),
+        CommitOutcome::Committed { .. }
+    ));
+
+    server.shutdown();
+}

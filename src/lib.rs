@@ -45,6 +45,10 @@
 //! * [`store`] — durability: a CRC32-framed write-ahead log of root merge
 //!   commits, CoW snapshots, and digest-verified deterministic crash
 //!   recovery.
+//! * [`server`] — the sharded multi-tenant session server: one process
+//!   hosting thousands of live durable sessions behind a single
+//!   listener, with broadcast fan-out, back-pressure, and idle-session
+//!   eviction/rehydration.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -57,6 +61,7 @@ pub use sm_net as net;
 pub use sm_netsim as netsim;
 pub use sm_obs as obs;
 pub use sm_ot as ot;
+pub use sm_server as server;
 pub use sm_sha1 as sha1;
 pub use sm_store as store;
 

@@ -18,6 +18,7 @@
 use std::time::Instant;
 
 use proptest::prelude::*;
+use spawn_merge::netsim::workload::lcg_positions;
 use spawn_merge::ot::apply_all;
 use spawn_merge::ot::delta::{from_ops, rebase_delta, DeltaOp};
 use spawn_merge::ot::list::ListOp;
@@ -325,19 +326,6 @@ fn runtime_set_heavy_child_still_merges_via_grid() {
 // ---------------------------------------------------------------------
 // speedup floor: the scattered 100x100 merge the delta path exists for
 // ---------------------------------------------------------------------
-
-/// Deterministic scattered positions (same LCG as `bench_merge`).
-fn lcg_positions(n: usize, bound: usize) -> Vec<usize> {
-    let mut x = 0x2545_f491_4f6c_dd1du64;
-    (0..n)
-        .map(|_| {
-            x = x
-                .wrapping_mul(6364136223846793005)
-                .wrapping_add(1442695040888963407);
-            ((x >> 33) as usize) % bound
-        })
-        .collect()
-}
 
 /// The acceptance floor: scattered 100×100, delta path ≥ 5× over the raw
 /// grid. Debug builds easily clear this too (the grid pays 9604 pair

@@ -15,6 +15,7 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 use spawn_merge::net::frame::{encode_frame, Frames};
+use spawn_merge::netsim::workload::Lcg;
 use spawn_merge::obs::TaskPath;
 use spawn_merge::store::wal::Record;
 use spawn_merge::{
@@ -59,19 +60,6 @@ fn single_wal(dir: &Path) -> PathBuf {
     wals.pop().unwrap()
 }
 
-/// The seeded generator every deterministic workload here derives from.
-struct Lcg(u64);
-
-impl Lcg {
-    fn next(&mut self) -> u64 {
-        self.0 = self
-            .0
-            .wrapping_mul(6364136223846793005)
-            .wrapping_add(1442695040888963407);
-        self.0 >> 33
-    }
-}
-
 type Doc = (MList<u32>, MText, MCounter);
 
 fn doc_digest(doc: &Doc) -> String {
@@ -84,7 +72,7 @@ fn doc_digest(doc: &Doc) -> String {
 fn doc_round(ctx: &mut spawn_merge::TaskCtx<Doc>, round: u64) {
     for editor in 0..3u64 {
         ctx.spawn(move |c| {
-            let mut rng = Lcg(round * 31 + editor + 1);
+            let mut rng = Lcg::new(round * 31 + editor + 1);
             let (list, text, _count) = c.data_mut();
             list.push((rng.next() % 1000) as u32);
             let pos = (rng.next() as usize) % (text.char_len() + 1);
@@ -233,7 +221,7 @@ fn crash_injection_recovers_verified_prefix_or_fails_closed_never_panics() {
     let wal = single_wal(&dir);
     let wal_len = fs::metadata(&wal).unwrap().len();
 
-    let mut rng = Lcg(0xC0FFEE);
+    let mut rng = Lcg::new(0xC0FFEE);
     for case in 0..60 {
         let image = copy_dir(&dir, &format!("crash-{case}"));
         let target = image.join(wal.file_name().unwrap());
@@ -526,7 +514,7 @@ fn parallel_and_serial_recovery_agree_on_state_and_chains() {
     let store = Store::open(&dir, options.clone()).unwrap();
     let mut data = MList::<u64>::new();
     store.begin(&data).unwrap();
-    let mut rng = Lcg(0xD1FF);
+    let mut rng = Lcg::new(0xD1FF);
     for _ in 0..40 {
         for _ in 0..25 {
             let at = (rng.next() as usize) % (data.len() + 1);
@@ -568,7 +556,7 @@ fn delta_snapshots_upgrade_recovery_and_survive_torn_deltas() {
     let store = Store::open(&dir, options.clone()).unwrap();
     let mut data = MList::<u64>::new();
     store.begin(&data).unwrap();
-    let mut rng = Lcg(0xDE17A);
+    let mut rng = Lcg::new(0xDE17A);
     for _ in 0..12 {
         for _ in 0..20 {
             let at = (rng.next() as usize) % (data.len() + 1);
@@ -664,7 +652,7 @@ fn crash_between_snapshot_and_prune_leaves_recovery_sound() {
     let store = Store::open(&dir, options.clone()).unwrap();
     let mut data = MList::<u64>::new();
     store.begin(&data).unwrap();
-    let mut rng = Lcg(0x9121);
+    let mut rng = Lcg::new(0x9121);
     for _ in 0..20 {
         for _ in 0..10 {
             let at = (rng.next() as usize) % (data.len() + 1);
@@ -757,7 +745,7 @@ fn background_snapshots_move_write_cost_off_the_commit_path() {
         // A large baseline makes each snapshot's serialization cost
         // visible next to the per-commit work.
         let mut data = MList::<u64>::new();
-        let mut rng = Lcg(0xBACC);
+        let mut rng = Lcg::new(0xBACC);
         for _ in 0..200_000 {
             data.push(rng.next());
         }
